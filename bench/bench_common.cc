@@ -1,0 +1,91 @@
+#include "bench_common.h"
+
+#include <cstdio>
+#include <map>
+#include <mutex>
+
+#include "eval/bool_engine.h"
+#include "eval/comp_engine.h"
+#include "eval/ppred_engine.h"
+#include "index/index_builder.h"
+#include "lang/parser.h"
+
+namespace fts::benchutil {
+
+CorpusGenOptions BenchCorpusOptions(uint32_t cnodes, uint32_t occurrences) {
+  CorpusGenOptions opts;
+  opts.seed = 4242;
+  opts.num_nodes = cnodes;
+  opts.min_doc_len = 50;
+  opts.max_doc_len = 300;
+  opts.vocabulary = 20000;
+  opts.zipf_skew = 1.0;
+  opts.num_topic_tokens = 8;
+  opts.topic_doc_fraction = 0.5;
+  opts.topic_occurrences = occurrences;
+  return opts;
+}
+
+const InvertedIndex& SharedIndex(uint32_t cnodes, uint32_t occurrences) {
+  static std::mutex mu;
+  static std::map<std::pair<uint32_t, uint32_t>, std::unique_ptr<InvertedIndex>>* cache =
+      new std::map<std::pair<uint32_t, uint32_t>, std::unique_ptr<InvertedIndex>>();
+  std::lock_guard<std::mutex> lock(mu);
+  auto key = std::make_pair(cnodes, occurrences);
+  auto it = cache->find(key);
+  if (it == cache->end()) {
+    Corpus corpus = GenerateCorpus(BenchCorpusOptions(cnodes, occurrences));
+    auto index = std::make_unique<InvertedIndex>(IndexBuilder::Build(corpus));
+    it = cache->emplace(key, std::move(index)).first;
+  }
+  return *it->second;
+}
+
+std::unique_ptr<Engine> MakeEngine(const std::string& kind, const InvertedIndex* index,
+                                   ScoringKind scoring) {
+  if (kind == "BOOL") return std::make_unique<BoolEngine>(index, scoring);
+  if (kind == "PPRED") return std::make_unique<PpredEngine>(index, scoring);
+  if (kind == "NPRED") return std::make_unique<NpredEngine>(index, scoring);
+  if (kind == "NPRED_TOTAL") {
+    return std::make_unique<NpredEngine>(index, scoring,
+                                         NpredOrderingMode::kAllTotalOrders);
+  }
+  if (kind == "COMP") return std::make_unique<CompEngine>(index, scoring);
+  std::fprintf(stderr, "unknown engine kind: %s\n", kind.c_str());
+  std::abort();
+}
+
+void RunQuery(benchmark::State& state, const Engine& engine, const std::string& query) {
+  auto parsed = ParseQuery(query, SurfaceLanguage::kComp);
+  if (!parsed.ok()) {
+    state.SkipWithError(parsed.status().ToString().c_str());
+    return;
+  }
+  QueryResult last;
+  for (auto _ : state) {
+    auto result = engine.Evaluate(*parsed);
+    if (!result.ok()) {
+      state.SkipWithError(result.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(result->nodes.data());
+    last = std::move(*result);
+  }
+  state.counters["matches"] = static_cast<double>(last.nodes.size());
+  state.counters["entries"] = static_cast<double>(last.counters.entries_scanned);
+  state.counters["positions"] = static_cast<double>(last.counters.positions_scanned);
+  state.counters["tuples"] = static_cast<double>(last.counters.tuples_materialized);
+  state.counters["pred_evals"] = static_cast<double>(last.counters.predicate_evals);
+  state.counters["orderings"] = static_cast<double>(last.counters.orderings_run);
+}
+
+void PrintFigureHeader(const char* figure, const char* expectation) {
+  std::printf("================================================================\n");
+  std::printf("%s\n", figure);
+  std::printf("paper-reported shape: %s\n", expectation);
+  std::printf("(absolute times differ from the paper's 2005 testbed; compare\n");
+  std::printf(" series shapes and the machine-independent counters)\n");
+  std::printf("================================================================\n");
+}
+
+}  // namespace fts::benchutil

@@ -1,0 +1,48 @@
+// Shared benchmark plumbing: cached synthetic corpora/indexes (paper-shaped
+// defaults: 6000 context nodes, Zipf background vocabulary, planted topic
+// tokens), engine construction by name, and a query-runner that reports the
+// machine-independent cost counters alongside wall time.
+
+#ifndef FTS_BENCH_BENCH_COMMON_H_
+#define FTS_BENCH_BENCH_COMMON_H_
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <string>
+
+#include "eval/engine.h"
+#include "eval/npred_engine.h"
+#include "index/inverted_index.h"
+#include "workload/corpus_gen.h"
+#include "workload/query_gen.h"
+
+namespace fts::benchutil {
+
+/// Paper-shaped corpus options: `cnodes` context nodes (default 6000 as in
+/// Section 6.2) whose topic tokens appear in half the documents with
+/// `occurrences` positions per containing document (the pos_per_entry
+/// knob). Documents are 50-300 tokens over a 20k Zipf vocabulary.
+CorpusGenOptions BenchCorpusOptions(uint32_t cnodes, uint32_t occurrences);
+
+/// Lazily built, cached index for the given shape (benchmarks in one binary
+/// share corpora across series).
+const InvertedIndex& SharedIndex(uint32_t cnodes, uint32_t occurrences);
+
+/// Engine factory: kind is "BOOL", "PPRED", "NPRED", "NPRED_TOTAL" (all
+/// toks_Q! orderings) or "COMP".
+std::unique_ptr<Engine> MakeEngine(const std::string& kind, const InvertedIndex* index,
+                                   ScoringKind scoring = ScoringKind::kNone);
+
+/// Runs `query` on `engine` for each benchmark iteration and publishes the
+/// evaluation counters (entries, positions, tuples, predicate evals,
+/// orderings, matches) as benchmark counters.
+void RunQuery(benchmark::State& state, const Engine& engine, const std::string& query);
+
+/// Prints a figure banner: which paper figure this binary regenerates and
+/// the qualitative shape the paper reports.
+void PrintFigureHeader(const char* figure, const char* expectation);
+
+}  // namespace fts::benchutil
+
+#endif  // FTS_BENCH_BENCH_COMMON_H_

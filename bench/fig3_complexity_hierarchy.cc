@@ -1,0 +1,106 @@
+// Figure 3: the complexity hierarchy, validated with machine-independent
+// operation counts instead of wall time. For each engine the binary
+// measures how the dominant cost counter responds to doubling (a) the data
+// (entries per token) and (b) the query (number of tokens), and prints the
+// observed growth factors next to the bounds the paper states:
+//
+//   BOOL       O(entries_per_token · toks_Q · (ops_Q+1))           [no preds]
+//   PPRED      O(entries_per_token · pos_per_entry · toks_Q · ...)
+//   NPRED      O(  "          · toks_Q! · ...)
+//   COMP       O(cnodes · pos_per_cnode^toks_Q · ...)
+//
+// Growth factor ~2 on data doubling = linear; >> 2 on query growth for
+// NPRED/COMP = the exponential term.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "lang/parser.h"
+
+namespace {
+
+using fts::Engine;
+using fts::ParseQuery;
+using fts::QueryGenOptions;
+using fts::QueryPolarity;
+using fts::SurfaceLanguage;
+using fts::benchutil::MakeEngine;
+using fts::benchutil::SharedIndex;
+
+// Total list traffic: entries + positions + materialized tuples.
+double CostOf(const Engine& engine, const std::string& query) {
+  auto parsed = ParseQuery(query, SurfaceLanguage::kComp);
+  if (!parsed.ok()) return -1;
+  auto result = engine.Evaluate(*parsed);
+  if (!result.ok()) return -1;
+  const auto& c = result->counters;
+  return static_cast<double>(c.entries_scanned + c.positions_scanned +
+                             c.tuples_materialized);
+}
+
+std::string QueryFor(uint32_t toks, QueryPolarity pol) {
+  QueryGenOptions opts;
+  opts.num_tokens = toks;
+  opts.num_predicates = pol == QueryPolarity::kNone ? 0 : 2;
+  opts.polarity = pol;
+  return GenerateQuery(opts);
+}
+
+struct Row {
+  const char* name;
+  const char* engine_kind;
+  QueryPolarity polarity;
+  const char* bound;
+};
+
+}  // namespace
+
+int main() {
+  fts::benchutil::PrintFigureHeader(
+      "Figure 3 — complexity hierarchy, via operation counts",
+      "data-doubling factor ~2 for every language (linear in inverted "
+      "lists for BOOL/PPRED/NPRED); query-growth factor stays small for "
+      "BOOL/PPRED and explodes for NPRED (toks_Q!) and COMP "
+      "(pos_per_cnode^toks_Q)");
+
+  const Row rows[] = {
+      {"BOOL-NONEG", "BOOL", QueryPolarity::kNone,
+       "entries_per_token * toks_Q * (ops_Q+1)"},
+      {"PPRED", "PPRED", QueryPolarity::kPositive,
+       "entries_per_token * pos_per_entry * toks_Q * (preds_Q+ops_Q+1)"},
+      {"NPRED", "NPRED", QueryPolarity::kNegative,
+       "... * min(narity^npreds_Q, toks_Q!) * (preds_Q+ops_Q+1)"},
+      {"COMP", "COMP", QueryPolarity::kPositive,
+       "cnodes * pos_per_cnode^toks_Q * (preds_Q+ops_Q+1)"},
+  };
+
+  // Data axis: double the corpus (2000 -> 4000 nodes; same occurrence
+  // density). Query axis: 2 -> 4 tokens.
+  const auto& small = SharedIndex(2000, 6);
+  const auto& big = SharedIndex(4000, 6);
+
+  std::printf("\n%-11s %14s %14s %10s | %14s %14s %10s\n", "language", "ops(2k nodes)",
+              "ops(4k nodes)", "data x2", "ops(2 toks)", "ops(4 toks)", "query x2");
+  std::printf("%.120s\n",
+              "-----------------------------------------------------------------"
+              "-----------------------------------------------------------------");
+  for (const Row& row : rows) {
+    auto engine_small = MakeEngine(row.engine_kind, &small);
+    auto engine_big = MakeEngine(row.engine_kind, &big);
+    const std::string q3 = QueryFor(3, row.polarity);
+    const double data_small = CostOf(*engine_small, q3);
+    const double data_big = CostOf(*engine_big, q3);
+    const double query_small = CostOf(*engine_small, QueryFor(2, row.polarity));
+    const double query_big = CostOf(*engine_small, QueryFor(4, row.polarity));
+    std::printf("%-11s %14.0f %14.0f %9.2fx | %14.0f %14.0f %9.2fx\n", row.name,
+                data_small, data_big, data_big / data_small, query_small, query_big,
+                query_big / query_small);
+    std::printf("            bound: %s\n", row.bound);
+  }
+  std::printf(
+      "\nReading: 'data x2' near 2.0 confirms linearity in the inverted lists\n"
+      "(all four languages); 'query x2' grows modestly for BOOL/PPRED but\n"
+      "multiplies for NPRED (orderings) and COMP (join products), matching\n"
+      "the Figure 3 containment of bounding boxes.\n");
+  return 0;
+}

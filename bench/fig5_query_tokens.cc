@@ -1,0 +1,52 @@
+// Figure 5: evaluation time while varying the number of query tokens
+// (1..5; paper default 3), 6000 context nodes, 2 predicates where the
+// engine supports them. Series: BOOL (predicate-free conjunctions),
+// PPRED-POS, NPRED-POS, NPRED-NEG, COMP-POS, COMP-NEG.
+
+#include "bench_common.h"
+
+namespace {
+
+using fts::QueryGenOptions;
+using fts::QueryPolarity;
+using fts::benchutil::MakeEngine;
+using fts::benchutil::RunQuery;
+using fts::benchutil::SharedIndex;
+
+constexpr uint32_t kNodes = 6000;
+constexpr uint32_t kOccurrences = 6;
+
+void Fig5(benchmark::State& state, const char* engine_kind, QueryPolarity polarity) {
+  const auto& index = SharedIndex(kNodes, kOccurrences);
+  QueryGenOptions opts;
+  opts.num_tokens = static_cast<uint32_t>(state.range(0));
+  opts.num_predicates = 2;
+  opts.polarity = polarity;
+  auto engine = MakeEngine(engine_kind, &index);
+  RunQuery(state, *engine, GenerateQuery(opts));
+}
+
+BENCHMARK_CAPTURE(Fig5, BOOL, "BOOL", QueryPolarity::kNone)
+    ->DenseRange(1, 5)->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(Fig5, PPRED_POS, "PPRED", QueryPolarity::kPositive)
+    ->DenseRange(1, 5)->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(Fig5, NPRED_POS, "NPRED", QueryPolarity::kPositive)
+    ->DenseRange(1, 5)->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(Fig5, NPRED_NEG, "NPRED", QueryPolarity::kNegative)
+    ->DenseRange(1, 5)->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(Fig5, COMP_POS, "COMP", QueryPolarity::kPositive)
+    ->DenseRange(1, 5)->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(Fig5, COMP_NEG, "COMP", QueryPolarity::kNegative)
+    ->DenseRange(1, 5)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fts::benchutil::PrintFigureHeader(
+      "Figure 5 — varying the number of query tokens (toks_Q = 1..5)",
+      "BOOL and PPRED grow slowly and linearly; NPRED and COMP grow "
+      "super-linearly, COMP worst (especially COMP-NEG)");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

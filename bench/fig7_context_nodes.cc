@@ -1,0 +1,46 @@
+// Figure 7: scalability in the number of context nodes (2500 / 6000 /
+// 10000, exactly the paper's sweep) at the default query (3 tokens,
+// 2 predicates).
+
+#include "bench_common.h"
+
+namespace {
+
+using fts::QueryGenOptions;
+using fts::QueryPolarity;
+using fts::benchutil::MakeEngine;
+using fts::benchutil::RunQuery;
+using fts::benchutil::SharedIndex;
+
+constexpr uint32_t kOccurrences = 6;
+
+void Fig7(benchmark::State& state, const char* engine_kind, QueryPolarity polarity) {
+  const auto& index = SharedIndex(static_cast<uint32_t>(state.range(0)), kOccurrences);
+  QueryGenOptions opts;
+  opts.num_tokens = 3;
+  opts.num_predicates = 2;
+  opts.polarity = polarity;
+  auto engine = MakeEngine(engine_kind, &index);
+  RunQuery(state, *engine, GenerateQuery(opts));
+}
+
+#define FIG7_SWEEP ->Arg(2500)->Arg(6000)->Arg(10000)->Unit(benchmark::kMillisecond)
+
+BENCHMARK_CAPTURE(Fig7, BOOL, "BOOL", QueryPolarity::kNone) FIG7_SWEEP;
+BENCHMARK_CAPTURE(Fig7, PPRED_POS, "PPRED", QueryPolarity::kPositive) FIG7_SWEEP;
+BENCHMARK_CAPTURE(Fig7, NPRED_POS, "NPRED", QueryPolarity::kPositive) FIG7_SWEEP;
+BENCHMARK_CAPTURE(Fig7, NPRED_NEG, "NPRED", QueryPolarity::kNegative) FIG7_SWEEP;
+BENCHMARK_CAPTURE(Fig7, COMP_POS, "COMP", QueryPolarity::kPositive) FIG7_SWEEP;
+BENCHMARK_CAPTURE(Fig7, COMP_NEG, "COMP", QueryPolarity::kNegative) FIG7_SWEEP;
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fts::benchutil::PrintFigureHeader(
+      "Figure 7 — varying the number of context nodes (2500 / 6000 / 10000)",
+      "BOOL and PPRED scale best (slow linear); NPRED acceptable (linear); "
+      "COMP degrades fastest");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,109 @@
+// Substrate microbenchmarks: tokenizer, index construction, sequential
+// list-cursor scans, and serialization round trips.
+
+#include <string>
+
+#include "bench_common.h"
+#include "index/index_builder.h"
+#include "index/index_io.h"
+#include "text/tokenizer.h"
+
+namespace {
+
+using fts::Corpus;
+using fts::GenerateCorpus;
+using fts::IndexBuilder;
+using fts::InvertedIndex;
+using fts::ListCursor;
+using fts::Tokenizer;
+using fts::benchutil::BenchCorpusOptions;
+using fts::benchutil::SharedIndex;
+
+void BM_Tokenize(benchmark::State& state) {
+  // A ~2.5KB paragraph, repeated to the requested size.
+  std::string text;
+  while (text.size() < static_cast<size_t>(state.range(0))) {
+    text += "Usability of a software measures how well the software supports "
+            "achieving an efficient software task completion. ";
+  }
+  Tokenizer tokenizer;
+  for (auto _ : state) {
+    auto tokens = tokenizer.Tokenize(text);
+    benchmark::DoNotOptimize(tokens.data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(text.size()));
+}
+BENCHMARK(BM_Tokenize)->Arg(4 << 10)->Arg(64 << 10)->Arg(512 << 10);
+
+void BM_IndexBuild(benchmark::State& state) {
+  Corpus corpus =
+      GenerateCorpus(BenchCorpusOptions(static_cast<uint32_t>(state.range(0)), 6));
+  for (auto _ : state) {
+    InvertedIndex index = IndexBuilder::Build(corpus);
+    benchmark::DoNotOptimize(index.num_nodes());
+  }
+  state.counters["nodes"] = static_cast<double>(corpus.num_nodes());
+}
+BENCHMARK(BM_IndexBuild)->Arg(500)->Arg(2000)->Unit(benchmark::kMillisecond);
+
+void BM_ListCursorScan(benchmark::State& state) {
+  const InvertedIndex& index = SharedIndex(6000, static_cast<uint32_t>(state.range(0)));
+  const fts::PostingList* list = index.list_for_text("topic0");
+  uint64_t positions = 0;
+  for (auto _ : state) {
+    ListCursor cursor(list);
+    while (cursor.NextEntry() != fts::kInvalidNode) {
+      auto span = cursor.GetPositions();
+      positions += span.size();
+      benchmark::DoNotOptimize(span.data());
+    }
+  }
+  state.counters["positions_per_scan"] =
+      static_cast<double>(positions) / static_cast<double>(state.iterations());
+}
+BENCHMARK(BM_ListCursorScan)->Arg(6)->Arg(12);
+
+void BM_AnyListScan(benchmark::State& state) {
+  const InvertedIndex& index = SharedIndex(6000, 6);
+  for (auto _ : state) {
+    ListCursor cursor(&index.any_list());
+    uint64_t count = 0;
+    while (cursor.NextEntry() != fts::kInvalidNode) ++count;
+    benchmark::DoNotOptimize(count);
+  }
+}
+BENCHMARK(BM_AnyListScan);
+
+void BM_IndexSerialize(benchmark::State& state) {
+  const InvertedIndex& index = SharedIndex(2000, 6);
+  std::string blob;
+  for (auto _ : state) {
+    fts::SaveIndexToString(index, &blob);
+    benchmark::DoNotOptimize(blob.data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(blob.size()));
+}
+BENCHMARK(BM_IndexSerialize)->Unit(benchmark::kMillisecond);
+
+void BM_IndexDeserialize(benchmark::State& state) {
+  const InvertedIndex& index = SharedIndex(2000, 6);
+  std::string blob;
+  fts::SaveIndexToString(index, &blob);
+  for (auto _ : state) {
+    InvertedIndex loaded;
+    if (!fts::LoadIndexFromString(blob, &loaded).ok()) {
+      state.SkipWithError("load failed");
+      return;
+    }
+    benchmark::DoNotOptimize(loaded.num_nodes());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(blob.size()));
+}
+BENCHMARK(BM_IndexDeserialize)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

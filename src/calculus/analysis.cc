@@ -1,0 +1,212 @@
+#include "calculus/analysis.h"
+
+#include <algorithm>
+
+namespace fts {
+
+namespace {
+
+void FreeVarsImpl(const CalcExprPtr& e, std::set<VarId>* bound, std::set<VarId>* out) {
+  if (!e) return;
+  switch (e->kind()) {
+    case CalcExpr::Kind::kHasPos:
+    case CalcExpr::Kind::kHasToken:
+      if (!bound->count(e->var())) out->insert(e->var());
+      return;
+    case CalcExpr::Kind::kPred:
+      for (VarId v : e->pred().vars) {
+        if (!bound->count(v)) out->insert(v);
+      }
+      return;
+    case CalcExpr::Kind::kNot:
+      FreeVarsImpl(e->child(), bound, out);
+      return;
+    case CalcExpr::Kind::kAnd:
+    case CalcExpr::Kind::kOr:
+      FreeVarsImpl(e->left(), bound, out);
+      FreeVarsImpl(e->right(), bound, out);
+      return;
+    case CalcExpr::Kind::kExists:
+    case CalcExpr::Kind::kForAll: {
+      const bool inserted = bound->insert(e->var()).second;
+      FreeVarsImpl(e->child(), bound, out);
+      if (inserted) bound->erase(e->var());
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+std::set<VarId> FreeVars(const CalcExprPtr& e) {
+  std::set<VarId> bound, out;
+  FreeVarsImpl(e, &bound, &out);
+  return out;
+}
+
+std::set<std::string> CollectTokens(const CalcExprPtr& e) {
+  std::set<std::string> out;
+  if (!e) return out;
+  switch (e->kind()) {
+    case CalcExpr::Kind::kHasToken:
+      out.insert(e->token());
+      return out;
+    case CalcExpr::Kind::kHasPos:
+    case CalcExpr::Kind::kPred:
+      return out;
+    case CalcExpr::Kind::kNot:
+    case CalcExpr::Kind::kExists:
+    case CalcExpr::Kind::kForAll:
+      return CollectTokens(e->child());
+    case CalcExpr::Kind::kAnd:
+    case CalcExpr::Kind::kOr: {
+      out = CollectTokens(e->left());
+      auto r = CollectTokens(e->right());
+      out.insert(r.begin(), r.end());
+      return out;
+    }
+  }
+  return out;
+}
+
+namespace {
+void ShapeImpl(const CalcExprPtr& e, QueryShape* s) {
+  if (!e) return;
+  switch (e->kind()) {
+    case CalcExpr::Kind::kHasPos:
+      ++s->toks;  // hasPos is the calculus form of the universal token ANY
+      return;
+    case CalcExpr::Kind::kHasToken:
+      ++s->toks;
+      return;
+    case CalcExpr::Kind::kPred:
+      ++s->preds;
+      return;
+    case CalcExpr::Kind::kNot:
+      ++s->ops;
+      ShapeImpl(e->child(), s);
+      return;
+    case CalcExpr::Kind::kAnd:
+    case CalcExpr::Kind::kOr:
+      ++s->ops;
+      ShapeImpl(e->left(), s);
+      ShapeImpl(e->right(), s);
+      return;
+    case CalcExpr::Kind::kExists:
+    case CalcExpr::Kind::kForAll:
+      ++s->ops;
+      ShapeImpl(e->child(), s);
+      return;
+  }
+}
+
+Status ValidateImpl(const CalcExprPtr& e, std::set<VarId>* bound) {
+  if (!e) return Status::InvalidArgument("null expression node");
+  switch (e->kind()) {
+    case CalcExpr::Kind::kHasPos:
+    case CalcExpr::Kind::kHasToken:
+      return Status::OK();
+    case CalcExpr::Kind::kPred: {
+      if (e->pred().pred == nullptr) {
+        return Status::InvalidArgument("predicate call with null predicate");
+      }
+      return e->pred().pred->ValidateSignature(e->pred().vars.size(),
+                                               e->pred().consts.size());
+    }
+    case CalcExpr::Kind::kNot:
+      return ValidateImpl(e->child(), bound);
+    case CalcExpr::Kind::kAnd:
+    case CalcExpr::Kind::kOr:
+      FTS_RETURN_IF_ERROR(ValidateImpl(e->left(), bound));
+      return ValidateImpl(e->right(), bound);
+    case CalcExpr::Kind::kExists:
+    case CalcExpr::Kind::kForAll: {
+      if (!bound->insert(e->var()).second) {
+        return Status::InvalidArgument("variable p" + std::to_string(e->var()) +
+                                       " rebound by nested quantifier");
+      }
+      Status s = ValidateImpl(e->child(), bound);
+      bound->erase(e->var());
+      return s;
+    }
+  }
+  return Status::Internal("unreachable expression kind");
+}
+}  // namespace
+
+QueryShape ComputeQueryShape(const CalcExprPtr& e) {
+  QueryShape s;
+  ShapeImpl(e, &s);
+  return s;
+}
+
+Status ValidateQuery(const CalcQuery& q) {
+  if (!q.expr) return Status::InvalidArgument("query has no expression");
+  std::set<VarId> bound;
+  FTS_RETURN_IF_ERROR(ValidateImpl(q.expr, &bound));
+  std::set<VarId> free = FreeVars(q.expr);
+  if (!free.empty()) {
+    return Status::InvalidArgument("query expression has free position variable p" +
+                                   std::to_string(*free.begin()));
+  }
+  return Status::OK();
+}
+
+CalcExprPtr DesugarForAll(const CalcExprPtr& e) {
+  if (!e) return e;
+  switch (e->kind()) {
+    case CalcExpr::Kind::kHasPos:
+    case CalcExpr::Kind::kHasToken:
+    case CalcExpr::Kind::kPred:
+      return e;
+    case CalcExpr::Kind::kNot:
+      return CalcExpr::Not(DesugarForAll(e->child()));
+    case CalcExpr::Kind::kAnd:
+      return CalcExpr::And(DesugarForAll(e->left()), DesugarForAll(e->right()));
+    case CalcExpr::Kind::kOr:
+      return CalcExpr::Or(DesugarForAll(e->left()), DesugarForAll(e->right()));
+    case CalcExpr::Kind::kExists:
+      return CalcExpr::Exists(e->var(), DesugarForAll(e->child()));
+    case CalcExpr::Kind::kForAll:
+      // ∀v(hasPos ⇒ B)  ≡  ¬∃v(hasPos ∧ ¬B)
+      return CalcExpr::Not(
+          CalcExpr::Exists(e->var(), CalcExpr::Not(DesugarForAll(e->child()))));
+  }
+  return e;
+}
+
+namespace {
+void MaxVarImpl(const CalcExprPtr& e, VarId* mx) {
+  if (!e) return;
+  switch (e->kind()) {
+    case CalcExpr::Kind::kHasPos:
+    case CalcExpr::Kind::kHasToken:
+      *mx = std::max(*mx, e->var() + 1);
+      return;
+    case CalcExpr::Kind::kPred:
+      for (VarId v : e->pred().vars) *mx = std::max(*mx, v + 1);
+      return;
+    case CalcExpr::Kind::kNot:
+      MaxVarImpl(e->child(), mx);
+      return;
+    case CalcExpr::Kind::kAnd:
+    case CalcExpr::Kind::kOr:
+      MaxVarImpl(e->left(), mx);
+      MaxVarImpl(e->right(), mx);
+      return;
+    case CalcExpr::Kind::kExists:
+    case CalcExpr::Kind::kForAll:
+      *mx = std::max(*mx, e->var() + 1);
+      MaxVarImpl(e->child(), mx);
+      return;
+  }
+}
+}  // namespace
+
+VarId NextFreeVarId(const CalcExprPtr& e) {
+  VarId mx = 0;
+  MaxVarImpl(e, &mx);
+  return mx;
+}
+
+}  // namespace fts

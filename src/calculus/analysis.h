@@ -1,0 +1,49 @@
+// Static analysis over FTC formulas: free variables, token collection,
+// validation, and the normalizations used by the compiler and classifiers
+// (∀ desugaring and negation sinking).
+
+#ifndef FTS_CALCULUS_ANALYSIS_H_
+#define FTS_CALCULUS_ANALYSIS_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "calculus/ftc.h"
+#include "common/status.h"
+
+namespace fts {
+
+/// Free position variables of `e` (variables used but not bound by an
+/// enclosing quantifier).
+std::set<VarId> FreeVars(const CalcExprPtr& e);
+
+/// Distinct token literals mentioned anywhere in `e` (the set T_Q used in
+/// the incompleteness proofs and the toks_Q complexity parameter).
+std::set<std::string> CollectTokens(const CalcExprPtr& e);
+
+/// Query size parameters of paper Section 5.1.1.
+struct QueryShape {
+  uint32_t toks = 0;   ///< toks_Q: token literals + ANY occurrences
+  uint32_t preds = 0;  ///< preds_Q: predicate applications
+  uint32_t ops = 0;    ///< ops_Q: NOT/AND/OR/SOME/EVERY operations
+};
+
+/// Computes toks_Q / preds_Q / ops_Q for a formula. hasPos counts as the
+/// universal token ANY when it appears outside its binding quantifier sugar.
+QueryShape ComputeQueryShape(const CalcExprPtr& e);
+
+/// Validates a complete query: expression present, no free variables, no
+/// rebinding of an in-scope variable, predicate signatures respected.
+Status ValidateQuery(const CalcQuery& q);
+
+/// Replaces every ∀v(body) with ¬∃v(¬body). The result is logically
+/// equivalent and contains no kForAll nodes.
+CalcExprPtr DesugarForAll(const CalcExprPtr& e);
+
+/// Largest VarId mentioned in `e` plus one (safe fresh-variable start).
+VarId NextFreeVarId(const CalcExprPtr& e);
+
+}  // namespace fts
+
+#endif  // FTS_CALCULUS_ANALYSIS_H_

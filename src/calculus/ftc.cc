@@ -1,0 +1,112 @@
+#include "calculus/ftc.h"
+
+namespace fts {
+
+// The private constructor is only reachable from the factories, which fully
+// initialize each node before handing out the immutable pointer.
+
+CalcExprPtr CalcExpr::HasPos(VarId var) {
+  auto e = std::shared_ptr<CalcExpr>(new CalcExpr());
+  e->kind_ = Kind::kHasPos;
+  e->var_ = var;
+  return e;
+}
+
+CalcExprPtr CalcExpr::HasToken(VarId var, std::string token) {
+  auto e = std::shared_ptr<CalcExpr>(new CalcExpr());
+  e->kind_ = Kind::kHasToken;
+  e->var_ = var;
+  e->token_ = std::move(token);
+  return e;
+}
+
+CalcExprPtr CalcExpr::Pred(const PositionPredicate* pred, std::vector<VarId> vars,
+                           std::vector<int64_t> consts) {
+  auto e = std::shared_ptr<CalcExpr>(new CalcExpr());
+  e->kind_ = Kind::kPred;
+  e->pred_.pred = pred;
+  e->pred_.vars = std::move(vars);
+  e->pred_.consts = std::move(consts);
+  return e;
+}
+
+CalcExprPtr CalcExpr::Not(CalcExprPtr child) {
+  auto e = std::shared_ptr<CalcExpr>(new CalcExpr());
+  e->kind_ = Kind::kNot;
+  e->left_ = std::move(child);
+  return e;
+}
+
+CalcExprPtr CalcExpr::And(CalcExprPtr l, CalcExprPtr r) {
+  auto e = std::shared_ptr<CalcExpr>(new CalcExpr());
+  e->kind_ = Kind::kAnd;
+  e->left_ = std::move(l);
+  e->right_ = std::move(r);
+  return e;
+}
+
+CalcExprPtr CalcExpr::Or(CalcExprPtr l, CalcExprPtr r) {
+  auto e = std::shared_ptr<CalcExpr>(new CalcExpr());
+  e->kind_ = Kind::kOr;
+  e->left_ = std::move(l);
+  e->right_ = std::move(r);
+  return e;
+}
+
+CalcExprPtr CalcExpr::Exists(VarId var, CalcExprPtr body) {
+  auto e = std::shared_ptr<CalcExpr>(new CalcExpr());
+  e->kind_ = Kind::kExists;
+  e->var_ = var;
+  e->left_ = std::move(body);
+  return e;
+}
+
+CalcExprPtr CalcExpr::ForAll(VarId var, CalcExprPtr body) {
+  auto e = std::shared_ptr<CalcExpr>(new CalcExpr());
+  e->kind_ = Kind::kForAll;
+  e->var_ = var;
+  e->left_ = std::move(body);
+  return e;
+}
+
+std::string CalcExpr::ToString() const {
+  switch (kind_) {
+    case Kind::kHasPos:
+      return "hasPos(n,p" + std::to_string(var_) + ")";
+    case Kind::kHasToken:
+      return "hasToken(p" + std::to_string(var_) + ",'" + token_ + "')";
+    case Kind::kPred: {
+      std::string out(pred_.pred->name());
+      out += "(";
+      bool first = true;
+      for (VarId v : pred_.vars) {
+        if (!first) out += ",";
+        first = false;
+        out += "p" + std::to_string(v);
+      }
+      for (int64_t c : pred_.consts) {
+        out += "," + std::to_string(c);
+      }
+      out += ")";
+      return out;
+    }
+    case Kind::kNot:
+      return "not(" + left_->ToString() + ")";
+    case Kind::kAnd:
+      return "(" + left_->ToString() + " and " + right_->ToString() + ")";
+    case Kind::kOr:
+      return "(" + left_->ToString() + " or " + right_->ToString() + ")";
+    case Kind::kExists:
+      return "exists p" + std::to_string(var_) + "(" + left_->ToString() + ")";
+    case Kind::kForAll:
+      return "forall p" + std::to_string(var_) + "(" + left_->ToString() + ")";
+  }
+  return "?";
+}
+
+std::string CalcQuery::ToString() const {
+  return "{node | SearchContext(node) and " +
+         (expr ? expr->ToString() : std::string("true")) + "}";
+}
+
+}  // namespace fts

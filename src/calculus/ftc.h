@@ -1,0 +1,103 @@
+// Full-Text Calculus (FTC), paper Section 2.2.
+//
+// A calculus query is { node | SearchContext(node) ∧ QueryExpr(node) } where
+// QueryExpr is a first-order formula over position variables built from:
+//
+//   hasPos(node, v)        — v ranges over Positions(node)
+//   hasToken(v, 'tok')     — Token(v) = tok
+//   pred(v1..vm, c1..cq)   — extensible position predicates
+//   ¬e, e1 ∧ e2, e1 ∨ e2
+//   ∃v (hasPos(node,v) ∧ e)        (safe existential)
+//   ∀v (hasPos(node,v) ⇒ e)        (safe universal)
+//
+// The quantifier forms bake in the paper's safety requirement: quantified
+// variables only range over the positions of the context node, so every
+// query is evaluable from the node's own positions and tokens.
+//
+// Expressions are immutable and shared (shared_ptr<const CalcExpr>); the
+// factory functions below are the only way to build them.
+
+#ifndef FTS_CALCULUS_FTC_H_
+#define FTS_CALCULUS_FTC_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "predicates/predicate.h"
+
+namespace fts {
+
+/// A position variable. Ids are arbitrary but must be unique per binder
+/// within one query (the translators guarantee this).
+using VarId = uint32_t;
+
+class CalcExpr;
+using CalcExprPtr = std::shared_ptr<const CalcExpr>;
+
+/// An application of a position predicate to calculus variables.
+struct CalcPredicateCall {
+  const PositionPredicate* pred = nullptr;
+  std::vector<VarId> vars;
+  std::vector<int64_t> consts;
+};
+
+/// Immutable FTC formula node.
+class CalcExpr {
+ public:
+  enum class Kind {
+    kHasPos,    ///< hasPos(node, var)
+    kHasToken,  ///< hasToken(var, token)
+    kPred,      ///< pred(vars..., consts...)
+    kNot,       ///< ¬ child
+    kAnd,       ///< left ∧ right
+    kOr,        ///< left ∨ right
+    kExists,    ///< ∃var (hasPos(node,var) ∧ child)
+    kForAll,    ///< ∀var (hasPos(node,var) ⇒ child)
+  };
+
+  Kind kind() const { return kind_; }
+  VarId var() const { return var_; }
+  const std::string& token() const { return token_; }
+  const CalcPredicateCall& pred() const { return pred_; }
+  const CalcExprPtr& child() const { return left_; }
+  const CalcExprPtr& left() const { return left_; }
+  const CalcExprPtr& right() const { return right_; }
+
+  /// Human-readable rendering, e.g. "∃p1(hasToken(p1,'test') ∧ ...)"
+  /// printed with ASCII connectives (exists/forall/and/or/not).
+  std::string ToString() const;
+
+  // Factories.
+  static CalcExprPtr HasPos(VarId var);
+  static CalcExprPtr HasToken(VarId var, std::string token);
+  static CalcExprPtr Pred(const PositionPredicate* pred, std::vector<VarId> vars,
+                          std::vector<int64_t> consts);
+  static CalcExprPtr Not(CalcExprPtr e);
+  static CalcExprPtr And(CalcExprPtr l, CalcExprPtr r);
+  static CalcExprPtr Or(CalcExprPtr l, CalcExprPtr r);
+  static CalcExprPtr Exists(VarId var, CalcExprPtr body);
+  static CalcExprPtr ForAll(VarId var, CalcExprPtr body);
+
+ private:
+  CalcExpr() = default;
+
+  Kind kind_;
+  VarId var_ = 0;
+  std::string token_;
+  CalcPredicateCall pred_;
+  CalcExprPtr left_, right_;
+};
+
+/// A complete calculus query: { node | SearchContext(node) ∧ expr(node) }.
+/// `expr` must be closed (no free position variables); Validate() checks.
+struct CalcQuery {
+  CalcExprPtr expr;
+
+  std::string ToString() const;
+};
+
+}  // namespace fts
+
+#endif  // FTS_CALCULUS_FTC_H_

@@ -1,0 +1,98 @@
+#include "calculus/naive_eval.h"
+
+#include <unordered_map>
+
+#include "calculus/analysis.h"
+
+namespace fts {
+
+namespace {
+
+// Environment binding in-scope variables to positions (by index into the
+// node's position array, so hasToken can read the parallel token array).
+using Env = std::unordered_map<VarId, size_t>;
+
+bool EvalRec(const CalcExprPtr& e, const TokenizedDocument& doc, const Corpus& corpus,
+             Env* env) {
+  switch (e->kind()) {
+    case CalcExpr::Kind::kHasPos:
+      // A bound variable always denotes a position of this node (the safe
+      // quantifier forms guarantee it), so hasPos is true whenever bound.
+      return env->count(e->var()) > 0;
+    case CalcExpr::Kind::kHasToken: {
+      auto it = env->find(e->var());
+      if (it == env->end()) return false;
+      TokenId want = corpus.LookupToken(e->token());
+      if (want == kInvalidToken) return false;
+      return doc.tokens[it->second] == want;
+    }
+    case CalcExpr::Kind::kPred: {
+      std::vector<PositionInfo> args;
+      args.reserve(e->pred().vars.size());
+      for (VarId v : e->pred().vars) {
+        auto it = env->find(v);
+        if (it == env->end()) return false;
+        args.push_back(doc.positions[it->second]);
+      }
+      return e->pred().pred->Eval(args, e->pred().consts);
+    }
+    case CalcExpr::Kind::kNot:
+      return !EvalRec(e->child(), doc, corpus, env);
+    case CalcExpr::Kind::kAnd:
+      return EvalRec(e->left(), doc, corpus, env) &&
+             EvalRec(e->right(), doc, corpus, env);
+    case CalcExpr::Kind::kOr:
+      return EvalRec(e->left(), doc, corpus, env) ||
+             EvalRec(e->right(), doc, corpus, env);
+    case CalcExpr::Kind::kExists: {
+      for (size_t i = 0; i < doc.positions.size(); ++i) {
+        (*env)[e->var()] = i;
+        if (EvalRec(e->child(), doc, corpus, env)) {
+          env->erase(e->var());
+          return true;
+        }
+      }
+      env->erase(e->var());
+      return false;
+    }
+    case CalcExpr::Kind::kForAll: {
+      for (size_t i = 0; i < doc.positions.size(); ++i) {
+        (*env)[e->var()] = i;
+        if (!EvalRec(e->child(), doc, corpus, env)) {
+          env->erase(e->var());
+          return false;
+        }
+      }
+      env->erase(e->var());
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+StatusOr<std::vector<NodeId>> NaiveCalculusEvaluator::Evaluate(const CalcQuery& q) const {
+  FTS_RETURN_IF_ERROR(ValidateQuery(q));
+  std::vector<NodeId> out;
+  for (NodeId n = 0; n < corpus_->num_nodes(); ++n) {
+    Env env;
+    if (EvalRec(q.expr, corpus_->doc(n), *corpus_, &env)) out.push_back(n);
+  }
+  return out;
+}
+
+StatusOr<bool> NaiveCalculusEvaluator::EvalOnNode(const CalcExprPtr& e, NodeId node) const {
+  if (!e) return Status::InvalidArgument("null expression");
+  if (node >= corpus_->num_nodes()) {
+    return Status::InvalidArgument("node id out of range");
+  }
+  std::set<VarId> free = FreeVars(e);
+  if (!free.empty()) {
+    return Status::InvalidArgument("expression has free variables");
+  }
+  Env env;
+  return EvalRec(e, corpus_->doc(node), *corpus_, &env);
+}
+
+}  // namespace fts

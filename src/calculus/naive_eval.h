@@ -1,0 +1,38 @@
+// Reference evaluator for FTC queries: direct first-order-logic evaluation
+// per context node, quantifying over the node's positions.
+//
+// Deliberately simple and obviously correct — it is the oracle against which
+// every optimized engine (BOOL merge, PPRED/NPRED pipelines, COMP algebra)
+// is differentially tested. Its complexity is O(pos_per_cnode^quantifiers)
+// per node, so only use it on small corpora.
+
+#ifndef FTS_CALCULUS_NAIVE_EVAL_H_
+#define FTS_CALCULUS_NAIVE_EVAL_H_
+
+#include <vector>
+
+#include "calculus/ftc.h"
+#include "common/status.h"
+#include "text/corpus.h"
+
+namespace fts {
+
+/// Evaluates FTC queries by brute force over a Corpus.
+class NaiveCalculusEvaluator {
+ public:
+  /// `corpus` must outlive the evaluator.
+  explicit NaiveCalculusEvaluator(const Corpus* corpus) : corpus_(corpus) {}
+
+  /// Nodes satisfying `q`, in increasing id order.
+  StatusOr<std::vector<NodeId>> Evaluate(const CalcQuery& q) const;
+
+  /// Truth value of a closed expression on one node.
+  StatusOr<bool> EvalOnNode(const CalcExprPtr& e, NodeId node) const;
+
+ private:
+  const Corpus* corpus_;
+};
+
+}  // namespace fts
+
+#endif  // FTS_CALCULUS_NAIVE_EVAL_H_

@@ -1,0 +1,56 @@
+// Machine-independent cost counters collected during query evaluation.
+//
+// The paper's complexity model (Section 5.1) counts sequential inverted-list
+// accesses; these counters let the benchmark harness validate the *shape* of
+// the complexity hierarchy (Figure 3) without depending on wall-clock noise.
+
+#ifndef FTS_COMMON_METRICS_H_
+#define FTS_COMMON_METRICS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace fts {
+
+/// Per-query evaluation cost counters. Every engine resets and fills one of
+/// these for each Evaluate() call; all counters are cumulative within a call.
+struct EvalCounters {
+  /// Inverted-list entries visited via nextEntry() (one per (node, token)).
+  uint64_t entries_scanned = 0;
+  /// Individual positions read from PosLists.
+  uint64_t positions_scanned = 0;
+  /// Tuples materialized by the algebra engine (COMP only; pipelined
+  /// engines materialize nothing).
+  uint64_t tuples_materialized = 0;
+  /// Position-predicate evaluations.
+  uint64_t predicate_evals = 0;
+  /// advanceNode/advancePosition calls on pipelined cursors.
+  uint64_t cursor_ops = 0;
+  /// Ordering permutations executed (NPRED only; 1 for everything else).
+  uint64_t orderings_run = 0;
+
+  void Reset() { *this = EvalCounters{}; }
+
+  EvalCounters& operator+=(const EvalCounters& o) {
+    entries_scanned += o.entries_scanned;
+    positions_scanned += o.positions_scanned;
+    tuples_materialized += o.tuples_materialized;
+    predicate_evals += o.predicate_evals;
+    cursor_ops += o.cursor_ops;
+    orderings_run += o.orderings_run;
+    return *this;
+  }
+
+  std::string ToString() const {
+    return "entries=" + std::to_string(entries_scanned) +
+           " positions=" + std::to_string(positions_scanned) +
+           " tuples=" + std::to_string(tuples_materialized) +
+           " preds=" + std::to_string(predicate_evals) +
+           " cursor_ops=" + std::to_string(cursor_ops) +
+           " orderings=" + std::to_string(orderings_run);
+  }
+};
+
+}  // namespace fts
+
+#endif  // FTS_COMMON_METRICS_H_

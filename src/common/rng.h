@@ -1,0 +1,61 @@
+// Seeded pseudo-random number generation for workload synthesis.
+//
+// Everything driven by Rng is deterministic given the seed, which makes the
+// synthetic corpora and query workloads in src/workload reproducible across
+// runs and machines (the benchmark harness depends on this).
+
+#ifndef FTS_COMMON_RNG_H_
+#define FTS_COMMON_RNG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace fts {
+
+/// Deterministic 64-bit PRNG (splitmix64-seeded xoshiro256**).
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  /// Uniform 64-bit value.
+  uint64_t Next();
+
+  /// Uniform integer in [0, bound); bound must be > 0.
+  uint64_t Uniform(uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive; requires lo <= hi.
+  uint64_t UniformRange(uint64_t lo, uint64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Returns true with probability p (clamped to [0,1]).
+  bool Bernoulli(double p);
+
+ private:
+  uint64_t state_[4];
+};
+
+/// Samples ranks from a Zipf(s) distribution over {0, ..., n-1} using a
+/// precomputed inverse-CDF table; rank 0 is the most frequent outcome.
+/// Matches the frequency shape of natural-language vocabularies, which is
+/// what controls inverted-list entry counts in the paper's experiments.
+class ZipfSampler {
+ public:
+  /// `n` is the universe size, `s` the skew exponent (s=1.0 ~ English text).
+  ZipfSampler(size_t n, double s);
+
+  /// Draws one rank in [0, n).
+  size_t Sample(Rng* rng) const;
+
+  /// Probability mass of `rank` under this distribution.
+  double Probability(size_t rank) const;
+
+ private:
+  std::vector<double> cdf_;  // cdf_[i] = P(rank <= i)
+};
+
+}  // namespace fts
+
+#endif  // FTS_COMMON_RNG_H_

@@ -1,0 +1,134 @@
+// Status and StatusOr: exception-free error handling for the ftsearch
+// library, in the style of Arrow / RocksDB / absl.
+//
+// All fallible public APIs return Status (or StatusOr<T> when they also
+// produce a value). Ok() is the success singleton; error statuses carry a
+// code and a human-readable message (for parsers, the message embeds the
+// offending query offset).
+
+#ifndef FTS_COMMON_STATUS_H_
+#define FTS_COMMON_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace fts {
+
+/// Error category for a failed operation.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   ///< malformed input (bad query text, bad parameters)
+  kNotFound,          ///< referenced entity does not exist (token, predicate)
+  kUnsupported,       ///< operation outside the implemented language subset
+  kCorruption,        ///< persistent index data failed validation
+  kIOError,           ///< underlying file operation failed
+  kInternal,          ///< invariant violation inside the library
+};
+
+/// Returns the canonical spelling of a status code, e.g. "InvalidArgument".
+const char* StatusCodeToString(StatusCode code);
+
+/// Result of a fallible operation: a code plus (for errors) a message.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// Constructs a status with the given code and message.
+  Status(StatusCode code, std::string msg) : code_(code), msg_(std::move(msg)) {}
+
+  /// Success singleton.
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status Unsupported(std::string msg) {
+    return Status(StatusCode::kUnsupported, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  /// "OK" or "<Code>: <message>"; intended for logs and test failures.
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string msg_;
+};
+
+/// Either a value of type T or an error Status. Dereferencing a non-OK
+/// StatusOr is a programming error (asserts in debug builds).
+template <typename T>
+class StatusOr {
+ public:
+  /// Implicit construction from a value (success).
+  StatusOr(T value) : status_(Status::OK()), value_(std::move(value)) {}  // NOLINT
+  /// Implicit construction from an error status.
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "OK StatusOr must carry a value");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace fts
+
+/// Propagates an error status to the caller; evaluates `expr` once.
+#define FTS_RETURN_IF_ERROR(expr)                  \
+  do {                                             \
+    ::fts::Status _fts_status = (expr);            \
+    if (!_fts_status.ok()) return _fts_status;     \
+  } while (0)
+
+/// Assigns the value of a StatusOr expression to `lhs`, or propagates the
+/// error. `lhs` may be a declaration, e.g. FTS_ASSIGN_OR_RETURN(auto x, F()).
+#define FTS_ASSIGN_OR_RETURN(lhs, expr)                      \
+  FTS_ASSIGN_OR_RETURN_IMPL_(FTS_CONCAT_(_fts_sor, __LINE__), lhs, expr)
+
+#define FTS_CONCAT_INNER_(a, b) a##b
+#define FTS_CONCAT_(a, b) FTS_CONCAT_INNER_(a, b)
+#define FTS_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr)           \
+  auto tmp = (expr);                                         \
+  if (!tmp.ok()) return tmp.status();                        \
+  lhs = std::move(tmp).value()
+
+#endif  // FTS_COMMON_STATUS_H_

@@ -1,0 +1,50 @@
+#include "common/varint.h"
+
+#include <limits>
+
+namespace fts {
+
+void PutVarint64(std::string* out, uint64_t value) {
+  while (value >= 0x80) {
+    out->push_back(static_cast<char>((value & 0x7F) | 0x80));
+    value >>= 7;
+  }
+  out->push_back(static_cast<char>(value));
+}
+
+void PutVarint32(std::string* out, uint32_t value) {
+  PutVarint64(out, value);
+}
+
+Status GetVarint64(const std::string& data, size_t* offset, uint64_t* value) {
+  uint64_t result = 0;
+  int shift = 0;
+  size_t pos = *offset;
+  while (true) {
+    if (pos >= data.size()) {
+      return Status::Corruption("truncated varint at offset " + std::to_string(*offset));
+    }
+    if (shift >= 64) {
+      return Status::Corruption("varint too long at offset " + std::to_string(*offset));
+    }
+    uint8_t byte = static_cast<uint8_t>(data[pos++]);
+    result |= static_cast<uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) break;
+    shift += 7;
+  }
+  *offset = pos;
+  *value = result;
+  return Status::OK();
+}
+
+Status GetVarint32(const std::string& data, size_t* offset, uint32_t* value) {
+  uint64_t wide = 0;
+  FTS_RETURN_IF_ERROR(GetVarint64(data, offset, &wide));
+  if (wide > std::numeric_limits<uint32_t>::max()) {
+    return Status::Corruption("varint32 overflow at offset " + std::to_string(*offset));
+  }
+  *value = static_cast<uint32_t>(wide);
+  return Status::OK();
+}
+
+}  // namespace fts

@@ -1,0 +1,31 @@
+// LEB128-style variable-length integer coding used by the on-disk inverted
+// index format. Posting lists store node ids and position offsets as deltas,
+// so most values fit in one or two bytes.
+
+#ifndef FTS_COMMON_VARINT_H_
+#define FTS_COMMON_VARINT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace fts {
+
+/// Appends `value` to `out` as an unsigned LEB128 varint (1..10 bytes).
+void PutVarint64(std::string* out, uint64_t value);
+
+/// Appends `value` as a 32-bit varint (1..5 bytes).
+void PutVarint32(std::string* out, uint32_t value);
+
+/// Decodes a varint from `data` starting at `*offset`, advancing `*offset`
+/// past the encoded bytes. Returns Corruption if the input is truncated or
+/// the encoding exceeds 10 bytes.
+Status GetVarint64(const std::string& data, size_t* offset, uint64_t* value);
+
+/// 32-bit variant of GetVarint64; fails on values that overflow 32 bits.
+Status GetVarint32(const std::string& data, size_t* offset, uint32_t* value);
+
+}  // namespace fts
+
+#endif  // FTS_COMMON_VARINT_H_

@@ -1,0 +1,127 @@
+#include "compile/fta_to_ftc.h"
+
+#include <set>
+
+namespace fts {
+
+namespace {
+
+/// A closed formula that is true on every context node ("SearchContext" has
+/// no position constraint): ∃v hasPos ∨ ¬∃v hasPos.
+CalcExprPtr TrueFormula(VarId* next_fresh) {
+  VarId v1 = (*next_fresh)++;
+  VarId v2 = (*next_fresh)++;
+  return CalcExpr::Or(CalcExpr::Exists(v1, CalcExpr::HasPos(v1)),
+                      CalcExpr::Not(CalcExpr::Exists(v2, CalcExpr::HasPos(v2))));
+}
+
+}  // namespace
+
+StatusOr<CalcExprPtr> TranslateFtaToCalc(const FtaExprPtr& expr,
+                                         const std::vector<VarId>& out_vars,
+                                         VarId* next_fresh) {
+  if (!expr) return Status::InvalidArgument("null algebra expression");
+  if (out_vars.size() != expr->num_cols()) {
+    return Status::InvalidArgument("out_vars size " + std::to_string(out_vars.size()) +
+                                   " does not match expression columns " +
+                                   std::to_string(expr->num_cols()));
+  }
+  switch (expr->kind()) {
+    case FtaExpr::Kind::kSearchContext:
+      return TrueFormula(next_fresh);
+    case FtaExpr::Kind::kHasPos:
+      return CalcExpr::HasPos(out_vars[0]);
+    case FtaExpr::Kind::kToken:
+      return CalcExpr::HasToken(out_vars[0], expr->token());
+    case FtaExpr::Kind::kProject: {
+      const FtaExprPtr& child = expr->child();
+      std::vector<VarId> child_vars(child->num_cols(), 0);
+      std::vector<bool> kept(child->num_cols(), false);
+      for (size_t i = 0; i < expr->project_cols().size(); ++i) {
+        const int c = expr->project_cols()[i];
+        if (kept[c]) {
+          return Status::Unsupported(
+              "projection duplicating a column cannot be translated");
+        }
+        kept[c] = true;
+        child_vars[c] = out_vars[i];
+      }
+      std::vector<VarId> dropped;
+      for (size_t c = 0; c < child_vars.size(); ++c) {
+        if (!kept[c]) {
+          child_vars[c] = (*next_fresh)++;
+          dropped.push_back(child_vars[c]);
+        }
+      }
+      FTS_ASSIGN_OR_RETURN(CalcExprPtr body,
+                           TranslateFtaToCalc(child, child_vars, next_fresh));
+      // Innermost dropped variable quantified first.
+      for (auto it = dropped.rbegin(); it != dropped.rend(); ++it) {
+        body = CalcExpr::Exists(*it, std::move(body));
+      }
+      return body;
+    }
+    case FtaExpr::Kind::kJoin: {
+      const size_t lc = expr->left()->num_cols();
+      std::vector<VarId> lv(out_vars.begin(), out_vars.begin() + lc);
+      std::vector<VarId> rv(out_vars.begin() + lc, out_vars.end());
+      FTS_ASSIGN_OR_RETURN(CalcExprPtr l,
+                           TranslateFtaToCalc(expr->left(), lv, next_fresh));
+      FTS_ASSIGN_OR_RETURN(CalcExprPtr r,
+                           TranslateFtaToCalc(expr->right(), rv, next_fresh));
+      return CalcExpr::And(std::move(l), std::move(r));
+    }
+    case FtaExpr::Kind::kSelect: {
+      FTS_ASSIGN_OR_RETURN(CalcExprPtr body,
+                           TranslateFtaToCalc(expr->child(), out_vars, next_fresh));
+      std::vector<VarId> pred_vars;
+      pred_vars.reserve(expr->pred().cols.size());
+      for (int c : expr->pred().cols) pred_vars.push_back(out_vars[c]);
+      CalcExprPtr p = CalcExpr::Pred(expr->pred().pred, std::move(pred_vars),
+                                     expr->pred().consts);
+      return CalcExpr::And(std::move(body), std::move(p));
+    }
+    case FtaExpr::Kind::kUnion: {
+      FTS_ASSIGN_OR_RETURN(CalcExprPtr l,
+                           TranslateFtaToCalc(expr->left(), out_vars, next_fresh));
+      FTS_ASSIGN_OR_RETURN(CalcExprPtr r,
+                           TranslateFtaToCalc(expr->right(), out_vars, next_fresh));
+      return CalcExpr::Or(std::move(l), std::move(r));
+    }
+    case FtaExpr::Kind::kIntersect: {
+      FTS_ASSIGN_OR_RETURN(CalcExprPtr l,
+                           TranslateFtaToCalc(expr->left(), out_vars, next_fresh));
+      FTS_ASSIGN_OR_RETURN(CalcExprPtr r,
+                           TranslateFtaToCalc(expr->right(), out_vars, next_fresh));
+      return CalcExpr::And(std::move(l), std::move(r));
+    }
+    case FtaExpr::Kind::kAntiJoin: {
+      FTS_ASSIGN_OR_RETURN(CalcExprPtr l,
+                           TranslateFtaToCalc(expr->left(), out_vars, next_fresh));
+      FTS_ASSIGN_OR_RETURN(CalcExprPtr r,
+                           TranslateFtaToCalc(expr->right(), {}, next_fresh));
+      return CalcExpr::And(std::move(l), CalcExpr::Not(std::move(r)));
+    }
+    case FtaExpr::Kind::kDifference: {
+      FTS_ASSIGN_OR_RETURN(CalcExprPtr l,
+                           TranslateFtaToCalc(expr->left(), out_vars, next_fresh));
+      FTS_ASSIGN_OR_RETURN(CalcExprPtr r,
+                           TranslateFtaToCalc(expr->right(), out_vars, next_fresh));
+      return CalcExpr::And(std::move(l), CalcExpr::Not(std::move(r)));
+    }
+  }
+  return Status::Internal("unreachable algebra kind");
+}
+
+StatusOr<CalcQuery> TranslateFtaQuery(const FtaExprPtr& expr) {
+  if (!expr) return Status::InvalidArgument("null algebra expression");
+  if (expr->num_cols() != 0) {
+    return Status::InvalidArgument(
+        "algebra queries must produce a single-attribute (CNode) relation");
+  }
+  VarId fresh = 0;
+  FTS_ASSIGN_OR_RETURN(CalcExprPtr body, TranslateFtaToCalc(expr, {}, &fresh));
+  return CalcQuery{std::move(body)};
+}
+
+}  // namespace fts

@@ -1,0 +1,34 @@
+// FTA -> FTC translation (Lemma 1, the other half of Theorem 1).
+//
+// For an algebra expression evaluating to R(CNode, att1..attk) the
+// translator produces a calculus formula over k designated free variables —
+// one per column — such that { (n, p1..pk) | SearchContext(n) ∧ ⋀ hasPos ∧
+// CalcExpr } equals R. Applied to a zero-column algebra query it yields a
+// closed calculus query, which the round-trip equivalence tests evaluate
+// with the naive oracle.
+
+#ifndef FTS_COMPILE_FTA_TO_FTC_H_
+#define FTS_COMPILE_FTA_TO_FTC_H_
+
+#include <vector>
+
+#include "algebra/fta.h"
+#include "calculus/ftc.h"
+#include "common/status.h"
+
+namespace fts {
+
+/// Translates `expr` into a calculus formula whose free variables are
+/// `out_vars` (one per column, in column order). `out_vars.size()` must
+/// equal expr->num_cols(); `*next_fresh` supplies fresh variable ids for
+/// projected-away columns and must exceed every id in out_vars.
+StatusOr<CalcExprPtr> TranslateFtaToCalc(const FtaExprPtr& expr,
+                                         const std::vector<VarId>& out_vars,
+                                         VarId* next_fresh);
+
+/// Translates a zero-column algebra query into a closed calculus query.
+StatusOr<CalcQuery> TranslateFtaQuery(const FtaExprPtr& expr);
+
+}  // namespace fts
+
+#endif  // FTS_COMPILE_FTA_TO_FTC_H_

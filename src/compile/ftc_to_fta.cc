@@ -1,0 +1,333 @@
+#include "compile/ftc_to_fta.h"
+
+#include <algorithm>
+#include <set>
+
+#include "calculus/analysis.h"
+
+namespace fts {
+
+namespace {
+
+const PositionPredicate* SamePos() {
+  static const PositionPredicate* p = PredicateRegistry::Default().Find("samepos");
+  return p;
+}
+
+int FindCol(const std::vector<VarId>& cols, VarId v) {
+  auto it = std::find(cols.begin(), cols.end(), v);
+  return it == cols.end() ? -1 : static_cast<int>(it - cols.begin());
+}
+
+/// Intermediate compilation result. `expr == nullptr` denotes the neutral
+/// ("true") relation. `deferred` holds quantifier-bound variables whose
+/// projection is postponed because a floating predicate still references
+/// them; they are physically present in `cols`.
+struct PartialExpr {
+  FtaExprPtr expr;
+  std::vector<VarId> cols;          // sorted, distinct
+  std::set<VarId> deferred;
+};
+
+/// Predicates not yet applied because their variables are not all bound to
+/// relation columns at the current scope. They float upward until covered.
+using PendingPreds = std::vector<CalcPredicateCall>;
+
+/// Natural join: FTA join on CNode + samepos selections on shared variables
+/// + projection to distinct, VarId-sorted columns. Neutral inputs pass
+/// through.
+StatusOr<PartialExpr> NaturalJoin(const PartialExpr& a, const PartialExpr& b) {
+  if (a.expr == nullptr) return b;
+  if (b.expr == nullptr) return a;
+  FtaExprPtr expr = FtaExpr::Join(a.expr, b.expr);
+  for (size_t i = 0; i < b.cols.size(); ++i) {
+    int ai = FindCol(a.cols, b.cols[i]);
+    if (ai < 0) continue;
+    AlgebraPredicateCall call;
+    call.pred = SamePos();
+    call.cols = {ai, static_cast<int>(a.cols.size() + i)};
+    FTS_ASSIGN_OR_RETURN(expr, FtaExpr::Select(std::move(expr), std::move(call)));
+  }
+  std::vector<VarId> vars;
+  std::set_union(a.cols.begin(), a.cols.end(), b.cols.begin(), b.cols.end(),
+                 std::back_inserter(vars));
+  std::vector<int> keep;
+  keep.reserve(vars.size());
+  for (VarId v : vars) {
+    int ai = FindCol(a.cols, v);
+    keep.push_back(ai >= 0 ? ai
+                           : static_cast<int>(a.cols.size()) + FindCol(b.cols, v));
+  }
+  FTS_ASSIGN_OR_RETURN(expr, FtaExpr::Project(std::move(expr), std::move(keep)));
+  PartialExpr out{std::move(expr), std::move(vars), a.deferred};
+  out.deferred.insert(b.deferred.begin(), b.deferred.end());
+  return out;
+}
+
+/// Extends `in` with a HasPos column for every variable of `want` it lacks.
+StatusOr<PartialExpr> PadVars(PartialExpr in, const std::set<VarId>& want) {
+  for (VarId v : want) {
+    if (in.expr != nullptr && FindCol(in.cols, v) >= 0) continue;
+    PartialExpr pos{FtaExpr::HasPos(), {v}, {}};
+    FTS_ASSIGN_OR_RETURN(in, NaturalJoin(in, pos));
+  }
+  return in;
+}
+
+/// Applies one predicate as a selection, padding missing variables.
+StatusOr<PartialExpr> ApplyPredicate(PartialExpr in, const CalcPredicateCall& call) {
+  std::set<VarId> vars(call.vars.begin(), call.vars.end());
+  FTS_ASSIGN_OR_RETURN(in, PadVars(std::move(in), vars));
+  AlgebraPredicateCall ac;
+  ac.pred = call.pred;
+  ac.consts = call.consts;
+  ac.cols.reserve(call.vars.size());
+  for (VarId v : call.vars) ac.cols.push_back(FindCol(in.cols, v));
+  FTS_ASSIGN_OR_RETURN(FtaExprPtr sel, FtaExpr::Select(in.expr, std::move(ac)));
+  return PartialExpr{std::move(sel), in.cols, in.deferred};
+}
+
+bool Covered(const PartialExpr& acc, const CalcPredicateCall& call) {
+  if (acc.expr == nullptr) return false;
+  for (VarId v : call.vars) {
+    if (FindCol(acc.cols, v) < 0) return false;
+  }
+  return true;
+}
+
+/// Projects out every deferred variable no pending predicate references.
+StatusOr<PartialExpr> ResolveDeferred(PartialExpr acc, const PendingPreds& pending) {
+  if (acc.deferred.empty() || acc.expr == nullptr) return acc;
+  std::set<VarId> still_needed;
+  for (const CalcPredicateCall& call : pending) {
+    still_needed.insert(call.vars.begin(), call.vars.end());
+  }
+  std::vector<int> keep;
+  std::vector<VarId> cols;
+  std::set<VarId> deferred;
+  for (size_t i = 0; i < acc.cols.size(); ++i) {
+    const VarId v = acc.cols[i];
+    if (acc.deferred.count(v) && !still_needed.count(v)) continue;  // drop
+    keep.push_back(static_cast<int>(i));
+    cols.push_back(v);
+    if (acc.deferred.count(v)) deferred.insert(v);
+  }
+  if (cols.size() == acc.cols.size()) return acc;  // nothing resolvable
+  FTS_ASSIGN_OR_RETURN(FtaExprPtr p, FtaExpr::Project(acc.expr, std::move(keep)));
+  return PartialExpr{std::move(p), std::move(cols), std::move(deferred)};
+}
+
+/// Applies every pending predicate whose variables are covered (or all of
+/// them when `force` is set, padding with HasPos). Positive predicates are
+/// applied before negative/general ones so that NPRED's `le` ordering
+/// selections sit beneath negative-predicate selections. Resolves deferred
+/// projections afterwards.
+StatusOr<PartialExpr> TryApplyPending(PartialExpr acc, PendingPreds* pending,
+                                      bool force) {
+  auto pass = [&](bool positives) -> Status {
+    for (size_t i = 0; i < pending->size();) {
+      const CalcPredicateCall& call = (*pending)[i];
+      const bool is_positive = call.pred->cls() == PredicateClass::kPositive;
+      if (is_positive != positives || (!force && !Covered(acc, call))) {
+        ++i;
+        continue;
+      }
+      FTS_ASSIGN_OR_RETURN(acc, ApplyPredicate(std::move(acc), call));
+      pending->erase(pending->begin() + static_cast<long>(i));
+    }
+    return Status::OK();
+  };
+  FTS_RETURN_IF_ERROR(pass(true));
+  FTS_RETURN_IF_ERROR(pass(false));
+  return ResolveDeferred(std::move(acc), *pending);
+}
+
+StatusOr<PartialExpr> CompileRec(const CalcExprPtr& e, PendingPreds* pending);
+
+/// Compiles a subformula in a fresh predicate scope: everything pending is
+/// forced and every deferral resolved before the result crosses a ∨ / ¬
+/// boundary (floating predicates across those would change semantics).
+StatusOr<PartialExpr> CompileSealed(const CalcExprPtr& e) {
+  PendingPreds pending;
+  FTS_ASSIGN_OR_RETURN(PartialExpr out, CompileRec(e, &pending));
+  FTS_ASSIGN_OR_RETURN(out, TryApplyPending(std::move(out), &pending, /*force=*/true));
+  if (!pending.empty()) {
+    return Status::Internal("forced application left pending predicates");
+  }
+  return out;
+}
+
+void FlattenAnd(const CalcExprPtr& e, std::vector<CalcExprPtr>* out) {
+  if (e->kind() == CalcExpr::Kind::kAnd) {
+    FlattenAnd(e->left(), out);
+    FlattenAnd(e->right(), out);
+  } else {
+    out->push_back(e);
+  }
+}
+
+/// The relation of all (node, p_1..p_k) combinations over variables `vars`.
+StatusOr<PartialExpr> PosUniverse(const std::set<VarId>& vars) {
+  PartialExpr out;
+  for (VarId v : vars) {
+    PartialExpr pos{FtaExpr::HasPos(), {v}, {}};
+    FTS_ASSIGN_OR_RETURN(out, NaturalJoin(out, pos));
+  }
+  return out;
+}
+
+StatusOr<PartialExpr> CompileAnd(const CalcExprPtr& e, PendingPreds* pending) {
+  std::vector<CalcExprPtr> conjuncts;
+  FlattenAnd(e, &conjuncts);
+
+  std::vector<CalcExprPtr> relational;
+  std::vector<CalcExprPtr> closed_nots;
+  for (const CalcExprPtr& c : conjuncts) {
+    if (c->kind() == CalcExpr::Kind::kPred) {
+      pending->push_back(c->pred());
+    } else if (c->kind() == CalcExpr::Kind::kNot && FreeVars(c->child()).empty()) {
+      closed_nots.push_back(c);
+    } else {
+      relational.push_back(c);
+    }
+  }
+  // Open negations join last (their universes are expensive).
+  std::stable_partition(relational.begin(), relational.end(), [](const CalcExprPtr& c) {
+    return c->kind() != CalcExpr::Kind::kNot;
+  });
+
+  PartialExpr acc;
+  for (const CalcExprPtr& c : relational) {
+    FTS_ASSIGN_OR_RETURN(PartialExpr part, CompileRec(c, pending));
+    FTS_ASSIGN_OR_RETURN(acc, NaturalJoin(acc, part));
+  }
+  FTS_ASSIGN_OR_RETURN(acc, TryApplyPending(std::move(acc), pending, /*force=*/false));
+
+  for (const CalcExprPtr& c : closed_nots) {
+    FTS_ASSIGN_OR_RETURN(PartialExpr body, CompileSealed(c->child()));
+    if (!body.cols.empty()) {
+      return Status::Internal("closed negation compiled to open relation");
+    }
+    if (acc.expr == nullptr) {
+      FTS_ASSIGN_OR_RETURN(FtaExprPtr d,
+                           FtaExpr::Difference(FtaExpr::SearchContext(), body.expr));
+      acc = PartialExpr{std::move(d), {}, {}};
+      continue;
+    }
+    FTS_ASSIGN_OR_RETURN(FtaExprPtr aj, FtaExpr::AntiJoin(acc.expr, body.expr));
+    acc = PartialExpr{std::move(aj), acc.cols, acc.deferred};
+  }
+  return acc;
+}
+
+StatusOr<PartialExpr> CompileRec(const CalcExprPtr& e, PendingPreds* pending) {
+  switch (e->kind()) {
+    case CalcExpr::Kind::kHasPos:
+      return PartialExpr{FtaExpr::HasPos(), {e->var()}, {}};
+    case CalcExpr::Kind::kHasToken:
+      return PartialExpr{FtaExpr::Token(e->token()), {e->var()}, {}};
+    case CalcExpr::Kind::kPred:
+      pending->push_back(e->pred());
+      return PartialExpr{};
+    case CalcExpr::Kind::kAnd:
+      return CompileAnd(e, pending);
+    case CalcExpr::Kind::kOr: {
+      FTS_ASSIGN_OR_RETURN(PartialExpr l, CompileSealed(e->left()));
+      FTS_ASSIGN_OR_RETURN(PartialExpr r, CompileSealed(e->right()));
+      std::set<VarId> want(l.cols.begin(), l.cols.end());
+      want.insert(r.cols.begin(), r.cols.end());
+      if (l.expr == nullptr || r.expr == nullptr) {
+        // A neutral branch makes the disjunction neutral over `want`.
+        return PosUniverse(want);
+      }
+      FTS_ASSIGN_OR_RETURN(l, PadVars(std::move(l), want));
+      FTS_ASSIGN_OR_RETURN(r, PadVars(std::move(r), want));
+      FTS_ASSIGN_OR_RETURN(FtaExprPtr u, FtaExpr::Union(l.expr, r.expr));
+      return PartialExpr{std::move(u), l.cols, {}};
+    }
+    case CalcExpr::Kind::kNot: {
+      FTS_ASSIGN_OR_RETURN(PartialExpr b, CompileSealed(e->child()));
+      if (b.expr == nullptr) {
+        return Status::Unsupported("negation of an unconstrained formula");
+      }
+      if (b.cols.empty()) {
+        FTS_ASSIGN_OR_RETURN(FtaExprPtr d,
+                             FtaExpr::Difference(FtaExpr::SearchContext(), b.expr));
+        return PartialExpr{std::move(d), {}, {}};
+      }
+      std::set<VarId> vars(b.cols.begin(), b.cols.end());
+      FTS_ASSIGN_OR_RETURN(PartialExpr universe, PosUniverse(vars));
+      FTS_ASSIGN_OR_RETURN(FtaExprPtr d, FtaExpr::Difference(universe.expr, b.expr));
+      return PartialExpr{std::move(d), universe.cols, {}};
+    }
+    case CalcExpr::Kind::kExists: {
+      FTS_ASSIGN_OR_RETURN(PartialExpr b, CompileRec(e->child(), pending));
+      const VarId v = e->var();
+      bool referenced = false;
+      for (const CalcPredicateCall& call : *pending) {
+        if (std::find(call.vars.begin(), call.vars.end(), v) != call.vars.end()) {
+          referenced = true;
+          break;
+        }
+      }
+      int ci = b.expr == nullptr ? -1 : FindCol(b.cols, v);
+      if (referenced) {
+        if (ci < 0) {
+          // Bind the variable physically so the floating predicate can
+          // apply at an outer scope; defer its projection.
+          PartialExpr pos{FtaExpr::HasPos(), {v}, {}};
+          FTS_ASSIGN_OR_RETURN(b, NaturalJoin(b, pos));
+        }
+        b.deferred.insert(v);
+        return b;
+      }
+      if (ci < 0) {
+        // The body never mentions v: ∃v(hasPos ∧ B) ≡ B on non-empty nodes.
+        FTS_ASSIGN_OR_RETURN(FtaExprPtr nonempty,
+                             FtaExpr::Project(FtaExpr::HasPos(), {}));
+        return NaturalJoin(b, PartialExpr{std::move(nonempty), {}, {}});
+      }
+      std::vector<int> keep;
+      std::vector<VarId> cols;
+      for (size_t i = 0; i < b.cols.size(); ++i) {
+        if (static_cast<int>(i) == ci) continue;
+        keep.push_back(static_cast<int>(i));
+        cols.push_back(b.cols[i]);
+      }
+      FTS_ASSIGN_OR_RETURN(FtaExprPtr p, FtaExpr::Project(b.expr, std::move(keep)));
+      return PartialExpr{std::move(p), std::move(cols), b.deferred};
+    }
+    case CalcExpr::Kind::kForAll:
+      return Status::Internal("kForAll must be desugared before compilation");
+  }
+  return Status::Internal("unreachable calculus kind");
+}
+
+}  // namespace
+
+StatusOr<FtaExprPtr> CompileQuery(const CalcQuery& query) {
+  FTS_RETURN_IF_ERROR(ValidateQuery(query));
+  CalcExprPtr expr = DesugarForAll(query.expr);
+  FTS_ASSIGN_OR_RETURN(PartialExpr c, CompileSealed(expr));
+  if (c.expr == nullptr) {
+    // An unconstrained query matches every context node.
+    return FtaExpr::SearchContext();
+  }
+  if (!c.cols.empty()) {
+    return Status::Internal("closed query compiled to open relation");
+  }
+  return c.expr;
+}
+
+StatusOr<CompiledExpr> CompileExpr(const CalcExprPtr& expr) {
+  if (!expr) return Status::InvalidArgument("null calculus expression");
+  PendingPreds pending;
+  FTS_ASSIGN_OR_RETURN(PartialExpr out, CompileRec(DesugarForAll(expr), &pending));
+  FTS_ASSIGN_OR_RETURN(out, TryApplyPending(std::move(out), &pending, /*force=*/true));
+  if (out.expr == nullptr) {
+    return Status::Unsupported("expression compiles to the neutral relation");
+  }
+  return CompiledExpr{out.expr, out.cols};
+}
+
+}  // namespace fts

@@ -1,0 +1,46 @@
+// FTC -> FTA compilation (the constructive direction of Theorem 1 used by
+// the COMP engine, paper Section 5.4 and Lemma 2).
+//
+// The compiler follows Lemma 2's structural recursion but applies two
+// standard rewrites so the generated plans look like the paper's Figure 4
+// rather than towers of HasPos scans:
+//
+//  * selection pushdown: inside a conjunction, predicates become σ over the
+//    join of the conjuncts that bind their variables (HasPos is only joined
+//    in for variables no other conjunct binds);
+//  * projection pushdown: every ∃ projects its variable away immediately,
+//    so intermediate relations carry only live columns (Section 5.5.3's
+//    "rewritten to push down projections").
+//
+// Shared variables between conjuncts are equated with the internal samepos
+// predicate, since the FTA join compares CNode only.
+
+#ifndef FTS_COMPILE_FTC_TO_FTA_H_
+#define FTS_COMPILE_FTC_TO_FTA_H_
+
+#include <vector>
+
+#include "algebra/fta.h"
+#include "calculus/ftc.h"
+#include "common/status.h"
+
+namespace fts {
+
+/// An algebra expression together with the calculus variable carried by
+/// each position column. Invariant: cols are sorted by VarId and distinct.
+struct CompiledExpr {
+  FtaExprPtr expr;
+  std::vector<VarId> cols;
+};
+
+/// Compiles a closed calculus query into a zero-column algebra expression
+/// whose evaluation yields exactly the satisfying nodes.
+StatusOr<FtaExprPtr> CompileQuery(const CalcQuery& query);
+
+/// Compiles an arbitrary (possibly open) calculus expression into an
+/// algebra expression over its free variables. Exposed for tests.
+StatusOr<CompiledExpr> CompileExpr(const CalcExprPtr& expr);
+
+}  // namespace fts
+
+#endif  // FTS_COMPILE_FTC_TO_FTA_H_

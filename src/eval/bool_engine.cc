@@ -1,0 +1,188 @@
+#include "eval/bool_engine.h"
+
+#include <algorithm>
+
+#include "lang/classify.h"
+#include "scoring/probabilistic.h"
+#include "scoring/tfidf.h"
+
+namespace fts {
+
+namespace {
+
+/// A sorted node set with node-level scores.
+struct NodeSet {
+  std::vector<NodeId> nodes;
+  std::vector<double> scores;
+};
+
+class BoolEvaluator {
+ public:
+  BoolEvaluator(const InvertedIndex* index, const AlgebraScoreModel* model,
+                EvalCounters* counters)
+      : index_(index), model_(model), counters_(counters) {}
+
+  StatusOr<NodeSet> Eval(const LangExprPtr& e) {
+    switch (e->kind()) {
+      case LangExpr::Kind::kToken:
+        return EvalToken(e->token());
+      case LangExpr::Kind::kAny:
+        return EvalAny();
+      case LangExpr::Kind::kNot: {
+        FTS_ASSIGN_OR_RETURN(NodeSet in, Eval(e->child()));
+        return Complement(in);
+      }
+      case LangExpr::Kind::kAnd: {
+        // AND NOT runs as a merge difference without touching IL_ANY.
+        if (e->right()->kind() == LangExpr::Kind::kNot &&
+            e->left()->kind() != LangExpr::Kind::kNot) {
+          FTS_ASSIGN_OR_RETURN(NodeSet l, Eval(e->left()));
+          FTS_ASSIGN_OR_RETURN(NodeSet r, Eval(e->right()->child()));
+          return Difference(l, r);
+        }
+        if (e->left()->kind() == LangExpr::Kind::kNot &&
+            e->right()->kind() != LangExpr::Kind::kNot) {
+          FTS_ASSIGN_OR_RETURN(NodeSet l, Eval(e->right()));
+          FTS_ASSIGN_OR_RETURN(NodeSet r, Eval(e->left()->child()));
+          return Difference(l, r);
+        }
+        FTS_ASSIGN_OR_RETURN(NodeSet l, Eval(e->left()));
+        FTS_ASSIGN_OR_RETURN(NodeSet r, Eval(e->right()));
+        return Intersect(l, r);
+      }
+      case LangExpr::Kind::kOr: {
+        FTS_ASSIGN_OR_RETURN(NodeSet l, Eval(e->left()));
+        FTS_ASSIGN_OR_RETURN(NodeSet r, Eval(e->right()));
+        return Union(l, r);
+      }
+      default:
+        return Status::Unsupported(
+            "BOOL cannot evaluate position variables or predicates");
+    }
+  }
+
+ private:
+  NodeSet EvalToken(const std::string& token) {
+    NodeSet out;
+    const PostingList* list = index_->list_for_text(token);
+    const TokenId id = index_->LookupToken(token);
+    ListCursor cursor(list, counters_);
+    while (cursor.NextEntry() != kInvalidNode) {
+      const NodeId n = cursor.current_node();
+      out.nodes.push_back(n);
+      out.scores.push_back(
+          model_ ? model_->EntryScore(*index_, id, n, cursor.GetPositions().size())
+                 : 0.0);
+    }
+    return out;
+  }
+
+  NodeSet EvalAny() {
+    NodeSet out;
+    ListCursor cursor(&index_->any_list(), counters_);
+    const double s = model_ ? model_->AnyLeafScore() : 0.0;
+    while (cursor.NextEntry() != kInvalidNode) {
+      out.nodes.push_back(cursor.current_node());
+      out.scores.push_back(s);
+    }
+    return out;
+  }
+
+  NodeSet Complement(const NodeSet& in) {
+    // The complement ranges over every context node, which costs a full
+    // IL_ANY scan in the paper's model (Section 5.3).
+    if (counters_) counters_->entries_scanned += index_->num_nodes();
+    NodeSet out;
+    size_t j = 0;
+    for (NodeId n = 0; n < index_->num_nodes(); ++n) {
+      while (j < in.nodes.size() && in.nodes[j] < n) ++j;
+      if (j < in.nodes.size() && in.nodes[j] == n) continue;
+      out.nodes.push_back(n);
+      out.scores.push_back(model_ ? model_->NegateScore(0.0) : 0.0);
+    }
+    return out;
+  }
+
+  NodeSet Intersect(const NodeSet& l, const NodeSet& r) {
+    NodeSet out;
+    size_t i = 0, j = 0;
+    while (i < l.nodes.size() && j < r.nodes.size()) {
+      if (l.nodes[i] < r.nodes[j]) {
+        ++i;
+      } else if (r.nodes[j] < l.nodes[i]) {
+        ++j;
+      } else {
+        out.nodes.push_back(l.nodes[i]);
+        out.scores.push_back(
+            model_ ? model_->JoinScore(l.scores[i], 1, r.scores[j], 1) : 0.0);
+        ++i;
+        ++j;
+      }
+    }
+    return out;
+  }
+
+  NodeSet Union(const NodeSet& l, const NodeSet& r) {
+    NodeSet out;
+    size_t i = 0, j = 0;
+    while (i < l.nodes.size() || j < r.nodes.size()) {
+      if (j >= r.nodes.size() || (i < l.nodes.size() && l.nodes[i] < r.nodes[j])) {
+        out.nodes.push_back(l.nodes[i]);
+        out.scores.push_back(l.scores[i]);
+        ++i;
+      } else if (i >= l.nodes.size() || r.nodes[j] < l.nodes[i]) {
+        out.nodes.push_back(r.nodes[j]);
+        out.scores.push_back(r.scores[j]);
+        ++j;
+      } else {
+        out.nodes.push_back(l.nodes[i]);
+        out.scores.push_back(
+            model_ ? model_->UnionBoth(l.scores[i], r.scores[j]) : 0.0);
+        ++i;
+        ++j;
+      }
+    }
+    return out;
+  }
+
+  NodeSet Difference(const NodeSet& l, const NodeSet& r) {
+    NodeSet out;
+    size_t j = 0;
+    for (size_t i = 0; i < l.nodes.size(); ++i) {
+      while (j < r.nodes.size() && r.nodes[j] < l.nodes[i]) ++j;
+      if (j < r.nodes.size() && r.nodes[j] == l.nodes[i]) continue;
+      out.nodes.push_back(l.nodes[i]);
+      out.scores.push_back(model_ ? model_->DifferenceScore(l.scores[i]) : 0.0);
+    }
+    return out;
+  }
+
+  const InvertedIndex* index_;
+  const AlgebraScoreModel* model_;
+  EvalCounters* counters_;
+};
+
+}  // namespace
+
+StatusOr<QueryResult> BoolEngine::Evaluate(const LangExprPtr& query) const {
+  if (!query) return Status::InvalidArgument("null query");
+  LangExprPtr normalized = NormalizeSurface(query);
+
+  std::unique_ptr<AlgebraScoreModel> model;
+  if (scoring_ == ScoringKind::kTfIdf) {
+    std::vector<std::string> tokens;
+    CollectSurfaceTokens(normalized, &tokens);
+    model = std::make_unique<TfIdfScoreModel>(index_, std::move(tokens));
+  } else if (scoring_ == ScoringKind::kProbabilistic) {
+    model = std::make_unique<ProbabilisticScoreModel>(index_);
+  }
+
+  QueryResult result;
+  BoolEvaluator eval(index_, model.get(), &result.counters);
+  FTS_ASSIGN_OR_RETURN(NodeSet set, eval.Eval(normalized));
+  result.nodes = std::move(set.nodes);
+  if (scoring_ != ScoringKind::kNone) result.scores = std::move(set.scores);
+  return result;
+}
+
+}  // namespace fts

@@ -1,0 +1,35 @@
+// BOOL evaluation (paper Section 5.3): sort-merge of inverted-list node
+// ids. AND NOT pairs evaluate as list differences (the BOOL-NONEG path);
+// free-standing NOT and ANY fall back to the node universe, which the cost
+// model charges as an IL_ANY scan (cnodes entries). Scores follow the
+// Section 3 per-operator formulas applied at node granularity.
+
+#ifndef FTS_EVAL_BOOL_ENGINE_H_
+#define FTS_EVAL_BOOL_ENGINE_H_
+
+#include <memory>
+
+#include "eval/engine.h"
+#include "scoring/score_model.h"
+
+namespace fts {
+
+/// Merge-based evaluator for the BOOL / BOOL-NONEG languages.
+class BoolEngine : public Engine {
+ public:
+  /// `index` must outlive the engine.
+  BoolEngine(const InvertedIndex* index, ScoringKind scoring)
+      : index_(index), scoring_(scoring) {}
+
+  std::string_view name() const override { return "BOOL"; }
+
+  StatusOr<QueryResult> Evaluate(const LangExprPtr& query) const override;
+
+ private:
+  const InvertedIndex* index_;
+  ScoringKind scoring_;
+};
+
+}  // namespace fts
+
+#endif  // FTS_EVAL_BOOL_ENGINE_H_

@@ -1,0 +1,39 @@
+#include "eval/comp_engine.h"
+
+#include <memory>
+
+#include "algebra/fta.h"
+#include "calculus/analysis.h"
+#include "compile/ftc_to_fta.h"
+#include "lang/translate.h"
+#include "scoring/probabilistic.h"
+#include "scoring/tfidf.h"
+
+namespace fts {
+
+StatusOr<QueryResult> CompEngine::Evaluate(const LangExprPtr& query) const {
+  if (!query) return Status::InvalidArgument("null query");
+  FTS_ASSIGN_OR_RETURN(CalcQuery calc, TranslateToCalculus(query));
+  FTS_ASSIGN_OR_RETURN(FtaExprPtr plan, CompileQuery(calc));
+
+  std::unique_ptr<AlgebraScoreModel> model;
+  if (scoring_ == ScoringKind::kTfIdf) {
+    auto token_set = CollectTokens(calc.expr);
+    std::vector<std::string> tokens(token_set.begin(), token_set.end());
+    model = std::make_unique<TfIdfScoreModel>(index_, std::move(tokens));
+  } else if (scoring_ == ScoringKind::kProbabilistic) {
+    model = std::make_unique<ProbabilisticScoreModel>(index_);
+  }
+
+  QueryResult result;
+  FTS_ASSIGN_OR_RETURN(FtRelation rel,
+                       EvaluateFta(plan, *index_, model.get(), &result.counters));
+  result.nodes.reserve(rel.size());
+  for (size_t i = 0; i < rel.size(); ++i) {
+    result.nodes.push_back(rel.tuple(i).node);
+    if (scoring_ != ScoringKind::kNone) result.scores.push_back(rel.tuple(i).score);
+  }
+  return result;
+}
+
+}  // namespace fts

@@ -1,0 +1,14 @@
+#include "eval/engine.h"
+
+namespace fts {
+
+const char* ScoringKindToString(ScoringKind kind) {
+  switch (kind) {
+    case ScoringKind::kNone: return "none";
+    case ScoringKind::kTfIdf: return "tfidf";
+    case ScoringKind::kProbabilistic: return "probabilistic";
+  }
+  return "?";
+}
+
+}  // namespace fts

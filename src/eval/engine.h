@@ -1,0 +1,55 @@
+// Engine interface shared by the four evaluation strategies of paper
+// Section 5 (BOOL merges, pipelined PPRED, per-ordering NPRED, materialized
+// COMP). Engines take parsed surface queries, return matching node ids with
+// optional scores, and report machine-independent cost counters.
+
+#ifndef FTS_EVAL_ENGINE_H_
+#define FTS_EVAL_ENGINE_H_
+
+#include <string_view>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/status.h"
+#include "index/inverted_index.h"
+#include "lang/ast.h"
+
+namespace fts {
+
+/// Which Section 3 scoring method an engine applies (kNone disables
+/// scoring entirely).
+enum class ScoringKind {
+  kNone,
+  kTfIdf,
+  kProbabilistic,
+};
+
+const char* ScoringKindToString(ScoringKind kind);
+
+/// Result of one query evaluation.
+struct QueryResult {
+  /// Matching context nodes, ascending.
+  std::vector<NodeId> nodes;
+  /// Scores parallel to `nodes`; empty when scoring is kNone.
+  std::vector<double> scores;
+  /// Evaluation cost counters for this query.
+  EvalCounters counters;
+};
+
+/// A query evaluation strategy over one InvertedIndex.
+class Engine {
+ public:
+  virtual ~Engine() = default;
+
+  /// Engine name as used in the paper's figures (BOOL, PPRED, NPRED, COMP).
+  virtual std::string_view name() const = 0;
+
+  /// Evaluates a parsed query. Returns Unsupported when the query falls
+  /// outside the engine's language class (the router then falls back to a
+  /// more expressive engine).
+  virtual StatusOr<QueryResult> Evaluate(const LangExprPtr& query) const = 0;
+};
+
+}  // namespace fts
+
+#endif  // FTS_EVAL_ENGINE_H_

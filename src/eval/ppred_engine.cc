@@ -1,0 +1,51 @@
+#include "eval/ppred_engine.h"
+
+#include <functional>
+#include <memory>
+
+#include "calculus/analysis.h"
+#include "compile/ftc_to_fta.h"
+#include "eval/pos_cursor.h"
+#include "lang/translate.h"
+#include "scoring/probabilistic.h"
+#include "scoring/tfidf.h"
+
+namespace fts {
+
+StatusOr<QueryResult> PpredEngine::Evaluate(const LangExprPtr& query) const {
+  if (!query) return Status::InvalidArgument("null query");
+  FTS_ASSIGN_OR_RETURN(CalcQuery calc, TranslateToCalculus(NormalizeSurface(query)));
+  FTS_ASSIGN_OR_RETURN(FtaExprPtr plan, CompileQuery(calc));
+
+  // PPRED additionally requires every selection predicate to be positive;
+  // negative predicates belong to NPRED (Section 5.6).
+  std::function<Status(const FtaExprPtr&)> check = [&](const FtaExprPtr& p) -> Status {
+    if (!p) return Status::OK();
+    if (p->kind() == FtaExpr::Kind::kSelect &&
+        p->pred().pred->cls() != PredicateClass::kPositive) {
+      return Status::Unsupported("PPRED cannot evaluate predicate '" +
+                                 std::string(p->pred().pred->name()) + "'");
+    }
+    FTS_RETURN_IF_ERROR(check(p->left()));
+    return check(p->right());
+  };
+  FTS_RETURN_IF_ERROR(check(plan));
+
+  std::unique_ptr<AlgebraScoreModel> model;
+  if (scoring_ == ScoringKind::kTfIdf) {
+    auto token_set = CollectTokens(calc.expr);
+    model = std::make_unique<TfIdfScoreModel>(
+        index_, std::vector<std::string>(token_set.begin(), token_set.end()));
+  } else if (scoring_ == ScoringKind::kProbabilistic) {
+    model = std::make_unique<ProbabilisticScoreModel>(index_);
+  }
+
+  QueryResult result;
+  PipelineContext ctx{index_, model.get(), &result.counters};
+  FTS_ASSIGN_OR_RETURN(std::unique_ptr<PosCursor> cursor, BuildPipeline(plan, ctx));
+  DrainPipeline(cursor.get(), scoring_ != ScoringKind::kNone, &result.nodes,
+                &result.scores);
+  return result;
+}
+
+}  // namespace fts

@@ -1,0 +1,32 @@
+// PPRED evaluation (paper Section 5.5): compile the query to an algebra
+// plan and run it as a single pipelined pass over the inverted lists using
+// the PosCursor operators (Algorithms 1-5). Handles the PPRED language
+// class — positive predicates, AND/OR/SOME, and AND NOT of closed
+// subqueries — in time linear in the query-token inverted lists.
+
+#ifndef FTS_EVAL_PPRED_ENGINE_H_
+#define FTS_EVAL_PPRED_ENGINE_H_
+
+#include "eval/engine.h"
+
+namespace fts {
+
+/// Single-scan pipelined evaluator for the PPRED class. Returns Unsupported
+/// for queries whose plans need IL_ANY or general predicates.
+class PpredEngine : public Engine {
+ public:
+  PpredEngine(const InvertedIndex* index, ScoringKind scoring)
+      : index_(index), scoring_(scoring) {}
+
+  std::string_view name() const override { return "PPRED"; }
+
+  StatusOr<QueryResult> Evaluate(const LangExprPtr& query) const override;
+
+ private:
+  const InvertedIndex* index_;
+  ScoringKind scoring_;
+};
+
+}  // namespace fts
+
+#endif  // FTS_EVAL_PPRED_ENGINE_H_

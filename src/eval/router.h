@@ -1,0 +1,60 @@
+// Query router: classifies a query into the paper's complexity hierarchy
+// (Figure 3) and dispatches it to the cheapest engine that can evaluate it,
+// falling back to COMP if a specialized engine declines. This is the
+// top-level entry point applications use (see examples/).
+
+#ifndef FTS_EVAL_ROUTER_H_
+#define FTS_EVAL_ROUTER_H_
+
+#include <string>
+#include <string_view>
+
+#include "eval/bool_engine.h"
+#include "eval/comp_engine.h"
+#include "eval/engine.h"
+#include "eval/npred_engine.h"
+#include "eval/ppred_engine.h"
+#include "lang/classify.h"
+#include "lang/parser.h"
+
+namespace fts {
+
+/// A routed evaluation outcome.
+struct RoutedResult {
+  QueryResult result;
+  LanguageClass language_class;
+  std::string engine;  ///< engine that produced the result
+};
+
+/// Owns one engine of each kind over a shared index and routes queries.
+class QueryRouter {
+ public:
+  /// `index` must outlive the router.
+  QueryRouter(const InvertedIndex* index, ScoringKind scoring = ScoringKind::kNone)
+      : bool_engine_(index, scoring),
+        ppred_engine_(index, scoring),
+        npred_engine_(index, scoring),
+        comp_engine_(index, scoring) {}
+
+  /// Parses `query` as COMP (the superset language) and evaluates it on the
+  /// cheapest applicable engine.
+  StatusOr<RoutedResult> Evaluate(std::string_view query) const;
+
+  /// Routes an already-parsed query.
+  StatusOr<RoutedResult> EvaluateParsed(const LangExprPtr& query) const;
+
+  const BoolEngine& bool_engine() const { return bool_engine_; }
+  const PpredEngine& ppred_engine() const { return ppred_engine_; }
+  const NpredEngine& npred_engine() const { return npred_engine_; }
+  const CompEngine& comp_engine() const { return comp_engine_; }
+
+ private:
+  BoolEngine bool_engine_;
+  PpredEngine ppred_engine_;
+  NpredEngine npred_engine_;
+  CompEngine comp_engine_;
+};
+
+}  // namespace fts
+
+#endif  // FTS_EVAL_ROUTER_H_

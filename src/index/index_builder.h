@@ -1,0 +1,25 @@
+// Builds an InvertedIndex from a Corpus, computing the per-token inverted
+// lists, IL_ANY, corpus shape statistics, and the TF-IDF normalization
+// inputs (document frequencies enter via list sizes; unique-token counts and
+// L2 norms are precomputed here, matching the paper's observation that "all
+// of the scoring information in R_t can be precomputed", Section 3.1).
+
+#ifndef FTS_INDEX_INDEX_BUILDER_H_
+#define FTS_INDEX_INDEX_BUILDER_H_
+
+#include "index/inverted_index.h"
+#include "text/corpus.h"
+
+namespace fts {
+
+/// One-shot index construction.
+class IndexBuilder {
+ public:
+  /// Builds the complete index for `corpus`. Token ids in the index match
+  /// the corpus dictionary ids.
+  static InvertedIndex Build(const Corpus& corpus);
+};
+
+}  // namespace fts
+
+#endif  // FTS_INDEX_INDEX_BUILDER_H_

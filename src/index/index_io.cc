@@ -1,0 +1,219 @@
+#include "index/index_io.h"
+
+#include <bit>
+#include <cstring>
+#include <fstream>
+
+#include "common/varint.h"
+
+namespace fts {
+
+namespace {
+
+constexpr char kMagic[8] = {'F', 'T', 'S', 'I', 'D', 'X', '1', '\0'};
+
+uint64_t Fnv1a(const std::string& data, size_t begin, size_t end) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (size_t i = begin; i < end; ++i) {
+    h ^= static_cast<uint8_t>(data[i]);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+void PutFixed64(std::string* out, uint64_t v) {
+  char buf[8];
+  std::memcpy(buf, &v, 8);
+  out->append(buf, 8);
+}
+
+Status GetFixed64(const std::string& data, size_t* offset, uint64_t* v) {
+  if (*offset + 8 > data.size()) {
+    return Status::Corruption("truncated fixed64 at offset " + std::to_string(*offset));
+  }
+  std::memcpy(v, data.data() + *offset, 8);
+  *offset += 8;
+  return Status::OK();
+}
+
+void PutDouble(std::string* out, double d) { PutFixed64(out, std::bit_cast<uint64_t>(d)); }
+
+Status GetDouble(const std::string& data, size_t* offset, double* d) {
+  uint64_t bits;
+  FTS_RETURN_IF_ERROR(GetFixed64(data, offset, &bits));
+  *d = std::bit_cast<double>(bits);
+  return Status::OK();
+}
+
+void PutPostingList(std::string* out, const PostingList& list) {
+  PutVarint64(out, list.num_entries());
+  NodeId prev_node = 0;
+  for (size_t i = 0; i < list.num_entries(); ++i) {
+    const PostingEntry& e = list.entry(i);
+    PutVarint32(out, e.node - prev_node);  // first entry: absolute id
+    prev_node = e.node;
+    auto positions = list.positions(e);
+    PutVarint32(out, e.pos_count);
+    uint32_t prev_off = 0, prev_sent = 0, prev_para = 0;
+    for (const PositionInfo& p : positions) {
+      PutVarint32(out, p.offset - prev_off);
+      PutVarint32(out, p.sentence - prev_sent);
+      PutVarint32(out, p.paragraph - prev_para);
+      prev_off = p.offset;
+      prev_sent = p.sentence;
+      prev_para = p.paragraph;
+    }
+  }
+}
+
+Status GetPostingList(const std::string& data, size_t* offset, PostingList* list) {
+  uint64_t num_entries;
+  FTS_RETURN_IF_ERROR(GetVarint64(data, offset, &num_entries));
+  NodeId prev_node = 0;
+  std::vector<PositionInfo> positions;
+  for (uint64_t i = 0; i < num_entries; ++i) {
+    uint32_t node_delta, count;
+    FTS_RETURN_IF_ERROR(GetVarint32(data, offset, &node_delta));
+    NodeId node = (i == 0) ? node_delta : prev_node + node_delta;
+    if (i > 0 && node_delta == 0) {
+      return Status::Corruption("non-increasing node ids in posting list");
+    }
+    prev_node = node;
+    FTS_RETURN_IF_ERROR(GetVarint32(data, offset, &count));
+    positions.clear();
+    positions.reserve(count);
+    uint32_t off = 0, sent = 0, para = 0;
+    for (uint32_t j = 0; j < count; ++j) {
+      uint32_t d_off, d_sent, d_para;
+      FTS_RETURN_IF_ERROR(GetVarint32(data, offset, &d_off));
+      FTS_RETURN_IF_ERROR(GetVarint32(data, offset, &d_sent));
+      FTS_RETURN_IF_ERROR(GetVarint32(data, offset, &d_para));
+      off += d_off;
+      sent += d_sent;
+      para += d_para;
+      positions.push_back(PositionInfo{off, sent, para});
+    }
+    list->Append(node, positions);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+void SaveIndexToString(const InvertedIndex& index, std::string* out) {
+  out->clear();
+  out->append(kMagic, sizeof(kMagic));
+
+  // Statistics.
+  const IndexStats& s = index.stats();
+  PutVarint64(out, s.cnodes);
+  PutVarint64(out, s.total_positions);
+  PutVarint32(out, s.pos_per_cnode);
+  PutVarint32(out, s.entries_per_token);
+  PutVarint32(out, s.pos_per_entry);
+  PutDouble(out, s.avg_pos_per_cnode);
+  PutDouble(out, s.avg_entries_per_token);
+  PutDouble(out, s.avg_pos_per_entry);
+
+  // Per-node scalars.
+  for (NodeId n = 0; n < s.cnodes; ++n) {
+    PutVarint32(out, index.unique_tokens(n));
+    PutDouble(out, index.node_norm(n));
+  }
+
+  // Dictionary.
+  PutVarint64(out, index.vocabulary_size());
+  for (TokenId t = 0; t < index.vocabulary_size(); ++t) {
+    const std::string& text = index.token_text(t);
+    PutVarint64(out, text.size());
+    out->append(text);
+  }
+
+  // Token lists and IL_ANY.
+  for (TokenId t = 0; t < index.vocabulary_size(); ++t) {
+    PutPostingList(out, *index.list(t));
+  }
+  PutPostingList(out, index.any_list());
+
+  PutFixed64(out, Fnv1a(*out, sizeof(kMagic), out->size()));
+}
+
+Status LoadIndexFromString(const std::string& data, InvertedIndex* out) {
+  if (data.size() < sizeof(kMagic) + 8 ||
+      std::memcmp(data.data(), kMagic, sizeof(kMagic)) != 0) {
+    return Status::Corruption("bad index magic");
+  }
+  const size_t body_end = data.size() - 8;
+  {
+    size_t coff = body_end;
+    uint64_t stored;
+    FTS_RETURN_IF_ERROR(GetFixed64(data, &coff, &stored));
+    if (stored != Fnv1a(data, sizeof(kMagic), body_end)) {
+      return Status::Corruption("index checksum mismatch");
+    }
+  }
+
+  InvertedIndex index;
+  size_t offset = sizeof(kMagic);
+  IndexStats& s = index.stats_;
+  FTS_RETURN_IF_ERROR(GetVarint64(data, &offset, &s.cnodes));
+  FTS_RETURN_IF_ERROR(GetVarint64(data, &offset, &s.total_positions));
+  FTS_RETURN_IF_ERROR(GetVarint32(data, &offset, &s.pos_per_cnode));
+  FTS_RETURN_IF_ERROR(GetVarint32(data, &offset, &s.entries_per_token));
+  FTS_RETURN_IF_ERROR(GetVarint32(data, &offset, &s.pos_per_entry));
+  FTS_RETURN_IF_ERROR(GetDouble(data, &offset, &s.avg_pos_per_cnode));
+  FTS_RETURN_IF_ERROR(GetDouble(data, &offset, &s.avg_entries_per_token));
+  FTS_RETURN_IF_ERROR(GetDouble(data, &offset, &s.avg_pos_per_entry));
+
+  index.unique_tokens_.resize(s.cnodes);
+  index.node_norms_.resize(s.cnodes);
+  for (uint64_t n = 0; n < s.cnodes; ++n) {
+    FTS_RETURN_IF_ERROR(GetVarint32(data, &offset, &index.unique_tokens_[n]));
+    FTS_RETURN_IF_ERROR(GetDouble(data, &offset, &index.node_norms_[n]));
+  }
+
+  uint64_t vocab;
+  FTS_RETURN_IF_ERROR(GetVarint64(data, &offset, &vocab));
+  index.token_texts_.reserve(vocab);
+  for (uint64_t t = 0; t < vocab; ++t) {
+    uint64_t len;
+    FTS_RETURN_IF_ERROR(GetVarint64(data, &offset, &len));
+    if (offset + len > body_end) {
+      return Status::Corruption("truncated dictionary string");
+    }
+    index.token_texts_.emplace_back(data.substr(offset, len));
+    index.token_ids_.emplace(index.token_texts_.back(), static_cast<TokenId>(t));
+    offset += len;
+  }
+
+  index.lists_.resize(vocab);
+  for (uint64_t t = 0; t < vocab; ++t) {
+    FTS_RETURN_IF_ERROR(GetPostingList(data, &offset, &index.lists_[t]));
+  }
+  FTS_RETURN_IF_ERROR(GetPostingList(data, &offset, &index.any_list_));
+
+  if (offset != body_end) {
+    return Status::Corruption("trailing bytes in index payload");
+  }
+  *out = std::move(index);
+  return Status::OK();
+}
+
+Status SaveIndexToFile(const InvertedIndex& index, const std::string& path) {
+  std::string data;
+  SaveIndexToString(index, &data);
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  if (!f) return Status::IOError("cannot open for write: " + path);
+  f.write(data.data(), static_cast<std::streamsize>(data.size()));
+  if (!f) return Status::IOError("short write: " + path);
+  return Status::OK();
+}
+
+Status LoadIndexFromFile(const std::string& path, InvertedIndex* out) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) return Status::IOError("cannot open for read: " + path);
+  std::string data((std::istreambuf_iterator<char>(f)), std::istreambuf_iterator<char>());
+  return LoadIndexFromString(data, out);
+}
+
+}  // namespace fts

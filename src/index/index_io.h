@@ -1,0 +1,33 @@
+// Binary serialization of InvertedIndex.
+//
+// Format (version 1): a "FTSIDX1\0" magic, followed by varint-encoded
+// sections. Node ids are delta-coded across entries and position offsets
+// delta-coded within entries; sentence/paragraph ordinals are delta-coded
+// against the previous position. Doubles are stored as fixed 64-bit IEEE
+// bits. A trailing 64-bit FNV-1a checksum detects truncation/corruption.
+
+#ifndef FTS_INDEX_INDEX_IO_H_
+#define FTS_INDEX_INDEX_IO_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "index/inverted_index.h"
+
+namespace fts {
+
+/// Serializes `index` into `out` (replacing its contents).
+void SaveIndexToString(const InvertedIndex& index, std::string* out);
+
+/// Deserializes an index previously produced by SaveIndexToString.
+Status LoadIndexFromString(const std::string& data, InvertedIndex* out);
+
+/// Writes the serialized index to `path` (atomic rename not attempted).
+Status SaveIndexToFile(const InvertedIndex& index, const std::string& path);
+
+/// Reads and deserializes an index from `path`.
+Status LoadIndexFromFile(const std::string& path, InvertedIndex* out);
+
+}  // namespace fts
+
+#endif  // FTS_INDEX_INDEX_IO_H_

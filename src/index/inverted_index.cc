@@ -1,0 +1,62 @@
+#include "index/inverted_index.h"
+
+#include <cassert>
+
+namespace fts {
+
+void PostingList::Append(NodeId node, std::span<const PositionInfo> positions) {
+  assert(entries_.empty() || entries_.back().node < node);
+  PostingEntry e;
+  e.node = node;
+  e.pos_begin = static_cast<uint32_t>(positions_.size());
+  e.pos_count = static_cast<uint32_t>(positions.size());
+  positions_.insert(positions_.end(), positions.begin(), positions.end());
+  entries_.push_back(e);
+}
+
+NodeId ListCursor::NextEntry() {
+  if (exhausted_) return kInvalidNode;
+  if (started_) {
+    ++idx_;
+  } else {
+    started_ = true;
+  }
+  if (list_ == nullptr || idx_ >= list_->num_entries()) {
+    exhausted_ = true;
+    node_ = kInvalidNode;
+    return kInvalidNode;
+  }
+  if (counters_ != nullptr) ++counters_->entries_scanned;
+  node_ = list_->entry(idx_).node;
+  return node_;
+}
+
+std::span<const PositionInfo> ListCursor::GetPositions() {
+  assert(started_ && !exhausted_ && list_ != nullptr);
+  // Positions are charged to EvalCounters by the consumer as they are
+  // actually read (the pipelined engines may skip most of an entry).
+  return list_->positions(list_->entry(idx_));
+}
+
+std::string IndexStats::ToString() const {
+  return "cnodes=" + std::to_string(cnodes) +
+         " total_positions=" + std::to_string(total_positions) +
+         " pos_per_cnode=" + std::to_string(pos_per_cnode) +
+         " entries_per_token=" + std::to_string(entries_per_token) +
+         " pos_per_entry=" + std::to_string(pos_per_entry) +
+         " avg_pos_per_cnode=" + std::to_string(avg_pos_per_cnode) +
+         " avg_entries_per_token=" + std::to_string(avg_entries_per_token) +
+         " avg_pos_per_entry=" + std::to_string(avg_pos_per_entry);
+}
+
+const PostingList* InvertedIndex::list_for_text(std::string_view token) const {
+  TokenId id = LookupToken(token);
+  return id == kInvalidToken ? nullptr : list(id);
+}
+
+TokenId InvertedIndex::LookupToken(std::string_view token) const {
+  auto it = token_ids_.find(std::string(token));
+  return it == token_ids_.end() ? kInvalidToken : it->second;
+}
+
+}  // namespace fts

@@ -1,0 +1,163 @@
+// Inverted index: the physical data model of paper Section 5.1.2.
+//
+// For each token `tok` appearing in the corpus there is an inverted list
+// IL_tok of entries (cn, PosList), ordered by context-node id, with PosList
+// ordered by position. IL_ANY holds every position of every node. Lists are
+// accessed strictly sequentially through ListCursor, which exposes exactly
+// the two operations the paper's cost model allows: nextEntry() and
+// getPositions(), both O(1).
+//
+// The index is self-contained (owns its dictionary and statistics) so it can
+// be serialized and queried without the originating Corpus.
+
+#ifndef FTS_INDEX_INVERTED_INDEX_H_
+#define FTS_INDEX_INVERTED_INDEX_H_
+
+#include <span>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/status.h"
+#include "text/document.h"
+
+namespace fts {
+
+/// One (cn, PosList) pair of an inverted list. Positions live in the owning
+/// PostingList's shared arena; the entry stores the [pos_begin, pos_begin +
+/// pos_count) slice.
+struct PostingEntry {
+  NodeId node = kInvalidNode;
+  uint32_t pos_begin = 0;
+  uint32_t pos_count = 0;
+};
+
+/// An inverted list: entries sorted by node id, positions sorted by offset
+/// within each entry. Corresponds to the FTA relation R_token (and IL_ANY
+/// for the ANY list).
+class PostingList {
+ public:
+  size_t num_entries() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+  const PostingEntry& entry(size_t i) const { return entries_[i]; }
+
+  /// The PosList of `e`. Valid as long as this list is alive.
+  std::span<const PositionInfo> positions(const PostingEntry& e) const {
+    return {positions_.data() + e.pos_begin, e.pos_count};
+  }
+
+  /// Total positions across all entries.
+  size_t total_positions() const { return positions_.size(); }
+
+  /// Appends an entry; nodes must be appended in strictly increasing order
+  /// with offsets strictly increasing inside the entry (checked by builder).
+  void Append(NodeId node, std::span<const PositionInfo> positions);
+
+ private:
+  std::vector<PostingEntry> entries_;
+  std::vector<PositionInfo> positions_;
+};
+
+/// Sequential cursor over a PostingList (paper Section 5.1.2). All accesses
+/// are counted into `counters` (if provided) so engines report the exact
+/// number of sequential list operations performed.
+class ListCursor {
+ public:
+  /// `list` may be null (empty token): the cursor is immediately exhausted.
+  explicit ListCursor(const PostingList* list, EvalCounters* counters = nullptr)
+      : list_(list), counters_(counters) {}
+
+  /// Advances to the next entry and returns its node id, or kInvalidNode
+  /// when the list is exhausted. The first call lands on the first entry.
+  NodeId NextEntry();
+
+  /// PosList of the current entry; NextEntry() must have returned a node.
+  std::span<const PositionInfo> GetPositions();
+
+  /// Node id of the current entry (kInvalidNode before first NextEntry()
+  /// or after exhaustion).
+  NodeId current_node() const { return node_; }
+
+  bool exhausted() const { return exhausted_; }
+
+ private:
+  const PostingList* list_;
+  EvalCounters* counters_;
+  size_t idx_ = 0;
+  bool started_ = false;
+  bool exhausted_ = false;
+  NodeId node_ = kInvalidNode;
+};
+
+/// Corpus shape parameters from the paper's complexity model (Section 5.1.2
+/// and Section 6.2). Max values are the conservative parameters used in the
+/// complexity bounds; averages are reported for context.
+struct IndexStats {
+  uint64_t cnodes = 0;               ///< |N|
+  uint64_t total_positions = 0;      ///< sum of node lengths
+  uint32_t pos_per_cnode = 0;        ///< max positions in a node
+  uint32_t entries_per_token = 0;    ///< max entries in a token list
+  uint32_t pos_per_entry = 0;        ///< max positions in a list entry
+  double avg_pos_per_cnode = 0;
+  double avg_entries_per_token = 0;
+  double avg_pos_per_entry = 0;
+
+  std::string ToString() const;
+};
+
+/// Immutable inverted index over a corpus. Build with IndexBuilder; persist
+/// with SaveIndex/LoadIndex (index/index_io.h).
+class InvertedIndex {
+ public:
+  InvertedIndex() = default;
+
+  /// Inverted list for a token id; nullptr if out of range (OOV tokens have
+  /// empty, not missing, semantics: queries on them match nothing).
+  const PostingList* list(TokenId token) const {
+    return token < lists_.size() ? &lists_[token] : nullptr;
+  }
+
+  /// Inverted list by token text (normalized spelling); nullptr if OOV.
+  const PostingList* list_for_text(std::string_view token) const;
+
+  /// IL_ANY: one entry per context node holding all its positions.
+  const PostingList& any_list() const { return any_list_; }
+
+  /// Dictionary lookups.
+  TokenId LookupToken(std::string_view token) const;
+  const std::string& token_text(TokenId id) const { return token_texts_[id]; }
+  size_t vocabulary_size() const { return token_texts_.size(); }
+
+  size_t num_nodes() const { return stats_.cnodes; }
+  const IndexStats& stats() const { return stats_; }
+
+  /// Document frequency of `token`: number of nodes containing it.
+  uint32_t df(TokenId token) const {
+    const PostingList* l = list(token);
+    return l ? static_cast<uint32_t>(l->num_entries()) : 0;
+  }
+
+  /// Number of distinct tokens in node `n` (TF-IDF normalization input).
+  uint32_t unique_tokens(NodeId n) const { return unique_tokens_[n]; }
+
+  /// L2 norm of node `n`'s TF-IDF vector (||n||_2 in paper Section 3.1).
+  double node_norm(NodeId n) const { return node_norms_[n]; }
+
+ private:
+  friend class IndexBuilder;
+  friend Status LoadIndexFromString(const std::string& data, InvertedIndex* out);
+
+  std::vector<PostingList> lists_;          // indexed by TokenId
+  PostingList any_list_;                    // IL_ANY
+  std::vector<std::string> token_texts_;    // TokenId -> spelling
+  std::unordered_map<std::string, TokenId> token_ids_;
+  std::vector<uint32_t> unique_tokens_;     // NodeId -> distinct token count
+  std::vector<double> node_norms_;          // NodeId -> ||n||_2
+  IndexStats stats_;
+};
+
+}  // namespace fts
+
+#endif  // FTS_INDEX_INVERTED_INDEX_H_

@@ -1,0 +1,201 @@
+#include "lang/ast.h"
+
+namespace fts {
+
+// LangExpr's constructor is private; the member factories below are the
+// only allocation points.
+
+LangExprPtr LangExpr::Token(std::string token) {
+  auto e = std::shared_ptr<LangExpr>(new LangExpr());
+  e->kind_ = Kind::kToken;
+  e->token_ = std::move(token);
+  return e;
+}
+
+LangExprPtr LangExpr::Any() {
+  auto e = std::shared_ptr<LangExpr>(new LangExpr());
+  e->kind_ = Kind::kAny;
+  return e;
+}
+
+LangExprPtr LangExpr::VarHasToken(std::string var, std::string token) {
+  auto e = std::shared_ptr<LangExpr>(new LangExpr());
+  e->kind_ = Kind::kVarHasToken;
+  e->var_ = std::move(var);
+  e->token_ = std::move(token);
+  return e;
+}
+
+LangExprPtr LangExpr::VarHasAny(std::string var) {
+  auto e = std::shared_ptr<LangExpr>(new LangExpr());
+  e->kind_ = Kind::kVarHasAny;
+  e->var_ = std::move(var);
+  return e;
+}
+
+LangExprPtr LangExpr::Not(LangExprPtr child) {
+  auto e = std::shared_ptr<LangExpr>(new LangExpr());
+  e->kind_ = Kind::kNot;
+  e->left_ = std::move(child);
+  return e;
+}
+
+LangExprPtr LangExpr::And(LangExprPtr l, LangExprPtr r) {
+  auto e = std::shared_ptr<LangExpr>(new LangExpr());
+  e->kind_ = Kind::kAnd;
+  e->left_ = std::move(l);
+  e->right_ = std::move(r);
+  return e;
+}
+
+LangExprPtr LangExpr::Or(LangExprPtr l, LangExprPtr r) {
+  auto e = std::shared_ptr<LangExpr>(new LangExpr());
+  e->kind_ = Kind::kOr;
+  e->left_ = std::move(l);
+  e->right_ = std::move(r);
+  return e;
+}
+
+LangExprPtr LangExpr::Some(std::string var, LangExprPtr body) {
+  auto e = std::shared_ptr<LangExpr>(new LangExpr());
+  e->kind_ = Kind::kSome;
+  e->var_ = std::move(var);
+  e->left_ = std::move(body);
+  return e;
+}
+
+LangExprPtr LangExpr::Every(std::string var, LangExprPtr body) {
+  auto e = std::shared_ptr<LangExpr>(new LangExpr());
+  e->kind_ = Kind::kEvery;
+  e->var_ = std::move(var);
+  e->left_ = std::move(body);
+  return e;
+}
+
+LangExprPtr LangExpr::Pred(std::string name, std::vector<std::string> vars,
+                           std::vector<int64_t> consts) {
+  auto e = std::shared_ptr<LangExpr>(new LangExpr());
+  e->kind_ = Kind::kPred;
+  e->pred_name_ = std::move(name);
+  e->pred_vars_ = std::move(vars);
+  e->pred_consts_ = std::move(consts);
+  return e;
+}
+
+LangExprPtr LangExpr::Dist(std::string tok1, std::string tok2, int64_t limit) {
+  auto e = std::shared_ptr<LangExpr>(new LangExpr());
+  e->kind_ = Kind::kDist;
+  e->token_ = std::move(tok1);
+  e->var_ = std::move(tok2);
+  e->pred_consts_ = {limit};
+  return e;
+}
+
+std::string LangExpr::ToString() const {
+  switch (kind_) {
+    case Kind::kToken:
+      return "'" + token_ + "'";
+    case Kind::kAny:
+      return "ANY";
+    case Kind::kVarHasToken:
+      return var_ + " HAS '" + token_ + "'";
+    case Kind::kVarHasAny:
+      return var_ + " HAS ANY";
+    case Kind::kNot:
+      return "NOT (" + left_->ToString() + ")";
+    case Kind::kAnd:
+      return "(" + left_->ToString() + " AND " + right_->ToString() + ")";
+    case Kind::kOr:
+      return "(" + left_->ToString() + " OR " + right_->ToString() + ")";
+    case Kind::kSome:
+      return "SOME " + var_ + " (" + left_->ToString() + ")";
+    case Kind::kEvery:
+      return "EVERY " + var_ + " (" + left_->ToString() + ")";
+    case Kind::kPred: {
+      std::string out = pred_name_ + "(";
+      bool first = true;
+      for (const std::string& v : pred_vars_) {
+        if (!first) out += ", ";
+        first = false;
+        out += v;
+      }
+      for (int64_t c : pred_consts_) {
+        if (!first) out += ", ";
+        first = false;
+        out += std::to_string(c);
+      }
+      return out + ")";
+    }
+    case Kind::kDist: {
+      std::string t1 = token_.empty() ? "ANY" : "'" + token_ + "'";
+      std::string t2 = var_.empty() ? "ANY" : "'" + var_ + "'";
+      return "dist(" + t1 + ", " + t2 + ", " + std::to_string(pred_consts_[0]) + ")";
+    }
+  }
+  return "?";
+}
+
+void CollectSurfaceTokens(const LangExprPtr& e, std::vector<std::string>* out) {
+  if (!e) return;
+  switch (e->kind()) {
+    case LangExpr::Kind::kToken:
+      out->push_back(e->token());
+      return;
+    case LangExpr::Kind::kVarHasToken:
+      out->push_back(e->token());
+      return;
+    case LangExpr::Kind::kDist:
+      if (!e->dist_tok1().empty()) out->push_back(e->dist_tok1());
+      if (!e->dist_tok2().empty()) out->push_back(e->dist_tok2());
+      return;
+    case LangExpr::Kind::kAny:
+    case LangExpr::Kind::kVarHasAny:
+    case LangExpr::Kind::kPred:
+      return;
+    case LangExpr::Kind::kNot:
+    case LangExpr::Kind::kSome:
+    case LangExpr::Kind::kEvery:
+      CollectSurfaceTokens(e->child(), out);
+      return;
+    case LangExpr::Kind::kAnd:
+    case LangExpr::Kind::kOr:
+      CollectSurfaceTokens(e->left(), out);
+      CollectSurfaceTokens(e->right(), out);
+      return;
+  }
+}
+
+LangExprPtr NormalizeSurface(const LangExprPtr& e) {
+  if (!e) return e;
+  switch (e->kind()) {
+    case LangExpr::Kind::kToken:
+    case LangExpr::Kind::kAny:
+    case LangExpr::Kind::kVarHasToken:
+    case LangExpr::Kind::kVarHasAny:
+    case LangExpr::Kind::kPred:
+    case LangExpr::Kind::kDist:
+      return e;
+    case LangExpr::Kind::kNot: {
+      LangExprPtr c = NormalizeSurface(e->child());
+      if (c->kind() == LangExpr::Kind::kNot) return c->child();  // ¬¬A = A
+      return LangExpr::Not(std::move(c));
+    }
+    case LangExpr::Kind::kAnd:
+      return LangExpr::And(NormalizeSurface(e->left()), NormalizeSurface(e->right()));
+    case LangExpr::Kind::kOr:
+      return LangExpr::Or(NormalizeSurface(e->left()), NormalizeSurface(e->right()));
+    case LangExpr::Kind::kSome:
+      return LangExpr::Some(e->var(), NormalizeSurface(e->child()));
+    case LangExpr::Kind::kEvery: {
+      // EVERY v Q  ≡  NOT SOME v (NOT Q); re-normalize to collapse ¬¬.
+      LangExprPtr body = NormalizeSurface(e->child());
+      LangExprPtr inner = body->kind() == LangExpr::Kind::kNot
+                              ? body->child()
+                              : LangExpr::Not(std::move(body));
+      return LangExpr::Not(LangExpr::Some(e->var(), std::move(inner)));
+    }
+  }
+  return e;
+}
+
+}  // namespace fts

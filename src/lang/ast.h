@@ -1,0 +1,100 @@
+// Surface syntax trees for the paper's query languages (Section 4):
+//
+//   BOOL       Query := Token | NOT Q | Q AND Q | Q OR Q
+//              Token := StringLiteral | ANY
+//   BOOL-NONEG BOOL without ANY, NOT only as "Q AND NOT Q"
+//   DIST       BOOL plus dist(Token, Token, Integer)
+//   COMP       BOOL plus position variables:
+//              Query += SOME Var Q | EVERY Var Q | Preds
+//              Token += Var HAS StringLiteral | Var HAS ANY
+//
+// One AST covers all four; parsers restrict which constructs may appear and
+// the classifier (lang/classify.h) maps any tree to the cheapest evaluation
+// class. DIST's dist(...) is kept as its own node (kDist) so that language
+// membership remains visible after parsing; translation desugars it.
+
+#ifndef FTS_LANG_AST_H_
+#define FTS_LANG_AST_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace fts {
+
+class LangExpr;
+using LangExprPtr = std::shared_ptr<const LangExpr>;
+
+/// Immutable surface-language expression node.
+class LangExpr {
+ public:
+  enum class Kind {
+    kToken,        ///< 'literal'
+    kAny,          ///< ANY
+    kVarHasToken,  ///< var HAS 'literal'
+    kVarHasAny,    ///< var HAS ANY
+    kNot,
+    kAnd,
+    kOr,
+    kSome,         ///< SOME var Query
+    kEvery,        ///< EVERY var Query
+    kPred,         ///< name(var..., int...)
+    kDist,         ///< dist(Token, Token, Integer)   (DIST language sugar)
+  };
+
+  Kind kind() const { return kind_; }
+  const std::string& token() const { return token_; }
+  const std::string& var() const { return var_; }
+  const std::string& pred_name() const { return pred_name_; }
+  const std::vector<std::string>& pred_vars() const { return pred_vars_; }
+  const std::vector<int64_t>& pred_consts() const { return pred_consts_; }
+  /// kDist accessors: empty token string means ANY on that side.
+  const std::string& dist_tok1() const { return token_; }
+  const std::string& dist_tok2() const { return var_; }
+  int64_t dist_limit() const { return pred_consts_[0]; }
+  const LangExprPtr& child() const { return left_; }
+  const LangExprPtr& left() const { return left_; }
+  const LangExprPtr& right() const { return right_; }
+
+  /// Round-trippable COMP-syntax rendering.
+  std::string ToString() const;
+
+  // Factories.
+  static LangExprPtr Token(std::string token);
+  static LangExprPtr Any();
+  static LangExprPtr VarHasToken(std::string var, std::string token);
+  static LangExprPtr VarHasAny(std::string var);
+  static LangExprPtr Not(LangExprPtr e);
+  static LangExprPtr And(LangExprPtr l, LangExprPtr r);
+  static LangExprPtr Or(LangExprPtr l, LangExprPtr r);
+  static LangExprPtr Some(std::string var, LangExprPtr body);
+  static LangExprPtr Every(std::string var, LangExprPtr body);
+  static LangExprPtr Pred(std::string name, std::vector<std::string> vars,
+                          std::vector<int64_t> consts);
+  /// dist(tok1, tok2, limit); empty token means ANY.
+  static LangExprPtr Dist(std::string tok1, std::string tok2, int64_t limit);
+
+ private:
+  LangExpr() = default;
+
+  Kind kind_;
+  std::string token_;
+  std::string var_;
+  std::string pred_name_;
+  std::vector<std::string> pred_vars_;
+  std::vector<int64_t> pred_consts_;
+  LangExprPtr left_, right_;
+};
+
+/// Rewrites EVERY v Q into NOT SOME v (NOT Q) and removes double negations.
+/// Classification and the pipelined engines run on normalized trees.
+LangExprPtr NormalizeSurface(const LangExprPtr& e);
+
+/// Appends every token literal mentioned in `e` (including dist() operands
+/// and HAS targets) to `out`; used to build query-specific score models.
+void CollectSurfaceTokens(const LangExprPtr& e, std::vector<std::string>* out);
+
+}  // namespace fts
+
+#endif  // FTS_LANG_AST_H_

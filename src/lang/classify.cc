@@ -1,0 +1,194 @@
+#include "lang/classify.h"
+
+#include <vector>
+
+namespace fts {
+
+const char* LanguageClassToString(LanguageClass cls) {
+  switch (cls) {
+    case LanguageClass::kBoolNoNeg: return "BOOL-NONEG";
+    case LanguageClass::kBool: return "BOOL";
+    case LanguageClass::kPpred: return "PPRED";
+    case LanguageClass::kNpred: return "NPRED";
+    case LanguageClass::kComp: return "COMP";
+  }
+  return "?";
+}
+
+namespace {
+
+void FreeVarsImpl(const LangExprPtr& e, std::vector<std::string>* bound,
+                  std::set<std::string>* out) {
+  switch (e->kind()) {
+    case LangExpr::Kind::kToken:
+    case LangExpr::Kind::kAny:
+    case LangExpr::Kind::kDist:
+      return;
+    case LangExpr::Kind::kVarHasToken:
+    case LangExpr::Kind::kVarHasAny: {
+      for (const std::string& b : *bound) {
+        if (b == e->var()) return;
+      }
+      out->insert(e->var());
+      return;
+    }
+    case LangExpr::Kind::kPred: {
+      for (const std::string& v : e->pred_vars()) {
+        bool is_bound = false;
+        for (const std::string& b : *bound) {
+          if (b == v) {
+            is_bound = true;
+            break;
+          }
+        }
+        if (!is_bound) out->insert(v);
+      }
+      return;
+    }
+    case LangExpr::Kind::kNot:
+      FreeVarsImpl(e->child(), bound, out);
+      return;
+    case LangExpr::Kind::kAnd:
+    case LangExpr::Kind::kOr:
+      FreeVarsImpl(e->left(), bound, out);
+      FreeVarsImpl(e->right(), bound, out);
+      return;
+    case LangExpr::Kind::kSome:
+    case LangExpr::Kind::kEvery:
+      bound->push_back(e->var());
+      FreeVarsImpl(e->child(), bound, out);
+      bound->pop_back();
+      return;
+  }
+}
+
+/// True when `e` stays within plain BOOL (tokens/ANY/NOT/AND/OR).
+bool IsBool(const LangExprPtr& e) {
+  switch (e->kind()) {
+    case LangExpr::Kind::kToken:
+    case LangExpr::Kind::kAny:
+      return true;
+    case LangExpr::Kind::kNot:
+      return IsBool(e->child());
+    case LangExpr::Kind::kAnd:
+    case LangExpr::Kind::kOr:
+      return IsBool(e->left()) && IsBool(e->right());
+    default:
+      return false;
+  }
+}
+
+/// True when `e` stays within BOOL-NONEG: tokens only (no ANY), NOT only as
+/// a conjunct that has a positive sibling conjunct.
+bool IsBoolNoNeg(const LangExprPtr& e, bool not_allowed_here) {
+  switch (e->kind()) {
+    case LangExpr::Kind::kToken:
+      return true;
+    case LangExpr::Kind::kNot:
+      return not_allowed_here && IsBoolNoNeg(e->child(), false);
+    case LangExpr::Kind::kAnd: {
+      // At least one conjunct must be positive for the AND NOT form.
+      const bool lneg = e->left()->kind() == LangExpr::Kind::kNot;
+      const bool rneg = e->right()->kind() == LangExpr::Kind::kNot;
+      if (lneg && rneg) return false;
+      return IsBoolNoNeg(e->left(), true) && IsBoolNoNeg(e->right(), true);
+    }
+    case LangExpr::Kind::kOr:
+      return IsBoolNoNeg(e->left(), false) && IsBoolNoNeg(e->right(), false);
+    default:
+      return false;
+  }
+}
+
+/// Flattens an AND chain into conjuncts.
+void FlattenAnd(const LangExprPtr& e, std::vector<LangExprPtr>* out) {
+  if (e->kind() == LangExpr::Kind::kAnd) {
+    FlattenAnd(e->left(), out);
+    FlattenAnd(e->right(), out);
+  } else {
+    out->push_back(e);
+  }
+}
+
+/// Checks whether `e` is evaluable by the pipelined engines.
+/// `allow_negative_preds` distinguishes NPRED from PPRED.
+bool IsPipelined(const LangExprPtr& e, bool allow_negative_preds,
+                 const PredicateRegistry& registry) {
+  switch (e->kind()) {
+    case LangExpr::Kind::kToken:
+    case LangExpr::Kind::kVarHasToken:
+    case LangExpr::Kind::kDist:
+      return true;
+    case LangExpr::Kind::kAny:
+    case LangExpr::Kind::kVarHasAny:
+      // Explicit ANY requires IL_ANY, which PPRED/NPRED never touch
+      // (Section 5.5: "cannot explicitly specify ANY").
+      return false;
+    case LangExpr::Kind::kPred: {
+      const PositionPredicate* pred = registry.Find(e->pred_name());
+      if (pred == nullptr) return false;
+      if (pred->cls() == PredicateClass::kPositive) return true;
+      return allow_negative_preds && pred->cls() == PredicateClass::kNegative;
+    }
+    case LangExpr::Kind::kAnd: {
+      std::vector<LangExprPtr> conjuncts;
+      FlattenAnd(e, &conjuncts);
+      size_t positives = 0;
+      for (const LangExprPtr& c : conjuncts) {
+        if (c->kind() == LangExpr::Kind::kNot) {
+          // "Query AND NOT Query*": the negated side must be closed and
+          // itself pipeline-evaluable (it runs as a node-level difference).
+          // Negative predicates are not allowed under the negation: NPRED's
+          // union-over-orderings does not commute with complement.
+          if (!FreeSurfaceVars(c->child()).empty()) return false;
+          if (!IsPipelined(c->child(), /*allow_negative_preds=*/false, registry)) {
+            return false;
+          }
+        } else {
+          if (!IsPipelined(c, allow_negative_preds, registry)) return false;
+          ++positives;
+        }
+      }
+      return positives > 0;  // a pure negation has no driving scan
+    }
+    case LangExpr::Kind::kOr: {
+      // Branches must bind the same variables: otherwise union-compatible
+      // schemas would require IL_ANY padding.
+      if (FreeSurfaceVars(e->left()) != FreeSurfaceVars(e->right())) return false;
+      return IsPipelined(e->left(), allow_negative_preds, registry) &&
+             IsPipelined(e->right(), allow_negative_preds, registry);
+    }
+    case LangExpr::Kind::kSome:
+      return IsPipelined(e->child(), allow_negative_preds, registry);
+    case LangExpr::Kind::kEvery:
+      return false;  // normalized away before classification
+    case LangExpr::Kind::kNot:
+      return false;  // negation outside AND needs the node universe
+  }
+  return false;
+}
+
+}  // namespace
+
+std::set<std::string> FreeSurfaceVars(const LangExprPtr& e) {
+  std::set<std::string> out;
+  std::vector<std::string> bound;
+  if (e) FreeVarsImpl(e, &bound, &out);
+  return out;
+}
+
+LanguageClass ClassifyQuery(const LangExprPtr& query,
+                            const PredicateRegistry& registry) {
+  LangExprPtr e = NormalizeSurface(query);
+  if (IsBoolNoNeg(e, false)) return LanguageClass::kBoolNoNeg;
+  if (IsBool(e)) return LanguageClass::kBool;
+  if (IsPipelined(e, /*allow_negative_preds=*/false, registry)) {
+    return LanguageClass::kPpred;
+  }
+  if (IsPipelined(e, /*allow_negative_preds=*/true, registry)) {
+    return LanguageClass::kNpred;
+  }
+  return LanguageClass::kComp;
+}
+
+}  // namespace fts

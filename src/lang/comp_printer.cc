@@ -1,0 +1,52 @@
+#include "lang/comp_printer.h"
+
+#include "calculus/analysis.h"
+
+namespace fts {
+
+std::string FormatCalcExprAsComp(const CalcExprPtr& e) {
+  switch (e->kind()) {
+    case CalcExpr::Kind::kHasPos:
+      return "p" + std::to_string(e->var()) + " HAS ANY";
+    case CalcExpr::Kind::kHasToken:
+      return "p" + std::to_string(e->var()) + " HAS '" + e->token() + "'";
+    case CalcExpr::Kind::kPred: {
+      std::string out(e->pred().pred->name());
+      out += "(";
+      bool first = true;
+      for (VarId v : e->pred().vars) {
+        if (!first) out += ", ";
+        first = false;
+        out += "p" + std::to_string(v);
+      }
+      for (int64_t c : e->pred().consts) {
+        if (!first) out += ", ";
+        first = false;
+        out += std::to_string(c);
+      }
+      return out + ")";
+    }
+    case CalcExpr::Kind::kNot:
+      return "NOT (" + FormatCalcExprAsComp(e->child()) + ")";
+    case CalcExpr::Kind::kAnd:
+      return "(" + FormatCalcExprAsComp(e->left()) + " AND " +
+             FormatCalcExprAsComp(e->right()) + ")";
+    case CalcExpr::Kind::kOr:
+      return "(" + FormatCalcExprAsComp(e->left()) + " OR " +
+             FormatCalcExprAsComp(e->right()) + ")";
+    case CalcExpr::Kind::kExists:
+      return "SOME p" + std::to_string(e->var()) + " (" +
+             FormatCalcExprAsComp(e->child()) + ")";
+    case CalcExpr::Kind::kForAll:
+      return "EVERY p" + std::to_string(e->var()) + " (" +
+             FormatCalcExprAsComp(e->child()) + ")";
+  }
+  return "?";
+}
+
+StatusOr<std::string> FormatCalcAsComp(const CalcQuery& query) {
+  FTS_RETURN_IF_ERROR(ValidateQuery(query));
+  return FormatCalcExprAsComp(query.expr);
+}
+
+}  // namespace fts

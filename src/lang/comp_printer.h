@@ -1,0 +1,34 @@
+// The constructive content of Theorem 6: every calculus query can be
+// expressed in COMP. FormatCalcAsComp renders an FTC formula as COMP
+// syntax that parses and translates back to an equivalent query — the
+// completeness proof, executable.
+
+#ifndef FTS_LANG_COMP_PRINTER_H_
+#define FTS_LANG_COMP_PRINTER_H_
+
+#include <string>
+
+#include "calculus/ftc.h"
+#include "common/status.h"
+
+namespace fts {
+
+/// Renders a closed calculus query in COMP syntax, following the Theorem 6
+/// construction:
+///
+///   hasPos(n, v)          ->  v HAS ANY
+///   hasToken(v, t)        ->  v HAS 't'
+///   pred(v..., c...)      ->  pred(v..., c...)
+///   ¬e / e1∧e2 / e1∨e2    ->  NOT / AND / OR
+///   ∃v(hasPos ∧ e)        ->  SOME v (e)
+///   ∀v(hasPos ⇒ e)        ->  EVERY v (e)
+///
+/// Variables print as p<id>. Fails on open queries.
+StatusOr<std::string> FormatCalcAsComp(const CalcQuery& query);
+
+/// Formula-level rendering (free variables allowed); exposed for tests.
+std::string FormatCalcExprAsComp(const CalcExprPtr& expr);
+
+}  // namespace fts
+
+#endif  // FTS_LANG_COMP_PRINTER_H_

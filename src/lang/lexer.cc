@@ -1,0 +1,107 @@
+#include "lang/lexer.h"
+
+#include <cctype>
+
+namespace fts {
+
+const char* LexKindToString(LexKind kind) {
+  switch (kind) {
+    case LexKind::kIdent: return "identifier";
+    case LexKind::kString: return "string literal";
+    case LexKind::kInt: return "integer";
+    case LexKind::kLParen: return "'('";
+    case LexKind::kRParen: return "')'";
+    case LexKind::kComma: return "','";
+    case LexKind::kNot: return "NOT";
+    case LexKind::kAnd: return "AND";
+    case LexKind::kOr: return "OR";
+    case LexKind::kSome: return "SOME";
+    case LexKind::kEvery: return "EVERY";
+    case LexKind::kAny: return "ANY";
+    case LexKind::kHas: return "HAS";
+    case LexKind::kEnd: return "end of input";
+  }
+  return "?";
+}
+
+namespace {
+
+std::string Upper(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  return out;
+}
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+}  // namespace
+
+StatusOr<std::vector<LexToken>> LexQuery(std::string_view query) {
+  std::vector<LexToken> out;
+  size_t i = 0;
+  const size_t n = query.size();
+  while (i < n) {
+    const char c = query[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    const size_t start = i;
+    if (c == '(') {
+      out.push_back({LexKind::kLParen, "(", 0, start});
+      ++i;
+    } else if (c == ')') {
+      out.push_back({LexKind::kRParen, ")", 0, start});
+      ++i;
+    } else if (c == ',') {
+      out.push_back({LexKind::kComma, ",", 0, start});
+      ++i;
+    } else if (c == '\'') {
+      ++i;
+      std::string text;
+      while (i < n && query[i] != '\'') text.push_back(query[i++]);
+      if (i >= n) {
+        return Status::InvalidArgument("unterminated string literal at offset " +
+                                       std::to_string(start));
+      }
+      ++i;  // closing quote
+      out.push_back({LexKind::kString, std::move(text), 0, start});
+    } else if (std::isdigit(static_cast<unsigned char>(c)) ||
+               (c == '-' && i + 1 < n && std::isdigit(static_cast<unsigned char>(query[i + 1])))) {
+      size_t j = i + (c == '-' ? 1 : 0);
+      while (j < n && std::isdigit(static_cast<unsigned char>(query[j]))) ++j;
+      LexToken t{LexKind::kInt, std::string(query.substr(i, j - i)), 0, start};
+      t.value = std::stoll(t.text);
+      out.push_back(std::move(t));
+      i = j;
+    } else if (IsIdentStart(c)) {
+      size_t j = i;
+      while (j < n && IsIdentChar(query[j])) ++j;
+      std::string text(query.substr(i, j - i));
+      const std::string upper = Upper(text);
+      LexKind kind = LexKind::kIdent;
+      if (upper == "NOT") kind = LexKind::kNot;
+      else if (upper == "AND") kind = LexKind::kAnd;
+      else if (upper == "OR") kind = LexKind::kOr;
+      else if (upper == "SOME") kind = LexKind::kSome;
+      else if (upper == "EVERY") kind = LexKind::kEvery;
+      else if (upper == "ANY") kind = LexKind::kAny;
+      else if (upper == "HAS") kind = LexKind::kHas;
+      out.push_back({kind, std::move(text), 0, start});
+      i = j;
+    } else {
+      return Status::InvalidArgument("unexpected character '" + std::string(1, c) +
+                                     "' at offset " + std::to_string(start));
+    }
+  }
+  out.push_back({LexKind::kEnd, "", 0, n});
+  return out;
+}
+
+}  // namespace fts

@@ -1,0 +1,53 @@
+// Lexer shared by the BOOL / DIST / COMP parsers. Produces a token stream
+// of keywords (NOT AND OR SOME EVERY ANY HAS, case-insensitive), quoted
+// string literals, bare identifiers, integers and punctuation, with byte
+// offsets for error reporting.
+
+#ifndef FTS_LANG_LEXER_H_
+#define FTS_LANG_LEXER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace fts {
+
+/// Lexical token categories.
+enum class LexKind {
+  kIdent,    ///< bare identifier (variable, predicate name, or bare token)
+  kString,   ///< 'quoted literal'
+  kInt,      ///< integer literal
+  kLParen,
+  kRParen,
+  kComma,
+  kNot,
+  kAnd,
+  kOr,
+  kSome,
+  kEvery,
+  kAny,
+  kHas,
+  kEnd,      ///< end of input
+};
+
+const char* LexKindToString(LexKind kind);
+
+/// One lexical token with its source offset.
+struct LexToken {
+  LexKind kind;
+  std::string text;   // identifier spelling / string contents
+  int64_t value = 0;  // kInt only
+  size_t offset = 0;  // byte offset in the query string
+};
+
+/// Tokenizes `query`; fails with a position-annotated InvalidArgument on
+/// unterminated strings or unexpected characters. The result always ends
+/// with a kEnd token.
+StatusOr<std::vector<LexToken>> LexQuery(std::string_view query);
+
+}  // namespace fts
+
+#endif  // FTS_LANG_LEXER_H_

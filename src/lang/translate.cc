@@ -1,0 +1,124 @@
+#include "lang/translate.h"
+
+#include <unordered_map>
+#include <vector>
+
+#include "calculus/analysis.h"
+
+namespace fts {
+
+namespace {
+
+class Translator {
+ public:
+  explicit Translator(const PredicateRegistry& registry) : registry_(registry) {}
+
+  StatusOr<CalcExprPtr> Translate(const LangExprPtr& e) {
+    switch (e->kind()) {
+      case LangExpr::Kind::kToken: {
+        const VarId v = Fresh();
+        return CalcExprPtr(CalcExpr::Exists(v, CalcExpr::HasToken(v, e->token())));
+      }
+      case LangExpr::Kind::kAny: {
+        const VarId v = Fresh();
+        return CalcExprPtr(CalcExpr::Exists(v, CalcExpr::HasPos(v)));
+      }
+      case LangExpr::Kind::kVarHasToken: {
+        FTS_ASSIGN_OR_RETURN(VarId v, Resolve(e->var()));
+        return CalcExprPtr(CalcExpr::HasToken(v, e->token()));
+      }
+      case LangExpr::Kind::kVarHasAny: {
+        FTS_ASSIGN_OR_RETURN(VarId v, Resolve(e->var()));
+        return CalcExprPtr(CalcExpr::HasPos(v));
+      }
+      case LangExpr::Kind::kNot: {
+        FTS_ASSIGN_OR_RETURN(CalcExprPtr c, Translate(e->child()));
+        return CalcExprPtr(CalcExpr::Not(std::move(c)));
+      }
+      case LangExpr::Kind::kAnd: {
+        FTS_ASSIGN_OR_RETURN(CalcExprPtr l, Translate(e->left()));
+        FTS_ASSIGN_OR_RETURN(CalcExprPtr r, Translate(e->right()));
+        return CalcExprPtr(CalcExpr::And(std::move(l), std::move(r)));
+      }
+      case LangExpr::Kind::kOr: {
+        FTS_ASSIGN_OR_RETURN(CalcExprPtr l, Translate(e->left()));
+        FTS_ASSIGN_OR_RETURN(CalcExprPtr r, Translate(e->right()));
+        return CalcExprPtr(CalcExpr::Or(std::move(l), std::move(r)));
+      }
+      case LangExpr::Kind::kSome:
+      case LangExpr::Kind::kEvery: {
+        const VarId v = Fresh();
+        scopes_.push_back({e->var(), v});
+        FTS_ASSIGN_OR_RETURN(CalcExprPtr body, Translate(e->child()));
+        scopes_.pop_back();
+        return e->kind() == LangExpr::Kind::kSome
+                   ? CalcExprPtr(CalcExpr::Exists(v, std::move(body)))
+                   : CalcExprPtr(CalcExpr::ForAll(v, std::move(body)));
+      }
+      case LangExpr::Kind::kPred: {
+        const PositionPredicate* pred = registry_.Find(e->pred_name());
+        if (pred == nullptr) {
+          return Status::NotFound("unknown predicate '" + e->pred_name() + "'");
+        }
+        FTS_RETURN_IF_ERROR(
+            pred->ValidateSignature(e->pred_vars().size(), e->pred_consts().size()));
+        std::vector<VarId> vars;
+        vars.reserve(e->pred_vars().size());
+        for (const std::string& name : e->pred_vars()) {
+          FTS_ASSIGN_OR_RETURN(VarId v, Resolve(name));
+          vars.push_back(v);
+        }
+        return CalcExprPtr(CalcExpr::Pred(pred, std::move(vars), e->pred_consts()));
+      }
+      case LangExpr::Kind::kDist: {
+        const PositionPredicate* distance = registry_.Find("distance");
+        if (distance == nullptr) {
+          return Status::Internal("builtin predicate 'distance' missing");
+        }
+        const VarId p1 = Fresh();
+        const VarId p2 = Fresh();
+        CalcExprPtr bind2 = e->dist_tok2().empty()
+                                ? CalcExpr::HasPos(p2)
+                                : CalcExpr::HasToken(p2, e->dist_tok2());
+        CalcExprPtr inner = CalcExpr::Exists(
+            p2, CalcExpr::And(std::move(bind2),
+                              CalcExpr::Pred(distance, {p1, p2}, {e->dist_limit()})));
+        CalcExprPtr bind1 = e->dist_tok1().empty()
+                                ? CalcExpr::HasPos(p1)
+                                : CalcExpr::HasToken(p1, e->dist_tok1());
+        return CalcExprPtr(
+            CalcExpr::Exists(p1, CalcExpr::And(std::move(bind1), std::move(inner))));
+      }
+    }
+    return Status::Internal("unreachable surface kind");
+  }
+
+ private:
+  VarId Fresh() { return next_var_++; }
+
+  StatusOr<VarId> Resolve(const std::string& name) {
+    for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it) {
+      if (it->first == name) return it->second;
+    }
+    return Status::InvalidArgument("variable '" + name +
+                                   "' used outside any SOME/EVERY binding");
+  }
+
+  const PredicateRegistry& registry_;
+  std::vector<std::pair<std::string, VarId>> scopes_;
+  VarId next_var_ = 0;
+};
+
+}  // namespace
+
+StatusOr<CalcQuery> TranslateToCalculus(const LangExprPtr& query,
+                                        const PredicateRegistry& registry) {
+  if (!query) return Status::InvalidArgument("null query");
+  Translator t(registry);
+  FTS_ASSIGN_OR_RETURN(CalcExprPtr expr, t.Translate(query));
+  CalcQuery q{std::move(expr)};
+  FTS_RETURN_IF_ERROR(ValidateQuery(q));
+  return q;
+}
+
+}  // namespace fts

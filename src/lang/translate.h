@@ -1,0 +1,36 @@
+// Semantic translation of surface queries to the full-text calculus, per
+// the denotations in paper Sections 4.1-4.3:
+//
+//   'tok'            ↦ ∃p (hasPos(n,p) ∧ hasToken(p,'tok'))
+//   ANY              ↦ ∃p hasPos(n,p)
+//   v HAS 'tok'      ↦ hasToken(v,'tok')
+//   v HAS ANY        ↦ hasPos(n,v)
+//   NOT/AND/OR       ↦ ¬ / ∧ / ∨
+//   SOME v Q         ↦ ∃v (hasPos(n,v) ∧ Q)
+//   EVERY v Q        ↦ ∀v (hasPos(n,v) ⇒ Q)
+//   pred(v..., c...) ↦ pred(v..., c...)
+//   dist(t1,t2,d)    ↦ ∃p1(hasPos ∧ hasToken(p1,t1) ∧
+//                        ∃p2(hasPos ∧ hasToken(p2,t2) ∧ distance(p1,p2,d)))
+//
+// Variables are resolved lexically; a variable used outside any enclosing
+// SOME/EVERY is an error (the resulting calculus query must be closed).
+
+#ifndef FTS_LANG_TRANSLATE_H_
+#define FTS_LANG_TRANSLATE_H_
+
+#include "calculus/ftc.h"
+#include "common/status.h"
+#include "lang/ast.h"
+#include "predicates/predicate.h"
+
+namespace fts {
+
+/// Translates a parsed surface query into a validated, closed calculus
+/// query. Predicate names resolve against `registry`.
+StatusOr<CalcQuery> TranslateToCalculus(const LangExprPtr& query,
+                                        const PredicateRegistry& registry =
+                                            PredicateRegistry::Default());
+
+}  // namespace fts
+
+#endif  // FTS_LANG_TRANSLATE_H_

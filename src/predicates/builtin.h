@@ -1,0 +1,34 @@
+// Builtin position predicates (paper Sections 2.2, 5.5.1, 5.6.1).
+//
+// Positive predicates:
+//   distance(p1, p2, d)   — at most d intervening tokens between p1 and p2
+//                           (order-insensitive): |off1 - off2| <= d + 1.
+//   odistance(p1, p2, d)  — p1 before p2 with at most d intervening tokens:
+//                           0 < off2 - off1 <= d + 1 (phrase = d 0).
+//   ordered(p1, p2)       — p1 occurs before p2.
+//   samepara(p1, p2)      — same paragraph.
+//   samesentence(p1, p2)  — same sentence.
+//   window(p1..pn, w)     — all positions within a span of w tokens
+//                           (max offset - min offset <= w); n-ary.
+//
+// Negative predicates (negations of the above, plus diffpos):
+//   not_distance(p1, p2, d), not_ordered(p1, p2), not_samepara(p1, p2),
+//   not_samesentence(p1, p2), diffpos(p1, p2).
+//
+// not_ordered is the complement of ordered over *distinct* positions; on
+// aliased positions (same offset) the negative-predicate property of
+// Section 5.6.1 would not hold, but distinct tokens never share an offset.
+
+#ifndef FTS_PREDICATES_BUILTIN_H_
+#define FTS_PREDICATES_BUILTIN_H_
+
+#include "predicates/predicate.h"
+
+namespace fts {
+
+/// Registers all builtin predicates into `registry`.
+void RegisterBuiltinPredicates(PredicateRegistry* registry);
+
+}  // namespace fts
+
+#endif  // FTS_PREDICATES_BUILTIN_H_

@@ -1,0 +1,103 @@
+#include "predicates/predicate.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "predicates/builtin.h"
+
+namespace fts {
+
+const char* PredicateClassToString(PredicateClass cls) {
+  switch (cls) {
+    case PredicateClass::kPositive:
+      return "positive";
+    case PredicateClass::kNegative:
+      return "negative";
+    case PredicateClass::kGeneral:
+      return "general";
+  }
+  return "unknown";
+}
+
+void PositionPredicate::AdvanceBounds(std::span<const PositionInfo>,
+                                      std::span<const int64_t>,
+                                      std::span<uint32_t>) const {
+  // Only positive predicates participate in PPRED evaluation; reaching this
+  // default means an engine routed a non-positive predicate incorrectly.
+  std::abort();
+}
+
+uint32_t PositionPredicate::NegativeAdvanceTarget(std::span<const PositionInfo>,
+                                                  std::span<const int64_t>,
+                                                  size_t) const {
+  std::abort();
+}
+
+size_t PositionPredicate::LargestArgument(
+    std::span<const PositionInfo> positions) const {
+  size_t mx = 0;
+  for (size_t i = 1; i < positions.size(); ++i) {
+    if (positions[i].offset >= positions[mx].offset) mx = i;
+  }
+  return mx;
+}
+
+double PositionPredicate::ScoreFactor(std::span<const PositionInfo>,
+                                      std::span<const int64_t>) const {
+  return 1.0;
+}
+
+Status PositionPredicate::ValidateSignature(size_t num_positions,
+                                            size_t num_consts) const {
+  if (arity() == kVariadic) {
+    if (num_positions < 2) {
+      return Status::InvalidArgument(std::string(name()) +
+                                     " requires at least 2 position arguments");
+    }
+  } else if (num_positions != static_cast<size_t>(arity())) {
+    return Status::InvalidArgument(std::string(name()) + " expects " +
+                                   std::to_string(arity()) + " positions, got " +
+                                   std::to_string(num_positions));
+  }
+  if (num_consts != static_cast<size_t>(num_constants())) {
+    return Status::InvalidArgument(std::string(name()) + " expects " +
+                                   std::to_string(num_constants()) +
+                                   " constants, got " + std::to_string(num_consts));
+  }
+  return Status::OK();
+}
+
+PredicateRegistry::PredicateRegistry() = default;
+
+const PredicateRegistry& PredicateRegistry::Default() {
+  static const PredicateRegistry* registry = [] {
+    auto* r = new PredicateRegistry();
+    RegisterBuiltinPredicates(r);
+    return r;
+  }();
+  return *registry;
+}
+
+Status PredicateRegistry::Register(std::shared_ptr<const PositionPredicate> pred) {
+  std::string name(pred->name());
+  auto [it, inserted] = preds_.emplace(std::move(name), std::move(pred));
+  if (!inserted) {
+    return Status::InvalidArgument("predicate already registered: " + it->first);
+  }
+  return Status::OK();
+}
+
+const PositionPredicate* PredicateRegistry::Find(std::string_view name) const {
+  auto it = preds_.find(std::string(name));
+  return it == preds_.end() ? nullptr : it->second.get();
+}
+
+std::vector<std::string> PredicateRegistry::Names() const {
+  std::vector<std::string> names;
+  names.reserve(preds_.size());
+  for (const auto& [name, pred] : preds_) names.push_back(name);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+}  // namespace fts

@@ -1,0 +1,28 @@
+#include "scoring/probabilistic.h"
+
+#include <cmath>
+
+namespace fts {
+
+ProbabilisticScoreModel::ProbabilisticScoreModel(const InvertedIndex* index)
+    : index_(index) {
+  norm_ = std::log(1.0 + static_cast<double>(index->num_nodes()));
+  if (norm_ <= 0) norm_ = 1.0;
+}
+
+double ProbabilisticScoreModel::LeafScore(const InvertedIndex& index, TokenId token,
+                                          NodeId) const {
+  const uint32_t df = index.df(token);
+  if (df == 0) return 0.0;
+  const double idf = std::log(1.0 + static_cast<double>(index.num_nodes()) / df);
+  return idf / norm_;
+}
+
+double ProbabilisticScoreModel::EntryScore(const InvertedIndex& index, TokenId token,
+                                           NodeId node, size_t count) const {
+  // Noisy-or of `count` independent occurrences, in closed form.
+  const double p = LeafScore(index, token, node);
+  return 1.0 - std::pow(1.0 - p, static_cast<double>(count));
+}
+
+}  // namespace fts

@@ -1,0 +1,80 @@
+#include "scoring/tfidf.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fts {
+
+TfIdfScoreModel::TfIdfScoreModel(const InvertedIndex* index,
+                                 std::vector<std::string> query_tokens)
+    : index_(index) {
+  std::sort(query_tokens.begin(), query_tokens.end());
+  query_tokens.erase(std::unique(query_tokens.begin(), query_tokens.end()),
+                     query_tokens.end());
+  query_tokens_ = std::move(query_tokens);
+  double sum_sq = 0;
+  for (const std::string& t : query_tokens_) {
+    const TokenId id = index_->LookupToken(t);
+    double idf = 0;
+    if (id != kInvalidToken && index_->df(id) > 0) {
+      idf = std::log(1.0 + static_cast<double>(index_->num_nodes()) / index_->df(id));
+    }
+    idf_[t] = idf;
+    if (id != kInvalidToken) idf_by_id_[id] = idf;
+    sum_sq += idf * idf;
+  }
+  query_norm_ = sum_sq > 0 ? std::sqrt(sum_sq) : 1.0;
+}
+
+double TfIdfScoreModel::LeafScore(const InvertedIndex& index, TokenId token,
+                                  NodeId node) const {
+  auto it = idf_by_id_.find(token);
+  double idf;
+  if (it != idf_by_id_.end()) {
+    idf = it->second;
+  } else {
+    // Token scanned by the plan but absent from the query-token list (e.g.
+    // synthetic plans in tests): fall back to its corpus idf.
+    const uint32_t df = index.df(token);
+    idf = df == 0 ? 0.0
+                  : std::log(1.0 + static_cast<double>(index.num_nodes()) / df);
+  }
+  const double uniq = std::max<uint32_t>(1, index.unique_tokens(node));
+  return idf * idf / (uniq * index.node_norm(node) * query_norm_);
+}
+
+double TfIdfScoreModel::Idf(const std::string& token) const {
+  auto it = idf_.find(token);
+  if (it != idf_.end()) return it->second;
+  const TokenId id = index_->LookupToken(token);
+  if (id == kInvalidToken || index_->df(id) == 0) return 0.0;
+  return std::log(1.0 + static_cast<double>(index_->num_nodes()) / index_->df(id));
+}
+
+double TfIdfScoreModel::DirectNodeScore(NodeId node) const {
+  double score = 0;
+  const double uniq = std::max<uint32_t>(1, index_->unique_tokens(node));
+  for (const std::string& t : query_tokens_) {
+    const PostingList* list = index_->list_for_text(t);
+    if (list == nullptr) continue;
+    // Binary search the entry for `node` (reference computation only; query
+    // evaluation itself never random-accesses lists).
+    size_t lo = 0, hi = list->num_entries();
+    while (lo < hi) {
+      const size_t mid = (lo + hi) / 2;
+      if (list->entry(mid).node < node) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    if (lo >= list->num_entries() || list->entry(lo).node != node) continue;
+    const double occurs = list->entry(lo).pos_count;
+    const double idf = Idf(t);
+    const double tf = occurs / uniq;
+    score += idf /*w(t)*/ * tf * idf;
+  }
+  return score / (index_->node_norm(node) * query_norm_);
+}
+
+}  // namespace fts

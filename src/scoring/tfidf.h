@@ -1,0 +1,80 @@
+// TF-IDF scoring (paper Section 3.1).
+//
+// Formulae (as in the paper):
+//   tf(n,t)  = occurs(n,t) / unique_tokens(n)
+//   idf(t)   = ln(1 + db_size / df(t))
+//   score(n) = Σ_{t∈q} w(t)·tf(n,t)·idf(t) / (‖n‖₂·‖q‖₂)
+//
+// with w(t) = idf(t) and ‖q‖₂ = sqrt(Σ_{t∈q} idf(t)²). Each tuple of R_t
+// carries the precomputable static score idf(t)²/(unique_tokens·‖n‖₂·‖q‖₂);
+// summing it over the occurrences of t in n yields exactly the per-token
+// TF-IDF contribution, which is what Theorem 2's conservation argument
+// propagates through joins (scores split across the per-node join partners)
+// and projections (scores of collapsing tuples add up).
+
+#ifndef FTS_SCORING_TFIDF_H_
+#define FTS_SCORING_TFIDF_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "scoring/score_model.h"
+
+namespace fts {
+
+/// Query-specific TF-IDF score model. Construct once per query with the
+/// query's search tokens (duplicates are collapsed).
+class TfIdfScoreModel : public AlgebraScoreModel {
+ public:
+  TfIdfScoreModel(const InvertedIndex* index, std::vector<std::string> query_tokens);
+
+  std::string_view name() const override { return "tfidf"; }
+
+  double LeafScore(const InvertedIndex& index, TokenId token,
+                   NodeId node) const override;
+  double EntryScore(const InvertedIndex& index, TokenId token, NodeId node,
+                    size_t count) const override {
+    return LeafScore(index, token, node) * static_cast<double>(count);
+  }
+  double AnyLeafScore() const override { return 0.0; }
+  double JoinScore(double s1, size_t group_other1, double s2,
+                   size_t group_other2) const override {
+    // Section 3.1: t3.score = t1.score/|R2| + t2.score/|R1|, with the
+    // cardinalities read per node so the join conserves total score.
+    return s1 / static_cast<double>(group_other1) +
+           s2 / static_cast<double>(group_other2);
+  }
+  double ProjectCombine(double acc, double next) const override { return acc + next; }
+  double SelectScore(double s, const PositionPredicate&,
+                     std::span<const PositionInfo>,
+                     std::span<const int64_t>) const override {
+    return s;  // Section 3.1: selection keeps scores
+  }
+  double UnionBoth(double s1, double s2) const override { return s1 + s2; }
+  double IntersectScore(double s1, double s2) const override {
+    return std::min(s1, s2);
+  }
+
+  /// idf of a token under this model's corpus (0 for out-of-vocabulary).
+  double Idf(const std::string& token) const;
+
+  /// The classical cosine TF-IDF score of `node` against this model's query
+  /// tokens, computed directly from index statistics (the reference value
+  /// in Theorem 2's statement).
+  double DirectNodeScore(NodeId node) const;
+
+  /// ‖q‖₂ for this query.
+  double query_norm() const { return query_norm_; }
+
+ private:
+  const InvertedIndex* index_;
+  std::vector<std::string> query_tokens_;       // distinct
+  std::unordered_map<std::string, double> idf_;  // per distinct query token
+  std::unordered_map<TokenId, double> idf_by_id_;
+  double query_norm_ = 1.0;
+};
+
+}  // namespace fts
+
+#endif  // FTS_SCORING_TFIDF_H_

@@ -1,0 +1,53 @@
+#include "scoring/topk.h"
+
+#include <algorithm>
+
+namespace fts {
+
+namespace {
+// Min-heap comparator: the weakest result sits at the front. Ties prefer
+// evicting the larger node id so results are deterministic.
+bool HeapGreater(const ScoredNode& a, const ScoredNode& b) {
+  if (a.score != b.score) return a.score > b.score;
+  return a.node < b.node;
+}
+}  // namespace
+
+TopKAccumulator::TopKAccumulator(size_t k) : k_(k) { heap_.reserve(k); }
+
+void TopKAccumulator::Add(NodeId node, double score) {
+  if (k_ == 0) return;
+  if (heap_.size() < k_) {
+    heap_.push_back(ScoredNode{node, score});
+    std::push_heap(heap_.begin(), heap_.end(), HeapGreater);
+    return;
+  }
+  const ScoredNode& weakest = heap_.front();
+  if (score < weakest.score || (score == weakest.score && node > weakest.node)) {
+    return;
+  }
+  std::pop_heap(heap_.begin(), heap_.end(), HeapGreater);
+  heap_.back() = ScoredNode{node, score};
+  std::push_heap(heap_.begin(), heap_.end(), HeapGreater);
+}
+
+std::vector<ScoredNode> TopKAccumulator::Take() {
+  std::vector<ScoredNode> out = std::move(heap_);
+  heap_.clear();
+  std::sort(out.begin(), out.end(), [](const ScoredNode& a, const ScoredNode& b) {
+    if (a.score != b.score) return a.score > b.score;
+    return a.node < b.node;
+  });
+  return out;
+}
+
+std::vector<ScoredNode> TopK(const std::vector<NodeId>& nodes,
+                             const std::vector<double>& scores, size_t k) {
+  TopKAccumulator acc(k);
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    acc.Add(nodes[i], i < scores.size() ? scores[i] : 0.0);
+  }
+  return acc.Take();
+}
+
+}  // namespace fts

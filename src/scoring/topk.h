@@ -1,0 +1,43 @@
+// Top-k selection over scored query results.
+
+#ifndef FTS_SCORING_TOPK_H_
+#define FTS_SCORING_TOPK_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "text/document.h"
+
+namespace fts {
+
+/// One ranked result.
+struct ScoredNode {
+  NodeId node = kInvalidNode;
+  double score = 0.0;
+};
+
+/// Streaming top-k accumulator: keeps the k highest-scoring nodes seen so
+/// far using a bounded min-heap; O(log k) per Add.
+class TopKAccumulator {
+ public:
+  explicit TopKAccumulator(size_t k);
+
+  void Add(NodeId node, double score);
+
+  /// Results in descending score order (ties by ascending node id).
+  std::vector<ScoredNode> Take();
+
+  size_t size() const { return heap_.size(); }
+
+ private:
+  size_t k_;
+  std::vector<ScoredNode> heap_;  // min-heap on (score, -node)
+};
+
+/// Convenience: the top-k of parallel (nodes, scores) vectors.
+std::vector<ScoredNode> TopK(const std::vector<NodeId>& nodes,
+                             const std::vector<double>& scores, size_t k);
+
+}  // namespace fts
+
+#endif  // FTS_SCORING_TOPK_H_

@@ -1,0 +1,254 @@
+#include "text/analyzer.h"
+
+#include <algorithm>
+
+namespace fts {
+
+namespace {
+
+bool EndsWith(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+bool IsVowel(char c) {
+  return c == 'a' || c == 'e' || c == 'i' || c == 'o' || c == 'u';
+}
+
+bool HasVowel(std::string_view s) {
+  return std::any_of(s.begin(), s.end(), IsVowel);
+}
+
+}  // namespace
+
+std::string Stemmer::Stem(std::string_view token) {
+  std::string w(token);
+  if (w.size() < 4) return w;
+
+  // Step 1a: plurals.
+  if (EndsWith(w, "sses")) {
+    w.resize(w.size() - 2);  // caresses -> caress
+  } else if (EndsWith(w, "ies")) {
+    w.resize(w.size() - 2);  // ponies -> poni
+  } else if (EndsWith(w, "xes") || EndsWith(w, "zes") || EndsWith(w, "ches") ||
+             EndsWith(w, "shes")) {
+    w.resize(w.size() - 2);  // indexes -> index, churches -> church
+  } else if (EndsWith(w, "ss")) {
+    // keep: caress
+  } else if (EndsWith(w, "s") && w.size() > 3) {
+    w.resize(w.size() - 1);  // cats -> cat
+  }
+
+  // Step 1b: -ed / -ing, only when a vowel remains in the stem.
+  auto strip_if_vowel_stem = [&w](std::string_view suffix) {
+    if (!EndsWith(w, suffix)) return false;
+    std::string_view stem(w.data(), w.size() - suffix.size());
+    if (stem.size() < 2 || !HasVowel(stem)) return false;
+    w.resize(stem.size());
+    return true;
+  };
+  bool stripped = strip_if_vowel_stem("ing") || strip_if_vowel_stem("ed");
+  if (stripped) {
+    // Restore 'e' for -ate/-ble/-ize shapes and undo doubled consonants.
+    if (EndsWith(w, "at") || EndsWith(w, "bl") || EndsWith(w, "iz")) {
+      w.push_back('e');  // relat(ed) -> relate
+    } else if (w.size() >= 2 && w[w.size() - 1] == w[w.size() - 2] &&
+               !IsVowel(w.back()) && w.back() != 'l' && w.back() != 's' &&
+               w.back() != 'z') {
+      w.resize(w.size() - 1);  // hopp(ing) -> hop
+    }
+  }
+
+  // Step 1c: terminal y -> i after a vowel-bearing stem.
+  if (w.size() > 3 && w.back() == 'y' &&
+      HasVowel(std::string_view(w.data(), w.size() - 1))) {
+    w.back() = 'i';  // happy -> happi (matches 'happiness' family)
+  }
+
+  // A slice of Porter step 2/3: common derivational suffixes.
+  struct Rule {
+    const char* suffix;
+    const char* replacement;
+  };
+  static const Rule kRules[] = {
+      {"ational", "ate"}, {"ization", "ize"}, {"fulness", "ful"},
+      {"iveness", "ive"}, {"ousness", "ous"}, {"biliti", "ble"},
+      {"iviti", "ive"},   {"aliti", "al"},    {"ation", "ate"},
+      {"izer", "ize"},    {"alism", "al"},    {"ness", ""},
+      {"ment", ""},       {"abli", "able"},   {"alli", "al"},
+      {"entli", "ent"},   {"ousli", "ous"},   {"tional", "tion"},
+  };
+  for (const Rule& rule : kRules) {
+    const std::string_view suffix(rule.suffix);
+    if (!EndsWith(w, suffix)) continue;
+    const size_t stem_len = w.size() - suffix.size();
+    if (stem_len < 3) continue;
+    w.resize(stem_len);
+    w += rule.replacement;
+    break;
+  }
+
+  // Step 5a (final e): long stems drop a trailing 'e', which is what makes
+  // families like complete/completes/completed converge.
+  if (w.size() > 5 && w.back() == 'e') w.resize(w.size() - 1);
+  return w;
+}
+
+StopwordSet::StopwordSet(std::vector<std::string> words) {
+  for (std::string& word : words) words_.insert(std::move(word));
+}
+
+const StopwordSet& StopwordSet::DefaultEnglish() {
+  static const StopwordSet* set = new StopwordSet(std::vector<std::string>{
+      "a",    "an",   "and",  "are",  "as",    "at",   "be",   "but", "by",
+      "for",  "from", "had",  "has",  "have",  "he",   "her",  "his", "how",
+      "i",    "if",   "in",   "into", "is",    "it",   "its",  "no",  "not",
+      "of",   "on",   "or",   "she",  "so",    "such", "that", "the", "their",
+      "then", "they", "this", "to",   "was",   "we",   "well", "were", "what",
+      "when", "which", "who", "will", "with",  "you"});
+  return *set;
+}
+
+bool StopwordSet::Contains(std::string_view token) const {
+  return words_.find(token) != words_.end();
+}
+
+void Thesaurus::AddGroup(std::vector<std::string> group) {
+  const size_t id = groups_.size();
+  for (const std::string& word : group) index_.emplace(word, id);
+  groups_.push_back(std::move(group));
+}
+
+std::vector<std::string> Thesaurus::Expand(std::string_view token) const {
+  auto it = index_.find(token);
+  if (it == index_.end()) return {std::string(token)};
+  std::vector<std::string> out = groups_[it->second];
+  if (std::find(out.begin(), out.end(), std::string(token)) == out.end()) {
+    out.insert(out.begin(), std::string(token));
+  }
+  return out;
+}
+
+std::vector<RawToken> Analyzer::AnalyzeDocument(std::string_view text) const {
+  std::vector<RawToken> out;
+  for (RawToken& raw : tokenizer_.Tokenize(text)) {
+    if (options_.remove_stopwords && stopwords_->Contains(raw.text)) continue;
+    if (options_.stem) raw.text = Stemmer::Stem(raw.text);
+    out.push_back(std::move(raw));
+  }
+  return out;
+}
+
+std::string Analyzer::AnalyzeQueryToken(std::string_view token) const {
+  std::string normalized = NormalizeQueryToken(token);
+  if (normalized.empty()) return normalized;
+  return options_.stem ? Stemmer::Stem(normalized) : normalized;
+}
+
+std::string Analyzer::NormalizeQueryToken(std::string_view token) const {
+  std::string normalized = tokenizer_.Normalize(token);
+  if (options_.remove_stopwords && stopwords_->Contains(normalized)) return "";
+  return normalized;
+}
+
+namespace {
+
+/// Expands one normalized (unstemmed) token through the thesaurus, then
+/// stems every synonym into the indexed token space, producing a token-atom
+/// disjunction (plain token or var HAS chain).
+LangExprPtr ExpandAtom(const std::string& var, const std::string& normalized,
+                       const Analyzer& analyzer, const Thesaurus* thesaurus) {
+  std::vector<std::string> forms =
+      thesaurus ? thesaurus->Expand(normalized)
+                : std::vector<std::string>{normalized};
+  std::vector<std::string> analyzed;
+  for (const std::string& form : forms) {
+    std::string stemmed =
+        analyzer.options().stem ? Stemmer::Stem(form) : form;
+    if (std::find(analyzed.begin(), analyzed.end(), stemmed) == analyzed.end()) {
+      analyzed.push_back(std::move(stemmed));
+    }
+  }
+  LangExprPtr out;
+  for (const std::string& form : analyzed) {
+    LangExprPtr atom = var.empty() ? LangExpr::Token(form)
+                                   : LangExpr::VarHasToken(var, form);
+    out = out ? LangExpr::Or(std::move(out), std::move(atom)) : atom;
+  }
+  return out;
+}
+
+/// nullptr result = "this subtree was a stop-word atom; prune it".
+StatusOr<LangExprPtr> RewriteRec(const LangExprPtr& e, const Analyzer& analyzer,
+                                 const Thesaurus* thesaurus) {
+  switch (e->kind()) {
+    case LangExpr::Kind::kToken: {
+      const std::string normalized = analyzer.NormalizeQueryToken(e->token());
+      if (normalized.empty()) return LangExprPtr(nullptr);
+      return ExpandAtom("", normalized, analyzer, thesaurus);
+    }
+    case LangExpr::Kind::kVarHasToken: {
+      const std::string normalized = analyzer.NormalizeQueryToken(e->token());
+      if (normalized.empty()) return LangExprPtr(nullptr);
+      return ExpandAtom(e->var(), normalized, analyzer, thesaurus);
+    }
+    case LangExpr::Kind::kAny:
+    case LangExpr::Kind::kVarHasAny:
+    case LangExpr::Kind::kPred:
+      return e;
+    case LangExpr::Kind::kDist: {
+      // Analyze both operands; a pruned operand widens to ANY.
+      std::string t1 = e->dist_tok1().empty()
+                           ? std::string()
+                           : analyzer.AnalyzeQueryToken(e->dist_tok1());
+      std::string t2 = e->dist_tok2().empty()
+                           ? std::string()
+                           : analyzer.AnalyzeQueryToken(e->dist_tok2());
+      return LangExprPtr(LangExpr::Dist(std::move(t1), std::move(t2),
+                                        e->dist_limit()));
+    }
+    case LangExpr::Kind::kNot: {
+      FTS_ASSIGN_OR_RETURN(LangExprPtr c, RewriteRec(e->child(), analyzer, thesaurus));
+      if (!c) return LangExprPtr(nullptr);  // NOT stop-word: prune whole atom
+      return LangExprPtr(LangExpr::Not(std::move(c)));
+    }
+    case LangExpr::Kind::kAnd: {
+      FTS_ASSIGN_OR_RETURN(LangExprPtr l, RewriteRec(e->left(), analyzer, thesaurus));
+      FTS_ASSIGN_OR_RETURN(LangExprPtr r, RewriteRec(e->right(), analyzer, thesaurus));
+      if (!l) return r;
+      if (!r) return l;
+      return LangExprPtr(LangExpr::And(std::move(l), std::move(r)));
+    }
+    case LangExpr::Kind::kOr: {
+      FTS_ASSIGN_OR_RETURN(LangExprPtr l, RewriteRec(e->left(), analyzer, thesaurus));
+      FTS_ASSIGN_OR_RETURN(LangExprPtr r, RewriteRec(e->right(), analyzer, thesaurus));
+      if (!l) return r;
+      if (!r) return l;
+      return LangExprPtr(LangExpr::Or(std::move(l), std::move(r)));
+    }
+    case LangExpr::Kind::kSome:
+    case LangExpr::Kind::kEvery: {
+      FTS_ASSIGN_OR_RETURN(LangExprPtr c, RewriteRec(e->child(), analyzer, thesaurus));
+      if (!c) return LangExprPtr(nullptr);
+      return e->kind() == LangExpr::Kind::kSome
+                 ? LangExprPtr(LangExpr::Some(e->var(), std::move(c)))
+                 : LangExprPtr(LangExpr::Every(e->var(), std::move(c)));
+    }
+  }
+  return Status::Internal("unreachable surface kind");
+}
+
+}  // namespace
+
+StatusOr<LangExprPtr> RewriteQuery(const LangExprPtr& query, const Analyzer& analyzer,
+                                   const Thesaurus* thesaurus) {
+  if (!query) return Status::InvalidArgument("null query");
+  FTS_ASSIGN_OR_RETURN(LangExprPtr out, RewriteRec(query, analyzer, thesaurus));
+  if (!out) {
+    return Status::InvalidArgument(
+        "query consists entirely of stop-words after analysis");
+  }
+  return out;
+}
+
+}  // namespace fts

@@ -1,0 +1,117 @@
+// Token analysis beyond raw tokenization: stemming, stop-word removal, and
+// thesaurus expansion — the "new full-text primitives" the paper's
+// conclusion plans to add (Section 8).
+//
+// Design: analysis composes *around* the formal model rather than changing
+// it. Document-side, the Analyzer normalizes tokens before interning
+// (stemming, optional stop-word dropping — positions of dropped tokens are
+// preserved so proximity semantics stay meaningful). Query-side,
+// RewriteQuery maps a parsed query onto the analyzed token space: token
+// atoms are stemmed, stop-word-only atoms are pruned from conjunctions,
+// and thesaurus synonyms expand a token atom into a disjunction — all
+// expressible inside COMP, so the calculus, algebra, and engines are
+// untouched.
+
+#ifndef FTS_TEXT_ANALYZER_H_
+#define FTS_TEXT_ANALYZER_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "lang/ast.h"
+#include "text/tokenizer.h"
+
+namespace fts {
+
+/// Suffix-stripping stemmer in the spirit of Porter's algorithm step 1
+/// (plurals, -ed/-ing) plus a table of common derivational suffixes. Not a
+/// full Porter implementation, but deterministic, conservative (never stems
+/// below 3 characters) and idempotent on its own output for common English.
+class Stemmer {
+ public:
+  /// Stems one lower-case token.
+  static std::string Stem(std::string_view token);
+};
+
+/// A set of tokens excluded from indexing and pruned from queries.
+class StopwordSet {
+ public:
+  /// The default English list (articles, pronouns, auxiliaries, ...).
+  static const StopwordSet& DefaultEnglish();
+
+  StopwordSet() = default;
+  explicit StopwordSet(std::vector<std::string> words);
+
+  bool Contains(std::string_view token) const;
+  size_t size() const { return words_.size(); }
+
+ private:
+  std::set<std::string, std::less<>> words_;
+};
+
+/// Synonym groups for query-side expansion. Symmetric: every member of a
+/// group expands to the whole group.
+class Thesaurus {
+ public:
+  /// Registers a synonym group, e.g. {"fast", "quick", "rapid"}. Tokens are
+  /// stored as given (callers should pre-normalize/stem consistently).
+  void AddGroup(std::vector<std::string> group);
+
+  /// All synonyms of `token` including itself; just {token} if unknown.
+  std::vector<std::string> Expand(std::string_view token) const;
+
+  size_t num_groups() const { return groups_.size(); }
+
+ private:
+  std::vector<std::vector<std::string>> groups_;
+  std::map<std::string, size_t, std::less<>> index_;
+};
+
+/// Analysis configuration shared by document and query sides.
+struct AnalyzerOptions {
+  bool stem = true;
+  bool remove_stopwords = true;
+};
+
+/// Applies tokenization + analysis to documents, producing the token/
+/// position stream to index. Dropped stop-words leave gaps in the offsets,
+/// preserving the distances between surviving tokens.
+class Analyzer {
+ public:
+  explicit Analyzer(AnalyzerOptions options = {},
+                    const StopwordSet* stopwords = &StopwordSet::DefaultEnglish())
+      : options_(options), stopwords_(stopwords) {}
+
+  /// Tokenizes and analyzes document text.
+  std::vector<RawToken> AnalyzeDocument(std::string_view text) const;
+
+  /// Normalizes one query-side token (case-fold + stem). Returns the empty
+  /// string for stop-words when removal is enabled.
+  std::string AnalyzeQueryToken(std::string_view token) const;
+
+  /// Case-folds and stop-word-filters without stemming (thesaurus lookup
+  /// happens in this space, before stemming).
+  std::string NormalizeQueryToken(std::string_view token) const;
+
+  const AnalyzerOptions& options() const { return options_; }
+
+ private:
+  Tokenizer tokenizer_;
+  AnalyzerOptions options_;
+  const StopwordSet* stopwords_;
+};
+
+/// Rewrites a parsed query onto the analyzed token space: stems token
+/// atoms, expands them through `thesaurus` (nullable) into disjunctions,
+/// and prunes stop-word atoms from conjunctions (a stop-word-only query is
+/// an error). Structure (NOT/AND/OR/SOME/EVERY/predicates) is preserved.
+StatusOr<LangExprPtr> RewriteQuery(const LangExprPtr& query, const Analyzer& analyzer,
+                                   const Thesaurus* thesaurus = nullptr);
+
+}  // namespace fts
+
+#endif  // FTS_TEXT_ANALYZER_H_

@@ -1,0 +1,62 @@
+#include "workload/corpus_gen.h"
+
+#include <algorithm>
+
+#include "common/rng.h"
+
+namespace fts {
+
+std::string TopicToken(uint32_t i) { return "topic" + std::to_string(i); }
+
+std::string BackgroundToken(uint32_t i) { return "w" + std::to_string(i); }
+
+Corpus GenerateCorpus(const CorpusGenOptions& options) {
+  Corpus corpus;
+  Rng rng(options.seed);
+  ZipfSampler zipf(options.vocabulary, options.zipf_skew);
+
+  std::vector<std::string> tokens;
+  std::vector<PositionInfo> positions;
+  for (uint32_t d = 0; d < options.num_nodes; ++d) {
+    const uint32_t len = static_cast<uint32_t>(
+        rng.UniformRange(options.min_doc_len, options.max_doc_len));
+    tokens.clear();
+    positions.clear();
+    tokens.reserve(len);
+
+    // Background text.
+    for (uint32_t i = 0; i < len; ++i) {
+      tokens.push_back(BackgroundToken(static_cast<uint32_t>(zipf.Sample(&rng))));
+    }
+
+    // Plant topic tokens at uniform random slots.
+    for (uint32_t t = 0; t < options.num_topic_tokens; ++t) {
+      if (!rng.Bernoulli(options.topic_doc_fraction)) continue;
+      for (uint32_t k = 0; k < options.topic_occurrences; ++k) {
+        const size_t slot = static_cast<size_t>(rng.Uniform(tokens.size()));
+        tokens[slot] = TopicToken(t);
+      }
+    }
+
+    // Assign sentence/paragraph structure.
+    positions.reserve(tokens.size());
+    uint32_t sentence = 0, paragraph = 0, in_sentence = 0, in_para = 0;
+    for (uint32_t i = 0; i < tokens.size(); ++i) {
+      positions.push_back(PositionInfo{i, sentence, paragraph});
+      if (++in_sentence >= options.sentence_len) {
+        in_sentence = 0;
+        ++sentence;
+        if (++in_para >= options.sentences_per_para) {
+          in_para = 0;
+          ++paragraph;
+        }
+      }
+    }
+
+    auto added = corpus.AddTokensWithPositions(tokens, positions);
+    (void)added;  // offsets are consecutive by construction; cannot fail
+  }
+  return corpus;
+}
+
+}  // namespace fts

@@ -1,0 +1,60 @@
+// Synthetic corpus generation for tests and benchmarks.
+//
+// The paper evaluates on INEX 2003 (~12k IEEE articles), which is not
+// redistributable; this generator produces corpora with the same *shape*
+// parameters the evaluation algorithms' costs depend on (Section 5.1.2):
+// number of context nodes, positions per node, inverted-list entry counts
+// (via Zipfian token frequencies), and positions per entry (via dedicated
+// dense "topic" tokens whose per-document occurrence count is controlled).
+// Everything is seeded and deterministic.
+
+#ifndef FTS_WORKLOAD_CORPUS_GEN_H_
+#define FTS_WORKLOAD_CORPUS_GEN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "text/corpus.h"
+
+namespace fts {
+
+/// Parameters of a synthetic corpus.
+struct CorpusGenOptions {
+  uint64_t seed = 42;
+  /// Number of context nodes (paper default: 6000).
+  uint32_t num_nodes = 6000;
+  /// Tokens per node are drawn uniformly from [min_doc_len, max_doc_len].
+  uint32_t min_doc_len = 50;
+  uint32_t max_doc_len = 300;
+  /// Background vocabulary size (Zipf-distributed).
+  uint32_t vocabulary = 20000;
+  /// Zipf skew (1.0 ~ natural language).
+  double zipf_skew = 1.0;
+  /// Average sentence length in tokens.
+  uint32_t sentence_len = 12;
+  /// Average sentences per paragraph.
+  uint32_t sentences_per_para = 5;
+  /// Dedicated query tokens ("topic0", "topic1", ...) planted in a fraction
+  /// of documents with a controlled number of occurrences each; benches
+  /// query these so that entries_per_token and pos_per_entry are known.
+  uint32_t num_topic_tokens = 8;
+  /// Fraction of documents containing each topic token.
+  double topic_doc_fraction = 0.5;
+  /// Occurrences of a topic token within a containing document.
+  uint32_t topic_occurrences = 25;
+};
+
+/// Generates the corpus described by `options`. Topic token t's spelling is
+/// TopicToken(t).
+Corpus GenerateCorpus(const CorpusGenOptions& options);
+
+/// Spelling of the i-th planted topic token ("topic<i>").
+std::string TopicToken(uint32_t i);
+
+/// Spelling of the i-th background token ("w<i>").
+std::string BackgroundToken(uint32_t i);
+
+}  // namespace fts
+
+#endif  // FTS_WORKLOAD_CORPUS_GEN_H_

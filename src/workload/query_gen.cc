@@ -1,0 +1,60 @@
+#include "workload/query_gen.h"
+
+#include "workload/corpus_gen.h"
+
+namespace fts {
+
+std::vector<std::string> QueryTokens(const QueryGenOptions& options) {
+  std::vector<std::string> out;
+  out.reserve(options.num_tokens);
+  for (uint32_t i = 0; i < options.num_tokens; ++i) {
+    out.push_back(TopicToken(options.first_topic + i));
+  }
+  return out;
+}
+
+std::string GenerateQuery(const QueryGenOptions& options) {
+  const std::vector<std::string> tokens = QueryTokens(options);
+
+  if (options.polarity == QueryPolarity::kNone || options.num_predicates == 0 ||
+      options.num_tokens < 2) {
+    // Plain Boolean conjunction.
+    std::string q;
+    for (size_t i = 0; i < tokens.size(); ++i) {
+      if (i > 0) q += " AND ";
+      q += "'" + tokens[i] + "'";
+    }
+    return q;
+  }
+
+  // SOME p0 ... (p0 HAS 't0' AND ... AND pred(p0,p1) AND pred(p1,p2) ...)
+  std::string q;
+  for (uint32_t i = 0; i < options.num_tokens; ++i) {
+    q += "SOME p" + std::to_string(i) + " ";
+  }
+  q += "(";
+  for (uint32_t i = 0; i < options.num_tokens; ++i) {
+    if (i > 0) q += " AND ";
+    q += "p" + std::to_string(i) + " HAS '" + tokens[i] + "'";
+  }
+  // Predicates cycle over adjacent variable pairs and over three predicate
+  // families so multi-predicate queries exercise a mix, as in Section 6.
+  static const char* kPositive[] = {"distance", "ordered", "samepara"};
+  static const char* kNegative[] = {"not_distance", "not_ordered", "not_samepara"};
+  const bool negative = options.polarity == QueryPolarity::kNegative;
+  for (uint32_t p = 0; p < options.num_predicates; ++p) {
+    const uint32_t a = p % (options.num_tokens - 1);
+    const uint32_t b = a + 1;
+    const char* name = negative ? kNegative[p % 3] : kPositive[p % 3];
+    q += " AND ";
+    q += name;
+    q += "(p" + std::to_string(a) + ", p" + std::to_string(b);
+    const bool is_distance = (p % 3) == 0;
+    if (is_distance) q += ", " + std::to_string(options.distance);
+    q += ")";
+  }
+  q += ")";
+  return q;
+}
+
+}  // namespace fts

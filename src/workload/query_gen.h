@@ -1,0 +1,46 @@
+// Synthetic query workloads mirroring the paper's experiment parameters
+// (Section 6.2): queries with tok_Q tokens and pred_Q predicates, in
+// positive-predicate, negative-predicate, and predicate-free variants, over
+// the planted topic tokens of a generated corpus.
+
+#ifndef FTS_WORKLOAD_QUERY_GEN_H_
+#define FTS_WORKLOAD_QUERY_GEN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace fts {
+
+/// Predicate polarity of a generated query.
+enum class QueryPolarity {
+  kNone,      ///< Boolean conjunction only
+  kPositive,  ///< distance / ordered / samepara predicates
+  kNegative,  ///< not_distance / not_ordered / not_samepara predicates
+};
+
+/// Workload parameters (defaults are the paper's: 3 tokens, 2 predicates).
+struct QueryGenOptions {
+  uint32_t num_tokens = 3;
+  uint32_t num_predicates = 2;
+  QueryPolarity polarity = QueryPolarity::kPositive;
+  /// Distance bound used by (not_)distance predicates.
+  int64_t distance = 20;
+  /// Index of the first topic token to use (tokens are topic<first>,
+  /// topic<first+1>, ...).
+  uint32_t first_topic = 0;
+};
+
+/// Builds a COMP-syntax query string:
+///   SOME p0 ... SOME pk-1 (p0 HAS 'topic0' AND ... AND pred(...) ...)
+/// Predicates cycle over variable pairs (p0,p1), (p1,p2), ... For
+/// kNone polarity the query is a plain conjunction of quoted tokens
+/// (BOOL-compatible).
+std::string GenerateQuery(const QueryGenOptions& options);
+
+/// The distinct token spellings used by GenerateQuery with these options.
+std::vector<std::string> QueryTokens(const QueryGenOptions& options);
+
+}  // namespace fts
+
+#endif  // FTS_WORKLOAD_QUERY_GEN_H_

@@ -1,0 +1,165 @@
+#include "algebra/ops.h"
+
+#include <gtest/gtest.h>
+
+#include "index/index_builder.h"
+#include "text/corpus.h"
+
+namespace fts {
+namespace {
+
+const PositionPredicate* Get(const std::string& name) {
+  return PredicateRegistry::Default().Find(name);
+}
+
+struct OpsFixture : public ::testing::Test {
+  void SetUp() override {
+    corpus.AddDocument("a b a c");        // node 0: a@{0,2} b@{1} c@{3}
+    corpus.AddDocument("b c");            // node 1: b@{0} c@{1}
+    corpus.AddDocument("a a a");          // node 2: a@{0,1,2}
+    index = IndexBuilder::Build(corpus);
+  }
+  Corpus corpus;
+  InvertedIndex index;
+};
+
+TEST_F(OpsFixture, ScanTokenMaterializesOccurrences) {
+  EvalCounters c;
+  FtRelation r = OpScanToken(index, "a", nullptr, &c);
+  EXPECT_EQ(r.ToString(), "{(0;0)(0;2)(2;0)(2;1)(2;2)}");
+  EXPECT_EQ(c.entries_scanned, 2u);
+  EXPECT_EQ(c.positions_scanned, 5u);
+}
+
+TEST_F(OpsFixture, ScanOovTokenIsEmpty) {
+  FtRelation r = OpScanToken(index, "zzz", nullptr, nullptr);
+  EXPECT_TRUE(r.empty());
+}
+
+TEST_F(OpsFixture, ScanHasPosCoversEverything) {
+  FtRelation r = OpScanHasPos(index, nullptr, nullptr);
+  EXPECT_EQ(r.size(), 4u + 2u + 3u);
+}
+
+TEST_F(OpsFixture, ScanSearchContextIsNodePerTuple) {
+  FtRelation r = OpScanSearchContext(index, nullptr, nullptr);
+  EXPECT_EQ(r.size(), 3u);
+  EXPECT_EQ(r.num_cols(), 0u);
+}
+
+TEST_F(OpsFixture, JoinIsPerNodeCartesianProduct) {
+  FtRelation a = OpScanToken(index, "a", nullptr, nullptr);
+  FtRelation b = OpScanToken(index, "b", nullptr, nullptr);
+  FtRelation j = OpJoin(a, b, nullptr, nullptr);
+  // node 0: a has 2 positions, b has 1 -> 2 tuples; node 2 has no b.
+  EXPECT_EQ(j.ToString(), "{(0;0,1)(0;2,1)}");
+}
+
+TEST_F(OpsFixture, SelectAppliesPredicate) {
+  FtRelation a = OpScanToken(index, "a", nullptr, nullptr);
+  FtRelation c = OpScanToken(index, "c", nullptr, nullptr);
+  FtRelation j = OpJoin(a, c, nullptr, nullptr);
+  AlgebraPredicateCall call;
+  call.pred = Get("odistance");
+  call.cols = {0, 1};
+  call.consts = {0};  // adjacent, in order
+  auto sel = OpSelect(j, call, nullptr, nullptr);
+  ASSERT_TRUE(sel.ok());
+  EXPECT_EQ(sel->ToString(), "{(0;2,3)}");
+}
+
+TEST_F(OpsFixture, SelectValidatesColumns) {
+  FtRelation a = OpScanToken(index, "a", nullptr, nullptr);
+  AlgebraPredicateCall call;
+  call.pred = Get("distance");
+  call.cols = {0, 5};
+  call.consts = {1};
+  EXPECT_FALSE(OpSelect(a, call, nullptr, nullptr).ok());
+}
+
+TEST_F(OpsFixture, ProjectReordersAndDeduplicates) {
+  FtRelation a = OpScanToken(index, "a", nullptr, nullptr);
+  FtRelation b = OpScanToken(index, "b", nullptr, nullptr);
+  FtRelation j = OpJoin(a, b, nullptr, nullptr);
+  auto p = OpProject(j, std::vector<int>{1}, nullptr, nullptr);
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->ToString(), "{(0;1)}");  // two tuples collapse
+  auto swapped = OpProject(j, std::vector<int>{1, 0}, nullptr, nullptr);
+  ASSERT_TRUE(swapped.ok());
+  EXPECT_EQ(swapped->ToString(), "{(0;1,0)(0;1,2)}");
+}
+
+TEST_F(OpsFixture, ProjectToNodeLevel) {
+  FtRelation a = OpScanToken(index, "a", nullptr, nullptr);
+  auto p = OpProject(a, std::vector<int>{}, nullptr, nullptr);
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->Nodes(), (std::vector<NodeId>{0, 2}));
+}
+
+TEST_F(OpsFixture, UnionMergesSorted) {
+  FtRelation a = OpScanToken(index, "a", nullptr, nullptr);
+  FtRelation b = OpScanToken(index, "b", nullptr, nullptr);
+  auto u = OpUnion(a, b, nullptr, nullptr);
+  ASSERT_TRUE(u.ok());
+  EXPECT_EQ(u->size(), a.size() + b.size());  // no overlapping positions
+  auto self = OpUnion(a, a, nullptr, nullptr);
+  ASSERT_TRUE(self.ok());
+  EXPECT_EQ(self->size(), a.size());
+}
+
+TEST_F(OpsFixture, IntersectKeepsCommonTuples) {
+  FtRelation a = OpScanToken(index, "a", nullptr, nullptr);
+  FtRelation b = OpScanToken(index, "b", nullptr, nullptr);
+  auto i = OpIntersect(a, a, nullptr, nullptr);
+  ASSERT_TRUE(i.ok());
+  EXPECT_EQ(i->size(), a.size());
+  auto disjoint = OpIntersect(a, b, nullptr, nullptr);
+  ASSERT_TRUE(disjoint.ok());
+  EXPECT_TRUE(disjoint->empty());
+}
+
+TEST_F(OpsFixture, DifferenceRemovesMatchingTuples) {
+  FtRelation a = OpScanToken(index, "a", nullptr, nullptr);
+  auto d = OpDifference(a, a, nullptr, nullptr);
+  ASSERT_TRUE(d.ok());
+  EXPECT_TRUE(d->empty());
+  FtRelation b = OpScanToken(index, "b", nullptr, nullptr);
+  auto d2 = OpDifference(a, b, nullptr, nullptr);
+  ASSERT_TRUE(d2.ok());
+  EXPECT_EQ(d2->size(), a.size());
+}
+
+TEST_F(OpsFixture, AntiJoinDropsNodesPresentOnRight) {
+  FtRelation a = OpScanToken(index, "a", nullptr, nullptr);   // nodes 0, 2
+  FtRelation b = OpScanToken(index, "b", nullptr, nullptr);   // nodes 0, 1
+  auto b_nodes = OpProject(b, std::vector<int>{}, nullptr, nullptr);
+  ASSERT_TRUE(b_nodes.ok());
+  auto aj = OpAntiJoin(a, *b_nodes, nullptr, nullptr);
+  ASSERT_TRUE(aj.ok());
+  EXPECT_EQ(aj->Nodes(), (std::vector<NodeId>{2}));
+  EXPECT_EQ(aj->num_cols(), 1u);  // positions survive
+}
+
+TEST_F(OpsFixture, AntiJoinRequiresNodeLevelRight) {
+  FtRelation a = OpScanToken(index, "a", nullptr, nullptr);
+  EXPECT_FALSE(OpAntiJoin(a, a, nullptr, nullptr).ok());
+}
+
+TEST_F(OpsFixture, SetOpsValidateSchemas) {
+  FtRelation one(1), two(2);
+  EXPECT_FALSE(OpUnion(one, two, nullptr, nullptr).ok());
+  EXPECT_FALSE(OpIntersect(one, two, nullptr, nullptr).ok());
+  EXPECT_FALSE(OpDifference(one, two, nullptr, nullptr).ok());
+}
+
+TEST_F(OpsFixture, CountersChargeJoinProducts) {
+  EvalCounters c;
+  FtRelation a = OpScanToken(index, "a", nullptr, nullptr);
+  FtRelation self = OpJoin(a, a, nullptr, &c);
+  // node 0: 2x2, node 2: 3x3.
+  EXPECT_EQ(c.tuples_materialized, 4u + 9u);
+  EXPECT_EQ(self.size(), 13u);
+}
+
+}  // namespace
+}  // namespace fts

@@ -1,0 +1,138 @@
+#include "eval/bool_engine.h"
+
+#include <gtest/gtest.h>
+
+#include "index/index_builder.h"
+#include "lang/parser.h"
+#include "text/corpus.h"
+
+namespace fts {
+namespace {
+
+struct BoolEngineFixture : public ::testing::Test {
+  void SetUp() override {
+    corpus.AddDocument("software users guide");        // 0
+    corpus.AddDocument("software testing handbook");   // 1
+    corpus.AddDocument("usability study");             // 2
+    corpus.AddDocument("software users testing");      // 3
+    corpus.AddDocument("");                            // 4 (empty)
+    index = IndexBuilder::Build(corpus);
+  }
+
+  std::vector<NodeId> Run(const std::string& query) {
+    BoolEngine engine(&index, ScoringKind::kNone);
+    auto parsed = ParseQuery(query, SurfaceLanguage::kBool);
+    EXPECT_TRUE(parsed.ok()) << parsed.status().ToString();
+    auto result = engine.Evaluate(*parsed);
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    return result.ok() ? result->nodes : std::vector<NodeId>{};
+  }
+
+  Corpus corpus;
+  InvertedIndex index;
+};
+
+TEST_F(BoolEngineFixture, SingleToken) {
+  EXPECT_EQ(Run("'software'"), (std::vector<NodeId>{0, 1, 3}));
+}
+
+TEST_F(BoolEngineFixture, OovTokenMatchesNothing) {
+  EXPECT_EQ(Run("'zzz'"), (std::vector<NodeId>{}));
+}
+
+TEST_F(BoolEngineFixture, PaperSection53Example) {
+  // ('software' AND 'users' AND NOT 'testing') OR 'usability'
+  EXPECT_EQ(Run("('software' AND 'users' AND NOT 'testing') OR 'usability'"),
+            (std::vector<NodeId>{0, 2}));
+}
+
+TEST_F(BoolEngineFixture, AndOrSemantics) {
+  EXPECT_EQ(Run("'software' AND 'users'"), (std::vector<NodeId>{0, 3}));
+  EXPECT_EQ(Run("'usability' OR 'testing'"), (std::vector<NodeId>{1, 2, 3}));
+}
+
+TEST_F(BoolEngineFixture, NotComplementsAgainstAllNodes) {
+  // Includes the empty node 4.
+  EXPECT_EQ(Run("NOT 'software'"), (std::vector<NodeId>{2, 4}));
+}
+
+TEST_F(BoolEngineFixture, AnyMatchesNonEmptyNodes) {
+  EXPECT_EQ(Run("ANY"), (std::vector<NodeId>{0, 1, 2, 3}));
+  EXPECT_EQ(Run("NOT ANY"), (std::vector<NodeId>{4}));
+}
+
+TEST_F(BoolEngineFixture, DoubleNegation) {
+  EXPECT_EQ(Run("NOT (NOT 'software')"), (std::vector<NodeId>{0, 1, 3}));
+}
+
+TEST_F(BoolEngineFixture, AndNotAvoidsUniverseScan) {
+  BoolEngine engine(&index, ScoringKind::kNone);
+  auto with_diff = ParseQuery("'software' AND NOT 'testing'", SurfaceLanguage::kBool);
+  ASSERT_TRUE(with_diff.ok());
+  auto r1 = engine.Evaluate(*with_diff);
+  ASSERT_TRUE(r1.ok());
+  EXPECT_EQ(r1->nodes, (std::vector<NodeId>{0}));
+  // The difference path scans only the two token lists: 3 + 2 entries.
+  EXPECT_EQ(r1->counters.entries_scanned, 5u);
+
+  auto with_not = ParseQuery("NOT 'testing'", SurfaceLanguage::kBool);
+  ASSERT_TRUE(with_not.ok());
+  auto r2 = engine.Evaluate(*with_not);
+  ASSERT_TRUE(r2.ok());
+  // The complement path pays a universe scan on top of the token list.
+  EXPECT_EQ(r2->counters.entries_scanned, 2u + index.num_nodes());
+}
+
+TEST_F(BoolEngineFixture, RejectsCompConstructs) {
+  BoolEngine engine(&index, ScoringKind::kNone);
+  auto parsed = ParseQuery("SOME p (p HAS 'a')", SurfaceLanguage::kComp);
+  ASSERT_TRUE(parsed.ok());
+  auto result = engine.Evaluate(*parsed);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kUnsupported);
+}
+
+TEST_F(BoolEngineFixture, TfIdfScoresRankMoreSelectiveMatchesHigher) {
+  BoolEngine engine(&index, ScoringKind::kTfIdf);
+  auto parsed = ParseQuery("'software' OR 'usability'", SurfaceLanguage::kBool);
+  ASSERT_TRUE(parsed.ok());
+  auto result = engine.Evaluate(*parsed);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->nodes.size(), 4u);
+  ASSERT_EQ(result->scores.size(), 4u);
+  for (double s : result->scores) EXPECT_GT(s, 0.0);
+  // Node 2 matches 'usability' (df 1, idf high); its score should exceed
+  // node 1's, which matches only the common 'software' (df 3).
+  const size_t i2 = std::find(result->nodes.begin(), result->nodes.end(), 2u) -
+                    result->nodes.begin();
+  const size_t i1 = std::find(result->nodes.begin(), result->nodes.end(), 1u) -
+                    result->nodes.begin();
+  EXPECT_GT(result->scores[i2], result->scores[i1]);
+}
+
+TEST_F(BoolEngineFixture, ProbabilisticScoresStayInUnitInterval) {
+  BoolEngine engine(&index, ScoringKind::kProbabilistic);
+  for (const char* q : {"'software' AND 'users'", "'software' OR 'usability'",
+                        "'software' AND NOT 'testing'", "NOT 'software'"}) {
+    auto parsed = ParseQuery(q, SurfaceLanguage::kBool);
+    ASSERT_TRUE(parsed.ok());
+    auto result = engine.Evaluate(*parsed);
+    ASSERT_TRUE(result.ok()) << q;
+    for (double s : result->scores) {
+      EXPECT_GE(s, 0.0) << q;
+      EXPECT_LE(s, 1.0) << q;
+    }
+  }
+}
+
+TEST_F(BoolEngineFixture, NoScoresWhenScoringDisabled) {
+  BoolEngine engine(&index, ScoringKind::kNone);
+  auto parsed = ParseQuery("'software'", SurfaceLanguage::kBool);
+  ASSERT_TRUE(parsed.ok());
+  auto result = engine.Evaluate(*parsed);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->scores.empty());
+}
+
+}  // namespace
+}  // namespace fts

@@ -1,0 +1,171 @@
+#include "calculus/ftc.h"
+
+#include <gtest/gtest.h>
+
+#include "calculus/analysis.h"
+#include "calculus/naive_eval.h"
+#include "text/corpus.h"
+
+namespace fts {
+namespace {
+
+const PositionPredicate* Get(const std::string& name) {
+  return PredicateRegistry::Default().Find(name);
+}
+
+// The paper's Figure 1-style corpus: three small documents.
+Corpus TestCorpus() {
+  Corpus corpus;
+  corpus.AddDocument("usability of a software measures efficient software");  // 0
+  corpus.AddDocument("test usability test");                                  // 1
+  corpus.AddDocument("unrelated text entirely");                              // 2
+  return corpus;
+}
+
+TEST(CalculusTest, SingleTokenQuery) {
+  Corpus corpus = TestCorpus();
+  NaiveCalculusEvaluator eval(&corpus);
+  // ∃p (hasPos ∧ hasToken(p,'usability'))
+  CalcQuery q{CalcExpr::Exists(0, CalcExpr::HasToken(0, "usability"))};
+  auto result = eval.Evaluate(q);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(*result, (std::vector<NodeId>{0, 1}));
+}
+
+TEST(CalculusTest, ConjunctionAcrossVariables) {
+  Corpus corpus = TestCorpus();
+  NaiveCalculusEvaluator eval(&corpus);
+  CalcQuery q{CalcExpr::Exists(
+      0, CalcExpr::And(CalcExpr::HasToken(0, "test"),
+                       CalcExpr::Exists(1, CalcExpr::HasToken(1, "usability"))))};
+  auto result = eval.Evaluate(q);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result, (std::vector<NodeId>{1}));
+}
+
+TEST(CalculusTest, DistancePredicate) {
+  Corpus corpus = TestCorpus();
+  NaiveCalculusEvaluator eval(&corpus);
+  // 'efficient' within 0 intervening tokens of 'software' (adjacent).
+  CalcQuery q{CalcExpr::Exists(
+      0, CalcExpr::And(
+             CalcExpr::HasToken(0, "efficient"),
+             CalcExpr::Exists(
+                 1, CalcExpr::And(CalcExpr::HasToken(1, "software"),
+                                  CalcExpr::Pred(Get("distance"), {0, 1}, {0})))))};
+  auto result = eval.Evaluate(q);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result, (std::vector<NodeId>{0}));
+}
+
+TEST(CalculusTest, UniversalQuantifier) {
+  Corpus corpus = TestCorpus();
+  NaiveCalculusEvaluator eval(&corpus);
+  // Nodes where every position is 'test' or 'usability' — only node 1.
+  CalcQuery q{CalcExpr::ForAll(
+      0, CalcExpr::Or(CalcExpr::HasToken(0, "test"),
+                      CalcExpr::HasToken(0, "usability")))};
+  auto result = eval.Evaluate(q);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result, (std::vector<NodeId>{1}));
+}
+
+TEST(CalculusTest, UniversalIsVacuouslyTrueOnEmptyNodes) {
+  Corpus corpus;
+  corpus.AddDocument("");
+  NaiveCalculusEvaluator eval(&corpus);
+  CalcQuery q{CalcExpr::ForAll(0, CalcExpr::HasToken(0, "x"))};
+  auto result = eval.Evaluate(q);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result, (std::vector<NodeId>{0}));
+}
+
+TEST(CalculusTest, NegatedTokenInsideExists) {
+  Corpus corpus = TestCorpus();
+  NaiveCalculusEvaluator eval(&corpus);
+  // Theorem 3's witness: some position holds a token other than 'test'.
+  CalcQuery q{CalcExpr::Exists(0, CalcExpr::Not(CalcExpr::HasToken(0, "test")))};
+  auto result = eval.Evaluate(q);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result, (std::vector<NodeId>{0, 1, 2}));
+
+  Corpus only_test;
+  only_test.AddDocument("test test");
+  NaiveCalculusEvaluator eval2(&only_test);
+  auto result2 = eval2.Evaluate(q);
+  ASSERT_TRUE(result2.ok());
+  EXPECT_TRUE(result2->empty());
+}
+
+TEST(CalculusTest, ValidateRejectsFreeVariables) {
+  CalcQuery q{CalcExpr::HasToken(3, "x")};
+  EXPECT_FALSE(ValidateQuery(q).ok());
+}
+
+TEST(CalculusTest, ValidateRejectsRebinding) {
+  CalcQuery q{CalcExpr::Exists(
+      0, CalcExpr::Exists(0, CalcExpr::HasToken(0, "x")))};
+  EXPECT_FALSE(ValidateQuery(q).ok());
+}
+
+TEST(CalculusTest, ValidateRejectsBadPredicateArity) {
+  CalcQuery q{CalcExpr::Exists(
+      0, CalcExpr::Pred(Get("distance"), {0}, {5}))};
+  EXPECT_FALSE(ValidateQuery(q).ok());
+}
+
+TEST(AnalysisTest, FreeVars) {
+  auto e = CalcExpr::And(CalcExpr::HasToken(1, "a"),
+                         CalcExpr::Exists(2, CalcExpr::Pred(Get("distance"),
+                                                            {1, 2}, {3})));
+  EXPECT_EQ(FreeVars(e), (std::set<VarId>{1}));
+}
+
+TEST(AnalysisTest, CollectTokens) {
+  auto e = CalcExpr::Or(CalcExpr::HasToken(0, "a"),
+                        CalcExpr::Not(CalcExpr::HasToken(1, "b")));
+  EXPECT_EQ(CollectTokens(e), (std::set<std::string>{"a", "b"}));
+}
+
+TEST(AnalysisTest, QueryShapeCountsPrimitives) {
+  auto e = CalcExpr::Exists(
+      0, CalcExpr::And(CalcExpr::HasToken(0, "a"),
+                       CalcExpr::Exists(1, CalcExpr::And(CalcExpr::HasToken(1, "b"),
+                                                         CalcExpr::Pred(Get("distance"),
+                                                                        {0, 1}, {5})))));
+  QueryShape s = ComputeQueryShape(e);
+  EXPECT_EQ(s.toks, 2u);
+  EXPECT_EQ(s.preds, 1u);
+  EXPECT_EQ(s.ops, 4u);  // 2 exists + 2 and
+}
+
+TEST(AnalysisTest, DesugarForAllRemovesUniversals) {
+  auto e = CalcExpr::ForAll(0, CalcExpr::HasToken(0, "a"));
+  auto d = DesugarForAll(e);
+  EXPECT_EQ(d->kind(), CalcExpr::Kind::kNot);
+  EXPECT_EQ(d->child()->kind(), CalcExpr::Kind::kExists);
+  EXPECT_EQ(d->child()->child()->kind(), CalcExpr::Kind::kNot);
+}
+
+TEST(AnalysisTest, DesugarPreservesSemantics) {
+  Corpus corpus = TestCorpus();
+  NaiveCalculusEvaluator eval(&corpus);
+  auto forall = CalcExpr::ForAll(
+      0, CalcExpr::Or(CalcExpr::HasToken(0, "test"),
+                      CalcExpr::HasToken(0, "usability")));
+  auto a = eval.Evaluate(CalcQuery{forall});
+  auto b = eval.Evaluate(CalcQuery{DesugarForAll(forall)});
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(*a, *b);
+}
+
+TEST(CalculusTest, ToStringIsReadable) {
+  auto e = CalcExpr::Exists(0, CalcExpr::And(CalcExpr::HasToken(0, "a"),
+                                             CalcExpr::Not(CalcExpr::HasPos(1))));
+  EXPECT_EQ(e->ToString(),
+            "exists p0((hasToken(p0,'a') and not(hasPos(n,p1))))");
+}
+
+}  // namespace
+}  // namespace fts

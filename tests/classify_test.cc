@@ -1,0 +1,105 @@
+#include "lang/classify.h"
+
+#include <gtest/gtest.h>
+
+#include "lang/parser.h"
+
+namespace fts {
+namespace {
+
+LanguageClass Classify(const std::string& query) {
+  auto parsed = ParseQuery(query, SurfaceLanguage::kComp);
+  EXPECT_TRUE(parsed.ok()) << query << ": " << parsed.status().ToString();
+  return ClassifyQuery(*parsed);
+}
+
+struct ClassifyCase {
+  const char* query;
+  LanguageClass expected;
+};
+
+class ClassifyHierarchy : public ::testing::TestWithParam<ClassifyCase> {};
+
+TEST_P(ClassifyHierarchy, MapsToExpectedClass) {
+  EXPECT_EQ(Classify(GetParam().query), GetParam().expected) << GetParam().query;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Queries, ClassifyHierarchy,
+    ::testing::Values(
+        // BOOL-NONEG: merges over query-token lists only.
+        ClassifyCase{"'a'", LanguageClass::kBoolNoNeg},
+        ClassifyCase{"'a' AND 'b'", LanguageClass::kBoolNoNeg},
+        ClassifyCase{"'a' AND NOT 'b'", LanguageClass::kBoolNoNeg},
+        ClassifyCase{"('a' OR 'b') AND 'c'", LanguageClass::kBoolNoNeg},
+        // BOOL: complements and ANY require IL_ANY.
+        ClassifyCase{"NOT 'a'", LanguageClass::kBool},
+        ClassifyCase{"ANY", LanguageClass::kBool},
+        ClassifyCase{"'a' OR NOT 'b'", LanguageClass::kBool},
+        ClassifyCase{"NOT 'a' AND NOT 'b'", LanguageClass::kBool},
+        // PPRED: positive predicates, single scan.
+        ClassifyCase{"SOME p SOME q (p HAS 'a' AND q HAS 'b' AND "
+                     "distance(p, q, 5))",
+                     LanguageClass::kPpred},
+        ClassifyCase{"dist('a', 'b', 3)", LanguageClass::kPpred},
+        ClassifyCase{"SOME p SOME q (p HAS 'a' AND q HAS 'b' AND "
+                     "ordered(p, q) AND samepara(p, q))",
+                     LanguageClass::kPpred},
+        ClassifyCase{"'a' AND NOT dist('b', 'c', 2)", LanguageClass::kPpred},
+        ClassifyCase{"SOME p (p HAS 'a' OR p HAS 'b')", LanguageClass::kPpred},
+        // EVERY that normalizes to AND NOT SOME stays pipelined.
+        ClassifyCase{"'a' AND EVERY p (NOT p HAS 'b')", LanguageClass::kPpred},
+        // NPRED: negative predicates outside negation.
+        ClassifyCase{"SOME p SOME q (p HAS 'a' AND q HAS 'b' AND "
+                     "not_distance(p, q, 5))",
+                     LanguageClass::kNpred},
+        ClassifyCase{"SOME p SOME q (p HAS 'a' AND q HAS 'b' AND "
+                     "diffpos(p, q))",
+                     LanguageClass::kNpred},
+        ClassifyCase{"SOME p SOME q (p HAS 'a' AND q HAS 'b' AND "
+                     "distance(p, q, 9) AND not_ordered(p, q))",
+                     LanguageClass::kNpred},
+        // COMP: everything else.
+        ClassifyCase{"SOME p (NOT p HAS 'a')", LanguageClass::kComp},
+        ClassifyCase{"SOME p (p HAS ANY)", LanguageClass::kComp},
+        ClassifyCase{"EVERY p (p HAS 'a')", LanguageClass::kComp},
+        // Negation over a subquery with a negative predicate.
+        ClassifyCase{"'a' AND NOT (SOME p SOME q (p HAS 'b' AND q HAS 'c' AND "
+                     "not_distance(p, q, 1)))",
+                     LanguageClass::kComp},
+        // OR branches binding different variables need IL_ANY padding.
+        ClassifyCase{"SOME p SOME q ((p HAS 'a' OR q HAS 'b') AND "
+                     "distance(p, q, 5))",
+                     LanguageClass::kComp},
+        // A pure negation conjunction has no driving scan.
+        ClassifyCase{"NOT 'a' AND NOT ANY", LanguageClass::kBool}));
+
+TEST(ClassifyTest, FreeSurfaceVars) {
+  auto parsed = ParseQuery("SOME p (p HAS 'a' AND distance(p, q, 3))",
+                           SurfaceLanguage::kComp);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(FreeSurfaceVars(*parsed), (std::set<std::string>{"q"}));
+}
+
+TEST(ClassifyTest, ClassNamesAreStable) {
+  EXPECT_STREQ(LanguageClassToString(LanguageClass::kBoolNoNeg), "BOOL-NONEG");
+  EXPECT_STREQ(LanguageClassToString(LanguageClass::kBool), "BOOL");
+  EXPECT_STREQ(LanguageClassToString(LanguageClass::kPpred), "PPRED");
+  EXPECT_STREQ(LanguageClassToString(LanguageClass::kNpred), "NPRED");
+  EXPECT_STREQ(LanguageClassToString(LanguageClass::kComp), "COMP");
+}
+
+TEST(ClassifyTest, HierarchyIsOrdered) {
+  // The enum order encodes the Figure 3 hierarchy.
+  EXPECT_LT(static_cast<int>(LanguageClass::kBoolNoNeg),
+            static_cast<int>(LanguageClass::kBool));
+  EXPECT_LT(static_cast<int>(LanguageClass::kBool),
+            static_cast<int>(LanguageClass::kPpred));
+  EXPECT_LT(static_cast<int>(LanguageClass::kPpred),
+            static_cast<int>(LanguageClass::kNpred));
+  EXPECT_LT(static_cast<int>(LanguageClass::kNpred),
+            static_cast<int>(LanguageClass::kComp));
+}
+
+}  // namespace
+}  // namespace fts

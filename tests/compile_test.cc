@@ -1,0 +1,182 @@
+#include "compile/ftc_to_fta.h"
+
+#include <gtest/gtest.h>
+
+#include "calculus/naive_eval.h"
+#include "compile/fta_to_ftc.h"
+#include "index/index_builder.h"
+#include "text/corpus.h"
+
+namespace fts {
+namespace {
+
+const PositionPredicate* Get(const std::string& name) {
+  return PredicateRegistry::Default().Find(name);
+}
+
+struct CompileFixture : public ::testing::Test {
+  void SetUp() override {
+    corpus.AddDocument("efficient task completion now");       // 0
+    corpus.AddDocument("task completion efficient");           // 1
+    corpus.AddDocument("efficient work only");                 // 2
+    corpus.AddDocument("");                                    // 3 (empty)
+    corpus.AddDocument("completion of a task is efficient");   // 4
+    index = IndexBuilder::Build(corpus);
+  }
+
+  // Compile and evaluate through the algebra; compare with the naive
+  // first-order evaluation (the Theorem 1 equivalence, instantiated).
+  void ExpectAgreesWithOracle(const CalcQuery& q) {
+    NaiveCalculusEvaluator oracle(&corpus);
+    auto expected = oracle.Evaluate(q);
+    ASSERT_TRUE(expected.ok()) << expected.status().ToString();
+    auto plan = CompileQuery(q);
+    ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+    auto rel = EvaluateFta(*plan, index, nullptr, nullptr);
+    ASSERT_TRUE(rel.ok()) << rel.status().ToString();
+    EXPECT_EQ(rel->Nodes(), *expected) << q.ToString() << "\nplan: "
+                                       << (*plan)->ToString();
+  }
+
+  Corpus corpus;
+  InvertedIndex index;
+};
+
+TEST_F(CompileFixture, SingleToken) {
+  ExpectAgreesWithOracle(CalcQuery{CalcExpr::Exists(0, CalcExpr::HasToken(0, "task"))});
+}
+
+TEST_F(CompileFixture, Conjunction) {
+  ExpectAgreesWithOracle(CalcQuery{CalcExpr::Exists(
+      0, CalcExpr::And(CalcExpr::HasToken(0, "task"),
+                       CalcExpr::Exists(1, CalcExpr::HasToken(1, "efficient"))))});
+}
+
+TEST_F(CompileFixture, Disjunction) {
+  ExpectAgreesWithOracle(CalcQuery{
+      CalcExpr::Or(CalcExpr::Exists(0, CalcExpr::HasToken(0, "work")),
+                   CalcExpr::Exists(1, CalcExpr::HasToken(1, "now")))});
+}
+
+TEST_F(CompileFixture, DisjunctionWithSharedFreeVariable) {
+  // ∃p ((p HAS 'task') ∨ (p HAS 'work')): union over an open column.
+  ExpectAgreesWithOracle(CalcQuery{CalcExpr::Exists(
+      0, CalcExpr::Or(CalcExpr::HasToken(0, "task"), CalcExpr::HasToken(0, "work")))});
+}
+
+TEST_F(CompileFixture, ClosedNegationUnderConjunction) {
+  ExpectAgreesWithOracle(CalcQuery{CalcExpr::And(
+      CalcExpr::Exists(0, CalcExpr::HasToken(0, "efficient")),
+      CalcExpr::Not(CalcExpr::Exists(1, CalcExpr::HasToken(1, "task"))))});
+}
+
+TEST_F(CompileFixture, TopLevelNegation) {
+  ExpectAgreesWithOracle(
+      CalcQuery{CalcExpr::Not(CalcExpr::Exists(0, CalcExpr::HasToken(0, "task")))});
+}
+
+TEST_F(CompileFixture, OpenNegationInsideExists) {
+  // Theorem 3's witness query: a position holding something else than
+  // 'task'.
+  ExpectAgreesWithOracle(CalcQuery{
+      CalcExpr::Exists(0, CalcExpr::Not(CalcExpr::HasToken(0, "task")))});
+}
+
+TEST_F(CompileFixture, DistancePredicate) {
+  ExpectAgreesWithOracle(CalcQuery{CalcExpr::Exists(
+      0, CalcExpr::And(
+             CalcExpr::HasToken(0, "task"),
+             CalcExpr::Exists(
+                 1, CalcExpr::And(CalcExpr::HasToken(1, "completion"),
+                                  CalcExpr::Pred(Get("odistance"), {0, 1}, {0})))))});
+}
+
+TEST_F(CompileFixture, SharedVariableAcrossConjuncts) {
+  // ∃p (p HAS 'task' ∧ p HAS 'task') — same variable used twice.
+  ExpectAgreesWithOracle(CalcQuery{CalcExpr::Exists(
+      0, CalcExpr::And(CalcExpr::HasToken(0, "task"),
+                       CalcExpr::HasToken(0, "task")))});
+  // Contradiction: one position, two different tokens.
+  ExpectAgreesWithOracle(CalcQuery{CalcExpr::Exists(
+      0, CalcExpr::And(CalcExpr::HasToken(0, "task"),
+                       CalcExpr::HasToken(0, "efficient")))});
+}
+
+TEST_F(CompileFixture, UniversalQuantifier) {
+  ExpectAgreesWithOracle(CalcQuery{CalcExpr::ForAll(
+      0, CalcExpr::Or(CalcExpr::HasToken(0, "efficient"),
+                      CalcExpr::Or(CalcExpr::HasToken(0, "work"),
+                                   CalcExpr::HasToken(0, "only"))))});
+}
+
+TEST_F(CompileFixture, UnusedQuantifiedVariableRequiresNonEmptyNode) {
+  // ∃p ('task' somewhere): p unused by the body — still requires p to bind.
+  ExpectAgreesWithOracle(CalcQuery{CalcExpr::Exists(
+      5, CalcExpr::Exists(0, CalcExpr::HasToken(0, "efficient")))});
+}
+
+TEST_F(CompileFixture, PurePredicateConjunction) {
+  // Positions within distance 1 of each other, any tokens.
+  ExpectAgreesWithOracle(CalcQuery{CalcExpr::Exists(
+      0, CalcExpr::Exists(
+             1, CalcExpr::And(CalcExpr::Pred(Get("distance"), {0, 1}, {1}),
+                              CalcExpr::Pred(Get("diffpos"), {0, 1}, {}))))});
+}
+
+TEST_F(CompileFixture, CompiledQueryIsNodeLevel) {
+  auto plan = CompileQuery(
+      CalcQuery{CalcExpr::Exists(0, CalcExpr::HasToken(0, "task"))});
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ((*plan)->num_cols(), 0u);
+}
+
+TEST_F(CompileFixture, CompileExprExposesFreeVariableColumns) {
+  auto compiled = CompileExpr(CalcExpr::And(
+      CalcExpr::HasToken(2, "task"),
+      CalcExpr::Pred(Get("distance"), {2, 7}, {5})));
+  ASSERT_TRUE(compiled.ok()) << compiled.status().ToString();
+  EXPECT_EQ(compiled->cols, (std::vector<VarId>{2, 7}));
+}
+
+TEST_F(CompileFixture, RoundTripFtaToFtcToFta) {
+  // Build an algebra query, translate to calculus (Lemma 1), evaluate both
+  // ways, and check they agree.
+  auto join = FtaExpr::Join(FtaExpr::Token("task"), FtaExpr::Token("completion"));
+  AlgebraPredicateCall call;
+  call.pred = Get("distance");
+  call.cols = {0, 1};
+  call.consts = {2};
+  auto sel = FtaExpr::Select(join, call);
+  ASSERT_TRUE(sel.ok());
+  auto proj = FtaExpr::Project(*sel, {});
+  ASSERT_TRUE(proj.ok());
+
+  auto direct = EvaluateFta(*proj, index, nullptr, nullptr);
+  ASSERT_TRUE(direct.ok());
+
+  auto calc = TranslateFtaQuery(*proj);
+  ASSERT_TRUE(calc.ok()) << calc.status().ToString();
+  NaiveCalculusEvaluator oracle(&corpus);
+  auto via_calc = oracle.Evaluate(*calc);
+  ASSERT_TRUE(via_calc.ok());
+  EXPECT_EQ(direct->Nodes(), *via_calc);
+
+  // And back through the compiler.
+  auto recompiled = CompileQuery(*calc);
+  ASSERT_TRUE(recompiled.ok());
+  auto rel = EvaluateFta(*recompiled, index, nullptr, nullptr);
+  ASSERT_TRUE(rel.ok());
+  EXPECT_EQ(rel->Nodes(), *via_calc);
+}
+
+TEST_F(CompileFixture, TranslateSearchContextIsUniverse) {
+  auto calc = TranslateFtaQuery(FtaExpr::SearchContext());
+  ASSERT_TRUE(calc.ok());
+  NaiveCalculusEvaluator oracle(&corpus);
+  auto nodes = oracle.Evaluate(*calc);
+  ASSERT_TRUE(nodes.ok());
+  EXPECT_EQ(nodes->size(), corpus.num_nodes());  // includes the empty node
+}
+
+}  // namespace
+}  // namespace fts

@@ -1,0 +1,242 @@
+// Differential testing of the four engines (paper Section 5): on randomly
+// generated queries from each language class, every engine able to evaluate
+// the query must return exactly the node set of the naive calculus oracle.
+// This instantiates the correctness claims of Algorithms 1-7.
+
+#include <gtest/gtest.h>
+
+#include "calculus/naive_eval.h"
+#include "common/rng.h"
+#include "eval/bool_engine.h"
+#include "eval/comp_engine.h"
+#include "eval/npred_engine.h"
+#include "eval/ppred_engine.h"
+#include "index/index_builder.h"
+#include "lang/classify.h"
+#include "lang/translate.h"
+#include "text/corpus.h"
+
+namespace fts {
+namespace {
+
+const char* kVocab[] = {"a", "b", "c", "d", "e"};
+
+Corpus RandomCorpus(Rng* rng, int docs, int max_len) {
+  Corpus corpus;
+  for (int d = 0; d < docs; ++d) {
+    const int len = static_cast<int>(rng->Uniform(max_len + 1));
+    std::vector<std::string> tokens;
+    for (int i = 0; i < len; ++i) tokens.push_back(kVocab[rng->Uniform(5)]);
+    corpus.AddTokens(tokens);
+  }
+  return corpus;
+}
+
+std::string Tok(Rng* rng) { return std::string(kVocab[rng->Uniform(5)]); }
+
+// Random BOOL query (tokens, ANY, NOT/AND/OR).
+LangExprPtr RandomBool(Rng* rng, int depth) {
+  if (depth <= 0 || rng->Bernoulli(0.4)) {
+    if (rng->Bernoulli(0.15)) return LangExpr::Any();
+    return LangExpr::Token(Tok(rng));
+  }
+  switch (rng->Uniform(3)) {
+    case 0:
+      return LangExpr::Not(RandomBool(rng, depth - 1));
+    case 1:
+      return LangExpr::And(RandomBool(rng, depth - 1), RandomBool(rng, depth - 1));
+    default:
+      return LangExpr::Or(RandomBool(rng, depth - 1), RandomBool(rng, depth - 1));
+  }
+}
+
+// Random pipelined query: SOME-quantified token bindings with predicates,
+// optional AND NOT closed subquery, optional OR of token atoms.
+LangExprPtr RandomPipelined(Rng* rng, bool allow_negative) {
+  const int ntok = 2 + static_cast<int>(rng->Uniform(2));  // 2..3 variables
+  std::vector<std::string> vars;
+  LangExprPtr body;
+  for (int i = 0; i < ntok; ++i) {
+    vars.push_back("v" + std::to_string(i));
+    LangExprPtr atom = LangExpr::VarHasToken(vars[i], Tok(rng));
+    body = body ? LangExpr::And(std::move(body), std::move(atom)) : atom;
+  }
+  const int npred = 1 + static_cast<int>(rng->Uniform(2));
+  for (int p = 0; p < npred; ++p) {
+    const std::string& v1 = vars[rng->Uniform(vars.size())];
+    const std::string& v2 = vars[rng->Uniform(vars.size())];
+    LangExprPtr pred;
+    const bool negative = allow_negative && rng->Bernoulli(0.5);
+    if (negative) {
+      switch (rng->Uniform(3)) {
+        case 0:
+          pred = LangExpr::Pred("not_distance", {v1, v2},
+                                {static_cast<int64_t>(rng->Uniform(4))});
+          break;
+        case 1:
+          pred = LangExpr::Pred("not_ordered", {v1, v2}, {});
+          break;
+        default:
+          pred = LangExpr::Pred("diffpos", {v1, v2}, {});
+          break;
+      }
+    } else {
+      switch (rng->Uniform(3)) {
+        case 0:
+          pred = LangExpr::Pred("distance", {v1, v2},
+                                {static_cast<int64_t>(1 + rng->Uniform(4))});
+          break;
+        case 1:
+          pred = LangExpr::Pred("ordered", {v1, v2}, {});
+          break;
+        default:
+          pred = LangExpr::Pred("odistance", {v1, v2},
+                                {static_cast<int64_t>(1 + rng->Uniform(4))});
+          break;
+      }
+    }
+    body = LangExpr::And(std::move(body), std::move(pred));
+  }
+  // Occasionally a closed AND NOT conjunct.
+  if (rng->Bernoulli(0.3)) {
+    body = LangExpr::And(std::move(body),
+                         LangExpr::Not(LangExpr::Token(Tok(rng))));
+  }
+  for (auto it = vars.rbegin(); it != vars.rend(); ++it) {
+    body = LangExpr::Some(*it, std::move(body));
+  }
+  // Occasionally an OR with a plain token query.
+  if (rng->Bernoulli(0.25)) {
+    body = LangExpr::Or(std::move(body), LangExpr::Token(Tok(rng)));
+  }
+  return body;
+}
+
+std::vector<NodeId> Oracle(const Corpus& corpus, const LangExprPtr& query) {
+  auto calc = TranslateToCalculus(query);
+  EXPECT_TRUE(calc.ok()) << calc.status().ToString();
+  NaiveCalculusEvaluator oracle(&corpus);
+  auto nodes = oracle.Evaluate(*calc);
+  EXPECT_TRUE(nodes.ok());
+  return nodes.ok() ? *nodes : std::vector<NodeId>{};
+}
+
+class EngineDifferential : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(EngineDifferential, BoolEngineMatchesOracle) {
+  Rng rng(GetParam());
+  Corpus corpus = RandomCorpus(&rng, 10, 12);
+  InvertedIndex index = IndexBuilder::Build(corpus);
+  BoolEngine engine(&index, ScoringKind::kNone);
+  CompEngine comp(&index, ScoringKind::kNone);
+  for (int trial = 0; trial < 30; ++trial) {
+    LangExprPtr q = RandomBool(&rng, 3);
+    auto expected = Oracle(corpus, q);
+    auto got = engine.Evaluate(q);
+    ASSERT_TRUE(got.ok()) << q->ToString();
+    EXPECT_EQ(got->nodes, expected) << q->ToString();
+    auto via_comp = comp.Evaluate(q);
+    ASSERT_TRUE(via_comp.ok()) << q->ToString();
+    EXPECT_EQ(via_comp->nodes, expected) << q->ToString();
+  }
+}
+
+TEST_P(EngineDifferential, PpredEngineMatchesOracle) {
+  Rng rng(GetParam() * 7919 + 1);
+  Corpus corpus = RandomCorpus(&rng, 12, 14);
+  InvertedIndex index = IndexBuilder::Build(corpus);
+  PpredEngine engine(&index, ScoringKind::kNone);
+  CompEngine comp(&index, ScoringKind::kNone);
+  for (int trial = 0; trial < 25; ++trial) {
+    LangExprPtr q = RandomPipelined(&rng, /*allow_negative=*/false);
+    ASSERT_LE(static_cast<int>(ClassifyQuery(q)),
+              static_cast<int>(LanguageClass::kPpred))
+        << q->ToString();
+    auto expected = Oracle(corpus, q);
+    auto got = engine.Evaluate(q);
+    ASSERT_TRUE(got.ok()) << q->ToString() << ": " << got.status().ToString();
+    EXPECT_EQ(got->nodes, expected) << q->ToString();
+    auto via_comp = comp.Evaluate(q);
+    ASSERT_TRUE(via_comp.ok());
+    EXPECT_EQ(via_comp->nodes, expected) << q->ToString();
+  }
+}
+
+TEST_P(EngineDifferential, NpredEngineMatchesOracle) {
+  Rng rng(GetParam() * 104729 + 3);
+  Corpus corpus = RandomCorpus(&rng, 12, 14);
+  InvertedIndex index = IndexBuilder::Build(corpus);
+  NpredEngine engine(&index, ScoringKind::kNone);
+  NpredEngine total(&index, ScoringKind::kNone, NpredOrderingMode::kAllTotalOrders);
+  CompEngine comp(&index, ScoringKind::kNone);
+  for (int trial = 0; trial < 20; ++trial) {
+    LangExprPtr q = RandomPipelined(&rng, /*allow_negative=*/true);
+    auto expected = Oracle(corpus, q);
+    auto got = engine.Evaluate(q);
+    ASSERT_TRUE(got.ok()) << q->ToString() << ": " << got.status().ToString();
+    EXPECT_EQ(got->nodes, expected) << q->ToString();
+    auto got_total = total.Evaluate(q);
+    ASSERT_TRUE(got_total.ok()) << q->ToString();
+    EXPECT_EQ(got_total->nodes, expected) << q->ToString();
+    auto via_comp = comp.Evaluate(q);
+    ASSERT_TRUE(via_comp.ok());
+    EXPECT_EQ(via_comp->nodes, expected) << q->ToString();
+  }
+}
+
+TEST_P(EngineDifferential, EnginesAgreeOnStructuredCorpora) {
+  // Structured positions (sentences/paragraphs) with samepara/samesentence.
+  Rng rng(GetParam() * 65537 + 11);
+  Corpus corpus;
+  for (int d = 0; d < 10; ++d) {
+    std::string text;
+    const int sentences = 1 + static_cast<int>(rng.Uniform(4));
+    for (int s = 0; s < sentences; ++s) {
+      const int words = 1 + static_cast<int>(rng.Uniform(5));
+      for (int w = 0; w < words; ++w) {
+        text += std::string(kVocab[rng.Uniform(5)]) + " ";
+      }
+      text += rng.Bernoulli(0.3) ? ".\n\n" : ". ";
+    }
+    corpus.AddDocument(text);
+  }
+  InvertedIndex index = IndexBuilder::Build(corpus);
+  PpredEngine ppred(&index, ScoringKind::kNone);
+  NpredEngine npred(&index, ScoringKind::kNone);
+  CompEngine comp(&index, ScoringKind::kNone);
+
+  for (int trial = 0; trial < 15; ++trial) {
+    const std::string v1 = "p", v2 = "q";
+    LangExprPtr body = LangExpr::And(LangExpr::VarHasToken(v1, Tok(&rng)),
+                                     LangExpr::VarHasToken(v2, Tok(&rng)));
+    const bool negative = rng.Bernoulli(0.4);
+    LangExprPtr pred =
+        negative
+            ? LangExpr::Pred(rng.Bernoulli(0.5) ? "not_samepara" : "not_samesentence",
+                             {v1, v2}, {})
+            : LangExpr::Pred(rng.Bernoulli(0.5) ? "samepara" : "samesentence",
+                             {v1, v2}, {});
+    body = LangExpr::And(std::move(body), std::move(pred));
+    LangExprPtr q =
+        LangExpr::Some(v1, LangExpr::Some(v2, std::move(body)));
+
+    auto expected = Oracle(corpus, q);
+    auto via_comp = comp.Evaluate(q);
+    ASSERT_TRUE(via_comp.ok());
+    EXPECT_EQ(via_comp->nodes, expected) << q->ToString();
+    if (!negative) {
+      auto via_ppred = ppred.Evaluate(q);
+      ASSERT_TRUE(via_ppred.ok()) << q->ToString();
+      EXPECT_EQ(via_ppred->nodes, expected) << q->ToString();
+    }
+    auto via_npred = npred.Evaluate(q);
+    ASSERT_TRUE(via_npred.ok()) << q->ToString();
+    EXPECT_EQ(via_npred->nodes, expected) << q->ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EngineDifferential,
+                         ::testing::Values(101, 202, 303, 404, 505, 606, 707, 808));
+
+}  // namespace
+}  // namespace fts

@@ -1,0 +1,155 @@
+// Randomized instantiation of Theorem 1: for random calculus queries over
+// random corpora, the compiled algebra evaluation equals the naive first-
+// order evaluation; and translating the compiled plan back to the calculus
+// (Lemma 1) evaluates to the same node set.
+
+#include <gtest/gtest.h>
+
+#include "calculus/analysis.h"
+#include "calculus/naive_eval.h"
+#include "common/rng.h"
+#include "compile/ftc_to_fta.h"
+#include "compile/fta_to_ftc.h"
+#include "index/index_builder.h"
+#include "text/corpus.h"
+
+namespace fts {
+namespace {
+
+const PositionPredicate* Get(const std::string& name) {
+  return PredicateRegistry::Default().Find(name);
+}
+
+// Small vocabulary so negations and conjunctions are non-trivially
+// satisfiable on small documents.
+const char* kVocab[] = {"a", "b", "c", "d"};
+
+Corpus RandomCorpus(Rng* rng) {
+  Corpus corpus;
+  const int docs = 4 + static_cast<int>(rng->Uniform(4));
+  for (int d = 0; d < docs; ++d) {
+    const int len = static_cast<int>(rng->Uniform(9));  // includes empty docs
+    std::vector<std::string> tokens;
+    for (int i = 0; i < len; ++i) {
+      tokens.push_back(kVocab[rng->Uniform(4)]);
+    }
+    corpus.AddTokens(tokens);
+  }
+  return corpus;
+}
+
+// Random closed calculus query. `vars` tracks in-scope quantified
+// variables; depth bounds the tree.
+CalcExprPtr RandomExpr(Rng* rng, std::vector<VarId>* vars, VarId* next, int depth) {
+  const bool can_use_var = !vars->empty();
+  // Leaf or structural choice.
+  const uint64_t kind = rng->Uniform(depth <= 0 ? 3 : 8);
+  switch (kind) {
+    case 0:  // hasToken on an in-scope var (or fresh existential)
+    case 1: {
+      if (can_use_var && rng->Bernoulli(0.7)) {
+        return CalcExpr::HasToken((*vars)[rng->Uniform(vars->size())],
+                                  kVocab[rng->Uniform(4)]);
+      }
+      const VarId v = (*next)++;
+      return CalcExpr::Exists(v, CalcExpr::HasToken(v, kVocab[rng->Uniform(4)]));
+    }
+    case 2: {  // predicate over in-scope vars
+      if (!can_use_var) {
+        const VarId v = (*next)++;
+        return CalcExpr::Exists(v, CalcExpr::HasPos(v));
+      }
+      const VarId v1 = (*vars)[rng->Uniform(vars->size())];
+      const VarId v2 = (*vars)[rng->Uniform(vars->size())];
+      switch (rng->Uniform(4)) {
+        case 0:
+          return CalcExpr::Pred(Get("distance"), {v1, v2},
+                                {static_cast<int64_t>(rng->Uniform(4))});
+        case 1:
+          return CalcExpr::Pred(Get("ordered"), {v1, v2}, {});
+        case 2:
+          return CalcExpr::Pred(Get("diffpos"), {v1, v2}, {});
+        default:
+          return CalcExpr::Pred(Get("not_distance"), {v1, v2},
+                                {static_cast<int64_t>(rng->Uniform(3))});
+      }
+    }
+    case 3:
+      return CalcExpr::Not(RandomExpr(rng, vars, next, depth - 1));
+    case 4:
+      return CalcExpr::And(RandomExpr(rng, vars, next, depth - 1),
+                           RandomExpr(rng, vars, next, depth - 1));
+    case 5:
+      return CalcExpr::Or(RandomExpr(rng, vars, next, depth - 1),
+                          RandomExpr(rng, vars, next, depth - 1));
+    case 6: {
+      const VarId v = (*next)++;
+      vars->push_back(v);
+      CalcExprPtr body = RandomExpr(rng, vars, next, depth - 1);
+      vars->pop_back();
+      return CalcExpr::Exists(v, std::move(body));
+    }
+    default: {
+      const VarId v = (*next)++;
+      vars->push_back(v);
+      CalcExprPtr body = RandomExpr(rng, vars, next, depth - 1);
+      vars->pop_back();
+      return CalcExpr::ForAll(v, std::move(body));
+    }
+  }
+}
+
+class EquivalenceProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(EquivalenceProperty, CompiledAlgebraMatchesNaiveCalculus) {
+  Rng rng(GetParam());
+  Corpus corpus = RandomCorpus(&rng);
+  InvertedIndex index = IndexBuilder::Build(corpus);
+  NaiveCalculusEvaluator oracle(&corpus);
+
+  for (int trial = 0; trial < 40; ++trial) {
+    std::vector<VarId> vars;
+    VarId next = 0;
+    CalcQuery query{RandomExpr(&rng, &vars, &next, 3)};
+    if (!ValidateQuery(query).ok()) continue;  // (should not happen)
+
+    auto expected = oracle.Evaluate(query);
+    ASSERT_TRUE(expected.ok()) << query.ToString();
+
+    auto plan = CompileQuery(query);
+    ASSERT_TRUE(plan.ok()) << query.ToString() << "\n" << plan.status().ToString();
+    auto rel = EvaluateFta(*plan, index, nullptr, nullptr);
+    ASSERT_TRUE(rel.ok()) << (*plan)->ToString();
+    EXPECT_EQ(rel->Nodes(), *expected)
+        << "query: " << query.ToString() << "\nplan: " << (*plan)->ToString();
+  }
+}
+
+TEST_P(EquivalenceProperty, Lemma1BackTranslationAgrees) {
+  Rng rng(GetParam() ^ 0x9E3779B97F4A7C15ULL);
+  Corpus corpus = RandomCorpus(&rng);
+  InvertedIndex index = IndexBuilder::Build(corpus);
+  NaiveCalculusEvaluator oracle(&corpus);
+
+  for (int trial = 0; trial < 15; ++trial) {
+    std::vector<VarId> vars;
+    VarId next = 0;
+    CalcQuery query{RandomExpr(&rng, &vars, &next, 2)};
+    auto plan = CompileQuery(query);
+    ASSERT_TRUE(plan.ok()) << query.ToString();
+
+    auto back = TranslateFtaQuery(*plan);
+    ASSERT_TRUE(back.ok()) << (*plan)->ToString();
+    auto via_back = oracle.Evaluate(*back);
+    ASSERT_TRUE(via_back.ok());
+    auto direct = oracle.Evaluate(query);
+    ASSERT_TRUE(direct.ok());
+    EXPECT_EQ(*via_back, *direct) << query.ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EquivalenceProperty,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12));
+
+}  // namespace
+}  // namespace fts

@@ -1,0 +1,122 @@
+#include "algebra/fta.h"
+
+#include <gtest/gtest.h>
+
+#include "index/index_builder.h"
+#include "text/corpus.h"
+
+namespace fts {
+namespace {
+
+const PositionPredicate* Get(const std::string& name) {
+  return PredicateRegistry::Default().Find(name);
+}
+
+struct FtaFixture : public ::testing::Test {
+  void SetUp() override {
+    corpus.AddDocument("efficient task completion now");  // 0
+    corpus.AddDocument("task completion efficient");      // 1
+    corpus.AddDocument("efficient work");                 // 2
+    index = IndexBuilder::Build(corpus);
+  }
+  Corpus corpus;
+  InvertedIndex index;
+};
+
+TEST_F(FtaFixture, TokenScanEvaluates) {
+  auto rel = EvaluateFta(FtaExpr::Token("efficient"), index, nullptr, nullptr);
+  ASSERT_TRUE(rel.ok());
+  EXPECT_EQ(rel->Nodes(), (std::vector<NodeId>{0, 1, 2}));
+}
+
+TEST_F(FtaFixture, Figure4StylePlan) {
+  // Paper Figure 4: project(select(join(scan, scan))). Find nodes where
+  // 'task' is immediately followed by 'completion' (phrase).
+  auto join = FtaExpr::Join(FtaExpr::Token("task"), FtaExpr::Token("completion"));
+  AlgebraPredicateCall call;
+  call.pred = Get("odistance");
+  call.cols = {0, 1};
+  call.consts = {0};
+  auto sel = FtaExpr::Select(join, call);
+  ASSERT_TRUE(sel.ok());
+  auto proj = FtaExpr::Project(*sel, {});
+  ASSERT_TRUE(proj.ok());
+  auto rel = EvaluateFta(*proj, index, nullptr, nullptr);
+  ASSERT_TRUE(rel.ok());
+  EXPECT_EQ(rel->Nodes(), (std::vector<NodeId>{0, 1}));
+}
+
+TEST_F(FtaFixture, DifferenceAgainstSearchContext) {
+  auto nodes_with = FtaExpr::Project(FtaExpr::Token("task"), {});
+  ASSERT_TRUE(nodes_with.ok());
+  auto diff = FtaExpr::Difference(FtaExpr::SearchContext(), *nodes_with);
+  ASSERT_TRUE(diff.ok());
+  auto rel = EvaluateFta(*diff, index, nullptr, nullptr);
+  ASSERT_TRUE(rel.ok());
+  EXPECT_EQ(rel->Nodes(), (std::vector<NodeId>{2}));
+}
+
+TEST_F(FtaFixture, AntiJoinKeepsPositions) {
+  auto task_nodes = FtaExpr::Project(FtaExpr::Token("task"), {});
+  ASSERT_TRUE(task_nodes.ok());
+  auto aj = FtaExpr::AntiJoin(FtaExpr::Token("efficient"), *task_nodes);
+  ASSERT_TRUE(aj.ok());
+  EXPECT_EQ((*aj)->num_cols(), 1u);
+  auto rel = EvaluateFta(*aj, index, nullptr, nullptr);
+  ASSERT_TRUE(rel.ok());
+  EXPECT_EQ(rel->Nodes(), (std::vector<NodeId>{2}));
+}
+
+TEST_F(FtaFixture, FactoryValidation) {
+  EXPECT_FALSE(FtaExpr::Project(FtaExpr::Token("x"), {3}).ok());
+  EXPECT_FALSE(FtaExpr::Union(FtaExpr::Token("x"), FtaExpr::SearchContext()).ok());
+  EXPECT_FALSE(FtaExpr::AntiJoin(FtaExpr::Token("x"), FtaExpr::Token("y")).ok());
+  AlgebraPredicateCall bad;
+  bad.pred = Get("distance");
+  bad.cols = {0};
+  bad.consts = {1};
+  EXPECT_FALSE(FtaExpr::Select(FtaExpr::Token("x"), bad).ok());
+}
+
+TEST_F(FtaFixture, ToStringRendersPlan) {
+  auto join = FtaExpr::Join(FtaExpr::Token("task"), FtaExpr::Token("completion"));
+  AlgebraPredicateCall call;
+  call.pred = Get("distance");
+  call.cols = {0, 1};
+  call.consts = {5};
+  auto sel = FtaExpr::Select(join, call);
+  ASSERT_TRUE(sel.ok());
+  EXPECT_EQ((*sel)->ToString(),
+            "select[distance(0,1;5)](join(scan('task'),scan('completion')))");
+}
+
+TEST_F(FtaFixture, UnionIntersectDifferenceEvaluate) {
+  auto t1 = FtaExpr::Project(FtaExpr::Token("task"), {});
+  auto t2 = FtaExpr::Project(FtaExpr::Token("efficient"), {});
+  ASSERT_TRUE(t1.ok());
+  ASSERT_TRUE(t2.ok());
+  auto u = FtaExpr::Union(*t1, *t2);
+  ASSERT_TRUE(u.ok());
+  auto rel = EvaluateFta(*u, index, nullptr, nullptr);
+  ASSERT_TRUE(rel.ok());
+  EXPECT_EQ(rel->Nodes(), (std::vector<NodeId>{0, 1, 2}));
+
+  auto i = FtaExpr::Intersect(*t1, *t2);
+  ASSERT_TRUE(i.ok());
+  rel = EvaluateFta(*i, index, nullptr, nullptr);
+  ASSERT_TRUE(rel.ok());
+  EXPECT_EQ(rel->Nodes(), (std::vector<NodeId>{0, 1}));
+
+  auto d = FtaExpr::Difference(*t2, *t1);
+  ASSERT_TRUE(d.ok());
+  rel = EvaluateFta(*d, index, nullptr, nullptr);
+  ASSERT_TRUE(rel.ok());
+  EXPECT_EQ(rel->Nodes(), (std::vector<NodeId>{2}));
+}
+
+TEST_F(FtaFixture, EvaluateRejectsNull) {
+  EXPECT_FALSE(EvaluateFta(nullptr, index, nullptr, nullptr).ok());
+}
+
+}  // namespace
+}  // namespace fts

@@ -1,0 +1,114 @@
+// Robustness fuzzing: random byte soup through the parser must produce a
+// clean error or a valid tree (never crash); random mutations of a
+// serialized index must be rejected or load to a structurally sane index.
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "eval/router.h"
+#include "index/index_builder.h"
+#include "index/index_io.h"
+#include "lang/parser.h"
+#include "lang/translate.h"
+#include "workload/corpus_gen.h"
+
+namespace fts {
+namespace {
+
+class ParserFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ParserFuzz, RandomPrintableInputNeverCrashes) {
+  Rng rng(GetParam());
+  const char alphabet[] =
+      "abcdefghijklmnopqrstuvwxyz '()0123456789,ANDORNOTSOMEEVERYHASdistance_";
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string input;
+    const size_t len = rng.Uniform(60);
+    for (size_t i = 0; i < len; ++i) {
+      input.push_back(alphabet[rng.Uniform(sizeof(alphabet) - 1)]);
+    }
+    auto parsed = ParseQuery(input, SurfaceLanguage::kComp);
+    if (!parsed.ok()) {
+      EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument) << input;
+      continue;
+    }
+    // Whatever parsed must print and re-parse.
+    auto reparsed = ParseQuery((*parsed)->ToString(), SurfaceLanguage::kComp);
+    EXPECT_TRUE(reparsed.ok()) << input << " -> " << (*parsed)->ToString();
+    // Translation either succeeds (closed query) or reports a clean error.
+    auto calc = TranslateToCalculus(*parsed);
+    if (!calc.ok()) {
+      EXPECT_EQ(calc.status().code(), StatusCode::kInvalidArgument) << input;
+    }
+  }
+}
+
+TEST_P(ParserFuzz, RandomBytesNeverCrash) {
+  Rng rng(GetParam() ^ 0xABCDEF);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string input;
+    const size_t len = rng.Uniform(40);
+    for (size_t i = 0; i < len; ++i) {
+      input.push_back(static_cast<char>(rng.Uniform(256)));
+    }
+    auto parsed = ParseQuery(input, SurfaceLanguage::kComp);
+    if (!parsed.ok()) {
+      EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParserFuzz, ::testing::Values(11, 22, 33));
+
+class IndexFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(IndexFuzz, MutatedBlobsAreRejectedOrSane) {
+  CorpusGenOptions opts;
+  opts.seed = 5;
+  opts.num_nodes = 40;
+  opts.min_doc_len = 5;
+  opts.max_doc_len = 30;
+  opts.vocabulary = 100;
+  Corpus corpus = GenerateCorpus(opts);
+  InvertedIndex index = IndexBuilder::Build(corpus);
+  std::string blob;
+  SaveIndexToString(index, &blob);
+
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 150; ++trial) {
+    std::string mutated = blob;
+    const int mutations = 1 + static_cast<int>(rng.Uniform(4));
+    for (int m = 0; m < mutations; ++m) {
+      switch (rng.Uniform(3)) {
+        case 0: {  // flip a byte
+          size_t pos = rng.Uniform(mutated.size());
+          mutated[pos] = static_cast<char>(mutated[pos] ^ (1 << rng.Uniform(8)));
+          break;
+        }
+        case 1:  // truncate
+          mutated.resize(rng.Uniform(mutated.size() + 1));
+          break;
+        default:  // append garbage
+          mutated.push_back(static_cast<char>(rng.Uniform(256)));
+          break;
+      }
+    }
+    InvertedIndex loaded;
+    Status s = LoadIndexFromString(mutated, &loaded);
+    // The checksum makes accidental acceptance astronomically unlikely;
+    // whichever way it goes, nothing may crash, and an accepted index must
+    // answer queries without faulting.
+    if (s.ok()) {
+      QueryRouter router(&loaded);
+      auto r = router.Evaluate("'w0' AND 'w1'");
+      (void)r;
+    } else {
+      EXPECT_EQ(s.code(), StatusCode::kCorruption) << s.ToString();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IndexFuzz, ::testing::Values(7, 8));
+
+}  // namespace
+}  // namespace fts

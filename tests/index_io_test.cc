@@ -1,0 +1,115 @@
+#include "index/index_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "index/index_builder.h"
+#include "workload/corpus_gen.h"
+
+namespace fts {
+namespace {
+
+InvertedIndex BuildTestIndex() {
+  CorpusGenOptions opts;
+  opts.num_nodes = 60;
+  opts.min_doc_len = 5;
+  opts.max_doc_len = 40;
+  opts.vocabulary = 200;
+  opts.num_topic_tokens = 3;
+  Corpus corpus = GenerateCorpus(opts);
+  return IndexBuilder::Build(corpus);
+}
+
+void ExpectIndexEq(const InvertedIndex& a, const InvertedIndex& b) {
+  ASSERT_EQ(a.num_nodes(), b.num_nodes());
+  ASSERT_EQ(a.vocabulary_size(), b.vocabulary_size());
+  EXPECT_EQ(a.stats().ToString(), b.stats().ToString());
+  for (NodeId n = 0; n < a.num_nodes(); ++n) {
+    EXPECT_EQ(a.unique_tokens(n), b.unique_tokens(n));
+    EXPECT_DOUBLE_EQ(a.node_norm(n), b.node_norm(n));
+  }
+  for (TokenId t = 0; t < a.vocabulary_size(); ++t) {
+    ASSERT_EQ(a.token_text(t), b.token_text(t));
+    const PostingList* la = a.list(t);
+    const PostingList* lb = b.list(t);
+    ASSERT_EQ(la->num_entries(), lb->num_entries()) << a.token_text(t);
+    for (size_t i = 0; i < la->num_entries(); ++i) {
+      EXPECT_EQ(la->entry(i).node, lb->entry(i).node);
+      auto pa = la->positions(la->entry(i));
+      auto pb = lb->positions(lb->entry(i));
+      ASSERT_EQ(pa.size(), pb.size());
+      for (size_t j = 0; j < pa.size(); ++j) {
+        EXPECT_EQ(pa[j], pb[j]);
+      }
+    }
+  }
+  ASSERT_EQ(a.any_list().num_entries(), b.any_list().num_entries());
+  EXPECT_EQ(a.any_list().total_positions(), b.any_list().total_positions());
+}
+
+TEST(IndexIoTest, StringRoundTrip) {
+  InvertedIndex index = BuildTestIndex();
+  std::string data;
+  SaveIndexToString(index, &data);
+  InvertedIndex loaded;
+  ASSERT_TRUE(LoadIndexFromString(data, &loaded).ok());
+  ExpectIndexEq(index, loaded);
+}
+
+TEST(IndexIoTest, FileRoundTrip) {
+  InvertedIndex index = BuildTestIndex();
+  const std::string path = ::testing::TempDir() + "/fts_index_test.idx";
+  ASSERT_TRUE(SaveIndexToFile(index, path).ok());
+  InvertedIndex loaded;
+  ASSERT_TRUE(LoadIndexFromFile(path, &loaded).ok());
+  ExpectIndexEq(index, loaded);
+  std::remove(path.c_str());
+}
+
+TEST(IndexIoTest, RejectsBadMagic) {
+  InvertedIndex index = BuildTestIndex();
+  std::string data;
+  SaveIndexToString(index, &data);
+  data[0] = 'X';
+  InvertedIndex loaded;
+  EXPECT_EQ(LoadIndexFromString(data, &loaded).code(), StatusCode::kCorruption);
+}
+
+TEST(IndexIoTest, RejectsTruncation) {
+  InvertedIndex index = BuildTestIndex();
+  std::string data;
+  SaveIndexToString(index, &data);
+  data.resize(data.size() / 2);
+  InvertedIndex loaded;
+  EXPECT_EQ(LoadIndexFromString(data, &loaded).code(), StatusCode::kCorruption);
+}
+
+TEST(IndexIoTest, RejectsBitFlips) {
+  InvertedIndex index = BuildTestIndex();
+  std::string data;
+  SaveIndexToString(index, &data);
+  data[data.size() / 2] = static_cast<char>(data[data.size() / 2] ^ 0x40);
+  InvertedIndex loaded;
+  EXPECT_EQ(LoadIndexFromString(data, &loaded).code(), StatusCode::kCorruption);
+}
+
+TEST(IndexIoTest, EmptyIndexRoundTrips) {
+  Corpus corpus;
+  InvertedIndex index = IndexBuilder::Build(corpus);
+  std::string data;
+  SaveIndexToString(index, &data);
+  InvertedIndex loaded;
+  ASSERT_TRUE(LoadIndexFromString(data, &loaded).ok());
+  EXPECT_EQ(loaded.num_nodes(), 0u);
+  EXPECT_EQ(loaded.vocabulary_size(), 0u);
+}
+
+TEST(IndexIoTest, MissingFileIsIOError) {
+  InvertedIndex loaded;
+  EXPECT_EQ(LoadIndexFromFile("/nonexistent/path/index.idx", &loaded).code(),
+            StatusCode::kIOError);
+}
+
+}  // namespace
+}  // namespace fts

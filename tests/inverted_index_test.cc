@@ -1,0 +1,112 @@
+#include "index/inverted_index.h"
+
+#include <gtest/gtest.h>
+
+#include "index/index_builder.h"
+#include "text/corpus.h"
+
+namespace fts {
+namespace {
+
+Corpus SmallCorpus() {
+  Corpus corpus;
+  corpus.AddDocument("usability of a software usability");   // node 0
+  corpus.AddDocument("software measures completion");        // node 1
+  corpus.AddDocument("unrelated words here");                // node 2
+  return corpus;
+}
+
+TEST(InvertedIndexTest, ListsContainPerNodeEntries) {
+  Corpus corpus = SmallCorpus();
+  InvertedIndex index = IndexBuilder::Build(corpus);
+  const PostingList* list = index.list_for_text("usability");
+  ASSERT_NE(list, nullptr);
+  ASSERT_EQ(list->num_entries(), 1u);
+  EXPECT_EQ(list->entry(0).node, 0u);
+  EXPECT_EQ(list->entry(0).pos_count, 2u);
+  auto positions = list->positions(list->entry(0));
+  EXPECT_EQ(positions[0].offset, 0u);
+  EXPECT_EQ(positions[1].offset, 4u);
+}
+
+TEST(InvertedIndexTest, EntriesSortedByNode) {
+  Corpus corpus = SmallCorpus();
+  InvertedIndex index = IndexBuilder::Build(corpus);
+  const PostingList* list = index.list_for_text("software");
+  ASSERT_NE(list, nullptr);
+  ASSERT_EQ(list->num_entries(), 2u);
+  EXPECT_LT(list->entry(0).node, list->entry(1).node);
+}
+
+TEST(InvertedIndexTest, AnyListCoversAllPositions) {
+  Corpus corpus = SmallCorpus();
+  InvertedIndex index = IndexBuilder::Build(corpus);
+  EXPECT_EQ(index.any_list().num_entries(), 3u);
+  EXPECT_EQ(index.any_list().total_positions(), 5u + 3u + 3u);
+}
+
+TEST(InvertedIndexTest, EmptyDocumentsAbsentFromAnyList) {
+  Corpus corpus;
+  corpus.AddDocument("alpha");
+  corpus.AddDocument("");
+  InvertedIndex index = IndexBuilder::Build(corpus);
+  EXPECT_EQ(index.num_nodes(), 2u);
+  EXPECT_EQ(index.any_list().num_entries(), 1u);
+}
+
+TEST(InvertedIndexTest, StatsMatchCorpusShape) {
+  Corpus corpus = SmallCorpus();
+  InvertedIndex index = IndexBuilder::Build(corpus);
+  const IndexStats& s = index.stats();
+  EXPECT_EQ(s.cnodes, 3u);
+  EXPECT_EQ(s.total_positions, 11u);
+  EXPECT_EQ(s.pos_per_cnode, 5u);
+  EXPECT_EQ(s.entries_per_token, 2u);  // "software"
+  EXPECT_EQ(s.pos_per_entry, 2u);      // "usability" in node 0
+}
+
+TEST(InvertedIndexTest, DfAndUniqueTokens) {
+  Corpus corpus = SmallCorpus();
+  InvertedIndex index = IndexBuilder::Build(corpus);
+  EXPECT_EQ(index.df(index.LookupToken("software")), 2u);
+  EXPECT_EQ(index.df(index.LookupToken("usability")), 1u);
+  EXPECT_EQ(index.unique_tokens(0), 4u);  // usability, of, a, software
+}
+
+TEST(InvertedIndexTest, NodeNormsArePositive) {
+  Corpus corpus = SmallCorpus();
+  InvertedIndex index = IndexBuilder::Build(corpus);
+  for (NodeId n = 0; n < 3; ++n) EXPECT_GT(index.node_norm(n), 0.0);
+}
+
+TEST(ListCursorTest, SequentialScanVisitsEveryEntryOnce) {
+  Corpus corpus = SmallCorpus();
+  InvertedIndex index = IndexBuilder::Build(corpus);
+  EvalCounters counters;
+  ListCursor cursor(index.list_for_text("software"), &counters);
+  EXPECT_EQ(cursor.current_node(), kInvalidNode);
+  EXPECT_EQ(cursor.NextEntry(), 0u);
+  EXPECT_EQ(cursor.GetPositions().size(), 1u);
+  EXPECT_EQ(cursor.NextEntry(), 1u);
+  EXPECT_EQ(cursor.NextEntry(), kInvalidNode);
+  EXPECT_TRUE(cursor.exhausted());
+  // Further calls stay exhausted.
+  EXPECT_EQ(cursor.NextEntry(), kInvalidNode);
+  EXPECT_EQ(counters.entries_scanned, 2u);
+}
+
+TEST(ListCursorTest, NullListIsImmediatelyExhausted) {
+  ListCursor cursor(nullptr);
+  EXPECT_EQ(cursor.NextEntry(), kInvalidNode);
+  EXPECT_TRUE(cursor.exhausted());
+}
+
+TEST(InvertedIndexTest, OovTokenHasNoList) {
+  Corpus corpus = SmallCorpus();
+  InvertedIndex index = IndexBuilder::Build(corpus);
+  EXPECT_EQ(index.list_for_text("zzz"), nullptr);
+  EXPECT_EQ(index.df(kInvalidToken - 1), 0u);
+}
+
+}  // namespace
+}  // namespace fts

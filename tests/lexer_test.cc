@@ -1,0 +1,85 @@
+#include "lang/lexer.h"
+
+#include <gtest/gtest.h>
+
+namespace fts {
+namespace {
+
+std::vector<LexKind> Kinds(const std::vector<LexToken>& toks) {
+  std::vector<LexKind> out;
+  for (const LexToken& t : toks) out.push_back(t.kind);
+  return out;
+}
+
+TEST(LexerTest, KeywordsAreCaseInsensitive) {
+  auto toks = LexQuery("not AND oR some EVERY any HaS");
+  ASSERT_TRUE(toks.ok());
+  EXPECT_EQ(Kinds(*toks),
+            (std::vector<LexKind>{LexKind::kNot, LexKind::kAnd, LexKind::kOr,
+                                  LexKind::kSome, LexKind::kEvery, LexKind::kAny,
+                                  LexKind::kHas, LexKind::kEnd}));
+}
+
+TEST(LexerTest, StringLiterals) {
+  auto toks = LexQuery("'task completion'");
+  ASSERT_TRUE(toks.ok());
+  ASSERT_EQ(toks->size(), 2u);
+  EXPECT_EQ((*toks)[0].kind, LexKind::kString);
+  EXPECT_EQ((*toks)[0].text, "task completion");
+}
+
+TEST(LexerTest, EmptyStringLiteral) {
+  auto toks = LexQuery("''");
+  ASSERT_TRUE(toks.ok());
+  EXPECT_EQ((*toks)[0].text, "");
+}
+
+TEST(LexerTest, UnterminatedStringFails) {
+  auto toks = LexQuery("'oops");
+  EXPECT_FALSE(toks.ok());
+  EXPECT_NE(toks.status().message().find("unterminated"), std::string::npos);
+}
+
+TEST(LexerTest, IntegersIncludingNegative) {
+  auto toks = LexQuery("10 -3");
+  ASSERT_TRUE(toks.ok());
+  EXPECT_EQ((*toks)[0].kind, LexKind::kInt);
+  EXPECT_EQ((*toks)[0].value, 10);
+  EXPECT_EQ((*toks)[1].value, -3);
+}
+
+TEST(LexerTest, PunctuationAndOffsets) {
+  auto toks = LexQuery("dist(a, b)");
+  ASSERT_TRUE(toks.ok());
+  EXPECT_EQ(Kinds(*toks),
+            (std::vector<LexKind>{LexKind::kIdent, LexKind::kLParen, LexKind::kIdent,
+                                  LexKind::kComma, LexKind::kIdent, LexKind::kRParen,
+                                  LexKind::kEnd}));
+  EXPECT_EQ((*toks)[0].offset, 0u);
+  EXPECT_EQ((*toks)[1].offset, 4u);
+  EXPECT_EQ((*toks)[4].offset, 8u);
+}
+
+TEST(LexerTest, UnexpectedCharacterReportsOffset) {
+  auto toks = LexQuery("a & b");
+  EXPECT_FALSE(toks.ok());
+  EXPECT_NE(toks.status().message().find("offset 2"), std::string::npos);
+}
+
+TEST(LexerTest, EmptyInputYieldsEndOnly) {
+  auto toks = LexQuery("   ");
+  ASSERT_TRUE(toks.ok());
+  ASSERT_EQ(toks->size(), 1u);
+  EXPECT_EQ((*toks)[0].kind, LexKind::kEnd);
+}
+
+TEST(LexerTest, IdentifiersWithUnderscoresAndDigits) {
+  auto toks = LexQuery("not_distance p1");
+  ASSERT_TRUE(toks.ok());
+  EXPECT_EQ((*toks)[0].kind, LexKind::kIdent);
+  EXPECT_EQ((*toks)[0].text, "not_distance");
+  EXPECT_EQ((*toks)[1].text, "p1");
+}
+
+}  // namespace
+}  // namespace fts

@@ -1,0 +1,143 @@
+#include "eval/npred_engine.h"
+
+#include <gtest/gtest.h>
+
+#include "eval/comp_engine.h"
+#include "index/index_builder.h"
+#include "lang/parser.h"
+#include "text/corpus.h"
+
+namespace fts {
+namespace {
+
+struct NpredFixture : public ::testing::Test {
+  void SetUp() override {
+    // Mirrors the paper's Section 5.6 example: "assignment" and "judge"
+    // far apart vs close together.
+    corpus.AddDocument("assignment judge close together");              // 0
+    std::string far = "assignment ";
+    for (int i = 0; i < 45; ++i) far += "x ";
+    far += "judge";
+    corpus.AddDocument(far);                                            // 1
+    corpus.AddDocument("assignment only");                              // 2
+    corpus.AddDocument("judge assignment reversed");                    // 3
+    corpus.AddDocument("assignment judge x x x x x x judge");           // 4
+    index = IndexBuilder::Build(corpus);
+  }
+
+  std::vector<NodeId> Run(const std::string& query,
+                          NpredOrderingMode mode =
+                              NpredOrderingMode::kNecessaryPartialOrders,
+                          EvalCounters* counters = nullptr) {
+    NpredEngine engine(&index, ScoringKind::kNone, mode);
+    auto parsed = ParseQuery(query, SurfaceLanguage::kComp);
+    EXPECT_TRUE(parsed.ok()) << parsed.status().ToString();
+    auto result = engine.Evaluate(*parsed);
+    EXPECT_TRUE(result.ok()) << query << ": " << result.status().ToString();
+    if (!result.ok()) return {};
+    if (counters) *counters = result->counters;
+    return result->nodes;
+  }
+
+  Corpus corpus;
+  InvertedIndex index;
+};
+
+TEST_F(NpredFixture, NotDistanceFindsFarPairs) {
+  // Paper Section 5.6.2's query: nodes where the tokens are at least 40
+  // positions apart.
+  EXPECT_EQ(Run("SOME p SOME q (p HAS 'assignment' AND q HAS 'judge' AND "
+                "not_distance(p, q, 40))"),
+            (std::vector<NodeId>{1}));
+}
+
+TEST_F(NpredFixture, NotOrderedRequiresBothOrderings) {
+  // Only node 3 has judge strictly before assignment.
+  EXPECT_EQ(Run("SOME p SOME q (p HAS 'assignment' AND q HAS 'judge' AND "
+                "not_ordered(p, q))"),
+            (std::vector<NodeId>{3}));
+  // The mirror image: a judge occurrence at or after an assignment one.
+  EXPECT_EQ(Run("SOME p SOME q (p HAS 'judge' AND q HAS 'assignment' AND "
+                "not_ordered(p, q))"),
+            (std::vector<NodeId>{0, 1, 4}));
+}
+
+TEST_F(NpredFixture, DiffposOnSameToken) {
+  // Two distinct occurrences of 'judge': node 4 only.
+  EXPECT_EQ(Run("SOME p SOME q (p HAS 'judge' AND q HAS 'judge' AND "
+                "diffpos(p, q))"),
+            (std::vector<NodeId>{4}));
+}
+
+TEST_F(NpredFixture, MixedPositiveAndNegativePredicates) {
+  // judge after assignment but NOT adjacent: node 4 (judge@8) qualifies;
+  // node 0 and 4's first judge are adjacent.
+  EXPECT_EQ(Run("SOME p SOME q (p HAS 'assignment' AND q HAS 'judge' AND "
+                "ordered(p, q) AND not_distance(p, q, 0))"),
+            (std::vector<NodeId>{1, 4}));
+}
+
+TEST_F(NpredFixture, NoNegativePredicatesDegeneratesToSinglePass) {
+  EvalCounters counters;
+  Run("SOME p SOME q (p HAS 'assignment' AND q HAS 'judge' AND "
+      "distance(p, q, 5))",
+      NpredOrderingMode::kNecessaryPartialOrders, &counters);
+  EXPECT_EQ(counters.orderings_run, 1u);
+}
+
+TEST_F(NpredFixture, PartialOrderModeRunsFewerThreads) {
+  const std::string query =
+      "SOME p SOME q SOME r (p HAS 'assignment' AND q HAS 'judge' AND "
+      "r HAS 'close' AND not_distance(p, q, 1))";
+  EvalCounters partial, total;
+  auto nodes_partial =
+      Run(query, NpredOrderingMode::kNecessaryPartialOrders, &partial);
+  auto nodes_total = Run(query, NpredOrderingMode::kAllTotalOrders, &total);
+  EXPECT_EQ(nodes_partial, nodes_total);
+  EXPECT_EQ(partial.orderings_run, 2u);  // only p, q are constrained
+  EXPECT_EQ(total.orderings_run, 6u);    // 3! over all variables
+}
+
+TEST_F(NpredFixture, AgreesWithCompOnNegativeQueries) {
+  CompEngine comp(&index, ScoringKind::kNone);
+  for (const char* q :
+       {"SOME p SOME q (p HAS 'assignment' AND q HAS 'judge' AND "
+        "not_distance(p, q, 3))",
+        "SOME p SOME q (p HAS 'assignment' AND q HAS 'judge' AND "
+        "not_ordered(p, q))",
+        "SOME p SOME q (p HAS 'judge' AND q HAS 'judge' AND diffpos(p, q))",
+        "SOME p SOME q (p HAS 'assignment' AND q HAS 'judge' AND "
+        "not_samepara(p, q))"}) {
+    auto parsed = ParseQuery(q, SurfaceLanguage::kComp);
+    ASSERT_TRUE(parsed.ok());
+    auto expected = comp.Evaluate(*parsed);
+    ASSERT_TRUE(expected.ok());
+    EXPECT_EQ(Run(q), expected->nodes) << q;
+  }
+}
+
+TEST_F(NpredFixture, RejectsNegativePredicateUnderNegation) {
+  NpredEngine engine(&index, ScoringKind::kNone);
+  auto parsed = ParseQuery(
+      "'close' AND NOT (SOME p SOME q (p HAS 'assignment' AND q HAS 'judge' "
+      "AND not_distance(p, q, 1)))",
+      SurfaceLanguage::kComp);
+  ASSERT_TRUE(parsed.ok());
+  auto result = engine.Evaluate(*parsed);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kUnsupported);
+}
+
+TEST_F(NpredFixture, LinearScanPerThread) {
+  EvalCounters counters;
+  Run("SOME p SOME q (p HAS 'assignment' AND q HAS 'judge' AND "
+      "not_distance(p, q, 40))",
+      NpredOrderingMode::kNecessaryPartialOrders, &counters);
+  const size_t per_pass = index.list_for_text("assignment")->total_positions() +
+                          index.list_for_text("judge")->total_positions();
+  EXPECT_EQ(counters.orderings_run, 2u);
+  EXPECT_LE(counters.positions_scanned, 2 * per_pass);
+}
+
+}  // namespace
+}  // namespace fts

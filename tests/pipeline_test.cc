@@ -1,0 +1,223 @@
+#include "eval/pos_cursor.h"
+
+#include <gtest/gtest.h>
+
+#include "compile/ftc_to_fta.h"
+#include "eval/ppred_engine.h"
+#include "index/index_builder.h"
+#include "lang/parser.h"
+#include "lang/translate.h"
+#include "text/corpus.h"
+
+namespace fts {
+namespace {
+
+const PositionPredicate* Get(const std::string& name) {
+  return PredicateRegistry::Default().Find(name);
+}
+
+struct PipelineFixture : public ::testing::Test {
+  void SetUp() override {
+    // Mirrors the paper's Figure 2 shape: "usability" and "software" lists.
+    corpus.AddDocument(
+        "usability x x x x x x x x x x x usability x x x x x x x x x x x x x "
+        "x x x x x x x x x x x x x usability software x x x x x x x x x "
+        "software x x software");                       // 0
+    corpus.AddDocument("software only here");           // 1
+    corpus.AddDocument("usability software adjacent");  // 2
+    index = IndexBuilder::Build(corpus);
+  }
+
+  std::unique_ptr<PosCursor> Build(const FtaExprPtr& plan, EvalCounters* c) {
+    PipelineContext ctx{&index, nullptr, c};
+    auto cursor = BuildPipeline(plan, ctx);
+    EXPECT_TRUE(cursor.ok()) << cursor.status().ToString();
+    return cursor.ok() ? std::move(*cursor) : nullptr;
+  }
+
+  Corpus corpus;
+  InvertedIndex index;
+};
+
+TEST_F(PipelineFixture, ScanCursorWalksEntries) {
+  EvalCounters c;
+  auto cursor = Build(FtaExpr::Token("usability"), &c);
+  ASSERT_NE(cursor, nullptr);
+  EXPECT_EQ(cursor->AdvanceNode(), 0u);
+  EXPECT_EQ(cursor->position(0).offset, 0u);
+  EXPECT_TRUE(cursor->AdvancePosition(0, 5));
+  EXPECT_EQ(cursor->position(0).offset, 12u);
+  EXPECT_FALSE(cursor->AdvancePosition(0, 1000));
+  EXPECT_EQ(cursor->AdvanceNode(), 2u);
+  EXPECT_EQ(cursor->AdvanceNode(), kInvalidNode);
+}
+
+TEST_F(PipelineFixture, JoinCursorMergesNodes) {
+  auto plan = FtaExpr::Join(FtaExpr::Token("usability"), FtaExpr::Token("software"));
+  EvalCounters c;
+  auto cursor = Build(plan, &c);
+  ASSERT_NE(cursor, nullptr);
+  EXPECT_EQ(cursor->num_cols(), 2u);
+  EXPECT_EQ(cursor->AdvanceNode(), 0u);
+  EXPECT_EQ(cursor->position(0).offset, 0u);   // first usability
+  EXPECT_EQ(cursor->position(1).offset, 40u);  // first software
+  EXPECT_EQ(cursor->AdvanceNode(), 2u);
+  EXPECT_EQ(cursor->AdvanceNode(), kInvalidNode);
+}
+
+TEST_F(PipelineFixture, SelectSkipsViaAdvanceBounds) {
+  // The Section 5.5.1 walkthrough: distance(usability, software, 5) on a
+  // node whose lists only meet near the end — found without enumerating
+  // the cartesian product.
+  auto join = FtaExpr::Join(FtaExpr::Token("usability"), FtaExpr::Token("software"));
+  AlgebraPredicateCall call;
+  call.pred = Get("distance");
+  call.cols = {0, 1};
+  call.consts = {5};
+  auto sel = FtaExpr::Select(join, call);
+  ASSERT_TRUE(sel.ok());
+  EvalCounters c;
+  auto cursor = Build(*sel, &c);
+  ASSERT_NE(cursor, nullptr);
+  EXPECT_EQ(cursor->AdvanceNode(), 0u);
+  EXPECT_EQ(cursor->position(0).offset, 39u);  // third usability
+  EXPECT_EQ(cursor->position(1).offset, 40u);  // adjacent software
+  // Linear scan: each position is consumed at most once.
+  EXPECT_LE(c.positions_scanned, 3u + 3u);
+  EXPECT_EQ(cursor->AdvanceNode(), 2u);
+  EXPECT_EQ(cursor->AdvanceNode(), kInvalidNode);
+}
+
+TEST_F(PipelineFixture, SelectFiltersWholeNodes) {
+  auto join = FtaExpr::Join(FtaExpr::Token("usability"), FtaExpr::Token("software"));
+  AlgebraPredicateCall call;
+  call.pred = Get("odistance");
+  call.cols = {1, 0};  // software before usability, adjacent
+  call.consts = {0};
+  auto sel = FtaExpr::Select(join, call);
+  ASSERT_TRUE(sel.ok());
+  EvalCounters c;
+  auto cursor = Build(*sel, &c);
+  ASSERT_NE(cursor, nullptr);
+  // Node 0: software@39 then usability? no usability after 39 adjacent; the
+  // only satisfying arrangement would be software immediately before
+  // usability, which never happens.
+  EXPECT_EQ(cursor->AdvanceNode(), kInvalidNode);
+}
+
+TEST_F(PipelineFixture, UnsupportedPlansAreRejected) {
+  PipelineContext ctx{&index, nullptr, nullptr};
+  EXPECT_EQ(BuildPipeline(FtaExpr::HasPos(), ctx).status().code(),
+            StatusCode::kUnsupported);
+  EXPECT_EQ(BuildPipeline(FtaExpr::SearchContext(), ctx).status().code(),
+            StatusCode::kUnsupported);
+}
+
+// End-to-end engine checks.
+struct PpredEngineFixture : public ::testing::Test {
+  void SetUp() override {
+    corpus.AddDocument("alpha beta gamma");                 // 0
+    corpus.AddDocument("beta x x x x x x alpha");           // 1
+    corpus.AddDocument("gamma only");                       // 2
+    corpus.AddDocument("alpha beta alpha beta");            // 3
+    index = IndexBuilder::Build(corpus);
+  }
+
+  std::vector<NodeId> Run(const std::string& query) {
+    PpredEngine engine(&index, ScoringKind::kNone);
+    auto parsed = ParseQuery(query, SurfaceLanguage::kComp);
+    EXPECT_TRUE(parsed.ok()) << parsed.status().ToString();
+    auto result = engine.Evaluate(*parsed);
+    EXPECT_TRUE(result.ok()) << query << ": " << result.status().ToString();
+    return result.ok() ? result->nodes : std::vector<NodeId>{};
+  }
+
+  Corpus corpus;
+  InvertedIndex index;
+};
+
+TEST_F(PpredEngineFixture, ConjunctionOfTokens) {
+  EXPECT_EQ(Run("'alpha' AND 'beta'"), (std::vector<NodeId>{0, 1, 3}));
+}
+
+TEST_F(PpredEngineFixture, OrderedDistance) {
+  EXPECT_EQ(Run("SOME p SOME q (p HAS 'alpha' AND q HAS 'beta' AND "
+                "odistance(p, q, 0))"),
+            (std::vector<NodeId>{0, 3}));
+}
+
+TEST_F(PpredEngineFixture, DistSugar) {
+  EXPECT_EQ(Run("dist('alpha', 'beta', 10)"), (std::vector<NodeId>{0, 1, 3}));
+  EXPECT_EQ(Run("dist('alpha', 'beta', 2)"), (std::vector<NodeId>{0, 3}));
+}
+
+TEST_F(PpredEngineFixture, AndNotClosedSubquery) {
+  EXPECT_EQ(Run("'beta' AND NOT 'gamma'"), (std::vector<NodeId>{1, 3}));
+}
+
+TEST_F(PpredEngineFixture, OrWithSharedVariable) {
+  EXPECT_EQ(Run("SOME p ((p HAS 'alpha' OR p HAS 'gamma') AND "
+                "SOME q (q HAS 'beta' AND distance(p, q, 0)))"),
+            (std::vector<NodeId>{0, 3}));
+}
+
+TEST_F(PpredEngineFixture, WindowPredicate) {
+  EXPECT_EQ(Run("SOME p SOME q SOME r (p HAS 'alpha' AND q HAS 'beta' AND "
+                "r HAS 'gamma' AND window(p, q, r, 2))"),
+            (std::vector<NodeId>{0}));
+}
+
+TEST_F(PpredEngineFixture, SameParagraphAndSentencePredicates) {
+  Corpus structured;
+  structured.AddDocument("alpha beta. gamma delta.\n\nepsilon zeta");
+  InvertedIndex idx = IndexBuilder::Build(structured);
+  PpredEngine engine(&idx, ScoringKind::kNone);
+  auto run = [&](const std::string& q) {
+    auto parsed = ParseQuery(q, SurfaceLanguage::kComp);
+    EXPECT_TRUE(parsed.ok());
+    auto result = engine.Evaluate(*parsed);
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    return result.ok() ? result->nodes : std::vector<NodeId>{};
+  };
+  EXPECT_EQ(run("SOME p SOME q (p HAS 'alpha' AND q HAS 'beta' AND "
+                "samesentence(p, q))"),
+            (std::vector<NodeId>{0}));
+  EXPECT_EQ(run("SOME p SOME q (p HAS 'alpha' AND q HAS 'gamma' AND "
+                "samesentence(p, q))"),
+            (std::vector<NodeId>{}));
+  EXPECT_EQ(run("SOME p SOME q (p HAS 'alpha' AND q HAS 'delta' AND "
+                "samepara(p, q))"),
+            (std::vector<NodeId>{0}));
+  EXPECT_EQ(run("SOME p SOME q (p HAS 'alpha' AND q HAS 'zeta' AND "
+                "samepara(p, q))"),
+            (std::vector<NodeId>{}));
+}
+
+TEST_F(PpredEngineFixture, RejectsNegativePredicates) {
+  PpredEngine engine(&index, ScoringKind::kNone);
+  auto parsed = ParseQuery(
+      "SOME p SOME q (p HAS 'alpha' AND q HAS 'beta' AND not_ordered(p, q))",
+      SurfaceLanguage::kComp);
+  ASSERT_TRUE(parsed.ok());
+  auto result = engine.Evaluate(*parsed);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kUnsupported);
+}
+
+TEST_F(PpredEngineFixture, LinearScanGuarantee) {
+  // Every inverted-list position is consumed at most once: positions read
+  // never exceed the total positions of the query tokens' lists.
+  PpredEngine engine(&index, ScoringKind::kNone);
+  auto parsed = ParseQuery(
+      "SOME p SOME q (p HAS 'alpha' AND q HAS 'beta' AND distance(p, q, 1))",
+      SurfaceLanguage::kComp);
+  ASSERT_TRUE(parsed.ok());
+  auto result = engine.Evaluate(*parsed);
+  ASSERT_TRUE(result.ok());
+  const size_t total = index.list_for_text("alpha")->total_positions() +
+                       index.list_for_text("beta")->total_positions();
+  EXPECT_LE(result->counters.positions_scanned, total);
+}
+
+}  // namespace
+}  // namespace fts

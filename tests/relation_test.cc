@@ -1,0 +1,89 @@
+#include "algebra/relation.h"
+
+#include <gtest/gtest.h>
+
+namespace fts {
+namespace {
+
+FtTuple T(NodeId n, std::vector<uint32_t> offsets, double score = 0) {
+  FtTuple t;
+  t.node = n;
+  for (uint32_t o : offsets) t.positions.push_back(PositionInfo{o, 0, 0});
+  t.score = score;
+  return t;
+}
+
+TEST(RelationTest, TupleOrdering) {
+  EXPECT_TRUE(TupleLess(T(1, {5}), T(2, {1})));
+  EXPECT_TRUE(TupleLess(T(1, {1, 9}), T(1, {2, 1})));
+  EXPECT_TRUE(TupleLess(T(1, {1, 2}), T(1, {1, 3})));
+  EXPECT_FALSE(TupleLess(T(1, {1, 3}), T(1, {1, 2})));
+  EXPECT_FALSE(TupleLess(T(1, {1}), T(1, {1})));
+}
+
+TEST(RelationTest, TupleEquality) {
+  EXPECT_TRUE(TupleEq(T(1, {2, 3}), T(1, {2, 3})));
+  EXPECT_FALSE(TupleEq(T(1, {2, 3}), T(1, {2, 4})));
+  EXPECT_FALSE(TupleEq(T(1, {2}), T(2, {2})));
+}
+
+TEST(RelationTest, NormalizeSortsAndDeduplicates) {
+  FtRelation r(1);
+  r.Add(T(2, {1}));
+  r.Add(T(1, {5}));
+  r.Add(T(2, {1}));
+  r.Add(T(1, {2}));
+  r.Normalize();
+  ASSERT_EQ(r.size(), 3u);
+  EXPECT_EQ(r.tuple(0).node, 1u);
+  EXPECT_EQ(r.tuple(0).positions[0].offset, 2u);
+  EXPECT_EQ(r.tuple(1).positions[0].offset, 5u);
+  EXPECT_EQ(r.tuple(2).node, 2u);
+}
+
+TEST(RelationTest, NormalizeCombinesDuplicateScores) {
+  FtRelation r(1);
+  r.Add(T(1, {1}, 0.25));
+  r.Add(T(1, {1}, 0.5));
+  auto sum = [](void*, double a, double b) { return a + b; };
+  r.Normalize(sum, nullptr);
+  ASSERT_EQ(r.size(), 1u);
+  EXPECT_DOUBLE_EQ(r.tuple(0).score, 0.75);
+}
+
+TEST(RelationTest, NormalizeWithoutCombinerKeepsFirstScore) {
+  FtRelation r(1);
+  r.Add(T(1, {1}, 0.25));
+  r.Add(T(1, {1}, 0.5));
+  r.Normalize();
+  ASSERT_EQ(r.size(), 1u);
+  EXPECT_DOUBLE_EQ(r.tuple(0).score, 0.25);
+}
+
+TEST(RelationTest, NodesCollapsesDuplicates) {
+  FtRelation r(1);
+  r.Add(T(1, {1}));
+  r.Add(T(1, {4}));
+  r.Add(T(3, {2}));
+  r.Normalize();
+  EXPECT_EQ(r.Nodes(), (std::vector<NodeId>{1, 3}));
+}
+
+TEST(RelationTest, ZeroColumnRelation) {
+  FtRelation r(0);
+  r.Add(T(2, {}));
+  r.Add(T(2, {}));
+  r.Add(T(1, {}));
+  r.Normalize();
+  ASSERT_EQ(r.size(), 2u);
+  EXPECT_EQ(r.Nodes(), (std::vector<NodeId>{1, 2}));
+}
+
+TEST(RelationTest, ToStringFormat) {
+  FtRelation r(2);
+  r.Add(T(3, {5, 9}));
+  EXPECT_EQ(r.ToString(), "{(3;5,9)}");
+}
+
+}  // namespace
+}  // namespace fts

@@ -1,0 +1,105 @@
+#include "eval/router.h"
+
+#include <gtest/gtest.h>
+
+#include "index/index_builder.h"
+#include "text/corpus.h"
+
+namespace fts {
+namespace {
+
+struct RouterFixture : public ::testing::Test {
+  void SetUp() override {
+    corpus.AddDocument("alpha beta gamma delta");           // 0
+    corpus.AddDocument("beta x x x x x x x x alpha");       // 1
+    corpus.AddDocument("gamma epsilon");                    // 2
+    corpus.AddDocument("");                                 // 3
+    index = IndexBuilder::Build(corpus);
+    router = std::make_unique<QueryRouter>(&index, ScoringKind::kNone);
+  }
+
+  Corpus corpus;
+  InvertedIndex index;
+  std::unique_ptr<QueryRouter> router;
+};
+
+TEST_F(RouterFixture, RoutesBoolQueriesToBoolEngine) {
+  auto r = router->Evaluate("'alpha' AND 'beta'");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->engine, "BOOL");
+  EXPECT_EQ(r->language_class, LanguageClass::kBoolNoNeg);
+  EXPECT_EQ(r->result.nodes, (std::vector<NodeId>{0, 1}));
+}
+
+TEST_F(RouterFixture, RoutesComplementsToBoolEngine) {
+  auto r = router->Evaluate("NOT 'alpha'");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->engine, "BOOL");
+  EXPECT_EQ(r->language_class, LanguageClass::kBool);
+  EXPECT_EQ(r->result.nodes, (std::vector<NodeId>{2, 3}));
+}
+
+TEST_F(RouterFixture, RoutesPositivePredicatesToPpred) {
+  auto r = router->Evaluate(
+      "SOME p SOME q (p HAS 'alpha' AND q HAS 'beta' AND distance(p, q, 1))");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->engine, "PPRED");
+  EXPECT_EQ(r->result.nodes, (std::vector<NodeId>{0}));
+}
+
+TEST_F(RouterFixture, RoutesNegativePredicatesToNpred) {
+  auto r = router->Evaluate(
+      "SOME p SOME q (p HAS 'alpha' AND q HAS 'beta' AND not_distance(p, q, 1))");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->engine, "NPRED");
+  EXPECT_EQ(r->result.nodes, (std::vector<NodeId>{1}));
+}
+
+TEST_F(RouterFixture, RoutesUniversalQuantifiersToComp) {
+  auto r = router->Evaluate("EVERY p (p HAS 'gamma' OR p HAS 'epsilon')");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->engine, "COMP");
+  // Node 2 entirely gamma/epsilon; the empty node 3 vacuously satisfies.
+  EXPECT_EQ(r->result.nodes, (std::vector<NodeId>{2, 3}));
+}
+
+TEST_F(RouterFixture, AllEnginesAgreeOnSharedQueries) {
+  const char* queries[] = {
+      "'alpha'",
+      "'alpha' AND NOT 'gamma'",
+      "'alpha' OR 'epsilon'",
+      "dist('alpha', 'beta', 10)",
+  };
+  for (const char* q : queries) {
+    auto parsed = ParseQuery(q, SurfaceLanguage::kComp);
+    ASSERT_TRUE(parsed.ok());
+    auto routed = router->EvaluateParsed(*parsed);
+    ASSERT_TRUE(routed.ok()) << q;
+    auto comp = router->comp_engine().Evaluate(*parsed);
+    ASSERT_TRUE(comp.ok()) << q;
+    EXPECT_EQ(routed->result.nodes, comp->nodes) << q;
+  }
+}
+
+TEST_F(RouterFixture, ParseErrorsPropagate) {
+  auto r = router->Evaluate("'alpha' AND");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(RouterFixture, ScoredRouterProducesScores) {
+  QueryRouter scored(&index, ScoringKind::kTfIdf);
+  auto r = scored.Evaluate("'alpha' AND 'beta'");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->result.scores.size(), r->result.nodes.size());
+  for (double s : r->result.scores) EXPECT_GT(s, 0.0);
+}
+
+TEST_F(RouterFixture, CountersReportEngineWork) {
+  auto r = router->Evaluate("'alpha' AND 'beta'");
+  ASSERT_TRUE(r.ok());
+  EXPECT_GT(r->result.counters.entries_scanned, 0u);
+}
+
+}  // namespace
+}  // namespace fts

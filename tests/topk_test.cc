@@ -1,0 +1,86 @@
+#include "scoring/topk.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.h"
+
+namespace fts {
+namespace {
+
+TEST(TopKTest, KeepsHighestScores) {
+  TopKAccumulator acc(2);
+  acc.Add(1, 0.5);
+  acc.Add(2, 0.9);
+  acc.Add(3, 0.1);
+  acc.Add(4, 0.7);
+  auto top = acc.Take();
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].node, 2u);
+  EXPECT_EQ(top[1].node, 4u);
+}
+
+TEST(TopKTest, FewerResultsThanK) {
+  TopKAccumulator acc(10);
+  acc.Add(5, 0.3);
+  auto top = acc.Take();
+  ASSERT_EQ(top.size(), 1u);
+  EXPECT_EQ(top[0].node, 5u);
+}
+
+TEST(TopKTest, ZeroKIsEmpty) {
+  TopKAccumulator acc(0);
+  acc.Add(1, 1.0);
+  EXPECT_TRUE(acc.Take().empty());
+}
+
+TEST(TopKTest, TiesBreakByNodeId) {
+  TopKAccumulator acc(2);
+  acc.Add(9, 0.5);
+  acc.Add(3, 0.5);
+  acc.Add(7, 0.5);
+  auto top = acc.Take();
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].node, 3u);
+  EXPECT_EQ(top[1].node, 7u);
+}
+
+TEST(TopKTest, MatchesFullSortOnRandomInput) {
+  Rng rng(21);
+  std::vector<NodeId> nodes;
+  std::vector<double> scores;
+  for (NodeId n = 0; n < 500; ++n) {
+    nodes.push_back(n);
+    scores.push_back(rng.NextDouble());
+  }
+  auto top = TopK(nodes, scores, 25);
+  // Reference: full sort.
+  std::vector<ScoredNode> all;
+  for (size_t i = 0; i < nodes.size(); ++i) all.push_back({nodes[i], scores[i]});
+  std::sort(all.begin(), all.end(), [](const ScoredNode& a, const ScoredNode& b) {
+    if (a.score != b.score) return a.score > b.score;
+    return a.node < b.node;
+  });
+  all.resize(25);
+  ASSERT_EQ(top.size(), all.size());
+  for (size_t i = 0; i < top.size(); ++i) {
+    EXPECT_EQ(top[i].node, all[i].node);
+    EXPECT_DOUBLE_EQ(top[i].score, all[i].score);
+  }
+}
+
+TEST(TopKTest, DescendingOrderInvariant) {
+  Rng rng(22);
+  TopKAccumulator acc(50);
+  for (int i = 0; i < 1000; ++i) {
+    acc.Add(static_cast<NodeId>(rng.Uniform(10000)), rng.NextDouble());
+  }
+  auto top = acc.Take();
+  for (size_t i = 1; i < top.size(); ++i) {
+    EXPECT_GE(top[i - 1].score, top[i].score);
+  }
+}
+
+}  // namespace
+}  // namespace fts

@@ -1,0 +1,120 @@
+#include "lang/translate.h"
+
+#include <gtest/gtest.h>
+
+#include "calculus/naive_eval.h"
+#include "lang/parser.h"
+#include "text/corpus.h"
+
+namespace fts {
+namespace {
+
+// Parse COMP syntax, translate to the calculus, evaluate with the naive
+// oracle — checking the Section 4 denotations end to end.
+std::vector<NodeId> RunQuery(const Corpus& corpus, const std::string& query) {
+  auto parsed = ParseQuery(query, SurfaceLanguage::kComp);
+  EXPECT_TRUE(parsed.ok()) << query << ": " << parsed.status().ToString();
+  if (!parsed.ok()) return {};
+  auto calc = TranslateToCalculus(*parsed);
+  EXPECT_TRUE(calc.ok()) << query << ": " << calc.status().ToString();
+  if (!calc.ok()) return {};
+  NaiveCalculusEvaluator oracle(&corpus);
+  auto result = oracle.Evaluate(*calc);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  return result.ok() ? *result : std::vector<NodeId>{};
+}
+
+struct TranslateFixture : public ::testing::Test {
+  void SetUp() override {
+    corpus.AddDocument("efficient task completion now");   // 0
+    corpus.AddDocument("task now completion efficient");   // 1
+    corpus.AddDocument("efficient work");                  // 2
+    corpus.AddDocument("");                                // 3
+  }
+  Corpus corpus;
+};
+
+TEST_F(TranslateFixture, TokenLiteral) {
+  EXPECT_EQ(RunQuery(corpus, "'task'"), (std::vector<NodeId>{0, 1}));
+}
+
+TEST_F(TranslateFixture, AnyMatchesNonEmptyNodes) {
+  EXPECT_EQ(RunQuery(corpus, "ANY"), (std::vector<NodeId>{0, 1, 2}));
+}
+
+TEST_F(TranslateFixture, BooleanConnectives) {
+  EXPECT_EQ(RunQuery(corpus, "'task' AND 'efficient'"), (std::vector<NodeId>{0, 1}));
+  EXPECT_EQ(RunQuery(corpus, "'work' OR 'now'"), (std::vector<NodeId>{0, 1, 2}));
+  EXPECT_EQ(RunQuery(corpus, "NOT 'task'"), (std::vector<NodeId>{2, 3}));
+  EXPECT_EQ(RunQuery(corpus, "'efficient' AND NOT 'work'"), (std::vector<NodeId>{0, 1}));
+}
+
+TEST_F(TranslateFixture, SomeWithHas) {
+  EXPECT_EQ(RunQuery(corpus, "SOME p (p HAS 'work')"), (std::vector<NodeId>{2}));
+  EXPECT_EQ(RunQuery(corpus, "SOME p (p HAS ANY)"), (std::vector<NodeId>{0, 1, 2}));
+}
+
+TEST_F(TranslateFixture, EverySemantics) {
+  // All positions hold 'efficient' or 'work': node 2 only — and the empty
+  // node 3 vacuously.
+  EXPECT_EQ(RunQuery(corpus, "EVERY p (p HAS 'efficient' OR p HAS 'work')"),
+            (std::vector<NodeId>{2, 3}));
+}
+
+TEST_F(TranslateFixture, PredicatesViaDistance) {
+  // 'task' adjacent to 'completion' in order: node 0 (task@1 completion@2),
+  // not node 1 (task@0 ... completion@2).
+  EXPECT_EQ(RunQuery(corpus,
+                "SOME p1 SOME p2 (p1 HAS 'task' AND p2 HAS 'completion' AND "
+                "odistance(p1, p2, 0))"),
+            (std::vector<NodeId>{0}));
+}
+
+TEST_F(TranslateFixture, DistSugarMatchesExpandedForm) {
+  Corpus c2;
+  c2.AddDocument("alpha beta gamma delta");
+  c2.AddDocument("alpha x x x x x x beta");
+  EXPECT_EQ(RunQuery(c2, "dist('alpha', 'beta', 2)"), (std::vector<NodeId>{0}));
+  EXPECT_EQ(RunQuery(c2, "dist('alpha', 'beta', 10)"), (std::vector<NodeId>{0, 1}));
+  // ANY operand.
+  EXPECT_EQ(RunQuery(c2, "dist('delta', ANY, 0)"), (std::vector<NodeId>{0}));
+}
+
+TEST_F(TranslateFixture, UnboundVariableIsError) {
+  auto parsed = ParseQuery("p HAS 'x'", SurfaceLanguage::kComp);
+  ASSERT_TRUE(parsed.ok());
+  auto calc = TranslateToCalculus(*parsed);
+  EXPECT_FALSE(calc.ok());
+  EXPECT_NE(calc.status().message().find("outside any SOME/EVERY"),
+            std::string::npos);
+}
+
+TEST_F(TranslateFixture, ShadowingBindsInnermost) {
+  // Inner SOME p shadows the outer one; the inner conjunct constrains the
+  // inner variable only.
+  EXPECT_EQ(RunQuery(corpus,
+                "SOME p (p HAS 'task' AND SOME p (p HAS 'work'))"),
+            (std::vector<NodeId>{}));
+  EXPECT_EQ(RunQuery(corpus,
+                "SOME p (p HAS 'efficient' AND SOME p (p HAS 'work'))"),
+            (std::vector<NodeId>{2}));
+}
+
+TEST_F(TranslateFixture, PaperUseCase104) {
+  // "contains 'efficient' and the phrase 'task completion' in that order
+  // with at most 10 intervening tokens" (Example 1 / Use Case 10.4).
+  Corpus books;
+  books.AddDocument(
+      "usability of a software measures how well the software supports "
+      "achieving an efficient software task completion here");       // 0: yes
+  books.AddDocument("efficient software but the phrase comes much too "
+                    "late x x x x x x x x x x x task completion");   // 1: no
+  books.AddDocument("task completion before efficient");             // 2: no
+  const std::string query =
+      "SOME e SOME t SOME c (e HAS 'efficient' AND t HAS 'task' AND "
+      "c HAS 'completion' AND odistance(t, c, 0) AND odistance(e, t, 10))";
+  EXPECT_EQ(RunQuery(books, query), (std::vector<NodeId>{0}));
+}
+
+}  // namespace
+}  // namespace fts

@@ -1,0 +1,95 @@
+#include "common/varint.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace fts {
+namespace {
+
+TEST(VarintTest, EncodesSmallValuesInOneByte) {
+  for (uint64_t v : {0ULL, 1ULL, 42ULL, 127ULL}) {
+    std::string buf;
+    PutVarint64(&buf, v);
+    EXPECT_EQ(buf.size(), 1u) << v;
+    size_t off = 0;
+    uint64_t got = 0;
+    ASSERT_TRUE(GetVarint64(buf, &off, &got).ok());
+    EXPECT_EQ(got, v);
+    EXPECT_EQ(off, buf.size());
+  }
+}
+
+TEST(VarintTest, RoundTripsBoundaryValues) {
+  const uint64_t values[] = {128,
+                             16383,
+                             16384,
+                             (1ULL << 32) - 1,
+                             1ULL << 32,
+                             (1ULL << 63),
+                             ~0ULL};
+  std::string buf;
+  for (uint64_t v : values) PutVarint64(&buf, v);
+  size_t off = 0;
+  for (uint64_t v : values) {
+    uint64_t got = 0;
+    ASSERT_TRUE(GetVarint64(buf, &off, &got).ok());
+    EXPECT_EQ(got, v);
+  }
+  EXPECT_EQ(off, buf.size());
+}
+
+TEST(VarintTest, RandomRoundTrip) {
+  Rng rng(7);
+  std::vector<uint64_t> values;
+  std::string buf;
+  for (int i = 0; i < 1000; ++i) {
+    // Mix magnitudes so all byte lengths occur.
+    uint64_t v = rng.Next() >> (rng.Uniform(64));
+    values.push_back(v);
+    PutVarint64(&buf, v);
+  }
+  size_t off = 0;
+  for (uint64_t v : values) {
+    uint64_t got = 0;
+    ASSERT_TRUE(GetVarint64(buf, &off, &got).ok());
+    EXPECT_EQ(got, v);
+  }
+}
+
+TEST(VarintTest, TruncatedInputIsCorruption) {
+  std::string buf;
+  PutVarint64(&buf, 1ULL << 40);
+  buf.resize(buf.size() - 1);
+  size_t off = 0;
+  uint64_t got = 0;
+  Status s = GetVarint64(buf, &off, &got);
+  EXPECT_EQ(s.code(), StatusCode::kCorruption);
+}
+
+TEST(VarintTest, OverlongEncodingIsCorruption) {
+  std::string buf(11, '\x80');  // continuation bits forever
+  size_t off = 0;
+  uint64_t got = 0;
+  EXPECT_EQ(GetVarint64(buf, &off, &got).code(), StatusCode::kCorruption);
+}
+
+TEST(VarintTest, Varint32RejectsOverflow) {
+  std::string buf;
+  PutVarint64(&buf, 1ULL << 40);
+  size_t off = 0;
+  uint32_t got = 0;
+  EXPECT_EQ(GetVarint32(buf, &off, &got).code(), StatusCode::kCorruption);
+}
+
+TEST(VarintTest, Varint32RoundTrip) {
+  std::string buf;
+  PutVarint32(&buf, 0xFFFFFFFFu);
+  size_t off = 0;
+  uint32_t got = 0;
+  ASSERT_TRUE(GetVarint32(buf, &off, &got).ok());
+  EXPECT_EQ(got, 0xFFFFFFFFu);
+}
+
+}  // namespace
+}  // namespace fts

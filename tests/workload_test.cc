@@ -1,0 +1,154 @@
+#include "workload/corpus_gen.h"
+
+#include <gtest/gtest.h>
+
+#include "index/index_builder.h"
+#include "lang/classify.h"
+#include "lang/parser.h"
+#include "workload/query_gen.h"
+
+namespace fts {
+namespace {
+
+TEST(CorpusGenTest, DeterministicForSeed) {
+  CorpusGenOptions opts;
+  opts.num_nodes = 20;
+  opts.max_doc_len = 60;
+  Corpus a = GenerateCorpus(opts);
+  Corpus b = GenerateCorpus(opts);
+  ASSERT_EQ(a.num_nodes(), b.num_nodes());
+  for (NodeId n = 0; n < a.num_nodes(); ++n) {
+    ASSERT_EQ(a.doc(n).size(), b.doc(n).size());
+    for (size_t i = 0; i < a.doc(n).size(); ++i) {
+      EXPECT_EQ(a.token_text(a.doc(n).tokens[i]), b.token_text(b.doc(n).tokens[i]));
+    }
+  }
+}
+
+TEST(CorpusGenTest, DifferentSeedsDiffer) {
+  CorpusGenOptions a_opts, b_opts;
+  a_opts.num_nodes = b_opts.num_nodes = 10;
+  b_opts.seed = a_opts.seed + 1;
+  Corpus a = GenerateCorpus(a_opts);
+  Corpus b = GenerateCorpus(b_opts);
+  bool differ = false;
+  for (NodeId n = 0; n < 10 && !differ; ++n) {
+    if (a.doc(n).size() != b.doc(n).size()) {
+      differ = true;
+      break;
+    }
+    for (size_t i = 0; i < a.doc(n).size(); ++i) {
+      if (a.token_text(a.doc(n).tokens[i]) != b.token_text(b.doc(n).tokens[i])) {
+        differ = true;
+        break;
+      }
+    }
+  }
+  EXPECT_TRUE(differ);
+}
+
+TEST(CorpusGenTest, RespectsShapeParameters) {
+  CorpusGenOptions opts;
+  opts.num_nodes = 100;
+  opts.min_doc_len = 30;
+  opts.max_doc_len = 50;
+  Corpus corpus = GenerateCorpus(opts);
+  EXPECT_EQ(corpus.num_nodes(), 100u);
+  for (NodeId n = 0; n < corpus.num_nodes(); ++n) {
+    EXPECT_GE(corpus.doc(n).size(), 30u);
+    EXPECT_LE(corpus.doc(n).size(), 50u);
+  }
+}
+
+TEST(CorpusGenTest, TopicTokensControlListShape) {
+  CorpusGenOptions opts;
+  opts.num_nodes = 200;
+  opts.min_doc_len = 80;
+  opts.max_doc_len = 120;
+  opts.num_topic_tokens = 2;
+  opts.topic_doc_fraction = 0.5;
+  opts.topic_occurrences = 10;
+  Corpus corpus = GenerateCorpus(opts);
+  InvertedIndex index = IndexBuilder::Build(corpus);
+  const PostingList* list = index.list_for_text(TopicToken(0));
+  ASSERT_NE(list, nullptr);
+  // Roughly half the documents contain the topic token...
+  EXPECT_NEAR(static_cast<double>(list->num_entries()), 100.0, 25.0);
+  // ...with close to the requested occurrence count (collisions between
+  // planted slots can only lower it).
+  double avg = static_cast<double>(list->total_positions()) / list->num_entries();
+  EXPECT_GT(avg, 8.0);
+  EXPECT_LE(avg, 10.0);
+}
+
+TEST(CorpusGenTest, StructuralOrdinalsAreMonotone) {
+  CorpusGenOptions opts;
+  opts.num_nodes = 5;
+  Corpus corpus = GenerateCorpus(opts);
+  for (NodeId n = 0; n < corpus.num_nodes(); ++n) {
+    const TokenizedDocument& doc = corpus.doc(n);
+    for (size_t i = 1; i < doc.positions.size(); ++i) {
+      EXPECT_LE(doc.positions[i - 1].sentence, doc.positions[i].sentence);
+      EXPECT_LE(doc.positions[i - 1].paragraph, doc.positions[i].paragraph);
+    }
+  }
+}
+
+TEST(QueryGenTest, PolarityNoneIsBoolean) {
+  QueryGenOptions opts;
+  opts.polarity = QueryPolarity::kNone;
+  opts.num_tokens = 3;
+  const std::string q = GenerateQuery(opts);
+  EXPECT_EQ(q, "'topic0' AND 'topic1' AND 'topic2'");
+  auto parsed = ParseQuery(q, SurfaceLanguage::kBool);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(ClassifyQuery(*parsed), LanguageClass::kBoolNoNeg);
+}
+
+TEST(QueryGenTest, PositiveQueriesClassifyAsPpred) {
+  QueryGenOptions opts;
+  opts.polarity = QueryPolarity::kPositive;
+  opts.num_tokens = 3;
+  opts.num_predicates = 2;
+  auto parsed = ParseQuery(GenerateQuery(opts), SurfaceLanguage::kComp);
+  ASSERT_TRUE(parsed.ok()) << GenerateQuery(opts);
+  EXPECT_EQ(ClassifyQuery(*parsed), LanguageClass::kPpred);
+}
+
+TEST(QueryGenTest, NegativeQueriesClassifyAsNpred) {
+  QueryGenOptions opts;
+  opts.polarity = QueryPolarity::kNegative;
+  opts.num_tokens = 3;
+  opts.num_predicates = 2;
+  auto parsed = ParseQuery(GenerateQuery(opts), SurfaceLanguage::kComp);
+  ASSERT_TRUE(parsed.ok()) << GenerateQuery(opts);
+  EXPECT_EQ(ClassifyQuery(*parsed), LanguageClass::kNpred);
+}
+
+TEST(QueryGenTest, ParameterSweepStaysParseable) {
+  for (uint32_t toks = 1; toks <= 5; ++toks) {
+    for (uint32_t preds = 0; preds <= 4; ++preds) {
+      for (QueryPolarity pol : {QueryPolarity::kNone, QueryPolarity::kPositive,
+                                QueryPolarity::kNegative}) {
+        QueryGenOptions opts;
+        opts.num_tokens = toks;
+        opts.num_predicates = preds;
+        opts.polarity = pol;
+        const std::string q = GenerateQuery(opts);
+        auto parsed = ParseQuery(q, SurfaceLanguage::kComp);
+        EXPECT_TRUE(parsed.ok()) << q << ": " << parsed.status().ToString();
+      }
+    }
+  }
+}
+
+TEST(QueryGenTest, QueryTokensMatchGeneratedQuery) {
+  QueryGenOptions opts;
+  opts.num_tokens = 2;
+  opts.first_topic = 3;
+  EXPECT_EQ(QueryTokens(opts),
+            (std::vector<std::string>{"topic3", "topic4"}));
+}
+
+}  // namespace
+}  // namespace fts
