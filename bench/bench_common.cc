@@ -3,6 +3,8 @@
 #include <cstdio>
 #include <map>
 #include <mutex>
+#include <string_view>
+#include <vector>
 
 #include "eval/bool_engine.h"
 #include "eval/comp_engine.h"
@@ -43,16 +45,58 @@ const InvertedIndex& SharedIndex(uint32_t cnodes, uint32_t occurrences) {
 
 std::unique_ptr<Engine> MakeEngine(const std::string& kind, const InvertedIndex* index,
                                    ScoringKind scoring) {
-  if (kind == "BOOL") return std::make_unique<BoolEngine>(index, scoring);
-  if (kind == "PPRED") return std::make_unique<PpredEngine>(index, scoring);
-  if (kind == "NPRED") return std::make_unique<NpredEngine>(index, scoring);
-  if (kind == "NPRED_TOTAL") {
-    return std::make_unique<NpredEngine>(index, scoring,
-                                         NpredOrderingMode::kAllTotalOrders);
+  std::string base = kind;
+  CursorMode mode = CursorMode::kSequential;
+  constexpr std::string_view kSeekSuffix = "_SEEK";
+  if (base.size() > kSeekSuffix.size() &&
+      base.compare(base.size() - kSeekSuffix.size(), kSeekSuffix.size(),
+                   kSeekSuffix) == 0) {
+    base.resize(base.size() - kSeekSuffix.size());
+    mode = CursorMode::kSeek;
   }
-  if (kind == "COMP") return std::make_unique<CompEngine>(index, scoring);
+  if (base == "BOOL") return std::make_unique<BoolEngine>(index, scoring, mode);
+  if (base == "PPRED") return std::make_unique<PpredEngine>(index, scoring, mode);
+  if (base == "NPRED") {
+    return std::make_unique<NpredEngine>(
+        index, scoring, NpredOrderingMode::kNecessaryPartialOrders, mode);
+  }
+  if (base == "NPRED_TOTAL") {
+    return std::make_unique<NpredEngine>(index, scoring,
+                                         NpredOrderingMode::kAllTotalOrders, mode);
+  }
+  // COMP materializes relations and has no seek mode: reject "COMP_SEEK"
+  // rather than silently running sequential under a seek label.
+  if (base == "COMP" && mode == CursorMode::kSequential) {
+    return std::make_unique<CompEngine>(index, scoring);
+  }
   std::fprintf(stderr, "unknown engine kind: %s\n", kind.c_str());
   std::abort();
+}
+
+int BenchMain(int argc, char** argv) {
+  std::string program = argc > 0 ? argv[0] : "bench";
+  const size_t slash = program.find_last_of('/');
+  if (slash != std::string::npos) program = program.substr(slash + 1);
+
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]).rfind("--benchmark_out", 0) == 0) has_out = true;
+  }
+  std::vector<std::string> args(argv, argv + argc);
+  if (!has_out) {
+    args.push_back("--benchmark_out=BENCH_" + program + ".json");
+    args.push_back("--benchmark_out_format=json");
+  }
+  std::vector<char*> cargs;
+  cargs.reserve(args.size());
+  for (std::string& a : args) cargs.push_back(a.data());
+  int cargc = static_cast<int>(cargs.size());
+
+  benchmark::Initialize(&cargc, cargs.data());
+  if (benchmark::ReportUnrecognizedArguments(cargc, cargs.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
 }
 
 void RunQuery(benchmark::State& state, const Engine& engine, const std::string& query) {

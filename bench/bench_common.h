@@ -30,9 +30,18 @@ CorpusGenOptions BenchCorpusOptions(uint32_t cnodes, uint32_t occurrences);
 const InvertedIndex& SharedIndex(uint32_t cnodes, uint32_t occurrences);
 
 /// Engine factory: kind is "BOOL", "PPRED", "NPRED", "NPRED_TOTAL" (all
-/// toks_Q! orderings) or "COMP".
+/// toks_Q! orderings) or "COMP". A "_SEEK" suffix (e.g. "BOOL_SEEK")
+/// selects the skip-seeking cursors over the block-compressed lists;
+/// plain names keep the paper-faithful sequential access pattern.
 std::unique_ptr<Engine> MakeEngine(const std::string& kind, const InvertedIndex* index,
                                    ScoringKind scoring = ScoringKind::kNone);
+
+/// Drop-in replacement for BENCHMARK_MAIN(): in addition to the console
+/// report, writes machine-readable results to BENCH_<program>.json in the
+/// working directory (google-benchmark's JSON schema) unless the caller
+/// already passed --benchmark_out. Future PRs diff these files to track the
+/// perf trajectory.
+int BenchMain(int argc, char** argv);
 
 /// Runs `query` on `engine` for each benchmark iteration and publishes the
 /// evaluation counters (entries, positions, tuples, predicate evals,

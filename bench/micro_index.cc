@@ -106,4 +106,4 @@ BENCHMARK(BM_IndexDeserialize)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) { return fts::benchutil::BenchMain(argc, argv); }

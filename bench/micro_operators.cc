@@ -121,4 +121,4 @@ BENCHMARK(BM_PipelinedCursorOpsPerPosition)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) { return fts::benchutil::BenchMain(argc, argv); }

@@ -1,0 +1,155 @@
+// Raw vs block-compressed postings: serialized bytes, sequential decode
+// throughput, and seek latency. The counters published with each series
+// document the machine-independent story: block seeks probe O(log #blocks)
+// skip headers and decode a single block, while raw sequential access walks
+// the whole prefix.
+
+#include <string>
+
+#include "bench_common.h"
+#include "common/rng.h"
+#include "index/block_posting_list.h"
+#include "index/index_io.h"
+
+namespace {
+
+using fts::BlockListCursor;
+using fts::BlockPostingList;
+using fts::EvalCounters;
+using fts::InvertedIndex;
+using fts::ListCursor;
+using fts::NodeId;
+using fts::PostingList;
+using fts::Rng;
+using fts::benchutil::SharedIndex;
+
+const PostingList& TopicList(const InvertedIndex& index) {
+  const PostingList* list = index.list_for_text("topic0");
+  static const PostingList empty;
+  return list ? *list : empty;
+}
+
+const BlockPostingList& TopicBlockList(const InvertedIndex& index) {
+  const BlockPostingList* list = index.block_list_for_text("topic0");
+  static const BlockPostingList empty;
+  return list ? *list : empty;
+}
+
+// Serialized footprint of one hot list, raw (v1 stream, approximated by the
+// in-memory entry/position sizes it re-encodes) vs block-compressed.
+void BM_SerializedBytes(benchmark::State& state) {
+  const InvertedIndex& index = SharedIndex(6000, static_cast<uint32_t>(state.range(0)));
+  const PostingList& raw = TopicList(index);
+  const BlockPostingList& block = TopicBlockList(index);
+  std::string v1_blob, v2_blob;
+  for (auto _ : state) {
+    fts::SaveIndexToString(index, &v1_blob, fts::IndexFormat::kV1);
+    fts::SaveIndexToString(index, &v2_blob, fts::IndexFormat::kV2);
+    benchmark::DoNotOptimize(v1_blob.data());
+    benchmark::DoNotOptimize(v2_blob.data());
+  }
+  // Raw in-memory footprint of the list vs its compressed twin.
+  state.counters["list_raw_bytes"] = static_cast<double>(
+      raw.num_entries() * sizeof(fts::PostingEntry) +
+      raw.total_positions() * sizeof(fts::PositionInfo));
+  state.counters["list_block_bytes"] = static_cast<double>(block.byte_size());
+  state.counters["index_v1_bytes"] = static_cast<double>(v1_blob.size());
+  state.counters["index_v2_bytes"] = static_cast<double>(v2_blob.size());
+  state.counters["v1_over_v2"] =
+      v2_blob.empty() ? 0.0
+                      : static_cast<double>(v1_blob.size()) /
+                            static_cast<double>(v2_blob.size());
+}
+BENCHMARK(BM_SerializedBytes)->Arg(6)->Unit(benchmark::kMillisecond);
+
+// Full sequential decode of the hot list, raw cursor.
+void BM_DecodeRawSequential(benchmark::State& state) {
+  const InvertedIndex& index = SharedIndex(6000, static_cast<uint32_t>(state.range(0)));
+  const PostingList& raw = TopicList(index);
+  uint64_t entries = 0;
+  for (auto _ : state) {
+    ListCursor cursor(&raw);
+    while (cursor.NextEntry() != fts::kInvalidNode) {
+      auto span = cursor.GetPositions();
+      benchmark::DoNotOptimize(span.data());
+      ++entries;
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(entries));
+}
+BENCHMARK(BM_DecodeRawSequential)->Arg(6)->Arg(12);
+
+// Full sequential decode of the hot list, block cursor (varint decoding).
+void BM_DecodeBlockSequential(benchmark::State& state) {
+  const InvertedIndex& index = SharedIndex(6000, static_cast<uint32_t>(state.range(0)));
+  const BlockPostingList& block = TopicBlockList(index);
+  uint64_t entries = 0;
+  for (auto _ : state) {
+    BlockListCursor cursor(&block);
+    while (cursor.NextEntry() != fts::kInvalidNode) {
+      auto span = cursor.GetPositions();
+      benchmark::DoNotOptimize(span.data());
+      ++entries;
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(entries));
+}
+BENCHMARK(BM_DecodeBlockSequential)->Arg(6)->Arg(12);
+
+// One seek to a random node, fresh cursor each time: raw binary search.
+void BM_SeekRaw(benchmark::State& state) {
+  const InvertedIndex& index = SharedIndex(6000, 6);
+  const PostingList& raw = TopicList(index);
+  Rng rng(7);
+  const NodeId max_node = static_cast<NodeId>(index.num_nodes());
+  for (auto _ : state) {
+    ListCursor cursor(&raw);
+    benchmark::DoNotOptimize(cursor.SeekEntry(rng.Uniform(max_node)));
+  }
+}
+BENCHMARK(BM_SeekRaw);
+
+// One seek to a random node, fresh cursor each time: skip table + one block
+// decode. The published counters show the sub-linear decode volume.
+void BM_SeekBlock(benchmark::State& state) {
+  const InvertedIndex& index = SharedIndex(6000, 6);
+  const BlockPostingList& block = TopicBlockList(index);
+  Rng rng(7);
+  const NodeId max_node = static_cast<NodeId>(index.num_nodes());
+  EvalCounters counters;
+  uint64_t seeks = 0;
+  for (auto _ : state) {
+    BlockListCursor cursor(&block, &counters);
+    benchmark::DoNotOptimize(cursor.SeekEntry(rng.Uniform(max_node)));
+    ++seeks;
+  }
+  state.counters["entries_in_list"] = static_cast<double>(block.num_entries());
+  state.counters["entries_decoded_per_seek"] =
+      seeks == 0 ? 0.0
+                 : static_cast<double>(counters.entries_decoded) /
+                       static_cast<double>(seeks);
+  state.counters["skip_checks_per_seek"] =
+      seeks == 0 ? 0.0
+                 : static_cast<double>(counters.skip_checks) /
+                       static_cast<double>(seeks);
+}
+BENCHMARK(BM_SeekBlock);
+
+// End-to-end effect on a selective conjunctive query: a rare Zipf-tail
+// token AND a dense topic token. The sequential merge scans both lists end
+// to end; the zig-zag seek path hops the dense list between the rare
+// token's nodes, decoding only landing blocks.
+void BM_SelectiveAnd(benchmark::State& state) {
+  const InvertedIndex& index = SharedIndex(6000, 6);
+  const bool seek = state.range(0) != 0;
+  const std::string rare = "w" + std::to_string(state.range(1));
+  auto engine = fts::benchutil::MakeEngine(seek ? "BOOL_SEEK" : "BOOL", &index);
+  fts::benchutil::RunQuery(state, *engine, rare + " and topic1");
+}
+BENCHMARK(BM_SelectiveAnd)
+    ->ArgsProduct({{0, 1}, {2000, 12000}})
+    ->ArgNames({"seek", "rare_token"});
+
+}  // namespace
+
+int main(int argc, char** argv) { return fts::benchutil::BenchMain(argc, argv); }

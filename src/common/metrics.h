@@ -28,6 +28,16 @@ struct EvalCounters {
   uint64_t cursor_ops = 0;
   /// Ordering permutations executed (NPRED only; 1 for everything else).
   uint64_t orderings_run = 0;
+  /// Skip-header probes made by SeekEntry (binary-search steps over the
+  /// block skip table, or over raw entries for uncompressed lists). These
+  /// are *not* sequential accesses in the paper's model; they are reported
+  /// separately so the paper's operation-count figures stay honest.
+  uint64_t skip_checks = 0;
+  /// Compressed blocks decoded by block cursors (sequential or seek).
+  uint64_t blocks_decoded = 0;
+  /// Posting entries decoded from compressed blocks. A seek that lands in
+  /// one block decodes one block's worth, independent of list length.
+  uint64_t entries_decoded = 0;
 
   void Reset() { *this = EvalCounters{}; }
 
@@ -38,6 +48,9 @@ struct EvalCounters {
     predicate_evals += o.predicate_evals;
     cursor_ops += o.cursor_ops;
     orderings_run += o.orderings_run;
+    skip_checks += o.skip_checks;
+    blocks_decoded += o.blocks_decoded;
+    entries_decoded += o.entries_decoded;
     return *this;
   }
 
@@ -47,7 +60,10 @@ struct EvalCounters {
            " tuples=" + std::to_string(tuples_materialized) +
            " preds=" + std::to_string(predicate_evals) +
            " cursor_ops=" + std::to_string(cursor_ops) +
-           " orderings=" + std::to_string(orderings_run);
+           " orderings=" + std::to_string(orderings_run) +
+           " skip_checks=" + std::to_string(skip_checks) +
+           " blocks_decoded=" + std::to_string(blocks_decoded) +
+           " entries_decoded=" + std::to_string(entries_decoded);
   }
 };
 

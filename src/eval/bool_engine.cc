@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "index/block_posting_list.h"
 #include "lang/classify.h"
 #include "scoring/probabilistic.h"
 #include "scoring/tfidf.h"
@@ -19,8 +20,8 @@ struct NodeSet {
 class BoolEvaluator {
  public:
   BoolEvaluator(const InvertedIndex* index, const AlgebraScoreModel* model,
-                EvalCounters* counters)
-      : index_(index), model_(model), counters_(counters) {}
+                EvalCounters* counters, CursorMode mode)
+      : index_(index), model_(model), counters_(counters), mode_(mode) {}
 
   StatusOr<NodeSet> Eval(const LangExprPtr& e) {
     switch (e->kind()) {
@@ -46,6 +47,24 @@ class BoolEvaluator {
           FTS_ASSIGN_OR_RETURN(NodeSet r, Eval(e->left()->child()));
           return Difference(l, r);
         }
+        if (mode_ == CursorMode::kSeek) {
+          // Token operands intersect by zig-zag seeking over the compressed
+          // lists, decoding only landing blocks instead of scanning both
+          // lists end to end. Scores are identical to the merge path.
+          const bool ltok = e->left()->kind() == LangExpr::Kind::kToken;
+          const bool rtok = e->right()->kind() == LangExpr::Kind::kToken;
+          if (ltok && rtok) {
+            return ZigZagTokens(e->left()->token(), e->right()->token());
+          }
+          if (rtok) {
+            FTS_ASSIGN_OR_RETURN(NodeSet l, Eval(e->left()));
+            return IntersectSetToken(l, e->right()->token(), /*set_on_left=*/true);
+          }
+          if (ltok) {
+            FTS_ASSIGN_OR_RETURN(NodeSet r, Eval(e->right()));
+            return IntersectSetToken(r, e->left()->token(), /*set_on_left=*/false);
+          }
+        }
         FTS_ASSIGN_OR_RETURN(NodeSet l, Eval(e->left()));
         FTS_ASSIGN_OR_RETURN(NodeSet r, Eval(e->right()));
         return Intersect(l, r);
@@ -62,28 +81,96 @@ class BoolEvaluator {
   }
 
  private:
-  NodeSet EvalToken(const std::string& token) {
+  double TokenEntryScore(TokenId id, NodeId node, size_t pos_count) const {
+    return model_ ? model_->EntryScore(*index_, id, node, pos_count) : 0.0;
+  }
+
+  template <typename CursorT>
+  NodeSet ScanToken(CursorT cursor, TokenId id) {
     NodeSet out;
-    const PostingList* list = index_->list_for_text(token);
-    const TokenId id = index_->LookupToken(token);
-    ListCursor cursor(list, counters_);
     while (cursor.NextEntry() != kInvalidNode) {
       const NodeId n = cursor.current_node();
       out.nodes.push_back(n);
-      out.scores.push_back(
-          model_ ? model_->EntryScore(*index_, id, n, cursor.GetPositions().size())
-                 : 0.0);
+      out.scores.push_back(TokenEntryScore(id, n, cursor.pos_count()));
     }
     return out;
   }
 
+  NodeSet EvalToken(const std::string& token) {
+    const TokenId id = index_->LookupToken(token);
+    if (mode_ == CursorMode::kSeek) {
+      return ScanToken(BlockListCursor(index_->block_list_for_text(token), counters_),
+                       id);
+    }
+    return ScanToken(ListCursor(index_->list_for_text(token), counters_), id);
+  }
+
   NodeSet EvalAny() {
     NodeSet out;
-    ListCursor cursor(&index_->any_list(), counters_);
     const double s = model_ ? model_->AnyLeafScore() : 0.0;
-    while (cursor.NextEntry() != kInvalidNode) {
-      out.nodes.push_back(cursor.current_node());
-      out.scores.push_back(s);
+    const auto collect = [&](auto cursor) {
+      while (cursor.NextEntry() != kInvalidNode) {
+        out.nodes.push_back(cursor.current_node());
+        out.scores.push_back(s);
+      }
+    };
+    if (mode_ == CursorMode::kSeek) {
+      collect(BlockListCursor(&index_->block_any_list(), counters_));
+    } else {
+      collect(ListCursor(&index_->any_list(), counters_));
+    }
+    return out;
+  }
+
+  /// AND of two token lists by two-sided zig-zag seek.
+  NodeSet ZigZagTokens(const std::string& ltok, const std::string& rtok) {
+    NodeSet out;
+    const TokenId lid = index_->LookupToken(ltok);
+    const TokenId rid = index_->LookupToken(rtok);
+    BlockListCursor lc(index_->block_list_for_text(ltok), counters_);
+    BlockListCursor rc(index_->block_list_for_text(rtok), counters_);
+    NodeId a = lc.NextEntry();
+    NodeId b = rc.NextEntry();
+    while (a != kInvalidNode && b != kInvalidNode) {
+      if (a < b) {
+        a = lc.SeekEntry(b);
+      } else if (b < a) {
+        b = rc.SeekEntry(a);
+      } else {
+        out.nodes.push_back(a);
+        out.scores.push_back(
+            model_ ? model_->JoinScore(
+                         TokenEntryScore(lid, a, lc.pos_count()), 1,
+                         TokenEntryScore(rid, b, rc.pos_count()), 1)
+                   : 0.0);
+        a = lc.NextEntry();
+        b = rc.NextEntry();
+      }
+    }
+    return out;
+  }
+
+  /// AND of an evaluated node set with a token list: the set drives, the
+  /// token cursor seeks. `set_on_left` selects the JoinScore argument order
+  /// so scores match the corresponding merge-path Intersect exactly.
+  NodeSet IntersectSetToken(const NodeSet& set, const std::string& tok,
+                            bool set_on_left) {
+    NodeSet out;
+    const TokenId id = index_->LookupToken(tok);
+    BlockListCursor c(index_->block_list_for_text(tok), counters_);
+    for (size_t i = 0; i < set.nodes.size(); ++i) {
+      const NodeId n = c.SeekEntry(set.nodes[i]);
+      if (n == kInvalidNode) break;
+      if (n != set.nodes[i]) continue;
+      out.nodes.push_back(n);
+      if (model_ == nullptr) {
+        out.scores.push_back(0.0);
+        continue;
+      }
+      const double token_score = TokenEntryScore(id, n, c.pos_count());
+      out.scores.push_back(set_on_left
+                               ? model_->JoinScore(set.scores[i], 1, token_score, 1)
+                               : model_->JoinScore(token_score, 1, set.scores[i], 1));
     }
     return out;
   }
@@ -160,6 +247,7 @@ class BoolEvaluator {
   const InvertedIndex* index_;
   const AlgebraScoreModel* model_;
   EvalCounters* counters_;
+  CursorMode mode_;
 };
 
 }  // namespace
@@ -178,7 +266,7 @@ StatusOr<QueryResult> BoolEngine::Evaluate(const LangExprPtr& query) const {
   }
 
   QueryResult result;
-  BoolEvaluator eval(index_, model.get(), &result.counters);
+  BoolEvaluator eval(index_, model.get(), &result.counters, mode_);
   FTS_ASSIGN_OR_RETURN(NodeSet set, eval.Eval(normalized));
   result.nodes = std::move(set.nodes);
   if (scoring_ != ScoringKind::kNone) result.scores = std::move(set.scores);

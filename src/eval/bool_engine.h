@@ -14,20 +14,27 @@
 
 namespace fts {
 
-/// Merge-based evaluator for the BOOL / BOOL-NONEG languages.
+/// Merge-based evaluator for the BOOL / BOOL-NONEG languages. In seek mode
+/// AND of token operands runs as a zig-zag intersection over the
+/// block-compressed lists, decoding only the blocks the join lands in;
+/// sequential mode reproduces the paper's full-scan merges exactly.
 class BoolEngine : public Engine {
  public:
   /// `index` must outlive the engine.
-  BoolEngine(const InvertedIndex* index, ScoringKind scoring)
-      : index_(index), scoring_(scoring) {}
+  BoolEngine(const InvertedIndex* index, ScoringKind scoring,
+             CursorMode mode = CursorMode::kSequential)
+      : index_(index), scoring_(scoring), mode_(mode) {}
 
   std::string_view name() const override { return "BOOL"; }
 
   StatusOr<QueryResult> Evaluate(const LangExprPtr& query) const override;
 
+  CursorMode mode() const { return mode_; }
+
  private:
   const InvertedIndex* index_;
   ScoringKind scoring_;
+  CursorMode mode_;
 };
 
 }  // namespace fts

@@ -11,4 +11,12 @@ const char* ScoringKindToString(ScoringKind kind) {
   return "?";
 }
 
+const char* CursorModeToString(CursorMode mode) {
+  switch (mode) {
+    case CursorMode::kSequential: return "sequential";
+    case CursorMode::kSeek: return "seek";
+  }
+  return "?";
+}
+
 }  // namespace fts

@@ -26,6 +26,19 @@ enum class ScoringKind {
 
 const char* ScoringKindToString(ScoringKind kind);
 
+/// How engines traverse inverted lists.
+enum class CursorMode {
+  /// Strictly sequential nextEntry()/getPositions(), the paper's Section
+  /// 5.1.2 access model. Operation counts reproduce the paper's figures.
+  kSequential,
+  /// Skip-based seeking over the block-compressed lists: zig-zag joins call
+  /// SeekEntry instead of stepping, decoding only the blocks they land in.
+  /// Results are identical to kSequential; only the access pattern changes.
+  kSeek,
+};
+
+const char* CursorModeToString(CursorMode mode);
+
 /// Result of one query evaluation.
 struct QueryResult {
   /// Matching context nodes, ascending.

@@ -31,17 +31,21 @@ enum class NpredOrderingMode {
 class NpredEngine : public Engine {
  public:
   NpredEngine(const InvertedIndex* index, ScoringKind scoring,
-              NpredOrderingMode mode = NpredOrderingMode::kNecessaryPartialOrders)
-      : index_(index), scoring_(scoring), mode_(mode) {}
+              NpredOrderingMode mode = NpredOrderingMode::kNecessaryPartialOrders,
+              CursorMode cursor_mode = CursorMode::kSequential)
+      : index_(index), scoring_(scoring), mode_(mode), cursor_mode_(cursor_mode) {}
 
   std::string_view name() const override { return "NPRED"; }
 
   StatusOr<QueryResult> Evaluate(const LangExprPtr& query) const override;
 
+  CursorMode cursor_mode() const { return cursor_mode_; }
+
  private:
   const InvertedIndex* index_;
   ScoringKind scoring_;
   NpredOrderingMode mode_;
+  CursorMode cursor_mode_;
 };
 
 }  // namespace fts

@@ -2,7 +2,19 @@
 
 #include <vector>
 
+#include "index/block_posting_list.h"
+
 namespace fts {
+
+NodeId PosCursor::SeekNode(NodeId target) {
+  NodeId n = node();
+  if (n != kInvalidNode && n >= target) return n;
+  // Before the first AdvanceNode, node() is kInvalidNode: start the cursor.
+  // (An exhausted cursor re-advances harmlessly to kInvalidNode.)
+  if (n == kInvalidNode) n = AdvanceNode();
+  while (n != kInvalidNode && n < target) n = AdvanceNode();
+  return n;
+}
 
 namespace {
 
@@ -11,13 +23,17 @@ void CountOp(const PipelineContext& ctx) {
 }
 
 // ---------------------------------------------------------------------------
-// Scan: sequential walk of one inverted list (the leaf of every plan).
+// Scan: walk of one inverted list (the leaf of every plan). Sequential mode
+// steps the raw list exactly as the paper's cost model prescribes; seek mode
+// runs over the block-compressed list and serves SeekNode via the skip
+// table, decoding only landing blocks.
 // ---------------------------------------------------------------------------
 
+template <typename CursorT>
 class ScanCursor : public PosCursor {
  public:
-  ScanCursor(const PostingList* list, TokenId token, const PipelineContext& ctx)
-      : ctx_(ctx), cursor_(list, ctx.counters), token_(token) {}
+  ScanCursor(CursorT cursor, TokenId token, const PipelineContext& ctx)
+      : ctx_(ctx), cursor_(std::move(cursor)), token_(token) {}
 
   size_t num_cols() const override { return 1; }
   NodeId node() const override { return node_; }
@@ -26,18 +42,23 @@ class ScanCursor : public PosCursor {
     CountOp(ctx_);
     node_ = cursor_.NextEntry();
     if (node_ == kInvalidNode) return node_;
-    positions_ = cursor_.GetPositions();
-    idx_ = 0;
-    if (ctx_.counters) ++ctx_.counters->positions_scanned;
-    score_ = ctx_.model == nullptr
-                 ? 0.0
-                 : ctx_.model->EntryScore(*ctx_.index, token_, node_,
-                                          positions_.size());
+    OnEntry();
+    return node_;
+  }
+
+  NodeId SeekNode(NodeId target) override {
+    if (ctx_.mode != CursorMode::kSeek) return PosCursor::SeekNode(target);
+    if (node_ != kInvalidNode && node_ >= target) return node_;
+    CountOp(ctx_);
+    node_ = cursor_.SeekEntry(target);
+    if (node_ == kInvalidNode) return node_;
+    OnEntry();
     return node_;
   }
 
   bool AdvancePosition(size_t, uint32_t min_offset) override {
     CountOp(ctx_);
+    EnsurePositions();
     while (idx_ < positions_.size() && positions_[idx_].offset < min_offset) {
       ++idx_;
       // Each position is charged once, when it becomes current; running off
@@ -49,14 +70,37 @@ class ScanCursor : public PosCursor {
     return idx_ < positions_.size();
   }
 
-  PositionInfo position(size_t) const override { return positions_[idx_]; }
+  PositionInfo position(size_t) const override {
+    EnsurePositions();
+    return positions_[idx_];
+  }
   double node_score() const override { return score_; }
 
  private:
+  void OnEntry() {
+    // The entry's PosList is fetched lazily: nodes skipped over by zig-zag
+    // alignment never pay for their position bytes.
+    have_positions_ = false;
+    idx_ = 0;
+    if (ctx_.counters) ++ctx_.counters->positions_scanned;
+    score_ = ctx_.model == nullptr
+                 ? 0.0
+                 : ctx_.model->EntryScore(*ctx_.index, token_, node_,
+                                          cursor_.pos_count());
+  }
+
+  void EnsurePositions() const {
+    if (!have_positions_) {
+      positions_ = cursor_.GetPositions();
+      have_positions_ = true;
+    }
+  }
+
   PipelineContext ctx_;
-  ListCursor cursor_;
+  mutable CursorT cursor_;
   TokenId token_;
-  std::span<const PositionInfo> positions_;
+  mutable std::span<const PositionInfo> positions_;
+  mutable bool have_positions_ = false;
   size_t idx_ = 0;
   NodeId node_ = kInvalidNode;
   double score_ = 0;
@@ -65,6 +109,8 @@ class ScanCursor : public PosCursor {
 // ---------------------------------------------------------------------------
 // Join (Algorithm 1): sort-merge on node id; columns are the concatenation
 // of both inputs', and position cursors dispatch to the owning input.
+// Alignment goes through SeekNode, so in seek mode the lagging side skips
+// straight to the leading side's node (zig-zag join) instead of stepping.
 // ---------------------------------------------------------------------------
 
 class JoinCursor : public PosCursor {
@@ -78,17 +124,14 @@ class JoinCursor : public PosCursor {
 
   NodeId AdvanceNode() override {
     CountOp(ctx_);
-    NodeId n1 = l_->AdvanceNode();
-    NodeId n2 = r_->AdvanceNode();
-    while (n1 != kInvalidNode && n2 != kInvalidNode && n1 != n2) {
-      if (n1 < n2) {
-        n1 = l_->AdvanceNode();
-      } else {
-        n2 = r_->AdvanceNode();
-      }
-    }
-    node_ = (n1 == kInvalidNode || n2 == kInvalidNode) ? kInvalidNode : n1;
-    return node_;
+    return Align(l_->AdvanceNode(), r_->AdvanceNode());
+  }
+
+  NodeId SeekNode(NodeId target) override {
+    if (ctx_.mode != CursorMode::kSeek) return PosCursor::SeekNode(target);
+    if (node_ != kInvalidNode && node_ >= target) return node_;
+    CountOp(ctx_);
+    return Align(l_->SeekNode(target), r_->SeekNode(target));
   }
 
   bool AdvancePosition(size_t col, uint32_t min_offset) override {
@@ -107,6 +150,18 @@ class JoinCursor : public PosCursor {
   }
 
  private:
+  NodeId Align(NodeId n1, NodeId n2) {
+    while (n1 != kInvalidNode && n2 != kInvalidNode && n1 != n2) {
+      if (n1 < n2) {
+        n1 = l_->SeekNode(n2);
+      } else {
+        n2 = r_->SeekNode(n1);
+      }
+    }
+    node_ = (n1 == kInvalidNode || n2 == kInvalidNode) ? kInvalidNode : n1;
+    return node_;
+  }
+
   PipelineContext ctx_;
   std::unique_ptr<PosCursor> l_, r_;
   size_t lcols_;
@@ -135,6 +190,18 @@ class SelectCursor : public PosCursor {
   NodeId AdvanceNode() override {
     CountOp(ctx_);
     NodeId n = in_->AdvanceNode();
+    while (n != kInvalidNode && !AdvancePosUntilSat()) {
+      n = in_->AdvanceNode();
+    }
+    return n;
+  }
+
+  NodeId SeekNode(NodeId target) override {
+    if (ctx_.mode != CursorMode::kSeek) return PosCursor::SeekNode(target);
+    NodeId n = node();
+    if (n != kInvalidNode && n >= target) return n;
+    CountOp(ctx_);
+    n = in_->SeekNode(target);
     while (n != kInvalidNode && !AdvancePosUntilSat()) {
       n = in_->AdvanceNode();
     }
@@ -220,6 +287,12 @@ class ProjectCursor : public PosCursor {
   NodeId AdvanceNode() override {
     CountOp(ctx_);
     return in_->AdvanceNode();
+  }
+
+  NodeId SeekNode(NodeId target) override {
+    if (ctx_.mode != CursorMode::kSeek) return PosCursor::SeekNode(target);
+    CountOp(ctx_);
+    return in_->SeekNode(target);
   }
 
   bool AdvancePosition(size_t col, uint32_t min_offset) override {
@@ -328,17 +401,14 @@ class AntiJoinCursor : public PosCursor {
 
   NodeId AdvanceNode() override {
     CountOp(ctx_);
-    while (true) {
-      const NodeId n = l_->AdvanceNode();
-      if (n == kInvalidNode) return kInvalidNode;
-      if (!r_started_) {
-        r_->AdvanceNode();
-        r_started_ = true;
-      }
-      while (r_->node() != kInvalidNode && r_->node() < n) r_->AdvanceNode();
-      if (r_->node() == n) continue;  // excluded node
-      return n;
-    }
+    return FilterFrom(l_->AdvanceNode());
+  }
+
+  NodeId SeekNode(NodeId target) override {
+    if (ctx_.mode != CursorMode::kSeek) return PosCursor::SeekNode(target);
+    if (l_->node() != kInvalidNode && l_->node() >= target) return l_->node();
+    CountOp(ctx_);
+    return FilterFrom(l_->SeekNode(target));
   }
 
   bool AdvancePosition(size_t col, uint32_t min_offset) override {
@@ -354,6 +424,22 @@ class AntiJoinCursor : public PosCursor {
   }
 
  private:
+  /// Skips left-side nodes present on the right, starting from left node
+  /// `n`. The right side advances through SeekNode, so seek mode skips its
+  /// blocks instead of stepping entry by entry.
+  NodeId FilterFrom(NodeId n) {
+    while (n != kInvalidNode) {
+      if (!r_started_) {
+        r_->AdvanceNode();
+        r_started_ = true;
+      }
+      if (r_->node() != kInvalidNode && r_->node() < n) r_->SeekNode(n);
+      if (r_->node() != n) return n;
+      n = l_->AdvanceNode();  // excluded node
+    }
+    return kInvalidNode;
+  }
+
   PipelineContext ctx_;
   std::unique_ptr<PosCursor> l_, r_;
   bool r_started_ = false;
@@ -366,9 +452,15 @@ StatusOr<std::unique_ptr<PosCursor>> BuildPipeline(const FtaExprPtr& plan,
   if (!plan) return Status::InvalidArgument("null plan");
   switch (plan->kind()) {
     case FtaExpr::Kind::kToken: {
-      const PostingList* list = ctx.index->list_for_text(plan->token());
       const TokenId id = ctx.index->LookupToken(plan->token());
-      return std::unique_ptr<PosCursor>(new ScanCursor(list, id, ctx));
+      if (ctx.mode == CursorMode::kSeek) {
+        const BlockPostingList* list = ctx.index->block_list_for_text(plan->token());
+        return std::unique_ptr<PosCursor>(new ScanCursor<BlockListCursor>(
+            BlockListCursor(list, ctx.counters), id, ctx));
+      }
+      const PostingList* list = ctx.index->list_for_text(plan->token());
+      return std::unique_ptr<PosCursor>(
+          new ScanCursor<ListCursor>(ListCursor(list, ctx.counters), id, ctx));
     }
     case FtaExpr::Kind::kJoin: {
       FTS_ASSIGN_OR_RETURN(auto l, BuildPipeline(plan->left(), ctx));

@@ -29,6 +29,7 @@
 #include "algebra/fta.h"
 #include "common/metrics.h"
 #include "common/status.h"
+#include "eval/engine.h"
 #include "index/inverted_index.h"
 #include "scoring/score_model.h"
 
@@ -45,6 +46,14 @@ class PosCursor {
   /// Advances to the next context node that has at least one result tuple
   /// and positions on its minimal tuple. Returns kInvalidNode at the end.
   virtual NodeId AdvanceNode() = 0;
+
+  /// Positions on the first result node with id >= `target` (starting the
+  /// cursor if needed; never moving backwards) and returns it, or
+  /// kInvalidNode when no such node exists. The default implementation
+  /// steps with AdvanceNode, preserving the paper's sequential access
+  /// counts; scans in seek mode override it with skip-based SeekEntry, and
+  /// joins use it for zig-zag alignment.
+  virtual NodeId SeekNode(NodeId target);
 
   /// Current node (kInvalidNode before the first AdvanceNode / at the end).
   virtual NodeId node() const = 0;
@@ -68,6 +77,7 @@ struct PipelineContext {
   const InvertedIndex* index = nullptr;
   const AlgebraScoreModel* model = nullptr;  // nullable
   EvalCounters* counters = nullptr;          // nullable
+  CursorMode mode = CursorMode::kSequential;
 };
 
 /// Builds a pipelined cursor tree for `plan`. Returns Unsupported when the

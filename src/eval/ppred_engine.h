@@ -12,19 +12,25 @@
 namespace fts {
 
 /// Single-scan pipelined evaluator for the PPRED class. Returns Unsupported
-/// for queries whose plans need IL_ANY or general predicates.
+/// for queries whose plans need IL_ANY or general predicates. In seek mode
+/// the pipeline's zig-zag joins skip over the block-compressed lists via
+/// SeekEntry instead of stepping entry by entry.
 class PpredEngine : public Engine {
  public:
-  PpredEngine(const InvertedIndex* index, ScoringKind scoring)
-      : index_(index), scoring_(scoring) {}
+  PpredEngine(const InvertedIndex* index, ScoringKind scoring,
+              CursorMode mode = CursorMode::kSequential)
+      : index_(index), scoring_(scoring), mode_(mode) {}
 
   std::string_view name() const override { return "PPRED"; }
 
   StatusOr<QueryResult> Evaluate(const LangExprPtr& query) const override;
 
+  CursorMode mode() const { return mode_; }
+
  private:
   const InvertedIndex* index_;
   ScoringKind scoring_;
+  CursorMode mode_;
 };
 
 }  // namespace fts

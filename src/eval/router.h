@@ -27,13 +27,18 @@ struct RoutedResult {
 };
 
 /// Owns one engine of each kind over a shared index and routes queries.
+/// The router is the production entry point, so its engines default to the
+/// seek-enabled cursors over the block-compressed lists; pass
+/// CursorMode::kSequential to reproduce the paper's access counts.
 class QueryRouter {
  public:
   /// `index` must outlive the router.
-  QueryRouter(const InvertedIndex* index, ScoringKind scoring = ScoringKind::kNone)
-      : bool_engine_(index, scoring),
-        ppred_engine_(index, scoring),
-        npred_engine_(index, scoring),
+  QueryRouter(const InvertedIndex* index, ScoringKind scoring = ScoringKind::kNone,
+              CursorMode mode = CursorMode::kSeek)
+      : bool_engine_(index, scoring, mode),
+        ppred_engine_(index, scoring, mode),
+        npred_engine_(index, scoring,
+                      NpredOrderingMode::kNecessaryPartialOrders, mode),
         comp_engine_(index, scoring) {}
 
   /// Parses `query` as COMP (the superset language) and evaluates it on the

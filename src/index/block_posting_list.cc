@@ -1,0 +1,322 @@
+#include "index/block_posting_list.h"
+
+#include <cassert>
+
+#include "common/varint.h"
+
+namespace fts {
+
+BlockPostingList BlockPostingList::FromPostingList(const PostingList& raw,
+                                                   uint32_t block_size) {
+  BlockPostingList out(block_size);
+  for (size_t i = 0; i < raw.num_entries(); ++i) {
+    const PostingEntry& e = raw.entry(i);
+    out.Append(e.node, raw.positions(e));
+  }
+  out.Finish();
+  return out;
+}
+
+PostingList BlockPostingList::Materialize() const {
+  PostingList out;
+  std::vector<PostingEntry> entries;
+  std::vector<PositionInfo> positions;
+  for (size_t b = 0; b < num_blocks(); ++b) {
+    Status s = DecodeBlock(b, &entries, &positions);
+    assert(s.ok());
+    (void)s;
+    for (const PostingEntry& e : entries) {
+      out.Append(e.node, {positions.data() + e.pos_begin, e.pos_count});
+    }
+  }
+  return out;
+}
+
+void BlockPostingList::Append(NodeId node, std::span<const PositionInfo> positions) {
+  assert(pending_.empty() || pending_.back().node < node);
+  assert(skips_.empty() || !pending_.empty() || skips_.back().max_node < node);
+  PendingEntry e;
+  e.node = node;
+  e.pos_begin = static_cast<uint32_t>(pending_positions_.size());
+  e.pos_count = static_cast<uint32_t>(positions.size());
+  pending_positions_.insert(pending_positions_.end(), positions.begin(),
+                            positions.end());
+  pending_.push_back(e);
+  ++num_entries_;
+  total_positions_ += positions.size();
+  if (pending_.size() >= block_size_) FlushPending();
+}
+
+void BlockPostingList::FlushPending() {
+  if (pending_.empty()) return;
+  SkipEntry skip;
+  skip.max_node = pending_.back().node;
+  skip.byte_offset = static_cast<uint32_t>(data_.size());
+  skip.entry_count = static_cast<uint32_t>(pending_.size());
+
+  // First node of the block is absolute so blocks decode independently;
+  // subsequent ids are strictly positive deltas. Each entry's positions
+  // (offset/sentence/paragraph deltas, as in the v1 stream) sit behind a
+  // byte-length so header-only decoding can hop over them.
+  NodeId prev_node = 0;
+  bool first = true;
+  std::string pos_bytes;
+  for (const PendingEntry& e : pending_) {
+    PutVarint32(&data_, first ? e.node : e.node - prev_node);
+    first = false;
+    prev_node = e.node;
+    PutVarint32(&data_, e.pos_count);
+    pos_bytes.clear();
+    uint32_t prev_off = 0, prev_sent = 0, prev_para = 0;
+    for (uint32_t j = 0; j < e.pos_count; ++j) {
+      const PositionInfo& p = pending_positions_[e.pos_begin + j];
+      PutVarint32(&pos_bytes, p.offset - prev_off);
+      PutVarint32(&pos_bytes, p.sentence - prev_sent);
+      PutVarint32(&pos_bytes, p.paragraph - prev_para);
+      prev_off = p.offset;
+      prev_sent = p.sentence;
+      prev_para = p.paragraph;
+    }
+    PutVarint32(&data_, static_cast<uint32_t>(pos_bytes.size()));
+    data_.append(pos_bytes);
+  }
+  skips_.push_back(skip);
+  pending_.clear();
+  pending_positions_.clear();
+}
+
+size_t BlockPostingList::byte_size() const {
+  // Skip table as serialized: delta-coded max_node + byte_offset delta +
+  // entry_count, all varints. Recomputing the exact varint widths here keeps
+  // the bench's "serialized bytes" number faithful without serializing.
+  std::string scratch;
+  NodeId prev_max = 0;
+  uint32_t prev_off = 0;
+  for (const SkipEntry& s : skips_) {
+    PutVarint32(&scratch, s.max_node - prev_max);
+    PutVarint32(&scratch, s.byte_offset - prev_off);
+    PutVarint32(&scratch, s.entry_count);
+    prev_max = s.max_node;
+    prev_off = s.byte_offset;
+  }
+  return data_.size() + scratch.size();
+}
+
+Status BlockPostingList::DecodeBlockEntries(size_t block,
+                                            std::vector<EntryRef>* entries) const {
+  if (block >= skips_.size()) {
+    return Status::InvalidArgument("block index out of range");
+  }
+  const SkipEntry& skip = skips_[block];
+  if (skip.byte_offset > data_.size()) {
+    return Status::Corruption("skip offset past payload");
+  }
+  const size_t end = block + 1 < skips_.size() ? skips_[block + 1].byte_offset
+                                               : data_.size();
+  // Each entry takes at least 3 bytes (node delta, count, position length);
+  // bound before reserving so a crafted skip table cannot force a huge alloc.
+  if (end < skip.byte_offset || skip.entry_count > (end - skip.byte_offset) / 3 + 1) {
+    return Status::Corruption("block entry count larger than block payload");
+  }
+  entries->clear();
+  entries->reserve(skip.entry_count);
+  size_t offset = skip.byte_offset;
+  NodeId prev_node = 0;
+  for (uint32_t i = 0; i < skip.entry_count; ++i) {
+    uint32_t node_delta, count, pos_len;
+    FTS_RETURN_IF_ERROR(GetVarint32(data_, &offset, &node_delta));
+    const NodeId node = (i == 0) ? node_delta : prev_node + node_delta;
+    if (i > 0 && node_delta == 0) {
+      return Status::Corruption("non-increasing node ids in posting block");
+    }
+    prev_node = node;
+    FTS_RETURN_IF_ERROR(GetVarint32(data_, &offset, &count));
+    FTS_RETURN_IF_ERROR(GetVarint32(data_, &offset, &pos_len));
+    if (offset + pos_len > end) {
+      return Status::Corruption("position bytes overrun posting block");
+    }
+    EntryRef e;
+    e.header.node = node;
+    e.header.pos_count = count;
+    e.pos_byte_begin = static_cast<uint32_t>(offset);
+    e.pos_byte_len = pos_len;
+    offset += pos_len;
+    entries->push_back(e);
+  }
+  if (offset != end) {
+    return Status::Corruption("posting block length mismatch");
+  }
+  if (prev_node != skip.max_node) {
+    return Status::Corruption("posting block max_node mismatch");
+  }
+  return Status::OK();
+}
+
+Status BlockPostingList::DecodePositions(const EntryRef& entry,
+                                         std::vector<PositionInfo>* positions) const {
+  // Each position takes at least 3 bytes (three varints).
+  if (entry.header.pos_count > entry.pos_byte_len / 3 + 1) {
+    return Status::Corruption("position count larger than position bytes");
+  }
+  positions->clear();
+  positions->reserve(entry.header.pos_count);
+  size_t offset = entry.pos_byte_begin;
+  const size_t end = entry.pos_byte_begin + entry.pos_byte_len;
+  uint32_t off = 0, sent = 0, para = 0;
+  for (uint32_t j = 0; j < entry.header.pos_count; ++j) {
+    uint32_t d_off, d_sent, d_para;
+    FTS_RETURN_IF_ERROR(GetVarint32(data_, &offset, &d_off));
+    FTS_RETURN_IF_ERROR(GetVarint32(data_, &offset, &d_sent));
+    FTS_RETURN_IF_ERROR(GetVarint32(data_, &offset, &d_para));
+    off += d_off;
+    sent += d_sent;
+    para += d_para;
+    positions->push_back(PositionInfo{off, sent, para});
+  }
+  if (offset != end) {
+    return Status::Corruption("position bytes length mismatch");
+  }
+  return Status::OK();
+}
+
+Status BlockPostingList::DecodeBlock(size_t block,
+                                     std::vector<PostingEntry>* entries,
+                                     std::vector<PositionInfo>* positions) const {
+  std::vector<EntryRef> refs;
+  FTS_RETURN_IF_ERROR(DecodeBlockEntries(block, &refs));
+  entries->clear();
+  positions->clear();
+  entries->reserve(refs.size());
+  std::vector<PositionInfo> scratch;
+  for (const EntryRef& ref : refs) {
+    FTS_RETURN_IF_ERROR(DecodePositions(ref, &scratch));
+    PostingEntry e = ref.header;
+    e.pos_begin = static_cast<uint32_t>(positions->size());
+    positions->insert(positions->end(), scratch.begin(), scratch.end());
+    entries->push_back(e);
+  }
+  return Status::OK();
+}
+
+BlockPostingList BlockPostingList::FromParts(uint32_t block_size,
+                                             uint64_t num_entries,
+                                             uint64_t total_positions,
+                                             std::vector<SkipEntry> skips,
+                                             std::string data) {
+  BlockPostingList out(block_size);
+  out.num_entries_ = num_entries;
+  out.total_positions_ = total_positions;
+  out.skips_ = std::move(skips);
+  out.data_ = std::move(data);
+  return out;
+}
+
+bool BlockListCursor::LoadBlock(size_t block) {
+  Status s = list_->DecodeBlockEntries(block, &entries_);
+  // Malformed payloads are rejected at load time; a decode failure here
+  // means programmer error, so fail closed by exhausting.
+  assert(s.ok());
+  if (!s.ok() || entries_.empty()) return false;
+  block_ = block;
+  positions_for_ = SIZE_MAX;
+  if (counters_ != nullptr) {
+    ++counters_->blocks_decoded;
+    counters_->entries_decoded += entries_.size();
+  }
+  return true;
+}
+
+NodeId BlockListCursor::NextEntry() {
+  if (exhausted_) return kInvalidNode;
+  if (!started_) {
+    started_ = true;
+    if (list_ == nullptr || list_->num_blocks() == 0 || !LoadBlock(0)) {
+      exhausted_ = true;
+      node_ = kInvalidNode;
+      return kInvalidNode;
+    }
+    idx_ = 0;
+  } else if (idx_ + 1 < entries_.size()) {
+    ++idx_;
+  } else if (block_ + 1 < list_->num_blocks() && LoadBlock(block_ + 1)) {
+    idx_ = 0;
+  } else {
+    exhausted_ = true;
+    node_ = kInvalidNode;
+    return kInvalidNode;
+  }
+  if (counters_ != nullptr) ++counters_->entries_scanned;
+  node_ = entries_[idx_].header.node;
+  return node_;
+}
+
+NodeId BlockListCursor::SeekEntry(NodeId target) {
+  if (exhausted_) return kInvalidNode;
+  if (started_ && node_ != kInvalidNode && node_ >= target) {
+    return node_;  // backward (or in-place) seeks do not move the cursor
+  }
+  if (list_ == nullptr || list_->num_blocks() == 0) {
+    started_ = true;
+    exhausted_ = true;
+    node_ = kInvalidNode;
+    return kInvalidNode;
+  }
+  // Binary search the skip headers for the first block whose max_node can
+  // reach the target. Blocks before the current one need not be considered.
+  size_t lo = started_ ? block_ : 0;
+  size_t hi = list_->num_blocks();
+  while (lo < hi) {
+    const size_t mid = lo + (hi - lo) / 2;
+    if (counters_ != nullptr) ++counters_->skip_checks;
+    if (list_->skip(mid).max_node < target) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  if (lo >= list_->num_blocks()) {
+    started_ = true;
+    exhausted_ = true;
+    node_ = kInvalidNode;
+    return kInvalidNode;
+  }
+  const bool same_block = started_ && lo == block_;
+  if (!same_block) {
+    if (!LoadBlock(lo)) {
+      started_ = true;
+      exhausted_ = true;
+      node_ = kInvalidNode;
+      return kInvalidNode;
+    }
+    idx_ = 0;
+  } else if (node_ != kInvalidNode) {
+    // Resume within the already-decoded block, just past the current entry.
+    ++idx_;
+  }
+  started_ = true;
+  // The landing block's max_node >= target, so a match exists in it unless
+  // we resumed mid-block past it (impossible: node_ < target guaranteed a
+  // later entry in this block or a later block would have been selected).
+  while (idx_ < entries_.size() && entries_[idx_].header.node < target) ++idx_;
+  if (idx_ >= entries_.size()) {
+    exhausted_ = true;
+    node_ = kInvalidNode;
+    return kInvalidNode;
+  }
+  if (counters_ != nullptr) ++counters_->entries_scanned;
+  node_ = entries_[idx_].header.node;
+  return node_;
+}
+
+std::span<const PositionInfo> BlockListCursor::GetPositions() {
+  assert(started_ && !exhausted_);
+  if (positions_for_ != idx_) {
+    Status s = list_->DecodePositions(entries_[idx_], &positions_);
+    assert(s.ok());
+    if (!s.ok()) positions_.clear();
+    positions_for_ = idx_;
+  }
+  return {positions_.data(), positions_.size()};
+}
+
+}  // namespace fts

@@ -1,0 +1,181 @@
+// Block-compressed, skip-seekable posting storage (the v2 index layout).
+//
+// A BlockPostingList stores the same logical (cn, PosList) sequence as a
+// PostingList, but packed into fixed-size blocks (kDefaultBlockSize entries)
+// of varint-coded deltas: node ids are delta-coded within a block (first id
+// absolute, so every block decodes independently), and positions are coded
+// as in the v1 stream (offset/sentence/paragraph deltas) behind a per-entry
+// byte-length, so entry headers decode without touching position bytes.
+// Each block is fronted by a skip header (max_node, byte_offset,
+// entry_count), so a cursor can locate the unique block that may contain a
+// target node with a binary search over headers and decode only that block
+// — O(log #blocks) probes plus one block decode, instead of a linear scan
+// of the whole list.
+//
+// BlockListCursor exposes the sequential API of ListCursor (NextEntry /
+// GetPositions) plus SeekEntry(target). Entry headers (node id, position
+// count) are decoded a block at a time; an entry's PosList is decoded
+// lazily on first GetPositions(), so node-level evaluation (BOOL merges,
+// zig-zag alignment) never pays for position bytes it skips. All block
+// decodes and skip probes are charged to EvalCounters so benchmarks can
+// separate the paper's sequential-access model from the skip machinery.
+
+#ifndef FTS_INDEX_BLOCK_POSTING_LIST_H_
+#define FTS_INDEX_BLOCK_POSTING_LIST_H_
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/status.h"
+#include "index/inverted_index.h"
+
+namespace fts {
+
+/// Compressed counterpart of PostingList. Immutable once built (append-only
+/// while building; appends must use strictly increasing node ids).
+class BlockPostingList {
+ public:
+  static constexpr uint32_t kDefaultBlockSize = 128;
+
+  /// Skip header of one block. `byte_offset` points at the block's first
+  /// byte inside data(); `max_node` is the id of its last entry.
+  struct SkipEntry {
+    NodeId max_node = 0;
+    uint32_t byte_offset = 0;
+    uint32_t entry_count = 0;
+  };
+
+  explicit BlockPostingList(uint32_t block_size = kDefaultBlockSize)
+      : block_size_(block_size == 0 ? kDefaultBlockSize : block_size) {}
+
+  /// Compresses an existing raw list.
+  static BlockPostingList FromPostingList(const PostingList& raw,
+                                          uint32_t block_size = kDefaultBlockSize);
+
+  /// Decompresses back to the raw random-access form.
+  PostingList Materialize() const;
+
+  /// Appends one entry; node ids must be strictly increasing. Call Finish()
+  /// after the last Append to flush the tail block.
+  void Append(NodeId node, std::span<const PositionInfo> positions);
+
+  /// Flushes the partially filled tail block, if any. Idempotent; further
+  /// Appends may follow (they start a new block).
+  void Finish() { FlushPending(); }
+
+  size_t num_entries() const { return num_entries_; }
+  bool empty() const { return num_entries_ == 0; }
+  size_t total_positions() const { return total_positions_; }
+  uint32_t block_size() const { return block_size_; }
+  size_t num_blocks() const { return skips_.size(); }
+  const SkipEntry& skip(size_t block) const { return skips_[block]; }
+  const std::vector<SkipEntry>& skips() const { return skips_; }
+
+  /// Compressed payload (concatenated block bytes).
+  const std::string& data() const { return data_; }
+
+  /// Total compressed footprint: payload plus skip-table bytes as laid out
+  /// on disk (the serialized v2 size of this list, minus framing varints).
+  size_t byte_size() const;
+
+  /// One decoded entry header plus the location of its (still compressed)
+  /// position bytes within data().
+  struct EntryRef {
+    PostingEntry header;      // node + pos_count (pos_begin unused)
+    uint32_t pos_byte_begin;  // offset of the entry's position bytes
+    uint32_t pos_byte_len;    // length of the entry's position bytes
+  };
+
+  /// Decodes block `block` into `entries`/`positions` (replacing their
+  /// contents; entries' pos_begin index into `positions`). Returns
+  /// Corruption on malformed payload bytes.
+  Status DecodeBlock(size_t block, std::vector<PostingEntry>* entries,
+                     std::vector<PositionInfo>* positions) const;
+
+  /// Decodes only block `block`'s entry headers (node ids, position
+  /// counts), skipping position bytes entirely.
+  Status DecodeBlockEntries(size_t block, std::vector<EntryRef>* entries) const;
+
+  /// Decodes the PosList of one entry previously returned by
+  /// DecodeBlockEntries (replacing `positions`).
+  Status DecodePositions(const EntryRef& entry,
+                         std::vector<PositionInfo>* positions) const;
+
+  /// Reassembles a list from its serialized parts (index_io v2 load path).
+  /// The skip table and payload are validated lazily by DecodeBlock.
+  static BlockPostingList FromParts(uint32_t block_size, uint64_t num_entries,
+                                    uint64_t total_positions,
+                                    std::vector<SkipEntry> skips, std::string data);
+
+ private:
+  void FlushPending();
+
+  uint32_t block_size_;
+  size_t num_entries_ = 0;
+  size_t total_positions_ = 0;
+  std::string data_;
+  std::vector<SkipEntry> skips_;
+
+  // Entries accumulated for the block currently being built.
+  struct PendingEntry {
+    NodeId node;
+    uint32_t pos_begin;
+    uint32_t pos_count;
+  };
+  std::vector<PendingEntry> pending_;
+  std::vector<PositionInfo> pending_positions_;
+};
+
+/// Cursor over a BlockPostingList: the sequential ListCursor API plus
+/// skip-based seeking. Entry headers decode one block at a time; PosLists
+/// decode lazily per entry. GetPositions() spans stay valid until the
+/// cursor moves to a different entry.
+class BlockListCursor {
+ public:
+  /// `list` may be null (OOV token): the cursor is immediately exhausted.
+  explicit BlockListCursor(const BlockPostingList* list,
+                           EvalCounters* counters = nullptr)
+      : list_(list), counters_(counters) {}
+
+  /// Advances to the next entry and returns its node id, or kInvalidNode
+  /// when the list is exhausted. The first call lands on the first entry.
+  NodeId NextEntry();
+
+  /// Positions the cursor on the first entry with node id >= `target` and
+  /// returns that id (kInvalidNode if no such entry). Starts the cursor if
+  /// needed. Seeking backwards is rejected: if the current entry already
+  /// has node id >= target the cursor does not move.
+  NodeId SeekEntry(NodeId target);
+
+  /// PosList of the current entry (decoded on first call per entry); the
+  /// cursor must be on an entry.
+  std::span<const PositionInfo> GetPositions();
+
+  /// Position count of the current entry — free, no position decode.
+  uint32_t pos_count() const { return entries_[idx_].header.pos_count; }
+
+  NodeId current_node() const { return node_; }
+  bool exhausted() const { return exhausted_; }
+
+ private:
+  /// Decodes block `block`'s entry headers and parks the cursor before its
+  /// first entry. Position bytes stay untouched until GetPositions().
+  bool LoadBlock(size_t block);
+
+  const BlockPostingList* list_;
+  EvalCounters* counters_;
+  std::vector<BlockPostingList::EntryRef> entries_;
+  std::vector<PositionInfo> positions_;  // lazily decoded, current entry only
+  size_t positions_for_ = SIZE_MAX;      // idx_ the cache was decoded for
+  size_t block_ = 0;      // decoded block index (valid when started_)
+  size_t idx_ = 0;        // entry index within the decoded block
+  bool started_ = false;
+  bool exhausted_ = false;
+  NodeId node_ = kInvalidNode;
+};
+
+}  // namespace fts
+
+#endif  // FTS_INDEX_BLOCK_POSTING_LIST_H_

@@ -82,6 +82,10 @@ InvertedIndex IndexBuilder::Build(const Corpus& corpus) {
       nonempty_lists == 0 ? 0 : static_cast<double>(total_entries) / nonempty_lists;
   s.avg_pos_per_entry =
       total_entries == 0 ? 0 : static_cast<double>(s.total_positions) / total_entries;
+
+  // Compressed, skip-seekable twins of every list (seek-enabled engines and
+  // the v2 on-disk format read these).
+  index.RebuildBlockLists();
   return index;
 }
 

@@ -5,12 +5,15 @@
 #include <fstream>
 
 #include "common/varint.h"
+#include "index/block_posting_list.h"
 
 namespace fts {
 
 namespace {
 
-constexpr char kMagic[8] = {'F', 'T', 'S', 'I', 'D', 'X', '1', '\0'};
+constexpr char kMagicV1[8] = {'F', 'T', 'S', 'I', 'D', 'X', '1', '\0'};
+constexpr char kMagicV2[8] = {'F', 'T', 'S', 'I', 'D', 'X', '2', '\0'};
+constexpr size_t kMagicSize = sizeof(kMagicV1);
 
 uint64_t Fnv1a(const std::string& data, size_t begin, size_t end) {
   uint64_t h = 0xcbf29ce484222325ULL;
@@ -44,6 +47,10 @@ Status GetDouble(const std::string& data, size_t* offset, double* d) {
   *d = std::bit_cast<double>(bits);
   return Status::OK();
 }
+
+// ---------------------------------------------------------------------------
+// v1 posting lists: flat delta-coded entry stream.
+// ---------------------------------------------------------------------------
 
 void PutPostingList(std::string* out, const PostingList& list) {
   PutVarint64(out, list.num_entries());
@@ -80,6 +87,10 @@ Status GetPostingList(const std::string& data, size_t* offset, PostingList* list
     }
     prev_node = node;
     FTS_RETURN_IF_ERROR(GetVarint32(data, offset, &count));
+    // Each position takes at least 3 bytes; bound before reserving.
+    if (count > (data.size() - *offset) / 3) {
+      return Status::Corruption("position count larger than remaining input");
+    }
     positions.clear();
     positions.reserve(count);
     uint32_t off = 0, sent = 0, para = 0;
@@ -98,12 +109,89 @@ Status GetPostingList(const std::string& data, size_t* offset, PostingList* list
   return Status::OK();
 }
 
-}  // namespace
+// ---------------------------------------------------------------------------
+// v2 posting lists: block-compressed payload + skip table, dumped verbatim
+// from / adopted verbatim into BlockPostingList.
+// ---------------------------------------------------------------------------
 
-void SaveIndexToString(const InvertedIndex& index, std::string* out) {
-  out->clear();
-  out->append(kMagic, sizeof(kMagic));
+void PutBlockPostingList(std::string* out, const BlockPostingList& list) {
+  PutVarint64(out, list.num_entries());
+  PutVarint64(out, list.total_positions());
+  PutVarint32(out, list.block_size());
+  PutVarint64(out, list.num_blocks());
+  NodeId prev_max = 0;
+  uint32_t prev_off = 0;
+  for (const BlockPostingList::SkipEntry& s : list.skips()) {
+    PutVarint32(out, s.max_node - prev_max);
+    PutVarint32(out, s.byte_offset - prev_off);
+    PutVarint32(out, s.entry_count);
+    prev_max = s.max_node;
+    prev_off = s.byte_offset;
+  }
+  PutVarint64(out, list.data().size());
+  out->append(list.data());
+}
 
+Status GetBlockPostingList(const std::string& data, size_t* offset,
+                           BlockPostingList* list) {
+  uint64_t num_entries, total_positions, num_blocks, data_size;
+  uint32_t block_size;
+  FTS_RETURN_IF_ERROR(GetVarint64(data, offset, &num_entries));
+  FTS_RETURN_IF_ERROR(GetVarint64(data, offset, &total_positions));
+  FTS_RETURN_IF_ERROR(GetVarint32(data, offset, &block_size));
+  FTS_RETURN_IF_ERROR(GetVarint64(data, offset, &num_blocks));
+  if (block_size == 0 && num_blocks > 0) {
+    return Status::Corruption("zero block size in nonempty block list");
+  }
+  // Each skip entry takes at least 3 bytes; bound the count by the remaining
+  // input before reserving, so a crafted header cannot force a huge alloc.
+  if (num_blocks > (data.size() - *offset) / 3) {
+    return Status::Corruption("skip table larger than remaining input");
+  }
+  std::vector<BlockPostingList::SkipEntry> skips;
+  skips.reserve(num_blocks);
+  NodeId prev_max = 0;
+  uint32_t prev_off = 0;
+  uint64_t skipped_entries = 0;
+  for (uint64_t b = 0; b < num_blocks; ++b) {
+    uint32_t d_max, d_off, count;
+    FTS_RETURN_IF_ERROR(GetVarint32(data, offset, &d_max));
+    FTS_RETURN_IF_ERROR(GetVarint32(data, offset, &d_off));
+    FTS_RETURN_IF_ERROR(GetVarint32(data, offset, &count));
+    BlockPostingList::SkipEntry s;
+    s.max_node = prev_max + d_max;
+    s.byte_offset = prev_off + d_off;
+    s.entry_count = count;
+    if (b > 0 && (d_max == 0 || d_off == 0)) {
+      return Status::Corruption("non-increasing skip table");
+    }
+    if (count == 0 || count > block_size) {
+      return Status::Corruption("bad block entry count");
+    }
+    prev_max = s.max_node;
+    prev_off = s.byte_offset;
+    skipped_entries += count;
+    skips.push_back(s);
+  }
+  if (skipped_entries != num_entries) {
+    return Status::Corruption("skip table entry counts disagree with header");
+  }
+  FTS_RETURN_IF_ERROR(GetVarint64(data, offset, &data_size));
+  if (data_size > data.size() - *offset) {  // subtract, don't add: no overflow
+    return Status::Corruption("truncated block payload");
+  }
+  if (num_blocks > 0 && skips.back().byte_offset >= data_size) {
+    return Status::Corruption("skip table points past block payload");
+  }
+  *list = BlockPostingList::FromParts(
+      block_size == 0 ? BlockPostingList::kDefaultBlockSize : block_size,
+      num_entries, total_positions, std::move(skips),
+      data.substr(*offset, data_size));
+  *offset += data_size;
+  return Status::OK();
+}
+
+void PutCommonSections(const InvertedIndex& index, std::string* out) {
   // Statistics.
   const IndexStats& s = index.stats();
   PutVarint64(out, s.cnodes);
@@ -128,19 +216,38 @@ void SaveIndexToString(const InvertedIndex& index, std::string* out) {
     PutVarint64(out, text.size());
     out->append(text);
   }
+}
 
-  // Token lists and IL_ANY.
-  for (TokenId t = 0; t < index.vocabulary_size(); ++t) {
-    PutPostingList(out, *index.list(t));
+}  // namespace
+
+void SaveIndexToString(const InvertedIndex& index, std::string* out,
+                       IndexFormat format) {
+  out->clear();
+  out->append(format == IndexFormat::kV1 ? kMagicV1 : kMagicV2, kMagicSize);
+  PutCommonSections(index, out);
+
+  if (format == IndexFormat::kV1) {
+    for (TokenId t = 0; t < index.vocabulary_size(); ++t) {
+      PutPostingList(out, *index.list(t));
+    }
+    PutPostingList(out, index.any_list());
+  } else {
+    for (TokenId t = 0; t < index.vocabulary_size(); ++t) {
+      PutBlockPostingList(out, *index.block_list(t));
+    }
+    PutBlockPostingList(out, index.block_any_list());
   }
-  PutPostingList(out, index.any_list());
 
-  PutFixed64(out, Fnv1a(*out, sizeof(kMagic), out->size()));
+  PutFixed64(out, Fnv1a(*out, kMagicSize, out->size()));
 }
 
 Status LoadIndexFromString(const std::string& data, InvertedIndex* out) {
-  if (data.size() < sizeof(kMagic) + 8 ||
-      std::memcmp(data.data(), kMagic, sizeof(kMagic)) != 0) {
+  if (data.size() < kMagicSize + 8) {
+    return Status::Corruption("bad index magic");
+  }
+  const bool is_v1 = std::memcmp(data.data(), kMagicV1, kMagicSize) == 0;
+  const bool is_v2 = std::memcmp(data.data(), kMagicV2, kMagicSize) == 0;
+  if (!is_v1 && !is_v2) {
     return Status::Corruption("bad index magic");
   }
   const size_t body_end = data.size() - 8;
@@ -148,13 +255,13 @@ Status LoadIndexFromString(const std::string& data, InvertedIndex* out) {
     size_t coff = body_end;
     uint64_t stored;
     FTS_RETURN_IF_ERROR(GetFixed64(data, &coff, &stored));
-    if (stored != Fnv1a(data, sizeof(kMagic), body_end)) {
+    if (stored != Fnv1a(data, kMagicSize, body_end)) {
       return Status::Corruption("index checksum mismatch");
     }
   }
 
   InvertedIndex index;
-  size_t offset = sizeof(kMagic);
+  size_t offset = kMagicSize;
   IndexStats& s = index.stats_;
   FTS_RETURN_IF_ERROR(GetVarint64(data, &offset, &s.cnodes));
   FTS_RETURN_IF_ERROR(GetVarint64(data, &offset, &s.total_positions));
@@ -165,6 +272,12 @@ Status LoadIndexFromString(const std::string& data, InvertedIndex* out) {
   FTS_RETURN_IF_ERROR(GetDouble(data, &offset, &s.avg_entries_per_token));
   FTS_RETURN_IF_ERROR(GetDouble(data, &offset, &s.avg_pos_per_entry));
 
+  // Bound every count read from the file by the bytes that could encode it
+  // before sizing containers: the checksum is recomputable by an attacker,
+  // so a crafted header must fail with Corruption, not a giant allocation.
+  if (s.cnodes > (body_end - offset) / 9) {  // >= 1 varint + 8-byte double each
+    return Status::Corruption("node count larger than remaining input");
+  }
   index.unique_tokens_.resize(s.cnodes);
   index.node_norms_.resize(s.cnodes);
   for (uint64_t n = 0; n < s.cnodes; ++n) {
@@ -174,11 +287,14 @@ Status LoadIndexFromString(const std::string& data, InvertedIndex* out) {
 
   uint64_t vocab;
   FTS_RETURN_IF_ERROR(GetVarint64(data, &offset, &vocab));
+  if (vocab > body_end - offset) {  // >= 1 length byte per token
+    return Status::Corruption("vocabulary larger than remaining input");
+  }
   index.token_texts_.reserve(vocab);
   for (uint64_t t = 0; t < vocab; ++t) {
     uint64_t len;
     FTS_RETURN_IF_ERROR(GetVarint64(data, &offset, &len));
-    if (offset + len > body_end) {
+    if (len > body_end - offset) {  // subtract, don't add: no overflow
       return Status::Corruption("truncated dictionary string");
     }
     index.token_texts_.emplace_back(data.substr(offset, len));
@@ -186,11 +302,21 @@ Status LoadIndexFromString(const std::string& data, InvertedIndex* out) {
     offset += len;
   }
 
-  index.lists_.resize(vocab);
-  for (uint64_t t = 0; t < vocab; ++t) {
-    FTS_RETURN_IF_ERROR(GetPostingList(data, &offset, &index.lists_[t]));
+  if (is_v1) {
+    index.lists_.resize(vocab);
+    for (uint64_t t = 0; t < vocab; ++t) {
+      FTS_RETURN_IF_ERROR(GetPostingList(data, &offset, &index.lists_[t]));
+    }
+    FTS_RETURN_IF_ERROR(GetPostingList(data, &offset, &index.any_list_));
+    index.RebuildBlockLists();
+  } else {
+    index.block_lists_.resize(vocab);
+    for (uint64_t t = 0; t < vocab; ++t) {
+      FTS_RETURN_IF_ERROR(GetBlockPostingList(data, &offset, &index.block_lists_[t]));
+    }
+    FTS_RETURN_IF_ERROR(GetBlockPostingList(data, &offset, index.block_any_list_.get()));
+    FTS_RETURN_IF_ERROR(index.MaterializeRawLists());
   }
-  FTS_RETURN_IF_ERROR(GetPostingList(data, &offset, &index.any_list_));
 
   if (offset != body_end) {
     return Status::Corruption("trailing bytes in index payload");
@@ -199,9 +325,10 @@ Status LoadIndexFromString(const std::string& data, InvertedIndex* out) {
   return Status::OK();
 }
 
-Status SaveIndexToFile(const InvertedIndex& index, const std::string& path) {
+Status SaveIndexToFile(const InvertedIndex& index, const std::string& path,
+                       IndexFormat format) {
   std::string data;
-  SaveIndexToString(index, &data);
+  SaveIndexToString(index, &data, format);
   std::ofstream f(path, std::ios::binary | std::ios::trunc);
   if (!f) return Status::IOError("cannot open for write: " + path);
   f.write(data.data(), static_cast<std::streamsize>(data.size()));

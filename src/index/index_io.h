@@ -1,10 +1,17 @@
 // Binary serialization of InvertedIndex.
 //
-// Format (version 1): a "FTSIDX1\0" magic, followed by varint-encoded
-// sections. Node ids are delta-coded across entries and position offsets
-// delta-coded within entries; sentence/paragraph ordinals are delta-coded
-// against the previous position. Doubles are stored as fixed 64-bit IEEE
-// bits. A trailing 64-bit FNV-1a checksum detects truncation/corruption.
+// Two versions share a common envelope — an 8-byte magic whose 7th byte is
+// the version digit, varint-coded sections, and a trailing 64-bit FNV-1a
+// checksum that detects truncation/corruption:
+//
+//   v1 ("FTSIDX1\0"): posting lists as flat delta-coded entry streams.
+//   v2 ("FTSIDX2\0"): posting lists in the block-compressed skip-seekable
+//       layout of BlockPostingList (see docs/index_format.md). Loading v2
+//       adopts the compressed blocks directly — no per-entry re-encode —
+//       and materializes the raw lists from them.
+//
+// Saving defaults to v2; v1 output is kept for compatibility and size
+// comparison. Loading sniffs the magic and accepts both.
 
 #ifndef FTS_INDEX_INDEX_IO_H_
 #define FTS_INDEX_INDEX_IO_H_
@@ -16,14 +23,23 @@
 
 namespace fts {
 
-/// Serializes `index` into `out` (replacing its contents).
-void SaveIndexToString(const InvertedIndex& index, std::string* out);
+/// On-disk format version selector for Save*.
+enum class IndexFormat {
+  kV1 = 1,  ///< flat posting streams (legacy)
+  kV2 = 2,  ///< block-compressed, skip-seekable postings (default)
+};
 
-/// Deserializes an index previously produced by SaveIndexToString.
+/// Serializes `index` into `out` (replacing its contents).
+void SaveIndexToString(const InvertedIndex& index, std::string* out,
+                       IndexFormat format = IndexFormat::kV2);
+
+/// Deserializes an index previously produced by SaveIndexToString (either
+/// format version; detected from the magic).
 Status LoadIndexFromString(const std::string& data, InvertedIndex* out);
 
 /// Writes the serialized index to `path` (atomic rename not attempted).
-Status SaveIndexToFile(const InvertedIndex& index, const std::string& path);
+Status SaveIndexToFile(const InvertedIndex& index, const std::string& path,
+                       IndexFormat format = IndexFormat::kV2);
 
 /// Reads and deserializes an index from `path`.
 Status LoadIndexFromFile(const std::string& path, InvertedIndex* out);

@@ -2,7 +2,15 @@
 
 #include <cassert>
 
+#include "index/block_posting_list.h"
+
 namespace fts {
+
+InvertedIndex::InvertedIndex()
+    : block_any_list_(std::make_unique<BlockPostingList>()) {}
+InvertedIndex::~InvertedIndex() = default;
+InvertedIndex::InvertedIndex(InvertedIndex&&) noexcept = default;
+InvertedIndex& InvertedIndex::operator=(InvertedIndex&&) noexcept = default;
 
 void PostingList::Append(NodeId node, std::span<const PositionInfo> positions) {
   assert(entries_.empty() || entries_.back().node < node);
@@ -12,6 +20,41 @@ void PostingList::Append(NodeId node, std::span<const PositionInfo> positions) {
   e.pos_count = static_cast<uint32_t>(positions.size());
   positions_.insert(positions_.end(), positions.begin(), positions.end());
   entries_.push_back(e);
+}
+
+NodeId ListCursor::SeekEntry(NodeId target) {
+  if (exhausted_) return kInvalidNode;
+  if (started_ && node_ != kInvalidNode && node_ >= target) {
+    return node_;  // backward (or in-place) seeks do not move the cursor
+  }
+  if (list_ == nullptr || list_->num_entries() == 0) {
+    started_ = true;
+    exhausted_ = true;
+    node_ = kInvalidNode;
+    return kInvalidNode;
+  }
+  // Binary search over the remaining entries for the first node >= target.
+  size_t lo = started_ ? idx_ + 1 : 0;
+  size_t hi = list_->num_entries();
+  while (lo < hi) {
+    const size_t mid = lo + (hi - lo) / 2;
+    if (counters_ != nullptr) ++counters_->skip_checks;
+    if (list_->entry(mid).node < target) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  started_ = true;
+  if (lo >= list_->num_entries()) {
+    exhausted_ = true;
+    node_ = kInvalidNode;
+    return kInvalidNode;
+  }
+  idx_ = lo;
+  if (counters_ != nullptr) ++counters_->entries_scanned;
+  node_ = list_->entry(idx_).node;
+  return node_;
 }
 
 NodeId ListCursor::NextEntry() {
@@ -52,6 +95,57 @@ std::string IndexStats::ToString() const {
 const PostingList* InvertedIndex::list_for_text(std::string_view token) const {
   TokenId id = LookupToken(token);
   return id == kInvalidToken ? nullptr : list(id);
+}
+
+const BlockPostingList* InvertedIndex::block_list(TokenId token) const {
+  return token < block_lists_.size() ? &block_lists_[token] : nullptr;
+}
+
+const BlockPostingList* InvertedIndex::block_list_for_text(
+    std::string_view token) const {
+  TokenId id = LookupToken(token);
+  return id == kInvalidToken ? nullptr : block_list(id);
+}
+
+const BlockPostingList& InvertedIndex::block_any_list() const {
+  return *block_any_list_;
+}
+
+void InvertedIndex::RebuildBlockLists() {
+  block_lists_.clear();
+  block_lists_.reserve(lists_.size());
+  for (const PostingList& l : lists_) {
+    block_lists_.push_back(BlockPostingList::FromPostingList(l));
+  }
+  *block_any_list_ = BlockPostingList::FromPostingList(any_list_);
+}
+
+Status InvertedIndex::MaterializeRawLists() {
+  const auto decode_into = [](const BlockPostingList& block, PostingList* raw) {
+    std::vector<PostingEntry> entries;
+    std::vector<PositionInfo> positions;
+    bool have_prev = false;
+    NodeId prev = 0;
+    for (size_t b = 0; b < block.num_blocks(); ++b) {
+      FTS_RETURN_IF_ERROR(block.DecodeBlock(b, &entries, &positions));
+      for (const PostingEntry& e : entries) {
+        if (have_prev && e.node <= prev) {
+          return Status::Corruption("non-increasing node ids across blocks");
+        }
+        prev = e.node;
+        have_prev = true;
+        raw->Append(e.node, {positions.data() + e.pos_begin, e.pos_count});
+      }
+    }
+    return Status::OK();
+  };
+  lists_.clear();
+  lists_.resize(block_lists_.size());
+  for (size_t t = 0; t < block_lists_.size(); ++t) {
+    FTS_RETURN_IF_ERROR(decode_into(block_lists_[t], &lists_[t]));
+  }
+  any_list_ = PostingList();
+  return decode_into(*block_any_list_, &any_list_);
 }
 
 TokenId InvertedIndex::LookupToken(std::string_view token) const {

@@ -13,6 +13,7 @@
 #ifndef FTS_INDEX_INVERTED_INDEX_H_
 #define FTS_INDEX_INVERTED_INDEX_H_
 
+#include <memory>
 #include <span>
 #include <string>
 #include <string_view>
@@ -73,8 +74,19 @@ class ListCursor {
   /// when the list is exhausted. The first call lands on the first entry.
   NodeId NextEntry();
 
+  /// Positions the cursor on the first entry with node id >= `target` and
+  /// returns that id (kInvalidNode if none remains). Starts the cursor if
+  /// needed; backward seeks do not move it. This is outside the paper's
+  /// sequential cost model: the binary-search probes are charged to
+  /// EvalCounters::skip_checks and only the landing entry to
+  /// entries_scanned (see BlockListCursor for the compressed analogue).
+  NodeId SeekEntry(NodeId target);
+
   /// PosList of the current entry; NextEntry() must have returned a node.
   std::span<const PositionInfo> GetPositions();
+
+  /// Position count of the current entry without reading the PosList.
+  uint32_t pos_count() const { return list_->entry(idx_).pos_count; }
 
   /// Node id of the current entry (kInvalidNode before first NextEntry()
   /// or after exhaustion).
@@ -107,11 +119,22 @@ struct IndexStats {
   std::string ToString() const;
 };
 
+class BlockPostingList;  // index/block_posting_list.h
+
 /// Immutable inverted index over a corpus. Build with IndexBuilder; persist
 /// with SaveIndex/LoadIndex (index/index_io.h).
+///
+/// Every list is held in two synchronized representations: the raw
+/// random-access PostingList (the decoded working form used by materialized
+/// COMP evaluation and the paper-faithful sequential cursors) and the
+/// block-compressed BlockPostingList (the seekable form used by the
+/// seek-enabled engines and the v2 on-disk format).
 class InvertedIndex {
  public:
-  InvertedIndex() = default;
+  InvertedIndex();
+  ~InvertedIndex();
+  InvertedIndex(InvertedIndex&&) noexcept;
+  InvertedIndex& operator=(InvertedIndex&&) noexcept;
 
   /// Inverted list for a token id; nullptr if out of range (OOV tokens have
   /// empty, not missing, semantics: queries on them match nothing).
@@ -122,8 +145,17 @@ class InvertedIndex {
   /// Inverted list by token text (normalized spelling); nullptr if OOV.
   const PostingList* list_for_text(std::string_view token) const;
 
+  /// Block-compressed list for a token id; nullptr if OOV.
+  const BlockPostingList* block_list(TokenId token) const;
+
+  /// Block-compressed list by token text; nullptr if OOV.
+  const BlockPostingList* block_list_for_text(std::string_view token) const;
+
   /// IL_ANY: one entry per context node holding all its positions.
   const PostingList& any_list() const { return any_list_; }
+
+  /// Block-compressed IL_ANY.
+  const BlockPostingList& block_any_list() const;
 
   /// Dictionary lookups.
   TokenId LookupToken(std::string_view token) const;
@@ -149,8 +181,19 @@ class InvertedIndex {
   friend class IndexBuilder;
   friend Status LoadIndexFromString(const std::string& data, InvertedIndex* out);
 
+  /// Recomputes the block-compressed lists from the raw ones (index build
+  /// and v1 load paths). Defined in the .cc (BlockPostingList is incomplete
+  /// here).
+  void RebuildBlockLists();
+
+  /// Recomputes the raw lists from the block-compressed ones (v2 load path).
+  /// Returns Corruption if a block payload is malformed.
+  Status MaterializeRawLists();
+
   std::vector<PostingList> lists_;          // indexed by TokenId
   PostingList any_list_;                    // IL_ANY
+  std::vector<BlockPostingList> block_lists_;          // indexed by TokenId
+  std::unique_ptr<BlockPostingList> block_any_list_;   // compressed IL_ANY
   std::vector<std::string> token_texts_;    // TokenId -> spelling
   std::unordered_map<std::string, TokenId> token_ids_;
   std::vector<uint32_t> unique_tokens_;     // NodeId -> distinct token count

@@ -1,0 +1,240 @@
+#include "index/block_posting_list.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "index/index_builder.h"
+#include "workload/corpus_gen.h"
+
+namespace fts {
+namespace {
+
+PostingList MakeRawList(uint32_t num_entries, uint32_t stride, uint32_t pos_per_entry) {
+  PostingList raw;
+  for (uint32_t i = 0; i < num_entries; ++i) {
+    std::vector<PositionInfo> positions;
+    for (uint32_t j = 0; j < pos_per_entry; ++j) {
+      positions.push_back(PositionInfo{10 * j + i % 7, j / 3, j / 6});
+    }
+    raw.Append(1 + i * stride, positions);
+  }
+  return raw;
+}
+
+void ExpectListsEqual(const PostingList& a, const PostingList& b) {
+  ASSERT_EQ(a.num_entries(), b.num_entries());
+  ASSERT_EQ(a.total_positions(), b.total_positions());
+  for (size_t i = 0; i < a.num_entries(); ++i) {
+    EXPECT_EQ(a.entry(i).node, b.entry(i).node);
+    auto pa = a.positions(a.entry(i));
+    auto pb = b.positions(b.entry(i));
+    ASSERT_EQ(pa.size(), pb.size());
+    for (size_t j = 0; j < pa.size(); ++j) {
+      EXPECT_EQ(pa[j].offset, pb[j].offset);
+      EXPECT_EQ(pa[j].sentence, pb[j].sentence);
+      EXPECT_EQ(pa[j].paragraph, pb[j].paragraph);
+    }
+  }
+}
+
+TEST(BlockPostingListTest, RoundTripsThroughMaterialize) {
+  PostingList raw = MakeRawList(1000, 3, 5);
+  BlockPostingList block = BlockPostingList::FromPostingList(raw, 128);
+  EXPECT_EQ(block.num_entries(), raw.num_entries());
+  EXPECT_EQ(block.total_positions(), raw.total_positions());
+  EXPECT_EQ(block.num_blocks(), (1000 + 127) / 128);
+  ExpectListsEqual(raw, block.Materialize());
+}
+
+TEST(BlockPostingListTest, PartialTailBlockIsFlushed) {
+  PostingList raw = MakeRawList(130, 2, 1);
+  BlockPostingList block = BlockPostingList::FromPostingList(raw, 128);
+  ASSERT_EQ(block.num_blocks(), 2u);
+  EXPECT_EQ(block.skip(0).entry_count, 128u);
+  EXPECT_EQ(block.skip(1).entry_count, 2u);
+  ExpectListsEqual(raw, block.Materialize());
+}
+
+TEST(BlockPostingListTest, SkipHeadersCoverBlocks) {
+  PostingList raw = MakeRawList(300, 2, 1);  // nodes 1, 3, 5, ...
+  BlockPostingList block = BlockPostingList::FromPostingList(raw, 100);
+  ASSERT_EQ(block.num_blocks(), 3u);
+  EXPECT_EQ(block.skip(0).max_node, raw.entry(99).node);
+  EXPECT_EQ(block.skip(1).max_node, raw.entry(199).node);
+  EXPECT_EQ(block.skip(2).max_node, raw.entry(299).node);
+  EXPECT_EQ(block.skip(0).byte_offset, 0u);
+  EXPECT_LT(block.skip(1).byte_offset, block.skip(2).byte_offset);
+}
+
+TEST(BlockPostingListTest, HeaderOnlyDecodeMatchesFullDecode) {
+  PostingList raw = MakeRawList(250, 5, 4);
+  BlockPostingList block = BlockPostingList::FromPostingList(raw, 64);
+  std::vector<BlockPostingList::EntryRef> refs;
+  std::vector<PostingEntry> entries;
+  std::vector<PositionInfo> positions, entry_positions;
+  for (size_t b = 0; b < block.num_blocks(); ++b) {
+    ASSERT_TRUE(block.DecodeBlockEntries(b, &refs).ok());
+    ASSERT_TRUE(block.DecodeBlock(b, &entries, &positions).ok());
+    ASSERT_EQ(refs.size(), entries.size());
+    for (size_t i = 0; i < refs.size(); ++i) {
+      EXPECT_EQ(refs[i].header.node, entries[i].node);
+      EXPECT_EQ(refs[i].header.pos_count, entries[i].pos_count);
+      ASSERT_TRUE(block.DecodePositions(refs[i], &entry_positions).ok());
+      ASSERT_EQ(entry_positions.size(), entries[i].pos_count);
+      for (size_t j = 0; j < entry_positions.size(); ++j) {
+        EXPECT_EQ(entry_positions[j], positions[entries[i].pos_begin + j]);
+      }
+    }
+  }
+}
+
+TEST(BlockListCursorTest, SequentialScanMatchesRawCursor) {
+  PostingList raw = MakeRawList(500, 4, 3);
+  BlockPostingList block = BlockPostingList::FromPostingList(raw, 64);
+  ListCursor rc(&raw);
+  BlockListCursor bc(&block);
+  while (true) {
+    const NodeId a = rc.NextEntry();
+    const NodeId b = bc.NextEntry();
+    ASSERT_EQ(a, b);
+    if (a == kInvalidNode) break;
+    auto pa = rc.GetPositions();
+    auto pb = bc.GetPositions();
+    ASSERT_EQ(pa.size(), pb.size());
+    EXPECT_EQ(bc.pos_count(), pb.size());
+    for (size_t j = 0; j < pa.size(); ++j) EXPECT_EQ(pa[j], pb[j]);
+  }
+  EXPECT_TRUE(bc.exhausted());
+}
+
+TEST(BlockListCursorTest, SeekToFirstNode) {
+  PostingList raw = MakeRawList(300, 2, 1);  // nodes 1, 3, ..., 599
+  BlockPostingList block = BlockPostingList::FromPostingList(raw, 50);
+  BlockListCursor cursor(&block);
+  EXPECT_EQ(cursor.SeekEntry(0), 1u);
+  EXPECT_EQ(cursor.current_node(), 1u);
+}
+
+TEST(BlockListCursorTest, SeekToLastNode) {
+  PostingList raw = MakeRawList(300, 2, 1);
+  BlockPostingList block = BlockPostingList::FromPostingList(raw, 50);
+  BlockListCursor cursor(&block);
+  EXPECT_EQ(cursor.SeekEntry(599), 599u);
+  EXPECT_EQ(cursor.NextEntry(), kInvalidNode);
+}
+
+TEST(BlockListCursorTest, SeekToAbsentNodeLandsOnSuccessor) {
+  PostingList raw = MakeRawList(300, 2, 1);  // odd nodes only
+  BlockPostingList block = BlockPostingList::FromPostingList(raw, 50);
+  BlockListCursor cursor(&block);
+  EXPECT_EQ(cursor.SeekEntry(100), 101u);  // 100 absent -> first node >= 100
+}
+
+TEST(BlockListCursorTest, SeekPastEndExhausts) {
+  PostingList raw = MakeRawList(300, 2, 1);
+  BlockPostingList block = BlockPostingList::FromPostingList(raw, 50);
+  BlockListCursor cursor(&block);
+  EXPECT_EQ(cursor.SeekEntry(600), kInvalidNode);
+  EXPECT_TRUE(cursor.exhausted());
+  EXPECT_EQ(cursor.SeekEntry(1), kInvalidNode);  // stays exhausted
+}
+
+TEST(BlockListCursorTest, BackwardSeekIsRejected) {
+  PostingList raw = MakeRawList(300, 2, 1);
+  BlockPostingList block = BlockPostingList::FromPostingList(raw, 50);
+  BlockListCursor cursor(&block);
+  ASSERT_EQ(cursor.SeekEntry(401), 401u);
+  EXPECT_EQ(cursor.SeekEntry(7), 401u);  // backward: cursor does not move
+  EXPECT_EQ(cursor.current_node(), 401u);
+}
+
+TEST(BlockListCursorTest, EmptyAndNullListsExhaustImmediately) {
+  BlockPostingList empty;
+  BlockListCursor c1(&empty);
+  EXPECT_EQ(c1.SeekEntry(0), kInvalidNode);
+  EXPECT_TRUE(c1.exhausted());
+  BlockListCursor c2(nullptr);
+  EXPECT_EQ(c2.SeekEntry(5), kInvalidNode);
+  BlockListCursor c3(nullptr);
+  EXPECT_EQ(c3.NextEntry(), kInvalidNode);
+}
+
+TEST(BlockListCursorTest, SeekWithinCurrentBlockAdvances) {
+  PostingList raw = MakeRawList(100, 2, 1);  // one block of 128 capacity
+  BlockPostingList block = BlockPostingList::FromPostingList(raw, 128);
+  ASSERT_EQ(block.num_blocks(), 1u);
+  EvalCounters counters;
+  BlockListCursor cursor(&block, &counters);
+  ASSERT_EQ(cursor.NextEntry(), 1u);
+  EXPECT_EQ(cursor.SeekEntry(51), 51u);
+  EXPECT_EQ(cursor.SeekEntry(52), 53u);
+  EXPECT_EQ(counters.blocks_decoded, 1u);  // never re-decoded
+}
+
+TEST(BlockListCursorTest, SeekDecodesSubLinearEntryCount) {
+  // 10k entries in 79 blocks of 128: one cold seek must decode exactly one
+  // block (plus O(log blocks) skip probes), not the whole list.
+  PostingList raw = MakeRawList(10000, 3, 2);
+  BlockPostingList block = BlockPostingList::FromPostingList(raw, 128);
+  EvalCounters counters;
+  BlockListCursor cursor(&block, &counters);
+  const NodeId target = raw.entry(7000).node;
+  EXPECT_EQ(cursor.SeekEntry(target), target);
+  EXPECT_EQ(counters.blocks_decoded, 1u);
+  EXPECT_EQ(counters.entries_decoded, 128u);
+  EXPECT_LE(counters.skip_checks, 8u);  // ~log2(79)
+  EXPECT_LT(counters.entries_decoded, block.num_entries() / 10);
+}
+
+TEST(BlockListCursorTest, InterleavedSeekAndNextMatchRawReference) {
+  PostingList raw = MakeRawList(2000, 3, 2);
+  BlockPostingList block = BlockPostingList::FromPostingList(raw, 128);
+  Rng rng(99);
+  ListCursor rc(&raw);
+  BlockListCursor bc(&block);
+  for (int step = 0; step < 500; ++step) {
+    if (rng.Bernoulli(0.5)) {
+      ASSERT_EQ(rc.NextEntry(), bc.NextEntry());
+    } else {
+      const NodeId target = rng.Uniform(7000);
+      ASSERT_EQ(rc.SeekEntry(target), bc.SeekEntry(target)) << "target " << target;
+    }
+    if (rc.exhausted()) break;
+    ASSERT_EQ(rc.GetPositions().size(), bc.GetPositions().size());
+  }
+}
+
+TEST(BlockListCursorTest, WorksOnIndexBuiltLists) {
+  CorpusGenOptions opts;
+  opts.num_nodes = 400;
+  opts.vocabulary = 500;
+  opts.num_topic_tokens = 2;
+  InvertedIndex index = IndexBuilder::Build(GenerateCorpus(opts));
+  const BlockPostingList* block = index.block_list_for_text(TopicToken(0));
+  const PostingList* raw = index.list_for_text(TopicToken(0));
+  ASSERT_NE(block, nullptr);
+  ASSERT_NE(raw, nullptr);
+  EXPECT_EQ(block->num_entries(), raw->num_entries());
+  ExpectListsEqual(*raw, block->Materialize());
+  EXPECT_EQ(index.block_any_list().num_entries(), index.any_list().num_entries());
+}
+
+TEST(BlockPostingListTest, CompressedFootprintIsSmallerThanRawStructs) {
+  CorpusGenOptions opts;
+  opts.num_nodes = 2000;
+  opts.num_topic_tokens = 2;
+  opts.topic_occurrences = 6;
+  InvertedIndex index = IndexBuilder::Build(GenerateCorpus(opts));
+  const PostingList* raw = index.list_for_text(TopicToken(0));
+  const BlockPostingList* block = index.block_list_for_text(TopicToken(0));
+  ASSERT_NE(raw, nullptr);
+  const size_t raw_bytes = raw->num_entries() * sizeof(PostingEntry) +
+                           raw->total_positions() * sizeof(PositionInfo);
+  // The acceptance bar for the block layout: at least 2x smaller than the
+  // raw in-memory representation it replaces on disk.
+  EXPECT_LE(block->byte_size() * 2, raw_bytes)
+      << "block=" << block->byte_size() << " raw=" << raw_bytes;
+}
+
+}  // namespace
+}  // namespace fts

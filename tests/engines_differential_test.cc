@@ -128,6 +128,7 @@ TEST_P(EngineDifferential, BoolEngineMatchesOracle) {
   Corpus corpus = RandomCorpus(&rng, 10, 12);
   InvertedIndex index = IndexBuilder::Build(corpus);
   BoolEngine engine(&index, ScoringKind::kNone);
+  BoolEngine seeking(&index, ScoringKind::kNone, CursorMode::kSeek);
   CompEngine comp(&index, ScoringKind::kNone);
   for (int trial = 0; trial < 30; ++trial) {
     LangExprPtr q = RandomBool(&rng, 3);
@@ -135,6 +136,9 @@ TEST_P(EngineDifferential, BoolEngineMatchesOracle) {
     auto got = engine.Evaluate(q);
     ASSERT_TRUE(got.ok()) << q->ToString();
     EXPECT_EQ(got->nodes, expected) << q->ToString();
+    auto via_seek = seeking.Evaluate(q);
+    ASSERT_TRUE(via_seek.ok()) << q->ToString();
+    EXPECT_EQ(via_seek->nodes, expected) << q->ToString();
     auto via_comp = comp.Evaluate(q);
     ASSERT_TRUE(via_comp.ok()) << q->ToString();
     EXPECT_EQ(via_comp->nodes, expected) << q->ToString();
@@ -146,6 +150,7 @@ TEST_P(EngineDifferential, PpredEngineMatchesOracle) {
   Corpus corpus = RandomCorpus(&rng, 12, 14);
   InvertedIndex index = IndexBuilder::Build(corpus);
   PpredEngine engine(&index, ScoringKind::kNone);
+  PpredEngine seeking(&index, ScoringKind::kNone, CursorMode::kSeek);
   CompEngine comp(&index, ScoringKind::kNone);
   for (int trial = 0; trial < 25; ++trial) {
     LangExprPtr q = RandomPipelined(&rng, /*allow_negative=*/false);
@@ -156,6 +161,9 @@ TEST_P(EngineDifferential, PpredEngineMatchesOracle) {
     auto got = engine.Evaluate(q);
     ASSERT_TRUE(got.ok()) << q->ToString() << ": " << got.status().ToString();
     EXPECT_EQ(got->nodes, expected) << q->ToString();
+    auto via_seek = seeking.Evaluate(q);
+    ASSERT_TRUE(via_seek.ok()) << q->ToString();
+    EXPECT_EQ(via_seek->nodes, expected) << q->ToString();
     auto via_comp = comp.Evaluate(q);
     ASSERT_TRUE(via_comp.ok());
     EXPECT_EQ(via_comp->nodes, expected) << q->ToString();
@@ -168,6 +176,8 @@ TEST_P(EngineDifferential, NpredEngineMatchesOracle) {
   InvertedIndex index = IndexBuilder::Build(corpus);
   NpredEngine engine(&index, ScoringKind::kNone);
   NpredEngine total(&index, ScoringKind::kNone, NpredOrderingMode::kAllTotalOrders);
+  NpredEngine seeking(&index, ScoringKind::kNone,
+                      NpredOrderingMode::kNecessaryPartialOrders, CursorMode::kSeek);
   CompEngine comp(&index, ScoringKind::kNone);
   for (int trial = 0; trial < 20; ++trial) {
     LangExprPtr q = RandomPipelined(&rng, /*allow_negative=*/true);
@@ -178,6 +188,9 @@ TEST_P(EngineDifferential, NpredEngineMatchesOracle) {
     auto got_total = total.Evaluate(q);
     ASSERT_TRUE(got_total.ok()) << q->ToString();
     EXPECT_EQ(got_total->nodes, expected) << q->ToString();
+    auto via_seek = seeking.Evaluate(q);
+    ASSERT_TRUE(via_seek.ok()) << q->ToString();
+    EXPECT_EQ(via_seek->nodes, expected) << q->ToString();
     auto via_comp = comp.Evaluate(q);
     ASSERT_TRUE(via_comp.ok());
     EXPECT_EQ(via_comp->nodes, expected) << q->ToString();
@@ -233,6 +246,70 @@ TEST_P(EngineDifferential, EnginesAgreeOnStructuredCorpora) {
     ASSERT_TRUE(via_npred.ok()) << q->ToString();
     EXPECT_EQ(via_npred->nodes, expected) << q->ToString();
   }
+}
+
+TEST_P(EngineDifferential, SeekMatchesSequentialScoresExactly) {
+  // Seek mode must be a pure access-path change: node sets AND scores are
+  // bit-identical to the sequential engines.
+  Rng rng(GetParam() * 31337 + 5);
+  Corpus corpus = RandomCorpus(&rng, 14, 16);
+  InvertedIndex index = IndexBuilder::Build(corpus);
+  for (ScoringKind scoring : {ScoringKind::kTfIdf, ScoringKind::kProbabilistic}) {
+    BoolEngine sequential(&index, scoring);
+    BoolEngine seeking(&index, scoring, CursorMode::kSeek);
+    PpredEngine pseq(&index, scoring);
+    PpredEngine pseek(&index, scoring, CursorMode::kSeek);
+    for (int trial = 0; trial < 15; ++trial) {
+      LangExprPtr bq = RandomBool(&rng, 3);
+      auto a = sequential.Evaluate(bq);
+      auto b = seeking.Evaluate(bq);
+      ASSERT_TRUE(a.ok() && b.ok()) << bq->ToString();
+      EXPECT_EQ(a->nodes, b->nodes) << bq->ToString();
+      EXPECT_EQ(a->scores, b->scores) << bq->ToString();
+
+      LangExprPtr pq = RandomPipelined(&rng, /*allow_negative=*/false);
+      auto c = pseq.Evaluate(pq);
+      auto d = pseek.Evaluate(pq);
+      ASSERT_TRUE(c.ok() && d.ok()) << pq->ToString();
+      EXPECT_EQ(c->nodes, d->nodes) << pq->ToString();
+      EXPECT_EQ(c->scores, d->scores) << pq->ToString();
+    }
+  }
+}
+
+TEST(SeekEfficiencyTest, ZigZagAndDecodesSubLinearly) {
+  // A rare token AND a dense token: the seek engine must touch a small
+  // fraction of the dense list's entries, while the sequential engine walks
+  // both lists end to end. This pins the acceptance criterion that seeks
+  // perform sub-linear entry decodes, observed through EvalCounters.
+  Corpus corpus;
+  for (int d = 0; d < 4000; ++d) {
+    std::string text = "filler common ";
+    if (d % 2 == 0) text += "dense ";
+    if (d % 500 == 0) text += "needle ";
+    corpus.AddDocument(text);
+  }
+  InvertedIndex index = IndexBuilder::Build(corpus);
+  BoolEngine sequential(&index, ScoringKind::kNone);
+  BoolEngine seeking(&index, ScoringKind::kNone, CursorMode::kSeek);
+  LangExprPtr q = LangExpr::And(LangExpr::Token("needle"), LangExpr::Token("dense"));
+
+  auto seq = sequential.Evaluate(q);
+  auto seek = seeking.Evaluate(q);
+  ASSERT_TRUE(seq.ok() && seek.ok());
+  EXPECT_EQ(seq->nodes, seek->nodes);
+  ASSERT_FALSE(seek->nodes.empty());
+
+  const uint64_t dense_entries = index.df(index.LookupToken("dense"));
+  ASSERT_EQ(dense_entries, 2000u);
+  // Sequential: every entry of both lists is scanned.
+  EXPECT_GE(seq->counters.entries_scanned, dense_entries);
+  EXPECT_EQ(seq->counters.entries_decoded, 0u);
+  // Seek: a handful of landings, with sub-linear block decodes.
+  EXPECT_LT(seek->counters.entries_scanned, dense_entries / 10);
+  EXPECT_GT(seek->counters.skip_checks, 0u);
+  EXPECT_GT(seek->counters.blocks_decoded, 0u);
+  EXPECT_LT(seek->counters.entries_decoded, dense_entries);
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, EngineDifferential,

@@ -111,5 +111,55 @@ TEST(IndexIoTest, MissingFileIsIOError) {
             StatusCode::kIOError);
 }
 
+TEST(IndexIoTest, V1FilesStillLoad) {
+  // Backward compat: an index saved in the legacy flat v1 format loads into
+  // an index equal to the original (including rebuilt block lists).
+  InvertedIndex index = BuildTestIndex();
+  std::string data;
+  SaveIndexToString(index, &data, IndexFormat::kV1);
+  ASSERT_EQ(data[6], '1');  // v1 magic
+  InvertedIndex loaded;
+  ASSERT_TRUE(LoadIndexFromString(data, &loaded).ok());
+  ExpectIndexEq(index, loaded);
+}
+
+TEST(IndexIoTest, V2IsTheDefaultFormat) {
+  InvertedIndex index = BuildTestIndex();
+  std::string data;
+  SaveIndexToString(index, &data);
+  EXPECT_EQ(data[6], '2');  // v2 magic
+}
+
+TEST(IndexIoTest, V1AndV2LoadsAreEquivalent) {
+  InvertedIndex index = BuildTestIndex();
+  std::string v1, v2;
+  SaveIndexToString(index, &v1, IndexFormat::kV1);
+  SaveIndexToString(index, &v2, IndexFormat::kV2);
+  InvertedIndex from_v1, from_v2;
+  ASSERT_TRUE(LoadIndexFromString(v1, &from_v1).ok());
+  ASSERT_TRUE(LoadIndexFromString(v2, &from_v2).ok());
+  ExpectIndexEq(from_v1, from_v2);
+}
+
+TEST(IndexIoTest, V2SurvivesResaveRoundTrip) {
+  // v2 -> load -> save -> load is byte-stable and content-equal.
+  InvertedIndex index = BuildTestIndex();
+  std::string first, second;
+  SaveIndexToString(index, &first);
+  InvertedIndex loaded;
+  ASSERT_TRUE(LoadIndexFromString(first, &loaded).ok());
+  SaveIndexToString(loaded, &second);
+  EXPECT_EQ(first, second);
+}
+
+TEST(IndexIoTest, V1RejectsCorruption) {
+  InvertedIndex index = BuildTestIndex();
+  std::string data;
+  SaveIndexToString(index, &data, IndexFormat::kV1);
+  data[data.size() / 3] = static_cast<char>(data[data.size() / 3] ^ 0x10);
+  InvertedIndex loaded;
+  EXPECT_EQ(LoadIndexFromString(data, &loaded).code(), StatusCode::kCorruption);
+}
+
 }  // namespace
 }  // namespace fts

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "index/block_posting_list.h"
 #include "index/index_builder.h"
 #include "text/corpus.h"
 
@@ -99,6 +100,55 @@ TEST(ListCursorTest, NullListIsImmediatelyExhausted) {
   ListCursor cursor(nullptr);
   EXPECT_EQ(cursor.NextEntry(), kInvalidNode);
   EXPECT_TRUE(cursor.exhausted());
+}
+
+TEST(ListCursorTest, SeekEntryLandsOnFirstNodeAtOrAfterTarget) {
+  Corpus corpus = SmallCorpus();
+  InvertedIndex index = IndexBuilder::Build(corpus);
+  EvalCounters counters;
+  // "software" is in nodes 0 and 1.
+  ListCursor cursor(index.list_for_text("software"), &counters);
+  EXPECT_EQ(cursor.SeekEntry(0), 0u);   // seek starts the cursor
+  EXPECT_EQ(cursor.SeekEntry(1), 1u);   // forward to the last entry
+  EXPECT_EQ(cursor.GetPositions().size(), 1u);
+  EXPECT_EQ(cursor.SeekEntry(0), 1u);   // backward seek: no movement
+  EXPECT_EQ(cursor.SeekEntry(2), kInvalidNode);  // past the end
+  EXPECT_TRUE(cursor.exhausted());
+  EXPECT_EQ(cursor.SeekEntry(0), kInvalidNode);  // stays exhausted
+  EXPECT_GT(counters.skip_checks, 0u);
+}
+
+TEST(ListCursorTest, SeekEntryOnAbsentNodeSkipsToSuccessor) {
+  Corpus corpus;
+  corpus.AddDocument("alpha");      // node 0
+  corpus.AddDocument("beta");       // node 1
+  corpus.AddDocument("alpha too");  // node 2
+  InvertedIndex index = IndexBuilder::Build(corpus);
+  ListCursor cursor(index.list_for_text("alpha"));
+  EXPECT_EQ(cursor.SeekEntry(1), 2u);  // node 1 lacks "alpha"
+}
+
+TEST(ListCursorTest, SeekEntryOnNullAndEmptyLists) {
+  ListCursor null_cursor(nullptr);
+  EXPECT_EQ(null_cursor.SeekEntry(0), kInvalidNode);
+  EXPECT_TRUE(null_cursor.exhausted());
+  PostingList empty;
+  ListCursor empty_cursor(&empty);
+  EXPECT_EQ(empty_cursor.SeekEntry(0), kInvalidNode);
+  EXPECT_TRUE(empty_cursor.exhausted());
+}
+
+TEST(InvertedIndexTest, BlockListsMirrorRawLists) {
+  Corpus corpus = SmallCorpus();
+  InvertedIndex index = IndexBuilder::Build(corpus);
+  for (TokenId t = 0; t < index.vocabulary_size(); ++t) {
+    ASSERT_NE(index.block_list(t), nullptr);
+    EXPECT_EQ(index.block_list(t)->num_entries(), index.list(t)->num_entries());
+    EXPECT_EQ(index.block_list(t)->total_positions(),
+              index.list(t)->total_positions());
+  }
+  EXPECT_EQ(index.block_any_list().num_entries(), index.any_list().num_entries());
+  EXPECT_EQ(index.block_list_for_text("zzz"), nullptr);
 }
 
 TEST(InvertedIndexTest, OovTokenHasNoList) {
