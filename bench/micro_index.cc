@@ -1,20 +1,23 @@
 // Substrate microbenchmarks: tokenizer, index construction, sequential
-// list-cursor scans, and serialization round trips.
+// block-cursor scans, resident-memory accounting, and serialization round
+// trips.
 
 #include <string>
 
 #include "bench_common.h"
+#include "index/block_posting_list.h"
 #include "index/index_builder.h"
 #include "index/index_io.h"
 #include "text/tokenizer.h"
 
 namespace {
 
+using fts::BlockListCursor;
+using fts::BlockPostingList;
 using fts::Corpus;
 using fts::GenerateCorpus;
 using fts::IndexBuilder;
 using fts::InvertedIndex;
-using fts::ListCursor;
 using fts::Tokenizer;
 using fts::benchutil::BenchCorpusOptions;
 using fts::benchutil::SharedIndex;
@@ -48,11 +51,13 @@ void BM_IndexBuild(benchmark::State& state) {
 BENCHMARK(BM_IndexBuild)->Arg(500)->Arg(2000)->Unit(benchmark::kMillisecond);
 
 void BM_ListCursorScan(benchmark::State& state) {
+  // Sequential scan of the hot list through the resident block cursor —
+  // the access path every engine's kSequential mode now takes.
   const InvertedIndex& index = SharedIndex(6000, static_cast<uint32_t>(state.range(0)));
-  const fts::PostingList* list = index.list_for_text("topic0");
+  const BlockPostingList* list = index.block_list_for_text("topic0");
   uint64_t positions = 0;
   for (auto _ : state) {
-    ListCursor cursor(list);
+    BlockListCursor cursor(list);
     while (cursor.NextEntry() != fts::kInvalidNode) {
       auto span = cursor.GetPositions();
       positions += span.size();
@@ -67,13 +72,44 @@ BENCHMARK(BM_ListCursorScan)->Arg(6)->Arg(12);
 void BM_AnyListScan(benchmark::State& state) {
   const InvertedIndex& index = SharedIndex(6000, 6);
   for (auto _ : state) {
-    ListCursor cursor(&index.any_list());
+    BlockListCursor cursor(&index.block_any_list());
     uint64_t count = 0;
     while (cursor.NextEntry() != fts::kInvalidNode) ++count;
     benchmark::DoNotOptimize(count);
   }
 }
 BENCHMARK(BM_AnyListScan);
+
+void BM_IndexResidentBytes(benchmark::State& state) {
+  // Resident footprint of the single block representation, against what the
+  // pre-refactor dual-resident model (blocks + a raw decoded mirror) would
+  // hold for the same corpus. The raw mirror is materialized transiently
+  // here purely to price it.
+  const InvertedIndex& index = SharedIndex(6000, 6);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(index.MemoryUsage());
+  }
+  size_t raw_mirror = 0;
+  for (fts::TokenId t = 0; t < index.vocabulary_size(); ++t) {
+    const fts::PostingList raw = index.block_list(t)->Materialize();
+    raw_mirror += raw.num_entries() * sizeof(fts::PostingEntry) +
+                  raw.total_positions() * sizeof(fts::PositionInfo) +
+                  sizeof(fts::PostingList);
+  }
+  {
+    const fts::PostingList raw = index.block_any_list().Materialize();
+    raw_mirror += raw.num_entries() * sizeof(fts::PostingEntry) +
+                  raw.total_positions() * sizeof(fts::PositionInfo) +
+                  sizeof(fts::PostingList);
+  }
+  const double resident = static_cast<double>(index.MemoryUsage());
+  state.counters["resident_index_bytes"] = resident;
+  state.counters["raw_mirror_bytes"] = static_cast<double>(raw_mirror);
+  state.counters["dual_resident_bytes"] = resident + static_cast<double>(raw_mirror);
+  state.counters["dual_over_block"] =
+      resident == 0 ? 0.0 : (resident + static_cast<double>(raw_mirror)) / resident;
+}
+BENCHMARK(BM_IndexResidentBytes);
 
 void BM_IndexSerialize(benchmark::State& state) {
   const InvertedIndex& index = SharedIndex(2000, 6);

@@ -160,46 +160,59 @@ std::string FtaExpr::ToString() const {
 
 StatusOr<FtRelation> EvaluateFta(const FtaExprPtr& expr, const InvertedIndex& index,
                                  const AlgebraScoreModel* model,
-                                 EvalCounters* counters) {
+                                 EvalCounters* counters,
+                                 const RawPostingOracle* raw_oracle) {
   if (!expr) return Status::InvalidArgument("null algebra expression");
   switch (expr->kind()) {
     case FtaExpr::Kind::kSearchContext:
       return OpScanSearchContext(index, model, counters);
     case FtaExpr::Kind::kHasPos:
-      return OpScanHasPos(index, model, counters);
+      return OpScanHasPos(index, model, counters, raw_oracle);
     case FtaExpr::Kind::kToken:
-      return OpScanToken(index, expr->token(), model, counters);
+      return OpScanToken(index, expr->token(), model, counters, raw_oracle);
     case FtaExpr::Kind::kProject: {
-      FTS_ASSIGN_OR_RETURN(FtRelation in, EvaluateFta(expr->child(), index, model, counters));
+      FTS_ASSIGN_OR_RETURN(FtRelation in,
+                           EvaluateFta(expr->child(), index, model, counters, raw_oracle));
       return OpProject(in, expr->project_cols(), model, counters);
     }
     case FtaExpr::Kind::kJoin: {
-      FTS_ASSIGN_OR_RETURN(FtRelation l, EvaluateFta(expr->left(), index, model, counters));
-      FTS_ASSIGN_OR_RETURN(FtRelation r, EvaluateFta(expr->right(), index, model, counters));
+      FTS_ASSIGN_OR_RETURN(FtRelation l,
+                           EvaluateFta(expr->left(), index, model, counters, raw_oracle));
+      FTS_ASSIGN_OR_RETURN(FtRelation r,
+                           EvaluateFta(expr->right(), index, model, counters, raw_oracle));
       return OpJoin(l, r, model, counters);
     }
     case FtaExpr::Kind::kSelect: {
-      FTS_ASSIGN_OR_RETURN(FtRelation in, EvaluateFta(expr->child(), index, model, counters));
+      FTS_ASSIGN_OR_RETURN(FtRelation in,
+                           EvaluateFta(expr->child(), index, model, counters, raw_oracle));
       return OpSelect(in, expr->pred(), model, counters);
     }
     case FtaExpr::Kind::kAntiJoin: {
-      FTS_ASSIGN_OR_RETURN(FtRelation l, EvaluateFta(expr->left(), index, model, counters));
-      FTS_ASSIGN_OR_RETURN(FtRelation r, EvaluateFta(expr->right(), index, model, counters));
+      FTS_ASSIGN_OR_RETURN(FtRelation l,
+                           EvaluateFta(expr->left(), index, model, counters, raw_oracle));
+      FTS_ASSIGN_OR_RETURN(FtRelation r,
+                           EvaluateFta(expr->right(), index, model, counters, raw_oracle));
       return OpAntiJoin(l, r, model, counters);
     }
     case FtaExpr::Kind::kUnion: {
-      FTS_ASSIGN_OR_RETURN(FtRelation l, EvaluateFta(expr->left(), index, model, counters));
-      FTS_ASSIGN_OR_RETURN(FtRelation r, EvaluateFta(expr->right(), index, model, counters));
+      FTS_ASSIGN_OR_RETURN(FtRelation l,
+                           EvaluateFta(expr->left(), index, model, counters, raw_oracle));
+      FTS_ASSIGN_OR_RETURN(FtRelation r,
+                           EvaluateFta(expr->right(), index, model, counters, raw_oracle));
       return OpUnion(l, r, model, counters);
     }
     case FtaExpr::Kind::kIntersect: {
-      FTS_ASSIGN_OR_RETURN(FtRelation l, EvaluateFta(expr->left(), index, model, counters));
-      FTS_ASSIGN_OR_RETURN(FtRelation r, EvaluateFta(expr->right(), index, model, counters));
+      FTS_ASSIGN_OR_RETURN(FtRelation l,
+                           EvaluateFta(expr->left(), index, model, counters, raw_oracle));
+      FTS_ASSIGN_OR_RETURN(FtRelation r,
+                           EvaluateFta(expr->right(), index, model, counters, raw_oracle));
       return OpIntersect(l, r, model, counters);
     }
     case FtaExpr::Kind::kDifference: {
-      FTS_ASSIGN_OR_RETURN(FtRelation l, EvaluateFta(expr->left(), index, model, counters));
-      FTS_ASSIGN_OR_RETURN(FtRelation r, EvaluateFta(expr->right(), index, model, counters));
+      FTS_ASSIGN_OR_RETURN(FtRelation l,
+                           EvaluateFta(expr->left(), index, model, counters, raw_oracle));
+      FTS_ASSIGN_OR_RETURN(FtRelation r,
+                           EvaluateFta(expr->right(), index, model, counters, raw_oracle));
       return OpDifference(l, r, model, counters);
     }
   }

@@ -78,10 +78,13 @@ class FtaExpr {
 
 /// Bottom-up materialized evaluation (the COMP strategy, Section 5.4).
 /// `model` (nullable) supplies the Section 3 score transformations;
-/// `counters` (nullable) accumulates list and tuple traffic.
+/// `counters` (nullable) accumulates list and tuple traffic. `raw_oracle`
+/// (nullable, differential tests only) makes the leaf scans read the raw
+/// oracle lists instead of the block-resident ones.
 StatusOr<FtRelation> EvaluateFta(const FtaExprPtr& expr, const InvertedIndex& index,
                                  const AlgebraScoreModel* model,
-                                 EvalCounters* counters);
+                                 EvalCounters* counters,
+                                 const RawPostingOracle* raw_oracle = nullptr);
 
 }  // namespace fts
 

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "index/block_posting_list.h"
+#include "testing/raw_posting_oracle.h"
+
 namespace fts {
 
 namespace {
@@ -36,15 +39,14 @@ std::vector<NodeGroup> GroupByNode(const FtRelation& r) {
   return groups;
 }
 
-}  // namespace
-
-FtRelation OpScanToken(const InvertedIndex& index, std::string_view token,
-                       const AlgebraScoreModel* model, EvalCounters* counters) {
+// Materializes R_token from an inverted-list cursor: one tuple per
+// occurrence, each carrying the entry's static leaf score. Shared by the
+// block-resident scans and the raw-oracle scans of differential tests.
+template <typename CursorT>
+FtRelation ScanTokenOccurrences(CursorT cursor, const InvertedIndex& index,
+                                TokenId tok, const AlgebraScoreModel* model,
+                                EvalCounters* counters) {
   FtRelation out(1);
-  const PostingList* list = index.list_for_text(token);
-  if (list == nullptr) return out;  // OOV token: empty relation
-  const TokenId tok = index.LookupToken(token);
-  ListCursor cursor(list, counters);
   while (cursor.NextEntry() != kInvalidNode) {
     const NodeId node = cursor.current_node();
     const double s = model ? model->LeafScore(index, tok, node) : 0.0;
@@ -63,10 +65,11 @@ FtRelation OpScanToken(const InvertedIndex& index, std::string_view token,
   return out;  // already sorted by construction
 }
 
-FtRelation OpScanHasPos(const InvertedIndex& index, const AlgebraScoreModel* model,
-                        EvalCounters* counters) {
+// Materializes HasPos (IL_ANY) from a cursor.
+template <typename CursorT>
+FtRelation ScanAnyOccurrences(CursorT cursor, const AlgebraScoreModel* model,
+                              EvalCounters* counters) {
   FtRelation out(1);
-  ListCursor cursor(&index.any_list(), counters);
   const double s = model ? model->AnyLeafScore() : 0.0;
   while (cursor.NextEntry() != kInvalidNode) {
     const NodeId node = cursor.current_node();
@@ -83,6 +86,31 @@ FtRelation OpScanHasPos(const InvertedIndex& index, const AlgebraScoreModel* mod
     }
   }
   return out;
+}
+
+}  // namespace
+
+FtRelation OpScanToken(const InvertedIndex& index, std::string_view token,
+                       const AlgebraScoreModel* model, EvalCounters* counters,
+                       const RawPostingOracle* raw_oracle) {
+  const TokenId tok = index.LookupToken(token);
+  if (tok == kInvalidToken) return FtRelation(1);  // OOV token: empty relation
+  if (raw_oracle != nullptr) {
+    return ScanTokenOccurrences(ListCursor(raw_oracle->list(tok), counters),
+                                index, tok, model, counters);
+  }
+  return ScanTokenOccurrences(BlockListCursor(index.block_list(tok), counters),
+                              index, tok, model, counters);
+}
+
+FtRelation OpScanHasPos(const InvertedIndex& index, const AlgebraScoreModel* model,
+                        EvalCounters* counters, const RawPostingOracle* raw_oracle) {
+  if (raw_oracle != nullptr) {
+    return ScanAnyOccurrences(ListCursor(&raw_oracle->any_list, counters), model,
+                              counters);
+  }
+  return ScanAnyOccurrences(BlockListCursor(&index.block_any_list(), counters),
+                            model, counters);
 }
 
 FtRelation OpScanSearchContext(const InvertedIndex& index,

@@ -29,13 +29,18 @@ struct AlgebraPredicateCall {
   std::vector<int64_t> consts;
 };
 
-/// R_token: one tuple per occurrence of `token` (text form) in the corpus.
+/// R_token: one tuple per occurrence of `token` (text form) in the corpus,
+/// scanned from the block-resident list. When `raw_oracle` is set
+/// (differential tests only) the scan reads the raw oracle list instead;
+/// the produced relation is identical either way.
 FtRelation OpScanToken(const InvertedIndex& index, std::string_view token,
-                       const AlgebraScoreModel* model, EvalCounters* counters);
+                       const AlgebraScoreModel* model, EvalCounters* counters,
+                       const RawPostingOracle* raw_oracle = nullptr);
 
 /// HasPos: one tuple per position of every node (materializes IL_ANY).
 FtRelation OpScanHasPos(const InvertedIndex& index, const AlgebraScoreModel* model,
-                        EvalCounters* counters);
+                        EvalCounters* counters,
+                        const RawPostingOracle* raw_oracle = nullptr);
 
 /// SearchContext: one zero-column tuple per context node.
 FtRelation OpScanSearchContext(const InvertedIndex& index,

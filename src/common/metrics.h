@@ -38,6 +38,10 @@ struct EvalCounters {
   /// Posting entries decoded from compressed blocks. A seek that lands in
   /// one block decodes one block's worth, independent of list length.
   uint64_t entries_decoded = 0;
+  /// Positions decoded from compressed PosList payloads (charged on the
+  /// first GetPositions() of an entry). Node-level work — df lookups, BOOL
+  /// merges, zig-zag alignment — keeps this at zero.
+  uint64_t positions_decoded = 0;
 
   void Reset() { *this = EvalCounters{}; }
 
@@ -51,6 +55,7 @@ struct EvalCounters {
     skip_checks += o.skip_checks;
     blocks_decoded += o.blocks_decoded;
     entries_decoded += o.entries_decoded;
+    positions_decoded += o.positions_decoded;
     return *this;
   }
 
@@ -63,7 +68,8 @@ struct EvalCounters {
            " orderings=" + std::to_string(orderings_run) +
            " skip_checks=" + std::to_string(skip_checks) +
            " blocks_decoded=" + std::to_string(blocks_decoded) +
-           " entries_decoded=" + std::to_string(entries_decoded);
+           " entries_decoded=" + std::to_string(entries_decoded) +
+           " positions_decoded=" + std::to_string(positions_decoded);
   }
 };
 

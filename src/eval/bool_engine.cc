@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "index/block_posting_list.h"
+#include "testing/raw_posting_oracle.h"
 #include "lang/classify.h"
 #include "scoring/probabilistic.h"
 #include "scoring/tfidf.h"
@@ -20,8 +21,13 @@ struct NodeSet {
 class BoolEvaluator {
  public:
   BoolEvaluator(const InvertedIndex* index, const AlgebraScoreModel* model,
-                EvalCounters* counters, CursorMode mode)
-      : index_(index), model_(model), counters_(counters), mode_(mode) {}
+                EvalCounters* counters, CursorMode mode,
+                const RawPostingOracle* raw_oracle)
+      : index_(index),
+        model_(model),
+        counters_(counters),
+        mode_(mode),
+        raw_oracle_(raw_oracle) {}
 
   StatusOr<NodeSet> Eval(const LangExprPtr& e) {
     switch (e->kind()) {
@@ -96,13 +102,14 @@ class BoolEvaluator {
     return out;
   }
 
+  /// Both cursor modes scan the block-resident list; the raw oracle (tests
+  /// only) substitutes a ListCursor through the identical merge code.
   NodeSet EvalToken(const std::string& token) {
     const TokenId id = index_->LookupToken(token);
-    if (mode_ == CursorMode::kSeek) {
-      return ScanToken(BlockListCursor(index_->block_list_for_text(token), counters_),
-                       id);
+    if (raw_oracle_ != nullptr) {
+      return ScanToken(ListCursor(raw_oracle_->list(id), counters_), id);
     }
-    return ScanToken(ListCursor(index_->list_for_text(token), counters_), id);
+    return ScanToken(BlockListCursor(index_->block_list(id), counters_), id);
   }
 
   NodeSet EvalAny() {
@@ -114,21 +121,29 @@ class BoolEvaluator {
         out.scores.push_back(s);
       }
     };
-    if (mode_ == CursorMode::kSeek) {
-      collect(BlockListCursor(&index_->block_any_list(), counters_));
+    if (raw_oracle_ != nullptr) {
+      collect(ListCursor(&raw_oracle_->any_list, counters_));
     } else {
-      collect(ListCursor(&index_->any_list(), counters_));
+      collect(BlockListCursor(&index_->block_any_list(), counters_));
     }
     return out;
   }
 
   /// AND of two token lists by two-sided zig-zag seek.
   NodeSet ZigZagTokens(const std::string& ltok, const std::string& rtok) {
-    NodeSet out;
     const TokenId lid = index_->LookupToken(ltok);
     const TokenId rid = index_->LookupToken(rtok);
-    BlockListCursor lc(index_->block_list_for_text(ltok), counters_);
-    BlockListCursor rc(index_->block_list_for_text(rtok), counters_);
+    if (raw_oracle_ != nullptr) {
+      return ZigZag(ListCursor(raw_oracle_->list(lid), counters_),
+                    ListCursor(raw_oracle_->list(rid), counters_), lid, rid);
+    }
+    return ZigZag(BlockListCursor(index_->block_list(lid), counters_),
+                  BlockListCursor(index_->block_list(rid), counters_), lid, rid);
+  }
+
+  template <typename CursorT>
+  NodeSet ZigZag(CursorT lc, CursorT rc, TokenId lid, TokenId rid) {
+    NodeSet out;
     NodeId a = lc.NextEntry();
     NodeId b = rc.NextEntry();
     while (a != kInvalidNode && b != kInvalidNode) {
@@ -155,9 +170,19 @@ class BoolEvaluator {
   /// so scores match the corresponding merge-path Intersect exactly.
   NodeSet IntersectSetToken(const NodeSet& set, const std::string& tok,
                             bool set_on_left) {
-    NodeSet out;
     const TokenId id = index_->LookupToken(tok);
-    BlockListCursor c(index_->block_list_for_text(tok), counters_);
+    if (raw_oracle_ != nullptr) {
+      return IntersectSetCursor(set, ListCursor(raw_oracle_->list(id), counters_),
+                                id, set_on_left);
+    }
+    return IntersectSetCursor(set, BlockListCursor(index_->block_list(id), counters_),
+                              id, set_on_left);
+  }
+
+  template <typename CursorT>
+  NodeSet IntersectSetCursor(const NodeSet& set, CursorT c, TokenId id,
+                             bool set_on_left) {
+    NodeSet out;
     for (size_t i = 0; i < set.nodes.size(); ++i) {
       const NodeId n = c.SeekEntry(set.nodes[i]);
       if (n == kInvalidNode) break;
@@ -248,6 +273,7 @@ class BoolEvaluator {
   const AlgebraScoreModel* model_;
   EvalCounters* counters_;
   CursorMode mode_;
+  const RawPostingOracle* raw_oracle_;
 };
 
 }  // namespace
@@ -266,7 +292,7 @@ StatusOr<QueryResult> BoolEngine::Evaluate(const LangExprPtr& query) const {
   }
 
   QueryResult result;
-  BoolEvaluator eval(index_, model.get(), &result.counters, mode_);
+  BoolEvaluator eval(index_, model.get(), &result.counters, mode_, raw_oracle_);
   FTS_ASSIGN_OR_RETURN(NodeSet set, eval.Eval(normalized));
   result.nodes = std::move(set.nodes);
   if (scoring_ != ScoringKind::kNone) result.scores = std::move(set.scores);

@@ -14,9 +14,9 @@
 
 namespace fts {
 
-/// Merge-based evaluator for the BOOL / BOOL-NONEG languages. In seek mode
-/// AND of token operands runs as a zig-zag intersection over the
-/// block-compressed lists, decoding only the blocks the join lands in;
+/// Merge-based evaluator for the BOOL / BOOL-NONEG languages over the
+/// block-resident lists. In seek mode AND of token operands runs as a
+/// zig-zag intersection, decoding only the blocks the join lands in;
 /// sequential mode reproduces the paper's full-scan merges exactly.
 class BoolEngine : public Engine {
  public:
@@ -31,10 +31,18 @@ class BoolEngine : public Engine {
 
   CursorMode mode() const { return mode_; }
 
+  /// Differential-test seam: evaluate over `oracle`'s raw lists (same
+  /// merge/score code, raw cursors) instead of the block-resident ones.
+  /// `oracle` must outlive the engine; pass nullptr to detach.
+  void set_raw_oracle_for_test(const RawPostingOracle* oracle) {
+    raw_oracle_ = oracle;
+  }
+
  private:
   const InvertedIndex* index_;
   ScoringKind scoring_;
   CursorMode mode_;
+  const RawPostingOracle* raw_oracle_ = nullptr;
 };
 
 }  // namespace fts

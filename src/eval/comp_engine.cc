@@ -27,7 +27,8 @@ StatusOr<QueryResult> CompEngine::Evaluate(const LangExprPtr& query) const {
 
   QueryResult result;
   FTS_ASSIGN_OR_RETURN(FtRelation rel,
-                       EvaluateFta(plan, *index_, model.get(), &result.counters));
+                       EvaluateFta(plan, *index_, model.get(), &result.counters,
+                                    raw_oracle_));
   result.nodes.reserve(rel.size());
   for (size_t i = 0; i < rel.size(); ++i) {
     result.nodes.push_back(rel.tuple(i).node);

@@ -223,7 +223,7 @@ StatusOr<QueryResult> NpredEngine::Evaluate(const LangExprPtr& query) const {
   if (neg_vars.empty()) {
     // No negative predicates: degenerate to a single PPRED-style pass.
     FTS_ASSIGN_OR_RETURN(FtaExprPtr plan, CompileQuery(calc));
-    PipelineContext ctx{index_, model.get(), &result.counters, cursor_mode_};
+    PipelineContext ctx{index_, model.get(), &result.counters, cursor_mode_, raw_oracle_};
     FTS_ASSIGN_OR_RETURN(std::unique_ptr<PosCursor> cursor, BuildPipeline(plan, ctx));
     DrainPipeline(cursor.get(), scoring_ != ScoringKind::kNone, &result.nodes,
                   &result.scores);
@@ -244,7 +244,7 @@ StatusOr<QueryResult> NpredEngine::Evaluate(const LangExprPtr& query) const {
     std::vector<std::shared_ptr<const PositionPredicate>> adapters;
     CalcQuery threaded{InsertOrderingConstraints(calc.expr, rank, le, &adapters)};
     FTS_ASSIGN_OR_RETURN(FtaExprPtr plan, CompileQuery(threaded));
-    PipelineContext ctx{index_, model.get(), &result.counters, cursor_mode_};
+    PipelineContext ctx{index_, model.get(), &result.counters, cursor_mode_, raw_oracle_};
     FTS_ASSIGN_OR_RETURN(std::unique_ptr<PosCursor> cursor, BuildPipeline(plan, ctx));
     std::vector<NodeId> nodes;
     std::vector<double> scores;

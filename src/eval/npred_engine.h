@@ -41,11 +41,18 @@ class NpredEngine : public Engine {
 
   CursorMode cursor_mode() const { return cursor_mode_; }
 
+  /// Differential-test seam: run the identical per-ordering pipelines over
+  /// `oracle`'s raw lists instead of the block-resident ones.
+  void set_raw_oracle_for_test(const RawPostingOracle* oracle) {
+    raw_oracle_ = oracle;
+  }
+
  private:
   const InvertedIndex* index_;
   ScoringKind scoring_;
   NpredOrderingMode mode_;
   CursorMode cursor_mode_;
+  const RawPostingOracle* raw_oracle_ = nullptr;
 };
 
 }  // namespace fts

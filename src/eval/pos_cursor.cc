@@ -3,6 +3,7 @@
 #include <vector>
 
 #include "index/block_posting_list.h"
+#include "testing/raw_posting_oracle.h"
 
 namespace fts {
 
@@ -23,10 +24,12 @@ void CountOp(const PipelineContext& ctx) {
 }
 
 // ---------------------------------------------------------------------------
-// Scan: walk of one inverted list (the leaf of every plan). Sequential mode
-// steps the raw list exactly as the paper's cost model prescribes; seek mode
-// runs over the block-compressed list and serves SeekNode via the skip
-// table, decoding only landing blocks.
+// Scan: walk of one inverted list (the leaf of every plan), reading the
+// block-resident representation in both modes. Sequential mode steps the
+// decoded blocks entry by entry, charging exactly the paper's sequential
+// access counts; seek mode additionally serves SeekNode via the skip
+// table, decoding only landing blocks. A raw-oracle ListCursor slots into
+// the same template for differential tests.
 // ---------------------------------------------------------------------------
 
 template <typename CursorT>
@@ -453,14 +456,14 @@ StatusOr<std::unique_ptr<PosCursor>> BuildPipeline(const FtaExprPtr& plan,
   switch (plan->kind()) {
     case FtaExpr::Kind::kToken: {
       const TokenId id = ctx.index->LookupToken(plan->token());
-      if (ctx.mode == CursorMode::kSeek) {
-        const BlockPostingList* list = ctx.index->block_list_for_text(plan->token());
-        return std::unique_ptr<PosCursor>(new ScanCursor<BlockListCursor>(
-            BlockListCursor(list, ctx.counters), id, ctx));
+      if (ctx.raw_oracle != nullptr) {
+        return std::unique_ptr<PosCursor>(new ScanCursor<ListCursor>(
+            ListCursor(ctx.raw_oracle->list(id), ctx.counters), id, ctx));
       }
-      const PostingList* list = ctx.index->list_for_text(plan->token());
-      return std::unique_ptr<PosCursor>(
-          new ScanCursor<ListCursor>(ListCursor(list, ctx.counters), id, ctx));
+      // Both cursor modes read the block-resident list; kSequential simply
+      // never calls SeekEntry (ScanCursor::SeekNode steps instead).
+      return std::unique_ptr<PosCursor>(new ScanCursor<BlockListCursor>(
+          BlockListCursor(ctx.index->block_list(id), ctx.counters), id, ctx));
     }
     case FtaExpr::Kind::kJoin: {
       FTS_ASSIGN_OR_RETURN(auto l, BuildPipeline(plan->left(), ctx));

@@ -72,12 +72,16 @@ class PosCursor {
   virtual double node_score() const = 0;
 };
 
-/// Shared construction context for a pipeline.
+/// Shared construction context for a pipeline. Scans always read the
+/// block-resident lists; `raw_oracle` (differential tests only) swaps the
+/// leaf cursors for raw ListCursors over the oracle table, leaving every
+/// operator above them untouched.
 struct PipelineContext {
   const InvertedIndex* index = nullptr;
   const AlgebraScoreModel* model = nullptr;  // nullable
   EvalCounters* counters = nullptr;          // nullable
   CursorMode mode = CursorMode::kSequential;
+  const RawPostingOracle* raw_oracle = nullptr;  // differential tests only
 };
 
 /// Builds a pipelined cursor tree for `plan`. Returns Unsupported when the

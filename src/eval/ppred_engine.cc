@@ -41,7 +41,7 @@ StatusOr<QueryResult> PpredEngine::Evaluate(const LangExprPtr& query) const {
   }
 
   QueryResult result;
-  PipelineContext ctx{index_, model.get(), &result.counters, mode_};
+  PipelineContext ctx{index_, model.get(), &result.counters, mode_, raw_oracle_};
   FTS_ASSIGN_OR_RETURN(std::unique_ptr<PosCursor> cursor, BuildPipeline(plan, ctx));
   DrainPipeline(cursor.get(), scoring_ != ScoringKind::kNone, &result.nodes,
                 &result.scores);

@@ -27,10 +27,17 @@ class PpredEngine : public Engine {
 
   CursorMode mode() const { return mode_; }
 
+  /// Differential-test seam: run the identical pipeline over `oracle`'s raw
+  /// lists instead of the block-resident ones. Pass nullptr to detach.
+  void set_raw_oracle_for_test(const RawPostingOracle* oracle) {
+    raw_oracle_ = oracle;
+  }
+
  private:
   const InvertedIndex* index_;
   ScoringKind scoring_;
   CursorMode mode_;
+  const RawPostingOracle* raw_oracle_ = nullptr;
 };
 
 }  // namespace fts

@@ -126,7 +126,7 @@ Status BlockPostingList::DecodeBlockEntries(size_t block,
     uint32_t node_delta, count, pos_len;
     FTS_RETURN_IF_ERROR(GetVarint32(data_, &offset, &node_delta));
     const NodeId node = (i == 0) ? node_delta : prev_node + node_delta;
-    if (i > 0 && node_delta == 0) {
+    if (i > 0 && (node_delta == 0 || node < prev_node)) {
       return Status::Corruption("non-increasing node ids in posting block");
     }
     prev_node = node;
@@ -315,6 +315,7 @@ std::span<const PositionInfo> BlockListCursor::GetPositions() {
     assert(s.ok());
     if (!s.ok()) positions_.clear();
     positions_for_ = idx_;
+    if (counters_ != nullptr) counters_->positions_decoded += positions_.size();
   }
   return {positions_.data(), positions_.size()};
 }

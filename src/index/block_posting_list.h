@@ -61,9 +61,14 @@ class BlockPostingList {
   /// after the last Append to flush the tail block.
   void Append(NodeId node, std::span<const PositionInfo> positions);
 
-  /// Flushes the partially filled tail block, if any. Idempotent; further
-  /// Appends may follow (they start a new block).
-  void Finish() { FlushPending(); }
+  /// Flushes the partially filled tail block, if any, and releases the
+  /// builder buffers (the list is typically immutable afterwards; further
+  /// Appends still work, reallocating as needed). Idempotent.
+  void Finish() {
+    FlushPending();
+    std::vector<PendingEntry>().swap(pending_);
+    std::vector<PositionInfo>().swap(pending_positions_);
+  }
 
   size_t num_entries() const { return num_entries_; }
   bool empty() const { return num_entries_ == 0; }
@@ -79,6 +84,15 @@ class BlockPostingList {
   /// Total compressed footprint: payload plus skip-table bytes as laid out
   /// on disk (the serialized v2 size of this list, minus framing varints).
   size_t byte_size() const;
+
+  /// Resident heap footprint of this list in bytes (payload + skip table
+  /// capacities). This is what the list costs while the index is loaded —
+  /// the memory-accounting input of InvertedIndex::MemoryUsage().
+  size_t resident_bytes() const {
+    return data_.capacity() + skips_.capacity() * sizeof(SkipEntry) +
+           pending_.capacity() * sizeof(PendingEntry) +
+           pending_positions_.capacity() * sizeof(PositionInfo);
+  }
 
   /// One decoded entry header plus the location of its (still compressed)
   /// position bytes within data().

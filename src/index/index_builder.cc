@@ -4,7 +4,25 @@
 #include <cmath>
 #include <map>
 
+#include "index/block_posting_list.h"
+
 namespace fts {
+
+namespace {
+
+/// Per-node occurrence map: token -> positions, ordered by token id so
+/// appends hit each inverted list in node order.
+using NodeOccurrences = std::map<TokenId, std::vector<PositionInfo>>;
+
+NodeOccurrences CollectOccurrences(const TokenizedDocument& doc) {
+  NodeOccurrences occ;
+  for (size_t i = 0; i < doc.size(); ++i) {
+    occ[doc.tokens[i]].push_back(doc.positions[i]);
+  }
+  return occ;
+}
+
+}  // namespace
 
 InvertedIndex IndexBuilder::Build(const Corpus& corpus) {
   InvertedIndex index;
@@ -16,30 +34,39 @@ InvertedIndex IndexBuilder::Build(const Corpus& corpus) {
     index.token_texts_.push_back(corpus.token_text(t));
     index.token_ids_.emplace(corpus.token_text(t), t);
   }
-  index.lists_.resize(vocab);
+  index.block_lists_.resize(vocab);
   index.unique_tokens_.assign(num_nodes, 0);
   index.node_norms_.assign(num_nodes, 0.0);
 
-  // Per-node occurrence counts, reused across nodes to compute unique-token
-  // counts and (after df is known) TF-IDF norms.
-  std::vector<std::map<TokenId, std::vector<PositionInfo>>> per_node(num_nodes);
+  // Encode each list directly into its block-compressed resident form,
+  // tracking the per-entry shape statistics as entries stream by (the
+  // compressed form only exposes them again via a decode). Per-node
+  // occurrence maps are kept so TF-IDF norms can be computed once document
+  // frequencies are known.
+  IndexStats& s = index.stats_;
+  std::vector<NodeOccurrences> per_node(num_nodes);
   for (NodeId n = 0; n < num_nodes; ++n) {
     const TokenizedDocument& doc = corpus.doc(n);
-    auto& occ = per_node[n];
-    for (size_t i = 0; i < doc.size(); ++i) {
-      occ[doc.tokens[i]].push_back(doc.positions[i]);
-    }
-    index.unique_tokens_[n] = static_cast<uint32_t>(occ.size());
-    for (const auto& [tok, positions] : occ) {
-      index.lists_[tok].Append(n, positions);
+    per_node[n] = CollectOccurrences(doc);
+    index.unique_tokens_[n] = static_cast<uint32_t>(per_node[n].size());
+    for (const auto& [tok, positions] : per_node[n]) {
+      index.block_lists_[tok].Append(n, positions);
+      s.pos_per_entry =
+          std::max(s.pos_per_entry, static_cast<uint32_t>(positions.size()));
     }
     if (!doc.positions.empty()) {
-      index.any_list_.Append(n, doc.positions);
+      index.block_any_list_->Append(n, doc.positions);
+      s.total_positions += doc.positions.size();
+      s.pos_per_cnode = std::max(s.pos_per_cnode,
+                                 static_cast<uint32_t>(doc.positions.size()));
     }
   }
+  for (BlockPostingList& l : index.block_lists_) l.Finish();
+  index.block_any_list_->Finish();
 
   // TF-IDF norms: ||n||_2 = sqrt(sum_t (tf(n,t) * idf(t))^2) using the
   // paper's formulae tf = occurs/unique_tokens, idf = ln(1 + db_size/df).
+  // df comes from the block-list headers (no payload decode).
   for (NodeId n = 0; n < num_nodes; ++n) {
     const uint32_t uniq = index.unique_tokens_[n];
     if (uniq == 0) {
@@ -48,7 +75,7 @@ InvertedIndex IndexBuilder::Build(const Corpus& corpus) {
     }
     double sum_sq = 0;
     for (const auto& [tok, positions] : per_node[n]) {
-      const double df = static_cast<double>(index.lists_[tok].num_entries());
+      const double df = static_cast<double>(index.block_lists_[tok].num_entries());
       const double idf = std::log(1.0 + static_cast<double>(num_nodes) / df);
       const double tf = static_cast<double>(positions.size()) / uniq;
       sum_sq += tf * idf * tf * idf;
@@ -56,25 +83,16 @@ InvertedIndex IndexBuilder::Build(const Corpus& corpus) {
     index.node_norms_[n] = sum_sq > 0 ? std::sqrt(sum_sq) : 1.0;
   }
 
-  // Corpus shape statistics (paper Section 5.1.2 parameters).
-  IndexStats& s = index.stats_;
+  // Remaining corpus shape statistics (paper Section 5.1.2 parameters).
   s.cnodes = num_nodes;
   uint64_t total_entries = 0;
   uint64_t nonempty_lists = 0;
-  for (const PostingList& l : index.lists_) {
+  for (const BlockPostingList& l : index.block_lists_) {
     if (l.empty()) continue;
     ++nonempty_lists;
     total_entries += l.num_entries();
     s.entries_per_token =
         std::max(s.entries_per_token, static_cast<uint32_t>(l.num_entries()));
-    for (size_t i = 0; i < l.num_entries(); ++i) {
-      s.pos_per_entry = std::max(s.pos_per_entry, l.entry(i).pos_count);
-    }
-  }
-  for (size_t i = 0; i < index.any_list_.num_entries(); ++i) {
-    const PostingEntry& e = index.any_list_.entry(i);
-    s.total_positions += e.pos_count;
-    s.pos_per_cnode = std::max(s.pos_per_cnode, e.pos_count);
   }
   s.avg_pos_per_cnode =
       num_nodes == 0 ? 0 : static_cast<double>(s.total_positions) / num_nodes;
@@ -83,9 +101,6 @@ InvertedIndex IndexBuilder::Build(const Corpus& corpus) {
   s.avg_pos_per_entry =
       total_entries == 0 ? 0 : static_cast<double>(s.total_positions) / total_entries;
 
-  // Compressed, skip-seekable twins of every list (seek-enabled engines and
-  // the v2 on-disk format read these).
-  index.RebuildBlockLists();
   return index;
 }
 

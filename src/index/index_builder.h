@@ -3,6 +3,10 @@
 // inputs (document frequencies enter via list sizes; unique-token counts and
 // L2 norms are precomputed here, matching the paper's observation that "all
 // of the scoring information in R_t can be precomputed", Section 3.1).
+//
+// Lists are encoded straight into their block-compressed resident form; the
+// raw uncompressed twin exists only as the differential-test oracle
+// (testing/raw_posting_oracle.h).
 
 #ifndef FTS_INDEX_INDEX_BUILDER_H_
 #define FTS_INDEX_INDEX_BUILDER_H_

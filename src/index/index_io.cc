@@ -82,7 +82,7 @@ Status GetPostingList(const std::string& data, size_t* offset, PostingList* list
     uint32_t node_delta, count;
     FTS_RETURN_IF_ERROR(GetVarint32(data, offset, &node_delta));
     NodeId node = (i == 0) ? node_delta : prev_node + node_delta;
-    if (i > 0 && node_delta == 0) {
+    if (i > 0 && (node_delta == 0 || node < prev_node)) {
       return Status::Corruption("non-increasing node ids in posting list");
     }
     prev_node = node;
@@ -227,10 +227,12 @@ void SaveIndexToString(const InvertedIndex& index, std::string* out,
   PutCommonSections(index, out);
 
   if (format == IndexFormat::kV1) {
+    // The flat v1 stream is produced from a per-list transient decode; the
+    // raw form is never resident in the index.
     for (TokenId t = 0; t < index.vocabulary_size(); ++t) {
-      PutPostingList(out, *index.list(t));
+      PutPostingList(out, index.block_list(t)->Materialize());
     }
-    PutPostingList(out, index.any_list());
+    PutPostingList(out, index.block_any_list().Materialize());
   } else {
     for (TokenId t = 0; t < index.vocabulary_size(); ++t) {
       PutBlockPostingList(out, *index.block_list(t));
@@ -303,19 +305,30 @@ Status LoadIndexFromString(const std::string& data, InvertedIndex* out) {
   }
 
   if (is_v1) {
-    index.lists_.resize(vocab);
+    // Decode each flat stream into a raw transient and re-encode it into
+    // the block-resident form, one list at a time (peak extra memory is a
+    // single decoded list, not a mirror of the index).
+    index.block_lists_.resize(vocab);
     for (uint64_t t = 0; t < vocab; ++t) {
-      FTS_RETURN_IF_ERROR(GetPostingList(data, &offset, &index.lists_[t]));
+      PostingList raw;
+      FTS_RETURN_IF_ERROR(GetPostingList(data, &offset, &raw));
+      index.block_lists_[t] = BlockPostingList::FromPostingList(raw);
     }
-    FTS_RETURN_IF_ERROR(GetPostingList(data, &offset, &index.any_list_));
-    index.RebuildBlockLists();
+    PostingList any;
+    FTS_RETURN_IF_ERROR(GetPostingList(data, &offset, &any));
+    *index.block_any_list_ = BlockPostingList::FromPostingList(any);
+    // Same guarantees as the v2 path: in particular, node ids must stay
+    // below cnodes so per-node scalar lookups can never go out of range.
+    FTS_RETURN_IF_ERROR(index.ValidateBlocks());
   } else {
     index.block_lists_.resize(vocab);
     for (uint64_t t = 0; t < vocab; ++t) {
       FTS_RETURN_IF_ERROR(GetBlockPostingList(data, &offset, &index.block_lists_[t]));
     }
     FTS_RETURN_IF_ERROR(GetBlockPostingList(data, &offset, index.block_any_list_.get()));
-    FTS_RETURN_IF_ERROR(index.MaterializeRawLists());
+    // Adopted payloads are fully validated up front (streaming, transient)
+    // so query-time cursors never touch malformed bytes.
+    FTS_RETURN_IF_ERROR(index.ValidateBlocks());
   }
 
   if (offset != body_end) {

@@ -8,10 +8,14 @@
 //   v2 ("FTSIDX2\0"): posting lists in the block-compressed skip-seekable
 //       layout of BlockPostingList (see docs/index_format.md). Loading v2
 //       adopts the compressed blocks directly — no per-entry re-encode —
-//       and materializes the raw lists from them.
+//       then fully validates them (streaming, O(block) scratch) so a blob
+//       that checksums correctly but is structurally malformed still
+//       fails with Corruption before any cursor reads it.
 //
 // Saving defaults to v2; v1 output is kept for compatibility and size
-// comparison. Loading sniffs the magic and accepts both.
+// comparison (v1 writes re-materialize each list transiently — the raw
+// form is not resident). Loading sniffs the magic and accepts both;
+// either path leaves the block lists as the index's only representation.
 
 #ifndef FTS_INDEX_INDEX_IO_H_
 #define FTS_INDEX_INDEX_IO_H_

@@ -92,11 +92,6 @@ std::string IndexStats::ToString() const {
          " avg_pos_per_entry=" + std::to_string(avg_pos_per_entry);
 }
 
-const PostingList* InvertedIndex::list_for_text(std::string_view token) const {
-  TokenId id = LookupToken(token);
-  return id == kInvalidToken ? nullptr : list(id);
-}
-
 const BlockPostingList* InvertedIndex::block_list(TokenId token) const {
   return token < block_lists_.size() ? &block_lists_[token] : nullptr;
 }
@@ -111,19 +106,37 @@ const BlockPostingList& InvertedIndex::block_any_list() const {
   return *block_any_list_;
 }
 
-void InvertedIndex::RebuildBlockLists() {
-  block_lists_.clear();
-  block_lists_.reserve(lists_.size());
-  for (const PostingList& l : lists_) {
-    block_lists_.push_back(BlockPostingList::FromPostingList(l));
-  }
-  *block_any_list_ = BlockPostingList::FromPostingList(any_list_);
+uint32_t InvertedIndex::df(TokenId token) const {
+  const BlockPostingList* l = block_list(token);
+  return l ? static_cast<uint32_t>(l->num_entries()) : 0;
 }
 
-Status InvertedIndex::MaterializeRawLists() {
-  const auto decode_into = [](const BlockPostingList& block, PostingList* raw) {
+size_t InvertedIndex::MemoryUsage() const {
+  size_t bytes = sizeof(InvertedIndex);
+  bytes += block_lists_.capacity() * sizeof(BlockPostingList);
+  for (const BlockPostingList& l : block_lists_) bytes += l.resident_bytes();
+  bytes += sizeof(BlockPostingList) + block_any_list_->resident_bytes();
+  bytes += token_texts_.capacity() * sizeof(std::string);
+  for (const std::string& t : token_texts_) bytes += t.capacity();
+  // Hash-map accounting is approximate: buckets plus one heap node per
+  // entry (key string + id + chain pointers).
+  bytes += token_ids_.bucket_count() * sizeof(void*);
+  for (const auto& [text, id] : token_ids_) {
+    bytes += sizeof(std::pair<const std::string, TokenId>) + text.capacity() +
+             2 * sizeof(void*);
+  }
+  bytes += unique_tokens_.capacity() * sizeof(uint32_t);
+  bytes += node_norms_.capacity() * sizeof(double);
+  return bytes;
+}
+
+Status InvertedIndex::ValidateBlocks() const {
+  const uint64_t cnodes = stats_.cnodes;
+  const auto validate = [cnodes](const BlockPostingList& block) {
     std::vector<PostingEntry> entries;
     std::vector<PositionInfo> positions;
+    uint64_t total_entries = 0;
+    uint64_t total_positions = 0;
     bool have_prev = false;
     NodeId prev = 0;
     for (size_t b = 0; b < block.num_blocks(); ++b) {
@@ -132,20 +145,30 @@ Status InvertedIndex::MaterializeRawLists() {
         if (have_prev && e.node <= prev) {
           return Status::Corruption("non-increasing node ids across blocks");
         }
+        // Node ids index the per-node scalar tables (unique_tokens_,
+        // node_norms_) during scoring; an out-of-range id must never
+        // survive loading.
+        if (e.node >= cnodes) {
+          return Status::Corruption("posting node id out of range");
+        }
         prev = e.node;
         have_prev = true;
-        raw->Append(e.node, {positions.data() + e.pos_begin, e.pos_count});
       }
+      total_entries += entries.size();
+      total_positions += positions.size();
+    }
+    if (total_entries != block.num_entries()) {
+      return Status::Corruption("block entry total disagrees with list header");
+    }
+    if (total_positions != block.total_positions()) {
+      return Status::Corruption("block position total disagrees with list header");
     }
     return Status::OK();
   };
-  lists_.clear();
-  lists_.resize(block_lists_.size());
-  for (size_t t = 0; t < block_lists_.size(); ++t) {
-    FTS_RETURN_IF_ERROR(decode_into(block_lists_[t], &lists_[t]));
+  for (const BlockPostingList& l : block_lists_) {
+    FTS_RETURN_IF_ERROR(validate(l));
   }
-  any_list_ = PostingList();
-  return decode_into(*block_any_list_, &any_list_);
+  return validate(*block_any_list_);
 }
 
 TokenId InvertedIndex::LookupToken(std::string_view token) const {

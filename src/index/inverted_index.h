@@ -3,9 +3,18 @@
 // For each token `tok` appearing in the corpus there is an inverted list
 // IL_tok of entries (cn, PosList), ordered by context-node id, with PosList
 // ordered by position. IL_ANY holds every position of every node. Lists are
-// accessed strictly sequentially through ListCursor, which exposes exactly
-// the two operations the paper's cost model allows: nextEntry() and
-// getPositions(), both O(1).
+// accessed strictly sequentially through cursors that expose exactly the
+// two operations the paper's cost model allows: nextEntry() and
+// getPositions(), both O(1) amortized.
+//
+// The only *resident* list representation is the block-compressed,
+// skip-seekable BlockPostingList (index/block_posting_list.h): every engine
+// — the BOOL merges, the pipelined PPRED/NPRED cursors, materialized COMP
+// scans, and the scoring models — reads through BlockListCursor, with df
+// and entry counts served from block headers and positions decoded lazily.
+// The raw random-access PostingList below survives only as a build/load
+// transient and as the oracle representation for differential tests
+// (RawPostingOracle); an InvertedIndex never holds one.
 //
 // The index is self-contained (owns its dictionary and statistics) so it can
 // be serialized and queried without the originating Corpus.
@@ -35,9 +44,11 @@ struct PostingEntry {
   uint32_t pos_count = 0;
 };
 
-/// An inverted list: entries sorted by node id, positions sorted by offset
-/// within each entry. Corresponds to the FTA relation R_token (and IL_ANY
-/// for the ANY list).
+/// An inverted list in raw random-access form: entries sorted by node id,
+/// positions sorted by offset within each entry. Corresponds to the FTA
+/// relation R_token (and IL_ANY for the ANY list). This form is never
+/// resident in an InvertedIndex — it exists as a build/serialization
+/// transient and as the differential-test oracle representation.
 class PostingList {
  public:
   size_t num_entries() const { return entries_.size(); }
@@ -61,9 +72,11 @@ class PostingList {
   std::vector<PositionInfo> positions_;
 };
 
-/// Sequential cursor over a PostingList (paper Section 5.1.2). All accesses
-/// are counted into `counters` (if provided) so engines report the exact
-/// number of sequential list operations performed.
+/// Sequential cursor over a raw PostingList (paper Section 5.1.2). All
+/// accesses are counted into `counters` (if provided) so engines report the
+/// exact number of sequential list operations performed. Production engines
+/// read BlockListCursor instead; this cursor drives the raw-oracle side of
+/// differential tests through the very same engine code.
 class ListCursor {
  public:
   /// `list` may be null (empty token): the cursor is immediately exhausted.
@@ -103,6 +116,10 @@ class ListCursor {
   NodeId node_ = kInvalidNode;
 };
 
+/// Raw-representation oracle table for differential tests — defined in
+/// testing/raw_posting_oracle.h; engines hold only a pointer to one.
+struct RawPostingOracle;
+
 /// Corpus shape parameters from the paper's complexity model (Section 5.1.2
 /// and Section 6.2). Max values are the conservative parameters used in the
 /// complexity bounds; averages are reported for context.
@@ -124,11 +141,13 @@ class BlockPostingList;  // index/block_posting_list.h
 /// Immutable inverted index over a corpus. Build with IndexBuilder; persist
 /// with SaveIndex/LoadIndex (index/index_io.h).
 ///
-/// Every list is held in two synchronized representations: the raw
-/// random-access PostingList (the decoded working form used by materialized
-/// COMP evaluation and the paper-faithful sequential cursors) and the
-/// block-compressed BlockPostingList (the seekable form used by the
-/// seek-enabled engines and the v2 on-disk format).
+/// Every list is resident exclusively in its block-compressed,
+/// skip-seekable form (BlockPostingList). Engines in both cursor modes read
+/// through BlockListCursor — kSequential is plain NextEntry() iteration
+/// over the decoded blocks, kSeek additionally uses the skip tables — and
+/// document frequencies come from the block headers without decoding any
+/// payload. There is no decoded mirror: raw PostingLists exist only as
+/// build/load transients and as the differential-test oracle.
 class InvertedIndex {
  public:
   InvertedIndex();
@@ -136,25 +155,17 @@ class InvertedIndex {
   InvertedIndex(InvertedIndex&&) noexcept;
   InvertedIndex& operator=(InvertedIndex&&) noexcept;
 
-  /// Inverted list for a token id; nullptr if out of range (OOV tokens have
-  /// empty, not missing, semantics: queries on them match nothing).
-  const PostingList* list(TokenId token) const {
-    return token < lists_.size() ? &lists_[token] : nullptr;
-  }
-
-  /// Inverted list by token text (normalized spelling); nullptr if OOV.
-  const PostingList* list_for_text(std::string_view token) const;
-
-  /// Block-compressed list for a token id; nullptr if OOV.
+  /// Block-compressed list for a token id; nullptr if out of range (OOV
+  /// tokens have empty, not missing, semantics: queries on them match
+  /// nothing).
   const BlockPostingList* block_list(TokenId token) const;
 
-  /// Block-compressed list by token text; nullptr if OOV.
+  /// Block-compressed list by token text (normalized spelling); nullptr if
+  /// OOV.
   const BlockPostingList* block_list_for_text(std::string_view token) const;
 
-  /// IL_ANY: one entry per context node holding all its positions.
-  const PostingList& any_list() const { return any_list_; }
-
-  /// Block-compressed IL_ANY.
+  /// Block-compressed IL_ANY: one entry per context node holding all its
+  /// positions.
   const BlockPostingList& block_any_list() const;
 
   /// Dictionary lookups.
@@ -165,11 +176,9 @@ class InvertedIndex {
   size_t num_nodes() const { return stats_.cnodes; }
   const IndexStats& stats() const { return stats_; }
 
-  /// Document frequency of `token`: number of nodes containing it.
-  uint32_t df(TokenId token) const {
-    const PostingList* l = list(token);
-    return l ? static_cast<uint32_t>(l->num_entries()) : 0;
-  }
+  /// Document frequency of `token`: number of nodes containing it. Served
+  /// from the block-list header — no block payload is decoded.
+  uint32_t df(TokenId token) const;
 
   /// Number of distinct tokens in node `n` (TF-IDF normalization input).
   uint32_t unique_tokens(NodeId n) const { return unique_tokens_[n]; }
@@ -177,21 +186,22 @@ class InvertedIndex {
   /// L2 norm of node `n`'s TF-IDF vector (||n||_2 in paper Section 3.1).
   double node_norm(NodeId n) const { return node_norms_[n]; }
 
+  /// Resident heap footprint of the index in bytes: compressed posting
+  /// payloads + skip tables + dictionary + per-node scalars. Counted from
+  /// container capacities, so it reflects what the process actually holds.
+  size_t MemoryUsage() const;
+
  private:
   friend class IndexBuilder;
   friend Status LoadIndexFromString(const std::string& data, InvertedIndex* out);
 
-  /// Recomputes the block-compressed lists from the raw ones (index build
-  /// and v1 load paths). Defined in the .cc (BlockPostingList is incomplete
-  /// here).
-  void RebuildBlockLists();
+  /// Fully validates every resident block list by streaming a decode of all
+  /// entry headers and position payloads (transient, O(block) memory):
+  /// node ids must increase across blocks and the decoded entry/position
+  /// totals must match the list headers. Returns Corruption on any
+  /// malformed payload, so cursors never see invalid bytes at query time.
+  Status ValidateBlocks() const;
 
-  /// Recomputes the raw lists from the block-compressed ones (v2 load path).
-  /// Returns Corruption if a block payload is malformed.
-  Status MaterializeRawLists();
-
-  std::vector<PostingList> lists_;          // indexed by TokenId
-  PostingList any_list_;                    // IL_ANY
   std::vector<BlockPostingList> block_lists_;          // indexed by TokenId
   std::unique_ptr<BlockPostingList> block_any_list_;   // compressed IL_ANY
   std::vector<std::string> token_texts_;    // TokenId -> spelling

@@ -3,11 +3,14 @@
 #include <algorithm>
 #include <cmath>
 
+#include "index/block_posting_list.h"
+
 namespace fts {
 
 TfIdfScoreModel::TfIdfScoreModel(const InvertedIndex* index,
-                                 std::vector<std::string> query_tokens)
-    : index_(index) {
+                                 std::vector<std::string> query_tokens,
+                                 EvalCounters* counters)
+    : index_(index), counters_(counters) {
   std::sort(query_tokens.begin(), query_tokens.end());
   query_tokens.erase(std::unique(query_tokens.begin(), query_tokens.end()),
                      query_tokens.end());
@@ -55,21 +58,14 @@ double TfIdfScoreModel::DirectNodeScore(NodeId node) const {
   double score = 0;
   const double uniq = std::max<uint32_t>(1, index_->unique_tokens(node));
   for (const std::string& t : query_tokens_) {
-    const PostingList* list = index_->list_for_text(t);
+    const BlockPostingList* list = index_->block_list_for_text(t);
     if (list == nullptr) continue;
-    // Binary search the entry for `node` (reference computation only; query
-    // evaluation itself never random-accesses lists).
-    size_t lo = 0, hi = list->num_entries();
-    while (lo < hi) {
-      const size_t mid = (lo + hi) / 2;
-      if (list->entry(mid).node < node) {
-        lo = mid + 1;
-      } else {
-        hi = mid;
-      }
-    }
-    if (lo >= list->num_entries() || list->entry(lo).node != node) continue;
-    const double occurs = list->entry(lo).pos_count;
+    // Skip-seek the entry for `node` (reference computation only; query
+    // evaluation itself never random-accesses lists). Only entry headers
+    // decode: occurs comes from pos_count, never from position bytes.
+    BlockListCursor cursor(list, counters_);
+    if (cursor.SeekEntry(node) != node) continue;
+    const double occurs = cursor.pos_count();
     const double idf = Idf(t);
     const double tf = occurs / uniq;
     score += idf /*w(t)*/ * tf * idf;

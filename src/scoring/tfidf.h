@@ -25,9 +25,16 @@ namespace fts {
 
 /// Query-specific TF-IDF score model. Construct once per query with the
 /// query's search tokens (duplicates are collapsed).
+///
+/// All df/idf inputs are read from the block-list headers of `index` — no
+/// posting payload is decoded by Idf()/LeafScore(), and DirectNodeScore()
+/// seeks entry headers only (never position bytes). `counters` (nullable)
+/// is charged for any cursor work the model performs, which lets tests pin
+/// those guarantees.
 class TfIdfScoreModel : public AlgebraScoreModel {
  public:
-  TfIdfScoreModel(const InvertedIndex* index, std::vector<std::string> query_tokens);
+  TfIdfScoreModel(const InvertedIndex* index, std::vector<std::string> query_tokens,
+                  EvalCounters* counters = nullptr);
 
   std::string_view name() const override { return "tfidf"; }
 
@@ -69,6 +76,7 @@ class TfIdfScoreModel : public AlgebraScoreModel {
 
  private:
   const InvertedIndex* index_;
+  EvalCounters* counters_;                      // nullable
   std::vector<std::string> query_tokens_;       // distinct
   std::unordered_map<std::string, double> idf_;  // per distinct query token
   std::unordered_map<TokenId, double> idf_by_id_;

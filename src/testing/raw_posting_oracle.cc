@@ -1,0 +1,26 @@
+#include "testing/raw_posting_oracle.h"
+
+#include <map>
+
+namespace fts {
+
+RawPostingOracle BuildRawPostingOracle(const Corpus& corpus) {
+  RawPostingOracle oracle;
+  oracle.lists.resize(corpus.vocabulary_size());
+  for (NodeId n = 0; n < corpus.num_nodes(); ++n) {
+    const TokenizedDocument& doc = corpus.doc(n);
+    std::map<TokenId, std::vector<PositionInfo>> occ;
+    for (size_t i = 0; i < doc.size(); ++i) {
+      occ[doc.tokens[i]].push_back(doc.positions[i]);
+    }
+    for (const auto& [tok, positions] : occ) {
+      oracle.lists[tok].Append(n, positions);
+    }
+    if (!doc.positions.empty()) {
+      oracle.any_list.Append(n, doc.positions);
+    }
+  }
+  return oracle;
+}
+
+}  // namespace fts

@@ -302,14 +302,20 @@ TEST(SeekEfficiencyTest, ZigZagAndDecodesSubLinearly) {
 
   const uint64_t dense_entries = index.df(index.LookupToken("dense"));
   ASSERT_EQ(dense_entries, 2000u);
-  // Sequential: every entry of both lists is scanned.
+  // Sequential: every entry of both lists is scanned, which with the block
+  // representation as the only resident form means a full linear decode.
   EXPECT_GE(seq->counters.entries_scanned, dense_entries);
-  EXPECT_EQ(seq->counters.entries_decoded, 0u);
+  EXPECT_GE(seq->counters.entries_decoded, dense_entries);
+  EXPECT_EQ(seq->counters.skip_checks, 0u);
   // Seek: a handful of landings, with sub-linear block decodes.
   EXPECT_LT(seek->counters.entries_scanned, dense_entries / 10);
   EXPECT_GT(seek->counters.skip_checks, 0u);
   EXPECT_GT(seek->counters.blocks_decoded, 0u);
   EXPECT_LT(seek->counters.entries_decoded, dense_entries);
+  EXPECT_LT(seek->counters.entries_decoded, seq->counters.entries_decoded);
+  // BOOL never touches PosLists in either mode.
+  EXPECT_EQ(seq->counters.positions_decoded, 0u);
+  EXPECT_EQ(seek->counters.positions_decoded, 0u);
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, EngineDifferential,

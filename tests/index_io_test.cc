@@ -4,6 +4,7 @@
 
 #include <cstdio>
 
+#include "index/block_posting_list.h"
 #include "index/index_builder.h"
 #include "workload/corpus_gen.h"
 
@@ -31,21 +32,22 @@ void ExpectIndexEq(const InvertedIndex& a, const InvertedIndex& b) {
   }
   for (TokenId t = 0; t < a.vocabulary_size(); ++t) {
     ASSERT_EQ(a.token_text(t), b.token_text(t));
-    const PostingList* la = a.list(t);
-    const PostingList* lb = b.list(t);
-    ASSERT_EQ(la->num_entries(), lb->num_entries()) << a.token_text(t);
-    for (size_t i = 0; i < la->num_entries(); ++i) {
-      EXPECT_EQ(la->entry(i).node, lb->entry(i).node);
-      auto pa = la->positions(la->entry(i));
-      auto pb = lb->positions(lb->entry(i));
+    const PostingList la = a.block_list(t)->Materialize();
+    const PostingList lb = b.block_list(t)->Materialize();
+    ASSERT_EQ(la.num_entries(), lb.num_entries()) << a.token_text(t);
+    for (size_t i = 0; i < la.num_entries(); ++i) {
+      EXPECT_EQ(la.entry(i).node, lb.entry(i).node);
+      auto pa = la.positions(la.entry(i));
+      auto pb = lb.positions(lb.entry(i));
       ASSERT_EQ(pa.size(), pb.size());
       for (size_t j = 0; j < pa.size(); ++j) {
         EXPECT_EQ(pa[j], pb[j]);
       }
     }
   }
-  ASSERT_EQ(a.any_list().num_entries(), b.any_list().num_entries());
-  EXPECT_EQ(a.any_list().total_positions(), b.any_list().total_positions());
+  ASSERT_EQ(a.block_any_list().num_entries(), b.block_any_list().num_entries());
+  EXPECT_EQ(a.block_any_list().total_positions(),
+            b.block_any_list().total_positions());
 }
 
 TEST(IndexIoTest, StringRoundTrip) {

@@ -4,6 +4,7 @@
 
 #include "index/block_posting_list.h"
 #include "index/index_builder.h"
+#include "testing/raw_posting_oracle.h"
 #include "text/corpus.h"
 
 namespace fts {
@@ -20,12 +21,13 @@ Corpus SmallCorpus() {
 TEST(InvertedIndexTest, ListsContainPerNodeEntries) {
   Corpus corpus = SmallCorpus();
   InvertedIndex index = IndexBuilder::Build(corpus);
-  const PostingList* list = index.list_for_text("usability");
-  ASSERT_NE(list, nullptr);
-  ASSERT_EQ(list->num_entries(), 1u);
-  EXPECT_EQ(list->entry(0).node, 0u);
-  EXPECT_EQ(list->entry(0).pos_count, 2u);
-  auto positions = list->positions(list->entry(0));
+  const BlockPostingList* block = index.block_list_for_text("usability");
+  ASSERT_NE(block, nullptr);
+  const PostingList list = block->Materialize();
+  ASSERT_EQ(list.num_entries(), 1u);
+  EXPECT_EQ(list.entry(0).node, 0u);
+  EXPECT_EQ(list.entry(0).pos_count, 2u);
+  auto positions = list.positions(list.entry(0));
   EXPECT_EQ(positions[0].offset, 0u);
   EXPECT_EQ(positions[1].offset, 4u);
 }
@@ -33,17 +35,18 @@ TEST(InvertedIndexTest, ListsContainPerNodeEntries) {
 TEST(InvertedIndexTest, EntriesSortedByNode) {
   Corpus corpus = SmallCorpus();
   InvertedIndex index = IndexBuilder::Build(corpus);
-  const PostingList* list = index.list_for_text("software");
-  ASSERT_NE(list, nullptr);
-  ASSERT_EQ(list->num_entries(), 2u);
-  EXPECT_LT(list->entry(0).node, list->entry(1).node);
+  const BlockPostingList* block = index.block_list_for_text("software");
+  ASSERT_NE(block, nullptr);
+  const PostingList list = block->Materialize();
+  ASSERT_EQ(list.num_entries(), 2u);
+  EXPECT_LT(list.entry(0).node, list.entry(1).node);
 }
 
 TEST(InvertedIndexTest, AnyListCoversAllPositions) {
   Corpus corpus = SmallCorpus();
   InvertedIndex index = IndexBuilder::Build(corpus);
-  EXPECT_EQ(index.any_list().num_entries(), 3u);
-  EXPECT_EQ(index.any_list().total_positions(), 5u + 3u + 3u);
+  EXPECT_EQ(index.block_any_list().num_entries(), 3u);
+  EXPECT_EQ(index.block_any_list().total_positions(), 5u + 3u + 3u);
 }
 
 TEST(InvertedIndexTest, EmptyDocumentsAbsentFromAnyList) {
@@ -52,7 +55,7 @@ TEST(InvertedIndexTest, EmptyDocumentsAbsentFromAnyList) {
   corpus.AddDocument("");
   InvertedIndex index = IndexBuilder::Build(corpus);
   EXPECT_EQ(index.num_nodes(), 2u);
-  EXPECT_EQ(index.any_list().num_entries(), 1u);
+  EXPECT_EQ(index.block_any_list().num_entries(), 1u);
 }
 
 TEST(InvertedIndexTest, StatsMatchCorpusShape) {
@@ -82,9 +85,10 @@ TEST(InvertedIndexTest, NodeNormsArePositive) {
 
 TEST(ListCursorTest, SequentialScanVisitsEveryEntryOnce) {
   Corpus corpus = SmallCorpus();
+  RawPostingOracle oracle = BuildRawPostingOracle(corpus);
   InvertedIndex index = IndexBuilder::Build(corpus);
   EvalCounters counters;
-  ListCursor cursor(index.list_for_text("software"), &counters);
+  ListCursor cursor(oracle.list(index.LookupToken("software")), &counters);
   EXPECT_EQ(cursor.current_node(), kInvalidNode);
   EXPECT_EQ(cursor.NextEntry(), 0u);
   EXPECT_EQ(cursor.GetPositions().size(), 1u);
@@ -104,10 +108,11 @@ TEST(ListCursorTest, NullListIsImmediatelyExhausted) {
 
 TEST(ListCursorTest, SeekEntryLandsOnFirstNodeAtOrAfterTarget) {
   Corpus corpus = SmallCorpus();
+  RawPostingOracle oracle = BuildRawPostingOracle(corpus);
   InvertedIndex index = IndexBuilder::Build(corpus);
   EvalCounters counters;
   // "software" is in nodes 0 and 1.
-  ListCursor cursor(index.list_for_text("software"), &counters);
+  ListCursor cursor(oracle.list(index.LookupToken("software")), &counters);
   EXPECT_EQ(cursor.SeekEntry(0), 0u);   // seek starts the cursor
   EXPECT_EQ(cursor.SeekEntry(1), 1u);   // forward to the last entry
   EXPECT_EQ(cursor.GetPositions().size(), 1u);
@@ -123,8 +128,9 @@ TEST(ListCursorTest, SeekEntryOnAbsentNodeSkipsToSuccessor) {
   corpus.AddDocument("alpha");      // node 0
   corpus.AddDocument("beta");       // node 1
   corpus.AddDocument("alpha too");  // node 2
+  RawPostingOracle oracle = BuildRawPostingOracle(corpus);
   InvertedIndex index = IndexBuilder::Build(corpus);
-  ListCursor cursor(index.list_for_text("alpha"));
+  ListCursor cursor(oracle.list(index.LookupToken("alpha")));
   EXPECT_EQ(cursor.SeekEntry(1), 2u);  // node 1 lacks "alpha"
 }
 
@@ -138,24 +144,42 @@ TEST(ListCursorTest, SeekEntryOnNullAndEmptyLists) {
   EXPECT_TRUE(empty_cursor.exhausted());
 }
 
-TEST(InvertedIndexTest, BlockListsMirrorRawLists) {
+TEST(InvertedIndexTest, BlockListsMatchRawOracle) {
+  // The resident block lists carry exactly the logical content of the raw
+  // oracle representation built from the same corpus.
   Corpus corpus = SmallCorpus();
+  RawPostingOracle oracle = BuildRawPostingOracle(corpus);
   InvertedIndex index = IndexBuilder::Build(corpus);
+  ASSERT_EQ(oracle.lists.size(), index.vocabulary_size());
   for (TokenId t = 0; t < index.vocabulary_size(); ++t) {
     ASSERT_NE(index.block_list(t), nullptr);
-    EXPECT_EQ(index.block_list(t)->num_entries(), index.list(t)->num_entries());
+    EXPECT_EQ(index.block_list(t)->num_entries(), oracle.lists[t].num_entries());
     EXPECT_EQ(index.block_list(t)->total_positions(),
-              index.list(t)->total_positions());
+              oracle.lists[t].total_positions());
+    EXPECT_EQ(index.df(t), static_cast<uint32_t>(oracle.lists[t].num_entries()));
   }
-  EXPECT_EQ(index.block_any_list().num_entries(), index.any_list().num_entries());
+  EXPECT_EQ(index.block_any_list().num_entries(), oracle.any_list.num_entries());
   EXPECT_EQ(index.block_list_for_text("zzz"), nullptr);
 }
 
 TEST(InvertedIndexTest, OovTokenHasNoList) {
   Corpus corpus = SmallCorpus();
   InvertedIndex index = IndexBuilder::Build(corpus);
-  EXPECT_EQ(index.list_for_text("zzz"), nullptr);
+  EXPECT_EQ(index.block_list_for_text("zzz"), nullptr);
   EXPECT_EQ(index.df(kInvalidToken - 1), 0u);
+}
+
+TEST(InvertedIndexTest, MemoryUsageCountsResidentBytes) {
+  Corpus corpus = SmallCorpus();
+  InvertedIndex index = IndexBuilder::Build(corpus);
+  size_t block_bytes = 0;
+  for (TokenId t = 0; t < index.vocabulary_size(); ++t) {
+    block_bytes += index.block_list(t)->resident_bytes();
+  }
+  block_bytes += index.block_any_list().resident_bytes();
+  // The resident footprint covers at least every compressed payload byte.
+  EXPECT_GE(index.MemoryUsage(), block_bytes);
+  EXPECT_GT(block_bytes, 0u);
 }
 
 }  // namespace

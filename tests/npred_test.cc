@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "eval/comp_engine.h"
+#include "index/block_posting_list.h"
 #include "index/index_builder.h"
 #include "lang/parser.h"
 #include "text/corpus.h"
@@ -133,8 +134,8 @@ TEST_F(NpredFixture, LinearScanPerThread) {
   Run("SOME p SOME q (p HAS 'assignment' AND q HAS 'judge' AND "
       "not_distance(p, q, 40))",
       NpredOrderingMode::kNecessaryPartialOrders, &counters);
-  const size_t per_pass = index.list_for_text("assignment")->total_positions() +
-                          index.list_for_text("judge")->total_positions();
+  const size_t per_pass = index.block_list_for_text("assignment")->total_positions() +
+                          index.block_list_for_text("judge")->total_positions();
   EXPECT_EQ(counters.orderings_run, 2u);
   EXPECT_LE(counters.positions_scanned, 2 * per_pass);
 }

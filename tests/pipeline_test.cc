@@ -4,6 +4,7 @@
 
 #include "compile/ftc_to_fta.h"
 #include "eval/ppred_engine.h"
+#include "index/block_posting_list.h"
 #include "index/index_builder.h"
 #include "lang/parser.h"
 #include "lang/translate.h"
@@ -214,8 +215,8 @@ TEST_F(PpredEngineFixture, LinearScanGuarantee) {
   ASSERT_TRUE(parsed.ok());
   auto result = engine.Evaluate(*parsed);
   ASSERT_TRUE(result.ok());
-  const size_t total = index.list_for_text("alpha")->total_positions() +
-                       index.list_for_text("beta")->total_positions();
+  const size_t total = index.block_list_for_text("alpha")->total_positions() +
+                       index.block_list_for_text("beta")->total_positions();
   EXPECT_LE(result->counters.positions_scanned, total);
 }
 

@@ -215,5 +215,83 @@ TEST_F(ScoringFixture, TfIdfEntryScoreIsLinear) {
   EXPECT_NEAR(model.EntryScore(index, t0, 0, 4), 4 * p, 1e-12);
 }
 
+// ---------------------------------------------------------------------------
+// Block-header scoring reads: df/idf lookups and tf (occurs) reads are
+// served from the resident block lists' headers. Pure df lookups decode
+// nothing at all, and even DirectNodeScore — which seeks posting entries —
+// never decodes position payloads.
+// ---------------------------------------------------------------------------
+
+TEST_F(ScoringFixture, DfLookupsDecodeNoBlocks) {
+  std::vector<std::string> tokens = {"topic0", "topic1", "w0", "w5", "zzz-oov"};
+  EvalCounters counters;
+  TfIdfScoreModel model(&index, tokens, &counters);
+  // Model construction computes idf (hence df) for every query token.
+  EXPECT_EQ(counters.blocks_decoded, 0u);
+  EXPECT_EQ(counters.entries_decoded, 0u);
+  EXPECT_EQ(counters.positions_decoded, 0u);
+  for (const std::string& t : tokens) {
+    (void)model.Idf(t);
+  }
+  for (NodeId n = 0; n < index.num_nodes(); ++n) {
+    const TokenId t0 = index.LookupToken("topic0");
+    (void)model.LeafScore(index, t0, n);
+    (void)model.EntryScore(index, t0, n, 3);
+  }
+  // df/idf and the per-entry static scores come from block headers and
+  // precomputed node scalars: still not a single block decoded.
+  EXPECT_EQ(counters.blocks_decoded, 0u);
+  EXPECT_EQ(counters.entries_decoded, 0u);
+  EXPECT_EQ(counters.positions_decoded, 0u);
+
+  // Probabilistic scoring reads df the same way (no cursor at all).
+  ProbabilisticScoreModel prob(&index);
+  for (TokenId t = 0; t < index.vocabulary_size(); ++t) {
+    (void)prob.LeafScore(index, t, 0);
+  }
+  EXPECT_EQ(counters.blocks_decoded, 0u);
+}
+
+TEST_F(ScoringFixture, DirectNodeScoreNeverDecodesPositions) {
+  EvalCounters counters;
+  TfIdfScoreModel model(&index, {"topic0", "topic1", "w3"}, &counters);
+  double total = 0;
+  for (NodeId n = 0; n < index.num_nodes(); ++n) {
+    total += model.DirectNodeScore(n);
+  }
+  EXPECT_GT(total, 0.0);
+  // The reference computation seeks entry headers (occurs == pos_count),
+  // so blocks decode — but position payloads never do.
+  EXPECT_GT(counters.blocks_decoded, 0u);
+  EXPECT_EQ(counters.positions_decoded, 0u);
+}
+
+TEST_F(ScoringFixture, ScoringAddsNoDecodeWorkToEvaluation) {
+  // Scored and unscored runs of the same BOOL query must decode the exact
+  // same blocks/entries: the scoring side reads only headers (pos_count)
+  // and precomputed statistics, in both cursor modes.
+  auto parsed = ParseQuery("'topic0' AND ('topic1' OR NOT 'w2')",
+                           SurfaceLanguage::kBool);
+  ASSERT_TRUE(parsed.ok());
+  for (CursorMode mode : {CursorMode::kSequential, CursorMode::kSeek}) {
+    BoolEngine plain(&index, ScoringKind::kNone, mode);
+    BoolEngine tfidf(&index, ScoringKind::kTfIdf, mode);
+    BoolEngine prob(&index, ScoringKind::kProbabilistic, mode);
+    auto a = plain.Evaluate(*parsed);
+    auto b = tfidf.Evaluate(*parsed);
+    auto c = prob.Evaluate(*parsed);
+    ASSERT_TRUE(a.ok() && b.ok() && c.ok());
+    EXPECT_EQ(a->counters.blocks_decoded, b->counters.blocks_decoded);
+    EXPECT_EQ(a->counters.entries_decoded, b->counters.entries_decoded);
+    EXPECT_EQ(a->counters.blocks_decoded, c->counters.blocks_decoded);
+    EXPECT_EQ(a->counters.entries_decoded, c->counters.entries_decoded);
+    // BOOL evaluation is node-level: no PosList is ever decoded, scored or
+    // not.
+    EXPECT_EQ(a->counters.positions_decoded, 0u);
+    EXPECT_EQ(b->counters.positions_decoded, 0u);
+    EXPECT_EQ(c->counters.positions_decoded, 0u);
+  }
+}
+
 }  // namespace
 }  // namespace fts

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "index/block_posting_list.h"
 #include "index/index_builder.h"
 #include "lang/classify.h"
 #include "lang/parser.h"
@@ -70,7 +71,7 @@ TEST(CorpusGenTest, TopicTokensControlListShape) {
   opts.topic_occurrences = 10;
   Corpus corpus = GenerateCorpus(opts);
   InvertedIndex index = IndexBuilder::Build(corpus);
-  const PostingList* list = index.list_for_text(TopicToken(0));
+  const BlockPostingList* list = index.block_list_for_text(TopicToken(0));
   ASSERT_NE(list, nullptr);
   // Roughly half the documents contain the topic token...
   EXPECT_NEAR(static_cast<double>(list->num_entries()), 100.0, 25.0);
