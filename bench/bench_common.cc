@@ -47,12 +47,18 @@ std::unique_ptr<Engine> MakeEngine(const std::string& kind, const InvertedIndex*
                                    ScoringKind scoring) {
   std::string base = kind;
   CursorMode mode = CursorMode::kSequential;
-  constexpr std::string_view kSeekSuffix = "_SEEK";
-  if (base.size() > kSeekSuffix.size() &&
-      base.compare(base.size() - kSeekSuffix.size(), kSeekSuffix.size(),
-                   kSeekSuffix) == 0) {
-    base.resize(base.size() - kSeekSuffix.size());
+  const auto strip_suffix = [&base](std::string_view suffix) {
+    if (base.size() > suffix.size() &&
+        base.compare(base.size() - suffix.size(), suffix.size(), suffix) == 0) {
+      base.resize(base.size() - suffix.size());
+      return true;
+    }
+    return false;
+  };
+  if (strip_suffix("_SEEK")) {
     mode = CursorMode::kSeek;
+  } else if (strip_suffix("_ADAPT")) {
+    mode = CursorMode::kAdaptive;
   }
   if (base == "BOOL") return std::make_unique<BoolEngine>(index, scoring, mode);
   if (base == "PPRED") return std::make_unique<PpredEngine>(index, scoring, mode);

@@ -31,8 +31,9 @@ const InvertedIndex& SharedIndex(uint32_t cnodes, uint32_t occurrences);
 
 /// Engine factory: kind is "BOOL", "PPRED", "NPRED", "NPRED_TOTAL" (all
 /// toks_Q! orderings) or "COMP". A "_SEEK" suffix (e.g. "BOOL_SEEK")
-/// selects the skip-seeking cursors over the block-compressed lists;
-/// plain names keep the paper-faithful sequential access pattern.
+/// selects the skip-seeking cursors over the block-compressed lists and an
+/// "_ADAPT" suffix the per-query adaptive planner; plain names keep the
+/// paper-faithful sequential access pattern.
 std::unique_ptr<Engine> MakeEngine(const std::string& kind, const InvertedIndex* index,
                                    ScoringKind scoring = ScoringKind::kNone);
 

@@ -1,6 +1,6 @@
 // Substrate microbenchmarks: tokenizer, index construction, sequential
-// block-cursor scans, resident-memory accounting, and serialization round
-// trips.
+// block-cursor scans, resident-memory accounting, serialization round
+// trips, and the adaptive-vs-fixed cursor-mode comparison.
 
 #include <string>
 
@@ -9,6 +9,7 @@
 #include "index/index_builder.h"
 #include "index/index_io.h"
 #include "text/tokenizer.h"
+#include "workload/query_gen.h"
 
 namespace {
 
@@ -18,8 +19,12 @@ using fts::Corpus;
 using fts::GenerateCorpus;
 using fts::IndexBuilder;
 using fts::InvertedIndex;
+using fts::QueryGenOptions;
+using fts::QueryPolarity;
 using fts::Tokenizer;
 using fts::benchutil::BenchCorpusOptions;
+using fts::benchutil::MakeEngine;
+using fts::benchutil::RunQuery;
 using fts::benchutil::SharedIndex;
 
 void BM_Tokenize(benchmark::State& state) {
@@ -110,6 +115,49 @@ void BM_IndexResidentBytes(benchmark::State& state) {
       resident == 0 ? 0.0 : (resident + static_cast<double>(raw_mirror)) / resident;
 }
 BENCHMARK(BM_IndexResidentBytes);
+
+// ---------------------------------------------------------------------------
+// Adaptive planner vs the two fixed cursor modes, over fig5-8-shaped
+// workloads (paper defaults: 3 topic tokens, 2 predicates, 6000 nodes) plus
+// the selective-AND shape where seeking shines. Args: mode (0 sequential,
+// 1 seek, 2 adaptive). The acceptance bar is adaptive within 5% of the
+// better fixed mode on every series.
+// ---------------------------------------------------------------------------
+
+const char* ModeSuffix(int mode) {
+  return mode == 0 ? "" : (mode == 1 ? "_SEEK" : "_ADAPT");
+}
+
+void BM_AdaptiveVsFixed(benchmark::State& state, const char* base,
+                        QueryPolarity polarity, uint32_t occurrences) {
+  const InvertedIndex& index = SharedIndex(6000, occurrences);
+  QueryGenOptions opts;
+  opts.num_tokens = 3;
+  opts.num_predicates = polarity == QueryPolarity::kNone ? 0 : 2;
+  opts.polarity = polarity;
+  const int mode = static_cast<int>(state.range(0));
+  auto engine = MakeEngine(std::string(base) + ModeSuffix(mode), &index);
+  RunQuery(state, *engine, GenerateQuery(opts));
+}
+BENCHMARK_CAPTURE(BM_AdaptiveVsFixed, BOOL_fig5, "BOOL", QueryPolarity::kNone, 6)
+    ->DenseRange(0, 2)->ArgName("mode");
+BENCHMARK_CAPTURE(BM_AdaptiveVsFixed, PPRED_fig6, "PPRED", QueryPolarity::kPositive, 6)
+    ->DenseRange(0, 2)->ArgName("mode");
+BENCHMARK_CAPTURE(BM_AdaptiveVsFixed, NPRED_fig6, "NPRED", QueryPolarity::kNegative, 6)
+    ->DenseRange(0, 2)->ArgName("mode")->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_AdaptiveVsFixed, PPRED_fig8, "PPRED", QueryPolarity::kPositive, 12)
+    ->DenseRange(0, 2)->ArgName("mode");
+
+// Selective conjunction (the fig7-style sparse-driver shape): a Zipf-tail
+// token AND a dense topic token, where seeking is the right call.
+void BM_AdaptiveVsFixedSelective(benchmark::State& state) {
+  const InvertedIndex& index = SharedIndex(6000, 6);
+  auto engine = MakeEngine(std::string("BOOL") +
+                               ModeSuffix(static_cast<int>(state.range(0))),
+                           &index);
+  RunQuery(state, *engine, "w6000 and topic0");
+}
+BENCHMARK(BM_AdaptiveVsFixedSelective)->DenseRange(0, 2)->ArgName("mode");
 
 void BM_IndexSerialize(benchmark::State& state) {
   const InvertedIndex& index = SharedIndex(2000, 6);

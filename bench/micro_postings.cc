@@ -9,12 +9,14 @@
 #include "bench_common.h"
 #include "common/rng.h"
 #include "index/block_posting_list.h"
+#include "index/decoded_block_cache.h"
 #include "index/index_io.h"
 
 namespace {
 
 using fts::BlockListCursor;
 using fts::BlockPostingList;
+using fts::DecodedBlockCache;
 using fts::EvalCounters;
 using fts::InvertedIndex;
 using fts::ListCursor;
@@ -137,20 +139,73 @@ void BM_SeekBlock(benchmark::State& state) {
 }
 BENCHMARK(BM_SeekBlock);
 
+// Bulk header decode throughput: a full sequential walk of the hot list's
+// entry headers (node ids + counts) through the cursor's one-tight-loop
+// block decode, never touching position bytes. This is the node-level
+// access pattern of BOOL merges and zig-zag alignment.
+void BM_BulkDecode(benchmark::State& state) {
+  const InvertedIndex& index = SharedIndex(6000, static_cast<uint32_t>(state.range(0)));
+  const BlockPostingList& block = TopicBlockList(index);
+  EvalCounters counters;
+  uint64_t entries = 0;
+  for (auto _ : state) {
+    BlockListCursor cursor(&block, &counters);
+    while (cursor.NextEntry() != fts::kInvalidNode) {
+      benchmark::DoNotOptimize(cursor.current_node());
+      ++entries;
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(entries));
+  state.counters["blocks_bulk_decoded"] =
+      static_cast<double>(counters.blocks_bulk_decoded);
+}
+BENCHMARK(BM_BulkDecode)->Arg(6)->Arg(12);
+
+// Decoded-block cache: the NPRED access pattern — the same list scanned
+// once per ordering thread. Each iteration scans the hot list `rescans`
+// times; with a shared DecodedBlockCache (cache=1) every scan after the
+// first serves its blocks from cache and decodes nothing.
+void BM_DecodedBlockCache(benchmark::State& state) {
+  const InvertedIndex& index = SharedIndex(6000, 6);
+  const BlockPostingList& block = TopicBlockList(index);
+  const bool use_cache = state.range(0) != 0;
+  const int rescans = static_cast<int>(state.range(1));
+  EvalCounters counters;
+  for (auto _ : state) {
+    DecodedBlockCache cache;
+    for (int scan = 0; scan < rescans; ++scan) {
+      BlockListCursor cursor(&block, &counters, use_cache ? &cache : nullptr);
+      uint64_t sum = 0;
+      while (cursor.NextEntry() != fts::kInvalidNode) sum += cursor.current_node();
+      benchmark::DoNotOptimize(sum);
+    }
+  }
+  const double iters = static_cast<double>(state.iterations());
+  state.counters["cache_hits_per_iter"] =
+      static_cast<double>(counters.cache_hits) / iters;
+  state.counters["blocks_decoded_per_iter"] =
+      static_cast<double>(counters.blocks_decoded) / iters;
+}
+BENCHMARK(BM_DecodedBlockCache)
+    ->ArgsProduct({{0, 1}, {2, 6}})
+    ->ArgNames({"cache", "rescans"});
+
 // End-to-end effect on a selective conjunctive query: a rare Zipf-tail
 // token AND a dense topic token. The sequential merge scans both lists end
 // to end; the zig-zag seek path hops the dense list between the rare
 // token's nodes, decoding only landing blocks.
 void BM_SelectiveAnd(benchmark::State& state) {
   const InvertedIndex& index = SharedIndex(6000, 6);
-  const bool seek = state.range(0) != 0;
+  // mode: 0 = forced sequential, 1 = forced seek, 2 = adaptive planner.
+  const char* kinds[] = {"BOOL", "BOOL_SEEK", "BOOL_ADAPT"};
   const std::string rare = "w" + std::to_string(state.range(1));
-  auto engine = fts::benchutil::MakeEngine(seek ? "BOOL_SEEK" : "BOOL", &index);
+  auto engine =
+      fts::benchutil::MakeEngine(kinds[state.range(0)], &index);
   fts::benchutil::RunQuery(state, *engine, rare + " and topic1");
 }
 BENCHMARK(BM_SelectiveAnd)
-    ->ArgsProduct({{0, 1}, {2000, 12000}})
-    ->ArgNames({"seek", "rare_token"});
+    ->ArgsProduct({{0, 1, 2}, {2000, 12000}})
+    ->ArgNames({"mode", "rare_token"});
 
 }  // namespace
 

@@ -1,0 +1,172 @@
+#!/usr/bin/env python3
+"""Benchmark regression smoke check.
+
+Runs the micro benchmarks (micro_index, micro_postings) with a very short
+--benchmark_min_time and compares each benchmark's CPU time (best of
+--runs short runs) against the committed baselines in
+bench/baselines/BENCH_<bench>.json. Because the
+baselines were recorded on a different machine than CI runners, raw ratios
+are meaningless; instead each benchmark's new/baseline ratio is normalized
+by the *median* ratio across all benchmarks of that binary. A uniformly
+slower machine shifts every ratio equally and cancels out; a benchmark that
+regressed relative to its peers sticks out. The check fails when any
+normalized ratio exceeds the threshold (default 1.25 = >25% relative
+regression).
+
+Modes:
+  --mode blocking   exit non-zero on regression (Release CI)
+  --mode advisory   always exit zero, print the report (Debug CI)
+
+The committed baselines are recorded from a Release build of the library,
+so only the Release CI leg runs blocking; Debug-vs-Release speedups are
+non-uniform per benchmark and would defeat the normalization, which is why
+the Debug leg is advisory. (The `library_build_type: debug` field inside
+the baseline JSONs describes the google-benchmark harness package, not
+this library's optimization level.)
+
+Note: the container's google-benchmark predates the "0.01x" min-time
+syntax, so the script passes a plain seconds value (default 0.05).
+"""
+
+import argparse
+import json
+import os
+import statistics
+import subprocess
+import sys
+import tempfile
+
+DEFAULT_BENCHES = ["micro_index", "micro_postings"]
+
+# Multipliers to nanoseconds per google-benchmark time_unit.
+TIME_UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+
+def load_times(path):
+    """benchmark name -> CPU time in ns, per-iteration runs only. CPU time
+    is used instead of wall time: the smoke run is short, and scheduler
+    noise on shared CI runners hits wall time much harder."""
+    with open(path) as f:
+        doc = json.load(f)
+    times = {}
+    for b in doc.get("benchmarks", []):
+        if b.get("run_type", "iteration") != "iteration":
+            continue  # skip mean/median/stddev aggregates
+        unit = TIME_UNIT_NS.get(b.get("time_unit", "ns"), 1.0)
+        times[b["name"]] = b["cpu_time"] * unit
+    return times
+
+
+def run_bench(build_dir, bench, min_time, out_path):
+    binary = os.path.join(build_dir, bench)
+    if not os.path.exists(binary):
+        raise FileNotFoundError(f"benchmark binary not found: {binary}")
+    cmd = [
+        binary,
+        f"--benchmark_min_time={min_time}",
+        f"--benchmark_out={out_path}",
+        "--benchmark_out_format=json",
+    ]
+    subprocess.run(cmd, check=True, stdout=subprocess.DEVNULL)
+
+
+def check_bench(build_dir, baseline_dir, bench, min_time, threshold, runs,
+                max_bench_ms):
+    """Returns (regressions, report_lines)."""
+    baseline_path = os.path.join(baseline_dir, f"BENCH_{bench}.json")
+    if not os.path.exists(baseline_path):
+        return [], [f"{bench}: no baseline at {baseline_path}; skipped"]
+    baseline = load_times(baseline_path)
+
+    # Best-of-N: scheduler interference only ever inflates timings, so the
+    # per-benchmark minimum over a few short runs is far stabler than one
+    # longer run.
+    current = {}
+    for _ in range(runs):
+        with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as tmp:
+            out_path = tmp.name
+        try:
+            run_bench(build_dir, bench, min_time, out_path)
+            for name, t in load_times(out_path).items():
+                current[name] = min(t, current.get(name, float("inf")))
+        finally:
+            os.unlink(out_path)
+
+    common = sorted(set(baseline) & set(current))
+    # Benchmarks whose single iteration exceeds the smoke budget run once,
+    # cold — their ratio is dominated by warmup, not regressions. Skip them
+    # (the short query-path benchmarks are the ones this check protects),
+    # along with any degenerate zero-time baseline entries.
+    too_long = [n for n in common if baseline[n] > max_bench_ms * 1e6]
+    common = [n for n in common
+              if 0 < baseline[n] <= max_bench_ms * 1e6]
+    if not common:
+        return [], [f"{bench}: no common benchmarks with baseline; skipped"]
+
+    ratios = {name: current[name] / baseline[name] for name in common}
+    median = statistics.median(ratios.values())
+    report = [f"{bench}: {len(common)} benchmarks, median machine ratio "
+              f"{median:.2f}x (normalizing by it)"]
+    if too_long:
+        report.append(f"  {len(too_long)} benchmark(s) over {max_bench_ms}ms "
+                      f"per iteration skipped (cold single-iteration smoke "
+                      f"runs are warmup-dominated): {', '.join(too_long)}")
+    new_only = sorted(set(current) - set(baseline))
+    if new_only:
+        report.append(f"  {len(new_only)} benchmark(s) not in baseline "
+                      f"(ignored): {', '.join(new_only[:5])}"
+                      f"{' ...' if len(new_only) > 5 else ''}")
+
+    regressions = []
+    for name in common:
+        norm = ratios[name] / median if median > 0 else float("inf")
+        flag = ""
+        if norm > threshold:
+            regressions.append((name, norm))
+            flag = f"  <-- REGRESSION (> {threshold:.2f}x)"
+        report.append(f"  {name}: {norm:.2f}x relative{flag}")
+    return regressions, report
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--build-dir", default="build")
+    parser.add_argument("--baseline-dir", default="bench/baselines")
+    parser.add_argument("--benches", nargs="*", default=DEFAULT_BENCHES)
+    parser.add_argument("--min-time", default="0.05",
+                        help="--benchmark_min_time value (seconds)")
+    parser.add_argument("--threshold", type=float, default=1.25,
+                        help="max allowed normalized ratio (1.25 = +25%%)")
+    parser.add_argument("--max-bench-ms", type=float, default=20.0,
+                        help="skip benchmarks whose baseline iteration "
+                             "exceeds this many milliseconds")
+    parser.add_argument("--runs", type=int, default=3,
+                        help="short runs per binary; per-benchmark minimum "
+                             "is compared (noise is one-sided)")
+    parser.add_argument("--mode", choices=["blocking", "advisory"],
+                        default="blocking")
+    args = parser.parse_args()
+
+    all_regressions = []
+    for bench in args.benches:
+        regressions, report = check_bench(args.build_dir, args.baseline_dir,
+                                          bench, args.min_time, args.threshold,
+                                          args.runs, args.max_bench_ms)
+        print("\n".join(report))
+        all_regressions.extend(regressions)
+
+    if all_regressions:
+        print(f"\n{len(all_regressions)} benchmark(s) regressed >"
+              f"{(args.threshold - 1) * 100:.0f}% relative to the baseline:")
+        for name, norm in all_regressions:
+            print(f"  {name}: {norm:.2f}x")
+        if args.mode == "blocking":
+            return 1
+        print("(advisory mode: not failing the build)")
+    else:
+        print("\nno benchmark regressions detected")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

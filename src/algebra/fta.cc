@@ -1,5 +1,10 @@
 #include "algebra/fta.h"
 
+#include <algorithm>
+
+#include "index/block_posting_list.h"
+#include "index/decoded_block_cache.h"
+
 namespace fts {
 
 // FtaExpr has a private constructor; the member factories below are the
@@ -158,61 +163,116 @@ std::string FtaExpr::ToString() const {
   return "?";
 }
 
+void ForEachScanLeaf(const FtaExprPtr& plan,
+                     const std::function<void(const FtaExpr&)>& fn) {
+  if (!plan) return;
+  if (plan->kind() == FtaExpr::Kind::kToken ||
+      plan->kind() == FtaExpr::Kind::kHasPos) {
+    fn(*plan);
+    return;
+  }
+  // child() aliases left(), so left+right covers unary nodes too.
+  ForEachScanLeaf(plan->left(), fn);
+  ForEachScanLeaf(plan->right(), fn);
+}
+
+namespace {
+
+void CollectScanLeaves(const FtaExprPtr& plan, std::vector<std::string>* tokens,
+                       int* haspos_scans) {
+  ForEachScanLeaf(plan, [&](const FtaExpr& leaf) {
+    if (leaf.kind() == FtaExpr::Kind::kToken) {
+      tokens->push_back(leaf.token());
+    } else {
+      ++*haspos_scans;
+    }
+  });
+}
+
+}  // namespace
+
+bool ShouldUseDecodedBlockCache(const FtaExprPtr& plan, const InvertedIndex& index) {
+  std::vector<std::string> tokens;
+  int haspos_scans = 0;
+  CollectScanLeaves(plan, &tokens, &haspos_scans);
+  return DecodedBlockCache::ShouldAttach(index, std::move(tokens), haspos_scans);
+}
+
+bool PlanFitsDecodedBlockCache(const FtaExprPtr& plan, const InvertedIndex& index) {
+  std::vector<std::string> tokens;
+  int haspos_scans = 0;
+  CollectScanLeaves(plan, &tokens, &haspos_scans);
+  return DecodedBlockCache::FitsWorkingSet(index, tokens, haspos_scans);
+}
+
 StatusOr<FtRelation> EvaluateFta(const FtaExprPtr& expr, const InvertedIndex& index,
                                  const AlgebraScoreModel* model,
                                  EvalCounters* counters,
-                                 const RawPostingOracle* raw_oracle) {
+                                 const RawPostingOracle* raw_oracle,
+                                 DecodedBlockCache* cache) {
   if (!expr) return Status::InvalidArgument("null algebra expression");
   switch (expr->kind()) {
     case FtaExpr::Kind::kSearchContext:
       return OpScanSearchContext(index, model, counters);
     case FtaExpr::Kind::kHasPos:
-      return OpScanHasPos(index, model, counters, raw_oracle);
+      return OpScanHasPos(index, model, counters, raw_oracle, cache);
     case FtaExpr::Kind::kToken:
-      return OpScanToken(index, expr->token(), model, counters, raw_oracle);
+      return OpScanToken(index, expr->token(), model, counters, raw_oracle, cache);
     case FtaExpr::Kind::kProject: {
       FTS_ASSIGN_OR_RETURN(FtRelation in,
-                           EvaluateFta(expr->child(), index, model, counters, raw_oracle));
+                           EvaluateFta(expr->child(), index, model, counters,
+                                       raw_oracle, cache));
       return OpProject(in, expr->project_cols(), model, counters);
     }
     case FtaExpr::Kind::kJoin: {
       FTS_ASSIGN_OR_RETURN(FtRelation l,
-                           EvaluateFta(expr->left(), index, model, counters, raw_oracle));
+                           EvaluateFta(expr->left(), index, model, counters,
+                                       raw_oracle, cache));
       FTS_ASSIGN_OR_RETURN(FtRelation r,
-                           EvaluateFta(expr->right(), index, model, counters, raw_oracle));
+                           EvaluateFta(expr->right(), index, model, counters,
+                                       raw_oracle, cache));
       return OpJoin(l, r, model, counters);
     }
     case FtaExpr::Kind::kSelect: {
       FTS_ASSIGN_OR_RETURN(FtRelation in,
-                           EvaluateFta(expr->child(), index, model, counters, raw_oracle));
+                           EvaluateFta(expr->child(), index, model, counters,
+                                       raw_oracle, cache));
       return OpSelect(in, expr->pred(), model, counters);
     }
     case FtaExpr::Kind::kAntiJoin: {
       FTS_ASSIGN_OR_RETURN(FtRelation l,
-                           EvaluateFta(expr->left(), index, model, counters, raw_oracle));
+                           EvaluateFta(expr->left(), index, model, counters,
+                                       raw_oracle, cache));
       FTS_ASSIGN_OR_RETURN(FtRelation r,
-                           EvaluateFta(expr->right(), index, model, counters, raw_oracle));
+                           EvaluateFta(expr->right(), index, model, counters,
+                                       raw_oracle, cache));
       return OpAntiJoin(l, r, model, counters);
     }
     case FtaExpr::Kind::kUnion: {
       FTS_ASSIGN_OR_RETURN(FtRelation l,
-                           EvaluateFta(expr->left(), index, model, counters, raw_oracle));
+                           EvaluateFta(expr->left(), index, model, counters,
+                                       raw_oracle, cache));
       FTS_ASSIGN_OR_RETURN(FtRelation r,
-                           EvaluateFta(expr->right(), index, model, counters, raw_oracle));
+                           EvaluateFta(expr->right(), index, model, counters,
+                                       raw_oracle, cache));
       return OpUnion(l, r, model, counters);
     }
     case FtaExpr::Kind::kIntersect: {
       FTS_ASSIGN_OR_RETURN(FtRelation l,
-                           EvaluateFta(expr->left(), index, model, counters, raw_oracle));
+                           EvaluateFta(expr->left(), index, model, counters,
+                                       raw_oracle, cache));
       FTS_ASSIGN_OR_RETURN(FtRelation r,
-                           EvaluateFta(expr->right(), index, model, counters, raw_oracle));
+                           EvaluateFta(expr->right(), index, model, counters,
+                                       raw_oracle, cache));
       return OpIntersect(l, r, model, counters);
     }
     case FtaExpr::Kind::kDifference: {
       FTS_ASSIGN_OR_RETURN(FtRelation l,
-                           EvaluateFta(expr->left(), index, model, counters, raw_oracle));
+                           EvaluateFta(expr->left(), index, model, counters,
+                                       raw_oracle, cache));
       FTS_ASSIGN_OR_RETURN(FtRelation r,
-                           EvaluateFta(expr->right(), index, model, counters, raw_oracle));
+                           EvaluateFta(expr->right(), index, model, counters,
+                                       raw_oracle, cache));
       return OpDifference(l, r, model, counters);
     }
   }

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "index/block_posting_list.h"
+#include "index/decoded_block_cache.h"
 #include "testing/raw_posting_oracle.h"
 
 namespace fts {
@@ -92,25 +93,27 @@ FtRelation ScanAnyOccurrences(CursorT cursor, const AlgebraScoreModel* model,
 
 FtRelation OpScanToken(const InvertedIndex& index, std::string_view token,
                        const AlgebraScoreModel* model, EvalCounters* counters,
-                       const RawPostingOracle* raw_oracle) {
+                       const RawPostingOracle* raw_oracle, DecodedBlockCache* cache) {
   const TokenId tok = index.LookupToken(token);
   if (tok == kInvalidToken) return FtRelation(1);  // OOV token: empty relation
   if (raw_oracle != nullptr) {
     return ScanTokenOccurrences(ListCursor(raw_oracle->list(tok), counters),
                                 index, tok, model, counters);
   }
-  return ScanTokenOccurrences(BlockListCursor(index.block_list(tok), counters),
-                              index, tok, model, counters);
+  return ScanTokenOccurrences(
+      BlockListCursor(index.block_list(tok), counters, cache), index, tok,
+      model, counters);
 }
 
 FtRelation OpScanHasPos(const InvertedIndex& index, const AlgebraScoreModel* model,
-                        EvalCounters* counters, const RawPostingOracle* raw_oracle) {
+                        EvalCounters* counters, const RawPostingOracle* raw_oracle,
+                        DecodedBlockCache* cache) {
   if (raw_oracle != nullptr) {
     return ScanAnyOccurrences(ListCursor(&raw_oracle->any_list, counters), model,
                               counters);
   }
-  return ScanAnyOccurrences(BlockListCursor(&index.block_any_list(), counters),
-                            model, counters);
+  return ScanAnyOccurrences(
+      BlockListCursor(&index.block_any_list(), counters, cache), model, counters);
 }
 
 FtRelation OpScanSearchContext(const InvertedIndex& index,
@@ -285,7 +288,8 @@ StatusOr<FtRelation> OpIntersect(const FtRelation& l, const FtRelation& r,
 }
 
 StatusOr<FtRelation> OpDifference(const FtRelation& l, const FtRelation& r,
-                                  const AlgebraScoreModel* model, EvalCounters* counters) {
+                                  const AlgebraScoreModel* model,
+                                  EvalCounters* counters) {
   if (l.num_cols() != r.num_cols()) {
     return Status::InvalidArgument("difference schema mismatch");
   }

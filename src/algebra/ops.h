@@ -22,6 +22,8 @@
 
 namespace fts {
 
+class DecodedBlockCache;  // index/decoded_block_cache.h
+
 /// A predicate application against relation columns (0-based).
 struct AlgebraPredicateCall {
   const PositionPredicate* pred = nullptr;
@@ -32,15 +34,18 @@ struct AlgebraPredicateCall {
 /// R_token: one tuple per occurrence of `token` (text form) in the corpus,
 /// scanned from the block-resident list. When `raw_oracle` is set
 /// (differential tests only) the scan reads the raw oracle list instead;
-/// the produced relation is identical either way.
+/// the produced relation is identical either way. `cache` (nullable) serves
+/// repeated block decodes within one query evaluation.
 FtRelation OpScanToken(const InvertedIndex& index, std::string_view token,
                        const AlgebraScoreModel* model, EvalCounters* counters,
-                       const RawPostingOracle* raw_oracle = nullptr);
+                       const RawPostingOracle* raw_oracle = nullptr,
+                       DecodedBlockCache* cache = nullptr);
 
 /// HasPos: one tuple per position of every node (materializes IL_ANY).
 FtRelation OpScanHasPos(const InvertedIndex& index, const AlgebraScoreModel* model,
                         EvalCounters* counters,
-                        const RawPostingOracle* raw_oracle = nullptr);
+                        const RawPostingOracle* raw_oracle = nullptr,
+                        DecodedBlockCache* cache = nullptr);
 
 /// SearchContext: one zero-column tuple per context node.
 FtRelation OpScanSearchContext(const InvertedIndex& index,

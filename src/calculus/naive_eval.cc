@@ -82,7 +82,8 @@ StatusOr<std::vector<NodeId>> NaiveCalculusEvaluator::Evaluate(const CalcQuery& 
   return out;
 }
 
-StatusOr<bool> NaiveCalculusEvaluator::EvalOnNode(const CalcExprPtr& e, NodeId node) const {
+StatusOr<bool> NaiveCalculusEvaluator::EvalOnNode(const CalcExprPtr& e,
+                                                  NodeId node) const {
   if (!e) return Status::InvalidArgument("null expression");
   if (node >= corpus_->num_nodes()) {
     return Status::InvalidArgument("node id out of range");

@@ -42,6 +42,15 @@ struct EvalCounters {
   /// first GetPositions() of an entry). Node-level work — df lookups, BOOL
   /// merges, zig-zag alignment — keeps this at zero.
   uint64_t positions_decoded = 0;
+  /// Blocks whose ids + entry headers were decoded in one bulk pass through
+  /// the group varint decoder (every cursor block load takes this path; a
+  /// cache hit does not).
+  uint64_t blocks_bulk_decoded = 0;
+  /// Decoded-block cache hits: block loads served from a DecodedBlockCache
+  /// without decoding anything.
+  uint64_t cache_hits = 0;
+  /// Decoded-block cache misses: block loads that decoded and inserted.
+  uint64_t cache_misses = 0;
 
   void Reset() { *this = EvalCounters{}; }
 
@@ -56,6 +65,9 @@ struct EvalCounters {
     blocks_decoded += o.blocks_decoded;
     entries_decoded += o.entries_decoded;
     positions_decoded += o.positions_decoded;
+    blocks_bulk_decoded += o.blocks_bulk_decoded;
+    cache_hits += o.cache_hits;
+    cache_misses += o.cache_misses;
     return *this;
   }
 
@@ -69,7 +81,10 @@ struct EvalCounters {
            " skip_checks=" + std::to_string(skip_checks) +
            " blocks_decoded=" + std::to_string(blocks_decoded) +
            " entries_decoded=" + std::to_string(entries_decoded) +
-           " positions_decoded=" + std::to_string(positions_decoded);
+           " positions_decoded=" + std::to_string(positions_decoded) +
+           " blocks_bulk_decoded=" + std::to_string(blocks_bulk_decoded) +
+           " cache_hits=" + std::to_string(cache_hits) +
+           " cache_misses=" + std::to_string(cache_misses);
   }
 };
 

@@ -1,10 +1,19 @@
 // LEB128-style variable-length integer coding used by the on-disk inverted
 // index format. Posting lists store node ids and position offsets as deltas,
 // so most values fit in one or two bytes.
+//
+// Two decode tiers are provided. The Status-returning GetVarint* functions
+// are the convenient form used on cold paths (index load framing, skip
+// tables). The pointer-based GetVarint32Ptr / GetVarint32Group family is
+// the hot-path form used by the bulk block decoder: one-byte values decode
+// inline with a single branch, the multi-byte tail is an out-of-line
+// unrolled loop, and malformed input (truncation, >32-bit value) is
+// reported as a null pointer instead of a Status allocation.
 
 #ifndef FTS_COMMON_VARINT_H_
 #define FTS_COMMON_VARINT_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 
@@ -25,6 +34,37 @@ Status GetVarint64(const std::string& data, size_t* offset, uint64_t* value);
 
 /// 32-bit variant of GetVarint64; fails on values that overflow 32 bits.
 Status GetVarint32(const std::string& data, size_t* offset, uint32_t* value);
+
+/// Out-of-line continuation of GetVarint32Ptr for multi-byte values: an
+/// unrolled decode of up to 5 bytes. Returns the pointer past the varint,
+/// or nullptr on truncated input / values that overflow 32 bits.
+const uint8_t* GetVarint32PtrFallback(const uint8_t* p, const uint8_t* limit,
+                                      uint32_t* value);
+
+/// Hot-path decode of one varint32 from [p, limit). One-byte values (the
+/// overwhelmingly common case for block-local deltas) take a single inline
+/// branch. Returns the pointer past the varint, or nullptr on malformed
+/// input (truncation, overflow past 32 bits).
+inline const uint8_t* GetVarint32Ptr(const uint8_t* p, const uint8_t* limit,
+                                     uint32_t* value) {
+  if (p < limit) {
+    const uint32_t result = *p;
+    if ((result & 0x80) == 0) {
+      *value = result;
+      return p + 1;
+    }
+  }
+  return GetVarint32PtrFallback(p, limit, value);
+}
+
+/// Group decode of `count` varint32s from [p, limit) into out[0..count).
+/// While at least four maximal-width varints' worth of bytes remain, the
+/// inner loop decodes four values per iteration without per-byte limit
+/// checks (the word-at-a-time fast path of the bulk block decoder); the
+/// tail falls back to the checked decoder. Returns the pointer past the
+/// last varint, or nullptr on malformed input.
+const uint8_t* GetVarint32Group(const uint8_t* p, const uint8_t* limit,
+                                uint32_t* out, size_t count);
 
 }  // namespace fts
 

@@ -1,8 +1,10 @@
 #include "eval/bool_engine.h"
 
 #include <algorithm>
+#include <cassert>
 
 #include "index/block_posting_list.h"
+#include "index/decoded_block_cache.h"
 #include "testing/raw_posting_oracle.h"
 #include "lang/classify.h"
 #include "scoring/probabilistic.h"
@@ -22,12 +24,13 @@ class BoolEvaluator {
  public:
   BoolEvaluator(const InvertedIndex* index, const AlgebraScoreModel* model,
                 EvalCounters* counters, CursorMode mode,
-                const RawPostingOracle* raw_oracle)
+                const RawPostingOracle* raw_oracle, DecodedBlockCache* cache)
       : index_(index),
         model_(model),
         counters_(counters),
         mode_(mode),
-        raw_oracle_(raw_oracle) {}
+        raw_oracle_(raw_oracle),
+        cache_(cache) {}
 
   StatusOr<NodeSet> Eval(const LangExprPtr& e) {
     switch (e->kind()) {
@@ -53,22 +56,34 @@ class BoolEvaluator {
           FTS_ASSIGN_OR_RETURN(NodeSet r, Eval(e->left()->child()));
           return Difference(l, r);
         }
-        if (mode_ == CursorMode::kSeek) {
-          // Token operands intersect by zig-zag seeking over the compressed
-          // lists, decoding only landing blocks instead of scanning both
-          // lists end to end. Scores are identical to the merge path.
+        if (mode_ != CursorMode::kSequential) {
+          // Token operands can intersect by zig-zag seeking over the
+          // compressed lists, decoding only landing blocks instead of
+          // scanning both lists end to end. kSeek always does; kAdaptive
+          // asks the planner per AND operator, using the actual list sizes
+          // on each side (df for tokens, cardinality for evaluated sets).
+          // Scores are identical to the merge path either way.
           const bool ltok = e->left()->kind() == LangExpr::Kind::kToken;
           const bool rtok = e->right()->kind() == LangExpr::Kind::kToken;
           if (ltok && rtok) {
-            return ZigZagTokens(e->left()->token(), e->right()->token());
-          }
-          if (rtok) {
+            if (UseSeek(TokenDf(e->left()->token()),
+                        TokenDf(e->right()->token()))) {
+              return ZigZagTokens(e->left()->token(), e->right()->token());
+            }
+          } else if (rtok) {
             FTS_ASSIGN_OR_RETURN(NodeSet l, Eval(e->left()));
-            return IntersectSetToken(l, e->right()->token(), /*set_on_left=*/true);
-          }
-          if (ltok) {
+            if (UseSeek(l.nodes.size(), TokenDf(e->right()->token()))) {
+              return IntersectSetToken(l, e->right()->token(), /*set_on_left=*/true);
+            }
             FTS_ASSIGN_OR_RETURN(NodeSet r, Eval(e->right()));
-            return IntersectSetToken(r, e->left()->token(), /*set_on_left=*/false);
+            return Intersect(l, r);
+          } else if (ltok) {
+            FTS_ASSIGN_OR_RETURN(NodeSet r, Eval(e->right()));
+            if (UseSeek(r.nodes.size(), TokenDf(e->left()->token()))) {
+              return IntersectSetToken(r, e->left()->token(), /*set_on_left=*/false);
+            }
+            FTS_ASSIGN_OR_RETURN(NodeSet l, Eval(e->left()));
+            return Intersect(l, r);
           }
         }
         FTS_ASSIGN_OR_RETURN(NodeSet l, Eval(e->left()));
@@ -91,6 +106,19 @@ class BoolEvaluator {
     return model_ ? model_->EntryScore(*index_, id, node, pos_count) : 0.0;
   }
 
+  uint64_t TokenDf(const std::string& token) const {
+    return index_->df(index_->LookupToken(token));
+  }
+
+  /// Per-operator access-mode decision for an AND whose sides would read
+  /// `a` and `b` entries: kSeek forces seeking, kAdaptive asks the planner.
+  bool UseSeek(uint64_t a, uint64_t b) const {
+    if (mode_ == CursorMode::kSeek) return true;
+    assert(mode_ == CursorMode::kAdaptive);
+    const uint64_t dfs[2] = {a, b};
+    return PlanFromDfs(dfs) == CursorMode::kSeek;
+  }
+
   template <typename CursorT>
   NodeSet ScanToken(CursorT cursor, TokenId id) {
     NodeSet out;
@@ -109,7 +137,8 @@ class BoolEvaluator {
     if (raw_oracle_ != nullptr) {
       return ScanToken(ListCursor(raw_oracle_->list(id), counters_), id);
     }
-    return ScanToken(BlockListCursor(index_->block_list(id), counters_), id);
+    return ScanToken(BlockListCursor(index_->block_list(id), counters_, cache_),
+                     id);
   }
 
   NodeSet EvalAny() {
@@ -124,7 +153,7 @@ class BoolEvaluator {
     if (raw_oracle_ != nullptr) {
       collect(ListCursor(&raw_oracle_->any_list, counters_));
     } else {
-      collect(BlockListCursor(&index_->block_any_list(), counters_));
+      collect(BlockListCursor(&index_->block_any_list(), counters_, cache_));
     }
     return out;
   }
@@ -137,8 +166,9 @@ class BoolEvaluator {
       return ZigZag(ListCursor(raw_oracle_->list(lid), counters_),
                     ListCursor(raw_oracle_->list(rid), counters_), lid, rid);
     }
-    return ZigZag(BlockListCursor(index_->block_list(lid), counters_),
-                  BlockListCursor(index_->block_list(rid), counters_), lid, rid);
+    return ZigZag(BlockListCursor(index_->block_list(lid), counters_, cache_),
+                  BlockListCursor(index_->block_list(rid), counters_, cache_),
+                  lid, rid);
   }
 
   template <typename CursorT>
@@ -175,8 +205,9 @@ class BoolEvaluator {
       return IntersectSetCursor(set, ListCursor(raw_oracle_->list(id), counters_),
                                 id, set_on_left);
     }
-    return IntersectSetCursor(set, BlockListCursor(index_->block_list(id), counters_),
-                              id, set_on_left);
+    return IntersectSetCursor(
+        set, BlockListCursor(index_->block_list(id), counters_, cache_), id,
+        set_on_left);
   }
 
   template <typename CursorT>
@@ -274,7 +305,33 @@ class BoolEvaluator {
   EvalCounters* counters_;
   CursorMode mode_;
   const RawPostingOracle* raw_oracle_;
+  DecodedBlockCache* cache_;
 };
+
+/// Collects the query's leaf list reads (token spellings plus ANY scans)
+/// for the shared cache-attachment decision (DecodedBlockCache::ShouldAttach).
+void CollectBoolLeaves(const LangExprPtr& e, std::vector<std::string>* tokens,
+                       int* any_scans) {
+  if (!e) return;
+  if (e->kind() == LangExpr::Kind::kToken) {
+    tokens->push_back(e->token());
+    return;
+  }
+  if (e->kind() == LangExpr::Kind::kAny) {
+    ++*any_scans;
+    return;
+  }
+  // child() aliases left(), so left+right covers unary nodes too.
+  CollectBoolLeaves(e->left(), tokens, any_scans);
+  CollectBoolLeaves(e->right(), tokens, any_scans);
+}
+
+bool ShouldUseBoolCache(const LangExprPtr& e, const InvertedIndex& index) {
+  std::vector<std::string> tokens;
+  int any_scans = 0;
+  CollectBoolLeaves(e, &tokens, &any_scans);
+  return DecodedBlockCache::ShouldAttach(index, std::move(tokens), any_scans);
+}
 
 }  // namespace
 
@@ -292,7 +349,11 @@ StatusOr<QueryResult> BoolEngine::Evaluate(const LangExprPtr& query) const {
   }
 
   QueryResult result;
-  BoolEvaluator eval(index_, model.get(), &result.counters, mode_, raw_oracle_);
+  // The cache only pays when some list is read twice and the working set
+  // fits; single-scan queries skip its per-block bookkeeping.
+  DecodedBlockCache cache;
+  BoolEvaluator eval(index_, model.get(), &result.counters, mode_, raw_oracle_,
+                     ShouldUseBoolCache(normalized, *index_) ? &cache : nullptr);
   FTS_ASSIGN_OR_RETURN(NodeSet set, eval.Eval(normalized));
   result.nodes = std::move(set.nodes);
   if (scoring_ != ScoringKind::kNone) result.scores = std::move(set.scores);

@@ -5,6 +5,7 @@
 #include "algebra/fta.h"
 #include "calculus/analysis.h"
 #include "compile/ftc_to_fta.h"
+#include "index/decoded_block_cache.h"
 #include "lang/translate.h"
 #include "scoring/probabilistic.h"
 #include "scoring/tfidf.h"
@@ -26,9 +27,14 @@ StatusOr<QueryResult> CompEngine::Evaluate(const LangExprPtr& query) const {
   }
 
   QueryResult result;
+  // The cache only pays when some list is scanned twice and the working
+  // set fits; single-scan plans skip its per-block bookkeeping entirely.
+  DecodedBlockCache cache;
+  DecodedBlockCache* cache_ptr =
+      ShouldUseDecodedBlockCache(plan, *index_) ? &cache : nullptr;
   FTS_ASSIGN_OR_RETURN(FtRelation rel,
                        EvaluateFta(plan, *index_, model.get(), &result.counters,
-                                    raw_oracle_));
+                                    raw_oracle_, cache_ptr));
   result.nodes.reserve(rel.size());
   for (size_t i = 0; i < rel.size(); ++i) {
     result.nodes.push_back(rel.tuple(i).node);

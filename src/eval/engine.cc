@@ -15,8 +15,28 @@ const char* CursorModeToString(CursorMode mode) {
   switch (mode) {
     case CursorMode::kSequential: return "sequential";
     case CursorMode::kSeek: return "seek";
+    case CursorMode::kAdaptive: return "adaptive";
   }
   return "?";
+}
+
+CursorMode PlanFromDfs(std::span<const uint64_t> dfs,
+                       const AdaptivePlannerOptions& opts) {
+  if (dfs.size() < 2) return CursorMode::kSequential;
+  uint64_t min_df = dfs[0];
+  uint64_t sum = 0;
+  for (uint64_t df : dfs) {
+    sum += df;
+    if (df < min_df) min_df = df;
+  }
+  // An empty (df 0) list — an OOV token, an empty intermediate set — is
+  // the most selective driver possible: 0 * threshold <= others always
+  // holds, so the zig-zag runs and terminates before decoding anything
+  // from the other side.
+  const double others = static_cast<double>(sum - min_df);
+  return static_cast<double>(min_df) * opts.selectivity_threshold <= others
+             ? CursorMode::kSeek
+             : CursorMode::kSequential;
 }
 
 }  // namespace fts

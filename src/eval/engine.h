@@ -6,6 +6,7 @@
 #ifndef FTS_EVAL_ENGINE_H_
 #define FTS_EVAL_ENGINE_H_
 
+#include <span>
 #include <string_view>
 #include <vector>
 
@@ -35,9 +36,36 @@ enum class CursorMode {
   /// SeekEntry instead of stepping, decoding only the blocks they land in.
   /// Results are identical to kSequential; only the access pattern changes.
   kSeek,
+  /// Per-query planner: engines read df statistics from the block-list
+  /// headers and choose kSequential or kSeek per operator/pipeline via
+  /// PlanFromDfs. Results are identical to both fixed modes; only the
+  /// access pattern is chosen adaptively. The forced modes above bypass
+  /// the planner entirely (paper-faithful access counts need kSequential).
+  kAdaptive,
 };
 
 const char* CursorModeToString(CursorMode mode);
+
+/// Tunables of the adaptive access-mode planner.
+struct AdaptivePlannerOptions {
+  /// A driver (smallest-df) list must be at least this many times smaller
+  /// than the combined other lists before seeking pays: seeks decode whole
+  /// landing blocks (kDefaultBlockSize entries a hop), so the driver must
+  /// be selective enough that hops actually skip blocks. Ties (driver *
+  /// threshold == sum of others) choose kSeek.
+  double selectivity_threshold = 16.0;
+};
+
+/// The access-mode heuristic: given the per-list sizes an operator would
+/// read (document frequencies for token lists, intermediate cardinalities
+/// for already-evaluated inputs), picks kSeek when the smallest list is
+/// selective enough to drive skips (min * threshold <= sum of the rest)
+/// and kSequential otherwise. An empty (df 0) list is the most selective
+/// driver of all — the zig-zag terminates immediately — so it always
+/// plans kSeek against non-empty peers. Fewer than two lists plan
+/// kSequential: there is nothing to zig-zag against.
+CursorMode PlanFromDfs(std::span<const uint64_t> dfs,
+                       const AdaptivePlannerOptions& opts = {});
 
 /// Result of one query evaluation.
 struct QueryResult {

@@ -8,6 +8,7 @@
 #include "calculus/analysis.h"
 #include "compile/ftc_to_fta.h"
 #include "eval/pos_cursor.h"
+#include "index/decoded_block_cache.h"
 #include "lang/translate.h"
 #include "scoring/probabilistic.h"
 #include "scoring/tfidf.h"
@@ -219,11 +220,19 @@ StatusOr<QueryResult> NpredEngine::Evaluate(const LangExprPtr& query) const {
 
   const PositionPredicate* le = PredicateRegistry::Default().Find("le");
   QueryResult result;
+  // One decoded-block cache across every ordering thread: each permutation
+  // re-scans the same token lists, so all threads after the first find
+  // their hot blocks already decoded.
+  DecodedBlockCache cache;
 
   if (neg_vars.empty()) {
-    // No negative predicates: degenerate to a single PPRED-style pass.
+    // No negative predicates: degenerate to a single PPRED-style pass; the
+    // cache only pays here if the plan itself scans a list twice.
     FTS_ASSIGN_OR_RETURN(FtaExprPtr plan, CompileQuery(calc));
-    PipelineContext ctx{index_, model.get(), &result.counters, cursor_mode_, raw_oracle_};
+    PipelineContext ctx{index_, model.get(), &result.counters,
+                        PlanPipelineCursorMode(cursor_mode_, plan, *index_),
+                        raw_oracle_,
+                        ShouldUseDecodedBlockCache(plan, *index_) ? &cache : nullptr};
     FTS_ASSIGN_OR_RETURN(std::unique_ptr<PosCursor> cursor, BuildPipeline(plan, ctx));
     DrainPipeline(cursor.get(), scoring_ != ScoringKind::kNone, &result.nodes,
                   &result.scores);
@@ -244,7 +253,12 @@ StatusOr<QueryResult> NpredEngine::Evaluate(const LangExprPtr& query) const {
     std::vector<std::shared_ptr<const PositionPredicate>> adapters;
     CalcQuery threaded{InsertOrderingConstraints(calc.expr, rank, le, &adapters)};
     FTS_ASSIGN_OR_RETURN(FtaExprPtr plan, CompileQuery(threaded));
-    PipelineContext ctx{index_, model.get(), &result.counters, cursor_mode_, raw_oracle_};
+    // Rescanning is guaranteed by the ordering loop itself, so the cache
+    // attaches whenever the plan's working set fits it.
+    PipelineContext ctx{index_, model.get(), &result.counters,
+                        PlanPipelineCursorMode(cursor_mode_, plan, *index_),
+                        raw_oracle_,
+                        PlanFitsDecodedBlockCache(plan, *index_) ? &cache : nullptr};
     FTS_ASSIGN_OR_RETURN(std::unique_ptr<PosCursor> cursor, BuildPipeline(plan, ctx));
     std::vector<NodeId> nodes;
     std::vector<double> scores;

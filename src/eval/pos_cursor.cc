@@ -3,9 +3,25 @@
 #include <vector>
 
 #include "index/block_posting_list.h"
+#include "index/decoded_block_cache.h"
 #include "testing/raw_posting_oracle.h"
 
 namespace fts {
+
+CursorMode PlanPipelineCursorMode(CursorMode requested, const FtaExprPtr& plan,
+                                  const InvertedIndex& index,
+                                  const AdaptivePlannerOptions& opts) {
+  if (requested != CursorMode::kAdaptive) return requested;
+  std::vector<uint64_t> dfs;
+  ForEachScanLeaf(plan, [&](const FtaExpr& leaf) {
+    // kHasPos never reaches BuildPipeline (rejected as Unsupported), so
+    // only token leaves contribute dfs.
+    if (leaf.kind() == FtaExpr::Kind::kToken) {
+      dfs.push_back(index.df(index.LookupToken(leaf.token())));
+    }
+  });
+  return PlanFromDfs(dfs, opts);
+}
 
 NodeId PosCursor::SeekNode(NodeId target) {
   NodeId n = node();
@@ -463,7 +479,8 @@ StatusOr<std::unique_ptr<PosCursor>> BuildPipeline(const FtaExprPtr& plan,
       // Both cursor modes read the block-resident list; kSequential simply
       // never calls SeekEntry (ScanCursor::SeekNode steps instead).
       return std::unique_ptr<PosCursor>(new ScanCursor<BlockListCursor>(
-          BlockListCursor(ctx.index->block_list(id), ctx.counters), id, ctx));
+          BlockListCursor(ctx.index->block_list(id), ctx.counters, ctx.cache),
+          id, ctx));
     }
     case FtaExpr::Kind::kJoin: {
       FTS_ASSIGN_OR_RETURN(auto l, BuildPipeline(plan->left(), ctx));
@@ -473,7 +490,8 @@ StatusOr<std::unique_ptr<PosCursor>> BuildPipeline(const FtaExprPtr& plan,
     }
     case FtaExpr::Kind::kSelect: {
       if (plan->pred().pred->cls() == PredicateClass::kGeneral) {
-        return Status::Unsupported("predicate '" + std::string(plan->pred().pred->name()) +
+        return Status::Unsupported("predicate '" +
+                                   std::string(plan->pred().pred->name()) +
                                    "' is neither positive nor negative");
       }
       FTS_ASSIGN_OR_RETURN(auto in, BuildPipeline(plan->child(), ctx));

@@ -35,6 +35,8 @@
 
 namespace fts {
 
+class DecodedBlockCache;  // index/decoded_block_cache.h
+
 /// Pipelined operator cursor (the Section 5.5.3 API).
 class PosCursor {
  public:
@@ -75,14 +77,26 @@ class PosCursor {
 /// Shared construction context for a pipeline. Scans always read the
 /// block-resident lists; `raw_oracle` (differential tests only) swaps the
 /// leaf cursors for raw ListCursors over the oracle table, leaving every
-/// operator above them untouched.
+/// operator above them untouched. `mode` must be a resolved mode
+/// (kSequential or kSeek) — engines run kAdaptive through
+/// PlanPipelineCursorMode before building. `cache`, when set, is shared by
+/// every leaf scan of the pipeline (and across the per-ordering pipelines
+/// of one NPRED query), so re-scanned hot blocks decode once.
 struct PipelineContext {
   const InvertedIndex* index = nullptr;
   const AlgebraScoreModel* model = nullptr;  // nullable
   EvalCounters* counters = nullptr;          // nullable
   CursorMode mode = CursorMode::kSequential;
   const RawPostingOracle* raw_oracle = nullptr;  // differential tests only
+  DecodedBlockCache* cache = nullptr;            // nullable, per-query
 };
+
+/// Resolves `requested` for one pipelined plan: forced modes pass through;
+/// kAdaptive applies PlanFromDfs to the document frequencies of the plan's
+/// token leaves (the lists the pipeline will scan).
+CursorMode PlanPipelineCursorMode(CursorMode requested, const FtaExprPtr& plan,
+                                  const InvertedIndex& index,
+                                  const AdaptivePlannerOptions& opts = {});
 
 /// Builds a pipelined cursor tree for `plan`. Returns Unsupported when the
 /// plan contains operators outside the streaming subset (see file header).

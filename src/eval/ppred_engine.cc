@@ -6,6 +6,7 @@
 #include "calculus/analysis.h"
 #include "compile/ftc_to_fta.h"
 #include "eval/pos_cursor.h"
+#include "index/decoded_block_cache.h"
 #include "lang/translate.h"
 #include "scoring/probabilistic.h"
 #include "scoring/tfidf.h"
@@ -41,7 +42,12 @@ StatusOr<QueryResult> PpredEngine::Evaluate(const LangExprPtr& query) const {
   }
 
   QueryResult result;
-  PipelineContext ctx{index_, model.get(), &result.counters, mode_, raw_oracle_};
+  // The cache only pays when a list is scanned twice and the working set
+  // fits; otherwise every block load would be a miss plus bookkeeping.
+  DecodedBlockCache cache;
+  PipelineContext ctx{index_, model.get(), &result.counters,
+                      PlanPipelineCursorMode(mode_, plan, *index_), raw_oracle_,
+                      ShouldUseDecodedBlockCache(plan, *index_) ? &cache : nullptr};
   FTS_ASSIGN_OR_RETURN(std::unique_ptr<PosCursor> cursor, BuildPipeline(plan, ctx));
   DrainPipeline(cursor.get(), scoring_ != ScoringKind::kNone, &result.nodes,
                 &result.scores);

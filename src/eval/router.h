@@ -28,13 +28,17 @@ struct RoutedResult {
 
 /// Owns one engine of each kind over a shared index and routes queries.
 /// The router is the production entry point, so its engines default to the
-/// seek-enabled cursors over the block-compressed lists; pass
-/// CursorMode::kSequential to reproduce the paper's access counts.
+/// adaptive per-query planner (CursorMode::kAdaptive): each query reads df
+/// statistics from the block-list headers and runs seek-based zig-zag
+/// intersection when its driver list is selective, full sequential merges
+/// otherwise (PlanFromDfs). Both forced modes remain available — pass
+/// CursorMode::kSequential to reproduce the paper's access counts exactly,
+/// or CursorMode::kSeek to force skip-seeking everywhere.
 class QueryRouter {
  public:
   /// `index` must outlive the router.
   QueryRouter(const InvertedIndex* index, ScoringKind scoring = ScoringKind::kNone,
-              CursorMode mode = CursorMode::kSeek)
+              CursorMode mode = CursorMode::kAdaptive)
       : bool_engine_(index, scoring, mode),
         ppred_engine_(index, scoring, mode),
         npred_engine_(index, scoring,

@@ -1,8 +1,10 @@
 #include "index/block_posting_list.h"
 
+#include <algorithm>
 #include <cassert>
 
 #include "common/varint.h"
+#include "index/decoded_block_cache.h"
 
 namespace fts {
 
@@ -115,35 +117,43 @@ Status BlockPostingList::DecodeBlockEntries(size_t block,
                                                : data_.size();
   // Each entry takes at least 3 bytes (node delta, count, position length);
   // bound before reserving so a crafted skip table cannot force a huge alloc.
-  if (end < skip.byte_offset || skip.entry_count > (end - skip.byte_offset) / 3 + 1) {
+  if (end < skip.byte_offset || end > data_.size() ||
+      skip.entry_count > (end - skip.byte_offset) / 3 + 1) {
     return Status::Corruption("block entry count larger than block payload");
   }
   entries->clear();
   entries->reserve(skip.entry_count);
-  size_t offset = skip.byte_offset;
+  // Bulk path: one tight loop over the block's bytes through the pointer
+  // varint decoders (one inline branch per header value in the common
+  // one-byte case), hopping over position payloads via their byte length.
+  const uint8_t* const base = reinterpret_cast<const uint8_t*>(data_.data());
+  const uint8_t* p = base + skip.byte_offset;
+  const uint8_t* const lim = base + end;
   NodeId prev_node = 0;
   for (uint32_t i = 0; i < skip.entry_count; ++i) {
     uint32_t node_delta, count, pos_len;
-    FTS_RETURN_IF_ERROR(GetVarint32(data_, &offset, &node_delta));
+    if ((p = GetVarint32Ptr(p, lim, &node_delta)) == nullptr ||
+        (p = GetVarint32Ptr(p, lim, &count)) == nullptr ||
+        (p = GetVarint32Ptr(p, lim, &pos_len)) == nullptr) {
+      return Status::Corruption("malformed posting block header");
+    }
     const NodeId node = (i == 0) ? node_delta : prev_node + node_delta;
     if (i > 0 && (node_delta == 0 || node < prev_node)) {
       return Status::Corruption("non-increasing node ids in posting block");
     }
     prev_node = node;
-    FTS_RETURN_IF_ERROR(GetVarint32(data_, &offset, &count));
-    FTS_RETURN_IF_ERROR(GetVarint32(data_, &offset, &pos_len));
-    if (offset + pos_len > end) {
+    if (pos_len > static_cast<size_t>(lim - p)) {
       return Status::Corruption("position bytes overrun posting block");
     }
     EntryRef e;
     e.header.node = node;
     e.header.pos_count = count;
-    e.pos_byte_begin = static_cast<uint32_t>(offset);
+    e.pos_byte_begin = static_cast<uint32_t>(p - base);
     e.pos_byte_len = pos_len;
-    offset += pos_len;
+    p += pos_len;
     entries->push_back(e);
   }
-  if (offset != end) {
+  if (p != lim) {
     return Status::Corruption("posting block length mismatch");
   }
   if (prev_node != skip.max_node) {
@@ -155,25 +165,36 @@ Status BlockPostingList::DecodeBlockEntries(size_t block,
 Status BlockPostingList::DecodePositions(const EntryRef& entry,
                                          std::vector<PositionInfo>* positions) const {
   // Each position takes at least 3 bytes (three varints).
-  if (entry.header.pos_count > entry.pos_byte_len / 3 + 1) {
+  if (entry.header.pos_count > entry.pos_byte_len / 3 + 1 ||
+      entry.pos_byte_begin > data_.size() ||
+      entry.pos_byte_len > data_.size() - entry.pos_byte_begin) {
     return Status::Corruption("position count larger than position bytes");
   }
-  positions->clear();
-  positions->reserve(entry.header.pos_count);
-  size_t offset = entry.pos_byte_begin;
-  const size_t end = entry.pos_byte_begin + entry.pos_byte_len;
+  const uint32_t count = entry.header.pos_count;
+  positions->resize(count);
+  const uint8_t* const base = reinterpret_cast<const uint8_t*>(data_.data());
+  const uint8_t* p = base + entry.pos_byte_begin;
+  const uint8_t* const lim = p + entry.pos_byte_len;
+  // Bulk-decode the delta triples in fixed-size chunks through the group
+  // decoder (unchecked four-wide inner loop), then prefix-sum into the
+  // output. The chunk buffer keeps the scratch stack-resident.
+  uint32_t deltas[3 * 64];
   uint32_t off = 0, sent = 0, para = 0;
-  for (uint32_t j = 0; j < entry.header.pos_count; ++j) {
-    uint32_t d_off, d_sent, d_para;
-    FTS_RETURN_IF_ERROR(GetVarint32(data_, &offset, &d_off));
-    FTS_RETURN_IF_ERROR(GetVarint32(data_, &offset, &d_sent));
-    FTS_RETURN_IF_ERROR(GetVarint32(data_, &offset, &d_para));
-    off += d_off;
-    sent += d_sent;
-    para += d_para;
-    positions->push_back(PositionInfo{off, sent, para});
+  uint32_t done = 0;
+  while (done < count) {
+    const uint32_t chunk = std::min(count - done, 64u);
+    if ((p = GetVarint32Group(p, lim, deltas, 3 * chunk)) == nullptr) {
+      return Status::Corruption("malformed position bytes");
+    }
+    for (uint32_t j = 0; j < chunk; ++j) {
+      off += deltas[3 * j];
+      sent += deltas[3 * j + 1];
+      para += deltas[3 * j + 2];
+      (*positions)[done + j] = PositionInfo{off, sent, para};
+    }
+    done += chunk;
   }
-  if (offset != end) {
+  if (p != lim) {
     return Status::Corruption("position bytes length mismatch");
   }
   return Status::OK();
@@ -211,18 +232,48 @@ BlockPostingList BlockPostingList::FromParts(uint32_t block_size,
   return out;
 }
 
+BlockListCursor& BlockListCursor::operator=(BlockListCursor&& o) noexcept {
+  list_ = o.list_;
+  counters_ = o.counters_;
+  cache_ = o.cache_;
+  const bool own_arena = o.entries_ == &o.arena_;
+  arena_ = std::move(o.arena_);
+  cached_ = std::move(o.cached_);
+  entries_ = o.entries_ == nullptr ? nullptr
+                                   : (own_arena ? &arena_ : &cached_->entries);
+  positions_ = std::move(o.positions_);
+  positions_for_ = o.positions_for_;
+  block_ = o.block_;
+  idx_ = o.idx_;
+  started_ = o.started_;
+  exhausted_ = o.exhausted_;
+  node_ = o.node_;
+  return *this;
+}
+
 bool BlockListCursor::LoadBlock(size_t block) {
-  Status s = list_->DecodeBlockEntries(block, &entries_);
-  // Malformed payloads are rejected at load time; a decode failure here
-  // means programmer error, so fail closed by exhausting.
-  assert(s.ok());
-  if (!s.ok() || entries_.empty()) return false;
+  // Lists with more blocks than the cache can hold would cycle the LRU on
+  // every sequential pass — all misses, plus allocation and bookkeeping on
+  // each — so they bypass the cache and use the reusable arena instead.
+  if (cache_ != nullptr && list_->num_blocks() <= cache_->capacity()) {
+    cached_ = cache_->GetOrDecode(*list_, block, counters_);
+    if (cached_ == nullptr) return false;
+    entries_ = &cached_->entries;
+  } else {
+    Status s = list_->DecodeBlockEntries(block, &arena_);
+    // Malformed payloads are rejected at load time; a decode failure here
+    // means programmer error, so fail closed by exhausting.
+    assert(s.ok());
+    if (!s.ok() || arena_.empty()) return false;
+    if (counters_ != nullptr) {
+      ++counters_->blocks_decoded;
+      ++counters_->blocks_bulk_decoded;
+      counters_->entries_decoded += arena_.size();
+    }
+    entries_ = &arena_;
+  }
   block_ = block;
   positions_for_ = SIZE_MAX;
-  if (counters_ != nullptr) {
-    ++counters_->blocks_decoded;
-    counters_->entries_decoded += entries_.size();
-  }
   return true;
 }
 
@@ -236,7 +287,7 @@ NodeId BlockListCursor::NextEntry() {
       return kInvalidNode;
     }
     idx_ = 0;
-  } else if (idx_ + 1 < entries_.size()) {
+  } else if (idx_ + 1 < entries_->size()) {
     ++idx_;
   } else if (block_ + 1 < list_->num_blocks() && LoadBlock(block_ + 1)) {
     idx_ = 0;
@@ -246,7 +297,7 @@ NodeId BlockListCursor::NextEntry() {
     return kInvalidNode;
   }
   if (counters_ != nullptr) ++counters_->entries_scanned;
-  node_ = entries_[idx_].header.node;
+  node_ = (*entries_)[idx_].header.node;
   return node_;
 }
 
@@ -297,21 +348,21 @@ NodeId BlockListCursor::SeekEntry(NodeId target) {
   // The landing block's max_node >= target, so a match exists in it unless
   // we resumed mid-block past it (impossible: node_ < target guaranteed a
   // later entry in this block or a later block would have been selected).
-  while (idx_ < entries_.size() && entries_[idx_].header.node < target) ++idx_;
-  if (idx_ >= entries_.size()) {
+  while (idx_ < entries_->size() && (*entries_)[idx_].header.node < target) ++idx_;
+  if (idx_ >= entries_->size()) {
     exhausted_ = true;
     node_ = kInvalidNode;
     return kInvalidNode;
   }
   if (counters_ != nullptr) ++counters_->entries_scanned;
-  node_ = entries_[idx_].header.node;
+  node_ = (*entries_)[idx_].header.node;
   return node_;
 }
 
 std::span<const PositionInfo> BlockListCursor::GetPositions() {
   assert(started_ && !exhausted_);
   if (positions_for_ != idx_) {
-    Status s = list_->DecodePositions(entries_[idx_], &positions_);
+    Status s = list_->DecodePositions((*entries_)[idx_], &positions_);
     assert(s.ok());
     if (!s.ok()) positions_.clear();
     positions_for_ = idx_;

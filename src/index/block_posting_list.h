@@ -14,15 +14,19 @@
 //
 // BlockListCursor exposes the sequential API of ListCursor (NextEntry /
 // GetPositions) plus SeekEntry(target). Entry headers (node id, position
-// count) are decoded a block at a time; an entry's PosList is decoded
-// lazily on first GetPositions(), so node-level evaluation (BOOL merges,
-// zig-zag alignment) never pays for position bytes it skips. All block
-// decodes and skip probes are charged to EvalCounters so benchmarks can
-// separate the paper's sequential-access model from the skip machinery.
+// count) are bulk-decoded a block at a time — one tight loop over the
+// pointer varint primitives (common/varint.h) into a reusable arena or a
+// shared DecodedBlockCache (index/decoded_block_cache.h) — and an entry's
+// PosList is decoded lazily on first GetPositions(), so node-level
+// evaluation (BOOL merges, zig-zag alignment) never pays for position
+// bytes it skips. All block decodes, cache hits/misses, and skip probes
+// are charged to EvalCounters so benchmarks can separate the paper's
+// sequential-access model from the skip machinery.
 
 #ifndef FTS_INDEX_BLOCK_POSTING_LIST_H_
 #define FTS_INDEX_BLOCK_POSTING_LIST_H_
 
+#include <memory>
 #include <span>
 #include <string>
 #include <vector>
@@ -142,16 +146,32 @@ class BlockPostingList {
   std::vector<PositionInfo> pending_positions_;
 };
 
+struct DecodedBlock;      // index/decoded_block_cache.h
+class DecodedBlockCache;  // index/decoded_block_cache.h
+
 /// Cursor over a BlockPostingList: the sequential ListCursor API plus
-/// skip-based seeking. Entry headers decode one block at a time; PosLists
-/// decode lazily per entry. GetPositions() spans stay valid until the
-/// cursor moves to a different entry.
+/// skip-based seeking. Entry headers are bulk-decoded one block at a time
+/// — one tight pointer-varint loop per block — into either a reusable
+/// cursor-owned arena or, when a DecodedBlockCache is attached, a cached
+/// block shared by every cursor of the query. PosLists decode lazily per
+/// entry. GetPositions() spans stay valid until the cursor moves to a
+/// different entry.
 class BlockListCursor {
  public:
   /// `list` may be null (OOV token): the cursor is immediately exhausted.
+  /// `cache`, when non-null, must outlive the cursor; block loads are then
+  /// served from / inserted into it.
   explicit BlockListCursor(const BlockPostingList* list,
-                           EvalCounters* counters = nullptr)
-      : list_(list), counters_(counters) {}
+                           EvalCounters* counters = nullptr,
+                           DecodedBlockCache* cache = nullptr)
+      : list_(list), counters_(counters), cache_(cache) {}
+
+  // Move-only: `entries_` may point into the cursor's own arena, so the
+  // (out-of-line) move re-anchors it and copies are disallowed.
+  BlockListCursor(BlockListCursor&& o) noexcept { *this = std::move(o); }
+  BlockListCursor& operator=(BlockListCursor&& o) noexcept;
+  BlockListCursor(const BlockListCursor&) = delete;
+  BlockListCursor& operator=(const BlockListCursor&) = delete;
 
   /// Advances to the next entry and returns its node id, or kInvalidNode
   /// when the list is exhausted. The first call lands on the first entry.
@@ -168,19 +188,26 @@ class BlockListCursor {
   std::span<const PositionInfo> GetPositions();
 
   /// Position count of the current entry — free, no position decode.
-  uint32_t pos_count() const { return entries_[idx_].header.pos_count; }
+  uint32_t pos_count() const { return (*entries_)[idx_].header.pos_count; }
 
   NodeId current_node() const { return node_; }
   bool exhausted() const { return exhausted_; }
 
  private:
-  /// Decodes block `block`'s entry headers and parks the cursor before its
-  /// first entry. Position bytes stay untouched until GetPositions().
+  /// Bulk-decodes block `block`'s entry headers (through the cache when one
+  /// is attached) and parks the cursor before its first entry. Position
+  /// bytes stay untouched until GetPositions().
   bool LoadBlock(size_t block);
 
   const BlockPostingList* list_;
   EvalCounters* counters_;
-  std::vector<BlockPostingList::EntryRef> entries_;
+  DecodedBlockCache* cache_;
+  /// Current block's decoded headers: points into `arena_` (uncached) or
+  /// into `cached_` (cache-served; the shared_ptr keeps it alive across
+  /// eviction).
+  const std::vector<BlockPostingList::EntryRef>* entries_ = nullptr;
+  std::vector<BlockPostingList::EntryRef> arena_;  // reusable decode arena
+  std::shared_ptr<const DecodedBlock> cached_;
   std::vector<PositionInfo> positions_;  // lazily decoded, current entry only
   size_t positions_for_ = SIZE_MAX;      // idx_ the cache was decoded for
   size_t block_ = 0;      // decoded block index (valid when started_)

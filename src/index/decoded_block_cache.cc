@@ -1,0 +1,75 @@
+#include "index/decoded_block_cache.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace fts {
+
+bool DecodedBlockCache::FitsWorkingSet(const InvertedIndex& index,
+                                       std::span<const std::string> tokens,
+                                       int any_scans, size_t capacity) {
+  size_t blocks = 0;
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    // Count each distinct list once (callers pass tokens sorted or small).
+    bool seen = false;
+    for (size_t j = 0; j < i; ++j) {
+      if (tokens[j] == tokens[i]) {
+        seen = true;
+        break;
+      }
+    }
+    if (seen) continue;
+    const BlockPostingList* list = index.block_list_for_text(tokens[i]);
+    if (list != nullptr) blocks += list->num_blocks();
+  }
+  if (any_scans > 0) blocks += index.block_any_list().num_blocks();
+  return blocks <= capacity;
+}
+
+bool DecodedBlockCache::ShouldAttach(const InvertedIndex& index,
+                                     std::vector<std::string> tokens,
+                                     int any_scans, size_t capacity) {
+  std::sort(tokens.begin(), tokens.end());
+  const bool repeated =
+      any_scans > 1 ||
+      std::adjacent_find(tokens.begin(), tokens.end()) != tokens.end();
+  if (!repeated) return false;
+  return FitsWorkingSet(index, tokens, any_scans, capacity);
+}
+
+std::shared_ptr<const DecodedBlock> DecodedBlockCache::GetOrDecode(
+    const BlockPostingList& list, size_t block, EvalCounters* counters) {
+  const Key key{&list, block};
+  auto it = map_.find(key);
+  if (it != map_.end()) {
+    ++hits_;
+    if (counters != nullptr) ++counters->cache_hits;
+    // Refresh LRU position.
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return it->second->block;
+  }
+
+  auto decoded = std::make_shared<DecodedBlock>();
+  Status s = list.DecodeBlockEntries(block, &decoded->entries);
+  // Payloads are validated at index load; a failure here is programmer
+  // error, reported like a failed direct decode (cursor exhausts).
+  assert(s.ok());
+  ++misses_;
+  if (counters != nullptr) ++counters->cache_misses;
+  if (!s.ok() || decoded->entries.empty()) return nullptr;
+  if (counters != nullptr) {
+    ++counters->blocks_decoded;
+    ++counters->blocks_bulk_decoded;
+    counters->entries_decoded += decoded->entries.size();
+  }
+
+  if (map_.size() >= capacity_) {
+    map_.erase(lru_.back().key);
+    lru_.pop_back();
+  }
+  lru_.push_front(Slot{key, decoded});
+  map_.emplace(key, lru_.begin());
+  return decoded;
+}
+
+}  // namespace fts

@@ -39,7 +39,9 @@ Status GetFixed64(const std::string& data, size_t* offset, uint64_t* v) {
   return Status::OK();
 }
 
-void PutDouble(std::string* out, double d) { PutFixed64(out, std::bit_cast<uint64_t>(d)); }
+void PutDouble(std::string* out, double d) {
+  PutFixed64(out, std::bit_cast<uint64_t>(d));
+}
 
 Status GetDouble(const std::string& data, size_t* offset, double* d) {
   uint64_t bits;

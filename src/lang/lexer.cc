@@ -73,7 +73,8 @@ StatusOr<std::vector<LexToken>> LexQuery(std::string_view query) {
       ++i;  // closing quote
       out.push_back({LexKind::kString, std::move(text), 0, start});
     } else if (std::isdigit(static_cast<unsigned char>(c)) ||
-               (c == '-' && i + 1 < n && std::isdigit(static_cast<unsigned char>(query[i + 1])))) {
+               (c == '-' && i + 1 < n &&
+                std::isdigit(static_cast<unsigned char>(query[i + 1])))) {
       size_t j = i + (c == '-' ? 1 : 0);
       while (j < n && std::isdigit(static_cast<unsigned char>(query[j]))) ++j;
       LexToken t{LexKind::kInt, std::string(query.substr(i, j - i)), 0, start};

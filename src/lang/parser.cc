@@ -41,7 +41,8 @@ class Parser {
   Status Err(const std::string& msg) const {
     return Status::InvalidArgument(msg + " at offset " + std::to_string(cur().offset) +
                                    " (near " + std::string(LexKindToString(cur().kind)) +
-                                   (cur().text.empty() ? "" : " '" + cur().text + "'") + ")");
+                                   (cur().text.empty() ? "" : " '" + cur().text + "'") +
+                                   ")");
   }
 
   Status Expect(LexKind kind) {
@@ -172,7 +173,8 @@ class Parser {
     }
     Advance();  // ')'
     FTS_RETURN_IF_ERROR(pred->ValidateSignature(vars.size(), consts.size()));
-    return LangExprPtr(LangExpr::Pred(std::move(name), std::move(vars), std::move(consts)));
+    return LangExprPtr(
+        LangExpr::Pred(std::move(name), std::move(vars), std::move(consts)));
   }
 
   StatusOr<LangExprPtr> ParseDistCall() {

@@ -267,7 +267,8 @@ class DiffPosPredicate : public PositionPredicate {
   }
 
   uint32_t NegativeAdvanceTarget(std::span<const PositionInfo> ps,
-                                 std::span<const int64_t>, size_t largest) const override {
+                                 std::span<const int64_t>,
+                                 size_t largest) const override {
     // False only when equal; any strictly larger offset for the largest
     // cursor satisfies it.
     return Off(ps, largest) + 1;
@@ -311,7 +312,8 @@ class NotOrderedPredicate : public PositionPredicate {
   }
 
   uint32_t NegativeAdvanceTarget(std::span<const PositionInfo> ps,
-                                 std::span<const int64_t>, size_t largest) const override {
+                                 std::span<const int64_t>,
+                                 size_t largest) const override {
     // Only p1 growing past p2 can satisfy it; if p2 is the cursor we are
     // allowed to move, this evaluation thread cannot produce solutions.
     if (largest == 0) return Off(ps, 1);
@@ -332,7 +334,8 @@ class NotSameParaPredicate : public PositionPredicate {
   }
 
   uint32_t NegativeAdvanceTarget(std::span<const PositionInfo> ps,
-                                 std::span<const int64_t>, size_t largest) const override {
+                                 std::span<const int64_t>,
+                                 size_t largest) const override {
     // The largest cursor must leave the shared paragraph; paragraph breaks
     // are not knowable from offsets alone, so advance one token at a time
     // (each posting is still visited at most once per thread).
@@ -353,7 +356,8 @@ class NotSameSentencePredicate : public PositionPredicate {
   }
 
   uint32_t NegativeAdvanceTarget(std::span<const PositionInfo> ps,
-                                 std::span<const int64_t>, size_t largest) const override {
+                                 std::span<const int64_t>,
+                                 size_t largest) const override {
     return Off(ps, largest) + 1;
   }
 };

@@ -34,7 +34,8 @@ NodeId Corpus::AddTokens(const std::vector<std::string>& tokens) {
 }
 
 StatusOr<NodeId> Corpus::AddTokensWithPositions(const std::vector<std::string>& tokens,
-                                                const std::vector<PositionInfo>& positions) {
+                                                const std::vector<PositionInfo>&
+                                                    positions) {
   if (tokens.size() != positions.size()) {
     return Status::InvalidArgument("tokens/positions size mismatch: " +
                                    std::to_string(tokens.size()) + " vs " +

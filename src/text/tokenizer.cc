@@ -31,7 +31,9 @@ std::vector<RawToken> Tokenizer::Tokenize(std::string_view text) const {
       while (i < n && IsTokenChar(text[i], options_)) ++i;
       std::string tok(text.substr(start, i - start));
       if (options_.lowercase) {
-        for (char& ch : tok) ch = static_cast<char>(std::tolower(static_cast<unsigned char>(ch)));
+        for (char& ch : tok) {
+          ch = static_cast<char>(std::tolower(static_cast<unsigned char>(ch)));
+        }
       }
       out.push_back(RawToken{std::move(tok), PositionInfo{offset, sentence, paragraph}});
       ++offset;
@@ -66,7 +68,9 @@ std::vector<RawToken> Tokenizer::Tokenize(std::string_view text) const {
 std::string Tokenizer::Normalize(std::string_view token) const {
   std::string out(token);
   if (options_.lowercase) {
-    for (char& ch : out) ch = static_cast<char>(std::tolower(static_cast<unsigned char>(ch)));
+    for (char& ch : out) {
+      ch = static_cast<char>(std::tolower(static_cast<unsigned char>(ch)));
+    }
   }
   return out;
 }

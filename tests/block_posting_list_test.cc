@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "common/rng.h"
+#include "index/decoded_block_cache.h"
 #include "index/index_builder.h"
 #include "testing/raw_posting_oracle.h"
 #include "workload/corpus_gen.h"
@@ -236,6 +237,134 @@ TEST(BlockPostingListTest, CompressedFootprintIsSmallerThanRawStructs) {
   // raw in-memory representation it replaces on disk.
   EXPECT_LE(block->byte_size() * 2, raw_bytes)
       << "block=" << block->byte_size() << " raw=" << raw_bytes;
+}
+
+// ---------------------------------------------------------------------------
+// DecodedBlockCache: shared bulk-decoded blocks across cursors.
+// ---------------------------------------------------------------------------
+
+TEST(DecodedBlockCacheTest, SecondScanHitsEveryBlock) {
+  PostingList raw = MakeRawList(1000, 3, 2);
+  BlockPostingList block = BlockPostingList::FromPostingList(raw, 128);
+  DecodedBlockCache cache;
+  EvalCounters counters;
+  for (int scan = 0; scan < 2; ++scan) {
+    BlockListCursor cursor(&block, &counters, &cache);
+    size_t n = 0;
+    while (cursor.NextEntry() != kInvalidNode) ++n;
+    EXPECT_EQ(n, raw.num_entries());
+  }
+  EXPECT_EQ(counters.cache_misses, block.num_blocks());
+  EXPECT_EQ(counters.cache_hits, block.num_blocks());
+  // Only the misses decoded anything.
+  EXPECT_EQ(counters.blocks_decoded, block.num_blocks());
+  EXPECT_EQ(counters.blocks_bulk_decoded, block.num_blocks());
+  EXPECT_EQ(counters.entries_decoded, raw.num_entries());
+}
+
+TEST(DecodedBlockCacheTest, CachedScanStreamsIdenticalToUncached) {
+  PostingList raw = MakeRawList(700, 2, 3);
+  BlockPostingList block = BlockPostingList::FromPostingList(raw, 64);
+  DecodedBlockCache cache;  // holds the whole list: the cached path is live
+  for (int scan = 0; scan < 2; ++scan) {
+    BlockListCursor cached(&block, nullptr, &cache);
+    BlockListCursor plain(&block);
+    while (true) {
+      const NodeId expected = plain.NextEntry();
+      ASSERT_EQ(cached.NextEntry(), expected);
+      if (expected == kInvalidNode) break;
+      auto pa = plain.GetPositions();
+      auto pb = cached.GetPositions();
+      ASSERT_EQ(std::vector<PositionInfo>(pa.begin(), pa.end()),
+                std::vector<PositionInfo>(pb.begin(), pb.end()));
+    }
+  }
+}
+
+TEST(DecodedBlockCacheTest, EvictedBlockStaysValidForItsCursor) {
+  // Two single-block lists sharing a capacity-1 cache: cursor A parks
+  // inside list one's cached block, cursor B's scan of list two evicts it.
+  // A's decoded view must survive eviction (shared_ptr keepalive).
+  PostingList raw1 = MakeRawList(100, 2, 1);
+  PostingList raw2 = MakeRawList(100, 3, 1);
+  BlockPostingList block1 = BlockPostingList::FromPostingList(raw1, 128);
+  BlockPostingList block2 = BlockPostingList::FromPostingList(raw2, 128);
+  ASSERT_EQ(block1.num_blocks(), 1u);
+  DecodedBlockCache cache(/*capacity=*/1);
+  BlockListCursor a(&block1, nullptr, &cache);
+  ASSERT_NE(a.NextEntry(), kInvalidNode);
+  const NodeId first = a.current_node();
+  BlockListCursor b(&block2, nullptr, &cache);
+  while (b.NextEntry() != kInvalidNode) {
+  }
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.misses(), 2u);  // block1's block was evicted by block2's
+  EXPECT_EQ(a.current_node(), first);
+  size_t remaining = 1;
+  while (a.NextEntry() != kInvalidNode) ++remaining;
+  EXPECT_EQ(remaining, raw1.num_entries());
+}
+
+TEST(DecodedBlockCacheTest, ListsLongerThanCapacityBypassTheCache) {
+  // A sequential pass over a list with more blocks than the cache holds
+  // would evict every block before its re-read; cursors must skip the
+  // cache (no misses, no insertions) and decode into their own arena.
+  PostingList raw = MakeRawList(1000, 2, 1);
+  BlockPostingList block = BlockPostingList::FromPostingList(raw, 128);
+  ASSERT_GT(block.num_blocks(), 4u);
+  DecodedBlockCache cache(/*capacity=*/4);
+  EvalCounters counters;
+  for (int scan = 0; scan < 2; ++scan) {
+    BlockListCursor cursor(&block, &counters, &cache);
+    size_t n = 0;
+    while (cursor.NextEntry() != kInvalidNode) ++n;
+    EXPECT_EQ(n, raw.num_entries());
+  }
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(counters.cache_hits, 0u);
+  EXPECT_EQ(counters.cache_misses, 0u);
+  EXPECT_EQ(counters.blocks_decoded, 2 * block.num_blocks());
+}
+
+TEST(DecodedBlockCacheTest, ShouldAttachRequiresRepeatsAndAFittingWorkingSet) {
+  CorpusGenOptions opts;
+  opts.num_nodes = 300;
+  opts.num_topic_tokens = 2;
+  opts.topic_occurrences = 2;
+  InvertedIndex index = IndexBuilder::Build(GenerateCorpus(opts));
+  const std::string t0 = TopicToken(0);
+  const std::string t1 = TopicToken(1);
+  // Distinct tokens: no possible hit, never attach.
+  EXPECT_FALSE(DecodedBlockCache::ShouldAttach(index, {t0, t1}, 0));
+  // Repeated token with the default capacity: attach.
+  EXPECT_TRUE(DecodedBlockCache::ShouldAttach(index, {t0, t0}, 0));
+  // Repeated ANY scans count as a repeated list too.
+  EXPECT_TRUE(DecodedBlockCache::ShouldAttach(index, {}, 2));
+  // Repeated token whose working set exceeds a tiny capacity: the LRU
+  // would thrash on every rescan, so the decision is to stay uncached.
+  EXPECT_FALSE(
+      DecodedBlockCache::ShouldAttach(index, {t0, t0}, 0, /*capacity=*/0));
+  const std::vector<std::string> both{t0, t1};
+  EXPECT_TRUE(DecodedBlockCache::FitsWorkingSet(index, both, 0));
+}
+
+TEST(DecodedBlockCacheTest, SeekingThroughCacheMatchesDirectSeeks) {
+  PostingList raw = MakeRawList(900, 5, 1);
+  BlockPostingList block = BlockPostingList::FromPostingList(raw, 128);
+  DecodedBlockCache cache;
+  Rng rng(12);
+  for (int trial = 0; trial < 20; ++trial) {
+    BlockListCursor cached(&block, nullptr, &cache);
+    BlockListCursor plain(&block);
+    NodeId target = 0;
+    while (true) {
+      target += 1 + rng.Uniform(400);
+      const NodeId expected = plain.SeekEntry(target);
+      ASSERT_EQ(cached.SeekEntry(target), expected);
+      if (expected == kInvalidNode) break;
+    }
+  }
+  EXPECT_GT(cache.hits(), 0u);
 }
 
 }  // namespace

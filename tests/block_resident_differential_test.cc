@@ -224,7 +224,8 @@ TEST_P(BlockResidentDifferential, BoolQueriesMatchRawOracle) {
     LangExprPtr q = RandomBool(&rng, 3);
     const auto naive = NaiveNodes(corpus, q);
     for (ScoringKind scoring : kAllScoring) {
-      for (CursorMode mode : {CursorMode::kSequential, CursorMode::kSeek}) {
+      for (CursorMode mode : {CursorMode::kSequential, CursorMode::kSeek,
+                              CursorMode::kAdaptive}) {
         BoolEngine engine(&index, scoring, mode);
         const auto nodes =
             ExpectBlockMatchesRawOracle(engine, oracle, q, "BOOL");
@@ -246,7 +247,8 @@ TEST_P(BlockResidentDifferential, PpredQueriesMatchRawOracle) {
     LangExprPtr q = RandomPipelined(&rng, /*allow_negative=*/false);
     const auto naive = NaiveNodes(corpus, q);
     for (ScoringKind scoring : kAllScoring) {
-      for (CursorMode mode : {CursorMode::kSequential, CursorMode::kSeek}) {
+      for (CursorMode mode : {CursorMode::kSequential, CursorMode::kSeek,
+                              CursorMode::kAdaptive}) {
         PpredEngine engine(&index, scoring, mode);
         const auto nodes =
             ExpectBlockMatchesRawOracle(engine, oracle, q, "PPRED");
@@ -267,7 +269,8 @@ TEST_P(BlockResidentDifferential, NpredQueriesMatchRawOracle) {
     LangExprPtr q = RandomPipelined(&rng, /*allow_negative=*/true);
     const auto naive = NaiveNodes(corpus, q);
     for (ScoringKind scoring : kAllScoring) {
-      for (CursorMode mode : {CursorMode::kSequential, CursorMode::kSeek}) {
+      for (CursorMode mode : {CursorMode::kSequential, CursorMode::kSeek,
+                              CursorMode::kAdaptive}) {
         NpredEngine engine(&index, scoring,
                            NpredOrderingMode::kNecessaryPartialOrders, mode);
         const auto nodes =
@@ -310,7 +313,9 @@ TEST_P(BlockResidentDifferential, CompOnlyQueriesMatchRawOracle) {
 
 // 10 seeds x (8 BOOL + 6 PPRED + 5 NPRED + 5 COMP-only) corpus/query
 // combinations = 240, well past the >=50 acceptance bar; each combination
-// is additionally evaluated across 3 scoring models and both cursor modes.
+// is additionally evaluated across 3 scoring models and all three cursor
+// modes (both forced modes plus the adaptive planner), so the planner's
+// choices are pinned bit-identical to the fixed modes on every combo.
 INSTANTIATE_TEST_SUITE_P(Seeds, BlockResidentDifferential,
                          ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55, 89));
 

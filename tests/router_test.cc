@@ -101,5 +101,166 @@ TEST_F(RouterFixture, CountersReportEngineWork) {
   EXPECT_GT(r->result.counters.entries_scanned, 0u);
 }
 
+// ---------------------------------------------------------------------------
+// The adaptive access-mode planner (PlanFromDfs): the heuristic the router's
+// default CursorMode::kAdaptive engines consult per query/operator.
+// ---------------------------------------------------------------------------
+
+TEST(PlannerHeuristicTest, SelectiveDriverPlansSeek) {
+  // Driver far below the threshold: 10 * 16 = 160 <= 5000.
+  const uint64_t dfs[] = {10, 5000};
+  EXPECT_EQ(PlanFromDfs(dfs), CursorMode::kSeek);
+}
+
+TEST(PlannerHeuristicTest, BalancedListsPlanSequential) {
+  // 3000 * 16 > 3000: equally dense lists merge sequentially.
+  const uint64_t dfs[] = {3000, 3000};
+  EXPECT_EQ(PlanFromDfs(dfs), CursorMode::kSequential);
+}
+
+TEST(PlannerHeuristicTest, JustBelowAndAboveTheThreshold) {
+  AdaptivePlannerOptions opts;
+  opts.selectivity_threshold = 16.0;
+  {
+    const uint64_t dfs[] = {10, 161};  // 160 <= 161: seek
+    EXPECT_EQ(PlanFromDfs(dfs, opts), CursorMode::kSeek);
+  }
+  {
+    const uint64_t dfs[] = {10, 159};  // 160 > 159: sequential
+    EXPECT_EQ(PlanFromDfs(dfs, opts), CursorMode::kSequential);
+  }
+}
+
+TEST(PlannerHeuristicTest, TieChoosesSeek) {
+  AdaptivePlannerOptions opts;
+  opts.selectivity_threshold = 16.0;
+  const uint64_t dfs[] = {10, 160};  // exactly min * threshold == others
+  EXPECT_EQ(PlanFromDfs(dfs, opts), CursorMode::kSeek);
+}
+
+TEST(PlannerHeuristicTest, SingleListPlansSequential) {
+  const uint64_t one[] = {12345};
+  EXPECT_EQ(PlanFromDfs(one), CursorMode::kSequential);
+  EXPECT_EQ(PlanFromDfs(std::span<const uint64_t>{}), CursorMode::kSequential);
+}
+
+TEST(PlannerHeuristicTest, EmptyListIsTheMostSelectiveDriver) {
+  // An OOV / empty list (df 0) short-circuits a zig-zag before any decode,
+  // so it must plan kSeek — falling back to a sequential merge would scan
+  // the dense side in full just to intersect with nothing.
+  const uint64_t oov_and_dense[] = {0, 5000};
+  EXPECT_EQ(PlanFromDfs(oov_and_dense), CursorMode::kSeek);
+  const uint64_t with_extra_empty[] = {0, 10, 5000};
+  EXPECT_EQ(PlanFromDfs(with_extra_empty), CursorMode::kSeek);
+}
+
+TEST_F(RouterFixture, OovConjunctionUnderAdaptiveScansAlmostNothing) {
+  // 'zzz' is OOV: the planner must zig-zag so the dense side is never
+  // materialized. Forced sequential pays the full merge for comparison.
+  BoolEngine adaptive(&index, ScoringKind::kNone, CursorMode::kAdaptive);
+  auto a = adaptive.Evaluate(*ParseQuery("'zzz' AND 'beta'", SurfaceLanguage::kBool));
+  ASSERT_TRUE(a.ok());
+  EXPECT_TRUE(a->nodes.empty());
+  // The zig-zag touches at most the dense side's first entry before the
+  // empty driver exhausts it.
+  EXPECT_LE(a->counters.entries_scanned, 1u);
+  BoolEngine seq(&index, ScoringKind::kNone, CursorMode::kSequential);
+  auto s = seq.Evaluate(*ParseQuery("'zzz' AND 'beta'", SurfaceLanguage::kBool));
+  ASSERT_TRUE(s.ok());
+  EXPECT_TRUE(s->nodes.empty());
+  EXPECT_EQ(s->counters.entries_scanned, index.df(index.LookupToken("beta")));
+}
+
+TEST(PlannerHeuristicTest, ThresholdIsTunable) {
+  AdaptivePlannerOptions loose;
+  loose.selectivity_threshold = 1.0;
+  AdaptivePlannerOptions strict;
+  strict.selectivity_threshold = 1000.0;
+  const uint64_t dfs[] = {100, 500};
+  EXPECT_EQ(PlanFromDfs(dfs, loose), CursorMode::kSeek);
+  EXPECT_EQ(PlanFromDfs(dfs, strict), CursorMode::kSequential);
+}
+
+// Forced modes bypass the planner: on a workload where the planner would
+// pick the opposite mode, a forced engine keeps its access pattern. The
+// observable is skip_checks — only seeking probes skip headers.
+struct PlannerBypassFixture : public ::testing::Test {
+  void SetUp() override {
+    // "rare" in 2 docs, "dense" in all 60: the planner would pick seek
+    // (2 * 16 = 32 <= 60), so forced modes must visibly ignore it.
+    for (int d = 0; d < 60; ++d) {
+      std::string text = "dense filler";
+      if (d == 17 || d == 41) text += " rare";
+      corpus.AddDocument(text);
+    }
+    index = IndexBuilder::Build(corpus);
+  }
+  Corpus corpus;
+  InvertedIndex index;
+};
+
+TEST_F(PlannerBypassFixture, ForcedSequentialNeverSeeks) {
+  BoolEngine engine(&index, ScoringKind::kNone, CursorMode::kSequential);
+  auto r = engine.Evaluate(*ParseQuery("'rare' AND 'dense'", SurfaceLanguage::kBool));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->counters.skip_checks, 0u);
+  // The sequential merge scans both lists end to end.
+  EXPECT_EQ(r->counters.entries_scanned, 62u);
+}
+
+TEST_F(PlannerBypassFixture, ForcedSeekAlwaysSeeks) {
+  BoolEngine engine(&index, ScoringKind::kNone, CursorMode::kSeek);
+  auto r = engine.Evaluate(*ParseQuery("'rare' AND 'dense'", SurfaceLanguage::kBool));
+  ASSERT_TRUE(r.ok());
+  EXPECT_GT(r->counters.skip_checks, 0u);
+}
+
+TEST_F(PlannerBypassFixture, AdaptiveFollowsThePlannerPerOperator) {
+  // 2 * 16 = 32 <= 60: the planner picks seek for this AND.
+  BoolEngine adaptive(&index, ScoringKind::kNone, CursorMode::kAdaptive);
+  auto r = adaptive.Evaluate(*ParseQuery("'rare' AND 'dense'", SurfaceLanguage::kBool));
+  ASSERT_TRUE(r.ok());
+  EXPECT_GT(r->counters.skip_checks, 0u);
+  // Balanced sides: the planner declines to seek.
+  auto s = adaptive.Evaluate(*ParseQuery("'dense' AND 'filler'", SurfaceLanguage::kBool));
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->counters.skip_checks, 0u);
+  // All three runs agree on results with the forced modes.
+  BoolEngine seq(&index, ScoringKind::kNone, CursorMode::kSequential);
+  auto q = seq.Evaluate(*ParseQuery("'rare' AND 'dense'", SurfaceLanguage::kBool));
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(r->nodes, q->nodes);
+}
+
+TEST_F(PlannerBypassFixture, CacheEngagesOnlyForRepeatedLists) {
+  BoolEngine engine(&index, ScoringKind::kNone, CursorMode::kSequential);
+  // Distinct tokens: no list is read twice, so the decoded-block cache is
+  // bypassed entirely — zero hits AND zero misses.
+  auto single = engine.Evaluate(
+      *ParseQuery("'rare' AND 'dense'", SurfaceLanguage::kBool));
+  ASSERT_TRUE(single.ok());
+  EXPECT_EQ(single->counters.cache_hits + single->counters.cache_misses, 0u);
+  // 'dense' appears twice: the second scan serves its blocks from cache.
+  auto repeated = engine.Evaluate(
+      *ParseQuery("'dense' AND ('dense' OR 'filler')", SurfaceLanguage::kBool));
+  ASSERT_TRUE(repeated.ok());
+  EXPECT_GT(repeated->counters.cache_hits, 0u);
+}
+
+TEST_F(PlannerBypassFixture, RouterDefaultIsAdaptive) {
+  QueryRouter adaptive_router(&index, ScoringKind::kNone);
+  auto r = adaptive_router.Evaluate("'rare' AND 'dense'");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->engine, "BOOL");
+  // The selective AND runs as a zig-zag seek under the default planner.
+  EXPECT_GT(r->result.counters.skip_checks, 0u);
+  // Forced sequential remains available for paper-faithful access counts.
+  QueryRouter paper(&index, ScoringKind::kNone, CursorMode::kSequential);
+  auto p = paper.Evaluate("'rare' AND 'dense'");
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->result.counters.skip_checks, 0u);
+  EXPECT_EQ(p->result.nodes, r->result.nodes);
+}
+
 }  // namespace
 }  // namespace fts

@@ -239,10 +239,15 @@ TEST_F(ScoringFixture, DfLookupsDecodeNoBlocks) {
     (void)model.EntryScore(index, t0, n, 3);
   }
   // df/idf and the per-entry static scores come from block headers and
-  // precomputed node scalars: still not a single block decoded.
+  // precomputed node scalars: still not a single block decoded — and the
+  // decoded-block cache sees no traffic at all (no bulk decodes, no hits,
+  // no misses), so caching adds zero work to df/idf-only lookups.
   EXPECT_EQ(counters.blocks_decoded, 0u);
   EXPECT_EQ(counters.entries_decoded, 0u);
   EXPECT_EQ(counters.positions_decoded, 0u);
+  EXPECT_EQ(counters.blocks_bulk_decoded, 0u);
+  EXPECT_EQ(counters.cache_hits, 0u);
+  EXPECT_EQ(counters.cache_misses, 0u);
 
   // Probabilistic scoring reads df the same way (no cursor at all).
   ProbabilisticScoreModel prob(&index);
@@ -250,6 +255,7 @@ TEST_F(ScoringFixture, DfLookupsDecodeNoBlocks) {
     (void)prob.LeafScore(index, t, 0);
   }
   EXPECT_EQ(counters.blocks_decoded, 0u);
+  EXPECT_EQ(counters.cache_hits + counters.cache_misses, 0u);
 }
 
 TEST_F(ScoringFixture, DirectNodeScoreNeverDecodesPositions) {
@@ -273,7 +279,8 @@ TEST_F(ScoringFixture, ScoringAddsNoDecodeWorkToEvaluation) {
   auto parsed = ParseQuery("'topic0' AND ('topic1' OR NOT 'w2')",
                            SurfaceLanguage::kBool);
   ASSERT_TRUE(parsed.ok());
-  for (CursorMode mode : {CursorMode::kSequential, CursorMode::kSeek}) {
+  for (CursorMode mode : {CursorMode::kSequential, CursorMode::kSeek,
+                          CursorMode::kAdaptive}) {
     BoolEngine plain(&index, ScoringKind::kNone, mode);
     BoolEngine tfidf(&index, ScoringKind::kTfIdf, mode);
     BoolEngine prob(&index, ScoringKind::kProbabilistic, mode);
@@ -285,6 +292,13 @@ TEST_F(ScoringFixture, ScoringAddsNoDecodeWorkToEvaluation) {
     EXPECT_EQ(a->counters.entries_decoded, b->counters.entries_decoded);
     EXPECT_EQ(a->counters.blocks_decoded, c->counters.blocks_decoded);
     EXPECT_EQ(a->counters.entries_decoded, c->counters.entries_decoded);
+    // The per-query decoded-block cache sees identical traffic too: the
+    // scoring side never loads a block the unscored run would not.
+    EXPECT_EQ(a->counters.cache_hits, b->counters.cache_hits);
+    EXPECT_EQ(a->counters.cache_misses, b->counters.cache_misses);
+    EXPECT_EQ(a->counters.cache_hits, c->counters.cache_hits);
+    EXPECT_EQ(a->counters.cache_misses, c->counters.cache_misses);
+    EXPECT_EQ(a->counters.blocks_bulk_decoded, b->counters.blocks_bulk_decoded);
     // BOOL evaluation is node-level: no PosList is ever decoded, scored or
     // not.
     EXPECT_EQ(a->counters.positions_decoded, 0u);

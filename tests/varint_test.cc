@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "common/rng.h"
 
 namespace fts {
@@ -89,6 +91,96 @@ TEST(VarintTest, Varint32RoundTrip) {
   uint32_t got = 0;
   ASSERT_TRUE(GetVarint32(buf, &off, &got).ok());
   EXPECT_EQ(got, 0xFFFFFFFFu);
+}
+
+// ---------------------------------------------------------------------------
+// Pointer-based hot-path decoders (the bulk block-decode primitives).
+// ---------------------------------------------------------------------------
+
+const uint8_t* Bytes(const std::string& s) {
+  return reinterpret_cast<const uint8_t*>(s.data());
+}
+
+TEST(VarintPtrTest, MatchesSlowDecoderOnAllWidths) {
+  const uint32_t values[] = {0,       1,          127,        128,
+                             16383,   16384,      2097151,    2097152,
+                             1u << 28, (1u << 28) - 1, 0xFFFFFFFFu};
+  std::string buf;
+  for (uint32_t v : values) PutVarint32(&buf, v);
+  const uint8_t* p = Bytes(buf);
+  const uint8_t* limit = p + buf.size();
+  for (uint32_t v : values) {
+    uint32_t got = 0;
+    p = GetVarint32Ptr(p, limit, &got);
+    ASSERT_NE(p, nullptr) << v;
+    EXPECT_EQ(got, v);
+  }
+  EXPECT_EQ(p, limit);
+}
+
+TEST(VarintPtrTest, TruncationIsNull) {
+  std::string buf;
+  PutVarint32(&buf, 1u << 20);  // 3-byte encoding
+  for (size_t len = 0; len < buf.size(); ++len) {
+    uint32_t got = 0;
+    EXPECT_EQ(GetVarint32Ptr(Bytes(buf), Bytes(buf) + len, &got), nullptr)
+        << len;
+  }
+}
+
+TEST(VarintPtrTest, OverflowPast32BitsIsNull) {
+  std::string buf;
+  PutVarint64(&buf, 1ULL << 35);  // needs >5 bytes as varint
+  uint32_t got = 0;
+  EXPECT_EQ(GetVarint32Ptr(Bytes(buf), Bytes(buf) + buf.size(), &got), nullptr);
+  // Overlong fifth byte with payload bits above bit 31.
+  std::string high("\x80\x80\x80\x80\x7f", 5);
+  EXPECT_EQ(GetVarint32Ptr(Bytes(high), Bytes(high) + high.size(), &got),
+            nullptr);
+}
+
+TEST(VarintGroupTest, RandomRoundTripAgainstScalarDecoder) {
+  Rng rng(31);
+  for (int trial = 0; trial < 50; ++trial) {
+    const size_t n = 1 + rng.Uniform(300);
+    std::vector<uint32_t> values;
+    std::string buf;
+    for (size_t i = 0; i < n; ++i) {
+      // Mix widths so the unrolled fast loop sees every byte length.
+      const uint32_t v = static_cast<uint32_t>(rng.Next() >> (rng.Uniform(32)));
+      values.push_back(v);
+      PutVarint32(&buf, v);
+    }
+    std::vector<uint32_t> got(n, 0);
+    const uint8_t* end =
+        GetVarint32Group(Bytes(buf), Bytes(buf) + buf.size(), got.data(), n);
+    ASSERT_NE(end, nullptr);
+    EXPECT_EQ(end, Bytes(buf) + buf.size());
+    EXPECT_EQ(got, values);
+  }
+}
+
+TEST(VarintGroupTest, TruncatedGroupIsNull) {
+  std::string buf;
+  for (int i = 0; i < 16; ++i) PutVarint32(&buf, 1000 + i);  // 2 bytes each
+  std::vector<uint32_t> got(16, 0);
+  for (size_t len = 0; len < buf.size(); ++len) {
+    EXPECT_EQ(GetVarint32Group(Bytes(buf), Bytes(buf) + len, got.data(), 16),
+              nullptr)
+        << len;
+  }
+}
+
+TEST(VarintGroupTest, OverflowInsideFastLoopIsNull) {
+  // 20 values so the 4-wide unchecked loop is active, with an overflowing
+  // 5-byte encoding in the middle.
+  std::string buf;
+  for (int i = 0; i < 10; ++i) PutVarint32(&buf, 1);
+  buf.append("\x80\x80\x80\x80\x7f", 5);
+  for (int i = 0; i < 10; ++i) PutVarint32(&buf, 1);
+  std::vector<uint32_t> got(21, 0);
+  EXPECT_EQ(GetVarint32Group(Bytes(buf), Bytes(buf) + buf.size(), got.data(), 21),
+            nullptr);
 }
 
 }  // namespace
