@@ -1,13 +1,19 @@
 // Substrate microbenchmarks: tokenizer, index construction, sequential
 // block-cursor scans, resident-memory accounting, serialization round
-// trips, and the adaptive-vs-fixed cursor-mode comparison.
+// trips, eager-vs-mmap load paths, and the adaptive-vs-fixed cursor-mode
+// comparison.
 
+#include <cstdio>
+#include <filesystem>
+#include <map>
 #include <string>
+#include <utility>
 
 #include "bench_common.h"
 #include "index/block_posting_list.h"
 #include "index/index_builder.h"
 #include "index/index_io.h"
+#include "lang/parser.h"
 #include "text/tokenizer.h"
 #include "workload/query_gen.h"
 
@@ -158,6 +164,103 @@ void BM_AdaptiveVsFixedSelective(benchmark::State& state) {
   RunQuery(state, *engine, "w6000 and topic0");
 }
 BENCHMARK(BM_AdaptiveVsFixedSelective)->DenseRange(0, 2)->ArgName("mode");
+
+// ---------------------------------------------------------------------------
+// Load-path benchmarks: eager heap load (read + full validation, O(file))
+// vs mmap lazy load (header/directory only, O(header) — block payloads are
+// first-touch validated when queries decode them). Args: context nodes;
+// eager load time scales with the corpus, mmap load time should stay
+// nearly flat across the sizes while resident bytes drop to the
+// header/directory structures.
+// ---------------------------------------------------------------------------
+
+/// Shared per-shape v3 index file in the system temp dir, written once per
+/// process (the file is intentionally left for the OS temp cleaner: later
+/// iterations of other series reuse it through the static map).
+const std::pair<std::string, size_t>& SharedIndexFile(uint32_t cnodes) {
+  static std::map<uint32_t, std::pair<std::string, size_t>>* files =
+      new std::map<uint32_t, std::pair<std::string, size_t>>();
+  auto it = files->find(cnodes);
+  if (it == files->end()) {
+    const std::string path =
+        (std::filesystem::temp_directory_path() /
+         ("fts_micro_index_load_" + std::to_string(cnodes) + ".idx"))
+            .string();
+    fts::SaveIndexToFile(SharedIndex(cnodes, 6), path);
+    it = files->emplace(cnodes, std::make_pair(path, std::filesystem::file_size(path)))
+             .first;
+  }
+  return it->second;
+}
+
+void LoadBench(benchmark::State& state, fts::LoadOptions::Mode mode) {
+  const auto& [path, bytes] = SharedIndexFile(static_cast<uint32_t>(state.range(0)));
+  fts::LoadOptions options;
+  options.mode = mode;
+  InvertedIndex last;
+  for (auto _ : state) {
+    InvertedIndex loaded;
+    if (!fts::LoadIndexFromFile(path, &loaded, options).ok()) {
+      state.SkipWithError("load failed");
+      return;
+    }
+    benchmark::DoNotOptimize(loaded.num_nodes());
+    last = std::move(loaded);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(bytes));
+  state.counters["file_bytes"] = static_cast<double>(bytes);
+  state.counters["resident_bytes"] = static_cast<double>(last.MemoryUsage());
+  state.counters["mapped_bytes"] = static_cast<double>(last.MappedBytes());
+}
+
+void BM_IndexLoadEager(benchmark::State& state) {
+  LoadBench(state, fts::LoadOptions::Mode::kEager);
+}
+BENCHMARK(BM_IndexLoadEager)->Arg(1500)->Arg(6000)->Unit(benchmark::kMillisecond);
+
+void BM_IndexLoadMmap(benchmark::State& state) {
+  LoadBench(state, fts::LoadOptions::Mode::kMmap);
+}
+BENCHMARK(BM_IndexLoadMmap)->Arg(1500)->Arg(6000)->Unit(benchmark::kMillisecond);
+
+// Cold start to first answer: load the index file and answer one selective
+// AND. Eager mode pays a full-file read + validation before the first
+// query can run; mmap mode pays the O(header) load plus first-touch
+// validation of only the blocks the query actually lands in. Args: mode
+// (0 eager, 1 mmap).
+void BM_ColdFirstQuery(benchmark::State& state) {
+  const auto& [path, bytes] = SharedIndexFile(6000);
+  fts::LoadOptions options;
+  options.mode = state.range(0) == 0 ? fts::LoadOptions::Mode::kEager
+                                     : fts::LoadOptions::Mode::kMmap;
+  auto parsed = fts::ParseQuery("w6000 and topic0", fts::SurfaceLanguage::kComp);
+  if (!parsed.ok()) {
+    state.SkipWithError("bad query");
+    return;
+  }
+  uint64_t first_touch = 0;
+  for (auto _ : state) {
+    InvertedIndex loaded;
+    if (!fts::LoadIndexFromFile(path, &loaded, options).ok()) {
+      state.SkipWithError("load failed");
+      return;
+    }
+    auto engine = MakeEngine("BOOL_ADAPT", &loaded);
+    auto result = engine->Evaluate(*parsed);
+    if (!result.ok()) {
+      state.SkipWithError(result.status().ToString().c_str());
+      return;
+    }
+    first_touch += result->counters.first_touch_validations;
+    benchmark::DoNotOptimize(result->nodes.data());
+  }
+  state.counters["file_bytes"] = static_cast<double>(bytes);
+  state.counters["first_touch_blocks"] =
+      static_cast<double>(first_touch) / static_cast<double>(state.iterations());
+}
+BENCHMARK(BM_ColdFirstQuery)->DenseRange(0, 1)->ArgName("mode")
+    ->Unit(benchmark::kMillisecond);
 
 void BM_IndexSerialize(benchmark::State& state) {
   const InvertedIndex& index = SharedIndex(2000, 6);

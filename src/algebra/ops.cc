@@ -44,9 +44,9 @@ std::vector<NodeGroup> GroupByNode(const FtRelation& r) {
 // occurrence, each carrying the entry's static leaf score. Shared by the
 // block-resident scans and the raw-oracle scans of differential tests.
 template <typename CursorT>
-FtRelation ScanTokenOccurrences(CursorT cursor, const InvertedIndex& index,
-                                TokenId tok, const AlgebraScoreModel* model,
-                                EvalCounters* counters) {
+StatusOr<FtRelation> ScanTokenOccurrences(CursorT cursor, const InvertedIndex& index,
+                                          TokenId tok, const AlgebraScoreModel* model,
+                                          EvalCounters* counters) {
   FtRelation out(1);
   while (cursor.NextEntry() != kInvalidNode) {
     const NodeId node = cursor.current_node();
@@ -63,13 +63,14 @@ FtRelation ScanTokenOccurrences(CursorT cursor, const InvertedIndex& index,
       }
     }
   }
+  FTS_RETURN_IF_ERROR(cursor.status());
   return out;  // already sorted by construction
 }
 
 // Materializes HasPos (IL_ANY) from a cursor.
 template <typename CursorT>
-FtRelation ScanAnyOccurrences(CursorT cursor, const AlgebraScoreModel* model,
-                              EvalCounters* counters) {
+StatusOr<FtRelation> ScanAnyOccurrences(CursorT cursor, const AlgebraScoreModel* model,
+                                        EvalCounters* counters) {
   FtRelation out(1);
   const double s = model ? model->AnyLeafScore() : 0.0;
   while (cursor.NextEntry() != kInvalidNode) {
@@ -86,14 +87,17 @@ FtRelation ScanAnyOccurrences(CursorT cursor, const AlgebraScoreModel* model,
       }
     }
   }
+  FTS_RETURN_IF_ERROR(cursor.status());
   return out;
 }
 
 }  // namespace
 
-FtRelation OpScanToken(const InvertedIndex& index, std::string_view token,
-                       const AlgebraScoreModel* model, EvalCounters* counters,
-                       const RawPostingOracle* raw_oracle, DecodedBlockCache* cache) {
+StatusOr<FtRelation> OpScanToken(const InvertedIndex& index, std::string_view token,
+                                 const AlgebraScoreModel* model,
+                                 EvalCounters* counters,
+                                 const RawPostingOracle* raw_oracle,
+                                 DecodedBlockCache* cache) {
   const TokenId tok = index.LookupToken(token);
   if (tok == kInvalidToken) return FtRelation(1);  // OOV token: empty relation
   if (raw_oracle != nullptr) {
@@ -105,9 +109,11 @@ FtRelation OpScanToken(const InvertedIndex& index, std::string_view token,
       model, counters);
 }
 
-FtRelation OpScanHasPos(const InvertedIndex& index, const AlgebraScoreModel* model,
-                        EvalCounters* counters, const RawPostingOracle* raw_oracle,
-                        DecodedBlockCache* cache) {
+StatusOr<FtRelation> OpScanHasPos(const InvertedIndex& index,
+                                  const AlgebraScoreModel* model,
+                                  EvalCounters* counters,
+                                  const RawPostingOracle* raw_oracle,
+                                  DecodedBlockCache* cache) {
   if (raw_oracle != nullptr) {
     return ScanAnyOccurrences(ListCursor(&raw_oracle->any_list, counters), model,
                               counters);

@@ -35,17 +35,22 @@ struct AlgebraPredicateCall {
 /// scanned from the block-resident list. When `raw_oracle` is set
 /// (differential tests only) the scan reads the raw oracle list instead;
 /// the produced relation is identical either way. `cache` (nullable) serves
-/// repeated block decodes within one query evaluation.
-FtRelation OpScanToken(const InvertedIndex& index, std::string_view token,
-                       const AlgebraScoreModel* model, EvalCounters* counters,
-                       const RawPostingOracle* raw_oracle = nullptr,
-                       DecodedBlockCache* cache = nullptr);
+/// repeated block decodes within one query evaluation. Returns Corruption
+/// when a lazily validated block fails its first-touch decode (mmap-loaded
+/// index) rather than a truncated relation.
+StatusOr<FtRelation> OpScanToken(const InvertedIndex& index, std::string_view token,
+                                 const AlgebraScoreModel* model,
+                                 EvalCounters* counters,
+                                 const RawPostingOracle* raw_oracle = nullptr,
+                                 DecodedBlockCache* cache = nullptr);
 
 /// HasPos: one tuple per position of every node (materializes IL_ANY).
-FtRelation OpScanHasPos(const InvertedIndex& index, const AlgebraScoreModel* model,
-                        EvalCounters* counters,
-                        const RawPostingOracle* raw_oracle = nullptr,
-                        DecodedBlockCache* cache = nullptr);
+/// Fails like OpScanToken on lazily detected corruption.
+StatusOr<FtRelation> OpScanHasPos(const InvertedIndex& index,
+                                  const AlgebraScoreModel* model,
+                                  EvalCounters* counters,
+                                  const RawPostingOracle* raw_oracle = nullptr,
+                                  DecodedBlockCache* cache = nullptr);
 
 /// SearchContext: one zero-column tuple per context node.
 FtRelation OpScanSearchContext(const InvertedIndex& index,

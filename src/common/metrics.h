@@ -51,6 +51,11 @@ struct EvalCounters {
   uint64_t cache_hits = 0;
   /// Decoded-block cache misses: block loads that decoded and inserted.
   uint64_t cache_misses = 0;
+  /// Blocks that passed first-touch validation (checksum + structure) while
+  /// this query was running — nonzero only on the first queries after a
+  /// lazy (mmap) index load; once a block's validation is memoized, later
+  /// decodes charge nothing here.
+  uint64_t first_touch_validations = 0;
 
   void Reset() { *this = EvalCounters{}; }
 
@@ -68,6 +73,7 @@ struct EvalCounters {
     blocks_bulk_decoded += o.blocks_bulk_decoded;
     cache_hits += o.cache_hits;
     cache_misses += o.cache_misses;
+    first_touch_validations += o.first_touch_validations;
     return *this;
   }
 
@@ -84,7 +90,8 @@ struct EvalCounters {
            " positions_decoded=" + std::to_string(positions_decoded) +
            " blocks_bulk_decoded=" + std::to_string(blocks_bulk_decoded) +
            " cache_hits=" + std::to_string(cache_hits) +
-           " cache_misses=" + std::to_string(cache_misses);
+           " cache_misses=" + std::to_string(cache_misses) +
+           " first_touch=" + std::to_string(first_touch_validations);
   }
 };
 

@@ -16,7 +16,7 @@ void PutVarint32(std::string* out, uint32_t value) {
   PutVarint64(out, value);
 }
 
-Status GetVarint64(const std::string& data, size_t* offset, uint64_t* value) {
+Status GetVarint64(std::string_view data, size_t* offset, uint64_t* value) {
   uint64_t result = 0;
   int shift = 0;
   size_t pos = *offset;
@@ -37,7 +37,7 @@ Status GetVarint64(const std::string& data, size_t* offset, uint64_t* value) {
   return Status::OK();
 }
 
-Status GetVarint32(const std::string& data, size_t* offset, uint32_t* value) {
+Status GetVarint32(std::string_view data, size_t* offset, uint32_t* value) {
   uint64_t wide = 0;
   FTS_RETURN_IF_ERROR(GetVarint64(data, offset, &wide));
   if (wide > std::numeric_limits<uint32_t>::max()) {

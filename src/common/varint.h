@@ -16,6 +16,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <string>
+#include <string_view>
 
 #include "common/status.h"
 
@@ -29,11 +30,12 @@ void PutVarint32(std::string* out, uint32_t value);
 
 /// Decodes a varint from `data` starting at `*offset`, advancing `*offset`
 /// past the encoded bytes. Returns Corruption if the input is truncated or
-/// the encoding exceeds 10 bytes.
-Status GetVarint64(const std::string& data, size_t* offset, uint64_t* value);
+/// the encoding exceeds 10 bytes. Taking a string_view lets the index
+/// loader parse borrowed buffers (an mmap'd file region) without copying.
+Status GetVarint64(std::string_view data, size_t* offset, uint64_t* value);
 
 /// 32-bit variant of GetVarint64; fails on values that overflow 32 bits.
-Status GetVarint32(const std::string& data, size_t* offset, uint32_t* value);
+Status GetVarint32(std::string_view data, size_t* offset, uint32_t* value);
 
 /// Out-of-line continuation of GetVarint32Ptr for multi-byte values: an
 /// unrolled decode of up to 5 bytes. Returns the pointer past the varint,

@@ -120,19 +120,23 @@ class BoolEvaluator {
   }
 
   template <typename CursorT>
-  NodeSet ScanToken(CursorT cursor, TokenId id) {
+  StatusOr<NodeSet> ScanToken(CursorT cursor, TokenId id) {
     NodeSet out;
     while (cursor.NextEntry() != kInvalidNode) {
       const NodeId n = cursor.current_node();
       out.nodes.push_back(n);
       out.scores.push_back(TokenEntryScore(id, n, cursor.pos_count()));
     }
+    // A lazily validated block that fails its first-touch decode exhausts
+    // the cursor early and records why; surface that instead of a silently
+    // truncated node set.
+    FTS_RETURN_IF_ERROR(cursor.status());
     return out;
   }
 
   /// Both cursor modes scan the block-resident list; the raw oracle (tests
   /// only) substitutes a ListCursor through the identical merge code.
-  NodeSet EvalToken(const std::string& token) {
+  StatusOr<NodeSet> EvalToken(const std::string& token) {
     const TokenId id = index_->LookupToken(token);
     if (raw_oracle_ != nullptr) {
       return ScanToken(ListCursor(raw_oracle_->list(id), counters_), id);
@@ -141,25 +145,27 @@ class BoolEvaluator {
                      id);
   }
 
-  NodeSet EvalAny() {
+  StatusOr<NodeSet> EvalAny() {
     NodeSet out;
     const double s = model_ ? model_->AnyLeafScore() : 0.0;
-    const auto collect = [&](auto cursor) {
+    const auto collect = [&](auto cursor) -> Status {
       while (cursor.NextEntry() != kInvalidNode) {
         out.nodes.push_back(cursor.current_node());
         out.scores.push_back(s);
       }
+      return cursor.status();
     };
     if (raw_oracle_ != nullptr) {
-      collect(ListCursor(&raw_oracle_->any_list, counters_));
+      FTS_RETURN_IF_ERROR(collect(ListCursor(&raw_oracle_->any_list, counters_)));
     } else {
-      collect(BlockListCursor(&index_->block_any_list(), counters_, cache_));
+      FTS_RETURN_IF_ERROR(
+          collect(BlockListCursor(&index_->block_any_list(), counters_, cache_)));
     }
     return out;
   }
 
   /// AND of two token lists by two-sided zig-zag seek.
-  NodeSet ZigZagTokens(const std::string& ltok, const std::string& rtok) {
+  StatusOr<NodeSet> ZigZagTokens(const std::string& ltok, const std::string& rtok) {
     const TokenId lid = index_->LookupToken(ltok);
     const TokenId rid = index_->LookupToken(rtok);
     if (raw_oracle_ != nullptr) {
@@ -172,7 +178,7 @@ class BoolEvaluator {
   }
 
   template <typename CursorT>
-  NodeSet ZigZag(CursorT lc, CursorT rc, TokenId lid, TokenId rid) {
+  StatusOr<NodeSet> ZigZag(CursorT lc, CursorT rc, TokenId lid, TokenId rid) {
     NodeSet out;
     NodeId a = lc.NextEntry();
     NodeId b = rc.NextEntry();
@@ -192,14 +198,16 @@ class BoolEvaluator {
         b = rc.NextEntry();
       }
     }
+    FTS_RETURN_IF_ERROR(lc.status());
+    FTS_RETURN_IF_ERROR(rc.status());
     return out;
   }
 
   /// AND of an evaluated node set with a token list: the set drives, the
   /// token cursor seeks. `set_on_left` selects the JoinScore argument order
   /// so scores match the corresponding merge-path Intersect exactly.
-  NodeSet IntersectSetToken(const NodeSet& set, const std::string& tok,
-                            bool set_on_left) {
+  StatusOr<NodeSet> IntersectSetToken(const NodeSet& set, const std::string& tok,
+                                      bool set_on_left) {
     const TokenId id = index_->LookupToken(tok);
     if (raw_oracle_ != nullptr) {
       return IntersectSetCursor(set, ListCursor(raw_oracle_->list(id), counters_),
@@ -211,8 +219,8 @@ class BoolEvaluator {
   }
 
   template <typename CursorT>
-  NodeSet IntersectSetCursor(const NodeSet& set, CursorT c, TokenId id,
-                             bool set_on_left) {
+  StatusOr<NodeSet> IntersectSetCursor(const NodeSet& set, CursorT c, TokenId id,
+                                       bool set_on_left) {
     NodeSet out;
     for (size_t i = 0; i < set.nodes.size(); ++i) {
       const NodeId n = c.SeekEntry(set.nodes[i]);
@@ -228,6 +236,7 @@ class BoolEvaluator {
                                ? model_->JoinScore(set.scores[i], 1, token_score, 1)
                                : model_->JoinScore(token_score, 1, set.scores[i], 1));
     }
+    FTS_RETURN_IF_ERROR(c.status());
     return out;
   }
 

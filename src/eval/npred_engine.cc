@@ -225,6 +225,8 @@ StatusOr<QueryResult> NpredEngine::Evaluate(const LangExprPtr& query) const {
   // their hot blocks already decoded.
   DecodedBlockCache cache;
 
+  Status decode_status;  // set by leaf scans on first-touch decode failure
+
   if (neg_vars.empty()) {
     // No negative predicates: degenerate to a single PPRED-style pass; the
     // cache only pays here if the plan itself scans a list twice.
@@ -232,10 +234,12 @@ StatusOr<QueryResult> NpredEngine::Evaluate(const LangExprPtr& query) const {
     PipelineContext ctx{index_, model.get(), &result.counters,
                         PlanPipelineCursorMode(cursor_mode_, plan, *index_),
                         raw_oracle_,
-                        ShouldUseDecodedBlockCache(plan, *index_) ? &cache : nullptr};
+                        ShouldUseDecodedBlockCache(plan, *index_) ? &cache : nullptr,
+                        &decode_status};
     FTS_ASSIGN_OR_RETURN(std::unique_ptr<PosCursor> cursor, BuildPipeline(plan, ctx));
     DrainPipeline(cursor.get(), scoring_ != ScoringKind::kNone, &result.nodes,
                   &result.scores);
+    FTS_RETURN_IF_ERROR(decode_status);
     result.counters.orderings_run = 1;
     return result;
   }
@@ -258,11 +262,13 @@ StatusOr<QueryResult> NpredEngine::Evaluate(const LangExprPtr& query) const {
     PipelineContext ctx{index_, model.get(), &result.counters,
                         PlanPipelineCursorMode(cursor_mode_, plan, *index_),
                         raw_oracle_,
-                        PlanFitsDecodedBlockCache(plan, *index_) ? &cache : nullptr};
+                        PlanFitsDecodedBlockCache(plan, *index_) ? &cache : nullptr,
+                        &decode_status};
     FTS_ASSIGN_OR_RETURN(std::unique_ptr<PosCursor> cursor, BuildPipeline(plan, ctx));
     std::vector<NodeId> nodes;
     std::vector<double> scores;
     DrainPipeline(cursor.get(), scoring_ != ScoringKind::kNone, &nodes, &scores);
+    FTS_RETURN_IF_ERROR(decode_status);
     for (size_t i = 0; i < nodes.size(); ++i) {
       merged.emplace(nodes[i], scoring_ != ScoringKind::kNone ? scores[i] : 0.0);
     }

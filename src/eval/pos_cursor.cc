@@ -60,7 +60,10 @@ class ScanCursor : public PosCursor {
   NodeId AdvanceNode() override {
     CountOp(ctx_);
     node_ = cursor_.NextEntry();
-    if (node_ == kInvalidNode) return node_;
+    if (node_ == kInvalidNode) {
+      SyncStatus();
+      return node_;
+    }
     OnEntry();
     return node_;
   }
@@ -70,7 +73,10 @@ class ScanCursor : public PosCursor {
     if (node_ != kInvalidNode && node_ >= target) return node_;
     CountOp(ctx_);
     node_ = cursor_.SeekEntry(target);
-    if (node_ == kInvalidNode) return node_;
+    if (node_ == kInvalidNode) {
+      SyncStatus();
+      return node_;
+    }
     OnEntry();
     return node_;
   }
@@ -112,6 +118,16 @@ class ScanCursor : public PosCursor {
     if (!have_positions_) {
       positions_ = cursor_.GetPositions();
       have_positions_ = true;
+      SyncStatus();
+    }
+  }
+
+  /// Copies a sticky cursor decode error (first-touch validation failure)
+  /// into the pipeline's shared status slot; the scan has already failed
+  /// closed by exhausting / returning an empty PosList.
+  void SyncStatus() const {
+    if (ctx_.status != nullptr && ctx_.status->ok() && !cursor_.status().ok()) {
+      *ctx_.status = cursor_.status();
     }
   }
 

@@ -89,6 +89,12 @@ struct PipelineContext {
   CursorMode mode = CursorMode::kSequential;
   const RawPostingOracle* raw_oracle = nullptr;  // differential tests only
   DecodedBlockCache* cache = nullptr;            // nullable, per-query
+  /// Sticky decode-error slot (first error wins). Leaf scans copy their
+  /// list cursor's status here when a lazily validated block fails its
+  /// first-touch decode: the scan exhausts (failing closed, so the
+  /// pipeline terminates normally) and the engine checks this slot after
+  /// draining, turning a silently truncated result into an error.
+  Status* status = nullptr;  // nullable
 };
 
 /// Resolves `requested` for one pipelined plan: forced modes pass through;

@@ -45,12 +45,15 @@ StatusOr<QueryResult> PpredEngine::Evaluate(const LangExprPtr& query) const {
   // The cache only pays when a list is scanned twice and the working set
   // fits; otherwise every block load would be a miss plus bookkeeping.
   DecodedBlockCache cache;
+  Status decode_status;  // set by leaf scans on first-touch decode failure
   PipelineContext ctx{index_, model.get(), &result.counters,
                       PlanPipelineCursorMode(mode_, plan, *index_), raw_oracle_,
-                      ShouldUseDecodedBlockCache(plan, *index_) ? &cache : nullptr};
+                      ShouldUseDecodedBlockCache(plan, *index_) ? &cache : nullptr,
+                      &decode_status};
   FTS_ASSIGN_OR_RETURN(std::unique_ptr<PosCursor> cursor, BuildPipeline(plan, ctx));
   DrainPipeline(cursor.get(), scoring_ != ScoringKind::kNone, &result.nodes,
                 &result.scores);
+  FTS_RETURN_IF_ERROR(decode_status);
   return result;
 }
 

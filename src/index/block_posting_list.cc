@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "common/fnv.h"
 #include "common/varint.h"
 #include "index/decoded_block_cache.h"
 
@@ -53,7 +54,7 @@ void BlockPostingList::FlushPending() {
   if (pending_.empty()) return;
   SkipEntry skip;
   skip.max_node = pending_.back().node;
-  skip.byte_offset = static_cast<uint32_t>(data_.size());
+  skip.byte_offset = static_cast<uint32_t>(owned_.size());
   skip.entry_count = static_cast<uint32_t>(pending_.size());
 
   // First node of the block is absolute so blocks decode independently;
@@ -64,10 +65,10 @@ void BlockPostingList::FlushPending() {
   bool first = true;
   std::string pos_bytes;
   for (const PendingEntry& e : pending_) {
-    PutVarint32(&data_, first ? e.node : e.node - prev_node);
+    PutVarint32(&owned_, first ? e.node : e.node - prev_node);
     first = false;
     prev_node = e.node;
-    PutVarint32(&data_, e.pos_count);
+    PutVarint32(&owned_, e.pos_count);
     pos_bytes.clear();
     uint32_t prev_off = 0, prev_sent = 0, prev_para = 0;
     for (uint32_t j = 0; j < e.pos_count; ++j) {
@@ -79,8 +80,8 @@ void BlockPostingList::FlushPending() {
       prev_sent = p.sentence;
       prev_para = p.paragraph;
     }
-    PutVarint32(&data_, static_cast<uint32_t>(pos_bytes.size()));
-    data_.append(pos_bytes);
+    PutVarint32(&owned_, static_cast<uint32_t>(pos_bytes.size()));
+    owned_.append(pos_bytes);
   }
   skips_.push_back(skip);
   pending_.clear();
@@ -101,7 +102,7 @@ size_t BlockPostingList::byte_size() const {
     prev_max = s.max_node;
     prev_off = s.byte_offset;
   }
-  return data_.size() + scratch.size();
+  return data().size() + scratch.size();
 }
 
 Status BlockPostingList::DecodeBlockEntries(size_t block,
@@ -109,24 +110,39 @@ Status BlockPostingList::DecodeBlockEntries(size_t block,
   if (block >= skips_.size()) {
     return Status::InvalidArgument("block index out of range");
   }
+  const std::string_view payload = data();
   const SkipEntry& skip = skips_[block];
-  if (skip.byte_offset > data_.size()) {
+  if (skip.byte_offset > payload.size()) {
     return Status::Corruption("skip offset past payload");
   }
   const size_t end = block + 1 < skips_.size() ? skips_[block + 1].byte_offset
-                                               : data_.size();
+                                               : payload.size();
   // Each entry takes at least 3 bytes (node delta, count, position length);
   // bound before reserving so a crafted skip table cannot force a huge alloc.
-  if (end < skip.byte_offset || end > data_.size() ||
+  if (end < skip.byte_offset || end > payload.size() ||
       skip.entry_count > (end - skip.byte_offset) / 3 + 1) {
     return Status::Corruption("block entry count larger than block payload");
+  }
+  // First touch of a lazily validated block: verify the payload checksum
+  // recorded in the (load-time-checksummed) skip directory before parsing
+  // a single byte, so a flipped bit in an mmap'd file surfaces here as
+  // Corruption rather than as structurally plausible garbage. Memoized:
+  // once this decode succeeds end to end the block is marked verified and
+  // later decodes skip the hash.
+  const bool first_touch = block_verified_ != nullptr &&
+      block_verified_[block].load(std::memory_order_acquire) == 0;
+  if (first_touch && !block_checksums_.empty()) {
+    if (Fnv1a32(payload.substr(skip.byte_offset, end - skip.byte_offset)) !=
+        block_checksums_[block]) {
+      return Status::Corruption("block payload checksum mismatch at first touch");
+    }
   }
   entries->clear();
   entries->reserve(skip.entry_count);
   // Bulk path: one tight loop over the block's bytes through the pointer
   // varint decoders (one inline branch per header value in the common
   // one-byte case), hopping over position payloads via their byte length.
-  const uint8_t* const base = reinterpret_cast<const uint8_t*>(data_.data());
+  const uint8_t* const base = reinterpret_cast<const uint8_t*>(payload.data());
   const uint8_t* p = base + skip.byte_offset;
   const uint8_t* const lim = base + end;
   NodeId prev_node = 0;
@@ -140,6 +156,11 @@ Status BlockPostingList::DecodeBlockEntries(size_t block,
     const NodeId node = (i == 0) ? node_delta : prev_node + node_delta;
     if (i > 0 && (node_delta == 0 || node < prev_node)) {
       return Status::Corruption("non-increasing node ids in posting block");
+    }
+    if (i == 0 && block > 0 && node <= skips_[block - 1].max_node) {
+      // Cross-block monotonicity, checked per block against the previous
+      // skip header so lazily validated blocks need no neighbor decode.
+      return Status::Corruption("non-increasing node ids across blocks");
     }
     prev_node = node;
     if (pos_len > static_cast<size_t>(lim - p)) {
@@ -159,20 +180,24 @@ Status BlockPostingList::DecodeBlockEntries(size_t block,
   if (prev_node != skip.max_node) {
     return Status::Corruption("posting block max_node mismatch");
   }
+  if (first_touch) {
+    block_verified_[block].store(1, std::memory_order_release);
+  }
   return Status::OK();
 }
 
 Status BlockPostingList::DecodePositions(const EntryRef& entry,
                                          std::vector<PositionInfo>* positions) const {
+  const std::string_view payload = data();
   // Each position takes at least 3 bytes (three varints).
   if (entry.header.pos_count > entry.pos_byte_len / 3 + 1 ||
-      entry.pos_byte_begin > data_.size() ||
-      entry.pos_byte_len > data_.size() - entry.pos_byte_begin) {
+      entry.pos_byte_begin > payload.size() ||
+      entry.pos_byte_len > payload.size() - entry.pos_byte_begin) {
     return Status::Corruption("position count larger than position bytes");
   }
   const uint32_t count = entry.header.pos_count;
   positions->resize(count);
-  const uint8_t* const base = reinterpret_cast<const uint8_t*>(data_.data());
+  const uint8_t* const base = reinterpret_cast<const uint8_t*>(payload.data());
   const uint8_t* p = base + entry.pos_byte_begin;
   const uint8_t* const lim = p + entry.pos_byte_len;
   // Bulk-decode the delta triples in fixed-size chunks through the group
@@ -228,7 +253,32 @@ BlockPostingList BlockPostingList::FromParts(uint32_t block_size,
   out.num_entries_ = num_entries;
   out.total_positions_ = total_positions;
   out.skips_ = std::move(skips);
-  out.data_ = std::move(data);
+  out.owned_ = std::move(data);
+  return out;
+}
+
+BlockPostingList BlockPostingList::FromParts(uint32_t block_size,
+                                             uint64_t num_entries,
+                                             uint64_t total_positions,
+                                             std::vector<SkipEntry> skips,
+                                             std::string_view data,
+                                             std::vector<uint32_t> checksums,
+                                             bool first_touch_validation) {
+  BlockPostingList out(block_size);
+  out.num_entries_ = num_entries;
+  out.total_positions_ = total_positions;
+  out.skips_ = std::move(skips);
+  // An empty slice must still present a non-null view so data() does not
+  // fall back to owned_ (harmless today, but keep the invariant tight).
+  out.view_ = data.data() != nullptr ? data : std::string_view("", 0);
+  out.block_checksums_ = std::move(checksums);
+  if (first_touch_validation && !out.skips_.empty()) {
+    out.block_verified_ =
+        std::make_unique<std::atomic<uint8_t>[]>(out.skips_.size());
+    for (size_t b = 0; b < out.skips_.size(); ++b) {
+      out.block_verified_[b].store(0, std::memory_order_relaxed);
+    }
+  }
   return out;
 }
 
@@ -248,29 +298,41 @@ BlockListCursor& BlockListCursor::operator=(BlockListCursor&& o) noexcept {
   started_ = o.started_;
   exhausted_ = o.exhausted_;
   node_ = o.node_;
+  status_ = std::move(o.status_);
   return *this;
 }
 
 bool BlockListCursor::LoadBlock(size_t block) {
+  const bool was_verified = list_->BlockVerified(block);
   // Lists with more blocks than the cache can hold would cycle the LRU on
   // every sequential pass — all misses, plus allocation and bookkeeping on
   // each — so they bypass the cache and use the reusable arena instead.
   if (cache_ != nullptr && list_->num_blocks() <= cache_->capacity()) {
-    cached_ = cache_->GetOrDecode(*list_, block, counters_);
-    if (cached_ == nullptr) return false;
+    Status s;
+    cached_ = cache_->GetOrDecode(*list_, block, counters_, &s);
+    if (cached_ == nullptr) {
+      // Under first-touch validation a decode failure is lazily detected
+      // corruption: record it and fail closed by exhausting.
+      if (!s.ok() && status_.ok()) status_ = std::move(s);
+      return false;
+    }
     entries_ = &cached_->entries;
   } else {
     Status s = list_->DecodeBlockEntries(block, &arena_);
-    // Malformed payloads are rejected at load time; a decode failure here
-    // means programmer error, so fail closed by exhausting.
-    assert(s.ok());
-    if (!s.ok() || arena_.empty()) return false;
+    if (!s.ok()) {
+      if (status_.ok()) status_ = std::move(s);
+      return false;
+    }
+    if (arena_.empty()) return false;
     if (counters_ != nullptr) {
       ++counters_->blocks_decoded;
       ++counters_->blocks_bulk_decoded;
       counters_->entries_decoded += arena_.size();
     }
     entries_ = &arena_;
+  }
+  if (counters_ != nullptr && !was_verified && list_->BlockVerified(block)) {
+    ++counters_->first_touch_validations;
   }
   block_ = block;
   positions_for_ = SIZE_MAX;
@@ -363,8 +425,13 @@ std::span<const PositionInfo> BlockListCursor::GetPositions() {
   assert(started_ && !exhausted_);
   if (positions_for_ != idx_) {
     Status s = list_->DecodePositions((*entries_)[idx_], &positions_);
-    assert(s.ok());
-    if (!s.ok()) positions_.clear();
+    if (!s.ok()) {
+      // Structurally inconsistent position bytes (reachable only when a
+      // crafted file defeats the checksums): report through status() and
+      // hand back an empty PosList — fail closed, never partial garbage.
+      positions_.clear();
+      if (status_.ok()) status_ = std::move(s);
+    }
     positions_for_ = idx_;
     if (counters_ != nullptr) counters_->positions_decoded += positions_.size();
   }

@@ -1,4 +1,4 @@
-// Block-compressed, skip-seekable posting storage (the v2 index layout).
+// Block-compressed, skip-seekable posting storage (the v2/v3 index layout).
 //
 // A BlockPostingList stores the same logical (cn, PosList) sequence as a
 // PostingList, but packed into fixed-size blocks (kDefaultBlockSize entries)
@@ -22,13 +22,22 @@
 // bytes it skips. All block decodes, cache hits/misses, and skip probes
 // are charged to EvalCounters so benchmarks can separate the paper's
 // sequential-access model from the skip machinery.
+//
+// Payload bytes are either owned (built lists) or a string_view slice of
+// the index's shared IndexSource (loaded lists — heap buffer or mmap'd
+// file region). Lists loaded lazily from a v3 file carry per-block
+// checksums and validate each block — checksum plus structure — on its
+// first decode, memoized per block; a first-touch failure is reported
+// through the cursor's sticky status() and the cursor fails closed.
 
 #ifndef FTS_INDEX_BLOCK_POSTING_LIST_H_
 #define FTS_INDEX_BLOCK_POSTING_LIST_H_
 
+#include <atomic>
 #include <memory>
 #include <span>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/metrics.h"
@@ -82,18 +91,27 @@ class BlockPostingList {
   const SkipEntry& skip(size_t block) const { return skips_[block]; }
   const std::vector<SkipEntry>& skips() const { return skips_; }
 
-  /// Compressed payload (concatenated block bytes).
-  const std::string& data() const { return data_; }
+  /// Compressed payload (concatenated block bytes). Built lists own their
+  /// bytes; loaded lists borrow a slice of the index's IndexSource (heap
+  /// buffer or mmap'd file region), which the owning InvertedIndex keeps
+  /// alive.
+  std::string_view data() const {
+    return view_.data() != nullptr ? view_ : std::string_view(owned_);
+  }
 
   /// Total compressed footprint: payload plus skip-table bytes as laid out
   /// on disk (the serialized v2 size of this list, minus framing varints).
   size_t byte_size() const;
 
-  /// Resident heap footprint of this list in bytes (payload + skip table
-  /// capacities). This is what the list costs while the index is loaded —
-  /// the memory-accounting input of InvertedIndex::MemoryUsage().
+  /// Resident heap footprint of this list in bytes (owned payload + skip
+  /// table + validation bookkeeping capacities). This is what the list
+  /// costs while the index is loaded — the memory-accounting input of
+  /// InvertedIndex::MemoryUsage(). Payload bytes borrowed from an
+  /// IndexSource are charged to the source, not to the list.
   size_t resident_bytes() const {
-    return data_.capacity() + skips_.capacity() * sizeof(SkipEntry) +
+    return owned_.capacity() + skips_.capacity() * sizeof(SkipEntry) +
+           block_checksums_.capacity() * sizeof(uint32_t) +
+           (block_verified_ != nullptr ? skips_.size() : 0) +
            pending_.capacity() * sizeof(PendingEntry) +
            pending_positions_.capacity() * sizeof(PositionInfo);
   }
@@ -113,7 +131,11 @@ class BlockPostingList {
                      std::vector<PositionInfo>* positions) const;
 
   /// Decodes only block `block`'s entry headers (node ids, position
-  /// counts), skipping position bytes entirely.
+  /// counts), skipping position bytes entirely. Under first-touch
+  /// validation this additionally verifies the block's payload checksum
+  /// and structural invariants on its first decode and memoizes success
+  /// per block, so the bulk-decode hot path and the DecodedBlockCache pay
+  /// the checksum once per block per index lifetime.
   Status DecodeBlockEntries(size_t block, std::vector<EntryRef>* entries) const;
 
   /// Decodes the PosList of one entry previously returned by
@@ -121,11 +143,33 @@ class BlockPostingList {
   Status DecodePositions(const EntryRef& entry,
                          std::vector<PositionInfo>* positions) const;
 
-  /// Reassembles a list from its serialized parts (index_io v2 load path).
-  /// The skip table and payload are validated lazily by DecodeBlock.
+  /// Reassembles a list from its serialized parts with an owned payload
+  /// copy (index_io v1 re-encode helpers and tests).
   static BlockPostingList FromParts(uint32_t block_size, uint64_t num_entries,
                                     uint64_t total_positions,
                                     std::vector<SkipEntry> skips, std::string data);
+
+  /// Reassembles a list whose payload is a borrowed slice of an
+  /// IndexSource (the v2/v3 load paths). `checksums`, when non-empty, is
+  /// the per-block FNV-1a32 payload checksum table of the v3 format; with
+  /// `first_touch_validation` set, each block's checksum and structure are
+  /// verified on its first decode (memoized — see DecodeBlockEntries)
+  /// instead of at load time. Without it, checksums are verified by the
+  /// load-time ValidateBlocks pass and queries never re-check.
+  static BlockPostingList FromParts(uint32_t block_size, uint64_t num_entries,
+                                    uint64_t total_positions,
+                                    std::vector<SkipEntry> skips,
+                                    std::string_view data,
+                                    std::vector<uint32_t> checksums,
+                                    bool first_touch_validation);
+
+  /// True when block `block` has already passed (or never needs) first-touch
+  /// validation. Cursors use the transition to charge
+  /// EvalCounters::first_touch_validations.
+  bool BlockVerified(size_t block) const {
+    return block_verified_ == nullptr ||
+           block_verified_[block].load(std::memory_order_acquire) != 0;
+  }
 
  private:
   void FlushPending();
@@ -133,8 +177,20 @@ class BlockPostingList {
   uint32_t block_size_;
   size_t num_entries_ = 0;
   size_t total_positions_ = 0;
-  std::string data_;
+  /// Built (and v1-re-encoded) lists own their payload here; loaded lists
+  /// leave it empty and set view_ instead.
+  std::string owned_;
+  /// Borrowed payload slice into the owning index's IndexSource.
+  std::string_view view_;
   std::vector<SkipEntry> skips_;
+  /// v3 per-block payload checksums (FNV-1a32); empty for built lists and
+  /// v1/v2 loads (those validate eagerly under the envelope checksum).
+  std::vector<uint32_t> block_checksums_;
+  /// First-touch validation memo, one flag per block; null when every block
+  /// is already trusted (built lists, eagerly validated loads). Atomic so
+  /// concurrent read-only queries over a shared index may race benignly on
+  /// the memo without UB.
+  mutable std::unique_ptr<std::atomic<uint8_t>[]> block_verified_;
 
   // Entries accumulated for the block currently being built.
   struct PendingEntry {
@@ -184,7 +240,8 @@ class BlockListCursor {
   NodeId SeekEntry(NodeId target);
 
   /// PosList of the current entry (decoded on first call per entry); the
-  /// cursor must be on an entry.
+  /// cursor must be on an entry. Returns an empty span (and sets status())
+  /// if the position bytes fail first-touch validation.
   std::span<const PositionInfo> GetPositions();
 
   /// Position count of the current entry — free, no position decode.
@@ -192,6 +249,13 @@ class BlockListCursor {
 
   NodeId current_node() const { return node_; }
   bool exhausted() const { return exhausted_; }
+
+  /// Sticky decode status. Under first-touch validation a block decode can
+  /// fail at query time (lazily detected corruption); the cursor then
+  /// reports exhaustion — failing closed, never returning partial garbage
+  /// — and records the error here. Engines check it after draining a
+  /// cursor and propagate it out of Evaluate().
+  const Status& status() const { return status_; }
 
  private:
   /// Bulk-decodes block `block`'s entry headers (through the cache when one
@@ -215,6 +279,7 @@ class BlockListCursor {
   bool started_ = false;
   bool exhausted_ = false;
   NodeId node_ = kInvalidNode;
+  Status status_;  // sticky first decode/validation error
 };
 
 }  // namespace fts

@@ -38,7 +38,8 @@ bool DecodedBlockCache::ShouldAttach(const InvertedIndex& index,
 }
 
 std::shared_ptr<const DecodedBlock> DecodedBlockCache::GetOrDecode(
-    const BlockPostingList& list, size_t block, EvalCounters* counters) {
+    const BlockPostingList& list, size_t block, EvalCounters* counters,
+    Status* status) {
   const Key key{&list, block};
   auto it = map_.find(key);
   if (it != map_.end()) {
@@ -51,12 +52,16 @@ std::shared_ptr<const DecodedBlock> DecodedBlockCache::GetOrDecode(
 
   auto decoded = std::make_shared<DecodedBlock>();
   Status s = list.DecodeBlockEntries(block, &decoded->entries);
-  // Payloads are validated at index load; a failure here is programmer
-  // error, reported like a failed direct decode (cursor exhausts).
-  assert(s.ok());
   ++misses_;
   if (counters != nullptr) ++counters->cache_misses;
-  if (!s.ok() || decoded->entries.empty()) return nullptr;
+  if (!s.ok()) {
+    // Lazily detected corruption (first-touch validation on an mmap'd
+    // index): reported like a failed direct decode — the cursor exhausts
+    // and carries the status up to its engine.
+    if (status != nullptr && status->ok()) *status = std::move(s);
+    return nullptr;
+  }
+  if (decoded->entries.empty()) return nullptr;
   if (counters != nullptr) {
     ++counters->blocks_decoded;
     ++counters->blocks_bulk_decoded;

@@ -75,10 +75,13 @@ class DecodedBlockCache {
   /// Returns `block` of `list` decoded, from cache if present (charging a
   /// hit) or by bulk-decoding and inserting it (charging a miss plus the
   /// decode counters). Returns nullptr if the block is empty or malformed —
-  /// callers treat that exactly like a failed direct decode.
+  /// callers treat that exactly like a failed direct decode. A malformed
+  /// block (first-touch validation failure on a lazily loaded index)
+  /// additionally reports its decode error through `status` when given.
   std::shared_ptr<const DecodedBlock> GetOrDecode(const BlockPostingList& list,
                                                   size_t block,
-                                                  EvalCounters* counters);
+                                                  EvalCounters* counters,
+                                                  Status* status = nullptr);
 
   size_t size() const { return map_.size(); }
   size_t capacity() const { return capacity_; }

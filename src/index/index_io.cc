@@ -3,9 +3,13 @@
 #include <bit>
 #include <cstring>
 #include <fstream>
+#include <utility>
+#include <vector>
 
+#include "common/fnv.h"
 #include "common/varint.h"
 #include "index/block_posting_list.h"
+#include "index/index_source.h"
 
 namespace fts {
 
@@ -13,16 +17,12 @@ namespace {
 
 constexpr char kMagicV1[8] = {'F', 'T', 'S', 'I', 'D', 'X', '1', '\0'};
 constexpr char kMagicV2[8] = {'F', 'T', 'S', 'I', 'D', 'X', '2', '\0'};
+constexpr char kMagicV3[8] = {'F', 'T', 'S', 'I', 'D', 'X', '3', '\0'};
 constexpr size_t kMagicSize = sizeof(kMagicV1);
-
-uint64_t Fnv1a(const std::string& data, size_t begin, size_t end) {
-  uint64_t h = 0xcbf29ce484222325ULL;
-  for (size_t i = begin; i < end; ++i) {
-    h ^= static_cast<uint8_t>(data[i]);
-    h *= 0x100000001b3ULL;
-  }
-  return h;
-}
+constexpr size_t kTrailerSize = 8;  // fixed64 checksum
+/// The smallest byte count any version can occupy: magic + trailer. Inputs
+/// below this are rejected before any section parsing runs.
+constexpr size_t kMinFileSize = kMagicSize + kTrailerSize;
 
 void PutFixed64(std::string* out, uint64_t v) {
   char buf[8];
@@ -30,7 +30,7 @@ void PutFixed64(std::string* out, uint64_t v) {
   out->append(buf, 8);
 }
 
-Status GetFixed64(const std::string& data, size_t* offset, uint64_t* v) {
+Status GetFixed64(std::string_view data, size_t* offset, uint64_t* v) {
   if (*offset + 8 > data.size()) {
     return Status::Corruption("truncated fixed64 at offset " + std::to_string(*offset));
   }
@@ -43,7 +43,7 @@ void PutDouble(std::string* out, double d) {
   PutFixed64(out, std::bit_cast<uint64_t>(d));
 }
 
-Status GetDouble(const std::string& data, size_t* offset, double* d) {
+Status GetDouble(std::string_view data, size_t* offset, double* d) {
   uint64_t bits;
   FTS_RETURN_IF_ERROR(GetFixed64(data, offset, &bits));
   *d = std::bit_cast<double>(bits);
@@ -75,7 +75,7 @@ void PutPostingList(std::string* out, const PostingList& list) {
   }
 }
 
-Status GetPostingList(const std::string& data, size_t* offset, PostingList* list) {
+Status GetPostingList(std::string_view data, size_t* offset, PostingList* list) {
   uint64_t num_entries;
   FTS_RETURN_IF_ERROR(GetVarint64(data, offset, &num_entries));
   NodeId prev_node = 0;
@@ -112,46 +112,82 @@ Status GetPostingList(const std::string& data, size_t* offset, PostingList* list
 }
 
 // ---------------------------------------------------------------------------
-// v2 posting lists: block-compressed payload + skip table, dumped verbatim
-// from / adopted verbatim into BlockPostingList.
+// v2/v3 posting lists: block-compressed payload + skip table, dumped
+// verbatim from / adopted verbatim into BlockPostingList. v3 extends each
+// skip entry with the block's FNV-1a32 payload checksum and records where
+// payload bytes sit (the trailer checksum hops over them).
 // ---------------------------------------------------------------------------
 
-void PutBlockPostingList(std::string* out, const BlockPostingList& list) {
+/// Byte range of one list's payload within the serialized output.
+struct PayloadRange {
+  size_t begin = 0;
+  size_t end = 0;
+};
+
+void PutBlockPostingList(std::string* out, const BlockPostingList& list,
+                         bool with_checksums,
+                         std::vector<PayloadRange>* payload_ranges) {
   PutVarint64(out, list.num_entries());
   PutVarint64(out, list.total_positions());
   PutVarint32(out, list.block_size());
   PutVarint64(out, list.num_blocks());
+  const std::string_view payload = list.data();
   NodeId prev_max = 0;
   uint32_t prev_off = 0;
-  for (const BlockPostingList::SkipEntry& s : list.skips()) {
+  for (size_t b = 0; b < list.num_blocks(); ++b) {
+    const BlockPostingList::SkipEntry& s = list.skip(b);
     PutVarint32(out, s.max_node - prev_max);
     PutVarint32(out, s.byte_offset - prev_off);
     PutVarint32(out, s.entry_count);
+    if (with_checksums) {
+      const size_t end = b + 1 < list.num_blocks() ? list.skip(b + 1).byte_offset
+                                                   : payload.size();
+      PutVarint32(out, Fnv1a32(payload.substr(s.byte_offset, end - s.byte_offset)));
+    }
     prev_max = s.max_node;
     prev_off = s.byte_offset;
   }
-  PutVarint64(out, list.data().size());
-  out->append(list.data());
+  PutVarint64(out, payload.size());
+  if (payload_ranges != nullptr) {
+    payload_ranges->push_back({out->size(), out->size() + payload.size()});
+  }
+  out->append(payload);
 }
 
-Status GetBlockPostingList(const std::string& data, size_t* offset,
-                           BlockPostingList* list) {
-  uint64_t num_entries, total_positions, num_blocks, data_size;
-  uint32_t block_size;
-  FTS_RETURN_IF_ERROR(GetVarint64(data, offset, &num_entries));
-  FTS_RETURN_IF_ERROR(GetVarint64(data, offset, &total_positions));
-  FTS_RETURN_IF_ERROR(GetVarint32(data, offset, &block_size));
+/// Parsed directory of one serialized block list; the payload is left in
+/// place (only its range is recorded).
+struct BlockListDirectory {
+  uint64_t num_entries = 0;
+  uint64_t total_positions = 0;
+  uint32_t block_size = 0;
+  std::vector<BlockPostingList::SkipEntry> skips;
+  std::vector<uint32_t> checksums;  // v3 only
+  size_t payload_begin = 0;
+  size_t payload_size = 0;
+};
+
+/// Parses one list's directory (v2 and v3 share everything except the
+/// per-block checksum field) and skips its payload, leaving `*offset` past
+/// the list. Every count is bounded by the remaining input before sizing
+/// containers: the envelope checksum is recomputable by an attacker, so a
+/// crafted header must fail with Corruption, not a giant allocation.
+Status GetBlockListDirectory(std::string_view data, size_t* offset,
+                             bool with_checksums, uint64_t cnodes,
+                             BlockListDirectory* dir) {
+  uint64_t num_blocks;
+  FTS_RETURN_IF_ERROR(GetVarint64(data, offset, &dir->num_entries));
+  FTS_RETURN_IF_ERROR(GetVarint64(data, offset, &dir->total_positions));
+  FTS_RETURN_IF_ERROR(GetVarint32(data, offset, &dir->block_size));
   FTS_RETURN_IF_ERROR(GetVarint64(data, offset, &num_blocks));
-  if (block_size == 0 && num_blocks > 0) {
+  if (dir->block_size == 0 && num_blocks > 0) {
     return Status::Corruption("zero block size in nonempty block list");
   }
-  // Each skip entry takes at least 3 bytes; bound the count by the remaining
-  // input before reserving, so a crafted header cannot force a huge alloc.
-  if (num_blocks > (data.size() - *offset) / 3) {
+  // Each skip entry takes at least 3 (v2) or 4 (v3) bytes.
+  if (num_blocks > (data.size() - *offset) / (with_checksums ? 4 : 3)) {
     return Status::Corruption("skip table larger than remaining input");
   }
-  std::vector<BlockPostingList::SkipEntry> skips;
-  skips.reserve(num_blocks);
+  dir->skips.reserve(num_blocks);
+  if (with_checksums) dir->checksums.reserve(num_blocks);
   NodeId prev_max = 0;
   uint32_t prev_off = 0;
   uint64_t skipped_entries = 0;
@@ -160,6 +196,11 @@ Status GetBlockPostingList(const std::string& data, size_t* offset,
     FTS_RETURN_IF_ERROR(GetVarint32(data, offset, &d_max));
     FTS_RETURN_IF_ERROR(GetVarint32(data, offset, &d_off));
     FTS_RETURN_IF_ERROR(GetVarint32(data, offset, &count));
+    if (with_checksums) {
+      uint32_t checksum;
+      FTS_RETURN_IF_ERROR(GetVarint32(data, offset, &checksum));
+      dir->checksums.push_back(checksum);
+    }
     BlockPostingList::SkipEntry s;
     s.max_node = prev_max + d_max;
     s.byte_offset = prev_off + d_off;
@@ -167,28 +208,34 @@ Status GetBlockPostingList(const std::string& data, size_t* offset,
     if (b > 0 && (d_max == 0 || d_off == 0)) {
       return Status::Corruption("non-increasing skip table");
     }
-    if (count == 0 || count > block_size) {
+    if (count == 0 || count > dir->block_size) {
       return Status::Corruption("bad block entry count");
     }
     prev_max = s.max_node;
     prev_off = s.byte_offset;
     skipped_entries += count;
-    skips.push_back(s);
+    dir->skips.push_back(s);
   }
-  if (skipped_entries != num_entries) {
+  if (skipped_entries != dir->num_entries) {
     return Status::Corruption("skip table entry counts disagree with header");
   }
+  // Every node id in a valid block is <= its skip max_node, so checking the
+  // last block's max here guarantees the ids stay below cnodes (they index
+  // the per-node scalar tables during scoring) even when the block bodies
+  // are only validated lazily on first touch.
+  if (!dir->skips.empty() && dir->skips.back().max_node >= cnodes) {
+    return Status::Corruption("posting node id out of range");
+  }
+  uint64_t data_size;
   FTS_RETURN_IF_ERROR(GetVarint64(data, offset, &data_size));
   if (data_size > data.size() - *offset) {  // subtract, don't add: no overflow
     return Status::Corruption("truncated block payload");
   }
-  if (num_blocks > 0 && skips.back().byte_offset >= data_size) {
+  if (!dir->skips.empty() && dir->skips.back().byte_offset >= data_size) {
     return Status::Corruption("skip table points past block payload");
   }
-  *list = BlockPostingList::FromParts(
-      block_size == 0 ? BlockPostingList::kDefaultBlockSize : block_size,
-      num_entries, total_positions, std::move(skips),
-      data.substr(*offset, data_size));
+  dir->payload_begin = *offset;
+  dir->payload_size = data_size;
   *offset += data_size;
   return Status::OK();
 }
@@ -222,47 +269,43 @@ void PutCommonSections(const InvertedIndex& index, std::string* out) {
 
 }  // namespace
 
-void SaveIndexToString(const InvertedIndex& index, std::string* out,
-                       IndexFormat format) {
-  out->clear();
-  out->append(format == IndexFormat::kV1 ? kMagicV1 : kMagicV2, kMagicSize);
-  PutCommonSections(index, out);
+// Loader backdoor into InvertedIndex privates (declared friend there); all
+// deserialization paths funnel through Load().
+struct IndexIoAccess {
+  static Status Load(std::shared_ptr<IndexSource> source, bool prefer_lazy,
+                     InvertedIndex* out);
+};
 
-  if (format == IndexFormat::kV1) {
-    // The flat v1 stream is produced from a per-list transient decode; the
-    // raw form is never resident in the index.
-    for (TokenId t = 0; t < index.vocabulary_size(); ++t) {
-      PutPostingList(out, index.block_list(t)->Materialize());
-    }
-    PutPostingList(out, index.block_any_list().Materialize());
-  } else {
-    for (TokenId t = 0; t < index.vocabulary_size(); ++t) {
-      PutBlockPostingList(out, *index.block_list(t));
-    }
-    PutBlockPostingList(out, index.block_any_list());
-  }
-
-  PutFixed64(out, Fnv1a(*out, kMagicSize, out->size()));
-}
-
-Status LoadIndexFromString(const std::string& data, InvertedIndex* out) {
-  if (data.size() < kMagicSize + 8) {
-    return Status::Corruption("bad index magic");
+Status IndexIoAccess::Load(std::shared_ptr<IndexSource> source,
+                           bool prefer_lazy, InvertedIndex* out) {
+  const std::string_view data = source->view();
+  if (data.size() < kMinFileSize) {
+    return Status::Corruption("index data smaller than the fixed envelope (" +
+                              std::to_string(data.size()) + " < " +
+                              std::to_string(kMinFileSize) + " bytes)");
   }
   const bool is_v1 = std::memcmp(data.data(), kMagicV1, kMagicSize) == 0;
   const bool is_v2 = std::memcmp(data.data(), kMagicV2, kMagicSize) == 0;
-  if (!is_v1 && !is_v2) {
+  const bool is_v3 = std::memcmp(data.data(), kMagicV3, kMagicSize) == 0;
+  if (!is_v1 && !is_v2 && !is_v3) {
     return Status::Corruption("bad index magic");
   }
-  const size_t body_end = data.size() - 8;
-  {
+  const size_t body_end = data.size() - kTrailerSize;
+
+  // v1/v2 carry a whole-body checksum: verify it up front (this reads the
+  // entire input, so these versions never load lazily). v3's trailer covers
+  // only header/directory bytes; it is accumulated during the parse below,
+  // hopping over payload ranges without touching them.
+  if (!is_v3) {
     size_t coff = body_end;
     uint64_t stored;
     FTS_RETURN_IF_ERROR(GetFixed64(data, &coff, &stored));
-    if (stored != Fnv1a(data, kMagicSize, body_end)) {
+    if (stored != Fnv1a64(data.substr(kMagicSize, body_end - kMagicSize))) {
       return Status::Corruption("index checksum mismatch");
     }
   }
+  uint64_t header_hash = kFnv1aSeed;
+  size_t hash_mark = kMagicSize;  // next byte not yet folded into header_hash
 
   InvertedIndex index;
   size_t offset = kMagicSize;
@@ -309,7 +352,8 @@ Status LoadIndexFromString(const std::string& data, InvertedIndex* out) {
   if (is_v1) {
     // Decode each flat stream into a raw transient and re-encode it into
     // the block-resident form, one list at a time (peak extra memory is a
-    // single decoded list, not a mirror of the index).
+    // single decoded list, not a mirror of the index). The re-encoded
+    // lists own their bytes, so the source is not retained.
     index.block_lists_.resize(vocab);
     for (uint64_t t = 0; t < vocab; ++t) {
       PostingList raw;
@@ -323,14 +367,56 @@ Status LoadIndexFromString(const std::string& data, InvertedIndex* out) {
     // below cnodes so per-node scalar lookups can never go out of range.
     FTS_RETURN_IF_ERROR(index.ValidateBlocks());
   } else {
+    const bool with_checksums = is_v3;
+    const bool lazy = is_v3 && prefer_lazy;
+    const auto adopt = [&](BlockPostingList* list) -> Status {
+      BlockListDirectory dir;
+      FTS_RETURN_IF_ERROR(
+          GetBlockListDirectory(data, &offset, with_checksums, s.cnodes, &dir));
+      if (is_v3) {
+        // Fold the header/directory bytes since the last payload into the
+        // trailer hash, then hop over this list's payload untouched.
+        header_hash = Fnv1aAccumulate(
+            header_hash, data.substr(hash_mark, dir.payload_begin - hash_mark));
+        hash_mark = dir.payload_begin + dir.payload_size;
+      }
+      *list = BlockPostingList::FromParts(
+          dir.block_size == 0 ? BlockPostingList::kDefaultBlockSize
+                              : dir.block_size,
+          dir.num_entries, dir.total_positions, std::move(dir.skips),
+          data.substr(dir.payload_begin, dir.payload_size),
+          std::move(dir.checksums),
+          /*first_touch_validation=*/with_checksums);
+      return Status::OK();
+    };
     index.block_lists_.resize(vocab);
     for (uint64_t t = 0; t < vocab; ++t) {
-      FTS_RETURN_IF_ERROR(GetBlockPostingList(data, &offset, &index.block_lists_[t]));
+      FTS_RETURN_IF_ERROR(adopt(&index.block_lists_[t]));
     }
-    FTS_RETURN_IF_ERROR(GetBlockPostingList(data, &offset, index.block_any_list_.get()));
-    // Adopted payloads are fully validated up front (streaming, transient)
-    // so query-time cursors never touch malformed bytes.
-    FTS_RETURN_IF_ERROR(index.ValidateBlocks());
+    FTS_RETURN_IF_ERROR(adopt(index.block_any_list_.get()));
+    if (is_v3) {
+      if (offset != body_end) {
+        return Status::Corruption("trailing bytes in index payload");
+      }
+      header_hash = Fnv1aAccumulate(header_hash,
+                                    data.substr(hash_mark, body_end - hash_mark));
+      size_t coff = body_end;
+      uint64_t stored;
+      FTS_RETURN_IF_ERROR(GetFixed64(data, &coff, &stored));
+      if (stored != header_hash) {
+        return Status::Corruption("index header checksum mismatch");
+      }
+    }
+    index.source_ = source;  // lists view into it from here on
+    if (lazy) {
+      // O(header) load: per-block structure and payload checksums are
+      // verified on first decode instead (memoized in BlockPostingList).
+      index.lazy_validation_ = true;
+    } else {
+      // Adopted payloads are fully validated up front (streaming, O(block)
+      // scratch) so query-time cursors never touch malformed bytes.
+      FTS_RETURN_IF_ERROR(index.ValidateBlocks());
+    }
   }
 
   if (offset != body_end) {
@@ -338,6 +424,57 @@ Status LoadIndexFromString(const std::string& data, InvertedIndex* out) {
   }
   *out = std::move(index);
   return Status::OK();
+}
+
+void SaveIndexToString(const InvertedIndex& index, std::string* out,
+                       IndexFormat format) {
+  out->clear();
+  const char* magic = format == IndexFormat::kV1
+                          ? kMagicV1
+                          : (format == IndexFormat::kV2 ? kMagicV2 : kMagicV3);
+  out->append(magic, kMagicSize);
+  PutCommonSections(index, out);
+
+  std::vector<PayloadRange> payload_ranges;
+  if (format == IndexFormat::kV1) {
+    // The flat v1 stream is produced from a per-list transient decode; the
+    // raw form is never resident in the index.
+    for (TokenId t = 0; t < index.vocabulary_size(); ++t) {
+      PutPostingList(out, index.block_list(t)->Materialize());
+    }
+    PutPostingList(out, index.block_any_list().Materialize());
+  } else {
+    const bool with_checksums = format == IndexFormat::kV3;
+    for (TokenId t = 0; t < index.vocabulary_size(); ++t) {
+      PutBlockPostingList(out, *index.block_list(t), with_checksums,
+                          with_checksums ? &payload_ranges : nullptr);
+    }
+    PutBlockPostingList(out, index.block_any_list(), with_checksums,
+                        with_checksums ? &payload_ranges : nullptr);
+  }
+
+  if (format == IndexFormat::kV3) {
+    // v3 trailer: header/directory bytes only — block payloads are covered
+    // by their per-block checksums, so a lazy loader can verify everything
+    // it eagerly reads without touching payload bytes.
+    uint64_t hash = kFnv1aSeed;
+    size_t mark = kMagicSize;
+    for (const PayloadRange& r : payload_ranges) {
+      hash = Fnv1aAccumulate(hash, std::string_view(*out).substr(mark, r.begin - mark));
+      mark = r.end;
+    }
+    hash = Fnv1aAccumulate(hash, std::string_view(*out).substr(mark));
+    PutFixed64(out, hash);
+  } else {
+    PutFixed64(out, Fnv1a64(std::string_view(*out).substr(kMagicSize)));
+  }
+}
+
+Status LoadIndexFromString(const std::string& data, InvertedIndex* out) {
+  // One heap copy of the whole input; the loaded lists view into it rather
+  // than holding per-list payload copies.
+  return IndexIoAccess::Load(IndexSource::FromString(data),
+                             /*prefer_lazy=*/false, out);
 }
 
 Status SaveIndexToFile(const InvertedIndex& index, const std::string& path,
@@ -351,11 +488,22 @@ Status SaveIndexToFile(const InvertedIndex& index, const std::string& path,
   return Status::OK();
 }
 
-Status LoadIndexFromFile(const std::string& path, InvertedIndex* out) {
+Status LoadIndexFromFile(const std::string& path, InvertedIndex* out,
+                         const LoadOptions& options) {
+  if (options.mode == LoadOptions::Mode::kMmap) {
+    // IOError (cannot open/stat/map) stays distinct from Corruption (opened
+    // but not a parseable index). A v3 file loads lazily in O(header);
+    // v1/v2 files validate eagerly over the mapping.
+    FTS_ASSIGN_OR_RETURN(std::shared_ptr<IndexSource> source,
+                         IndexSource::MapFile(path));
+    return IndexIoAccess::Load(std::move(source), /*prefer_lazy=*/true, out);
+  }
   std::ifstream f(path, std::ios::binary);
   if (!f) return Status::IOError("cannot open for read: " + path);
   std::string data((std::istreambuf_iterator<char>(f)), std::istreambuf_iterator<char>());
-  return LoadIndexFromString(data, out);
+  if (!f.good() && !f.eof()) return Status::IOError("read failed: " + path);
+  return IndexIoAccess::Load(IndexSource::FromString(std::move(data)),
+                             /*prefer_lazy=*/false, out);
 }
 
 }  // namespace fts

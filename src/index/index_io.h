@@ -1,21 +1,27 @@
 // Binary serialization of InvertedIndex.
 //
-// Two versions share a common envelope — an 8-byte magic whose 7th byte is
-// the version digit, varint-coded sections, and a trailing 64-bit FNV-1a
-// checksum that detects truncation/corruption:
+// Three versions share a common envelope — an 8-byte magic whose 7th byte
+// is the version digit and varint-coded sections:
 //
-//   v1 ("FTSIDX1\0"): posting lists as flat delta-coded entry streams.
+//   v1 ("FTSIDX1\0"): posting lists as flat delta-coded entry streams;
+//       trailing FNV-1a 64 checksum over the whole body.
 //   v2 ("FTSIDX2\0"): posting lists in the block-compressed skip-seekable
-//       layout of BlockPostingList (see docs/index_format.md). Loading v2
+//       layout of BlockPostingList; whole-body trailing checksum. Loading
 //       adopts the compressed blocks directly — no per-entry re-encode —
-//       then fully validates them (streaming, O(block) scratch) so a blob
-//       that checksums correctly but is structurally malformed still
-//       fails with Corruption before any cursor reads it.
+//       then fully validates them before any cursor reads them.
+//   v3 ("FTSIDX3\0", the default): the v2 block layout plus a per-block
+//       FNV-1a32 payload checksum in each skip entry; the trailing
+//       checksum covers only the header and directory bytes (everything
+//       except block payloads). That split is what makes lazy loading
+//       sound: an mmap load verifies the header/directory in O(header)
+//       without touching a single payload byte, and each block's checksum
+//       and structure are verified on its first decode instead
+//       (first-touch validation, memoized per block).
 //
-// Saving defaults to v2; v1 output is kept for compatibility and size
-// comparison (v1 writes re-materialize each list transiently — the raw
-// form is not resident). Loading sniffs the magic and accepts both;
-// either path leaves the block lists as the index's only representation.
+// Loading sniffs the magic and accepts all three; any path leaves the
+// block lists as the index's only representation, viewing their payload
+// bytes out of one shared IndexSource (heap buffer or mmap'd file region)
+// instead of holding per-list copies.
 
 #ifndef FTS_INDEX_INDEX_IO_H_
 #define FTS_INDEX_INDEX_IO_H_
@@ -30,23 +36,48 @@ namespace fts {
 /// On-disk format version selector for Save*.
 enum class IndexFormat {
   kV1 = 1,  ///< flat posting streams (legacy)
-  kV2 = 2,  ///< block-compressed, skip-seekable postings (default)
+  kV2 = 2,  ///< block-compressed postings, whole-body checksum
+  kV3 = 3,  ///< block-compressed + per-block checksums, lazy-loadable (default)
+};
+
+/// How LoadIndexFromFile materializes the file.
+struct LoadOptions {
+  enum class Mode {
+    /// Read the whole file into a heap buffer and validate every block up
+    /// front. Always available; the only mode for non-file inputs.
+    kEager,
+    /// mmap the file read-only and decode blocks straight from the
+    /// mapping. v3 files load in O(header) time with first-touch
+    /// validation; v1/v2 files fall back to full eager validation over
+    /// the mapping (their whole-body checksum must be read anyway), still
+    /// avoiding the heap copy of payload bytes.
+    kMmap,
+  };
+  Mode mode = Mode::kEager;
 };
 
 /// Serializes `index` into `out` (replacing its contents).
 void SaveIndexToString(const InvertedIndex& index, std::string* out,
-                       IndexFormat format = IndexFormat::kV2);
+                       IndexFormat format = IndexFormat::kV3);
 
-/// Deserializes an index previously produced by SaveIndexToString (either
-/// format version; detected from the magic).
+/// Deserializes an index previously produced by SaveIndexToString (any
+/// format version; detected from the magic). The index copies `data` into
+/// an owned heap buffer once and views posting payloads out of it.
 Status LoadIndexFromString(const std::string& data, InvertedIndex* out);
 
-/// Writes the serialized index to `path` (atomic rename not attempted).
+/// Writes the serialized index to `path` (atomic rename not attempted; see
+/// docs/index_format.md for the write-then-rename recommendation when the
+/// file may be mmap-loaded concurrently).
 Status SaveIndexToFile(const InvertedIndex& index, const std::string& path,
-                       IndexFormat format = IndexFormat::kV2);
+                       IndexFormat format = IndexFormat::kV3);
 
-/// Reads and deserializes an index from `path`.
-Status LoadIndexFromFile(const std::string& path, InvertedIndex* out);
+/// Reads and deserializes an index from `path`. Returns IOError when the
+/// file cannot be opened or read at all, and Corruption when it opens but
+/// is not a parseable index — including files smaller than the fixed
+/// envelope (magic + trailer), which are rejected with a distinct message
+/// before any section parsing runs.
+Status LoadIndexFromFile(const std::string& path, InvertedIndex* out,
+                         const LoadOptions& options = {});
 
 }  // namespace fts
 

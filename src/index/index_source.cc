@@ -1,0 +1,68 @@
+#include "index/index_source.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define FTS_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#endif
+
+namespace fts {
+
+#if FTS_HAVE_MMAP
+
+StatusOr<std::shared_ptr<IndexSource>> IndexSource::MapFile(
+    const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return Status::IOError("cannot open for read: " + path + ": " +
+                           std::strerror(errno));
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    const int err = errno;
+    ::close(fd);
+    return Status::IOError("cannot stat: " + path + ": " + std::strerror(err));
+  }
+  const size_t size = static_cast<size_t>(st.st_size);
+  if (size == 0) {
+    // mmap of length 0 is EINVAL; an empty file cannot be a valid index
+    // anyway, but that is the parser's verdict (Corruption), not an IO
+    // failure — hand it an empty heap source.
+    ::close(fd);
+    return std::shared_ptr<IndexSource>(FromString(std::string()));
+  }
+  void* addr = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+  const int map_err = errno;
+  ::close(fd);  // the mapping keeps its own reference to the inode
+  if (addr == MAP_FAILED) {
+    return Status::IOError("cannot mmap: " + path + ": " +
+                           std::strerror(map_err));
+  }
+  return std::shared_ptr<IndexSource>(
+      new IndexSource(static_cast<const char*>(addr), size));
+}
+
+IndexSource::~IndexSource() {
+  if (mapped_ != nullptr) {
+    ::munmap(const_cast<char*>(mapped_), mapped_size_);
+  }
+}
+
+#else  // !FTS_HAVE_MMAP
+
+StatusOr<std::shared_ptr<IndexSource>> IndexSource::MapFile(
+    const std::string& path) {
+  (void)path;
+  return Status::Unsupported("mmap index loading is not available on this platform");
+}
+
+IndexSource::~IndexSource() = default;
+
+#endif  // FTS_HAVE_MMAP
+
+}  // namespace fts

@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "index/block_posting_list.h"
+#include "index/index_source.h"
 
 namespace fts {
 
@@ -111,8 +112,20 @@ uint32_t InvertedIndex::df(TokenId token) const {
   return l ? static_cast<uint32_t>(l->num_entries()) : 0;
 }
 
+IndexStorage InvertedIndex::storage() const {
+  if (source_ == nullptr) return IndexStorage::kOwned;
+  return source_->is_mapped() ? IndexStorage::kMapped : IndexStorage::kHeapBuffer;
+}
+
+size_t InvertedIndex::MappedBytes() const {
+  return source_ != nullptr && source_->is_mapped() ? source_->size() : 0;
+}
+
 size_t InvertedIndex::MemoryUsage() const {
   size_t bytes = sizeof(InvertedIndex);
+  // A heap source buffer is resident in full (the lists view into it); an
+  // mmap'd source is page-cache backed and excluded (see MappedBytes()).
+  if (source_ != nullptr && !source_->is_mapped()) bytes += source_->size();
   bytes += block_lists_.capacity() * sizeof(BlockPostingList);
   for (const BlockPostingList& l : block_lists_) bytes += l.resident_bytes();
   bytes += sizeof(BlockPostingList) + block_any_list_->resident_bytes();

@@ -107,6 +107,14 @@ class ListCursor {
 
   bool exhausted() const { return exhausted_; }
 
+  /// Raw lists are in-memory and never fail to decode; provided so the
+  /// engines' templated merge code can check cursor status uniformly with
+  /// BlockListCursor (whose first-touch decodes can surface Corruption).
+  const Status& status() const {
+    static const Status kOk;
+    return kOk;
+  }
+
  private:
   const PostingList* list_;
   EvalCounters* counters_;
@@ -137,6 +145,20 @@ struct IndexStats {
 };
 
 class BlockPostingList;  // index/block_posting_list.h
+class IndexSource;       // index/index_source.h
+
+/// Where a loaded index's posting payload bytes live (see
+/// index/index_source.h and docs/index_format.md for the full matrix).
+enum class IndexStorage {
+  /// Lists own their bytes (built in memory, or v1 loads that re-encode).
+  kOwned,
+  /// Lists view into one shared heap buffer (LoadIndexFromString, eager
+  /// LoadIndexFromFile).
+  kHeapBuffer,
+  /// Lists view into an mmap'd read-only file region; block payloads are
+  /// page-cache resident and fault in on first decode.
+  kMapped,
+};
 
 /// Immutable inverted index over a corpus. Build with IndexBuilder; persist
 /// with SaveIndex/LoadIndex (index/index_io.h).
@@ -187,13 +209,27 @@ class InvertedIndex {
   double node_norm(NodeId n) const { return node_norms_[n]; }
 
   /// Resident heap footprint of the index in bytes: compressed posting
-  /// payloads + skip tables + dictionary + per-node scalars. Counted from
-  /// container capacities, so it reflects what the process actually holds.
+  /// payloads (owned or in the heap source buffer) + skip tables +
+  /// dictionary + per-node scalars. Counted from container capacities, so
+  /// it reflects what the process actually holds. Mmap'd payload bytes are
+  /// NOT included — they are page-cache backed and reclaimable; see
+  /// MappedBytes().
   size_t MemoryUsage() const;
+
+  /// Where the posting payload bytes live.
+  IndexStorage storage() const;
+
+  /// Size of the mmap'd file region backing this index (0 unless
+  /// storage() == kMapped).
+  size_t MappedBytes() const;
+
+  /// True when per-block validation is deferred to first decode (lazy mmap
+  /// loads of the v3 format) rather than performed at load time.
+  bool lazy_validation() const { return lazy_validation_; }
 
  private:
   friend class IndexBuilder;
-  friend Status LoadIndexFromString(const std::string& data, InvertedIndex* out);
+  friend struct IndexIoAccess;  // index_io.cc loaders
 
   /// Fully validates every resident block list by streaming a decode of all
   /// entry headers and position payloads (transient, O(block) memory):
@@ -209,6 +245,10 @@ class InvertedIndex {
   std::vector<uint32_t> unique_tokens_;     // NodeId -> distinct token count
   std::vector<double> node_norms_;          // NodeId -> ||n||_2
   IndexStats stats_;
+  /// Byte storage the lists' data() views borrow from (null when every
+  /// list owns its bytes). Shared so moves/loans never dangle.
+  std::shared_ptr<IndexSource> source_;
+  bool lazy_validation_ = false;
 };
 
 }  // namespace fts

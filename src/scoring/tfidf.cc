@@ -62,7 +62,10 @@ double TfIdfScoreModel::DirectNodeScore(NodeId node) const {
     if (list == nullptr) continue;
     // Skip-seek the entry for `node` (reference computation only; query
     // evaluation itself never random-accesses lists). Only entry headers
-    // decode: occurs comes from pos_count, never from position bytes.
+    // decode: occurs comes from pos_count, never from position bytes. A
+    // first-touch decode failure (lazily loaded index) reads as a missing
+    // entry here — acceptable for a test-only reference path; production
+    // scoring runs inside engines, which propagate cursor status.
     BlockListCursor cursor(list, counters_);
     if (cursor.SeekEntry(node) != node) continue;
     const double occurs = cursor.pos_count();

@@ -25,19 +25,19 @@ struct OpsFixture : public ::testing::Test {
 
 TEST_F(OpsFixture, ScanTokenMaterializesOccurrences) {
   EvalCounters c;
-  FtRelation r = OpScanToken(index, "a", nullptr, &c);
+  FtRelation r = *OpScanToken(index, "a", nullptr, &c);
   EXPECT_EQ(r.ToString(), "{(0;0)(0;2)(2;0)(2;1)(2;2)}");
   EXPECT_EQ(c.entries_scanned, 2u);
   EXPECT_EQ(c.positions_scanned, 5u);
 }
 
 TEST_F(OpsFixture, ScanOovTokenIsEmpty) {
-  FtRelation r = OpScanToken(index, "zzz", nullptr, nullptr);
+  FtRelation r = *OpScanToken(index, "zzz", nullptr, nullptr);
   EXPECT_TRUE(r.empty());
 }
 
 TEST_F(OpsFixture, ScanHasPosCoversEverything) {
-  FtRelation r = OpScanHasPos(index, nullptr, nullptr);
+  FtRelation r = *OpScanHasPos(index, nullptr, nullptr);
   EXPECT_EQ(r.size(), 4u + 2u + 3u);
 }
 
@@ -48,16 +48,16 @@ TEST_F(OpsFixture, ScanSearchContextIsNodePerTuple) {
 }
 
 TEST_F(OpsFixture, JoinIsPerNodeCartesianProduct) {
-  FtRelation a = OpScanToken(index, "a", nullptr, nullptr);
-  FtRelation b = OpScanToken(index, "b", nullptr, nullptr);
+  FtRelation a = *OpScanToken(index, "a", nullptr, nullptr);
+  FtRelation b = *OpScanToken(index, "b", nullptr, nullptr);
   FtRelation j = OpJoin(a, b, nullptr, nullptr);
   // node 0: a has 2 positions, b has 1 -> 2 tuples; node 2 has no b.
   EXPECT_EQ(j.ToString(), "{(0;0,1)(0;2,1)}");
 }
 
 TEST_F(OpsFixture, SelectAppliesPredicate) {
-  FtRelation a = OpScanToken(index, "a", nullptr, nullptr);
-  FtRelation c = OpScanToken(index, "c", nullptr, nullptr);
+  FtRelation a = *OpScanToken(index, "a", nullptr, nullptr);
+  FtRelation c = *OpScanToken(index, "c", nullptr, nullptr);
   FtRelation j = OpJoin(a, c, nullptr, nullptr);
   AlgebraPredicateCall call;
   call.pred = Get("odistance");
@@ -69,7 +69,7 @@ TEST_F(OpsFixture, SelectAppliesPredicate) {
 }
 
 TEST_F(OpsFixture, SelectValidatesColumns) {
-  FtRelation a = OpScanToken(index, "a", nullptr, nullptr);
+  FtRelation a = *OpScanToken(index, "a", nullptr, nullptr);
   AlgebraPredicateCall call;
   call.pred = Get("distance");
   call.cols = {0, 5};
@@ -78,8 +78,8 @@ TEST_F(OpsFixture, SelectValidatesColumns) {
 }
 
 TEST_F(OpsFixture, ProjectReordersAndDeduplicates) {
-  FtRelation a = OpScanToken(index, "a", nullptr, nullptr);
-  FtRelation b = OpScanToken(index, "b", nullptr, nullptr);
+  FtRelation a = *OpScanToken(index, "a", nullptr, nullptr);
+  FtRelation b = *OpScanToken(index, "b", nullptr, nullptr);
   FtRelation j = OpJoin(a, b, nullptr, nullptr);
   auto p = OpProject(j, std::vector<int>{1}, nullptr, nullptr);
   ASSERT_TRUE(p.ok());
@@ -90,15 +90,15 @@ TEST_F(OpsFixture, ProjectReordersAndDeduplicates) {
 }
 
 TEST_F(OpsFixture, ProjectToNodeLevel) {
-  FtRelation a = OpScanToken(index, "a", nullptr, nullptr);
+  FtRelation a = *OpScanToken(index, "a", nullptr, nullptr);
   auto p = OpProject(a, std::vector<int>{}, nullptr, nullptr);
   ASSERT_TRUE(p.ok());
   EXPECT_EQ(p->Nodes(), (std::vector<NodeId>{0, 2}));
 }
 
 TEST_F(OpsFixture, UnionMergesSorted) {
-  FtRelation a = OpScanToken(index, "a", nullptr, nullptr);
-  FtRelation b = OpScanToken(index, "b", nullptr, nullptr);
+  FtRelation a = *OpScanToken(index, "a", nullptr, nullptr);
+  FtRelation b = *OpScanToken(index, "b", nullptr, nullptr);
   auto u = OpUnion(a, b, nullptr, nullptr);
   ASSERT_TRUE(u.ok());
   EXPECT_EQ(u->size(), a.size() + b.size());  // no overlapping positions
@@ -108,8 +108,8 @@ TEST_F(OpsFixture, UnionMergesSorted) {
 }
 
 TEST_F(OpsFixture, IntersectKeepsCommonTuples) {
-  FtRelation a = OpScanToken(index, "a", nullptr, nullptr);
-  FtRelation b = OpScanToken(index, "b", nullptr, nullptr);
+  FtRelation a = *OpScanToken(index, "a", nullptr, nullptr);
+  FtRelation b = *OpScanToken(index, "b", nullptr, nullptr);
   auto i = OpIntersect(a, a, nullptr, nullptr);
   ASSERT_TRUE(i.ok());
   EXPECT_EQ(i->size(), a.size());
@@ -119,19 +119,19 @@ TEST_F(OpsFixture, IntersectKeepsCommonTuples) {
 }
 
 TEST_F(OpsFixture, DifferenceRemovesMatchingTuples) {
-  FtRelation a = OpScanToken(index, "a", nullptr, nullptr);
+  FtRelation a = *OpScanToken(index, "a", nullptr, nullptr);
   auto d = OpDifference(a, a, nullptr, nullptr);
   ASSERT_TRUE(d.ok());
   EXPECT_TRUE(d->empty());
-  FtRelation b = OpScanToken(index, "b", nullptr, nullptr);
+  FtRelation b = *OpScanToken(index, "b", nullptr, nullptr);
   auto d2 = OpDifference(a, b, nullptr, nullptr);
   ASSERT_TRUE(d2.ok());
   EXPECT_EQ(d2->size(), a.size());
 }
 
 TEST_F(OpsFixture, AntiJoinDropsNodesPresentOnRight) {
-  FtRelation a = OpScanToken(index, "a", nullptr, nullptr);   // nodes 0, 2
-  FtRelation b = OpScanToken(index, "b", nullptr, nullptr);   // nodes 0, 1
+  FtRelation a = *OpScanToken(index, "a", nullptr, nullptr);   // nodes 0, 2
+  FtRelation b = *OpScanToken(index, "b", nullptr, nullptr);   // nodes 0, 1
   auto b_nodes = OpProject(b, std::vector<int>{}, nullptr, nullptr);
   ASSERT_TRUE(b_nodes.ok());
   auto aj = OpAntiJoin(a, *b_nodes, nullptr, nullptr);
@@ -141,7 +141,7 @@ TEST_F(OpsFixture, AntiJoinDropsNodesPresentOnRight) {
 }
 
 TEST_F(OpsFixture, AntiJoinRequiresNodeLevelRight) {
-  FtRelation a = OpScanToken(index, "a", nullptr, nullptr);
+  FtRelation a = *OpScanToken(index, "a", nullptr, nullptr);
   EXPECT_FALSE(OpAntiJoin(a, a, nullptr, nullptr).ok());
 }
 
@@ -154,7 +154,7 @@ TEST_F(OpsFixture, SetOpsValidateSchemas) {
 
 TEST_F(OpsFixture, CountersChargeJoinProducts) {
   EvalCounters c;
-  FtRelation a = OpScanToken(index, "a", nullptr, nullptr);
+  FtRelation a = *OpScanToken(index, "a", nullptr, nullptr);
   FtRelation self = OpJoin(a, a, nullptr, &c);
   // node 0: 2x2, node 2: 3x3.
   EXPECT_EQ(c.tuples_materialized, 4u + 9u);

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/fnv.h"
 #include "common/rng.h"
 #include "index/decoded_block_cache.h"
 #include "index/index_builder.h"
@@ -365,6 +366,160 @@ TEST(DecodedBlockCacheTest, SeekingThroughCacheMatchesDirectSeeks) {
     }
   }
   EXPECT_GT(cache.hits(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// First-touch validation (the lazy mmap-load contract): lists assembled
+// from borrowed bytes with per-block checksums verify each block's
+// checksum and structure on its first decode, memoize success, and report
+// corruption through cursor status() instead of crashing or asserting.
+// ---------------------------------------------------------------------------
+
+struct LazyListParts {
+  std::string payload;  // the cursor views into this; keep it alive
+  std::vector<BlockPostingList::SkipEntry> skips;
+  std::vector<uint32_t> checksums;
+  size_t num_entries = 0;
+  size_t total_positions = 0;
+  uint32_t block_size = 0;
+};
+
+LazyListParts MakeLazyParts(uint32_t entries, uint32_t block_size) {
+  const PostingList raw = MakeRawList(entries, 3, 4);
+  const BlockPostingList built = BlockPostingList::FromPostingList(raw, block_size);
+  LazyListParts parts;
+  parts.payload = std::string(built.data());
+  parts.skips = built.skips();
+  parts.num_entries = built.num_entries();
+  parts.total_positions = built.total_positions();
+  parts.block_size = built.block_size();
+  for (size_t b = 0; b < built.num_blocks(); ++b) {
+    const size_t begin = built.skip(b).byte_offset;
+    const size_t end = b + 1 < built.num_blocks() ? built.skip(b + 1).byte_offset
+                                                  : parts.payload.size();
+    parts.checksums.push_back(
+        Fnv1a32(std::string_view(parts.payload).substr(begin, end - begin)));
+  }
+  return parts;
+}
+
+BlockPostingList AssembleLazy(const LazyListParts& parts) {
+  return BlockPostingList::FromParts(parts.block_size, parts.num_entries,
+                                     parts.total_positions, parts.skips,
+                                     std::string_view(parts.payload),
+                                     parts.checksums,
+                                     /*first_touch_validation=*/true);
+}
+
+TEST(FirstTouchValidationTest, CleanLazyListStreamsIdenticalToBuilt) {
+  const PostingList raw = MakeRawList(500, 3, 4);
+  const LazyListParts parts = MakeLazyParts(500, 128);
+  const BlockPostingList lazy = AssembleLazy(parts);
+  ASSERT_EQ(lazy.num_blocks(), 4u);
+  for (size_t b = 0; b < lazy.num_blocks(); ++b) {
+    EXPECT_FALSE(lazy.BlockVerified(b)) << b;  // untouched so far
+  }
+  EvalCounters counters;
+  BlockListCursor cursor(&lazy, &counters);
+  ListCursor reference(&raw);
+  while (true) {
+    const NodeId expected = reference.NextEntry();
+    ASSERT_EQ(cursor.NextEntry(), expected);
+    if (expected == kInvalidNode) break;
+    ASSERT_EQ(cursor.GetPositions().size(), reference.GetPositions().size());
+  }
+  EXPECT_TRUE(cursor.status().ok());
+  EXPECT_EQ(counters.first_touch_validations, lazy.num_blocks());
+  for (size_t b = 0; b < lazy.num_blocks(); ++b) {
+    EXPECT_TRUE(lazy.BlockVerified(b)) << b;  // memoized
+  }
+  // A second scan re-decodes but never re-validates.
+  EvalCounters again;
+  BlockListCursor second(&lazy, &again);
+  while (second.NextEntry() != kInvalidNode) {
+  }
+  EXPECT_EQ(again.first_touch_validations, 0u);
+  EXPECT_EQ(again.blocks_decoded, lazy.num_blocks());
+}
+
+TEST(FirstTouchValidationTest, PayloadFlipSurfacesCorruptionAtFirstDecode) {
+  // Flip one byte in the third block's payload: blocks 0-1 stream fine,
+  // the damaged block fails its first-touch checksum, the cursor fails
+  // closed (exhausts) and carries Corruption in status().
+  LazyListParts parts = MakeLazyParts(500, 128);
+  const size_t victim_begin = parts.skips[2].byte_offset;
+  parts.payload[victim_begin + 1] =
+      static_cast<char>(parts.payload[victim_begin + 1] ^ 0x10);
+  const BlockPostingList lazy = AssembleLazy(parts);
+  BlockListCursor cursor(&lazy);
+  size_t streamed = 0;
+  while (cursor.NextEntry() != kInvalidNode) ++streamed;
+  EXPECT_EQ(streamed, 256u);  // the two intact blocks
+  EXPECT_TRUE(cursor.exhausted());
+  ASSERT_FALSE(cursor.status().ok());
+  EXPECT_EQ(cursor.status().code(), StatusCode::kCorruption);
+  EXPECT_NE(cursor.status().message().find("checksum mismatch at first touch"),
+            std::string::npos)
+      << cursor.status().ToString();
+  EXPECT_FALSE(lazy.BlockVerified(2));  // failure is never memoized as success
+}
+
+TEST(FirstTouchValidationTest, SeekIntoDamagedBlockFailsClosed) {
+  LazyListParts parts = MakeLazyParts(500, 128);
+  const size_t victim_begin = parts.skips[3].byte_offset;
+  parts.payload[victim_begin] = static_cast<char>(parts.payload[victim_begin] ^ 0x01);
+  const BlockPostingList lazy = AssembleLazy(parts);
+  BlockListCursor cursor(&lazy);
+  // Seeking straight into the damaged landing block must not fabricate a
+  // node: the cursor exhausts with Corruption without touching blocks 0-2.
+  EXPECT_EQ(cursor.SeekEntry(parts.skips[3].max_node), kInvalidNode);
+  EXPECT_EQ(cursor.status().code(), StatusCode::kCorruption);
+  EXPECT_FALSE(lazy.BlockVerified(0));  // untouched blocks stay unvalidated
+}
+
+TEST(FirstTouchValidationTest, CachedDecodeReportsCorruptionOnce) {
+  // The DecodedBlockCache path must propagate first-touch failures exactly
+  // like direct decodes.
+  LazyListParts parts = MakeLazyParts(300, 128);
+  parts.payload[parts.skips[1].byte_offset] ^= 0x40;
+  const BlockPostingList lazy = AssembleLazy(parts);
+  DecodedBlockCache cache;
+  EvalCounters counters;
+  BlockListCursor cursor(&lazy, &counters, &cache);
+  while (cursor.NextEntry() != kInvalidNode) {
+  }
+  EXPECT_EQ(cursor.status().code(), StatusCode::kCorruption);
+  Status direct;
+  EXPECT_EQ(cache.GetOrDecode(lazy, 1, &counters, &direct), nullptr);
+  EXPECT_EQ(direct.code(), StatusCode::kCorruption);
+}
+
+TEST(FirstTouchValidationTest, CrossBlockMonotonicityCheckedLazily) {
+  // Rewrite block 1's first (absolute) node id to collide with block 0's
+  // range and reseal block 1's checksum: the checksum passes, and the
+  // structural cross-block check must reject at first decode of block 1.
+  LazyListParts parts = MakeLazyParts(300, 128);
+  // MakeRawList uses stride 3 from node 1, so block-local deltas after the
+  // first entry are all 3 (one byte); block 1 opens with an absolute node
+  // id varint. Replacing its first byte with 0x01 (node 1 <= block 0 max)
+  // keeps the byte length valid only if the original first byte was also
+  // one varint byte; node 385 needs two bytes, so patch both: 0x01 then a
+  // pad... simpler: damage via a zero node delta inside the block, which
+  // the in-block monotonicity check rejects. Assemble with a corrected
+  // checksum so only structure can reject.
+  const size_t victim = parts.skips[1].byte_offset;
+  // First entry of block 1: absolute node id (2-byte varint for node 385).
+  parts.payload[victim] = 0x01;      // 1-byte varint: node 1
+  parts.payload[victim + 1] = 0x00;  // becomes the pos_count varint (0)
+  const size_t end = parts.skips.size() > 2 ? parts.skips[2].byte_offset
+                                            : parts.payload.size();
+  parts.checksums[1] =
+      Fnv1a32(std::string_view(parts.payload).substr(victim, end - victim));
+  const BlockPostingList lazy = AssembleLazy(parts);
+  std::vector<BlockPostingList::EntryRef> entries;
+  const Status s = lazy.DecodeBlockEntries(1, &entries);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kCorruption);
 }
 
 }  // namespace

@@ -1,4 +1,5 @@
-// Differential proof of the single-resident-representation refactor: the
+// Differential proof of the single-resident-representation refactor and of
+// the mmap-backed lazy-load storage mode: the
 // block-compressed lists are the only form an InvertedIndex holds, so every
 // engine (BOOL merges, pipelined PPRED/NPRED, materialized COMP) and every
 // scoring model reads through BlockListCursor. This harness builds the raw
@@ -13,6 +14,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+
 #include "calculus/naive_eval.h"
 #include "common/rng.h"
 #include "eval/bool_engine.h"
@@ -21,6 +24,7 @@
 #include "eval/ppred_engine.h"
 #include "index/block_posting_list.h"
 #include "index/index_builder.h"
+#include "index/index_io.h"
 #include "lang/translate.h"
 #include "testing/raw_posting_oracle.h"
 #include "text/corpus.h"
@@ -139,11 +143,29 @@ std::vector<NodeId> NaiveNodes(const Corpus& corpus, const LangExprPtr& query) {
 constexpr ScoringKind kAllScoring[] = {ScoringKind::kNone, ScoringKind::kTfIdf,
                                        ScoringKind::kProbabilistic};
 
-/// Evaluates `query` on `engine` twice — block-resident, then with the raw
-/// oracle attached — and asserts bit-identical nodes and scores. Returns
-/// the block-resident node set for cross-checks.
+/// Round-trips `src` through a v3 temp file and loads it back mmap'd with
+/// lazy first-touch validation — the storage-mode twin every combination
+/// below is additionally evaluated against. The temp file is removed
+/// immediately (the mapping pins the inode), so nothing leaks on failure.
+InvertedIndex LoadMmapTwin(const InvertedIndex& src, const std::string& tag) {
+  const std::string path = ::testing::TempDir() + "/fts_diff_mmap_" + tag + ".idx";
+  EXPECT_TRUE(SaveIndexToFile(src, path).ok());
+  LoadOptions options;
+  options.mode = LoadOptions::Mode::kMmap;
+  InvertedIndex twin;
+  EXPECT_TRUE(LoadIndexFromFile(path, &twin, options).ok());
+  std::remove(path.c_str());
+  EXPECT_TRUE(twin.lazy_validation());
+  return twin;
+}
+
+/// Evaluates `query` three ways — block-resident, with the raw oracle
+/// attached, and on `mmap_engine` (the same engine shape over the mmap'd
+/// lazy-loaded twin index) — and asserts bit-identical nodes and scores
+/// across all three. Returns the block-resident node set for cross-checks.
 template <typename EngineT>
 std::vector<NodeId> ExpectBlockMatchesRawOracle(EngineT& engine,
+                                                EngineT& mmap_engine,
                                                 const RawPostingOracle& oracle,
                                                 const LangExprPtr& query,
                                                 const char* what) {
@@ -155,11 +177,20 @@ std::vector<NodeId> ExpectBlockMatchesRawOracle(EngineT& engine,
   auto raw = engine.Evaluate(query);
   engine.set_raw_oracle_for_test(nullptr);
   EXPECT_TRUE(raw.ok()) << what << ": " << query->ToString();
-  if (!block.ok() || !raw.ok()) return {};
+  auto mapped = mmap_engine.Evaluate(query);
+  EXPECT_TRUE(mapped.ok()) << what << " (mmap): " << query->ToString() << ": "
+                           << mapped.status().ToString();
+  if (!block.ok() || !raw.ok() || !mapped.ok()) return {};
   EXPECT_EQ(block->nodes, raw->nodes) << what << ": " << query->ToString();
   // Exact double equality: the oracle runs the identical score arithmetic,
   // only the list representation differs, so every bit must match.
   EXPECT_EQ(block->scores, raw->scores) << what << ": " << query->ToString();
+  // The mmap'd twin decodes the very same bytes straight from the file
+  // (first-touch validated), so it too must match bit for bit.
+  EXPECT_EQ(block->nodes, mapped->nodes)
+      << what << " (mmap): " << query->ToString();
+  EXPECT_EQ(block->scores, mapped->scores)
+      << what << " (mmap): " << query->ToString();
   return block->nodes;
 }
 
@@ -220,6 +251,8 @@ TEST_P(BlockResidentDifferential, BoolQueriesMatchRawOracle) {
   Corpus corpus = RandomCorpus(&rng, 30, 6);
   RawPostingOracle oracle = BuildRawPostingOracle(corpus);
   InvertedIndex index = IndexBuilder::Build(corpus);
+  InvertedIndex mmap_index =
+      LoadMmapTwin(index, "bool_" + std::to_string(GetParam()));
   for (int trial = 0; trial < 8; ++trial) {
     LangExprPtr q = RandomBool(&rng, 3);
     const auto naive = NaiveNodes(corpus, q);
@@ -227,12 +260,15 @@ TEST_P(BlockResidentDifferential, BoolQueriesMatchRawOracle) {
       for (CursorMode mode : {CursorMode::kSequential, CursorMode::kSeek,
                               CursorMode::kAdaptive}) {
         BoolEngine engine(&index, scoring, mode);
+        BoolEngine mmap_engine(&mmap_index, scoring, mode);
         const auto nodes =
-            ExpectBlockMatchesRawOracle(engine, oracle, q, "BOOL");
+            ExpectBlockMatchesRawOracle(engine, mmap_engine, oracle, q, "BOOL");
         EXPECT_EQ(nodes, naive) << q->ToString();
       }
       CompEngine comp(&index, scoring);
-      const auto nodes = ExpectBlockMatchesRawOracle(comp, oracle, q, "COMP");
+      CompEngine mmap_comp(&mmap_index, scoring);
+      const auto nodes =
+          ExpectBlockMatchesRawOracle(comp, mmap_comp, oracle, q, "COMP");
       EXPECT_EQ(nodes, naive) << q->ToString();
     }
   }
@@ -243,6 +279,8 @@ TEST_P(BlockResidentDifferential, PpredQueriesMatchRawOracle) {
   Corpus corpus = RandomCorpus(&rng, 30, 7);
   RawPostingOracle oracle = BuildRawPostingOracle(corpus);
   InvertedIndex index = IndexBuilder::Build(corpus);
+  InvertedIndex mmap_index =
+      LoadMmapTwin(index, "ppred_" + std::to_string(GetParam()));
   for (int trial = 0; trial < 6; ++trial) {
     LangExprPtr q = RandomPipelined(&rng, /*allow_negative=*/false);
     const auto naive = NaiveNodes(corpus, q);
@@ -250,12 +288,14 @@ TEST_P(BlockResidentDifferential, PpredQueriesMatchRawOracle) {
       for (CursorMode mode : {CursorMode::kSequential, CursorMode::kSeek,
                               CursorMode::kAdaptive}) {
         PpredEngine engine(&index, scoring, mode);
+        PpredEngine mmap_engine(&mmap_index, scoring, mode);
         const auto nodes =
-            ExpectBlockMatchesRawOracle(engine, oracle, q, "PPRED");
+            ExpectBlockMatchesRawOracle(engine, mmap_engine, oracle, q, "PPRED");
         EXPECT_EQ(nodes, naive) << q->ToString();
       }
       CompEngine comp(&index, scoring);
-      ExpectBlockMatchesRawOracle(comp, oracle, q, "COMP");
+      CompEngine mmap_comp(&mmap_index, scoring);
+      ExpectBlockMatchesRawOracle(comp, mmap_comp, oracle, q, "COMP");
     }
   }
 }
@@ -265,6 +305,8 @@ TEST_P(BlockResidentDifferential, NpredQueriesMatchRawOracle) {
   Corpus corpus = RandomCorpus(&rng, 25, 6);
   RawPostingOracle oracle = BuildRawPostingOracle(corpus);
   InvertedIndex index = IndexBuilder::Build(corpus);
+  InvertedIndex mmap_index =
+      LoadMmapTwin(index, "npred_" + std::to_string(GetParam()));
   for (int trial = 0; trial < 5; ++trial) {
     LangExprPtr q = RandomPipelined(&rng, /*allow_negative=*/true);
     const auto naive = NaiveNodes(corpus, q);
@@ -273,12 +315,15 @@ TEST_P(BlockResidentDifferential, NpredQueriesMatchRawOracle) {
                               CursorMode::kAdaptive}) {
         NpredEngine engine(&index, scoring,
                            NpredOrderingMode::kNecessaryPartialOrders, mode);
+        NpredEngine mmap_engine(&mmap_index, scoring,
+                                NpredOrderingMode::kNecessaryPartialOrders, mode);
         const auto nodes =
-            ExpectBlockMatchesRawOracle(engine, oracle, q, "NPRED");
+            ExpectBlockMatchesRawOracle(engine, mmap_engine, oracle, q, "NPRED");
         EXPECT_EQ(nodes, naive) << q->ToString();
       }
       CompEngine comp(&index, scoring);
-      ExpectBlockMatchesRawOracle(comp, oracle, q, "COMP");
+      CompEngine mmap_comp(&mmap_index, scoring);
+      ExpectBlockMatchesRawOracle(comp, mmap_comp, oracle, q, "COMP");
     }
   }
 }
@@ -291,6 +336,8 @@ TEST_P(BlockResidentDifferential, CompOnlyQueriesMatchRawOracle) {
   Corpus corpus = RandomCorpus(&rng, 20, 5);
   RawPostingOracle oracle = BuildRawPostingOracle(corpus);
   InvertedIndex index = IndexBuilder::Build(corpus);
+  InvertedIndex mmap_index =
+      LoadMmapTwin(index, "comp_" + std::to_string(GetParam()));
   for (int trial = 0; trial < 5; ++trial) {
     LangExprPtr q;
     if (rng.Bernoulli(0.5)) {
@@ -305,7 +352,9 @@ TEST_P(BlockResidentDifferential, CompOnlyQueriesMatchRawOracle) {
     const auto naive = NaiveNodes(corpus, q);
     for (ScoringKind scoring : kAllScoring) {
       CompEngine comp(&index, scoring);
-      const auto nodes = ExpectBlockMatchesRawOracle(comp, oracle, q, "COMP");
+      CompEngine mmap_comp(&mmap_index, scoring);
+      const auto nodes =
+          ExpectBlockMatchesRawOracle(comp, mmap_comp, oracle, q, "COMP");
       EXPECT_EQ(nodes, naive) << q->ToString();
     }
   }
@@ -315,7 +364,9 @@ TEST_P(BlockResidentDifferential, CompOnlyQueriesMatchRawOracle) {
 // combinations = 240, well past the >=50 acceptance bar; each combination
 // is additionally evaluated across 3 scoring models and all three cursor
 // modes (both forced modes plus the adaptive planner), so the planner's
-// choices are pinned bit-identical to the fixed modes on every combo.
+// choices are pinned bit-identical to the fixed modes on every combo —
+// and every evaluation is repeated on an mmap'd, lazily validated twin of
+// the index (LoadMmapTwin), pinning the storage modes bit-identical too.
 INSTANTIATE_TEST_SUITE_P(Seeds, BlockResidentDifferential,
                          ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55, 89));
 

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <fstream>
 
 #include "index/block_posting_list.h"
 #include "index/index_builder.h"
@@ -108,9 +109,42 @@ TEST(IndexIoTest, EmptyIndexRoundTrips) {
 }
 
 TEST(IndexIoTest, MissingFileIsIOError) {
+  // Unopenable files are IOError — distinct from Corruption, which means
+  // the file opened but is not a parseable index.
   InvertedIndex loaded;
   EXPECT_EQ(LoadIndexFromFile("/nonexistent/path/index.idx", &loaded).code(),
             StatusCode::kIOError);
+  LoadOptions mmap;
+  mmap.mode = LoadOptions::Mode::kMmap;
+  EXPECT_EQ(LoadIndexFromFile("/nonexistent/path/index.idx", &loaded, mmap).code(),
+            StatusCode::kIOError);
+}
+
+TEST(IndexIoTest, TooSmallFilesAreRejectedWithDistinctMessage) {
+  // Files below the fixed envelope (8-byte magic + 8-byte checksum) must be
+  // rejected with a size message before any section parsing can produce a
+  // confusing error — in every load mode, and for empty files too.
+  const std::string path = ::testing::TempDir() + "/fts_tiny.idx";
+  for (size_t len : {size_t{0}, size_t{1}, size_t{7}, size_t{15}}) {
+    {
+      std::ofstream f(path, std::ios::binary | std::ios::trunc);
+      f.write("FTSIDX3\0ABCDEFG", static_cast<std::streamsize>(len));
+    }
+    for (auto mode : {LoadOptions::Mode::kEager, LoadOptions::Mode::kMmap}) {
+      LoadOptions opts;
+      opts.mode = mode;
+      InvertedIndex loaded;
+      const Status s = LoadIndexFromFile(path, &loaded, opts);
+      EXPECT_EQ(s.code(), StatusCode::kCorruption) << len;
+      EXPECT_NE(s.ToString().find("smaller than the fixed envelope"),
+                std::string::npos)
+          << len << ": " << s.ToString();
+    }
+    InvertedIndex loaded;
+    const Status s = LoadIndexFromString(std::string(len, 'x'), &loaded);
+    EXPECT_EQ(s.code(), StatusCode::kCorruption) << len;
+  }
+  std::remove(path.c_str());
 }
 
 TEST(IndexIoTest, V1FilesStillLoad) {
@@ -125,26 +159,29 @@ TEST(IndexIoTest, V1FilesStillLoad) {
   ExpectIndexEq(index, loaded);
 }
 
-TEST(IndexIoTest, V2IsTheDefaultFormat) {
+TEST(IndexIoTest, V3IsTheDefaultFormat) {
   InvertedIndex index = BuildTestIndex();
   std::string data;
   SaveIndexToString(index, &data);
-  EXPECT_EQ(data[6], '2');  // v2 magic
+  EXPECT_EQ(data[6], '3');  // v3 magic
 }
 
-TEST(IndexIoTest, V1AndV2LoadsAreEquivalent) {
+TEST(IndexIoTest, AllFormatLoadsAreEquivalent) {
   InvertedIndex index = BuildTestIndex();
-  std::string v1, v2;
+  std::string v1, v2, v3;
   SaveIndexToString(index, &v1, IndexFormat::kV1);
   SaveIndexToString(index, &v2, IndexFormat::kV2);
-  InvertedIndex from_v1, from_v2;
+  SaveIndexToString(index, &v3, IndexFormat::kV3);
+  InvertedIndex from_v1, from_v2, from_v3;
   ASSERT_TRUE(LoadIndexFromString(v1, &from_v1).ok());
   ASSERT_TRUE(LoadIndexFromString(v2, &from_v2).ok());
+  ASSERT_TRUE(LoadIndexFromString(v3, &from_v3).ok());
   ExpectIndexEq(from_v1, from_v2);
+  ExpectIndexEq(from_v1, from_v3);
 }
 
-TEST(IndexIoTest, V2SurvivesResaveRoundTrip) {
-  // v2 -> load -> save -> load is byte-stable and content-equal.
+TEST(IndexIoTest, V3SurvivesResaveRoundTrip) {
+  // v3 -> load -> save -> load is byte-stable and content-equal.
   InvertedIndex index = BuildTestIndex();
   std::string first, second;
   SaveIndexToString(index, &first);
@@ -152,6 +189,106 @@ TEST(IndexIoTest, V2SurvivesResaveRoundTrip) {
   ASSERT_TRUE(LoadIndexFromString(first, &loaded).ok());
   SaveIndexToString(loaded, &second);
   EXPECT_EQ(first, second);
+}
+
+TEST(IndexIoTest, V2StillLoadsAndRejectsCorruption) {
+  InvertedIndex index = BuildTestIndex();
+  std::string data;
+  SaveIndexToString(index, &data, IndexFormat::kV2);
+  ASSERT_EQ(data[6], '2');
+  InvertedIndex loaded;
+  ASSERT_TRUE(LoadIndexFromString(data, &loaded).ok());
+  ExpectIndexEq(index, loaded);
+  data[data.size() / 2] = static_cast<char>(data[data.size() / 2] ^ 0x04);
+  EXPECT_EQ(LoadIndexFromString(data, &loaded).code(), StatusCode::kCorruption);
+}
+
+// ---------------------------------------------------------------------------
+// Storage modes: eager heap loads vs mmap'd lazy loads.
+// ---------------------------------------------------------------------------
+
+TEST(IndexIoTest, StorageModeMatrix) {
+  InvertedIndex built = BuildTestIndex();
+  EXPECT_EQ(built.storage(), IndexStorage::kOwned);
+  EXPECT_FALSE(built.lazy_validation());
+  EXPECT_EQ(built.MappedBytes(), 0u);
+
+  const std::string path = ::testing::TempDir() + "/fts_storage_matrix.idx";
+  ASSERT_TRUE(SaveIndexToFile(built, path).ok());
+
+  InvertedIndex eager;
+  ASSERT_TRUE(LoadIndexFromFile(path, &eager).ok());
+  EXPECT_EQ(eager.storage(), IndexStorage::kHeapBuffer);
+  EXPECT_FALSE(eager.lazy_validation());
+  EXPECT_EQ(eager.MappedBytes(), 0u);
+
+  LoadOptions mmap;
+  mmap.mode = LoadOptions::Mode::kMmap;
+  InvertedIndex mapped;
+  ASSERT_TRUE(LoadIndexFromFile(path, &mapped, mmap).ok());
+  EXPECT_EQ(mapped.storage(), IndexStorage::kMapped);
+  EXPECT_TRUE(mapped.lazy_validation());
+  EXPECT_GT(mapped.MappedBytes(), 0u);
+  // Mapped payload bytes are page-cache backed, not heap: the resident
+  // accounting of the mapped index must come in below the eager load's
+  // (which holds the whole file in its heap source buffer).
+  EXPECT_LT(mapped.MemoryUsage(), eager.MemoryUsage());
+
+  ExpectIndexEq(eager, mapped);  // decodes every block: first-touch passes
+  ExpectIndexEq(built, mapped);
+  std::remove(path.c_str());
+}
+
+TEST(IndexIoTest, MmapLoadOfV1AndV2FallsBackToEagerValidation) {
+  InvertedIndex index = BuildTestIndex();
+  const std::string path = ::testing::TempDir() + "/fts_mmap_compat.idx";
+  LoadOptions mmap;
+  mmap.mode = LoadOptions::Mode::kMmap;
+  for (IndexFormat format : {IndexFormat::kV1, IndexFormat::kV2}) {
+    ASSERT_TRUE(SaveIndexToFile(index, path, format).ok());
+    InvertedIndex loaded;
+    ASSERT_TRUE(LoadIndexFromFile(path, &loaded, mmap).ok());
+    // Older formats cannot defer validation (whole-body checksum), so the
+    // load validates eagerly; v2 still views payloads out of the mapping.
+    EXPECT_FALSE(loaded.lazy_validation());
+    ExpectIndexEq(index, loaded);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(IndexIoTest, MmapSourceOutlivesFileRemoval) {
+  // POSIX mmap pins the inode: removing (or write-then-rename replacing)
+  // the file under a mapped index must not invalidate it — this is the
+  // safe index-replacement protocol documented in docs/index_format.md.
+  InvertedIndex index = BuildTestIndex();
+  const std::string path = ::testing::TempDir() + "/fts_mmap_unlink.idx";
+  ASSERT_TRUE(SaveIndexToFile(index, path).ok());
+  LoadOptions mmap;
+  mmap.mode = LoadOptions::Mode::kMmap;
+  InvertedIndex mapped;
+  ASSERT_TRUE(LoadIndexFromFile(path, &mapped, mmap).ok());
+  std::remove(path.c_str());
+  ExpectIndexEq(index, mapped);  // every block decodes from the pinned map
+}
+
+TEST(IndexIoTest, LazyLoadValidatesHeaderCorruptionUpFront) {
+  // Header/directory bytes (everything before the first payload) are
+  // covered by the v3 trailer checksum and verified even on lazy loads.
+  InvertedIndex index = BuildTestIndex();
+  std::string data;
+  SaveIndexToString(index, &data);
+  const std::string path = ::testing::TempDir() + "/fts_mmap_header_flip.idx";
+  std::string mutated = data;
+  mutated[10] = static_cast<char>(mutated[10] ^ 0x20);  // stats section
+  {
+    std::ofstream f(path, std::ios::binary | std::ios::trunc);
+    f.write(mutated.data(), static_cast<std::streamsize>(mutated.size()));
+  }
+  LoadOptions mmap;
+  mmap.mode = LoadOptions::Mode::kMmap;
+  InvertedIndex loaded;
+  EXPECT_EQ(LoadIndexFromFile(path, &loaded, mmap).code(), StatusCode::kCorruption);
+  std::remove(path.c_str());
 }
 
 TEST(IndexIoTest, V1RejectsCorruption) {

@@ -101,8 +101,8 @@ TEST_F(ScoringFixture, JoinConservesTotalScore) {
   // The "first law of thermodynamics" remark in Section 3.1: the join
   // neither creates nor destroys score mass.
   TfIdfScoreModel model(&index, {"topic0", "topic1"});
-  auto t0 = OpScanToken(index, "topic0", &model, nullptr);
-  auto t1 = OpScanToken(index, "topic1", &model, nullptr);
+  auto t0 = *OpScanToken(index, "topic0", &model, nullptr);
+  auto t1 = *OpScanToken(index, "topic1", &model, nullptr);
   auto joined = OpJoin(t0, t1, &model, nullptr);
 
   // Sum input scores restricted to nodes surviving the join.
