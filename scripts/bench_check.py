@@ -36,7 +36,13 @@ import subprocess
 import sys
 import tempfile
 
-DEFAULT_BENCHES = ["micro_index", "micro_postings"]
+# micro_service's throughput series use real-time + process-CPU
+# measurement: their cpu_time is the whole pool's CPU per batch, which is
+# as machine-portable as the single-thread benches' once normalized by the
+# median machine ratio. The scaling *shape* (qps at threads:8 vs threads:1)
+# is a counter, not a time, so it never trips the regression check on
+# differently-cored runners.
+DEFAULT_BENCHES = ["micro_index", "micro_postings", "micro_service"]
 
 # Multipliers to nanoseconds per google-benchmark time_unit.
 TIME_UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}

@@ -209,8 +209,14 @@ StatusOr<FtRelation> EvaluateFta(const FtaExprPtr& expr, const InvertedIndex& in
                                  const AlgebraScoreModel* model,
                                  EvalCounters* counters,
                                  const RawPostingOracle* raw_oracle,
-                                 DecodedBlockCache* cache) {
+                                 DecodedBlockCache* cache,
+                                 const Deadline* deadline) {
   if (!expr) return Status::InvalidArgument("null algebra expression");
+  // One check per operator application: COMP's intermediates are the
+  // expensive part, so expiry stops before the next one materializes.
+  if (deadline != nullptr && deadline->Expired()) {
+    return Status::DeadlineExceeded("query deadline expired (COMP)");
+  }
   switch (expr->kind()) {
     case FtaExpr::Kind::kSearchContext:
       return OpScanSearchContext(index, model, counters);
@@ -221,58 +227,58 @@ StatusOr<FtRelation> EvaluateFta(const FtaExprPtr& expr, const InvertedIndex& in
     case FtaExpr::Kind::kProject: {
       FTS_ASSIGN_OR_RETURN(FtRelation in,
                            EvaluateFta(expr->child(), index, model, counters,
-                                       raw_oracle, cache));
+                                       raw_oracle, cache, deadline));
       return OpProject(in, expr->project_cols(), model, counters);
     }
     case FtaExpr::Kind::kJoin: {
       FTS_ASSIGN_OR_RETURN(FtRelation l,
                            EvaluateFta(expr->left(), index, model, counters,
-                                       raw_oracle, cache));
+                                       raw_oracle, cache, deadline));
       FTS_ASSIGN_OR_RETURN(FtRelation r,
                            EvaluateFta(expr->right(), index, model, counters,
-                                       raw_oracle, cache));
+                                       raw_oracle, cache, deadline));
       return OpJoin(l, r, model, counters);
     }
     case FtaExpr::Kind::kSelect: {
       FTS_ASSIGN_OR_RETURN(FtRelation in,
                            EvaluateFta(expr->child(), index, model, counters,
-                                       raw_oracle, cache));
+                                       raw_oracle, cache, deadline));
       return OpSelect(in, expr->pred(), model, counters);
     }
     case FtaExpr::Kind::kAntiJoin: {
       FTS_ASSIGN_OR_RETURN(FtRelation l,
                            EvaluateFta(expr->left(), index, model, counters,
-                                       raw_oracle, cache));
+                                       raw_oracle, cache, deadline));
       FTS_ASSIGN_OR_RETURN(FtRelation r,
                            EvaluateFta(expr->right(), index, model, counters,
-                                       raw_oracle, cache));
+                                       raw_oracle, cache, deadline));
       return OpAntiJoin(l, r, model, counters);
     }
     case FtaExpr::Kind::kUnion: {
       FTS_ASSIGN_OR_RETURN(FtRelation l,
                            EvaluateFta(expr->left(), index, model, counters,
-                                       raw_oracle, cache));
+                                       raw_oracle, cache, deadline));
       FTS_ASSIGN_OR_RETURN(FtRelation r,
                            EvaluateFta(expr->right(), index, model, counters,
-                                       raw_oracle, cache));
+                                       raw_oracle, cache, deadline));
       return OpUnion(l, r, model, counters);
     }
     case FtaExpr::Kind::kIntersect: {
       FTS_ASSIGN_OR_RETURN(FtRelation l,
                            EvaluateFta(expr->left(), index, model, counters,
-                                       raw_oracle, cache));
+                                       raw_oracle, cache, deadline));
       FTS_ASSIGN_OR_RETURN(FtRelation r,
                            EvaluateFta(expr->right(), index, model, counters,
-                                       raw_oracle, cache));
+                                       raw_oracle, cache, deadline));
       return OpIntersect(l, r, model, counters);
     }
     case FtaExpr::Kind::kDifference: {
       FTS_ASSIGN_OR_RETURN(FtRelation l,
                            EvaluateFta(expr->left(), index, model, counters,
-                                       raw_oracle, cache));
+                                       raw_oracle, cache, deadline));
       FTS_ASSIGN_OR_RETURN(FtRelation r,
                            EvaluateFta(expr->right(), index, model, counters,
-                                       raw_oracle, cache));
+                                       raw_oracle, cache, deadline));
       return OpDifference(l, r, model, counters);
     }
   }

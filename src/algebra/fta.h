@@ -16,6 +16,7 @@
 #include "algebra/relation.h"
 #include "common/metrics.h"
 #include "common/status.h"
+#include "exec/exec_context.h"
 #include "index/inverted_index.h"
 #include "scoring/score_model.h"
 
@@ -104,12 +105,17 @@ bool PlanFitsDecodedBlockCache(const FtaExprPtr& plan, const InvertedIndex& inde
 /// (nullable, differential tests only) makes the leaf scans read the raw
 /// oracle lists instead of the block-resident ones. `cache` (nullable) is
 /// shared by every leaf scan of the evaluation, so a token occurring more
-/// than once in the plan bulk-decodes its blocks once.
+/// than once in the plan bulk-decodes its blocks once. `deadline`
+/// (nullable) is checked once per operator application: materialized
+/// evaluation is the one strategy whose intermediates can explode (the
+/// per-node cartesian products), so an expired query stops at the next
+/// operator instead of materializing another relation.
 StatusOr<FtRelation> EvaluateFta(const FtaExprPtr& expr, const InvertedIndex& index,
                                  const AlgebraScoreModel* model,
                                  EvalCounters* counters,
                                  const RawPostingOracle* raw_oracle = nullptr,
-                                 DecodedBlockCache* cache = nullptr);
+                                 DecodedBlockCache* cache = nullptr,
+                                 const Deadline* deadline = nullptr);
 
 }  // namespace fts
 

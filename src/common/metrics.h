@@ -46,11 +46,20 @@ struct EvalCounters {
   /// the group varint decoder (every cursor block load takes this path; a
   /// cache hit does not).
   uint64_t blocks_bulk_decoded = 0;
-  /// Decoded-block cache hits: block loads served from a DecodedBlockCache
-  /// without decoding anything.
+  /// Decoded-block cache hits: block loads served from a per-query (L1)
+  /// DecodedBlockCache without decoding anything.
   uint64_t cache_hits = 0;
-  /// Decoded-block cache misses: block loads that decoded and inserted.
+  /// Decoded-block cache misses: block loads that decoded and inserted (or,
+  /// with an L2 attached, fell through to it).
   uint64_t cache_misses = 0;
+  /// Cross-query SharedBlockCache (L2) hits: block loads served from the
+  /// shard maps without decoding — typically blocks another query already
+  /// paid to bulk-decode (and, on mmap-served indexes, first-touch
+  /// validate).
+  uint64_t shared_cache_hits = 0;
+  /// Cross-query SharedBlockCache (L2) misses: block loads that decoded and
+  /// published the block for later queries.
+  uint64_t shared_cache_misses = 0;
   /// Blocks that passed first-touch validation (checksum + structure) while
   /// this query was running — nonzero only on the first queries after a
   /// lazy (mmap) index load; once a block's validation is memoized, later
@@ -58,6 +67,12 @@ struct EvalCounters {
   uint64_t first_touch_validations = 0;
 
   void Reset() { *this = EvalCounters{}; }
+
+  /// Field-wise accumulation — the one aggregation routine shared by the
+  /// NPRED per-ordering loop, ExecContext, and service-level metrics, so no
+  /// caller hand-copies field sums (and a new counter added here propagates
+  /// everywhere automatically).
+  void MergeFrom(const EvalCounters& o) { *this += o; }
 
   EvalCounters& operator+=(const EvalCounters& o) {
     entries_scanned += o.entries_scanned;
@@ -73,6 +88,8 @@ struct EvalCounters {
     blocks_bulk_decoded += o.blocks_bulk_decoded;
     cache_hits += o.cache_hits;
     cache_misses += o.cache_misses;
+    shared_cache_hits += o.shared_cache_hits;
+    shared_cache_misses += o.shared_cache_misses;
     first_touch_validations += o.first_touch_validations;
     return *this;
   }
@@ -91,6 +108,8 @@ struct EvalCounters {
            " blocks_bulk_decoded=" + std::to_string(blocks_bulk_decoded) +
            " cache_hits=" + std::to_string(cache_hits) +
            " cache_misses=" + std::to_string(cache_misses) +
+           " l2_hits=" + std::to_string(shared_cache_hits) +
+           " l2_misses=" + std::to_string(shared_cache_misses) +
            " first_touch=" + std::to_string(first_touch_validations);
   }
 };

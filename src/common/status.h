@@ -25,6 +25,8 @@ enum class StatusCode {
   kCorruption,        ///< persistent index data failed validation
   kIOError,           ///< underlying file operation failed
   kInternal,          ///< invariant violation inside the library
+  kDeadlineExceeded,  ///< the query's ExecContext deadline expired mid-flight
+  kUnavailable,       ///< service not accepting work (shut down / draining)
 };
 
 /// Returns the canonical spelling of a status code, e.g. "InvalidArgument".
@@ -58,6 +60,12 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -24,15 +24,22 @@ class BoolEvaluator {
  public:
   BoolEvaluator(const InvertedIndex* index, const AlgebraScoreModel* model,
                 EvalCounters* counters, CursorMode mode,
-                const RawPostingOracle* raw_oracle, DecodedBlockCache* cache)
+                const RawPostingOracle* raw_oracle, DecodedBlockCache* cache,
+                const Deadline* deadline)
       : index_(index),
         model_(model),
         counters_(counters),
         mode_(mode),
         raw_oracle_(raw_oracle),
-        cache_(cache) {}
+        cache_(cache),
+        deadline_(deadline) {}
 
   StatusOr<NodeSet> Eval(const LangExprPtr& e) {
+    // Per-operator deadline check: a free (unset) deadline costs one
+    // branch; overruns are bounded by one operator's merge.
+    if (deadline_ != nullptr && deadline_->Expired()) {
+      return Status::DeadlineExceeded("query deadline expired (BOOL)");
+    }
     switch (e->kind()) {
       case LangExpr::Kind::kToken:
         return EvalToken(e->token());
@@ -315,6 +322,7 @@ class BoolEvaluator {
   CursorMode mode_;
   const RawPostingOracle* raw_oracle_;
   DecodedBlockCache* cache_;
+  const Deadline* deadline_;
 };
 
 /// Collects the query's leaf list reads (token spellings plus ANY scans)
@@ -344,8 +352,10 @@ bool ShouldUseBoolCache(const LangExprPtr& e, const InvertedIndex& index) {
 
 }  // namespace
 
-StatusOr<QueryResult> BoolEngine::Evaluate(const LangExprPtr& query) const {
+StatusOr<QueryResult> BoolEngine::Evaluate(const LangExprPtr& query,
+                                           ExecContext& ctx) const {
   if (!query) return Status::InvalidArgument("null query");
+  FTS_RETURN_IF_ERROR(ctx.deadline().Check());
   LangExprPtr normalized = NormalizeSurface(query);
 
   std::unique_ptr<AlgebraScoreModel> model;
@@ -358,14 +368,19 @@ StatusOr<QueryResult> BoolEngine::Evaluate(const LangExprPtr& query) const {
   }
 
   QueryResult result;
-  // The cache only pays when some list is read twice and the working set
-  // fits; single-scan queries skip its per-block bookkeeping.
-  DecodedBlockCache cache;
+  // The context's L1 attaches when some list is read twice and the working
+  // set fits (single-scan queries skip the per-block bookkeeping), or
+  // whenever a cross-query L2 is present — cursors then reach shared
+  // blocks through it.
+  DecodedBlockCache* cache =
+      ctx.WantCache(ShouldUseBoolCache(normalized, *index_)) ? &ctx.l1_cache()
+                                                             : nullptr;
   BoolEvaluator eval(index_, model.get(), &result.counters, mode_, raw_oracle_,
-                     ShouldUseBoolCache(normalized, *index_) ? &cache : nullptr);
+                     cache, &ctx.deadline());
   FTS_ASSIGN_OR_RETURN(NodeSet set, eval.Eval(normalized));
   result.nodes = std::move(set.nodes);
   if (scoring_ != ScoringKind::kNone) result.scores = std::move(set.scores);
+  ctx.counters().MergeFrom(result.counters);
   return result;
 }
 

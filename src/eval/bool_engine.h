@@ -27,7 +27,9 @@ class BoolEngine : public Engine {
 
   std::string_view name() const override { return "BOOL"; }
 
-  StatusOr<QueryResult> Evaluate(const LangExprPtr& query) const override;
+  using Engine::Evaluate;
+  StatusOr<QueryResult> Evaluate(const LangExprPtr& query,
+                                 ExecContext& ctx) const override;
 
   CursorMode mode() const { return mode_; }
 

@@ -12,8 +12,10 @@
 
 namespace fts {
 
-StatusOr<QueryResult> CompEngine::Evaluate(const LangExprPtr& query) const {
+StatusOr<QueryResult> CompEngine::Evaluate(const LangExprPtr& query,
+                                           ExecContext& ctx) const {
   if (!query) return Status::InvalidArgument("null query");
+  FTS_RETURN_IF_ERROR(ctx.deadline().Check());
   FTS_ASSIGN_OR_RETURN(CalcQuery calc, TranslateToCalculus(query));
   FTS_ASSIGN_OR_RETURN(FtaExprPtr plan, CompileQuery(calc));
 
@@ -27,19 +29,21 @@ StatusOr<QueryResult> CompEngine::Evaluate(const LangExprPtr& query) const {
   }
 
   QueryResult result;
-  // The cache only pays when some list is scanned twice and the working
-  // set fits; single-scan plans skip its per-block bookkeeping entirely.
-  DecodedBlockCache cache;
+  // The context's L1 attaches when some list is scanned twice and the
+  // working set fits, or whenever an L2 is present; single-scan plans
+  // without an L2 skip the per-block bookkeeping entirely.
   DecodedBlockCache* cache_ptr =
-      ShouldUseDecodedBlockCache(plan, *index_) ? &cache : nullptr;
+      ctx.WantCache(ShouldUseDecodedBlockCache(plan, *index_)) ? &ctx.l1_cache()
+                                                               : nullptr;
   FTS_ASSIGN_OR_RETURN(FtRelation rel,
                        EvaluateFta(plan, *index_, model.get(), &result.counters,
-                                    raw_oracle_, cache_ptr));
+                                    raw_oracle_, cache_ptr, &ctx.deadline()));
   result.nodes.reserve(rel.size());
   for (size_t i = 0; i < rel.size(); ++i) {
     result.nodes.push_back(rel.tuple(i).node);
     if (scoring_ != ScoringKind::kNone) result.scores.push_back(rel.tuple(i).score);
   }
+  ctx.counters().MergeFrom(result.counters);
   return result;
 }
 

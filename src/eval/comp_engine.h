@@ -19,7 +19,9 @@ class CompEngine : public Engine {
 
   std::string_view name() const override { return "COMP"; }
 
-  StatusOr<QueryResult> Evaluate(const LangExprPtr& query) const override;
+  using Engine::Evaluate;
+  StatusOr<QueryResult> Evaluate(const LangExprPtr& query,
+                                 ExecContext& ctx) const override;
 
   /// Differential-test seam: evaluate the identical algebra plan with leaf
   /// scans over `oracle`'s raw lists instead of the block-resident ones.

@@ -12,6 +12,7 @@
 
 #include "common/metrics.h"
 #include "common/status.h"
+#include "exec/exec_context.h"
 #include "index/inverted_index.h"
 #include "lang/ast.h"
 
@@ -78,6 +79,12 @@ struct QueryResult {
 };
 
 /// A query evaluation strategy over one InvertedIndex.
+///
+/// Thread safety: engines are immutable after construction (the raw-oracle
+/// test seam aside) and the index they read is immutable after load, so one
+/// engine instance may evaluate queries from many threads concurrently.
+/// All mutable per-query state lives in the caller's ExecContext, which is
+/// single-threaded — one context per thread.
 class Engine {
  public:
   virtual ~Engine() = default;
@@ -85,10 +92,22 @@ class Engine {
   /// Engine name as used in the paper's figures (BOOL, PPRED, NPRED, COMP).
   virtual std::string_view name() const = 0;
 
-  /// Evaluates a parsed query. Returns Unsupported when the query falls
-  /// outside the engine's language class (the router then falls back to a
-  /// more expressive engine).
-  virtual StatusOr<QueryResult> Evaluate(const LangExprPtr& query) const = 0;
+  /// Evaluates a parsed query under caller-provided per-query execution
+  /// state: `ctx` supplies the decoded-block caches (L1, optional L2),
+  /// accumulates counters, and may impose a deadline. Returns Unsupported
+  /// when the query falls outside the engine's language class (the router
+  /// then falls back to a more expressive engine) and DeadlineExceeded
+  /// when ctx's deadline expires mid-evaluation.
+  virtual StatusOr<QueryResult> Evaluate(const LangExprPtr& query,
+                                         ExecContext& ctx) const = 0;
+
+  /// Convenience overload: evaluates under a fresh default ExecContext
+  /// (auto L1 policy, no L2, no deadline). Derived classes re-export it
+  /// with `using Engine::Evaluate`.
+  StatusOr<QueryResult> Evaluate(const LangExprPtr& query) const {
+    ExecContext ctx;
+    return Evaluate(query, ctx);
+  }
 };
 
 }  // namespace fts

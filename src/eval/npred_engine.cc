@@ -185,8 +185,10 @@ bool HasNegativePredUnderNot(const CalcExprPtr& e, bool under_not) {
 
 }  // namespace
 
-StatusOr<QueryResult> NpredEngine::Evaluate(const LangExprPtr& query) const {
+StatusOr<QueryResult> NpredEngine::Evaluate(const LangExprPtr& query,
+                                            ExecContext& ectx) const {
   if (!query) return Status::InvalidArgument("null query");
+  FTS_RETURN_IF_ERROR(ectx.deadline().Check());
   FTS_ASSIGN_OR_RETURN(CalcQuery calc, TranslateToCalculus(NormalizeSurface(query)));
   calc.expr = DesugarForAll(calc.expr);
   if (HasNegativePredUnderNot(calc.expr, false)) {
@@ -220,36 +222,46 @@ StatusOr<QueryResult> NpredEngine::Evaluate(const LangExprPtr& query) const {
 
   const PositionPredicate* le = PredicateRegistry::Default().Find("le");
   QueryResult result;
-  // One decoded-block cache across every ordering thread: each permutation
-  // re-scans the same token lists, so all threads after the first find
-  // their hot blocks already decoded.
-  DecodedBlockCache cache;
 
   Status decode_status;  // set by leaf scans on first-touch decode failure
 
   if (neg_vars.empty()) {
     // No negative predicates: degenerate to a single PPRED-style pass; the
-    // cache only pays here if the plan itself scans a list twice.
+    // context's L1 only pays here if the plan itself scans a list twice
+    // (or an L2 is attached).
     FTS_ASSIGN_OR_RETURN(FtaExprPtr plan, CompileQuery(calc));
-    PipelineContext ctx{index_, model.get(), &result.counters,
+    DecodedBlockCache* cache =
+        ectx.WantCache(ShouldUseDecodedBlockCache(plan, *index_))
+            ? &ectx.l1_cache()
+            : nullptr;
+    PipelineContext ctx{index_,      model.get(),
+                        &result.counters,
                         PlanPipelineCursorMode(cursor_mode_, plan, *index_),
-                        raw_oracle_,
-                        ShouldUseDecodedBlockCache(plan, *index_) ? &cache : nullptr,
-                        &decode_status};
+                        raw_oracle_, cache,
+                        &decode_status,
+                        &ectx.deadline()};
     FTS_ASSIGN_OR_RETURN(std::unique_ptr<PosCursor> cursor, BuildPipeline(plan, ctx));
     DrainPipeline(cursor.get(), scoring_ != ScoringKind::kNone, &result.nodes,
-                  &result.scores);
+                  &result.scores, ctx);
     FTS_RETURN_IF_ERROR(decode_status);
     result.counters.orderings_run = 1;
+    ectx.counters().MergeFrom(result.counters);
     return result;
   }
 
   // One evaluation thread per ordering permutation; results are unioned.
+  // All orderings share the context's L1 cache: each permutation re-scans
+  // the same token lists, so every thread after the first finds its hot
+  // blocks already decoded.
   std::map<NodeId, double> merged;
   std::vector<size_t> perm(thread_vars.size());
   std::iota(perm.begin(), perm.end(), 0);
   std::sort(perm.begin(), perm.end());
   do {
+    // Long ordering enumerations are exactly where a deadline matters:
+    // check between permutations so an expired query stops at an ordering
+    // boundary.
+    FTS_RETURN_IF_ERROR(ectx.deadline().Check());
     std::map<VarId, size_t> rank;
     for (size_t i = 0; i < perm.size(); ++i) rank[thread_vars[perm[i]]] = i;
     // Variables outside the thread set (partial-order mode) never appear in
@@ -259,15 +271,26 @@ StatusOr<QueryResult> NpredEngine::Evaluate(const LangExprPtr& query) const {
     FTS_ASSIGN_OR_RETURN(FtaExprPtr plan, CompileQuery(threaded));
     // Rescanning is guaranteed by the ordering loop itself, so the cache
     // attaches whenever the plan's working set fits it.
-    PipelineContext ctx{index_, model.get(), &result.counters,
+    DecodedBlockCache* cache =
+        ectx.WantCache(PlanFitsDecodedBlockCache(plan, *index_))
+            ? &ectx.l1_cache()
+            : nullptr;
+    // Per-ordering counters, merged below: the ordering loop aggregates
+    // through EvalCounters::MergeFrom like every other multi-pass consumer
+    // instead of sharing one struct across passes.
+    EvalCounters ordering_counters;
+    PipelineContext ctx{index_,      model.get(),
+                        &ordering_counters,
                         PlanPipelineCursorMode(cursor_mode_, plan, *index_),
-                        raw_oracle_,
-                        PlanFitsDecodedBlockCache(plan, *index_) ? &cache : nullptr,
-                        &decode_status};
+                        raw_oracle_, cache,
+                        &decode_status,
+                        &ectx.deadline()};
     FTS_ASSIGN_OR_RETURN(std::unique_ptr<PosCursor> cursor, BuildPipeline(plan, ctx));
     std::vector<NodeId> nodes;
     std::vector<double> scores;
-    DrainPipeline(cursor.get(), scoring_ != ScoringKind::kNone, &nodes, &scores);
+    DrainPipeline(cursor.get(), scoring_ != ScoringKind::kNone, &nodes, &scores,
+                  ctx);
+    result.counters.MergeFrom(ordering_counters);
     FTS_RETURN_IF_ERROR(decode_status);
     for (size_t i = 0; i < nodes.size(); ++i) {
       merged.emplace(nodes[i], scoring_ != ScoringKind::kNone ? scores[i] : 0.0);
@@ -280,6 +303,7 @@ StatusOr<QueryResult> NpredEngine::Evaluate(const LangExprPtr& query) const {
     result.nodes.push_back(node);
     if (scoring_ != ScoringKind::kNone) result.scores.push_back(score);
   }
+  ectx.counters().MergeFrom(result.counters);
   return result;
 }
 

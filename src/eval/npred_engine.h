@@ -37,7 +37,9 @@ class NpredEngine : public Engine {
 
   std::string_view name() const override { return "NPRED"; }
 
-  StatusOr<QueryResult> Evaluate(const LangExprPtr& query) const override;
+  using Engine::Evaluate;
+  StatusOr<QueryResult> Evaluate(const LangExprPtr& query,
+                                 ExecContext& ctx) const override;
 
   CursorMode cursor_mode() const { return cursor_mode_; }
 

@@ -542,12 +542,27 @@ StatusOr<std::unique_ptr<PosCursor>> BuildPipeline(const FtaExprPtr& plan,
 }
 
 void DrainPipeline(PosCursor* cursor, bool want_scores,
-                   std::vector<NodeId>* nodes, std::vector<double>* scores) {
+                   std::vector<NodeId>* nodes, std::vector<double>* scores,
+                   const PipelineContext& ctx) {
+  // Deadline granularity: one clock read per kCheckEvery result nodes (an
+  // unset deadline short-circuits to a single branch), so the drain's
+  // tight loop stays tight and overruns are bounded.
+  constexpr size_t kCheckEvery = 4096;
+  size_t until_check = kCheckEvery;
   while (true) {
     const NodeId n = cursor->AdvanceNode();
     if (n == kInvalidNode) return;
     nodes->push_back(n);
     if (want_scores) scores->push_back(cursor->node_score());
+    if (--until_check == 0) {
+      until_check = kCheckEvery;
+      if (ctx.deadline != nullptr && ctx.deadline->Expired()) {
+        if (ctx.status != nullptr && ctx.status->ok()) {
+          *ctx.status = Status::DeadlineExceeded("query deadline expired (pipeline)");
+        }
+        return;
+      }
+    }
   }
 }
 

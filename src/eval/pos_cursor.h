@@ -95,6 +95,11 @@ struct PipelineContext {
   /// pipeline terminates normally) and the engine checks this slot after
   /// draining, turning a silently truncated result into an error.
   Status* status = nullptr;  // nullable
+  /// Optional wall-clock bound from the query's ExecContext. DrainPipeline
+  /// checks it every few thousand result nodes and stops early, reporting
+  /// DeadlineExceeded through `status` — the same channel as lazily
+  /// detected corruption, so engines already propagate it.
+  const Deadline* deadline = nullptr;  // nullable
 };
 
 /// Resolves `requested` for one pipelined plan: forced modes pass through;
@@ -110,9 +115,13 @@ StatusOr<std::unique_ptr<PosCursor>> BuildPipeline(const FtaExprPtr& plan,
                                                    const PipelineContext& ctx);
 
 /// Runs a zero-or-more-column pipeline to completion, collecting each
-/// matching node (and its score when `ctx.model` is set).
+/// matching node (and its score when `want_scores`). `ctx` supplies the
+/// deadline (checked periodically; expiry stops the drain and reports
+/// through ctx.status) — pass the same context the pipeline was built
+/// with.
 void DrainPipeline(PosCursor* cursor, bool want_scores,
-                   std::vector<NodeId>* nodes, std::vector<double>* scores);
+                   std::vector<NodeId>* nodes, std::vector<double>* scores,
+                   const PipelineContext& ctx = {});
 
 }  // namespace fts
 

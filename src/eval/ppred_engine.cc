@@ -13,8 +13,10 @@
 
 namespace fts {
 
-StatusOr<QueryResult> PpredEngine::Evaluate(const LangExprPtr& query) const {
+StatusOr<QueryResult> PpredEngine::Evaluate(const LangExprPtr& query,
+                                            ExecContext& ectx) const {
   if (!query) return Status::InvalidArgument("null query");
+  FTS_RETURN_IF_ERROR(ectx.deadline().Check());
   FTS_ASSIGN_OR_RETURN(CalcQuery calc, TranslateToCalculus(NormalizeSurface(query)));
   FTS_ASSIGN_OR_RETURN(FtaExprPtr plan, CompileQuery(calc));
 
@@ -42,18 +44,24 @@ StatusOr<QueryResult> PpredEngine::Evaluate(const LangExprPtr& query) const {
   }
 
   QueryResult result;
-  // The cache only pays when a list is scanned twice and the working set
-  // fits; otherwise every block load would be a miss plus bookkeeping.
-  DecodedBlockCache cache;
+  // The context's L1 attaches when a list is scanned twice and the working
+  // set fits, or whenever an L2 is present (see BoolEngine::Evaluate).
+  DecodedBlockCache* cache =
+      ectx.WantCache(ShouldUseDecodedBlockCache(plan, *index_))
+          ? &ectx.l1_cache()
+          : nullptr;
   Status decode_status;  // set by leaf scans on first-touch decode failure
-  PipelineContext ctx{index_, model.get(), &result.counters,
-                      PlanPipelineCursorMode(mode_, plan, *index_), raw_oracle_,
-                      ShouldUseDecodedBlockCache(plan, *index_) ? &cache : nullptr,
-                      &decode_status};
+  PipelineContext ctx{index_,      model.get(),
+                      &result.counters,
+                      PlanPipelineCursorMode(mode_, plan, *index_),
+                      raw_oracle_, cache,
+                      &decode_status,
+                      &ectx.deadline()};
   FTS_ASSIGN_OR_RETURN(std::unique_ptr<PosCursor> cursor, BuildPipeline(plan, ctx));
   DrainPipeline(cursor.get(), scoring_ != ScoringKind::kNone, &result.nodes,
-                &result.scores);
+                &result.scores, ctx);
   FTS_RETURN_IF_ERROR(decode_status);
+  ectx.counters().MergeFrom(result.counters);
   return result;
 }
 

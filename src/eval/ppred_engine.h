@@ -23,7 +23,9 @@ class PpredEngine : public Engine {
 
   std::string_view name() const override { return "PPRED"; }
 
-  StatusOr<QueryResult> Evaluate(const LangExprPtr& query) const override;
+  using Engine::Evaluate;
+  StatusOr<QueryResult> Evaluate(const LangExprPtr& query,
+                                 ExecContext& ctx) const override;
 
   CursorMode mode() const { return mode_; }
 

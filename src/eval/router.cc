@@ -3,11 +3,23 @@
 namespace fts {
 
 StatusOr<RoutedResult> QueryRouter::Evaluate(std::string_view query) const {
+  ExecContext ctx = MakeContext();
+  return Evaluate(query, ctx);
+}
+
+StatusOr<RoutedResult> QueryRouter::Evaluate(std::string_view query,
+                                             ExecContext& ctx) const {
   FTS_ASSIGN_OR_RETURN(LangExprPtr parsed, ParseQuery(query, SurfaceLanguage::kComp));
-  return EvaluateParsed(parsed);
+  return EvaluateParsed(parsed, ctx);
 }
 
 StatusOr<RoutedResult> QueryRouter::EvaluateParsed(const LangExprPtr& query) const {
+  ExecContext ctx = MakeContext();
+  return EvaluateParsed(query, ctx);
+}
+
+StatusOr<RoutedResult> QueryRouter::EvaluateParsed(const LangExprPtr& query,
+                                                   ExecContext& ctx) const {
   if (!query) return Status::InvalidArgument("null query");
   RoutedResult out;
   out.language_class = ClassifyQuery(query);
@@ -29,12 +41,12 @@ StatusOr<RoutedResult> QueryRouter::EvaluateParsed(const LangExprPtr& query) con
       break;
   }
 
-  StatusOr<QueryResult> result = engine->Evaluate(query);
+  StatusOr<QueryResult> result = engine->Evaluate(query, ctx);
   if (!result.ok() && result.status().code() == StatusCode::kUnsupported &&
       engine != &comp_engine_) {
     // A specialized engine declined (e.g. a plan shape it cannot stream);
     // COMP is complete and always applicable.
-    result = comp_engine_.Evaluate(query);
+    result = comp_engine_.Evaluate(query, ctx);
     engine = &comp_engine_;
   }
   FTS_RETURN_IF_ERROR(result.status());

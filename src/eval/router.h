@@ -6,14 +6,18 @@
 #ifndef FTS_EVAL_ROUTER_H_
 #define FTS_EVAL_ROUTER_H_
 
+#include <memory>
 #include <string>
 #include <string_view>
+#include <utility>
 
 #include "eval/bool_engine.h"
 #include "eval/comp_engine.h"
 #include "eval/engine.h"
 #include "eval/npred_engine.h"
 #include "eval/ppred_engine.h"
+#include "exec/exec_context.h"
+#include "index/shared_block_cache.h"
 #include "lang/classify.h"
 #include "lang/parser.h"
 
@@ -26,6 +30,19 @@ struct RoutedResult {
   std::string engine;  ///< engine that produced the result
 };
 
+/// Construction knobs for a QueryRouter.
+struct RouterOptions {
+  ScoringKind scoring = ScoringKind::kNone;
+  CursorMode mode = CursorMode::kAdaptive;
+  /// Cross-query (L2) decoded-block cache shared by every query routed
+  /// through this router, on every thread. Null keeps the pre-concurrency
+  /// behavior: per-query L1 caching only. The router participates in the
+  /// cache's ownership (shared_ptr), so a SearchService and its router can
+  /// share one instance. Attach one cache per loaded index generation —
+  /// never reuse across index reloads (keys are list pointers).
+  std::shared_ptr<SharedBlockCache> shared_cache;
+};
+
 /// Owns one engine of each kind over a shared index and routes queries.
 /// The router is the production entry point, so its engines default to the
 /// adaptive per-query planner (CursorMode::kAdaptive): each query reads df
@@ -34,23 +51,54 @@ struct RoutedResult {
 /// otherwise (PlanFromDfs). Both forced modes remain available — pass
 /// CursorMode::kSequential to reproduce the paper's access counts exactly,
 /// or CursorMode::kSeek to force skip-seeking everywhere.
+///
+/// Thread safety: a router is immutable after construction and may
+/// evaluate queries from many threads concurrently over its shared,
+/// immutable index. Per-query state lives in the ExecContext — the
+/// context-taking overloads require one context per thread; the
+/// convenience overloads construct a fresh context per call and are
+/// therefore unconditionally safe (see docs/threading.md).
 class QueryRouter {
  public:
   /// `index` must outlive the router.
+  QueryRouter(const InvertedIndex* index, RouterOptions options)
+      : shared_cache_(std::move(options.shared_cache)),
+        bool_engine_(index, options.scoring, options.mode),
+        ppred_engine_(index, options.scoring, options.mode),
+        npred_engine_(index, options.scoring,
+                      NpredOrderingMode::kNecessaryPartialOrders, options.mode),
+        comp_engine_(index, options.scoring) {}
+
   QueryRouter(const InvertedIndex* index, ScoringKind scoring = ScoringKind::kNone,
               CursorMode mode = CursorMode::kAdaptive)
-      : bool_engine_(index, scoring, mode),
-        ppred_engine_(index, scoring, mode),
-        npred_engine_(index, scoring,
-                      NpredOrderingMode::kNecessaryPartialOrders, mode),
-        comp_engine_(index, scoring) {}
+      : QueryRouter(index, RouterOptions{scoring, mode, nullptr}) {}
 
   /// Parses `query` as COMP (the superset language) and evaluates it on the
-  /// cheapest applicable engine.
+  /// cheapest applicable engine, under a fresh per-call context wired to
+  /// the router's shared cache.
   StatusOr<RoutedResult> Evaluate(std::string_view query) const;
 
-  /// Routes an already-parsed query.
+  /// As above, under caller-provided per-query state (single-threaded
+  /// context; one per thread).
+  StatusOr<RoutedResult> Evaluate(std::string_view query, ExecContext& ctx) const;
+
+  /// Routes an already-parsed query under a fresh per-call context.
   StatusOr<RoutedResult> EvaluateParsed(const LangExprPtr& query) const;
+
+  /// Routes an already-parsed query under caller-provided state.
+  StatusOr<RoutedResult> EvaluateParsed(const LangExprPtr& query,
+                                        ExecContext& ctx) const;
+
+  /// A context wired to this router's shared cache — what the convenience
+  /// overloads construct per call, and what service workers construct once
+  /// and reuse.
+  ExecContext MakeContext() const {
+    ExecOptions options;
+    options.shared_cache = shared_cache_.get();
+    return ExecContext(options);
+  }
+
+  SharedBlockCache* shared_cache() const { return shared_cache_.get(); }
 
   const BoolEngine& bool_engine() const { return bool_engine_; }
   const PpredEngine& ppred_engine() const { return ppred_engine_; }
@@ -58,6 +106,7 @@ class QueryRouter {
   const CompEngine& comp_engine() const { return comp_engine_; }
 
  private:
+  std::shared_ptr<SharedBlockCache> shared_cache_;
   BoolEngine bool_engine_;
   PpredEngine ppred_engine_;
   NpredEngine npred_engine_;

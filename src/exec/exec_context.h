@@ -1,0 +1,156 @@
+// ExecContext: the explicit per-query execution state of one evaluation.
+//
+// Before this layer existed, every engine's Evaluate() conjured its own
+// per-query state ad hoc — a DecodedBlockCache on the stack, counters
+// inside the result, no way to bound a query's runtime — which made the
+// evaluation path impossible to reason about under concurrency and left
+// nowhere to hang cross-query facilities. An ExecContext makes that state
+// explicit and caller-owned:
+//
+//   - counters        cumulative EvalCounters for everything run under the
+//                     context (engines additionally report the per-query
+//                     delta in QueryResult::counters)
+//   - L1 block cache  the per-query DecodedBlockCache, created once per
+//                     context and attached to cursors per the cache policy
+//                     instead of being re-constructed inside each engine
+//   - L2 handle       an optional cross-query SharedBlockCache the L1
+//                     falls through to (attached at router/service scope)
+//   - deadline        an optional wall-clock bound; engines check it at
+//                     operator granularity and return DeadlineExceeded
+//
+// Threading model: an ExecContext is single-threaded — one context, one
+// thread, one query at a time. Contexts are cheap to create per query; a
+// service worker may instead keep one context across queries (the L1 then
+// acts as a worker-local warm cache over the same immutable index, which
+// is safe for exactly the reason the L2 is: results never depend on cache
+// state). The index, engines, router, and L2 they reference are all safe
+// to share across many contexts on many threads — see docs/threading.md.
+
+#ifndef FTS_EXEC_EXEC_CONTEXT_H_
+#define FTS_EXEC_EXEC_CONTEXT_H_
+
+#include <chrono>
+
+#include "common/metrics.h"
+#include "common/status.h"
+#include "index/decoded_block_cache.h"
+#include "index/shared_block_cache.h"
+
+namespace fts {
+
+/// Optional wall-clock bound on a query. Cheap to copy; unset by default.
+/// Expiry checks are made at operator granularity (per BOOL/COMP operator,
+/// per NPRED ordering, every few thousand pipelined nodes), so overruns are
+/// bounded by one operator step, not detected mid-block.
+class Deadline {
+ public:
+  Deadline() = default;
+
+  /// A deadline `d` from now.
+  static Deadline After(std::chrono::nanoseconds d) {
+    Deadline out;
+    out.at_ = std::chrono::steady_clock::now() + d;
+    out.set_ = true;
+    return out;
+  }
+
+  bool set() const { return set_; }
+
+  bool Expired() const {
+    return set_ && std::chrono::steady_clock::now() >= at_;
+  }
+
+  /// OK while unset or unexpired; DeadlineExceeded once past.
+  Status Check() const {
+    if (Expired()) return Status::DeadlineExceeded("query deadline expired");
+    return Status::OK();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point at_{};
+  bool set_ = false;
+};
+
+/// Knobs an ExecContext is created with.
+struct ExecOptions {
+  /// How engines attach the per-query L1 cache to their cursors.
+  enum class L1Policy {
+    /// Attach when it pays: some list is read twice and the working set
+    /// fits (DecodedBlockCache::ShouldAttach), or an L2 is present (the L1
+    /// is then the fast path in front of the shard locks).
+    kAuto,
+    /// Never attach; cursors decode into their private arenas. Forced
+    /// sequential runs that must reproduce the paper's exact decode counts
+    /// use this.
+    kOff,
+  };
+
+  L1Policy l1_policy = L1Policy::kAuto;
+  /// L1 capacity in blocks.
+  size_t l1_capacity = DecodedBlockCache::kDefaultCapacity;
+  /// Cross-query L2 the context's L1 falls through to (nullable; must
+  /// outlive the context).
+  SharedBlockCache* shared_cache = nullptr;
+  /// Optional wall-clock bound; Deadline() means unbounded.
+  Deadline deadline;
+};
+
+/// Per-query execution state threaded from the router (or a SearchService
+/// worker) through the engines down to every cursor. Single-threaded; see
+/// file header for the ownership and reuse rules.
+class ExecContext {
+ public:
+  ExecContext() : ExecContext(ExecOptions()) {}
+  explicit ExecContext(ExecOptions options)
+      : options_(options), l1_(options.l1_capacity, options.shared_cache) {}
+
+  ExecContext(const ExecContext&) = delete;
+  ExecContext& operator=(const ExecContext&) = delete;
+
+  /// Cumulative counters for everything evaluated under this context.
+  /// Engines MergeFrom() their per-query counters here at the end of each
+  /// Evaluate(); per-query deltas live in QueryResult::counters.
+  EvalCounters& counters() { return counters_; }
+  const EvalCounters& counters() const { return counters_; }
+
+  /// The per-query (L1) decoded-block cache. Engines attach it to cursors
+  /// per the L1 policy; callers normally never touch it directly.
+  DecodedBlockCache& l1_cache() { return l1_; }
+
+  ExecOptions::L1Policy l1_policy() const { return options_.l1_policy; }
+  SharedBlockCache* shared_cache() const { return options_.shared_cache; }
+
+  const Deadline& deadline() const { return options_.deadline; }
+  void set_deadline(Deadline d) { options_.deadline = d; }
+
+  /// True when engines should attach the L1 cache for a plan where
+  /// `repeated_scans` says some list is read twice (and fits). With an L2
+  /// attached the answer is yes even without repeats: single-scan queries
+  /// still want the cross-query reuse, and the L1 in front of it dedupes
+  /// shard-lock traffic within the query.
+  bool WantCache(bool repeated_scans) const {
+    if (options_.l1_policy == ExecOptions::L1Policy::kOff) return false;
+    return repeated_scans || options_.shared_cache != nullptr;
+  }
+
+  /// Resets per-query state for reuse: zeroes the counters, empties the
+  /// L1, and clears any deadline (a stale expired deadline would fail
+  /// every later query instantly). A worker serving one index does NOT
+  /// need this between queries — keeping the L1 warm is the point of
+  /// reusing a context — but callers switching indexes under one context
+  /// MUST reset (L1 keys are list pointers).
+  void Reset() {
+    counters_.Reset();
+    l1_.Clear();
+    options_.deadline = Deadline();
+  }
+
+ private:
+  ExecOptions options_;
+  EvalCounters counters_;
+  DecodedBlockCache l1_;
+};
+
+}  // namespace fts
+
+#endif  // FTS_EXEC_EXEC_CONTEXT_H_

@@ -1,0 +1,155 @@
+// SearchService: concurrent query serving over one shared, immutable
+// index.
+//
+// The paper's Section 5 engines are defined per query; the service is the
+// layer that turns them into a multi-user serving system. One fixed pool
+// of worker threads evaluates queries from a bounded submission queue
+// against a single QueryRouter (engines are immutable and thread-safe;
+// the index is immutable after load), with a cross-query SharedBlockCache
+// attached at service scope so hot blocks decode once per process. Each
+// worker owns one ExecContext for its lifetime — the per-query L1 cache
+// then doubles as a worker-local warm cache over the same index.
+//
+// Flow control: the submission queue is bounded (Options::queue_capacity).
+// Submit() blocks the producer when the queue is full (back-pressure);
+// TrySubmit() instead fails fast with Unavailable, for callers that would
+// rather shed load than wait. Results are delivered through
+// std::future<StatusOr<RoutedResult>>.
+//
+// Metrics: the service aggregates every query's EvalCounters into one
+// service-level total via EvalCounters::MergeFrom, plus queue and outcome
+// tallies, all behind one mutex; metrics() returns an atomic snapshot
+// (one consistent copy taken under the lock).
+//
+// Shutdown: Shutdown() (and the destructor) stops intake, drains every
+// already-accepted query, and joins the workers — accepted work is never
+// dropped. Submissions after shutdown fail with Unavailable.
+
+#ifndef FTS_EXEC_SEARCH_SERVICE_H_
+#define FTS_EXEC_SEARCH_SERVICE_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/status.h"
+#include "eval/router.h"
+#include "index/shared_block_cache.h"
+
+namespace fts {
+
+/// Point-in-time service health: outcome tallies, queue pressure, and the
+/// merged evaluation counters of every completed query.
+struct ServiceMetricsSnapshot {
+  uint64_t submitted = 0;       ///< accepted into the queue
+  uint64_t rejected = 0;        ///< refusals: TrySubmit on a full queue, or
+                                ///< any submission after shutdown
+  uint64_t completed = 0;       ///< evaluated successfully
+  uint64_t failed = 0;          ///< evaluated to an error status
+  uint64_t peak_queue_depth = 0;
+  EvalCounters totals;          ///< MergeFrom of every query's counters
+};
+
+class SearchService {
+ public:
+  struct Options {
+    /// Worker threads; 0 means hardware_concurrency (min 1).
+    size_t num_workers = 0;
+    /// Bounded submission queue depth; Submit blocks (TrySubmit refuses)
+    /// when full.
+    size_t queue_capacity = 1024;
+    ScoringKind scoring = ScoringKind::kNone;
+    CursorMode mode = CursorMode::kAdaptive;
+    /// Cross-query L2 cache budget in blocks; 0 disables the L2 (per-query
+    /// L1 caching only — the pre-service behavior per query).
+    size_t shared_cache_blocks = 4096;
+    /// Per-query deadline applied by workers at dequeue; zero = unbounded.
+    std::chrono::nanoseconds default_timeout{0};
+  };
+
+  /// `index` must be fully loaded before construction and must outlive the
+  /// service; it is never mutated through the service (immutable-after-load
+  /// is what makes the whole read path lock-free outside the L2 shards).
+  SearchService(const InvertedIndex* index, Options options);
+  explicit SearchService(const InvertedIndex* index)
+      : SearchService(index, Options()) {}
+
+  /// Drains accepted work and joins the pool.
+  ~SearchService();
+
+  SearchService(const SearchService&) = delete;
+  SearchService& operator=(const SearchService&) = delete;
+
+  /// Enqueues `query` for evaluation, blocking while the queue is full.
+  /// The future resolves to the routed result, or to Unavailable if the
+  /// service was shut down before (or while) the query could be accepted.
+  std::future<StatusOr<RoutedResult>> Submit(std::string query);
+
+  /// Non-blocking enqueue: nullopt when the queue is full or the service
+  /// is shut down (the refusal is tallied in metrics().rejected).
+  std::optional<std::future<StatusOr<RoutedResult>>> TrySubmit(std::string query);
+
+  /// Synchronous convenience: Submit + wait.
+  StatusOr<RoutedResult> Search(std::string_view query);
+
+  /// Batch API: enqueues every query, then waits for all; results are
+  /// positionally aligned with `queries`. Queries evaluate concurrently
+  /// across the pool, so a batch of B on W workers takes ~B/W serial
+  /// evaluations of wall time.
+  std::vector<StatusOr<RoutedResult>> SearchBatch(
+      const std::vector<std::string>& queries);
+
+  /// One consistent copy of the service counters, taken under the metrics
+  /// lock.
+  ServiceMetricsSnapshot metrics() const;
+
+  /// Stops intake, drains every accepted query, joins the workers.
+  /// Idempotent; also run by the destructor.
+  void Shutdown();
+
+  size_t num_workers() const { return workers_.size(); }
+  const QueryRouter& router() const { return router_; }
+  /// The service-scoped L2, or nullptr when disabled.
+  const SharedBlockCache* shared_cache() const { return router_.shared_cache(); }
+
+ private:
+  struct Task {
+    std::string query;
+    std::promise<StatusOr<RoutedResult>> promise;
+  };
+
+  static std::shared_ptr<SharedBlockCache> MakeSharedCache(const Options& options);
+
+  /// Shared enqueue protocol of Submit/TrySubmit; see the definition.
+  bool Enqueue(Task task, bool block);
+
+  void WorkerLoop();
+
+  Options options_;
+  QueryRouter router_;
+
+  std::mutex queue_mu_;
+  std::condition_variable queue_not_empty_;
+  std::condition_variable queue_not_full_;
+  std::deque<Task> queue_;
+  bool shutdown_ = false;
+
+  mutable std::mutex metrics_mu_;
+  ServiceMetricsSnapshot metrics_;
+
+  std::mutex shutdown_mu_;  // serializes Shutdown callers
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace fts
+
+#endif  // FTS_EXEC_SEARCH_SERVICE_H_

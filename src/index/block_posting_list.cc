@@ -6,6 +6,7 @@
 #include "common/fnv.h"
 #include "common/varint.h"
 #include "index/decoded_block_cache.h"
+#include "index/shared_block_cache.h"
 
 namespace fts {
 
@@ -304,15 +305,29 @@ BlockListCursor& BlockListCursor::operator=(BlockListCursor&& o) noexcept {
 
 bool BlockListCursor::LoadBlock(size_t block) {
   const bool was_verified = list_->BlockVerified(block);
-  // Lists with more blocks than the cache can hold would cycle the LRU on
-  // every sequential pass — all misses, plus allocation and bookkeeping on
-  // each — so they bypass the cache and use the reusable arena instead.
+  // Lists with more blocks than the per-query cache can hold would cycle
+  // its LRU on every sequential pass — all misses, plus allocation and
+  // bookkeeping on each — so they bypass L1. When a cross-query L2 is
+  // attached they still read through it (that is where cold mmap traffic
+  // amortizes decode + first-touch validation across queries) unless they
+  // would cycle the L2 too; only then does the cursor fall back to its
+  // private arena.
+  SharedBlockCache* shared = cache_ != nullptr ? cache_->shared() : nullptr;
   if (cache_ != nullptr && list_->num_blocks() <= cache_->capacity()) {
     Status s;
     cached_ = cache_->GetOrDecode(*list_, block, counters_, &s);
     if (cached_ == nullptr) {
       // Under first-touch validation a decode failure is lazily detected
       // corruption: record it and fail closed by exhausting.
+      if (!s.ok() && status_.ok()) status_ = std::move(s);
+      return false;
+    }
+    entries_ = &cached_->entries;
+  } else if (shared != nullptr &&
+             list_->num_blocks() <= shared->capacity_blocks()) {
+    Status s;
+    cached_ = shared->GetOrDecode(*list_, block, counters_, &s);
+    if (cached_ == nullptr) {
       if (!s.ok() && status_.ok()) status_ = std::move(s);
       return false;
     }

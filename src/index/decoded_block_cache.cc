@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "index/shared_block_cache.h"
+
 namespace fts {
 
 bool DecodedBlockCache::FitsWorkingSet(const InvertedIndex& index,
@@ -50,22 +52,33 @@ std::shared_ptr<const DecodedBlock> DecodedBlockCache::GetOrDecode(
     return it->second->block;
   }
 
-  auto decoded = std::make_shared<DecodedBlock>();
-  Status s = list.DecodeBlockEntries(block, &decoded->entries);
   ++misses_;
   if (counters != nullptr) ++counters->cache_misses;
-  if (!s.ok()) {
-    // Lazily detected corruption (first-touch validation on an mmap'd
-    // index): reported like a failed direct decode — the cursor exhausts
-    // and carries the status up to its engine.
-    if (status != nullptr && status->ok()) *status = std::move(s);
-    return nullptr;
-  }
-  if (decoded->entries.empty()) return nullptr;
-  if (counters != nullptr) {
-    ++counters->blocks_decoded;
-    ++counters->blocks_bulk_decoded;
-    counters->entries_decoded += decoded->entries.size();
+
+  std::shared_ptr<const DecodedBlock> decoded;
+  if (shared_ != nullptr) {
+    // Two-level lookup: an L1 miss consults the cross-query L2 before
+    // decoding, so blocks another query already paid for are adopted into
+    // this query's L1 without any decode work.
+    decoded = shared_->GetOrDecode(list, block, counters, status);
+    if (decoded == nullptr) return nullptr;
+  } else {
+    auto fresh = std::make_shared<DecodedBlock>();
+    Status s = list.DecodeBlockEntries(block, &fresh->entries);
+    if (!s.ok()) {
+      // Lazily detected corruption (first-touch validation on an mmap'd
+      // index): reported like a failed direct decode — the cursor exhausts
+      // and carries the status up to its engine.
+      if (status != nullptr && status->ok()) *status = std::move(s);
+      return nullptr;
+    }
+    if (fresh->entries.empty()) return nullptr;
+    if (counters != nullptr) {
+      ++counters->blocks_decoded;
+      ++counters->blocks_bulk_decoded;
+      counters->entries_decoded += fresh->entries.size();
+    }
+    decoded = std::move(fresh);
   }
 
   if (map_.size() >= capacity_) {

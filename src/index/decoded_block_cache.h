@@ -9,16 +9,21 @@
 // block stays valid for any cursor still reading it after eviction.
 //
 // The cache is deliberately small (default 128 blocks ≈ 16k entry headers)
-// and scoped to a single query: engines create one per Evaluate() call and
-// thread it to every cursor they construct, so lifetime and thread-safety
-// questions never arise (no locking — one query, one thread). Hits and
-// misses are charged to EvalCounters::{cache_hits,cache_misses}; only
-// misses pay decode work (blocks_decoded / blocks_bulk_decoded /
-// entries_decoded). Cursors bypass the cache entirely for lists with more
-// blocks than its capacity: a sequential pass over such a list would cycle
-// the LRU (every later re-read a miss) while paying allocation and
-// bookkeeping per block, so long lists decode into the cursor arena
-// instead.
+// and scoped to a single ExecContext — one query, or one service worker's
+// run of queries — which is always single-threaded, so it takes no locks.
+// It is the L1 level of a two-level hierarchy: when a cross-query
+// SharedBlockCache (L2, index/shared_block_cache.h) is attached via
+// set_shared(), an L1 miss falls through to L2 before decoding, so hot
+// blocks decode once per *process*, not once per query. Hits and misses
+// are charged to EvalCounters::{cache_hits,cache_misses} (L1) and
+// {shared_cache_hits,shared_cache_misses} (L2); only true misses pay
+// decode work (blocks_decoded / blocks_bulk_decoded / entries_decoded).
+// Cursors bypass L1 for lists with more blocks than its capacity — a
+// sequential pass over such a list would cycle the LRU (every later
+// re-read a miss) while paying allocation and bookkeeping per block — but
+// still consult L2 for them when one is attached (cross-query reuse is
+// exactly what long cold scans want); lists too big for L2 as well decode
+// into the cursor arena.
 
 #ifndef FTS_INDEX_DECODED_BLOCK_CACHE_H_
 #define FTS_INDEX_DECODED_BLOCK_CACHE_H_
@@ -37,6 +42,8 @@
 
 namespace fts {
 
+class SharedBlockCache;  // index/shared_block_cache.h
+
 /// One block's bulk-decoded entry headers (positions stay compressed; the
 /// EntryRefs locate each entry's position bytes for lazy decode).
 struct DecodedBlock {
@@ -48,11 +55,30 @@ class DecodedBlockCache {
  public:
   static constexpr size_t kDefaultCapacity = 128;
 
-  explicit DecodedBlockCache(size_t capacity = kDefaultCapacity)
-      : capacity_(capacity == 0 ? 1 : capacity) {}
+  explicit DecodedBlockCache(size_t capacity = kDefaultCapacity,
+                             SharedBlockCache* shared = nullptr)
+      : capacity_(capacity == 0 ? 1 : capacity), shared_(shared) {}
 
   DecodedBlockCache(const DecodedBlockCache&) = delete;
   DecodedBlockCache& operator=(const DecodedBlockCache&) = delete;
+
+  /// Attaches (or detaches, with nullptr) the cross-query L2 cache misses
+  /// fall through to. The L2 must outlive every lookup made through this
+  /// cache.
+  void set_shared(SharedBlockCache* shared) { shared_ = shared; }
+  SharedBlockCache* shared() const { return shared_; }
+
+  /// Drops every cached block and zeroes the hit/miss tallies, keeping the
+  /// allocated bucket arrays warm. Service workers call this between
+  /// queries when per-query L1 semantics are wanted; by default a worker's
+  /// ExecContext keeps its L1 across queries (same immutable index, still
+  /// one thread).
+  void Clear() {
+    lru_.clear();
+    map_.clear();
+    hits_ = 0;
+    misses_ = 0;
+  }
 
   /// True when the distinct lists named by `tokens` (plus IL_ANY when
   /// `any_scans` > 0) together fit in `capacity` blocks — the precondition
@@ -109,6 +135,7 @@ class DecodedBlockCache {
   };
 
   size_t capacity_;
+  SharedBlockCache* shared_;  // L2 fallthrough, nullable
   uint64_t hits_ = 0;
   uint64_t misses_ = 0;
   std::list<Slot> lru_;  // front = most recently used

@@ -496,7 +496,22 @@ Status LoadIndexFromFile(const std::string& path, InvertedIndex* out,
     // v1/v2 files validate eagerly over the mapping.
     FTS_ASSIGN_OR_RETURN(std::shared_ptr<IndexSource> source,
                          IndexSource::MapFile(path));
-    return IndexIoAccess::Load(std::move(source), /*prefer_lazy=*/true, out);
+    // The load parses (and for v1/v2 fully validates) front to back:
+    // sequential readahead helps. Hints are best-effort, failures ignored.
+    (void)source->Advise(AccessHint::kSequential);
+    FTS_RETURN_IF_ERROR(
+        IndexIoAccess::Load(source, /*prefer_lazy=*/true, out));
+    if (options.prefault) {
+      // Warm-up: pay the whole file's fault-in now, not on first queries.
+      // Best-effort like the other hints — the index is already loaded and
+      // valid, so a failed madvise must not turn a good load into an error.
+      (void)source->Prefault();
+    } else {
+      // Serving reads hop between blocks via the skip tables; linear
+      // readahead would drag in pages queries never touch.
+      (void)source->Advise(AccessHint::kRandom);
+    }
+    return Status::OK();
   }
   std::ifstream f(path, std::ios::binary);
   if (!f) return Status::IOError("cannot open for read: " + path);

@@ -50,10 +50,20 @@ struct LoadOptions {
     /// mapping. v3 files load in O(header) time with first-touch
     /// validation; v1/v2 files fall back to full eager validation over
     /// the mapping (their whole-body checksum must be read anyway), still
-    /// avoiding the heap copy of payload bytes.
+    /// avoiding the heap copy of payload bytes. The mapping is advised
+    /// MADV_SEQUENTIAL for the load-time parse and MADV_RANDOM for the
+    /// block-seek serving phase that follows.
     kMmap,
   };
   Mode mode = Mode::kEager;
+  /// Opt-in warm-up for kMmap: after a successful load, fault every page
+  /// of the mapping into the page cache (MADV_WILLNEED + a synchronous
+  /// touch of each page) so cold-start IO is paid once at load time
+  /// instead of by the first queries to land in each block. Trades load
+  /// latency (and resident page-cache footprint) for first-query latency —
+  /// see BM_ColdFirstQuery's prefault mode. Ignored for kEager, which
+  /// reads the whole file anyway.
+  bool prefault = false;
 };
 
 /// Serializes `index` into `out` (replacing its contents).

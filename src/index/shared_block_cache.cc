@@ -1,0 +1,100 @@
+#include "index/shared_block_cache.h"
+
+#include "index/block_posting_list.h"
+
+namespace fts {
+
+namespace {
+
+size_t RoundUpPow2(size_t n) {
+  size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+SharedBlockCache::SharedBlockCache(Options options) {
+  const size_t shards = RoundUpPow2(options.shards == 0 ? 1 : options.shards);
+  capacity_blocks_ =
+      options.capacity_blocks < shards ? shards : options.capacity_blocks;
+  per_shard_capacity_ = capacity_blocks_ / shards;
+  shard_mask_ = shards - 1;
+  shards_.reserve(shards);
+  for (size_t i = 0; i < shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+std::shared_ptr<const DecodedBlock> SharedBlockCache::GetOrDecode(
+    const BlockPostingList& list, size_t block, EvalCounters* counters,
+    Status* status) {
+  const Key key{&list, block};
+  Shard& shard = ShardFor(key);
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.map.find(key);
+    if (it != shard.map.end()) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      if (counters != nullptr) ++counters->shared_cache_hits;
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+      return it->second->block;
+    }
+  }
+
+  // Miss: decode outside the lock so a slow (cold, first-touch validated)
+  // decode never serializes the shard. Two threads racing here both decode;
+  // the insert below resolves the race in favor of whichever published
+  // first.
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  if (counters != nullptr) ++counters->shared_cache_misses;
+  auto decoded = std::make_shared<DecodedBlock>();
+  Status s = list.DecodeBlockEntries(block, &decoded->entries);
+  if (!s.ok()) {
+    if (status != nullptr && status->ok()) *status = std::move(s);
+    return nullptr;
+  }
+  if (decoded->entries.empty()) return nullptr;
+  if (counters != nullptr) {
+    ++counters->blocks_decoded;
+    ++counters->blocks_bulk_decoded;
+    counters->entries_decoded += decoded->entries.size();
+  }
+
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.map.find(key);
+  if (it != shard.map.end()) {
+    // Lost the decode race: adopt the published block (identical contents,
+    // the index is immutable) and drop ours.
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    return it->second->block;
+  }
+  if (shard.map.size() >= per_shard_capacity_ && !shard.lru.empty()) {
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+    shard.map.erase(shard.lru.back().key);
+    shard.lru.pop_back();
+  }
+  shard.lru.push_front(Slot{key, decoded});
+  shard.map.emplace(key, shard.lru.begin());
+  return decoded;
+}
+
+SharedBlockCache::Stats SharedBlockCache::stats() const {
+  Stats out;
+  out.hits = hits_.load(std::memory_order_relaxed);
+  out.misses = misses_.load(std::memory_order_relaxed);
+  out.evictions = evictions_.load(std::memory_order_relaxed);
+  out.resident_blocks = size();
+  return out;
+}
+
+size_t SharedBlockCache::size() const {
+  size_t n = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    n += shard->map.size();
+  }
+  return n;
+}
+
+}  // namespace fts

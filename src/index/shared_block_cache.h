@@ -1,0 +1,150 @@
+// Cross-query shared cache of bulk-decoded posting blocks (the L2 level
+// of the two-level block-cache hierarchy; the per-query DecodedBlockCache
+// is L1).
+//
+// Under concurrent serving, many queries evaluate over one shared,
+// immutable InvertedIndex. The hot blocks — stop-word-like token lists,
+// the IL_ANY prefix, the first blocks every zig-zag lands in — are
+// re-decoded by every query that touches them, and on an mmap-served index
+// each such decode may additionally pay first-touch checksum validation.
+// A SharedBlockCache amortizes that work across queries: the first query
+// to touch a block bulk-decodes (and, lazily loaded, validates) it once
+// and publishes the decoded form; every later query on any thread gets it
+// for a hash lookup.
+//
+// Concurrency model: the cache is sharded by key hash, one mutex per
+// shard, so concurrent queries contend only when they hash to the same
+// shard. Blocks are handed out as shared_ptr<const DecodedBlock>, so an
+// eviction never invalidates a reader — a cursor holding the pointer keeps
+// the block alive until it moves on. Decodes run *outside* the shard lock
+// (two threads racing on the same cold block may both decode it; the
+// duplicate work is benign, the loser adopts the winner's entry), so the
+// lock is only ever held for map/LRU bookkeeping.
+//
+// Lifetime contract: keys are (list pointer, block index), so the cache
+// must not outlive the index whose lists it caches, and must not be reused
+// across an index reload at the same address (attach one cache per loaded
+// index generation — the SearchService/QueryRouter scope does exactly
+// that). Entries hold EntryRef views into the list's payload bytes, which
+// the owning InvertedIndex keeps alive.
+
+#ifndef FTS_INDEX_SHARED_BLOCK_CACHE_H_
+#define FTS_INDEX_SHARED_BLOCK_CACHE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/status.h"
+#include "index/decoded_block_cache.h"
+
+namespace fts {
+
+/// Sharded, thread-safe LRU cache of DecodedBlocks shared by every query
+/// (and every thread) evaluating over one index.
+class SharedBlockCache {
+ public:
+  struct Options {
+    /// Total block budget across all shards (≈ capacity * block_size entry
+    /// headers resident; the 4096-block default is ~6 MB of EntryRefs on
+    /// the bench corpus).
+    size_t capacity_blocks = 4096;
+    /// Shard count, rounded up to a power of two. More shards, less
+    /// contention; per-shard LRU precision degrades gracefully.
+    size_t shards = 16;
+  };
+
+  /// Aggregate statistics, readable concurrently with serving traffic.
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+    size_t resident_blocks = 0;
+  };
+
+  SharedBlockCache() : SharedBlockCache(Options()) {}
+  explicit SharedBlockCache(Options options);
+
+  SharedBlockCache(const SharedBlockCache&) = delete;
+  SharedBlockCache& operator=(const SharedBlockCache&) = delete;
+
+  /// Returns `block` of `list` decoded, from the owning shard if cached
+  /// (charging EvalCounters::shared_cache_hits) or by bulk-decoding outside
+  /// the shard lock and publishing it (shared_cache_misses plus the decode
+  /// counters). Returns nullptr for an empty or malformed block — a
+  /// malformed block (lazily detected corruption) additionally reports its
+  /// decode error through `status` when given, exactly like
+  /// DecodedBlockCache::GetOrDecode. Safe to call from any thread.
+  std::shared_ptr<const DecodedBlock> GetOrDecode(const BlockPostingList& list,
+                                                  size_t block,
+                                                  EvalCounters* counters,
+                                                  Status* status = nullptr);
+
+  /// Point-in-time aggregate across shards. Counters are relaxed atomics:
+  /// the snapshot is consistent enough for monitoring, not a linearizable
+  /// cut.
+  Stats stats() const;
+
+  /// Total blocks currently resident across all shards.
+  size_t size() const;
+
+  size_t capacity_blocks() const { return capacity_blocks_; }
+  size_t num_shards() const { return shards_.size(); }
+
+ private:
+  using Key = std::pair<const BlockPostingList*, size_t>;
+
+  /// Splitmix-style 64-bit mix of the list pointer and block index (same
+  /// shape as DecodedBlockCache's hash). Kept 64-bit so shard selection
+  /// can use the top bits even where size_t is 32 bits.
+  static uint64_t MixKey(const Key& k) {
+    uint64_t h = reinterpret_cast<uintptr_t>(k.first) ^
+                 (static_cast<uint64_t>(k.second) * 0x9E3779B97F4A7C15ull);
+    h ^= h >> 33;
+    h *= 0xFF51AFD7ED558CCDull;
+    h ^= h >> 33;
+    return h;
+  }
+
+  struct KeyHash {
+    size_t operator()(const Key& k) const {
+      return static_cast<size_t>(MixKey(k));
+    }
+  };
+
+  struct Slot {
+    Key key;
+    std::shared_ptr<const DecodedBlock> block;
+  };
+
+  struct Shard {
+    std::mutex mu;
+    std::list<Slot> lru;  // front = most recently used
+    std::unordered_map<Key, std::list<Slot>::iterator, KeyHash> map;
+  };
+
+  Shard& ShardFor(const Key& key) {
+    // The map hash consumes the low bits; shard selection uses the high
+    // ones (of the full 64-bit mix) so the two partitions stay
+    // independent.
+    return *shards_[(MixKey(key) >> 48) & shard_mask_];
+  }
+
+  size_t capacity_blocks_;
+  size_t per_shard_capacity_;
+  size_t shard_mask_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  mutable std::atomic<uint64_t> hits_{0};
+  mutable std::atomic<uint64_t> misses_{0};
+  mutable std::atomic<uint64_t> evictions_{0};
+};
+
+}  // namespace fts
+
+#endif  // FTS_INDEX_SHARED_BLOCK_CACHE_H_

@@ -26,110 +26,27 @@
 #include "index/index_builder.h"
 #include "index/index_io.h"
 #include "lang/translate.h"
+#include "testing/random_workload.h"
 #include "testing/raw_posting_oracle.h"
 #include "text/corpus.h"
 
 namespace fts {
 namespace {
 
-const char* kVocab[] = {"a", "b", "c", "d", "e", "f"};
-constexpr size_t kVocabSize = 6;
-
-std::string Tok(Rng* rng) { return std::string(kVocab[rng->Uniform(kVocabSize)]); }
-
-// Random corpus with sentence/paragraph structure so structural predicates
-// and multi-block lists are exercised (small vocabulary keeps lists dense).
+// Corpus and query generators are shared with the concurrency stress
+// tests (testing/random_workload.h) so the single-threaded and N-thread
+// harnesses evaluate identical workloads.
 Corpus RandomCorpus(Rng* rng, int docs, int max_sentences) {
-  Corpus corpus;
-  for (int d = 0; d < docs; ++d) {
-    std::string text;
-    const int sentences = static_cast<int>(rng->Uniform(max_sentences + 1));
-    for (int s = 0; s < sentences; ++s) {
-      const int words = 1 + static_cast<int>(rng->Uniform(6));
-      for (int w = 0; w < words; ++w) text += Tok(rng) + " ";
-      text += rng->Bernoulli(0.25) ? ".\n\n" : ". ";
-    }
-    corpus.AddDocument(text);
-  }
-  return corpus;
+  return RandomWorkloadCorpus(rng, docs, max_sentences);
 }
 
-// Random BOOL query (tokens, ANY, NOT/AND/OR).
-LangExprPtr RandomBool(Rng* rng, int depth) {
-  if (depth <= 0 || rng->Bernoulli(0.4)) {
-    if (rng->Bernoulli(0.15)) return LangExpr::Any();
-    return LangExpr::Token(Tok(rng));
-  }
-  switch (rng->Uniform(3)) {
-    case 0:
-      return LangExpr::Not(RandomBool(rng, depth - 1));
-    case 1:
-      return LangExpr::And(RandomBool(rng, depth - 1), RandomBool(rng, depth - 1));
-    default:
-      return LangExpr::Or(RandomBool(rng, depth - 1), RandomBool(rng, depth - 1));
-  }
-}
+LangExprPtr RandomBool(Rng* rng, int depth) { return RandomBoolQuery(rng, depth); }
 
-// Random pipelined query: SOME-quantified token bindings plus predicates,
-// optionally negative ones (NPRED), an AND NOT conjunct, or an OR atom.
 LangExprPtr RandomPipelined(Rng* rng, bool allow_negative) {
-  const int ntok = 2 + static_cast<int>(rng->Uniform(2));
-  std::vector<std::string> vars;
-  LangExprPtr body;
-  for (int i = 0; i < ntok; ++i) {
-    vars.push_back("v" + std::to_string(i));
-    LangExprPtr atom = LangExpr::VarHasToken(vars[i], Tok(rng));
-    body = body ? LangExpr::And(std::move(body), std::move(atom)) : atom;
-  }
-  const int npred = 1 + static_cast<int>(rng->Uniform(2));
-  for (int p = 0; p < npred; ++p) {
-    const std::string& v1 = vars[rng->Uniform(vars.size())];
-    const std::string& v2 = vars[rng->Uniform(vars.size())];
-    LangExprPtr pred;
-    if (allow_negative && rng->Bernoulli(0.5)) {
-      switch (rng->Uniform(3)) {
-        case 0:
-          pred = LangExpr::Pred("not_distance", {v1, v2},
-                                {static_cast<int64_t>(rng->Uniform(4))});
-          break;
-        case 1:
-          pred = LangExpr::Pred("not_ordered", {v1, v2}, {});
-          break;
-        default:
-          pred = LangExpr::Pred("not_samesentence", {v1, v2}, {});
-          break;
-      }
-    } else {
-      switch (rng->Uniform(4)) {
-        case 0:
-          pred = LangExpr::Pred("distance", {v1, v2},
-                                {static_cast<int64_t>(1 + rng->Uniform(4))});
-          break;
-        case 1:
-          pred = LangExpr::Pred("ordered", {v1, v2}, {});
-          break;
-        case 2:
-          pred = LangExpr::Pred("samesentence", {v1, v2}, {});
-          break;
-        default:
-          pred = LangExpr::Pred("odistance", {v1, v2},
-                                {static_cast<int64_t>(1 + rng->Uniform(4))});
-          break;
-      }
-    }
-    body = LangExpr::And(std::move(body), std::move(pred));
-  }
-  if (rng->Bernoulli(0.3)) {
-    body = LangExpr::And(std::move(body), LangExpr::Not(LangExpr::Token(Tok(rng))));
-  }
-  for (auto it = vars.rbegin(); it != vars.rend(); ++it) {
-    body = LangExpr::Some(*it, std::move(body));
-  }
-  if (rng->Bernoulli(0.25)) {
-    body = LangExpr::Or(std::move(body), LangExpr::Token(Tok(rng)));
-  }
-  return body;
+  return RandomPipelinedQuery(rng, allow_negative);
 }
+
+std::string Tok(Rng* rng) { return RandomWorkloadToken(rng); }
 
 std::vector<NodeId> NaiveNodes(const Corpus& corpus, const LangExprPtr& query) {
   auto calc = TranslateToCalculus(query);

@@ -1,0 +1,167 @@
+// SharedBlockCache (cross-query L2) unit and concurrency tests: hit/miss
+// accounting, eviction keepalive via shared_ptr handout, the two-level
+// L1→L2 fallthrough, the cursor's L2 path for L1-bypassed lists, and a
+// multi-threaded hammer over a deliberately tiny cache (eviction churn
+// while readers hold blocks).
+
+#include "index/shared_block_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "index/block_posting_list.h"
+#include "index/decoded_block_cache.h"
+
+namespace fts {
+namespace {
+
+/// A list of `entries` entries in blocks of `block_size`, one position per
+/// entry, node ids 0,2,4,...
+BlockPostingList MakeList(uint32_t block_size, uint32_t entries) {
+  BlockPostingList list(block_size);
+  for (uint32_t i = 0; i < entries; ++i) {
+    PositionInfo p{i + 1, i / 7, i / 19};
+    list.Append(static_cast<NodeId>(2 * i), {&p, 1});
+  }
+  list.Finish();
+  return list;
+}
+
+TEST(SharedBlockCacheTest, MissDecodesThenHits) {
+  BlockPostingList list = MakeList(8, 64);  // 8 blocks
+  SharedBlockCache cache;
+  EvalCounters counters;
+
+  auto b0 = cache.GetOrDecode(list, 0, &counters);
+  ASSERT_NE(b0, nullptr);
+  EXPECT_EQ(b0->entries.size(), 8u);
+  EXPECT_EQ(b0->entries[0].header.node, 0u);
+  EXPECT_EQ(counters.shared_cache_misses, 1u);
+  EXPECT_EQ(counters.shared_cache_hits, 0u);
+  EXPECT_EQ(counters.blocks_decoded, 1u);
+
+  auto again = cache.GetOrDecode(list, 0, &counters);
+  EXPECT_EQ(again.get(), b0.get());
+  EXPECT_EQ(counters.shared_cache_hits, 1u);
+  EXPECT_EQ(counters.blocks_decoded, 1u);  // hit decodes nothing
+
+  const SharedBlockCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.resident_blocks, 1u);
+}
+
+TEST(SharedBlockCacheTest, EvictionNeverInvalidatesReaders) {
+  BlockPostingList list = MakeList(4, 512);  // 128 blocks
+  SharedBlockCache::Options options;
+  options.capacity_blocks = 8;
+  options.shards = 1;  // single shard: strict LRU, deterministic eviction
+  SharedBlockCache cache(options);
+
+  auto held = cache.GetOrDecode(list, 0, nullptr);
+  ASSERT_NE(held, nullptr);
+  // Push far more blocks than capacity through the cache.
+  for (size_t b = 1; b < list.num_blocks(); ++b) {
+    ASSERT_NE(cache.GetOrDecode(list, b, nullptr), nullptr);
+  }
+  EXPECT_LE(cache.size(), 8u);
+  EXPECT_GT(cache.stats().evictions, 0u);
+  // The held block was evicted long ago; the shared_ptr keeps it valid.
+  EXPECT_EQ(held->entries.size(), 4u);
+  EXPECT_EQ(held->entries[3].header.node, 6u);
+}
+
+TEST(SharedBlockCacheTest, L1MissFallsThroughToL2) {
+  BlockPostingList list = MakeList(8, 64);
+  SharedBlockCache l2;
+  EvalCounters first;
+  DecodedBlockCache l1_a(DecodedBlockCache::kDefaultCapacity, &l2);
+  auto b = l1_a.GetOrDecode(list, 2, &first);
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(first.cache_misses, 1u);         // L1 cold
+  EXPECT_EQ(first.shared_cache_misses, 1u);  // L2 cold: decoded once
+  EXPECT_EQ(first.blocks_decoded, 1u);
+
+  // A different query (fresh L1) adopts the block from L2 without decoding.
+  EvalCounters second;
+  DecodedBlockCache l1_b(DecodedBlockCache::kDefaultCapacity, &l2);
+  auto adopted = l1_b.GetOrDecode(list, 2, &second);
+  ASSERT_NE(adopted, nullptr);
+  EXPECT_EQ(adopted.get(), b.get());
+  EXPECT_EQ(second.cache_misses, 1u);       // its L1 was cold
+  EXPECT_EQ(second.shared_cache_hits, 1u);  // but L2 served it
+  EXPECT_EQ(second.blocks_decoded, 0u);
+
+  // Within one query, the L1 short-circuits: no further L2 traffic.
+  EvalCounters third;
+  auto l1_hit = l1_b.GetOrDecode(list, 2, &third);
+  EXPECT_EQ(l1_hit.get(), b.get());
+  EXPECT_EQ(third.cache_hits, 1u);
+  EXPECT_EQ(third.shared_cache_hits, 0u);
+}
+
+TEST(SharedBlockCacheTest, CursorUsesL2ForListsTooBigForL1) {
+  // 64 blocks > L1 capacity 16, so the cursor bypasses L1 — but must still
+  // read through the attached L2.
+  BlockPostingList list = MakeList(4, 256);
+  ASSERT_EQ(list.num_blocks(), 64u);
+  SharedBlockCache l2;
+  DecodedBlockCache l1(/*capacity=*/16, &l2);
+
+  EvalCounters cold;
+  BlockListCursor cursor(&list, &cold, &l1);
+  while (cursor.NextEntry() != kInvalidNode) {
+  }
+  EXPECT_EQ(cold.cache_misses, 0u);  // L1 never consulted
+  EXPECT_EQ(cold.shared_cache_misses, 64u);
+  EXPECT_EQ(cold.blocks_decoded, 64u);
+
+  EvalCounters warm;
+  BlockListCursor rescan(&list, &warm, &l1);
+  while (rescan.NextEntry() != kInvalidNode) {
+  }
+  EXPECT_EQ(warm.shared_cache_hits, 64u);
+  EXPECT_EQ(warm.blocks_decoded, 0u);
+}
+
+TEST(SharedBlockCacheTest, ConcurrentHammerUnderEvictionChurn) {
+  // 8 threads, several lists, a cache an order of magnitude smaller than
+  // the working set: every lookup races decodes, inserts, and evictions.
+  // Under TSan this is the L2's data-race proof; everywhere it pins that
+  // whatever a thread gets back is the correct decoded block.
+  std::vector<BlockPostingList> lists;
+  for (int l = 0; l < 4; ++l) lists.push_back(MakeList(4, 240));
+  SharedBlockCache::Options options;
+  options.capacity_blocks = 16;
+  options.shards = 2;
+  SharedBlockCache cache(options);
+
+  std::vector<std::thread> threads;
+  std::atomic<int> wrong{0};
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&, t] {
+      Rng rng(t * 31 + 7);
+      for (int i = 0; i < 500; ++i) {
+        const BlockPostingList& list = lists[rng.Uniform(lists.size())];
+        const size_t block = rng.Uniform(list.num_blocks());
+        auto decoded = cache.GetOrDecode(list, block, nullptr);
+        if (decoded == nullptr || decoded->entries.size() != 4 ||
+            decoded->entries[0].header.node !=
+                static_cast<NodeId>(2 * (4 * block))) {
+          ++wrong;
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(wrong.load(), 0);
+  const SharedBlockCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.hits + stats.misses, 8u * 500u);
+  EXPECT_LE(cache.size(), 16u);
+}
+
+}  // namespace
+}  // namespace fts
