@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "bench_common.h"
+#include "eval/router.h"
 #include "exec/search_service.h"
 #include "index/index_io.h"
 

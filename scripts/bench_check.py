@@ -42,7 +42,8 @@ import tempfile
 # median machine ratio. The scaling *shape* (qps at threads:8 vs threads:1)
 # is a counter, not a time, so it never trips the regression check on
 # differently-cored runners.
-DEFAULT_BENCHES = ["micro_index", "micro_postings", "micro_service"]
+DEFAULT_BENCHES = ["micro_index", "micro_postings", "micro_service",
+                   "micro_ingest"]
 
 # Multipliers to nanoseconds per google-benchmark time_unit.
 TIME_UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}

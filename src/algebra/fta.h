@@ -109,13 +109,16 @@ bool PlanFitsDecodedBlockCache(const FtaExprPtr& plan, const InvertedIndex& inde
 /// (nullable) is checked once per operator application: materialized
 /// evaluation is the one strategy whose intermediates can explode (the
 /// per-node cartesian products), so an expired query stops at the next
-/// operator instead of materializing another relation.
+/// operator instead of materializing another relation. `tombstones`
+/// (nullable) filters deleted nodes out of every leaf scan — including the
+/// SearchContext universe — when `index` is one segment of a snapshot.
 StatusOr<FtRelation> EvaluateFta(const FtaExprPtr& expr, const InvertedIndex& index,
                                  const AlgebraScoreModel* model,
                                  EvalCounters* counters,
                                  const RawPostingOracle* raw_oracle = nullptr,
                                  DecodedBlockCache* cache = nullptr,
-                                 const Deadline* deadline = nullptr);
+                                 const Deadline* deadline = nullptr,
+                                 const TombstoneSet* tombstones = nullptr);
 
 }  // namespace fts
 

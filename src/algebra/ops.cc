@@ -4,6 +4,7 @@
 
 #include "index/block_posting_list.h"
 #include "index/decoded_block_cache.h"
+#include "index/tombstone_set.h"
 #include "testing/raw_posting_oracle.h"
 
 namespace fts {
@@ -97,36 +98,43 @@ StatusOr<FtRelation> OpScanToken(const InvertedIndex& index, std::string_view to
                                  const AlgebraScoreModel* model,
                                  EvalCounters* counters,
                                  const RawPostingOracle* raw_oracle,
-                                 DecodedBlockCache* cache) {
+                                 DecodedBlockCache* cache,
+                                 const TombstoneSet* tombstones) {
   const TokenId tok = index.LookupToken(token);
   if (tok == kInvalidToken) return FtRelation(1);  // OOV token: empty relation
   if (raw_oracle != nullptr) {
-    return ScanTokenOccurrences(ListCursor(raw_oracle->list(tok), counters),
-                                index, tok, model, counters);
+    return ScanTokenOccurrences(
+        ListCursor(raw_oracle->list(tok), counters, tombstones), index, tok,
+        model, counters);
   }
   return ScanTokenOccurrences(
-      BlockListCursor(index.block_list(tok), counters, cache), index, tok,
-      model, counters);
+      BlockListCursor(index.block_list(tok), counters, cache, tombstones),
+      index, tok, model, counters);
 }
 
 StatusOr<FtRelation> OpScanHasPos(const InvertedIndex& index,
                                   const AlgebraScoreModel* model,
                                   EvalCounters* counters,
                                   const RawPostingOracle* raw_oracle,
-                                  DecodedBlockCache* cache) {
+                                  DecodedBlockCache* cache,
+                                  const TombstoneSet* tombstones) {
   if (raw_oracle != nullptr) {
-    return ScanAnyOccurrences(ListCursor(&raw_oracle->any_list, counters), model,
-                              counters);
+    return ScanAnyOccurrences(
+        ListCursor(&raw_oracle->any_list, counters, tombstones), model,
+        counters);
   }
   return ScanAnyOccurrences(
-      BlockListCursor(&index.block_any_list(), counters, cache), model, counters);
+      BlockListCursor(&index.block_any_list(), counters, cache, tombstones),
+      model, counters);
 }
 
 FtRelation OpScanSearchContext(const InvertedIndex& index,
-                               const AlgebraScoreModel* model, EvalCounters* counters) {
+                               const AlgebraScoreModel* model, EvalCounters* counters,
+                               const TombstoneSet* tombstones) {
   FtRelation out(0);
   const double s = model ? model->AnyLeafScore() : 0.0;
   for (NodeId n = 0; n < index.num_nodes(); ++n) {
+    if (tombstones != nullptr && tombstones->Contains(n)) continue;
     FtTuple t;
     t.node = n;
     t.score = s;

@@ -35,14 +35,17 @@ struct AlgebraPredicateCall {
 /// scanned from the block-resident list. When `raw_oracle` is set
 /// (differential tests only) the scan reads the raw oracle list instead;
 /// the produced relation is identical either way. `cache` (nullable) serves
-/// repeated block decodes within one query evaluation. Returns Corruption
-/// when a lazily validated block fails its first-touch decode (mmap-loaded
-/// index) rather than a truncated relation.
+/// repeated block decodes within one query evaluation. `tombstones`
+/// (nullable) filters deleted nodes out of the scan when `index` is one
+/// segment of a snapshot. Returns Corruption when a lazily validated block
+/// fails its first-touch decode (mmap-loaded index) rather than a
+/// truncated relation.
 StatusOr<FtRelation> OpScanToken(const InvertedIndex& index, std::string_view token,
                                  const AlgebraScoreModel* model,
                                  EvalCounters* counters,
                                  const RawPostingOracle* raw_oracle = nullptr,
-                                 DecodedBlockCache* cache = nullptr);
+                                 DecodedBlockCache* cache = nullptr,
+                                 const TombstoneSet* tombstones = nullptr);
 
 /// HasPos: one tuple per position of every node (materializes IL_ANY).
 /// Fails like OpScanToken on lazily detected corruption.
@@ -50,11 +53,15 @@ StatusOr<FtRelation> OpScanHasPos(const InvertedIndex& index,
                                   const AlgebraScoreModel* model,
                                   EvalCounters* counters,
                                   const RawPostingOracle* raw_oracle = nullptr,
-                                  DecodedBlockCache* cache = nullptr);
+                                  DecodedBlockCache* cache = nullptr,
+                                  const TombstoneSet* tombstones = nullptr);
 
-/// SearchContext: one zero-column tuple per context node.
+/// SearchContext: one zero-column tuple per live context node — tombstoned
+/// nodes are outside the universe (deleted documents neither match nor
+/// complement).
 FtRelation OpScanSearchContext(const InvertedIndex& index,
-                               const AlgebraScoreModel* model, EvalCounters* counters);
+                               const AlgebraScoreModel* model, EvalCounters* counters,
+                               const TombstoneSet* tombstones = nullptr);
 
 /// π over the given columns, in the given order (CNode always kept).
 StatusOr<FtRelation> OpProject(const FtRelation& in, std::span<const int> cols,

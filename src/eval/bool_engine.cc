@@ -25,14 +25,15 @@ class BoolEvaluator {
   BoolEvaluator(const InvertedIndex* index, const AlgebraScoreModel* model,
                 EvalCounters* counters, CursorMode mode,
                 const RawPostingOracle* raw_oracle, DecodedBlockCache* cache,
-                const Deadline* deadline)
+                const Deadline* deadline, const TombstoneSet* tombstones)
       : index_(index),
         model_(model),
         counters_(counters),
         mode_(mode),
         raw_oracle_(raw_oracle),
         cache_(cache),
-        deadline_(deadline) {}
+        deadline_(deadline),
+        tombstones_(tombstones) {}
 
   StatusOr<NodeSet> Eval(const LangExprPtr& e) {
     // Per-operator deadline check: a free (unset) deadline costs one
@@ -146,10 +147,11 @@ class BoolEvaluator {
   StatusOr<NodeSet> EvalToken(const std::string& token) {
     const TokenId id = index_->LookupToken(token);
     if (raw_oracle_ != nullptr) {
-      return ScanToken(ListCursor(raw_oracle_->list(id), counters_), id);
+      return ScanToken(ListCursor(raw_oracle_->list(id), counters_, tombstones_), id);
     }
-    return ScanToken(BlockListCursor(index_->block_list(id), counters_, cache_),
-                     id);
+    return ScanToken(
+        BlockListCursor(index_->block_list(id), counters_, cache_, tombstones_),
+        id);
   }
 
   StatusOr<NodeSet> EvalAny() {
@@ -163,10 +165,11 @@ class BoolEvaluator {
       return cursor.status();
     };
     if (raw_oracle_ != nullptr) {
-      FTS_RETURN_IF_ERROR(collect(ListCursor(&raw_oracle_->any_list, counters_)));
+      FTS_RETURN_IF_ERROR(collect(ListCursor(&raw_oracle_->any_list, counters_, tombstones_)));
     } else {
       FTS_RETURN_IF_ERROR(
-          collect(BlockListCursor(&index_->block_any_list(), counters_, cache_)));
+          collect(BlockListCursor(&index_->block_any_list(), counters_, cache_,
+                                  tombstones_)));
     }
     return out;
   }
@@ -176,12 +179,14 @@ class BoolEvaluator {
     const TokenId lid = index_->LookupToken(ltok);
     const TokenId rid = index_->LookupToken(rtok);
     if (raw_oracle_ != nullptr) {
-      return ZigZag(ListCursor(raw_oracle_->list(lid), counters_),
-                    ListCursor(raw_oracle_->list(rid), counters_), lid, rid);
+      return ZigZag(ListCursor(raw_oracle_->list(lid), counters_, tombstones_),
+                    ListCursor(raw_oracle_->list(rid), counters_, tombstones_),
+                    lid, rid);
     }
-    return ZigZag(BlockListCursor(index_->block_list(lid), counters_, cache_),
-                  BlockListCursor(index_->block_list(rid), counters_, cache_),
-                  lid, rid);
+    return ZigZag(
+        BlockListCursor(index_->block_list(lid), counters_, cache_, tombstones_),
+        BlockListCursor(index_->block_list(rid), counters_, cache_, tombstones_),
+        lid, rid);
   }
 
   template <typename CursorT>
@@ -217,12 +222,14 @@ class BoolEvaluator {
                                       bool set_on_left) {
     const TokenId id = index_->LookupToken(tok);
     if (raw_oracle_ != nullptr) {
-      return IntersectSetCursor(set, ListCursor(raw_oracle_->list(id), counters_),
-                                id, set_on_left);
+      return IntersectSetCursor(
+          set, ListCursor(raw_oracle_->list(id), counters_, tombstones_), id,
+          set_on_left);
     }
     return IntersectSetCursor(
-        set, BlockListCursor(index_->block_list(id), counters_, cache_), id,
-        set_on_left);
+        set,
+        BlockListCursor(index_->block_list(id), counters_, cache_, tombstones_),
+        id, set_on_left);
   }
 
   template <typename CursorT>
@@ -249,11 +256,13 @@ class BoolEvaluator {
 
   NodeSet Complement(const NodeSet& in) {
     // The complement ranges over every context node, which costs a full
-    // IL_ANY scan in the paper's model (Section 5.3).
+    // IL_ANY scan in the paper's model (Section 5.3). Tombstoned nodes are
+    // outside the universe: deleted documents neither match nor complement.
     if (counters_) counters_->entries_scanned += index_->num_nodes();
     NodeSet out;
     size_t j = 0;
     for (NodeId n = 0; n < index_->num_nodes(); ++n) {
+      if (tombstones_ != nullptr && tombstones_->Contains(n)) continue;
       while (j < in.nodes.size() && in.nodes[j] < n) ++j;
       if (j < in.nodes.size() && in.nodes[j] == n) continue;
       out.nodes.push_back(n);
@@ -323,6 +332,7 @@ class BoolEvaluator {
   const RawPostingOracle* raw_oracle_;
   DecodedBlockCache* cache_;
   const Deadline* deadline_;
+  const TombstoneSet* tombstones_;  // nullable; cursors filter deleted nodes
 };
 
 /// Collects the query's leaf list reads (token spellings plus ANY scans)
@@ -358,13 +368,18 @@ StatusOr<QueryResult> BoolEngine::Evaluate(const LangExprPtr& query,
   FTS_RETURN_IF_ERROR(ctx.deadline().Check());
   LangExprPtr normalized = NormalizeSurface(query);
 
+  const SegmentScoringStats* stats =
+      segment_ != nullptr ? segment_->scoring : nullptr;
+  const TombstoneSet* tombstones =
+      segment_ != nullptr ? segment_->tombstones : nullptr;
   std::unique_ptr<AlgebraScoreModel> model;
   if (scoring_ == ScoringKind::kTfIdf) {
     std::vector<std::string> tokens;
     CollectSurfaceTokens(normalized, &tokens);
-    model = std::make_unique<TfIdfScoreModel>(index_, std::move(tokens));
+    model = std::make_unique<TfIdfScoreModel>(index_, std::move(tokens),
+                                              nullptr, stats);
   } else if (scoring_ == ScoringKind::kProbabilistic) {
-    model = std::make_unique<ProbabilisticScoreModel>(index_);
+    model = std::make_unique<ProbabilisticScoreModel>(index_, stats);
   }
 
   QueryResult result;
@@ -376,7 +391,7 @@ StatusOr<QueryResult> BoolEngine::Evaluate(const LangExprPtr& query,
       ctx.WantCache(ShouldUseBoolCache(normalized, *index_)) ? &ctx.l1_cache()
                                                              : nullptr;
   BoolEvaluator eval(index_, model.get(), &result.counters, mode_, raw_oracle_,
-                     cache, &ctx.deadline());
+                     cache, &ctx.deadline(), tombstones);
   FTS_ASSIGN_OR_RETURN(NodeSet set, eval.Eval(normalized));
   result.nodes = std::move(set.nodes);
   if (scoring_ != ScoringKind::kNone) result.scores = std::move(set.scores);

@@ -20,10 +20,13 @@ namespace fts {
 /// sequential mode reproduces the paper's full-scan merges exactly.
 class BoolEngine : public Engine {
  public:
-  /// `index` must outlive the engine.
+  /// `index` must outlive the engine; `segment` (nullable) carries the
+  /// tombstones and global scoring stats when `index` is one segment of a
+  /// snapshot (see SegmentRuntime).
   BoolEngine(const InvertedIndex* index, ScoringKind scoring,
-             CursorMode mode = CursorMode::kSequential)
-      : index_(index), scoring_(scoring), mode_(mode) {}
+             CursorMode mode = CursorMode::kSequential,
+             const SegmentRuntime* segment = nullptr)
+      : index_(index), scoring_(scoring), mode_(mode), segment_(segment) {}
 
   std::string_view name() const override { return "BOOL"; }
 
@@ -44,6 +47,7 @@ class BoolEngine : public Engine {
   const InvertedIndex* index_;
   ScoringKind scoring_;
   CursorMode mode_;
+  const SegmentRuntime* segment_;
   const RawPostingOracle* raw_oracle_ = nullptr;
 };
 

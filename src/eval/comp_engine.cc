@@ -19,13 +19,16 @@ StatusOr<QueryResult> CompEngine::Evaluate(const LangExprPtr& query,
   FTS_ASSIGN_OR_RETURN(CalcQuery calc, TranslateToCalculus(query));
   FTS_ASSIGN_OR_RETURN(FtaExprPtr plan, CompileQuery(calc));
 
+  const SegmentScoringStats* stats =
+      segment_ != nullptr ? segment_->scoring : nullptr;
   std::unique_ptr<AlgebraScoreModel> model;
   if (scoring_ == ScoringKind::kTfIdf) {
     auto token_set = CollectTokens(calc.expr);
     std::vector<std::string> tokens(token_set.begin(), token_set.end());
-    model = std::make_unique<TfIdfScoreModel>(index_, std::move(tokens));
+    model = std::make_unique<TfIdfScoreModel>(index_, std::move(tokens), nullptr,
+                                              stats);
   } else if (scoring_ == ScoringKind::kProbabilistic) {
-    model = std::make_unique<ProbabilisticScoreModel>(index_);
+    model = std::make_unique<ProbabilisticScoreModel>(index_, stats);
   }
 
   QueryResult result;
@@ -35,9 +38,11 @@ StatusOr<QueryResult> CompEngine::Evaluate(const LangExprPtr& query,
   DecodedBlockCache* cache_ptr =
       ctx.WantCache(ShouldUseDecodedBlockCache(plan, *index_)) ? &ctx.l1_cache()
                                                                : nullptr;
-  FTS_ASSIGN_OR_RETURN(FtRelation rel,
-                       EvaluateFta(plan, *index_, model.get(), &result.counters,
-                                    raw_oracle_, cache_ptr, &ctx.deadline()));
+  FTS_ASSIGN_OR_RETURN(
+      FtRelation rel,
+      EvaluateFta(plan, *index_, model.get(), &result.counters, raw_oracle_,
+                  cache_ptr, &ctx.deadline(),
+                  segment_ != nullptr ? segment_->tombstones : nullptr));
   result.nodes.reserve(rel.size());
   for (size_t i = 0; i < rel.size(); ++i) {
     result.nodes.push_back(rel.tuple(i).node);

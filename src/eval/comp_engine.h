@@ -14,8 +14,12 @@ namespace fts {
 /// engine is differentially tested against.
 class CompEngine : public Engine {
  public:
-  CompEngine(const InvertedIndex* index, ScoringKind scoring)
-      : index_(index), scoring_(scoring) {}
+  /// `index` must outlive the engine; `segment` (nullable) carries the
+  /// tombstones and global scoring stats when `index` is one segment of a
+  /// snapshot (see SegmentRuntime).
+  CompEngine(const InvertedIndex* index, ScoringKind scoring,
+             const SegmentRuntime* segment = nullptr)
+      : index_(index), scoring_(scoring), segment_(segment) {}
 
   std::string_view name() const override { return "COMP"; }
 
@@ -32,6 +36,7 @@ class CompEngine : public Engine {
  private:
   const InvertedIndex* index_;
   ScoringKind scoring_;
+  const SegmentRuntime* segment_;
   const RawPostingOracle* raw_oracle_ = nullptr;
 };
 

@@ -13,10 +13,24 @@
 #include "common/metrics.h"
 #include "common/status.h"
 #include "exec/exec_context.h"
+#include "index/index_snapshot.h"
 #include "index/inverted_index.h"
 #include "lang/ast.h"
 
 namespace fts {
+
+/// Per-segment evaluation inputs an engine needs when its index is one
+/// segment of an IndexSnapshot rather than a standalone corpus: the
+/// segment's tombstones (filtered at cursor level — engines never see a
+/// deleted node) and the snapshot-global scoring stats (null on the
+/// single-segment fast path, where the segment's own statistics are
+/// already global). Engines default to a null runtime, which is exactly
+/// the pre-snapshot behavior. The runtime must outlive the engine — in
+/// practice both live in a Searcher, which holds the snapshot.
+struct SegmentRuntime {
+  const TombstoneSet* tombstones = nullptr;
+  const SegmentScoringStats* scoring = nullptr;
+};
 
 /// Which Section 3 scoring method an engine applies (kNone disables
 /// scoring entirely).
@@ -101,9 +115,12 @@ class Engine {
   virtual StatusOr<QueryResult> Evaluate(const LangExprPtr& query,
                                          ExecContext& ctx) const = 0;
 
-  /// Convenience overload: evaluates under a fresh default ExecContext
-  /// (auto L1 policy, no L2, no deadline). Derived classes re-export it
-  /// with `using Engine::Evaluate`.
+  /// Deprecated shim: evaluates under a fresh default ExecContext (auto L1
+  /// policy, no L2, no deadline). Prefer the snapshot-based entry point —
+  /// Searcher::Search(query, ExecContext&) — or the context-taking
+  /// overload above; this survives so pre-snapshot call sites stay
+  /// mechanical. Derived classes re-export it with `using
+  /// Engine::Evaluate`.
   StatusOr<QueryResult> Evaluate(const LangExprPtr& query) const {
     ExecContext ctx;
     return Evaluate(query, ctx);

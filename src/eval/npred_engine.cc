@@ -196,13 +196,18 @@ StatusOr<QueryResult> NpredEngine::Evaluate(const LangExprPtr& query,
         "negative predicates under negation require COMP evaluation");
   }
 
+  const SegmentScoringStats* stats =
+      segment_ != nullptr ? segment_->scoring : nullptr;
+  const TombstoneSet* tombstones =
+      segment_ != nullptr ? segment_->tombstones : nullptr;
   std::unique_ptr<AlgebraScoreModel> model;
   if (scoring_ == ScoringKind::kTfIdf) {
     auto token_set = CollectTokens(calc.expr);
     model = std::make_unique<TfIdfScoreModel>(
-        index_, std::vector<std::string>(token_set.begin(), token_set.end()));
+        index_, std::vector<std::string>(token_set.begin(), token_set.end()),
+        nullptr, stats);
   } else if (scoring_ == ScoringKind::kProbabilistic) {
-    model = std::make_unique<ProbabilisticScoreModel>(index_);
+    model = std::make_unique<ProbabilisticScoreModel>(index_, stats);
   }
 
   // The variables whose orderings the threads enumerate.
@@ -239,7 +244,8 @@ StatusOr<QueryResult> NpredEngine::Evaluate(const LangExprPtr& query,
                         PlanPipelineCursorMode(cursor_mode_, plan, *index_),
                         raw_oracle_, cache,
                         &decode_status,
-                        &ectx.deadline()};
+                        &ectx.deadline(),
+                        tombstones};
     FTS_ASSIGN_OR_RETURN(std::unique_ptr<PosCursor> cursor, BuildPipeline(plan, ctx));
     DrainPipeline(cursor.get(), scoring_ != ScoringKind::kNone, &result.nodes,
                   &result.scores, ctx);
@@ -257,6 +263,12 @@ StatusOr<QueryResult> NpredEngine::Evaluate(const LangExprPtr& query,
   std::vector<size_t> perm(thread_vars.size());
   std::iota(perm.begin(), perm.end(), 0);
   std::sort(perm.begin(), perm.end());
+  // Smallest result cardinality observed across the orderings already run:
+  // every ordering evaluates the same query, so any ordering's result size
+  // bounds how selective the query really is. Later orderings hand it to
+  // the adaptive planner as a measured driver candidate — real feedback
+  // where the first ordering had only static dfs.
+  uint64_t observed = kNoObservedCardinality;
   do {
     // Long ordering enumerations are exactly where a deadline matters:
     // check between permutations so an expired query stops at an ordering
@@ -281,10 +293,12 @@ StatusOr<QueryResult> NpredEngine::Evaluate(const LangExprPtr& query,
     EvalCounters ordering_counters;
     PipelineContext ctx{index_,      model.get(),
                         &ordering_counters,
-                        PlanPipelineCursorMode(cursor_mode_, plan, *index_),
+                        PlanPipelineCursorMode(cursor_mode_, plan, *index_, {},
+                                               observed),
                         raw_oracle_, cache,
                         &decode_status,
-                        &ectx.deadline()};
+                        &ectx.deadline(),
+                        tombstones};
     FTS_ASSIGN_OR_RETURN(std::unique_ptr<PosCursor> cursor, BuildPipeline(plan, ctx));
     std::vector<NodeId> nodes;
     std::vector<double> scores;
@@ -292,6 +306,7 @@ StatusOr<QueryResult> NpredEngine::Evaluate(const LangExprPtr& query,
                   ctx);
     result.counters.MergeFrom(ordering_counters);
     FTS_RETURN_IF_ERROR(decode_status);
+    observed = std::min(observed, static_cast<uint64_t>(nodes.size()));
     for (size_t i = 0; i < nodes.size(); ++i) {
       merged.emplace(nodes[i], scoring_ != ScoringKind::kNone ? scores[i] : 0.0);
     }

@@ -30,10 +30,18 @@ enum class NpredOrderingMode {
 /// Per-ordering pipelined evaluator for the NPRED class.
 class NpredEngine : public Engine {
  public:
+  /// `index` must outlive the engine; `segment` (nullable) carries the
+  /// tombstones and global scoring stats when `index` is one segment of a
+  /// snapshot (see SegmentRuntime).
   NpredEngine(const InvertedIndex* index, ScoringKind scoring,
               NpredOrderingMode mode = NpredOrderingMode::kNecessaryPartialOrders,
-              CursorMode cursor_mode = CursorMode::kSequential)
-      : index_(index), scoring_(scoring), mode_(mode), cursor_mode_(cursor_mode) {}
+              CursorMode cursor_mode = CursorMode::kSequential,
+              const SegmentRuntime* segment = nullptr)
+      : index_(index),
+        scoring_(scoring),
+        mode_(mode),
+        cursor_mode_(cursor_mode),
+        segment_(segment) {}
 
   std::string_view name() const override { return "NPRED"; }
 
@@ -54,6 +62,7 @@ class NpredEngine : public Engine {
   ScoringKind scoring_;
   NpredOrderingMode mode_;
   CursorMode cursor_mode_;
+  const SegmentRuntime* segment_;
   const RawPostingOracle* raw_oracle_ = nullptr;
 };
 

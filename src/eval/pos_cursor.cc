@@ -1,5 +1,6 @@
 #include "eval/pos_cursor.h"
 
+#include <algorithm>
 #include <vector>
 
 #include "index/block_posting_list.h"
@@ -8,19 +9,79 @@
 
 namespace fts {
 
+namespace {
+
+// Structural cardinality estimate of one plan subtree, bottom-up from the
+// list-header document frequencies: joins and intersections keep at most
+// their smaller input, unions at most the sum, selections and projections
+// at most their child, antijoins and differences at most their left side.
+// Upper bounds, not exact counts — but they compose, so a nested operator
+// is sized by its inputs' estimates instead of its raw leaf dfs.
+uint64_t EstimatePlanCardinality(const FtaExprPtr& plan,
+                                 const InvertedIndex& index) {
+  if (!plan) return 0;
+  switch (plan->kind()) {
+    case FtaExpr::Kind::kToken:
+      return index.df(index.LookupToken(plan->token()));
+    case FtaExpr::Kind::kSearchContext:
+    case FtaExpr::Kind::kHasPos:
+      return index.num_nodes();
+    case FtaExpr::Kind::kJoin:
+    case FtaExpr::Kind::kIntersect:
+      return std::min(EstimatePlanCardinality(plan->left(), index),
+                      EstimatePlanCardinality(plan->right(), index));
+    case FtaExpr::Kind::kUnion:
+      return EstimatePlanCardinality(plan->left(), index) +
+             EstimatePlanCardinality(plan->right(), index);
+    case FtaExpr::Kind::kSelect:
+    case FtaExpr::Kind::kProject:
+      return EstimatePlanCardinality(plan->child(), index);
+    case FtaExpr::Kind::kAntiJoin:
+    case FtaExpr::Kind::kDifference:
+      return EstimatePlanCardinality(plan->left(), index);
+  }
+  return 0;
+}
+
+// Collects the estimated size of each stream the pipeline zig-zags against
+// the others: the operands of the join-like operators, seen through the
+// size-preserving select/project wrappers. A join-free plan contributes a
+// single stream, which PlanFromDfs answers with kSequential — there is
+// nothing to skip against.
+void CollectStreamEstimates(const FtaExprPtr& plan, const InvertedIndex& index,
+                            std::vector<uint64_t>* sizes) {
+  if (!plan) return;
+  switch (plan->kind()) {
+    case FtaExpr::Kind::kJoin:
+    case FtaExpr::Kind::kIntersect:
+    case FtaExpr::Kind::kAntiJoin:
+    case FtaExpr::Kind::kDifference:
+      CollectStreamEstimates(plan->left(), index, sizes);
+      CollectStreamEstimates(plan->right(), index, sizes);
+      return;
+    case FtaExpr::Kind::kSelect:
+    case FtaExpr::Kind::kProject:
+      CollectStreamEstimates(plan->child(), index, sizes);
+      return;
+    default:
+      sizes->push_back(EstimatePlanCardinality(plan, index));
+      return;
+  }
+}
+
+}  // namespace
+
 CursorMode PlanPipelineCursorMode(CursorMode requested, const FtaExprPtr& plan,
                                   const InvertedIndex& index,
-                                  const AdaptivePlannerOptions& opts) {
+                                  const AdaptivePlannerOptions& opts,
+                                  uint64_t observed_cardinality) {
   if (requested != CursorMode::kAdaptive) return requested;
-  std::vector<uint64_t> dfs;
-  ForEachScanLeaf(plan, [&](const FtaExpr& leaf) {
-    // kHasPos never reaches BuildPipeline (rejected as Unsupported), so
-    // only token leaves contribute dfs.
-    if (leaf.kind() == FtaExpr::Kind::kToken) {
-      dfs.push_back(index.df(index.LookupToken(leaf.token())));
-    }
-  });
-  return PlanFromDfs(dfs, opts);
+  std::vector<uint64_t> sizes;
+  CollectStreamEstimates(plan, index, &sizes);
+  if (observed_cardinality != kNoObservedCardinality) {
+    sizes.push_back(observed_cardinality);
+  }
+  return PlanFromDfs(sizes, opts);
 }
 
 NodeId PosCursor::SeekNode(NodeId target) {
@@ -490,12 +551,14 @@ StatusOr<std::unique_ptr<PosCursor>> BuildPipeline(const FtaExprPtr& plan,
       const TokenId id = ctx.index->LookupToken(plan->token());
       if (ctx.raw_oracle != nullptr) {
         return std::unique_ptr<PosCursor>(new ScanCursor<ListCursor>(
-            ListCursor(ctx.raw_oracle->list(id), ctx.counters), id, ctx));
+            ListCursor(ctx.raw_oracle->list(id), ctx.counters, ctx.tombstones),
+            id, ctx));
       }
       // Both cursor modes read the block-resident list; kSequential simply
       // never calls SeekEntry (ScanCursor::SeekNode steps instead).
       return std::unique_ptr<PosCursor>(new ScanCursor<BlockListCursor>(
-          BlockListCursor(ctx.index->block_list(id), ctx.counters, ctx.cache),
+          BlockListCursor(ctx.index->block_list(id), ctx.counters, ctx.cache,
+                          ctx.tombstones),
           id, ctx));
     }
     case FtaExpr::Kind::kJoin: {

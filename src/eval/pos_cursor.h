@@ -100,14 +100,34 @@ struct PipelineContext {
   /// DeadlineExceeded through `status` — the same channel as lazily
   /// detected corruption, so engines already propagate it.
   const Deadline* deadline = nullptr;  // nullable
+  /// Segment tombstones when the pipeline runs over one segment of a
+  /// snapshot: leaf cursors filter deleted nodes, so no operator above
+  /// them ever sees a tombstoned entry. Null on the standalone-index path.
+  const TombstoneSet* tombstones = nullptr;  // nullable
 };
 
+/// Sentinel for PlanPipelineCursorMode's `observed_cardinality`: no
+/// measured intermediate size is available, plan from static estimates.
+inline constexpr uint64_t kNoObservedCardinality = ~0ull;
+
 /// Resolves `requested` for one pipelined plan: forced modes pass through;
-/// kAdaptive applies PlanFromDfs to the document frequencies of the plan's
-/// token leaves (the lists the pipeline will scan).
-CursorMode PlanPipelineCursorMode(CursorMode requested, const FtaExprPtr& plan,
-                                  const InvertedIndex& index,
-                                  const AdaptivePlannerOptions& opts = {});
+/// kAdaptive estimates the size of each stream the pipeline will zig-zag
+/// (structural bottom-up from the list headers: token → df, join and
+/// intersect → min of the inputs, union → sum, select/project → the
+/// child, antijoin/difference → the left side) and applies PlanFromDfs to
+/// those estimates. Nested operators thus plan from their inputs'
+/// combined cardinalities instead of raw leaf dfs — a union of two dense
+/// tokens no longer masquerades as two independent driver candidates.
+/// `observed_cardinality`, when not kNoObservedCardinality, is a real
+/// measured intermediate size — e.g. the smallest result among the NPRED
+/// orderings already evaluated for this query — added as one more driver
+/// candidate, so later pipelines of the same query plan from observed
+/// cardinalities rather than static statistics alone. Either way the
+/// chosen mode only changes the access pattern, never the result.
+CursorMode PlanPipelineCursorMode(
+    CursorMode requested, const FtaExprPtr& plan, const InvertedIndex& index,
+    const AdaptivePlannerOptions& opts = {},
+    uint64_t observed_cardinality = kNoObservedCardinality);
 
 /// Builds a pipelined cursor tree for `plan`. Returns Unsupported when the
 /// plan contains operators outside the streaming subset (see file header).

@@ -34,13 +34,16 @@ StatusOr<QueryResult> PpredEngine::Evaluate(const LangExprPtr& query,
   };
   FTS_RETURN_IF_ERROR(check(plan));
 
+  const SegmentScoringStats* stats =
+      segment_ != nullptr ? segment_->scoring : nullptr;
   std::unique_ptr<AlgebraScoreModel> model;
   if (scoring_ == ScoringKind::kTfIdf) {
     auto token_set = CollectTokens(calc.expr);
     model = std::make_unique<TfIdfScoreModel>(
-        index_, std::vector<std::string>(token_set.begin(), token_set.end()));
+        index_, std::vector<std::string>(token_set.begin(), token_set.end()),
+        nullptr, stats);
   } else if (scoring_ == ScoringKind::kProbabilistic) {
-    model = std::make_unique<ProbabilisticScoreModel>(index_);
+    model = std::make_unique<ProbabilisticScoreModel>(index_, stats);
   }
 
   QueryResult result;
@@ -56,7 +59,8 @@ StatusOr<QueryResult> PpredEngine::Evaluate(const LangExprPtr& query,
                       PlanPipelineCursorMode(mode_, plan, *index_),
                       raw_oracle_, cache,
                       &decode_status,
-                      &ectx.deadline()};
+                      &ectx.deadline(),
+                      segment_ != nullptr ? segment_->tombstones : nullptr};
   FTS_ASSIGN_OR_RETURN(std::unique_ptr<PosCursor> cursor, BuildPipeline(plan, ctx));
   DrainPipeline(cursor.get(), scoring_ != ScoringKind::kNone, &result.nodes,
                 &result.scores, ctx);

@@ -17,9 +17,13 @@ namespace fts {
 /// SeekEntry instead of stepping entry by entry.
 class PpredEngine : public Engine {
  public:
+  /// `index` must outlive the engine; `segment` (nullable) carries the
+  /// tombstones and global scoring stats when `index` is one segment of a
+  /// snapshot (see SegmentRuntime).
   PpredEngine(const InvertedIndex* index, ScoringKind scoring,
-              CursorMode mode = CursorMode::kSequential)
-      : index_(index), scoring_(scoring), mode_(mode) {}
+              CursorMode mode = CursorMode::kSequential,
+              const SegmentRuntime* segment = nullptr)
+      : index_(index), scoring_(scoring), mode_(mode), segment_(segment) {}
 
   std::string_view name() const override { return "PPRED"; }
 
@@ -39,6 +43,7 @@ class PpredEngine : public Engine {
   const InvertedIndex* index_;
   ScoringKind scoring_;
   CursorMode mode_;
+  const SegmentRuntime* segment_;
   const RawPostingOracle* raw_oracle_ = nullptr;
 };
 

@@ -20,39 +20,7 @@ StatusOr<RoutedResult> QueryRouter::EvaluateParsed(const LangExprPtr& query) con
 
 StatusOr<RoutedResult> QueryRouter::EvaluateParsed(const LangExprPtr& query,
                                                    ExecContext& ctx) const {
-  if (!query) return Status::InvalidArgument("null query");
-  RoutedResult out;
-  out.language_class = ClassifyQuery(query);
-
-  const Engine* engine = nullptr;
-  switch (out.language_class) {
-    case LanguageClass::kBoolNoNeg:
-    case LanguageClass::kBool:
-      engine = &bool_engine_;
-      break;
-    case LanguageClass::kPpred:
-      engine = &ppred_engine_;
-      break;
-    case LanguageClass::kNpred:
-      engine = &npred_engine_;
-      break;
-    case LanguageClass::kComp:
-      engine = &comp_engine_;
-      break;
-  }
-
-  StatusOr<QueryResult> result = engine->Evaluate(query, ctx);
-  if (!result.ok() && result.status().code() == StatusCode::kUnsupported &&
-      engine != &comp_engine_) {
-    // A specialized engine declined (e.g. a plan shape it cannot stream);
-    // COMP is complete and always applicable.
-    result = comp_engine_.Evaluate(query, ctx);
-    engine = &comp_engine_;
-  }
-  FTS_RETURN_IF_ERROR(result.status());
-  out.result = std::move(result).value();
-  out.engine = std::string(engine->name());
-  return out;
+  return searcher_.SearchParsed(query, ctx);
 }
 
 }  // namespace fts

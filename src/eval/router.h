@@ -1,7 +1,11 @@
 // Query router: classifies a query into the paper's complexity hierarchy
 // (Figure 3) and dispatches it to the cheapest engine that can evaluate it,
-// falling back to COMP if a specialized engine declines. This is the
-// top-level entry point applications use (see examples/).
+// falling back to COMP if a specialized engine declines. Routing and
+// per-segment evaluation live in Searcher (eval/searcher.h); the router is
+// the single-index bridge — it wraps one InvertedIndex in a borrowed
+// one-segment snapshot (IndexSnapshot::ForIndex) and delegates, so the
+// pre-segment entry point keeps working unchanged over the snapshot read
+// path. Services that follow live generations use Searcher directly.
 
 #ifndef FTS_EVAL_ROUTER_H_
 #define FTS_EVAL_ROUTER_H_
@@ -11,24 +15,11 @@
 #include <string_view>
 #include <utility>
 
-#include "eval/bool_engine.h"
-#include "eval/comp_engine.h"
-#include "eval/engine.h"
-#include "eval/npred_engine.h"
-#include "eval/ppred_engine.h"
+#include "eval/searcher.h"
 #include "exec/exec_context.h"
 #include "index/shared_block_cache.h"
-#include "lang/classify.h"
-#include "lang/parser.h"
 
 namespace fts {
-
-/// A routed evaluation outcome.
-struct RoutedResult {
-  QueryResult result;
-  LanguageClass language_class;
-  std::string engine;  ///< engine that produced the result
-};
 
 /// Construction knobs for a QueryRouter.
 struct RouterOptions {
@@ -38,13 +29,13 @@ struct RouterOptions {
   /// through this router, on every thread. Null keeps the pre-concurrency
   /// behavior: per-query L1 caching only. The router participates in the
   /// cache's ownership (shared_ptr), so a SearchService and its router can
-  /// share one instance. Attach one cache per loaded index generation —
-  /// never reuse across index reloads (keys are list pointers).
+  /// share one instance. Cache keys are process-unique list uids, so one
+  /// cache may outlive index generations; stale entries age out of the LRU.
   std::shared_ptr<SharedBlockCache> shared_cache;
 };
 
-/// Owns one engine of each kind over a shared index and routes queries.
-/// The router is the production entry point, so its engines default to the
+/// Routes queries over one externally owned index. The router is the
+/// single-index production entry point, so its engines default to the
 /// adaptive per-query planner (CursorMode::kAdaptive): each query reads df
 /// statistics from the block-list headers and runs seek-based zig-zag
 /// intersection when its driver list is selective, full sequential merges
@@ -63,11 +54,8 @@ class QueryRouter {
   /// `index` must outlive the router.
   QueryRouter(const InvertedIndex* index, RouterOptions options)
       : shared_cache_(std::move(options.shared_cache)),
-        bool_engine_(index, options.scoring, options.mode),
-        ppred_engine_(index, options.scoring, options.mode),
-        npred_engine_(index, options.scoring,
-                      NpredOrderingMode::kNecessaryPartialOrders, options.mode),
-        comp_engine_(index, options.scoring) {}
+        searcher_(IndexSnapshot::ForIndex(index),
+                  SearcherOptions{options.scoring, options.mode}) {}
 
   QueryRouter(const InvertedIndex* index, ScoringKind scoring = ScoringKind::kNone,
               CursorMode mode = CursorMode::kAdaptive)
@@ -100,17 +88,14 @@ class QueryRouter {
 
   SharedBlockCache* shared_cache() const { return shared_cache_.get(); }
 
-  const BoolEngine& bool_engine() const { return bool_engine_; }
-  const PpredEngine& ppred_engine() const { return ppred_engine_; }
-  const NpredEngine& npred_engine() const { return npred_engine_; }
-  const CompEngine& comp_engine() const { return comp_engine_; }
+  const BoolEngine& bool_engine() const { return searcher_.bool_engine(); }
+  const PpredEngine& ppred_engine() const { return searcher_.ppred_engine(); }
+  const NpredEngine& npred_engine() const { return searcher_.npred_engine(); }
+  const CompEngine& comp_engine() const { return searcher_.comp_engine(); }
 
  private:
   std::shared_ptr<SharedBlockCache> shared_cache_;
-  BoolEngine bool_engine_;
-  PpredEngine ppred_engine_;
-  NpredEngine npred_engine_;
-  CompEngine comp_engine_;
+  Searcher searcher_;
 };
 
 }  // namespace fts

@@ -1,0 +1,108 @@
+#include "eval/searcher.h"
+
+namespace fts {
+
+namespace {
+
+const char* EngineNameForClass(LanguageClass cls) {
+  switch (cls) {
+    case LanguageClass::kBoolNoNeg:
+    case LanguageClass::kBool:
+      return "BOOL";
+    case LanguageClass::kPpred:
+      return "PPRED";
+    case LanguageClass::kNpred:
+      return "NPRED";
+    case LanguageClass::kComp:
+      return "COMP";
+  }
+  return "COMP";
+}
+
+}  // namespace
+
+Searcher::Searcher(std::shared_ptr<const IndexSnapshot> snapshot,
+                   SearcherOptions options)
+    : snapshot_(std::move(snapshot)), options_(options) {
+  segments_.reserve(snapshot_->num_segments());
+  for (const SegmentView& seg : snapshot_->segments()) {
+    segments_.push_back(std::make_unique<SegmentEngines>(seg, options_));
+  }
+}
+
+const CompEngine& Searcher::comp_engine(size_t segment) const {
+  return segments_[segment]->comp_engine;
+}
+const BoolEngine& Searcher::bool_engine(size_t segment) const {
+  return segments_[segment]->bool_engine;
+}
+const PpredEngine& Searcher::ppred_engine(size_t segment) const {
+  return segments_[segment]->ppred_engine;
+}
+const NpredEngine& Searcher::npred_engine(size_t segment) const {
+  return segments_[segment]->npred_engine;
+}
+
+StatusOr<RoutedResult> Searcher::Search(std::string_view query,
+                                        ExecContext& ctx) const {
+  FTS_ASSIGN_OR_RETURN(LangExprPtr parsed,
+                       ParseQuery(query, SurfaceLanguage::kComp));
+  return SearchParsed(parsed, ctx);
+}
+
+StatusOr<RoutedResult> Searcher::SearchParsed(const LangExprPtr& query,
+                                              ExecContext& ctx) const {
+  if (!query) return Status::InvalidArgument("null query");
+  RoutedResult out;
+  out.language_class = ClassifyQuery(query);
+  out.engine = EngineNameForClass(out.language_class);
+
+  for (size_t i = 0; i < segments_.size(); ++i) {
+    const SegmentEngines& se = *segments_[i];
+    const Engine* engine = nullptr;
+    switch (out.language_class) {
+      case LanguageClass::kBoolNoNeg:
+      case LanguageClass::kBool:
+        engine = &se.bool_engine;
+        break;
+      case LanguageClass::kPpred:
+        engine = &se.ppred_engine;
+        break;
+      case LanguageClass::kNpred:
+        engine = &se.npred_engine;
+        break;
+      case LanguageClass::kComp:
+        engine = &se.comp_engine;
+        break;
+    }
+
+    StatusOr<QueryResult> result = engine->Evaluate(query, ctx);
+    if (!result.ok() && result.status().code() == StatusCode::kUnsupported &&
+        engine != &se.comp_engine) {
+      // A specialized engine declined (e.g. a plan shape it cannot stream);
+      // COMP is complete and always applicable. Declining is a function of
+      // the query alone, so every segment takes the same fallback and the
+      // reported engine stays consistent.
+      result = se.comp_engine.Evaluate(query, ctx);
+      engine = &se.comp_engine;
+    }
+    FTS_RETURN_IF_ERROR(result.status());
+    out.engine = std::string(engine->name());
+
+    // Rebase the segment's local ids into the snapshot's global id space
+    // and append: bases are disjoint and increasing, so the concatenation
+    // of per-segment ascending results is globally ascending.
+    QueryResult seg_result = std::move(result).value();
+    const NodeId base = snapshot_->segment(i).base;
+    out.result.nodes.reserve(out.result.nodes.size() + seg_result.nodes.size());
+    for (const NodeId n : seg_result.nodes) {
+      out.result.nodes.push_back(base + n);
+    }
+    out.result.scores.insert(out.result.scores.end(), seg_result.scores.begin(),
+                             seg_result.scores.end());
+    out.result.counters.MergeFrom(seg_result.counters);
+  }
+  return out;
+}
+
+}  // namespace fts

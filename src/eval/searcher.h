@@ -1,0 +1,107 @@
+// Searcher: the snapshot-based evaluation entry point of the segment
+// architecture (docs/ingestion.md). Evaluation over a live corpus routes
+// through here — a Searcher binds one immutable IndexSnapshot generation
+// and evaluates each query per segment, where the existing engines run
+// unchanged over disjoint doc-id sub-spaces.
+
+#ifndef FTS_EVAL_SEARCHER_H_
+#define FTS_EVAL_SEARCHER_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "eval/bool_engine.h"
+#include "eval/comp_engine.h"
+#include "eval/engine.h"
+#include "eval/npred_engine.h"
+#include "eval/ppred_engine.h"
+#include "exec/exec_context.h"
+#include "index/index_snapshot.h"
+#include "lang/classify.h"
+#include "lang/parser.h"
+
+namespace fts {
+
+/// A routed evaluation outcome.
+struct RoutedResult {
+  QueryResult result;
+  LanguageClass language_class;
+  std::string engine;  ///< engine that produced the result
+};
+
+/// Construction knobs for a Searcher.
+struct SearcherOptions {
+  ScoringKind scoring = ScoringKind::kNone;
+  CursorMode mode = CursorMode::kAdaptive;
+};
+
+/// Evaluates queries over one IndexSnapshot generation.
+///
+/// The query is classified once (classification is query-only) and then
+/// evaluated segment by segment: every segment gets its own engine bank
+/// wired to a SegmentRuntime, so cursors filter that segment's tombstones
+/// and score models read the snapshot-global statistics. Per-segment
+/// results — each ascending in local node ids — are rebased by the
+/// segment's global base and concatenated; since bases are disjoint and
+/// increasing in segment order, the concatenation is globally ascending
+/// with no merge step. An engine declining with Unsupported falls back to
+/// COMP; the decision is query-deterministic, so all segments agree on the
+/// serving engine.
+///
+/// The Searcher shares ownership of the snapshot: a query in flight keeps
+/// its generation alive even after a writer publishes a newer one.
+///
+/// Thread safety: immutable after construction; evaluate from many threads
+/// concurrently with one ExecContext per thread.
+class Searcher {
+ public:
+  explicit Searcher(std::shared_ptr<const IndexSnapshot> snapshot,
+                    SearcherOptions options = {});
+
+  /// Parses `query` as COMP (the superset language) and evaluates it over
+  /// every segment on the cheapest applicable engine.
+  StatusOr<RoutedResult> Search(std::string_view query, ExecContext& ctx) const;
+
+  /// As above for an already-parsed query.
+  StatusOr<RoutedResult> SearchParsed(const LangExprPtr& query,
+                                      ExecContext& ctx) const;
+
+  const IndexSnapshot& snapshot() const { return *snapshot_; }
+
+  /// Per-segment engine banks, exposed for the single-segment bridge
+  /// (QueryRouter's engine accessors) and white-box tests.
+  const CompEngine& comp_engine(size_t segment = 0) const;
+  const BoolEngine& bool_engine(size_t segment = 0) const;
+  const PpredEngine& ppred_engine(size_t segment = 0) const;
+  const NpredEngine& npred_engine(size_t segment = 0) const;
+
+ private:
+  /// One segment's engines plus the runtime they point at. Heap-allocated
+  /// so the runtime's address is stable for the engines' lifetime.
+  struct SegmentEngines {
+    SegmentEngines(const SegmentView& seg, const SearcherOptions& opts)
+        : runtime{seg.tombstones, seg.scoring},
+          bool_engine(seg.index, opts.scoring, opts.mode, &runtime),
+          ppred_engine(seg.index, opts.scoring, opts.mode, &runtime),
+          npred_engine(seg.index, opts.scoring,
+                       NpredOrderingMode::kNecessaryPartialOrders, opts.mode,
+                       &runtime),
+          comp_engine(seg.index, opts.scoring, &runtime) {}
+
+    SegmentRuntime runtime;
+    BoolEngine bool_engine;
+    PpredEngine ppred_engine;
+    NpredEngine npred_engine;
+    CompEngine comp_engine;
+  };
+
+  std::shared_ptr<const IndexSnapshot> snapshot_;
+  SearcherOptions options_;
+  std::vector<std::unique_ptr<SegmentEngines>> segments_;
+};
+
+}  // namespace fts
+
+#endif  // FTS_EVAL_SEARCHER_H_

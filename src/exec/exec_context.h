@@ -137,8 +137,11 @@ class ExecContext {
   /// L1, and clears any deadline (a stale expired deadline would fail
   /// every later query instantly). A worker serving one index does NOT
   /// need this between queries — keeping the L1 warm is the point of
-  /// reusing a context — but callers switching indexes under one context
-  /// MUST reset (L1 keys are list pointers).
+  /// reusing a context. Switching indexes (or snapshot generations) under
+  /// one context is safe without a reset too: cache keys are
+  /// process-unique list uids, never reused, so stale entries are dead
+  /// weight that ages out of the LRU rather than a correctness hazard —
+  /// reset anyway to reclaim their memory eagerly.
   void Reset() {
     counters_.Reset();
     l1_.Clear();

@@ -13,11 +13,23 @@ std::shared_ptr<SharedBlockCache> SearchService::MakeSharedCache(
   return std::make_shared<SharedBlockCache>(cache_options);
 }
 
+SearchService::SearchService(const SnapshotSource* source, Options options)
+    : options_(options),
+      shared_cache_(MakeSharedCache(options)),
+      source_(source) {
+  StartWorkers();
+}
+
 SearchService::SearchService(const InvertedIndex* index, Options options)
     : options_(options),
-      router_(index,
-              RouterOptions{options.scoring, options.mode,
-                            MakeSharedCache(options)}) {
+      shared_cache_(MakeSharedCache(options)),
+      owned_source_(std::make_unique<StaticSnapshotSource>(
+          IndexSnapshot::ForIndex(index))),
+      source_(owned_source_.get()) {
+  StartWorkers();
+}
+
+void SearchService::StartWorkers() {
   size_t workers = options_.num_workers;
   if (workers == 0) {
     workers = std::max(1u, std::thread::hardware_concurrency());
@@ -120,10 +132,12 @@ void SearchService::Shutdown() {
 
 void SearchService::WorkerLoop() {
   // One context for the worker's lifetime: its L1 cache stays warm across
-  // queries (same immutable index), and its counters accumulate harmlessly
-  // — per-query counters are reported via each result, and service totals
-  // are merged per query below.
-  ExecContext ctx = router_.MakeContext();
+  // queries (uid keys stay valid across generations), and its counters
+  // accumulate harmlessly — per-query counters are reported via each
+  // result, and service totals are merged per query below.
+  ExecOptions exec_options;
+  exec_options.shared_cache = shared_cache_.get();
+  ExecContext ctx(exec_options);
   while (true) {
     Task task;
     {
@@ -139,7 +153,12 @@ void SearchService::WorkerLoop() {
     if (options_.default_timeout.count() > 0) {
       ctx.set_deadline(Deadline::After(options_.default_timeout));
     }
-    StatusOr<RoutedResult> result = router_.Evaluate(task.query, ctx);
+    // Acquire the current generation for exactly this query: the snapshot
+    // (and every segment it references) stays alive until the Searcher is
+    // destroyed, even if a writer publishes a newer generation mid-query.
+    Searcher searcher(source_->snapshot(),
+                      SearcherOptions{options_.scoring, options_.mode});
+    StatusOr<RoutedResult> result = searcher.Search(task.query, ctx);
 
     {
       std::lock_guard<std::mutex> mlock(metrics_mu_);

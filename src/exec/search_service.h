@@ -1,14 +1,18 @@
-// SearchService: concurrent query serving over one shared, immutable
-// index.
+// SearchService: concurrent query serving over immutable index snapshots.
 //
 // The paper's Section 5 engines are defined per query; the service is the
 // layer that turns them into a multi-user serving system. One fixed pool
-// of worker threads evaluates queries from a bounded submission queue
-// against a single QueryRouter (engines are immutable and thread-safe;
-// the index is immutable after load), with a cross-query SharedBlockCache
-// attached at service scope so hot blocks decode once per process. Each
-// worker owns one ExecContext for its lifetime — the per-query L1 cache
-// then doubles as a worker-local warm cache over the same index.
+// of worker threads evaluates queries from a bounded submission queue. A
+// worker acquires the current IndexSnapshot generation from the service's
+// SnapshotSource at dequeue — an O(1) shared_ptr copy — and evaluates
+// through a Searcher bound to that generation, so a query never observes a
+// half-published index and old generations retire exactly when their last
+// in-flight query drains. A static index is the degenerate case: the
+// single-index constructor wraps it in a pinned one-segment snapshot. A
+// cross-query SharedBlockCache attaches at service scope so hot blocks
+// decode once per process (keys are process-unique list uids, safe across
+// generations). Each worker owns one ExecContext for its lifetime — the
+// per-query L1 cache then doubles as a worker-local warm cache.
 //
 // Flow control: the submission queue is bounded (Options::queue_capacity).
 // Submit() blocks the producer when the queue is full (back-pressure);
@@ -42,7 +46,7 @@
 
 #include "common/metrics.h"
 #include "common/status.h"
-#include "eval/router.h"
+#include "eval/searcher.h"
 #include "index/shared_block_cache.h"
 
 namespace fts {
@@ -76,9 +80,19 @@ class SearchService {
     std::chrono::nanoseconds default_timeout{0};
   };
 
-  /// `index` must be fully loaded before construction and must outlive the
-  /// service; it is never mutated through the service (immutable-after-load
-  /// is what makes the whole read path lock-free outside the L2 shards).
+  /// Serves whatever generation `source` currently publishes: each query
+  /// acquires the snapshot at dequeue and holds it until it drains.
+  /// `source` must outlive the service (an IngestService under live
+  /// writes, or any other SnapshotSource).
+  SearchService(const SnapshotSource* source, Options options);
+  explicit SearchService(const SnapshotSource* source)
+      : SearchService(source, Options()) {}
+
+  /// Static-index convenience: serves `index` via a pinned one-segment
+  /// snapshot. `index` must be fully loaded before construction and must
+  /// outlive the service; it is never mutated through the service
+  /// (immutable-after-load is what makes the whole read path lock-free
+  /// outside the L2 shards).
   SearchService(const InvertedIndex* index, Options options);
   explicit SearchService(const InvertedIndex* index)
       : SearchService(index, Options()) {}
@@ -117,9 +131,10 @@ class SearchService {
   void Shutdown();
 
   size_t num_workers() const { return workers_.size(); }
-  const QueryRouter& router() const { return router_; }
+  /// The generation source queries are served from.
+  const SnapshotSource& source() const { return *source_; }
   /// The service-scoped L2, or nullptr when disabled.
-  const SharedBlockCache* shared_cache() const { return router_.shared_cache(); }
+  const SharedBlockCache* shared_cache() const { return shared_cache_.get(); }
 
  private:
   struct Task {
@@ -132,10 +147,17 @@ class SearchService {
   /// Shared enqueue protocol of Submit/TrySubmit; see the definition.
   bool Enqueue(Task task, bool block);
 
+  /// Shared tail of both constructors: spawns the worker pool.
+  void StartWorkers();
+
   void WorkerLoop();
 
   Options options_;
-  QueryRouter router_;
+  std::shared_ptr<SharedBlockCache> shared_cache_;
+  /// Set by the static-index constructor; null when the caller supplied
+  /// its own SnapshotSource.
+  std::unique_ptr<StaticSnapshotSource> owned_source_;
+  const SnapshotSource* source_;
 
   std::mutex queue_mu_;
   std::condition_variable queue_not_empty_;

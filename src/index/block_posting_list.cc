@@ -7,6 +7,7 @@
 #include "common/varint.h"
 #include "index/decoded_block_cache.h"
 #include "index/shared_block_cache.h"
+#include "index/tombstone_set.h"
 
 namespace fts {
 
@@ -283,10 +284,16 @@ BlockPostingList BlockPostingList::FromParts(uint32_t block_size,
   return out;
 }
 
+uint64_t BlockPostingList::NextUid() {
+  static std::atomic<uint64_t> counter{1};
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
 BlockListCursor& BlockListCursor::operator=(BlockListCursor&& o) noexcept {
   list_ = o.list_;
   counters_ = o.counters_;
   cache_ = o.cache_;
+  tombstones_ = o.tombstones_;
   const bool own_arena = o.entries_ == &o.arena_;
   arena_ = std::move(o.arena_);
   cached_ = std::move(o.cached_);
@@ -355,6 +362,24 @@ bool BlockListCursor::LoadBlock(size_t block) {
 }
 
 NodeId BlockListCursor::NextEntry() {
+  NodeId n = NextEntryUnfiltered();
+  while (tombstones_ != nullptr && n != kInvalidNode && tombstones_->Contains(n)) {
+    n = NextEntryUnfiltered();
+  }
+  return n;
+}
+
+NodeId BlockListCursor::SeekEntry(NodeId target) {
+  // A filtered cursor never rests on a tombstoned entry, so the
+  // backward-seek early return inside SeekEntryUnfiltered stays sound.
+  NodeId n = SeekEntryUnfiltered(target);
+  while (tombstones_ != nullptr && n != kInvalidNode && tombstones_->Contains(n)) {
+    n = NextEntryUnfiltered();
+  }
+  return n;
+}
+
+NodeId BlockListCursor::NextEntryUnfiltered() {
   if (exhausted_) return kInvalidNode;
   if (!started_) {
     started_ = true;
@@ -378,7 +403,7 @@ NodeId BlockListCursor::NextEntry() {
   return node_;
 }
 
-NodeId BlockListCursor::SeekEntry(NodeId target) {
+NodeId BlockListCursor::SeekEntryUnfiltered(NodeId target) {
   if (exhausted_) return kInvalidNode;
   if (started_ && node_ != kInvalidNode && node_ >= target) {
     return node_;  // backward (or in-place) seeks do not move the cursor

@@ -171,10 +171,20 @@ class BlockPostingList {
            block_verified_[block].load(std::memory_order_acquire) != 0;
   }
 
+  /// Process-unique id of this list, stable across moves (the moved-to list
+  /// keeps the id; a moved-from list is dead). Decoded-block caches key on
+  /// (uid, block) instead of the object address so that once a segment
+  /// generation retires and its heap is reused, a new list at the same
+  /// address can never be served another list's cached blocks. Uids are
+  /// never reused within a process.
+  uint64_t uid() const { return uid_; }
+
  private:
   void FlushPending();
+  static uint64_t NextUid();
 
   uint32_t block_size_;
+  uint64_t uid_ = NextUid();
   size_t num_entries_ = 0;
   size_t total_positions_ = 0;
   /// Built (and v1-re-encoded) lists own their payload here; loaded lists
@@ -204,6 +214,7 @@ class BlockPostingList {
 
 struct DecodedBlock;      // index/decoded_block_cache.h
 class DecodedBlockCache;  // index/decoded_block_cache.h
+class TombstoneSet;       // index/tombstone_set.h
 
 /// Cursor over a BlockPostingList: the sequential ListCursor API plus
 /// skip-based seeking. Entry headers are bulk-decoded one block at a time
@@ -216,11 +227,16 @@ class BlockListCursor {
  public:
   /// `list` may be null (OOV token): the cursor is immediately exhausted.
   /// `cache`, when non-null, must outlive the cursor; block loads are then
-  /// served from / inserted into it.
+  /// served from / inserted into it. `tombstones`, when non-null, filters
+  /// deleted entries at the cursor level: NextEntry/SeekEntry skip
+  /// tombstoned node ids, so the cursor never rests on a deleted entry and
+  /// engines above see only live nodes (docs/ingestion.md).
   explicit BlockListCursor(const BlockPostingList* list,
                            EvalCounters* counters = nullptr,
-                           DecodedBlockCache* cache = nullptr)
-      : list_(list), counters_(counters), cache_(cache) {}
+                           DecodedBlockCache* cache = nullptr,
+                           const TombstoneSet* tombstones = nullptr)
+      : list_(list), counters_(counters), cache_(cache),
+        tombstones_(tombstones) {}
 
   // Move-only: `entries_` may point into the cursor's own arena, so the
   // (out-of-line) move re-anchors it and copies are disallowed.
@@ -263,9 +279,15 @@ class BlockListCursor {
   /// bytes stay untouched until GetPositions().
   bool LoadBlock(size_t block);
 
+  /// The unfiltered movement primitives; NextEntry/SeekEntry wrap them in a
+  /// tombstone-skipping loop.
+  NodeId NextEntryUnfiltered();
+  NodeId SeekEntryUnfiltered(NodeId target);
+
   const BlockPostingList* list_;
   EvalCounters* counters_;
   DecodedBlockCache* cache_;
+  const TombstoneSet* tombstones_ = nullptr;
   /// Current block's decoded headers: points into `arena_` (uncached) or
   /// into `cached_` (cache-served; the shared_ptr keeps it alive across
   /// eviction).

@@ -42,7 +42,7 @@ bool DecodedBlockCache::ShouldAttach(const InvertedIndex& index,
 std::shared_ptr<const DecodedBlock> DecodedBlockCache::GetOrDecode(
     const BlockPostingList& list, size_t block, EvalCounters* counters,
     Status* status) {
-  const Key key{&list, block};
+  const Key key{list.uid(), block};
   auto it = map_.find(key);
   if (it != map_.end()) {
     ++hits_;

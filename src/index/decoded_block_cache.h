@@ -5,8 +5,11 @@
 // in one query — would otherwise be block-decoded once per cursor. A
 // DecodedBlockCache lets every BlockListCursor of one query evaluation
 // share the decoded (ids + entry headers) form of a block, keyed by
-// (list, block index). Entries are handed out as shared_ptr so a cached
-// block stays valid for any cursor still reading it after eviction.
+// (list uid, block index) — the uid, not the address, so a cache that
+// outlives a segment generation can never serve a retired list's blocks
+// for a new list allocated at the same address. Entries are handed out as
+// shared_ptr so a cached block stays valid for any cursor still reading it
+// after eviction.
 //
 // The cache is deliberately small (default 128 blocks ≈ 16k entry headers)
 // and scoped to a single ExecContext — one query, or one service worker's
@@ -115,12 +118,12 @@ class DecodedBlockCache {
   uint64_t misses() const { return misses_; }
 
  private:
-  using Key = std::pair<const BlockPostingList*, size_t>;
+  using Key = std::pair<uint64_t, size_t>;  // (list uid, block index)
 
   struct KeyHash {
     size_t operator()(const Key& k) const {
-      // Splitmix-style mix of the list pointer and block index.
-      uint64_t h = reinterpret_cast<uintptr_t>(k.first) ^
+      // Splitmix-style mix of the list uid and block index.
+      uint64_t h = k.first ^
                    (static_cast<uint64_t>(k.second) * 0x9E3779B97F4A7C15ull);
       h ^= h >> 33;
       h *= 0xFF51AFD7ED558CCDull;

@@ -66,15 +66,29 @@ InvertedIndex IndexBuilder::Build(const Corpus& corpus) {
 
   // TF-IDF norms: ||n||_2 = sqrt(sum_t (tf(n,t) * idf(t))^2) using the
   // paper's formulae tf = occurs/unique_tokens, idf = ln(1 + db_size/df).
-  // df comes from the block-list headers (no payload decode).
+  // df comes from the block-list headers (no payload decode). The sum runs
+  // in *sorted token text* order — a canonical order independent of
+  // dictionary interning — so the floating-point addition sequence is
+  // identical wherever the same logical corpus is indexed. Segment-level
+  // snapshot stats (index/index_snapshot.h) recompute norms with global
+  // document frequencies in the same order, which is what makes
+  // multi-segment scores bit-identical to a single-shot build.
+  std::vector<TokenId> sorted_toks;
   for (NodeId n = 0; n < num_nodes; ++n) {
     const uint32_t uniq = index.unique_tokens_[n];
     if (uniq == 0) {
       index.node_norms_[n] = 1.0;  // empty node: neutral norm, never scored
       continue;
     }
+    sorted_toks.clear();
+    for (const auto& [tok, positions] : per_node[n]) sorted_toks.push_back(tok);
+    std::sort(sorted_toks.begin(), sorted_toks.end(),
+              [&corpus](TokenId a, TokenId b) {
+                return corpus.token_text(a) < corpus.token_text(b);
+              });
     double sum_sq = 0;
-    for (const auto& [tok, positions] : per_node[n]) {
+    for (const TokenId tok : sorted_toks) {
+      const std::vector<PositionInfo>& positions = per_node[n][tok];
       const double df = static_cast<double>(index.block_lists_[tok].num_entries());
       const double idf = std::log(1.0 + static_cast<double>(num_nodes) / df);
       const double tf = static_cast<double>(positions.size()) / uniq;

@@ -521,4 +521,11 @@ Status LoadIndexFromFile(const std::string& path, InvertedIndex* out,
                              /*prefer_lazy=*/false, out);
 }
 
+StatusOr<std::shared_ptr<const IndexSnapshot>> LoadSnapshotFromFile(
+    const std::string& path, const LoadOptions& options) {
+  auto index = std::make_shared<InvertedIndex>();
+  FTS_RETURN_IF_ERROR(LoadIndexFromFile(path, index.get(), options));
+  return IndexSnapshot::Create({std::move(index)});
+}
+
 }  // namespace fts

@@ -26,9 +26,11 @@
 #ifndef FTS_INDEX_INDEX_IO_H_
 #define FTS_INDEX_INDEX_IO_H_
 
+#include <memory>
 #include <string>
 
 #include "common/status.h"
+#include "index/index_snapshot.h"
 #include "index/inverted_index.h"
 
 namespace fts {
@@ -86,8 +88,20 @@ Status SaveIndexToFile(const InvertedIndex& index, const std::string& path,
 /// is not a parseable index — including files smaller than the fixed
 /// envelope (magic + trailer), which are rejected with a distinct message
 /// before any section parsing runs.
+///
+/// Deprecated shim for new read-path code: prefer LoadSnapshotFromFile,
+/// which returns the owned one-segment IndexSnapshot the snapshot entry
+/// points (Searcher, SearchService) consume directly. This variant
+/// survives for callers managing index lifetime themselves.
 Status LoadIndexFromFile(const std::string& path, InvertedIndex* out,
                          const LoadOptions& options = {});
+
+/// Loads `path` (same formats and `options` semantics as LoadIndexFromFile)
+/// and wraps it as an owned one-segment IndexSnapshot — the generation a
+/// Searcher or SearchService serves directly. The snapshot owns the index;
+/// the last holder (snapshot or draining query) frees it.
+StatusOr<std::shared_ptr<const IndexSnapshot>> LoadSnapshotFromFile(
+    const std::string& path, const LoadOptions& options = {});
 
 }  // namespace fts
 

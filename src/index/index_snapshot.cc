@@ -1,0 +1,165 @@
+#include "index/index_snapshot.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "index/block_posting_list.h"
+
+namespace fts {
+
+namespace {
+
+/// Token ids of `index` ordered by token text — the canonical scoring
+/// order shared with IndexBuilder's norm loop.
+std::vector<TokenId> TokensByText(const InvertedIndex& index) {
+  std::vector<TokenId> toks(index.vocabulary_size());
+  for (TokenId t = 0; t < toks.size(); ++t) toks[t] = t;
+  std::sort(toks.begin(), toks.end(), [&index](TokenId a, TokenId b) {
+    return index.token_text(a) < index.token_text(b);
+  });
+  return toks;
+}
+
+/// Computes the global scoring stats over `segments` (header-only decode;
+/// position bytes are never touched). Norm sums replicate IndexBuilder's
+/// arithmetic exactly — same expressions, same sorted-token-text addition
+/// order — with global live df / live_nodes substituted for the per-segment
+/// statistics, so every score over the snapshot is bit-identical to a
+/// single-shot build of the surviving documents.
+Status ComputeStats(const std::vector<SegmentView>& segments,
+                    uint64_t live_nodes,
+                    std::unordered_map<std::string, uint32_t>* df_by_text,
+                    std::vector<SegmentScoringStats>* stats) {
+  const size_t num_segments = segments.size();
+  std::vector<BlockPostingList::EntryRef> entries;
+
+  // Pass 1: live df per (segment, local token), accumulated into the
+  // global by-text table. Without tombstones the list header already *is*
+  // the live df.
+  std::vector<std::vector<uint32_t>> live_df(num_segments);
+  for (size_t s = 0; s < num_segments; ++s) {
+    const InvertedIndex& idx = *segments[s].index;
+    const TombstoneSet* dead = segments[s].tombstones;
+    const TokenId vocab = static_cast<TokenId>(idx.vocabulary_size());
+    live_df[s].assign(vocab, 0);
+    for (TokenId t = 0; t < vocab; ++t) {
+      const BlockPostingList* list = idx.block_list(t);
+      if (list == nullptr || list->empty()) continue;
+      if (dead == nullptr) {
+        live_df[s][t] = static_cast<uint32_t>(list->num_entries());
+        continue;
+      }
+      uint32_t df = 0;
+      for (size_t b = 0; b < list->num_blocks(); ++b) {
+        FTS_RETURN_IF_ERROR(list->DecodeBlockEntries(b, &entries));
+        for (const BlockPostingList::EntryRef& e : entries) {
+          if (!dead->Contains(e.header.node)) ++df;
+        }
+      }
+      live_df[s][t] = df;
+    }
+    for (TokenId t = 0; t < vocab; ++t) {
+      if (live_df[s][t] != 0) (*df_by_text)[idx.token_text(t)] += live_df[s][t];
+    }
+  }
+
+  // Pass 2: per-segment global df projections and global-idf norms.
+  stats->resize(num_segments);
+  for (size_t s = 0; s < num_segments; ++s) {
+    const InvertedIndex& idx = *segments[s].index;
+    const TombstoneSet* dead = segments[s].tombstones;
+    const TokenId vocab = static_cast<TokenId>(idx.vocabulary_size());
+    SegmentScoringStats& st = (*stats)[s];
+    st.live_nodes = live_nodes;
+    st.df_by_text = df_by_text;
+    st.global_df.assign(vocab, 0);
+    for (TokenId t = 0; t < vocab; ++t) {
+      const auto it = df_by_text->find(idx.token_text(t));
+      st.global_df[t] = it == df_by_text->end() ? 0 : it->second;
+    }
+
+    std::vector<double> sum_sq(idx.num_nodes(), 0.0);
+    for (const TokenId t : TokensByText(idx)) {
+      const uint32_t df_global = st.global_df[t];
+      if (df_global == 0) continue;  // every occurrence tombstoned
+      const BlockPostingList* list = idx.block_list(t);
+      if (list == nullptr || list->empty()) continue;
+      const double df = static_cast<double>(df_global);
+      const double idf = std::log(1.0 + static_cast<double>(live_nodes) / df);
+      for (size_t b = 0; b < list->num_blocks(); ++b) {
+        FTS_RETURN_IF_ERROR(list->DecodeBlockEntries(b, &entries));
+        for (const BlockPostingList::EntryRef& e : entries) {
+          const NodeId n = e.header.node;
+          if (dead != nullptr && dead->Contains(n)) continue;
+          const uint32_t uniq = idx.unique_tokens(n);
+          const double tf = static_cast<double>(e.header.pos_count) / uniq;
+          sum_sq[n] += tf * idf * tf * idf;
+        }
+      }
+    }
+    st.norms.assign(idx.num_nodes(), 1.0);
+    for (NodeId n = 0; n < idx.num_nodes(); ++n) {
+      if (dead != nullptr && dead->Contains(n)) continue;  // never scored
+      st.norms[n] = sum_sq[n] > 0 ? std::sqrt(sum_sq[n]) : 1.0;
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+StatusOr<std::shared_ptr<const IndexSnapshot>> IndexSnapshot::Create(
+    std::vector<std::shared_ptr<const InvertedIndex>> segments,
+    std::vector<std::shared_ptr<const TombstoneSet>> tombstones,
+    uint64_t generation) {
+  std::shared_ptr<IndexSnapshot> snap(new IndexSnapshot());
+  snap->generation_ = generation;
+  snap->owned_ = std::move(segments);
+  tombstones.resize(snap->owned_.size());
+  // All-empty tombstone sets are "no deletes": cursors and the fast path
+  // both key off null.
+  for (std::shared_ptr<const TombstoneSet>& t : tombstones) {
+    if (t != nullptr && t->empty()) t = nullptr;
+  }
+  snap->owned_tombstones_ = std::move(tombstones);
+
+  bool any_deletes = false;
+  NodeId base = 0;
+  for (size_t i = 0; i < snap->owned_.size(); ++i) {
+    const InvertedIndex* idx = snap->owned_[i].get();
+    if (idx == nullptr) return Status::InvalidArgument("null segment");
+    const TombstoneSet* dead = snap->owned_tombstones_[i].get();
+    SegmentView view;
+    view.index = idx;
+    view.base = base;
+    view.tombstones = dead;
+    snap->segments_.push_back(view);
+    base += static_cast<NodeId>(idx->num_nodes());
+    snap->live_nodes_ +=
+        idx->num_nodes() - (dead != nullptr ? dead->deleted_count() : 0);
+    if (dead != nullptr) any_deletes = true;
+  }
+  snap->total_nodes_ = base;
+
+  if (snap->segments_.size() > 1 || any_deletes) {
+    FTS_RETURN_IF_ERROR(ComputeStats(snap->segments_, snap->live_nodes_,
+                                     &snap->df_by_text_, &snap->stats_));
+    for (size_t i = 0; i < snap->segments_.size(); ++i) {
+      snap->segments_[i].scoring = &snap->stats_[i];
+    }
+  }
+  return std::shared_ptr<const IndexSnapshot>(std::move(snap));
+}
+
+std::shared_ptr<const IndexSnapshot> IndexSnapshot::ForIndex(
+    const InvertedIndex* index) {
+  std::shared_ptr<IndexSnapshot> snap(new IndexSnapshot());
+  SegmentView view;
+  view.index = index;
+  snap->segments_.push_back(view);
+  snap->total_nodes_ = index->num_nodes();
+  snap->live_nodes_ = index->num_nodes();
+  return snap;
+}
+
+}  // namespace fts

@@ -4,6 +4,7 @@
 
 #include "index/block_posting_list.h"
 #include "index/index_source.h"
+#include "index/tombstone_set.h"
 
 namespace fts {
 
@@ -24,6 +25,24 @@ void PostingList::Append(NodeId node, std::span<const PositionInfo> positions) {
 }
 
 NodeId ListCursor::SeekEntry(NodeId target) {
+  // A filtered cursor never rests on a tombstoned entry, so the
+  // backward-seek early return inside SeekEntryUnfiltered stays sound.
+  NodeId n = SeekEntryUnfiltered(target);
+  while (tombstones_ != nullptr && n != kInvalidNode && tombstones_->Contains(n)) {
+    n = NextEntryUnfiltered();
+  }
+  return n;
+}
+
+NodeId ListCursor::NextEntry() {
+  NodeId n = NextEntryUnfiltered();
+  while (tombstones_ != nullptr && n != kInvalidNode && tombstones_->Contains(n)) {
+    n = NextEntryUnfiltered();
+  }
+  return n;
+}
+
+NodeId ListCursor::SeekEntryUnfiltered(NodeId target) {
   if (exhausted_) return kInvalidNode;
   if (started_ && node_ != kInvalidNode && node_ >= target) {
     return node_;  // backward (or in-place) seeks do not move the cursor
@@ -58,7 +77,7 @@ NodeId ListCursor::SeekEntry(NodeId target) {
   return node_;
 }
 
-NodeId ListCursor::NextEntry() {
+NodeId ListCursor::NextEntryUnfiltered() {
   if (exhausted_) return kInvalidNode;
   if (started_) {
     ++idx_;

@@ -35,6 +35,8 @@
 
 namespace fts {
 
+class TombstoneSet;  // index/tombstone_set.h
+
 /// One (cn, PosList) pair of an inverted list. Positions live in the owning
 /// PostingList's shared arena; the entry stores the [pos_begin, pos_begin +
 /// pos_count) slice.
@@ -80,8 +82,13 @@ class PostingList {
 class ListCursor {
  public:
   /// `list` may be null (empty token): the cursor is immediately exhausted.
-  explicit ListCursor(const PostingList* list, EvalCounters* counters = nullptr)
-      : list_(list), counters_(counters) {}
+  /// `tombstones`, when non-null, filters deleted entries: the cursor skips
+  /// tombstoned node ids and never rests on one, mirroring
+  /// BlockListCursor's filtering so both sides of a differential run see
+  /// identical live streams.
+  explicit ListCursor(const PostingList* list, EvalCounters* counters = nullptr,
+                      const TombstoneSet* tombstones = nullptr)
+      : list_(list), counters_(counters), tombstones_(tombstones) {}
 
   /// Advances to the next entry and returns its node id, or kInvalidNode
   /// when the list is exhausted. The first call lands on the first entry.
@@ -116,8 +123,12 @@ class ListCursor {
   }
 
  private:
+  NodeId NextEntryUnfiltered();
+  NodeId SeekEntryUnfiltered(NodeId target);
+
   const PostingList* list_;
   EvalCounters* counters_;
+  const TombstoneSet* tombstones_ = nullptr;
   size_t idx_ = 0;
   bool started_ = false;
   bool exhausted_ = false;

@@ -1,0 +1,32 @@
+#include "index/segment.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <utility>
+
+#include "index/index_builder.h"
+#include "index/index_io.h"
+
+namespace fts {
+
+std::shared_ptr<const InvertedIndex> SegmentBuffer::Seal() {
+  auto segment =
+      std::make_shared<const InvertedIndex>(IndexBuilder::Build(corpus_));
+  corpus_ = Corpus();
+  return segment;
+}
+
+Status SaveSegmentAtomic(const InvertedIndex& segment, const std::string& path) {
+  const std::string tmp = path + ".tmp";
+  FTS_RETURN_IF_ERROR(SaveIndexToFile(segment, tmp));
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    const int err = errno;
+    std::remove(tmp.c_str());
+    return Status::IOError("rename " + tmp + " -> " + path + ": " +
+                           std::strerror(err));
+  }
+  return Status::OK();
+}
+
+}  // namespace fts

@@ -1,0 +1,74 @@
+#include "index/segment_merger.h"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+#include "index/block_posting_list.h"
+#include "index/index_builder.h"
+#include "text/corpus.h"
+
+namespace fts {
+
+namespace {
+
+/// One reconstructed token occurrence within a node.
+struct Occurrence {
+  PositionInfo position;
+  TokenId token = kInvalidToken;  // id in the *source* segment's dictionary
+};
+
+}  // namespace
+
+StatusOr<InvertedIndex> MergeSegments(const std::vector<SegmentView>& segments) {
+  Corpus merged;
+  std::vector<PostingEntry> entries;
+  std::vector<PositionInfo> positions;
+  for (const SegmentView& seg : segments) {
+    const InvertedIndex& idx = *seg.index;
+    const TombstoneSet* dead = seg.tombstones;
+
+    // Invert the inversion: gather every (position, token) pair per node
+    // from the token lists, then re-emit each live node's stream in
+    // position order.
+    std::vector<std::vector<Occurrence>> occ(idx.num_nodes());
+    const TokenId vocab = static_cast<TokenId>(idx.vocabulary_size());
+    for (TokenId t = 0; t < vocab; ++t) {
+      const BlockPostingList* list = idx.block_list(t);
+      if (list == nullptr || list->empty()) continue;
+      for (size_t b = 0; b < list->num_blocks(); ++b) {
+        FTS_RETURN_IF_ERROR(list->DecodeBlock(b, &entries, &positions));
+        for (const PostingEntry& e : entries) {
+          if (dead != nullptr && dead->Contains(e.node)) continue;
+          for (uint32_t p = 0; p < e.pos_count; ++p) {
+            occ[e.node].push_back({positions[e.pos_begin + p], t});
+          }
+        }
+      }
+    }
+
+    std::vector<std::string> tokens;
+    std::vector<PositionInfo> node_positions;
+    for (NodeId n = 0; n < idx.num_nodes(); ++n) {
+      if (dead != nullptr && dead->Contains(n)) continue;
+      std::vector<Occurrence>& node_occ = occ[n];
+      std::sort(node_occ.begin(), node_occ.end(),
+                [](const Occurrence& a, const Occurrence& b) {
+                  return a.position.offset < b.position.offset;
+                });
+      tokens.clear();
+      node_positions.clear();
+      tokens.reserve(node_occ.size());
+      node_positions.reserve(node_occ.size());
+      for (const Occurrence& o : node_occ) {
+        tokens.push_back(idx.token_text(o.token));
+        node_positions.push_back(o.position);
+      }
+      FTS_RETURN_IF_ERROR(
+          merged.AddTokensWithPositions(tokens, node_positions).status());
+    }
+  }
+  return IndexBuilder::Build(merged);
+}
+
+}  // namespace fts

@@ -1,0 +1,31 @@
+// Background segment compaction (the merge half of docs/ingestion.md).
+//
+// MergeSegments rebuilds: it reconstructs every surviving document's token
+// stream from the input segments' posting lists, feeds them — in segment
+// order, skipping tombstoned nodes — into one merged Corpus, and runs
+// IndexBuilder over it. The merged segment is therefore *exactly* the
+// index a single-shot build of the surviving documents would produce
+// (same lists, same statistics, same norms bit-for-bit), which is what the
+// multi-segment differential harness pins. Node ids are renumbered densely
+// in the merged segment (Lucene semantics: ids are generation-relative;
+// the snapshot's segment bases, not the ids themselves, are stable).
+
+#ifndef FTS_INDEX_SEGMENT_MERGER_H_
+#define FTS_INDEX_SEGMENT_MERGER_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "index/index_snapshot.h"
+#include "index/inverted_index.h"
+
+namespace fts {
+
+/// Merges `segments` (with their tombstones) into one segment holding only
+/// the live documents, renumbered densely in segment order. Fails with
+/// Corruption if a lazily validated input's payload is malformed.
+StatusOr<InvertedIndex> MergeSegments(const std::vector<SegmentView>& segments);
+
+}  // namespace fts
+
+#endif  // FTS_INDEX_SEGMENT_MERGER_H_

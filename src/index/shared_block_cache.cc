@@ -29,7 +29,7 @@ SharedBlockCache::SharedBlockCache(Options options) {
 std::shared_ptr<const DecodedBlock> SharedBlockCache::GetOrDecode(
     const BlockPostingList& list, size_t block, EvalCounters* counters,
     Status* status) {
-  const Key key{&list, block};
+  const Key key{list.uid(), block};
   Shard& shard = ShardFor(key);
   {
     std::lock_guard<std::mutex> lock(shard.mu);

@@ -21,12 +21,14 @@
 // duplicate work is benign, the loser adopts the winner's entry), so the
 // lock is only ever held for map/LRU bookkeeping.
 //
-// Lifetime contract: keys are (list pointer, block index), so the cache
-// must not outlive the index whose lists it caches, and must not be reused
-// across an index reload at the same address (attach one cache per loaded
-// index generation — the SearchService/QueryRouter scope does exactly
-// that). Entries hold EntryRef views into the list's payload bytes, which
-// the owning InvertedIndex keeps alive.
+// Lifetime contract: keys are (list uid, block index). Uids are
+// process-unique and never reused, so one cache may safely outlive any
+// number of index generations (live ingestion swaps snapshots under a
+// long-lived SearchService cache): entries of a retired segment's lists
+// can never be served for new lists — they simply age out of the LRU.
+// Entries hold EntryRef offsets (no pointers into payload bytes), so a
+// stale entry is dead weight, not a dangling reference; cursors that *use*
+// a block always hold the owning list alive through their snapshot.
 
 #ifndef FTS_INDEX_SHARED_BLOCK_CACHE_H_
 #define FTS_INDEX_SHARED_BLOCK_CACHE_H_
@@ -98,13 +100,13 @@ class SharedBlockCache {
   size_t num_shards() const { return shards_.size(); }
 
  private:
-  using Key = std::pair<const BlockPostingList*, size_t>;
+  using Key = std::pair<uint64_t, size_t>;  // (list uid, block index)
 
-  /// Splitmix-style 64-bit mix of the list pointer and block index (same
+  /// Splitmix-style 64-bit mix of the list uid and block index (same
   /// shape as DecodedBlockCache's hash). Kept 64-bit so shard selection
   /// can use the top bits even where size_t is 32 bits.
   static uint64_t MixKey(const Key& k) {
-    uint64_t h = reinterpret_cast<uintptr_t>(k.first) ^
+    uint64_t h = k.first ^
                  (static_cast<uint64_t>(k.second) * 0x9E3779B97F4A7C15ull);
     h ^= h >> 33;
     h *= 0xFF51AFD7ED558CCDull;

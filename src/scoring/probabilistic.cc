@@ -4,17 +4,24 @@
 
 namespace fts {
 
-ProbabilisticScoreModel::ProbabilisticScoreModel(const InvertedIndex* index)
-    : index_(index) {
-  norm_ = std::log(1.0 + static_cast<double>(index->num_nodes()));
+ProbabilisticScoreModel::ProbabilisticScoreModel(const InvertedIndex* index,
+                                                 const SegmentScoringStats* stats)
+    : index_(index), stats_(stats) {
+  const double db_size =
+      stats != nullptr ? static_cast<double>(stats->live_nodes)
+                       : static_cast<double>(index->num_nodes());
+  norm_ = std::log(1.0 + db_size);
   if (norm_ <= 0) norm_ = 1.0;
 }
 
 double ProbabilisticScoreModel::LeafScore(const InvertedIndex& index, TokenId token,
                                           NodeId) const {
-  const uint32_t df = index.df(token);
+  const uint32_t df = stats_ != nullptr ? stats_->global_df[token] : index.df(token);
   if (df == 0) return 0.0;
-  const double idf = std::log(1.0 + static_cast<double>(index.num_nodes()) / df);
+  const double db_size = stats_ != nullptr
+                             ? static_cast<double>(stats_->live_nodes)
+                             : static_cast<double>(index.num_nodes());
+  const double idf = std::log(1.0 + db_size / df);
   return idf / norm_;
 }
 

@@ -18,14 +18,19 @@
 #ifndef FTS_SCORING_PROBABILISTIC_H_
 #define FTS_SCORING_PROBABILISTIC_H_
 
+#include "index/index_snapshot.h"
 #include "scoring/score_model.h"
 
 namespace fts {
 
-/// Probabilistic score model; corpus-wide (not query-specific).
+/// Probabilistic score model; corpus-wide (not query-specific). Pass the
+/// segment's SegmentScoringStats when scoring one segment of a
+/// multi-segment (or tombstoned) snapshot: df and db_size then come from
+/// the snapshot-global precomputation (index/index_snapshot.h).
 class ProbabilisticScoreModel : public AlgebraScoreModel {
  public:
-  explicit ProbabilisticScoreModel(const InvertedIndex* index);
+  explicit ProbabilisticScoreModel(const InvertedIndex* index,
+                                   const SegmentScoringStats* stats = nullptr);
 
   std::string_view name() const override { return "probabilistic"; }
 
@@ -52,7 +57,8 @@ class ProbabilisticScoreModel : public AlgebraScoreModel {
 
  private:
   const InvertedIndex* index_;
-  double norm_;  // ln(1 + db_size)
+  const SegmentScoringStats* stats_;  // nullable (single-segment)
+  double norm_;                       // ln(1 + db_size)
 };
 
 }  // namespace fts

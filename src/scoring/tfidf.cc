@@ -7,10 +7,22 @@
 
 namespace fts {
 
+namespace {
+
+/// Global live df of `token` under snapshot stats (0 when the token has no
+/// live occurrence anywhere in the snapshot).
+uint32_t GlobalDfByText(const SegmentScoringStats& stats, const std::string& token) {
+  const auto it = stats.df_by_text->find(token);
+  return it == stats.df_by_text->end() ? 0 : it->second;
+}
+
+}  // namespace
+
 TfIdfScoreModel::TfIdfScoreModel(const InvertedIndex* index,
                                  std::vector<std::string> query_tokens,
-                                 EvalCounters* counters)
-    : index_(index), counters_(counters) {
+                                 EvalCounters* counters,
+                                 const SegmentScoringStats* stats)
+    : index_(index), counters_(counters), stats_(stats) {
   std::sort(query_tokens.begin(), query_tokens.end());
   query_tokens.erase(std::unique(query_tokens.begin(), query_tokens.end()),
                      query_tokens.end());
@@ -19,7 +31,14 @@ TfIdfScoreModel::TfIdfScoreModel(const InvertedIndex* index,
   for (const std::string& t : query_tokens_) {
     const TokenId id = index_->LookupToken(t);
     double idf = 0;
-    if (id != kInvalidToken && index_->df(id) > 0) {
+    if (stats_ != nullptr) {
+      // Snapshot-global df: a token out-of-vocabulary in *this* segment but
+      // live elsewhere still contributes its idf to the query norm.
+      const uint32_t df = GlobalDfByText(*stats_, t);
+      if (df > 0) {
+        idf = std::log(1.0 + static_cast<double>(stats_->live_nodes) / df);
+      }
+    } else if (id != kInvalidToken && index_->df(id) > 0) {
       idf = std::log(1.0 + static_cast<double>(index_->num_nodes()) / index_->df(id));
     }
     idf_[t] = idf;
@@ -35,6 +54,10 @@ double TfIdfScoreModel::LeafScore(const InvertedIndex& index, TokenId token,
   double idf;
   if (it != idf_by_id_.end()) {
     idf = it->second;
+  } else if (stats_ != nullptr) {
+    const uint32_t df = stats_->global_df[token];
+    idf = df == 0 ? 0.0
+                  : std::log(1.0 + static_cast<double>(stats_->live_nodes) / df);
   } else {
     // Token scanned by the plan but absent from the query-token list (e.g.
     // synthetic plans in tests): fall back to its corpus idf.
@@ -43,12 +66,19 @@ double TfIdfScoreModel::LeafScore(const InvertedIndex& index, TokenId token,
                   : std::log(1.0 + static_cast<double>(index.num_nodes()) / df);
   }
   const double uniq = std::max<uint32_t>(1, index.unique_tokens(node));
-  return idf * idf / (uniq * index.node_norm(node) * query_norm_);
+  const double norm =
+      stats_ != nullptr ? stats_->norms[node] : index.node_norm(node);
+  return idf * idf / (uniq * norm * query_norm_);
 }
 
 double TfIdfScoreModel::Idf(const std::string& token) const {
   auto it = idf_.find(token);
   if (it != idf_.end()) return it->second;
+  if (stats_ != nullptr) {
+    const uint32_t df = GlobalDfByText(*stats_, token);
+    if (df == 0) return 0.0;
+    return std::log(1.0 + static_cast<double>(stats_->live_nodes) / df);
+  }
   const TokenId id = index_->LookupToken(token);
   if (id == kInvalidToken || index_->df(id) == 0) return 0.0;
   return std::log(1.0 + static_cast<double>(index_->num_nodes()) / index_->df(id));
@@ -73,7 +103,9 @@ double TfIdfScoreModel::DirectNodeScore(NodeId node) const {
     const double tf = occurs / uniq;
     score += idf /*w(t)*/ * tf * idf;
   }
-  return score / (index_->node_norm(node) * query_norm_);
+  const double norm =
+      stats_ != nullptr ? stats_->norms[node] : index_->node_norm(node);
+  return score / (norm * query_norm_);
 }
 
 }  // namespace fts

@@ -19,6 +19,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "index/index_snapshot.h"
 #include "scoring/score_model.h"
 
 namespace fts {
@@ -31,10 +32,17 @@ namespace fts {
 /// seeks entry headers only (never position bytes). `counters` (nullable)
 /// is charged for any cursor work the model performs, which lets tests pin
 /// those guarantees.
+///
+/// When `index` is one segment of a multi-segment (or tombstoned)
+/// snapshot, pass that segment's SegmentScoringStats: df, db_size and node
+/// norms are then read from the snapshot-global precomputation instead of
+/// the segment's own headers, keeping every score bit-identical to a
+/// single-shot build of the surviving documents (index/index_snapshot.h).
 class TfIdfScoreModel : public AlgebraScoreModel {
  public:
   TfIdfScoreModel(const InvertedIndex* index, std::vector<std::string> query_tokens,
-                  EvalCounters* counters = nullptr);
+                  EvalCounters* counters = nullptr,
+                  const SegmentScoringStats* stats = nullptr);
 
   std::string_view name() const override { return "tfidf"; }
 
@@ -77,6 +85,7 @@ class TfIdfScoreModel : public AlgebraScoreModel {
  private:
   const InvertedIndex* index_;
   EvalCounters* counters_;                      // nullable
+  const SegmentScoringStats* stats_;            // nullable (single-segment)
   std::vector<std::string> query_tokens_;       // distinct
   std::unordered_map<std::string, double> idf_;  // per distinct query token
   std::unordered_map<TokenId, double> idf_by_id_;

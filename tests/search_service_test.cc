@@ -12,6 +12,7 @@
 #include <thread>
 #include <vector>
 
+#include "eval/router.h"
 #include "index/index_builder.h"
 #include "text/corpus.h"
 #include "workload/corpus_gen.h"
