@@ -71,5 +71,23 @@ int main() {
     }
     std::printf("\n");
   }
+
+  // Engine-side top-k: the same ranking pushed into the evaluator. The
+  // result is bit-identical to full-evaluate-then-TopK above, but the
+  // block-max path uses the per-block score bounds to hop blocks that
+  // cannot reach the top 5 (EvalCounters::blocks_skipped_by_score).
+  fts::ExecContext ctx = prob.MakeContext();
+  ctx.set_top_k(5);
+  auto ranked = prob.Evaluate("'topic0' OR 'topic1'", ctx);
+  if (!ranked.ok()) {
+    std::printf("ranked query failed: %s\n",
+                ranked.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("engine-side top-k: 'topic0' OR 'topic1'\n");
+  ShowTopK("top-5", *ranked, 5);
+  std::printf("  candidate blocks skipped on score bounds: %llu\n",
+              static_cast<unsigned long long>(
+                  ctx.counters().blocks_skipped_by_score));
   return 0;
 }

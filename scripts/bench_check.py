@@ -43,7 +43,7 @@ import tempfile
 # is a counter, not a time, so it never trips the regression check on
 # differently-cored runners.
 DEFAULT_BENCHES = ["micro_index", "micro_postings", "micro_service",
-                   "micro_ingest"]
+                   "micro_ingest", "micro_topk"]
 
 # Multipliers to nanoseconds per google-benchmark time_unit.
 TIME_UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
@@ -96,6 +96,12 @@ def check_bench(build_dir, baseline_dir, bench, min_time, threshold, runs,
             run_bench(build_dir, bench, min_time, out_path)
             for name, t in load_times(out_path).items():
                 current[name] = min(t, current.get(name, float("inf")))
+        except (FileNotFoundError, subprocess.CalledProcessError) as e:
+            # A missing or crashing binary must not take the whole check
+            # down with a traceback — report it and move on to the other
+            # binaries (a baseline with no runnable binary is a wiring
+            # problem the report line makes visible).
+            return [], [f"{bench}: run failed ({e}); skipped"]
         finally:
             os.unlink(out_path)
 

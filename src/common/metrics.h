@@ -65,6 +65,11 @@ struct EvalCounters {
   /// lazy (mmap) index load; once a block's validation is memoized, later
   /// decodes charge nothing here.
   uint64_t first_touch_validations = 0;
+  /// Blocks a block-max top-k evaluation hopped over because their summed
+  /// impact upper bounds could not beat the heap threshold — blocks that a
+  /// full evaluation would have decoded and this query never did. The
+  /// early-termination win in one number.
+  uint64_t blocks_skipped_by_score = 0;
 
   void Reset() { *this = EvalCounters{}; }
 
@@ -91,6 +96,7 @@ struct EvalCounters {
     shared_cache_hits += o.shared_cache_hits;
     shared_cache_misses += o.shared_cache_misses;
     first_touch_validations += o.first_touch_validations;
+    blocks_skipped_by_score += o.blocks_skipped_by_score;
     return *this;
   }
 
@@ -110,7 +116,8 @@ struct EvalCounters {
            " cache_misses=" + std::to_string(cache_misses) +
            " l2_hits=" + std::to_string(shared_cache_hits) +
            " l2_misses=" + std::to_string(shared_cache_misses) +
-           " first_touch=" + std::to_string(first_touch_validations);
+           " first_touch=" + std::to_string(first_touch_validations) +
+           " blocks_skipped_by_score=" + std::to_string(blocks_skipped_by_score);
   }
 };
 

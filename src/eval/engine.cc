@@ -39,4 +39,11 @@ CursorMode PlanFromDfs(std::span<const uint64_t> dfs,
              : CursorMode::kSequential;
 }
 
+bool PlanBlockMax(size_t top_k, uint64_t estimated_candidates,
+                  const AdaptivePlannerOptions& opts) {
+  if (top_k == 0) return false;
+  return static_cast<double>(top_k) * opts.selectivity_threshold <=
+         static_cast<double>(estimated_candidates);
+}
+
 }  // namespace fts

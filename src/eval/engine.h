@@ -82,6 +82,18 @@ struct AdaptivePlannerOptions {
 CursorMode PlanFromDfs(std::span<const uint64_t> dfs,
                        const AdaptivePlannerOptions& opts = {});
 
+/// The block-max analogue of PlanFromDfs: should a top-`top_k` evaluation
+/// use block-max skipping rather than full evaluation? Skipping pays when
+/// the requested k is small relative to the candidate set the query could
+/// touch (`estimated_candidates`, computed from df statistics: leaf = df,
+/// AND = min of children, OR = sum) — the heap threshold then rises early
+/// and most candidate blocks fall under it. The same selectivity threshold
+/// governs both planners: k * threshold <= candidates chooses block-max
+/// (ties choose block-max, mirroring PlanFromDfs). top_k == 0 (no ranking
+/// requested) always chooses full evaluation.
+bool PlanBlockMax(size_t top_k, uint64_t estimated_candidates,
+                  const AdaptivePlannerOptions& opts = {});
+
 /// Result of one query evaluation.
 struct QueryResult {
   /// Matching context nodes, ascending.

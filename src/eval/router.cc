@@ -13,6 +13,13 @@ StatusOr<RoutedResult> QueryRouter::Evaluate(std::string_view query,
   return EvaluateParsed(parsed, ctx);
 }
 
+StatusOr<RoutedResult> QueryRouter::EvaluateTopK(std::string_view query,
+                                                 size_t k) const {
+  ExecContext ctx = MakeContext();
+  ctx.set_top_k(k);
+  return Evaluate(query, ctx);
+}
+
 StatusOr<RoutedResult> QueryRouter::EvaluateParsed(const LangExprPtr& query) const {
   ExecContext ctx = MakeContext();
   return EvaluateParsed(query, ctx);

@@ -70,6 +70,13 @@ class QueryRouter {
   /// context; one per thread).
   StatusOr<RoutedResult> Evaluate(std::string_view query, ExecContext& ctx) const;
 
+  /// Ranked convenience: evaluates `query` with ctx.top_k() = k under a
+  /// fresh per-call context, returning only the k best results in rank
+  /// order (descending score, ties by ascending node id). Callers holding
+  /// their own context set ctx.set_top_k(k) and use Evaluate directly —
+  /// the top_k request rides in the context, so every entry point ranks.
+  StatusOr<RoutedResult> EvaluateTopK(std::string_view query, size_t k) const;
+
   /// Routes an already-parsed query under a fresh per-call context.
   StatusOr<RoutedResult> EvaluateParsed(const LangExprPtr& query) const;
 

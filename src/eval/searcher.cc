@@ -1,5 +1,15 @@
 #include "eval/searcher.h"
 
+#include <algorithm>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "eval/block_max.h"
+#include "scoring/probabilistic.h"
+#include "scoring/tfidf.h"
+#include "scoring/topk.h"
+
 namespace fts {
 
 namespace {
@@ -17,6 +27,27 @@ const char* EngineNameForClass(LanguageClass cls) {
       return "COMP";
   }
   return "COMP";
+}
+
+/// df-based candidate estimate for the block-max planner: leaf = document
+/// frequency, AND = min of children (the join cannot exceed its smallest
+/// input), OR = saturating sum. Anything else (unreachable behind
+/// BlockMaxSupports) estimates the whole segment.
+uint64_t EstimateCandidates(const LangExprPtr& e, const InvertedIndex& index) {
+  switch (e->kind()) {
+    case LangExpr::Kind::kToken:
+      return index.df(index.LookupToken(e->token()));
+    case LangExpr::Kind::kAnd:
+      return std::min(EstimateCandidates(e->left(), index),
+                      EstimateCandidates(e->right(), index));
+    case LangExpr::Kind::kOr: {
+      const uint64_t l = EstimateCandidates(e->left(), index);
+      const uint64_t r = EstimateCandidates(e->right(), index);
+      return l > UINT64_MAX - r ? UINT64_MAX : l + r;
+    }
+    default:
+      return index.num_nodes();
+  }
 }
 
 }  // namespace
@@ -43,6 +74,22 @@ const NpredEngine& Searcher::npred_engine(size_t segment) const {
   return segments_[segment]->npred_engine;
 }
 
+const Engine* Searcher::SelectEngine(const SegmentEngines& se,
+                                     LanguageClass cls) const {
+  switch (cls) {
+    case LanguageClass::kBoolNoNeg:
+    case LanguageClass::kBool:
+      return &se.bool_engine;
+    case LanguageClass::kPpred:
+      return &se.ppred_engine;
+    case LanguageClass::kNpred:
+      return &se.npred_engine;
+    case LanguageClass::kComp:
+      return &se.comp_engine;
+  }
+  return &se.comp_engine;
+}
+
 StatusOr<RoutedResult> Searcher::Search(std::string_view query,
                                         ExecContext& ctx) const {
   FTS_ASSIGN_OR_RETURN(LangExprPtr parsed,
@@ -55,26 +102,24 @@ StatusOr<RoutedResult> Searcher::SearchParsed(const LangExprPtr& query,
   if (!query) return Status::InvalidArgument("null query");
   RoutedResult out;
   out.language_class = ClassifyQuery(query);
+  if (segments_.empty()) {
+    // Nothing ran, so no engine produced this (empty) result — claiming
+    // the classified engine here would be a lie.
+    out.engine = "NONE";
+    return out;
+  }
   out.engine = EngineNameForClass(out.language_class);
 
+  if (ctx.top_k() > 0) return SearchTopK(query, ctx, std::move(out));
+
+  bool engine_resolved = false;
   for (size_t i = 0; i < segments_.size(); ++i) {
+    // An expired deadline must stop the query between segments too —
+    // engines check it internally, but a snapshot with many segments
+    // would otherwise start (and pay the setup of) every remaining one.
+    FTS_RETURN_IF_ERROR(ctx.deadline().Check());
     const SegmentEngines& se = *segments_[i];
-    const Engine* engine = nullptr;
-    switch (out.language_class) {
-      case LanguageClass::kBoolNoNeg:
-      case LanguageClass::kBool:
-        engine = &se.bool_engine;
-        break;
-      case LanguageClass::kPpred:
-        engine = &se.ppred_engine;
-        break;
-      case LanguageClass::kNpred:
-        engine = &se.npred_engine;
-        break;
-      case LanguageClass::kComp:
-        engine = &se.comp_engine;
-        break;
-    }
+    const Engine* engine = SelectEngine(se, out.language_class);
 
     StatusOr<QueryResult> result = engine->Evaluate(query, ctx);
     if (!result.ok() && result.status().code() == StatusCode::kUnsupported &&
@@ -87,7 +132,10 @@ StatusOr<RoutedResult> Searcher::SearchParsed(const LangExprPtr& query,
       engine = &se.comp_engine;
     }
     FTS_RETURN_IF_ERROR(result.status());
-    out.engine = std::string(engine->name());
+    if (!engine_resolved) {
+      out.engine = std::string(engine->name());
+      engine_resolved = true;
+    }
 
     // Rebase the segment's local ids into the snapshot's global id space
     // and append: bases are disjoint and increasing, so the concatenation
@@ -101,6 +149,94 @@ StatusOr<RoutedResult> Searcher::SearchParsed(const LangExprPtr& query,
     out.result.scores.insert(out.result.scores.end(), seg_result.scores.begin(),
                              seg_result.scores.end());
     out.result.counters.MergeFrom(seg_result.counters);
+  }
+  return out;
+}
+
+StatusOr<RoutedResult> Searcher::SearchTopK(const LangExprPtr& query,
+                                            ExecContext& ctx,
+                                            RoutedResult out) const {
+  const size_t k = ctx.top_k();
+  const LangExprPtr normalized = NormalizeSurface(query);
+  // Block-max applies to scored pure token/AND/OR trees; kSequential is
+  // the paper-faithful access model, so it always evaluates fully (exact
+  // operation counts), mirroring how it bypasses seek planning.
+  const bool block_max_eligible = options_.scoring != ScoringKind::kNone &&
+                                  options_.mode != CursorMode::kSequential &&
+                                  BlockMaxSupports(normalized);
+
+  // One accumulator across all segments: candidates arrive in ascending
+  // global id order (per-segment ascending, bases increasing), so the heap
+  // evolves exactly as TopK over the concatenated full results would.
+  TopKAccumulator acc(k);
+  bool engine_resolved = false;
+  for (size_t i = 0; i < segments_.size(); ++i) {
+    FTS_RETURN_IF_ERROR(ctx.deadline().Check());
+    const SegmentEngines& se = *segments_[i];
+    const InvertedIndex& index = *snapshot_->segment(i).index;
+    const NodeId base = snapshot_->segment(i).base;
+
+    bool use_block_max = block_max_eligible;
+    if (use_block_max && options_.mode == CursorMode::kAdaptive) {
+      use_block_max = PlanBlockMax(k, EstimateCandidates(normalized, index));
+    }
+
+    if (use_block_max) {
+      // The exact model a full BOOL evaluation of this segment would use:
+      // same query tokens, same snapshot-global stats — so block-max
+      // scores (and the bounds derived from them) are bit-identical and
+      // comparable across segments.
+      const SegmentScoringStats* stats = se.runtime.scoring;
+      std::unique_ptr<AlgebraScoreModel> model;
+      if (options_.scoring == ScoringKind::kTfIdf) {
+        std::vector<std::string> tokens;
+        CollectSurfaceTokens(normalized, &tokens);
+        model = std::make_unique<TfIdfScoreModel>(
+            snapshot_->segment(i).index, std::move(tokens), nullptr, stats);
+      } else {
+        model = std::make_unique<ProbabilisticScoreModel>(
+            snapshot_->segment(i).index, stats);
+      }
+      EvalCounters seg_counters;
+      FTS_RETURN_IF_ERROR(EvaluateBlockMaxTopK(index, normalized, *model,
+                                               &se.runtime, ctx, base, acc,
+                                               &seg_counters));
+      out.result.counters.MergeFrom(seg_counters);
+      if (!engine_resolved) {
+        // Block-max trees are BOOL-class by construction.
+        out.engine = std::string(se.bool_engine.name());
+        engine_resolved = true;
+      }
+      continue;
+    }
+
+    const Engine* engine = SelectEngine(se, out.language_class);
+    StatusOr<QueryResult> result = engine->Evaluate(query, ctx);
+    if (!result.ok() && result.status().code() == StatusCode::kUnsupported &&
+        engine != &se.comp_engine) {
+      result = se.comp_engine.Evaluate(query, ctx);
+      engine = &se.comp_engine;
+    }
+    FTS_RETURN_IF_ERROR(result.status());
+    if (!engine_resolved) {
+      out.engine = std::string(engine->name());
+      engine_resolved = true;
+    }
+    QueryResult seg_result = std::move(result).value();
+    for (size_t j = 0; j < seg_result.nodes.size(); ++j) {
+      acc.Add(base + seg_result.nodes[j],
+              seg_result.scores.empty() ? 0.0 : seg_result.scores[j]);
+    }
+    out.result.counters.MergeFrom(seg_result.counters);
+  }
+
+  std::vector<ScoredNode> top = acc.Take();
+  const bool scored = options_.scoring != ScoringKind::kNone;
+  out.result.nodes.reserve(top.size());
+  if (scored) out.result.scores.reserve(top.size());
+  for (const ScoredNode& s : top) {
+    out.result.nodes.push_back(s.node);
+    if (scored) out.result.scores.push_back(s.score);
   }
   return out;
 }

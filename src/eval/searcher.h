@@ -28,7 +28,11 @@ namespace fts {
 struct RoutedResult {
   QueryResult result;
   LanguageClass language_class;
-  std::string engine;  ///< engine that produced the result
+  /// Engine that produced the result. Resolved once from the first segment
+  /// actually evaluated (the COMP-fallback decision is query-deterministic,
+  /// so every segment agrees); "NONE" when the snapshot has no segments and
+  /// nothing ran at all.
+  std::string engine;
 };
 
 /// Construction knobs for a Searcher.
@@ -64,7 +68,14 @@ class Searcher {
   /// every segment on the cheapest applicable engine.
   StatusOr<RoutedResult> Search(std::string_view query, ExecContext& ctx) const;
 
-  /// As above for an already-parsed query.
+  /// As above for an already-parsed query. When ctx.top_k() is nonzero the
+  /// result holds only the k best nodes in rank order (descending score,
+  /// ties by ascending global node id — exactly TopK over the full
+  /// evaluation); scored pure token/AND/OR queries may then take the
+  /// block-max early-termination path (docs/index_format.md), chosen per
+  /// segment by the same adaptive planner that picks seek vs sequential.
+  /// The deadline is also checked between segments, so a multi-segment
+  /// snapshot cannot overrun an expired deadline by whole segments.
   StatusOr<RoutedResult> SearchParsed(const LangExprPtr& query,
                                       ExecContext& ctx) const;
 
@@ -96,6 +107,15 @@ class Searcher {
     NpredEngine npred_engine;
     CompEngine comp_engine;
   };
+
+  /// The engine the classified language class selects in one segment bank.
+  const Engine* SelectEngine(const SegmentEngines& se, LanguageClass cls) const;
+
+  /// The ranked (ctx.top_k() > 0) evaluation path: one TopKAccumulator
+  /// across all segments, per-segment block-max or full evaluation.
+  /// `out` arrives with language_class set and engine defaulted.
+  StatusOr<RoutedResult> SearchTopK(const LangExprPtr& query, ExecContext& ctx,
+                                    RoutedResult out) const;
 
   std::shared_ptr<const IndexSnapshot> snapshot_;
   SearcherOptions options_;

@@ -93,6 +93,11 @@ struct ExecOptions {
   SharedBlockCache* shared_cache = nullptr;
   /// Optional wall-clock bound; Deadline() means unbounded.
   Deadline deadline;
+  /// Ranked-retrieval request: when nonzero, the Searcher returns only the
+  /// top_k highest-scoring results (rank order; see Searcher::SearchParsed)
+  /// and scored evaluation may terminate early via block-max skipping. 0 =
+  /// full results, the pre-top-k behavior.
+  size_t top_k = 0;
 };
 
 /// Per-query execution state threaded from the router (or a SearchService
@@ -123,6 +128,10 @@ class ExecContext {
   const Deadline& deadline() const { return options_.deadline; }
   void set_deadline(Deadline d) { options_.deadline = d; }
 
+  /// Requested result count for ranked retrieval; 0 = unranked/full.
+  size_t top_k() const { return options_.top_k; }
+  void set_top_k(size_t k) { options_.top_k = k; }
+
   /// True when engines should attach the L1 cache for a plan where
   /// `repeated_scans` says some list is read twice (and fits). With an L2
   /// attached the answer is yes even without repeats: single-scan queries
@@ -146,6 +155,7 @@ class ExecContext {
     counters_.Reset();
     l1_.Clear();
     options_.deadline = Deadline();
+    options_.top_k = 0;
   }
 
  private:

@@ -74,32 +74,36 @@ bool SearchService::Enqueue(Task task, bool block) {
   return true;
 }
 
-std::future<StatusOr<RoutedResult>> SearchService::Submit(std::string query) {
+std::future<StatusOr<RoutedResult>> SearchService::Submit(std::string query,
+                                                          size_t top_k) {
   Task task;
   task.query = std::move(query);
+  task.top_k = top_k;
   std::future<StatusOr<RoutedResult>> future = task.promise.get_future();
   Enqueue(std::move(task), /*block=*/true);
   return future;
 }
 
 std::optional<std::future<StatusOr<RoutedResult>>> SearchService::TrySubmit(
-    std::string query) {
+    std::string query, size_t top_k) {
   Task task;
   task.query = std::move(query);
+  task.top_k = top_k;
   std::future<StatusOr<RoutedResult>> future = task.promise.get_future();
   if (!Enqueue(std::move(task), /*block=*/false)) return std::nullopt;
   return future;
 }
 
-StatusOr<RoutedResult> SearchService::Search(std::string_view query) {
-  return Submit(std::string(query)).get();
+StatusOr<RoutedResult> SearchService::Search(std::string_view query,
+                                             size_t top_k) {
+  return Submit(std::string(query), top_k).get();
 }
 
 std::vector<StatusOr<RoutedResult>> SearchService::SearchBatch(
-    const std::vector<std::string>& queries) {
+    const std::vector<std::string>& queries, size_t top_k) {
   std::vector<std::future<StatusOr<RoutedResult>>> futures;
   futures.reserve(queries.size());
-  for (const std::string& q : queries) futures.push_back(Submit(q));
+  for (const std::string& q : queries) futures.push_back(Submit(q, top_k));
   std::vector<StatusOr<RoutedResult>> out;
   out.reserve(queries.size());
   for (auto& f : futures) out.push_back(f.get());
@@ -153,6 +157,10 @@ void SearchService::WorkerLoop() {
     if (options_.default_timeout.count() > 0) {
       ctx.set_deadline(Deadline::After(options_.default_timeout));
     }
+    // Set unconditionally: the context is reused across queries, so a
+    // stale top_k from a previous ranked query must never leak into an
+    // unranked one (and vice versa).
+    ctx.set_top_k(task.top_k);
     // Acquire the current generation for exactly this query: the snapshot
     // (and every segment it references) stays alive until the Searcher is
     // destroyed, even if a writer publishes a newer generation mid-query.

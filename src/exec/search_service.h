@@ -106,21 +106,27 @@ class SearchService {
   /// Enqueues `query` for evaluation, blocking while the queue is full.
   /// The future resolves to the routed result, or to Unavailable if the
   /// service was shut down before (or while) the query could be accepted.
-  std::future<StatusOr<RoutedResult>> Submit(std::string query);
+  /// `top_k` > 0 requests ranked retrieval: the result holds only the k
+  /// best nodes in rank order (Searcher::SearchParsed), and scored
+  /// selective queries may terminate early via block-max skipping; 0 (the
+  /// default) returns full results, the pre-top-k behavior.
+  std::future<StatusOr<RoutedResult>> Submit(std::string query,
+                                             size_t top_k = 0);
 
   /// Non-blocking enqueue: nullopt when the queue is full or the service
   /// is shut down (the refusal is tallied in metrics().rejected).
-  std::optional<std::future<StatusOr<RoutedResult>>> TrySubmit(std::string query);
+  std::optional<std::future<StatusOr<RoutedResult>>> TrySubmit(
+      std::string query, size_t top_k = 0);
 
   /// Synchronous convenience: Submit + wait.
-  StatusOr<RoutedResult> Search(std::string_view query);
+  StatusOr<RoutedResult> Search(std::string_view query, size_t top_k = 0);
 
   /// Batch API: enqueues every query, then waits for all; results are
   /// positionally aligned with `queries`. Queries evaluate concurrently
   /// across the pool, so a batch of B on W workers takes ~B/W serial
-  /// evaluations of wall time.
+  /// evaluations of wall time. `top_k` applies to every query in the batch.
   std::vector<StatusOr<RoutedResult>> SearchBatch(
-      const std::vector<std::string>& queries);
+      const std::vector<std::string>& queries, size_t top_k = 0);
 
   /// One consistent copy of the service counters, taken under the metrics
   /// lock.
@@ -139,6 +145,9 @@ class SearchService {
  private:
   struct Task {
     std::string query;
+    /// Ranked-retrieval request carried to the worker's context; 0 = full
+    /// results.
+    size_t top_k = 0;
     std::promise<StatusOr<RoutedResult>> promise;
   };
 

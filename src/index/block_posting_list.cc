@@ -58,6 +58,9 @@ void BlockPostingList::FlushPending() {
   skip.max_node = pending_.back().node;
   skip.byte_offset = static_cast<uint32_t>(owned_.size());
   skip.entry_count = static_cast<uint32_t>(pending_.size());
+  for (const PendingEntry& e : pending_) {
+    skip.max_tf = std::max(skip.max_tf, e.pos_count);
+  }
 
   // First node of the block is absolute so blocks decode independently;
   // subsequent ids are strictly positive deltas. Each entry's positions
@@ -165,6 +168,13 @@ Status BlockPostingList::DecodeBlockEntries(size_t block,
       return Status::Corruption("non-increasing node ids across blocks");
     }
     prev_node = node;
+    if (has_block_max_ && count > skip.max_tf) {
+      // A crafted v4 file must not be able to understate a block's max_tf:
+      // an entry whose position count exceeds the recorded block maximum
+      // would make the block-max impact bound an under-estimate and let
+      // top-k evaluation skip a true top result.
+      return Status::Corruption("entry position count exceeds block max_tf");
+    }
     if (pos_len > static_cast<size_t>(lim - p)) {
       return Status::Corruption("position bytes overrun posting block");
     }
@@ -250,12 +260,14 @@ BlockPostingList BlockPostingList::FromParts(uint32_t block_size,
                                              uint64_t num_entries,
                                              uint64_t total_positions,
                                              std::vector<SkipEntry> skips,
-                                             std::string data) {
+                                             std::string data,
+                                             bool has_block_max) {
   BlockPostingList out(block_size);
   out.num_entries_ = num_entries;
   out.total_positions_ = total_positions;
   out.skips_ = std::move(skips);
   out.owned_ = std::move(data);
+  out.has_block_max_ = has_block_max;
   return out;
 }
 
@@ -265,11 +277,13 @@ BlockPostingList BlockPostingList::FromParts(uint32_t block_size,
                                              std::vector<SkipEntry> skips,
                                              std::string_view data,
                                              std::vector<uint32_t> checksums,
-                                             bool first_touch_validation) {
+                                             bool first_touch_validation,
+                                             bool has_block_max) {
   BlockPostingList out(block_size);
   out.num_entries_ = num_entries;
   out.total_positions_ = total_positions;
   out.skips_ = std::move(skips);
+  out.has_block_max_ = has_block_max;
   // An empty slice must still present a non-null view so data() does not
   // fall back to owned_ (harmless today, but keep the invariant tight).
   out.view_ = data.data() != nullptr ? data : std::string_view("", 0);

@@ -53,11 +53,18 @@ class BlockPostingList {
   static constexpr uint32_t kDefaultBlockSize = 128;
 
   /// Skip header of one block. `byte_offset` points at the block's first
-  /// byte inside data(); `max_node` is the id of its last entry.
+  /// byte inside data(); `max_node` is the id of its last entry. `max_tf`
+  /// is the largest per-entry position count in the block — the block-max
+  /// statistic score models turn into an impact upper bound so top-k
+  /// evaluation can skip blocks that cannot beat the heap threshold. It is
+  /// populated by the builder and by v4 loads; v2/v3 loads leave it 0 and
+  /// clear has_block_max(), which disables score-based skipping for the
+  /// list (full evaluation fallback).
   struct SkipEntry {
     NodeId max_node = 0;
     uint32_t byte_offset = 0;
     uint32_t entry_count = 0;
+    uint32_t max_tf = 0;
   };
 
   explicit BlockPostingList(uint32_t block_size = kDefaultBlockSize)
@@ -90,6 +97,12 @@ class BlockPostingList {
   size_t num_blocks() const { return skips_.size(); }
   const SkipEntry& skip(size_t block) const { return skips_[block]; }
   const std::vector<SkipEntry>& skips() const { return skips_; }
+
+  /// True when every skip entry carries a trustworthy max_tf (built lists
+  /// and v4 loads). False for v2/v3 loads, whose skip directories predate
+  /// the statistic — block-max evaluation must then treat every block's
+  /// impact upper bound as unbounded (full evaluation fallback).
+  bool has_block_max() const { return has_block_max_; }
 
   /// Compressed payload (concatenated block bytes). Built lists own their
   /// bytes; loaded lists borrow a slice of the index's IndexSource (heap
@@ -144,10 +157,12 @@ class BlockPostingList {
                          std::vector<PositionInfo>* positions) const;
 
   /// Reassembles a list from its serialized parts with an owned payload
-  /// copy (index_io v1 re-encode helpers and tests).
+  /// copy (index_io v1 re-encode helpers and tests). `has_block_max`
+  /// declares whether the skip entries carry valid max_tf values.
   static BlockPostingList FromParts(uint32_t block_size, uint64_t num_entries,
                                     uint64_t total_positions,
-                                    std::vector<SkipEntry> skips, std::string data);
+                                    std::vector<SkipEntry> skips, std::string data,
+                                    bool has_block_max = false);
 
   /// Reassembles a list whose payload is a borrowed slice of an
   /// IndexSource (the v2/v3 load paths). `checksums`, when non-empty, is
@@ -161,7 +176,8 @@ class BlockPostingList {
                                     std::vector<SkipEntry> skips,
                                     std::string_view data,
                                     std::vector<uint32_t> checksums,
-                                    bool first_touch_validation);
+                                    bool first_touch_validation,
+                                    bool has_block_max = false);
 
   /// True when block `block` has already passed (or never needs) first-touch
   /// validation. Cursors use the transition to charge
@@ -187,6 +203,8 @@ class BlockPostingList {
   uint64_t uid_ = NextUid();
   size_t num_entries_ = 0;
   size_t total_positions_ = 0;
+  /// Built lists always compute max_tf; FromParts loads declare it.
+  bool has_block_max_ = true;
   /// Built (and v1-re-encoded) lists own their payload here; loaded lists
   /// leave it empty and set view_ instead.
   std::string owned_;
@@ -265,6 +283,13 @@ class BlockListCursor {
 
   NodeId current_node() const { return node_; }
   bool exhausted() const { return exhausted_; }
+
+  /// Index of the block the cursor currently has decoded, or SIZE_MAX when
+  /// the cursor has not started or is exhausted. Block-max evaluation uses
+  /// this to avoid charging the resident block to blocks_skipped_by_score.
+  size_t current_block() const {
+    return started_ && !exhausted_ ? block_ : SIZE_MAX;
+  }
 
   /// Sticky decode status. Under first-touch validation a block decode can
   /// fail at query time (lazily detected corruption); the cursor then

@@ -96,6 +96,7 @@ InvertedIndex IndexBuilder::Build(const Corpus& corpus) {
     }
     index.node_norms_[n] = sum_sq > 0 ? std::sqrt(sum_sq) : 1.0;
   }
+  index.RecomputeMinUniqNorm();
 
   // Remaining corpus shape statistics (paper Section 5.1.2 parameters).
   s.cnodes = num_nodes;

@@ -18,6 +18,7 @@ namespace {
 constexpr char kMagicV1[8] = {'F', 'T', 'S', 'I', 'D', 'X', '1', '\0'};
 constexpr char kMagicV2[8] = {'F', 'T', 'S', 'I', 'D', 'X', '2', '\0'};
 constexpr char kMagicV3[8] = {'F', 'T', 'S', 'I', 'D', 'X', '3', '\0'};
+constexpr char kMagicV4[8] = {'F', 'T', 'S', 'I', 'D', 'X', '4', '\0'};
 constexpr size_t kMagicSize = sizeof(kMagicV1);
 constexpr size_t kTrailerSize = 8;  // fixed64 checksum
 /// The smallest byte count any version can occupy: magic + trailer. Inputs
@@ -112,10 +113,12 @@ Status GetPostingList(std::string_view data, size_t* offset, PostingList* list) 
 }
 
 // ---------------------------------------------------------------------------
-// v2/v3 posting lists: block-compressed payload + skip table, dumped
+// v2/v3/v4 posting lists: block-compressed payload + skip table, dumped
 // verbatim from / adopted verbatim into BlockPostingList. v3 extends each
 // skip entry with the block's FNV-1a32 payload checksum and records where
-// payload bytes sit (the trailer checksum hops over them).
+// payload bytes sit (the trailer checksum hops over them); v4 additionally
+// appends the block's max_tf (largest per-entry position count), the
+// block-max statistic top-k evaluation turns into impact upper bounds.
 // ---------------------------------------------------------------------------
 
 /// Byte range of one list's payload within the serialized output.
@@ -125,7 +128,7 @@ struct PayloadRange {
 };
 
 void PutBlockPostingList(std::string* out, const BlockPostingList& list,
-                         bool with_checksums,
+                         bool with_checksums, bool with_block_max,
                          std::vector<PayloadRange>* payload_ranges) {
   PutVarint64(out, list.num_entries());
   PutVarint64(out, list.total_positions());
@@ -144,6 +147,7 @@ void PutBlockPostingList(std::string* out, const BlockPostingList& list,
                                                    : payload.size();
       PutVarint32(out, Fnv1a32(payload.substr(s.byte_offset, end - s.byte_offset)));
     }
+    if (with_block_max) PutVarint32(out, s.max_tf);
     prev_max = s.max_node;
     prev_off = s.byte_offset;
   }
@@ -166,14 +170,15 @@ struct BlockListDirectory {
   size_t payload_size = 0;
 };
 
-/// Parses one list's directory (v2 and v3 share everything except the
-/// per-block checksum field) and skips its payload, leaving `*offset` past
-/// the list. Every count is bounded by the remaining input before sizing
-/// containers: the envelope checksum is recomputable by an attacker, so a
-/// crafted header must fail with Corruption, not a giant allocation.
+/// Parses one list's directory (v2, v3 and v4 share everything except the
+/// per-block checksum and max_tf fields) and skips its payload, leaving
+/// `*offset` past the list. Every count is bounded by the remaining input
+/// before sizing containers: the envelope checksum is recomputable by an
+/// attacker, so a crafted header must fail with Corruption, not a giant
+/// allocation.
 Status GetBlockListDirectory(std::string_view data, size_t* offset,
-                             bool with_checksums, uint64_t cnodes,
-                             BlockListDirectory* dir) {
+                             bool with_checksums, bool with_block_max,
+                             uint64_t cnodes, BlockListDirectory* dir) {
   uint64_t num_blocks;
   FTS_RETURN_IF_ERROR(GetVarint64(data, offset, &dir->num_entries));
   FTS_RETURN_IF_ERROR(GetVarint64(data, offset, &dir->total_positions));
@@ -182,8 +187,10 @@ Status GetBlockListDirectory(std::string_view data, size_t* offset,
   if (dir->block_size == 0 && num_blocks > 0) {
     return Status::Corruption("zero block size in nonempty block list");
   }
-  // Each skip entry takes at least 3 (v2) or 4 (v3) bytes.
-  if (num_blocks > (data.size() - *offset) / (with_checksums ? 4 : 3)) {
+  // Each skip entry takes at least 3 (v2), 4 (v3) or 5 (v4) bytes.
+  const size_t min_entry_bytes =
+      (with_checksums ? 4u : 3u) + (with_block_max ? 1u : 0u);
+  if (num_blocks > (data.size() - *offset) / min_entry_bytes) {
     return Status::Corruption("skip table larger than remaining input");
   }
   dir->skips.reserve(num_blocks);
@@ -202,6 +209,9 @@ Status GetBlockListDirectory(std::string_view data, size_t* offset,
       dir->checksums.push_back(checksum);
     }
     BlockPostingList::SkipEntry s;
+    if (with_block_max) {
+      FTS_RETURN_IF_ERROR(GetVarint32(data, offset, &s.max_tf));
+    }
     s.max_node = prev_max + d_max;
     s.byte_offset = prev_off + d_off;
     s.entry_count = count;
@@ -287,16 +297,20 @@ Status IndexIoAccess::Load(std::shared_ptr<IndexSource> source,
   const bool is_v1 = std::memcmp(data.data(), kMagicV1, kMagicSize) == 0;
   const bool is_v2 = std::memcmp(data.data(), kMagicV2, kMagicSize) == 0;
   const bool is_v3 = std::memcmp(data.data(), kMagicV3, kMagicSize) == 0;
-  if (!is_v1 && !is_v2 && !is_v3) {
+  const bool is_v4 = std::memcmp(data.data(), kMagicV4, kMagicSize) == 0;
+  if (!is_v1 && !is_v2 && !is_v3 && !is_v4) {
     return Status::Corruption("bad index magic");
   }
+  // v3 and v4 share the lazy-loadable envelope (header-only trailer hash,
+  // per-block checksums); v4 additionally carries max_tf per skip entry.
+  const bool header_hashed = is_v3 || is_v4;
   const size_t body_end = data.size() - kTrailerSize;
 
   // v1/v2 carry a whole-body checksum: verify it up front (this reads the
-  // entire input, so these versions never load lazily). v3's trailer covers
-  // only header/directory bytes; it is accumulated during the parse below,
-  // hopping over payload ranges without touching them.
-  if (!is_v3) {
+  // entire input, so these versions never load lazily). The v3/v4 trailer
+  // covers only header/directory bytes; it is accumulated during the parse
+  // below, hopping over payload ranges without touching them.
+  if (!header_hashed) {
     size_t coff = body_end;
     uint64_t stored;
     FTS_RETURN_IF_ERROR(GetFixed64(data, &coff, &stored));
@@ -367,13 +381,14 @@ Status IndexIoAccess::Load(std::shared_ptr<IndexSource> source,
     // below cnodes so per-node scalar lookups can never go out of range.
     FTS_RETURN_IF_ERROR(index.ValidateBlocks());
   } else {
-    const bool with_checksums = is_v3;
-    const bool lazy = is_v3 && prefer_lazy;
+    const bool with_checksums = header_hashed;
+    const bool lazy = header_hashed && prefer_lazy;
     const auto adopt = [&](BlockPostingList* list) -> Status {
       BlockListDirectory dir;
-      FTS_RETURN_IF_ERROR(
-          GetBlockListDirectory(data, &offset, with_checksums, s.cnodes, &dir));
-      if (is_v3) {
+      FTS_RETURN_IF_ERROR(GetBlockListDirectory(
+          data, &offset, with_checksums, /*with_block_max=*/is_v4, s.cnodes,
+          &dir));
+      if (header_hashed) {
         // Fold the header/directory bytes since the last payload into the
         // trailer hash, then hop over this list's payload untouched.
         header_hash = Fnv1aAccumulate(
@@ -386,7 +401,8 @@ Status IndexIoAccess::Load(std::shared_ptr<IndexSource> source,
           dir.num_entries, dir.total_positions, std::move(dir.skips),
           data.substr(dir.payload_begin, dir.payload_size),
           std::move(dir.checksums),
-          /*first_touch_validation=*/with_checksums);
+          /*first_touch_validation=*/with_checksums,
+          /*has_block_max=*/is_v4);
       return Status::OK();
     };
     index.block_lists_.resize(vocab);
@@ -394,7 +410,7 @@ Status IndexIoAccess::Load(std::shared_ptr<IndexSource> source,
       FTS_RETURN_IF_ERROR(adopt(&index.block_lists_[t]));
     }
     FTS_RETURN_IF_ERROR(adopt(index.block_any_list_.get()));
-    if (is_v3) {
+    if (header_hashed) {
       if (offset != body_end) {
         return Status::Corruption("trailing bytes in index payload");
       }
@@ -422,6 +438,9 @@ Status IndexIoAccess::Load(std::shared_ptr<IndexSource> source,
   if (offset != body_end) {
     return Status::Corruption("trailing bytes in index payload");
   }
+  // The per-node scalars are now final: refresh the derived minimum the
+  // score models use for impact upper bounds.
+  index.RecomputeMinUniqNorm();
   *out = std::move(index);
   return Status::OK();
 }
@@ -429,12 +448,16 @@ Status IndexIoAccess::Load(std::shared_ptr<IndexSource> source,
 void SaveIndexToString(const InvertedIndex& index, std::string* out,
                        IndexFormat format) {
   out->clear();
-  const char* magic = format == IndexFormat::kV1
-                          ? kMagicV1
-                          : (format == IndexFormat::kV2 ? kMagicV2 : kMagicV3);
+  const char* magic = kMagicV4;
+  if (format == IndexFormat::kV1) magic = kMagicV1;
+  if (format == IndexFormat::kV2) magic = kMagicV2;
+  if (format == IndexFormat::kV3) magic = kMagicV3;
   out->append(magic, kMagicSize);
   PutCommonSections(index, out);
 
+  const bool with_block_max = format == IndexFormat::kV4;
+  const bool with_checksums =
+      format == IndexFormat::kV3 || format == IndexFormat::kV4;
   std::vector<PayloadRange> payload_ranges;
   if (format == IndexFormat::kV1) {
     // The flat v1 stream is produced from a per-list transient decode; the
@@ -444,19 +467,20 @@ void SaveIndexToString(const InvertedIndex& index, std::string* out,
     }
     PutPostingList(out, index.block_any_list().Materialize());
   } else {
-    const bool with_checksums = format == IndexFormat::kV3;
     for (TokenId t = 0; t < index.vocabulary_size(); ++t) {
       PutBlockPostingList(out, *index.block_list(t), with_checksums,
+                          with_block_max,
                           with_checksums ? &payload_ranges : nullptr);
     }
     PutBlockPostingList(out, index.block_any_list(), with_checksums,
+                        with_block_max,
                         with_checksums ? &payload_ranges : nullptr);
   }
 
-  if (format == IndexFormat::kV3) {
-    // v3 trailer: header/directory bytes only — block payloads are covered
-    // by their per-block checksums, so a lazy loader can verify everything
-    // it eagerly reads without touching payload bytes.
+  if (with_checksums) {
+    // v3/v4 trailer: header/directory bytes only — block payloads are
+    // covered by their per-block checksums, so a lazy loader can verify
+    // everything it eagerly reads without touching payload bytes.
     uint64_t hash = kFnv1aSeed;
     size_t mark = kMagicSize;
     for (const PayloadRange& r : payload_ranges) {
@@ -492,7 +516,7 @@ Status LoadIndexFromFile(const std::string& path, InvertedIndex* out,
                          const LoadOptions& options) {
   if (options.mode == LoadOptions::Mode::kMmap) {
     // IOError (cannot open/stat/map) stays distinct from Corruption (opened
-    // but not a parseable index). A v3 file loads lazily in O(header);
+    // but not a parseable index). A v3/v4 file loads lazily in O(header);
     // v1/v2 files validate eagerly over the mapping.
     FTS_ASSIGN_OR_RETURN(std::shared_ptr<IndexSource> source,
                          IndexSource::MapFile(path));

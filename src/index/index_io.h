@@ -1,6 +1,6 @@
 // Binary serialization of InvertedIndex.
 //
-// Three versions share a common envelope — an 8-byte magic whose 7th byte
+// Four versions share a common envelope — an 8-byte magic whose 7th byte
 // is the version digit and varint-coded sections:
 //
 //   v1 ("FTSIDX1\0"): posting lists as flat delta-coded entry streams;
@@ -9,7 +9,7 @@
 //       layout of BlockPostingList; whole-body trailing checksum. Loading
 //       adopts the compressed blocks directly — no per-entry re-encode —
 //       then fully validates them before any cursor reads them.
-//   v3 ("FTSIDX3\0", the default): the v2 block layout plus a per-block
+//   v3 ("FTSIDX3\0"): the v2 block layout plus a per-block
 //       FNV-1a32 payload checksum in each skip entry; the trailing
 //       checksum covers only the header and directory bytes (everything
 //       except block payloads). That split is what makes lazy loading
@@ -17,8 +17,17 @@
 //       without touching a single payload byte, and each block's checksum
 //       and structure are verified on its first decode instead
 //       (first-touch validation, memoized per block).
+//   v4 ("FTSIDX4\0", the default): v3 plus a block-max statistic — each
+//       skip entry additionally records max_tf, the largest per-entry
+//       position count in its block. Score models turn it into a per-block
+//       impact upper bound, so top-k evaluation can skip blocks that
+//       cannot beat the heap threshold (docs/index_format.md). The lazy
+//       loading story is identical to v3; the trailer hash covers the
+//       max_tf bytes (they live in the directory). v2/v3 files still load,
+//       with has_block_max() false — block-max evaluation then falls back
+//       to full evaluation for those lists.
 //
-// Loading sniffs the magic and accepts all three; any path leaves the
+// Loading sniffs the magic and accepts all four; any path leaves the
 // block lists as the index's only representation, viewing their payload
 // bytes out of one shared IndexSource (heap buffer or mmap'd file region)
 // instead of holding per-list copies.
@@ -39,7 +48,8 @@ namespace fts {
 enum class IndexFormat {
   kV1 = 1,  ///< flat posting streams (legacy)
   kV2 = 2,  ///< block-compressed postings, whole-body checksum
-  kV3 = 3,  ///< block-compressed + per-block checksums, lazy-loadable (default)
+  kV3 = 3,  ///< block-compressed + per-block checksums, lazy-loadable
+  kV4 = 4,  ///< v3 + per-block max_tf for block-max top-k skipping (default)
 };
 
 /// How LoadIndexFromFile materializes the file.
@@ -49,7 +59,7 @@ struct LoadOptions {
     /// front. Always available; the only mode for non-file inputs.
     kEager,
     /// mmap the file read-only and decode blocks straight from the
-    /// mapping. v3 files load in O(header) time with first-touch
+    /// mapping. v3/v4 files load in O(header) time with first-touch
     /// validation; v1/v2 files fall back to full eager validation over
     /// the mapping (their whole-body checksum must be read anyway), still
     /// avoiding the heap copy of payload bytes. The mapping is advised
@@ -70,7 +80,7 @@ struct LoadOptions {
 
 /// Serializes `index` into `out` (replacing its contents).
 void SaveIndexToString(const InvertedIndex& index, std::string* out,
-                       IndexFormat format = IndexFormat::kV3);
+                       IndexFormat format = IndexFormat::kV4);
 
 /// Deserializes an index previously produced by SaveIndexToString (any
 /// format version; detected from the magic). The index copies `data` into
@@ -81,7 +91,7 @@ Status LoadIndexFromString(const std::string& data, InvertedIndex* out);
 /// docs/index_format.md for the write-then-rename recommendation when the
 /// file may be mmap-loaded concurrently).
 Status SaveIndexToFile(const InvertedIndex& index, const std::string& path,
-                       IndexFormat format = IndexFormat::kV3);
+                       IndexFormat format = IndexFormat::kV4);
 
 /// Reads and deserializes an index from `path`. Returns IOError when the
 /// file cannot be opened or read at all, and Corruption when it opens but

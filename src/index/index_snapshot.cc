@@ -101,6 +101,11 @@ Status ComputeStats(const std::vector<SegmentView>& segments,
     for (NodeId n = 0; n < idx.num_nodes(); ++n) {
       if (dead != nullptr && dead->Contains(n)) continue;  // never scored
       st.norms[n] = sum_sq[n] > 0 ? std::sqrt(sum_sq[n]) : 1.0;
+      // Same product expression TfIdfModel::LeafScore divides by, so the
+      // minimum is an exact lower bound on any live denominator.
+      const double un =
+          std::max<uint32_t>(1, idx.unique_tokens(n)) * st.norms[n];
+      st.min_uniq_norm = std::min(st.min_uniq_norm, un);
     }
   }
   return Status::OK();

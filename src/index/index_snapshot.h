@@ -24,6 +24,7 @@
 #define FTS_INDEX_INDEX_SNAPSHOT_H_
 
 #include <cstdint>
+#include <limits>
 #include <memory>
 #include <string>
 #include <unordered_map>
@@ -52,6 +53,14 @@ struct SegmentScoringStats {
   /// out-of-vocabulary in this segment but live elsewhere (they still
   /// contribute idf to the query norm). Owned by the snapshot.
   const std::unordered_map<std::string, uint32_t>* df_by_text = nullptr;
+  /// Minimum over this segment's *live* nodes of max(1, unique_tokens(n))
+  /// * norms[n] — the smallest denominator a TF-IDF LeafScore over this
+  /// segment can see under the global stats. Block-max top-k divides by it
+  /// to bound per-block impact; tombstoned nodes are excluded (their norms
+  /// are placeholders and they are never scored), which can only raise the
+  /// minimum and tighten — never unsound-en — the bound. +infinity when
+  /// the segment has no live node.
+  double min_uniq_norm = std::numeric_limits<double>::infinity();
 };
 
 /// One segment as seen by the read path.

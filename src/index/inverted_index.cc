@@ -1,5 +1,6 @@
 #include "index/inverted_index.h"
 
+#include <algorithm>
 #include <cassert>
 
 #include "index/block_posting_list.h"
@@ -201,6 +202,19 @@ Status InvertedIndex::ValidateBlocks() const {
     FTS_RETURN_IF_ERROR(validate(l));
   }
   return validate(*block_any_list_);
+}
+
+void InvertedIndex::RecomputeMinUniqNorm() {
+  // The same product every TF-IDF LeafScore divides by — computed with the
+  // identical expression so the minimum is an exact lower bound on any
+  // denominator, making the derived impact upper bounds sound under IEEE
+  // rounding (correctly rounded ops are monotone).
+  double min_un = std::numeric_limits<double>::infinity();
+  for (NodeId n = 0; n < node_norms_.size(); ++n) {
+    const double un = std::max<uint32_t>(1, unique_tokens_[n]) * node_norms_[n];
+    min_un = std::min(min_un, un);
+  }
+  min_uniq_norm_ = min_un;
 }
 
 TokenId InvertedIndex::LookupToken(std::string_view token) const {

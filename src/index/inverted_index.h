@@ -22,6 +22,7 @@
 #ifndef FTS_INDEX_INVERTED_INDEX_H_
 #define FTS_INDEX_INVERTED_INDEX_H_
 
+#include <limits>
 #include <memory>
 #include <span>
 #include <string>
@@ -219,6 +220,12 @@ class InvertedIndex {
   /// L2 norm of node `n`'s TF-IDF vector (||n||_2 in paper Section 3.1).
   double node_norm(NodeId n) const { return node_norms_[n]; }
 
+  /// Minimum over all nodes of max(1, unique_tokens(n)) * node_norm(n) —
+  /// the smallest denominator any TF-IDF LeafScore can see. Score models
+  /// divide by it to turn a block's max_tf into a sound per-block impact
+  /// upper bound. +infinity for an empty index (no node, no bound needed).
+  double min_uniq_norm() const { return min_uniq_norm_; }
+
   /// Resident heap footprint of the index in bytes: compressed posting
   /// payloads (owned or in the heap source buffer) + skip tables +
   /// dictionary + per-node scalars. Counted from container capacities, so
@@ -249,12 +256,18 @@ class InvertedIndex {
   /// malformed payload, so cursors never see invalid bytes at query time.
   Status ValidateBlocks() const;
 
+  /// Refreshes min_uniq_norm_ from the per-node scalar tables; called by
+  /// the builder after computing norms and by the loaders after parsing
+  /// the scalar section.
+  void RecomputeMinUniqNorm();
+
   std::vector<BlockPostingList> block_lists_;          // indexed by TokenId
   std::unique_ptr<BlockPostingList> block_any_list_;   // compressed IL_ANY
   std::vector<std::string> token_texts_;    // TokenId -> spelling
   std::unordered_map<std::string, TokenId> token_ids_;
   std::vector<uint32_t> unique_tokens_;     // NodeId -> distinct token count
   std::vector<double> node_norms_;          // NodeId -> ||n||_2
+  double min_uniq_norm_ = std::numeric_limits<double>::infinity();
   IndexStats stats_;
   /// Byte storage the lists' data() views borrow from (null when every
   /// list owns its bytes). Shared so moves/loans never dangle.

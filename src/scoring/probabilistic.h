@@ -39,6 +39,15 @@ class ProbabilisticScoreModel : public AlgebraScoreModel {
   double EntryScore(const InvertedIndex& index, TokenId token, NodeId node,
                     size_t count) const override;
   double AnyLeafScore() const override { return 1.0; }
+  /// Exact: the leaf probability is node-independent, so the noisy-or at
+  /// count = max_tf is the largest EntryScore any entry in the block can
+  /// have (1 - pow(1-p, count) is monotone in count for p in [0,1] under
+  /// a correctly rounded pow).
+  double EntryScoreUpperBound(const InvertedIndex& index, TokenId token,
+                              uint32_t max_tf) const override {
+    return EntryScore(index, token, /*node=*/0,
+                      static_cast<size_t>(max_tf));
+  }
   double JoinScore(double s1, size_t, double s2, size_t) const override {
     return s1 * s2;
   }

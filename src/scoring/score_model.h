@@ -15,6 +15,7 @@
 #define FTS_SCORING_SCORE_MODEL_H_
 
 #include <cstdint>
+#include <limits>
 #include <span>
 #include <string_view>
 
@@ -54,6 +55,22 @@ class AlgebraScoreModel {
     double acc = s;
     for (size_t i = 1; i < count; ++i) acc = ProjectCombine(acc, s);
     return acc;
+  }
+
+  /// Upper bound on EntryScore(index, token, n, count) over every node n
+  /// and every count <= max_tf — the per-block impact bound of block-max
+  /// top-k evaluation (max_tf being the block's largest position count,
+  /// from the v4 skip directory). Soundness contract: for any node in the
+  /// index and any entry in the block, the actual EntryScore, evaluated by
+  /// this model with its exact floating-point expressions, must compare <=
+  /// to this bound. The base implementation returns +infinity ("cannot
+  /// bound"), which disables score-skipping for the list — always sound.
+  virtual double EntryScoreUpperBound(const InvertedIndex& index, TokenId token,
+                                      uint32_t max_tf) const {
+    (void)index;
+    (void)token;
+    (void)max_tf;
+    return std::numeric_limits<double>::infinity();
   }
 
   /// Join transformation. `group_other1` is the number of join partners the

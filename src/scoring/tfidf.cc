@@ -71,6 +71,33 @@ double TfIdfScoreModel::LeafScore(const InvertedIndex& index, TokenId token,
   return idf * idf / (uniq * norm * query_norm_);
 }
 
+double TfIdfScoreModel::EntryScoreUpperBound(const InvertedIndex& index,
+                                             TokenId token,
+                                             uint32_t max_tf) const {
+  // Resolve idf exactly as LeafScore does, so the bound and the score use
+  // the same value.
+  auto it = idf_by_id_.find(token);
+  double idf;
+  if (it != idf_by_id_.end()) {
+    idf = it->second;
+  } else if (stats_ != nullptr) {
+    const uint32_t df = stats_->global_df[token];
+    idf = df == 0 ? 0.0
+                  : std::log(1.0 + static_cast<double>(stats_->live_nodes) / df);
+  } else {
+    const uint32_t df = index.df(token);
+    idf = df == 0 ? 0.0
+                  : std::log(1.0 + static_cast<double>(index.num_nodes()) / df);
+  }
+  if (idf == 0.0) return 0.0;  // the token scores 0 everywhere
+  const double min_un =
+      stats_ != nullptr ? stats_->min_uniq_norm : index.min_uniq_norm();
+  if (!(min_un > 0) || std::isinf(min_un)) {
+    return std::numeric_limits<double>::infinity();  // cannot bound
+  }
+  return idf * idf / (min_un * query_norm_) * static_cast<double>(max_tf);
+}
+
 double TfIdfScoreModel::Idf(const std::string& token) const {
   auto it = idf_.find(token);
   if (it != idf_.end()) return it->second;

@@ -53,6 +53,13 @@ class TfIdfScoreModel : public AlgebraScoreModel {
     return LeafScore(index, token, node) * static_cast<double>(count);
   }
   double AnyLeafScore() const override { return 0.0; }
+  /// idf²/(min_uniq_norm·‖q‖₂)·max_tf: LeafScore with the smallest
+  /// denominator any node can present, times the block's largest
+  /// occurrence count. Sound under IEEE rounding because min_uniq_norm is
+  /// the exact minimum of the uniq·norm products LeafScore divides by and
+  /// correctly rounded ops are monotone.
+  double EntryScoreUpperBound(const InvertedIndex& index, TokenId token,
+                              uint32_t max_tf) const override;
   double JoinScore(double s1, size_t group_other1, double s2,
                    size_t group_other2) const override {
     // Section 3.1: t3.score = t1.score/|R2| + t2.score/|R1|, with the

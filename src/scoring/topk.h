@@ -4,6 +4,7 @@
 #define FTS_SCORING_TOPK_H_
 
 #include <cstddef>
+#include <limits>
 #include <vector>
 
 #include "text/document.h"
@@ -22,6 +23,11 @@ class TopKAccumulator {
  public:
   explicit TopKAccumulator(size_t k);
 
+  /// Offers (node, score). Tie-break contract at the heap boundary: when
+  /// `score` equals the current weakest score, the *smaller* node id is
+  /// kept (an equal-scored candidate with a smaller id replaces the
+  /// weakest; one with a larger id is rejected). With k == 0 every Add is
+  /// a no-op.
   void Add(NodeId node, double score);
 
   /// Results in descending score order (ties by ascending node id).
@@ -29,9 +35,24 @@ class TopKAccumulator {
 
   size_t size() const { return heap_.size(); }
 
+  /// True when the heap holds k results — from here on threshold() is the
+  /// score a candidate must beat (or tie with a smaller node id) to enter.
+  bool full() const { return k_ != 0 && heap_.size() >= k_; }
+
+  /// Current entry threshold: the weakest retained score when full,
+  /// -infinity otherwise (any score enters). Block-max evaluation skips
+  /// blocks whose impact upper bound cannot exceed this.
+  double threshold() const {
+    return full() ? heap_.front().score
+                  : -std::numeric_limits<double>::infinity();
+  }
+
  private:
   size_t k_;
-  std::vector<ScoredNode> heap_;  // min-heap on (score, -node)
+  /// Min-heap ordered by (score ascending, node id descending): the front
+  /// is the weakest result — lowest score, and among equal scores the
+  /// largest node id, so equal-score ties resolve toward smaller ids.
+  std::vector<ScoredNode> heap_;
 };
 
 /// Convenience: the top-k of parallel (nodes, scores) vectors.

@@ -247,7 +247,7 @@ INSTANTIATE_TEST_SUITE_P(Seeds, V2ResealedFuzz, ::testing::Values(1, 2, 3));
 // (FTS_MMAP_EXHAUSTIVE=1), other runs sample every 7th byte.
 // ---------------------------------------------------------------------------
 
-std::string SaveSmallV3Index() {
+std::string SaveSmallIndexAs(IndexFormat format) {
   CorpusGenOptions opts;
   opts.seed = 11;
   opts.num_nodes = 50;
@@ -257,7 +257,7 @@ std::string SaveSmallV3Index() {
   Corpus corpus = GenerateCorpus(opts);
   InvertedIndex index = IndexBuilder::Build(corpus);
   std::string blob;
-  SaveIndexToString(index, &blob, IndexFormat::kV3);
+  SaveIndexToString(index, &blob, format);
   return blob;
 }
 
@@ -290,47 +290,55 @@ Status TouchEveryBlock(const InvertedIndex& index) {
 }
 
 TEST(MmapFirstTouchSweep, EveryByteFlipSurfacesCorruption) {
-  const std::string blob = SaveSmallV3Index();
-  ASSERT_EQ(blob[6], '3');
-  const std::string path = ::testing::TempDir() + "/fts_mmap_flip_sweep.idx";
-  LoadOptions mmap;
-  mmap.mode = LoadOptions::Mode::kMmap;
-  for (size_t pos = 0; pos < blob.size(); pos += SweepStride()) {
-    std::string mutated = blob;
-    mutated[pos] = static_cast<char>(mutated[pos] ^ (1 << (pos % 8)));
-    WriteFile(path, mutated);
-    InvertedIndex loaded;
-    Status s = LoadIndexFromFile(path, &loaded, mmap);
-    if (s.ok()) {
-      // The flip was in a payload the lazy load never read: it must be
-      // caught by the flipped block's checksum on first touch, and queries
-      // against the poisoned index must fail closed, not fault.
-      s = TouchEveryBlock(loaded);
-      QueryRouter router(&loaded);
-      (void)router.Evaluate("'w0' AND 'w1'");
+  // Both mmap-capable formats: v3 and v4 (whose skip entries additionally
+  // carry the block-max tf used for ranked early termination — a flipped
+  // max_tf must be caught by the directory trailer checksum, never become
+  // a silently unsound score bound).
+  for (IndexFormat format : {IndexFormat::kV3, IndexFormat::kV4}) {
+    const std::string blob = SaveSmallIndexAs(format);
+    ASSERT_EQ(blob[6], format == IndexFormat::kV3 ? '3' : '4');
+    const std::string path = ::testing::TempDir() + "/fts_mmap_flip_sweep.idx";
+    LoadOptions mmap;
+    mmap.mode = LoadOptions::Mode::kMmap;
+    for (size_t pos = 0; pos < blob.size(); pos += SweepStride()) {
+      std::string mutated = blob;
+      mutated[pos] = static_cast<char>(mutated[pos] ^ (1 << (pos % 8)));
+      WriteFile(path, mutated);
+      InvertedIndex loaded;
+      Status s = LoadIndexFromFile(path, &loaded, mmap);
+      if (s.ok()) {
+        // The flip was in a payload the lazy load never read: it must be
+        // caught by the flipped block's checksum on first touch, and
+        // queries against the poisoned index must fail closed, not fault.
+        s = TouchEveryBlock(loaded);
+        QueryRouter router(&loaded);
+        (void)router.Evaluate("'w0' AND 'w1'");
+      }
+      ASSERT_FALSE(s.ok()) << "byte " << pos << " flip never surfaced";
+      EXPECT_EQ(s.code(), StatusCode::kCorruption) << "byte " << pos;
     }
-    ASSERT_FALSE(s.ok()) << "byte " << pos << " flip never surfaced";
-    EXPECT_EQ(s.code(), StatusCode::kCorruption) << "byte " << pos;
+    std::remove(path.c_str());
   }
-  std::remove(path.c_str());
 }
 
 TEST(MmapFirstTouchSweep, EveryTruncationFailsAtLoad) {
   // Truncation cuts bytes off the end, which the lazy loader must notice
   // without reading payloads: the directory bounds every payload range and
   // the trailer checksum pins the directory itself.
-  const std::string blob = SaveSmallV3Index();
-  const std::string path = ::testing::TempDir() + "/fts_mmap_trunc_sweep.idx";
-  LoadOptions mmap;
-  mmap.mode = LoadOptions::Mode::kMmap;
-  for (size_t len = 0; len < blob.size(); len += SweepStride()) {
-    WriteFile(path, blob.substr(0, len));
-    InvertedIndex loaded;
-    const Status s = LoadIndexFromFile(path, &loaded, mmap);
-    ASSERT_FALSE(s.ok()) << "truncation to " << len << " accepted";
-    EXPECT_EQ(s.code(), StatusCode::kCorruption) << "length " << len;
+  for (IndexFormat format : {IndexFormat::kV3, IndexFormat::kV4}) {
+    const std::string blob = SaveSmallIndexAs(format);
+    const std::string path = ::testing::TempDir() + "/fts_mmap_trunc_sweep.idx";
+    LoadOptions mmap;
+    mmap.mode = LoadOptions::Mode::kMmap;
+    for (size_t len = 0; len < blob.size(); len += SweepStride()) {
+      WriteFile(path, blob.substr(0, len));
+      InvertedIndex loaded;
+      const Status s = LoadIndexFromFile(path, &loaded, mmap);
+      ASSERT_FALSE(s.ok()) << "truncation to " << len << " accepted";
+      EXPECT_EQ(s.code(), StatusCode::kCorruption) << "length " << len;
+    }
+    std::remove(path.c_str());
   }
-  std::remove(path.c_str());
 }
 
 class V3MmapPayloadFuzz : public ::testing::TestWithParam<uint64_t> {};
@@ -345,44 +353,51 @@ TEST_P(V3MmapPayloadFuzz, RandomMultiByteDamageNeverFaultsLazyQueries) {
   // structural validators behind the checksums are separately exercised by
   // the eager V2ResealedFuzz above: first-touch decode runs the exact same
   // DecodeBlockEntries/DecodePositions checks.
-  const std::string blob = SaveSmallV3Index();
   const std::string path = ::testing::TempDir() + "/fts_mmap_reseal_fuzz.idx";
   LoadOptions mmap;
   mmap.mode = LoadOptions::Mode::kMmap;
   Rng rng(GetParam());
-  for (int trial = 0; trial < 120; ++trial) {
-    std::string mutated = blob;
-    // Mutate payload bytes only (the second half of the file is almost all
-    // payload; header/directory damage is covered by the flip sweep).
-    const size_t body = mutated.size() - 16;
-    const int mutations = 1 + static_cast<int>(rng.Uniform(4));
-    for (int m = 0; m < mutations; ++m) {
-      const size_t pos = 8 + rng.Uniform(body);
-      switch (rng.Uniform(3)) {
-        case 0:
-          mutated[pos] = static_cast<char>(mutated[pos] ^ (1 << rng.Uniform(8)));
-          break;
-        case 1:
-          mutated[pos] = static_cast<char>(0xFF);  // max varint continuation
-          break;
-        default:
-          mutated[pos] = 0;
-          break;
+  for (IndexFormat format : {IndexFormat::kV3, IndexFormat::kV4}) {
+    const std::string blob = SaveSmallIndexAs(format);
+    for (int trial = 0; trial < 120; ++trial) {
+      std::string mutated = blob;
+      // Mutate payload bytes only (the second half of the file is almost
+      // all payload; header/directory damage is covered by the flip sweep).
+      const size_t body = mutated.size() - 16;
+      const int mutations = 1 + static_cast<int>(rng.Uniform(4));
+      for (int m = 0; m < mutations; ++m) {
+        const size_t pos = 8 + rng.Uniform(body);
+        switch (rng.Uniform(3)) {
+          case 0:
+            mutated[pos] =
+                static_cast<char>(mutated[pos] ^ (1 << rng.Uniform(8)));
+            break;
+          case 1:
+            mutated[pos] = static_cast<char>(0xFF);  // max varint continuation
+            break;
+          default:
+            mutated[pos] = 0;
+            break;
+        }
       }
-    }
-    WriteFile(path, mutated);
-    InvertedIndex loaded;
-    const Status s = LoadIndexFromFile(path, &loaded, mmap);
-    if (s.ok()) {
-      const Status touch = TouchEveryBlock(loaded);
-      if (!touch.ok()) {
-        EXPECT_EQ(touch.code(), StatusCode::kCorruption) << touch.ToString();
+      WriteFile(path, mutated);
+      InvertedIndex loaded;
+      const Status s = LoadIndexFromFile(path, &loaded, mmap);
+      if (s.ok()) {
+        const Status touch = TouchEveryBlock(loaded);
+        if (!touch.ok()) {
+          EXPECT_EQ(touch.code(), StatusCode::kCorruption) << touch.ToString();
+        }
+        QueryRouter router(&loaded);
+        (void)router.Evaluate("'w0' AND 'w1'");
+        (void)router.Evaluate("'w1' OR NOT 'w2'");
+        // Ranked evaluation drives the block-max early-termination path,
+        // whose score bounds come from the (v4) skip directory — damaged
+        // maxima must fail closed, never fault or hang.
+        (void)router.EvaluateTopK("'w0' OR 'w3'", 5);
+      } else {
+        EXPECT_EQ(s.code(), StatusCode::kCorruption) << s.ToString();
       }
-      QueryRouter router(&loaded);
-      (void)router.Evaluate("'w0' AND 'w1'");
-      (void)router.Evaluate("'w1' OR NOT 'w2'");
-    } else {
-      EXPECT_EQ(s.code(), StatusCode::kCorruption) << s.ToString();
     }
   }
   std::remove(path.c_str());

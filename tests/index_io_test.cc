@@ -159,29 +159,34 @@ TEST(IndexIoTest, V1FilesStillLoad) {
   ExpectIndexEq(index, loaded);
 }
 
-TEST(IndexIoTest, V3IsTheDefaultFormat) {
+TEST(IndexIoTest, V4IsTheDefaultFormat) {
   InvertedIndex index = BuildTestIndex();
   std::string data;
   SaveIndexToString(index, &data);
-  EXPECT_EQ(data[6], '3');  // v3 magic
+  EXPECT_EQ(data[6], '4');  // v4 magic
 }
 
 TEST(IndexIoTest, AllFormatLoadsAreEquivalent) {
   InvertedIndex index = BuildTestIndex();
-  std::string v1, v2, v3;
+  std::string v1, v2, v3, v4;
   SaveIndexToString(index, &v1, IndexFormat::kV1);
   SaveIndexToString(index, &v2, IndexFormat::kV2);
   SaveIndexToString(index, &v3, IndexFormat::kV3);
-  InvertedIndex from_v1, from_v2, from_v3;
+  SaveIndexToString(index, &v4, IndexFormat::kV4);
+  InvertedIndex from_v1, from_v2, from_v3, from_v4;
   ASSERT_TRUE(LoadIndexFromString(v1, &from_v1).ok());
   ASSERT_TRUE(LoadIndexFromString(v2, &from_v2).ok());
   ASSERT_TRUE(LoadIndexFromString(v3, &from_v3).ok());
+  ASSERT_TRUE(LoadIndexFromString(v4, &from_v4).ok());
   ExpectIndexEq(from_v1, from_v2);
   ExpectIndexEq(from_v1, from_v3);
+  ExpectIndexEq(from_v1, from_v4);
 }
 
-TEST(IndexIoTest, V3SurvivesResaveRoundTrip) {
-  // v3 -> load -> save -> load is byte-stable and content-equal.
+TEST(IndexIoTest, DefaultFormatSurvivesResaveRoundTrip) {
+  // v4 -> load -> save -> load is byte-stable and content-equal (max_tf
+  // round-trips through the skip directory, so a resave regenerates
+  // identical bytes rather than recomputing different bounds).
   InvertedIndex index = BuildTestIndex();
   std::string first, second;
   SaveIndexToString(index, &first);
@@ -189,6 +194,73 @@ TEST(IndexIoTest, V3SurvivesResaveRoundTrip) {
   ASSERT_TRUE(LoadIndexFromString(first, &loaded).ok());
   SaveIndexToString(loaded, &second);
   EXPECT_EQ(first, second);
+}
+
+TEST(IndexIoTest, BlockMaxAvailabilityByFormat) {
+  // Built indexes and v4 loads carry trustworthy per-block max_tf bounds,
+  // and v1 loads rebuild their block lists from raw postings (recomputing
+  // the maxima); v2/v3 loads parse a skip directory that predates the
+  // statistic and must say so, which makes block-max evaluation fall back
+  // to full evaluation instead of trusting garbage bounds.
+  InvertedIndex index = BuildTestIndex();
+  ASSERT_GT(index.vocabulary_size(), 0u);
+  for (TokenId t = 0; t < index.vocabulary_size(); ++t) {
+    EXPECT_TRUE(index.block_list(t)->has_block_max());
+  }
+  struct Case {
+    IndexFormat format;
+    bool has_block_max;
+  };
+  for (const Case c : {Case{IndexFormat::kV1, true},
+                       Case{IndexFormat::kV2, false},
+                       Case{IndexFormat::kV3, false},
+                       Case{IndexFormat::kV4, true}}) {
+    std::string data;
+    SaveIndexToString(index, &data, c.format);
+    InvertedIndex loaded;
+    ASSERT_TRUE(LoadIndexFromString(data, &loaded).ok());
+    for (TokenId t = 0; t < loaded.vocabulary_size(); ++t) {
+      EXPECT_EQ(loaded.block_list(t)->has_block_max(), c.has_block_max)
+          << "format " << static_cast<int>(c.format) << " token " << t;
+    }
+    EXPECT_EQ(loaded.min_uniq_norm(), index.min_uniq_norm());
+  }
+}
+
+TEST(IndexIoTest, V4RoundTripsExactBlockMaxima) {
+  // The loaded skip directory must carry the same per-block max_tf the
+  // builder computed — an understated bound would make block-max skipping
+  // drop true results.
+  InvertedIndex index = BuildTestIndex();
+  std::string data;
+  SaveIndexToString(index, &data, IndexFormat::kV4);
+  InvertedIndex loaded;
+  ASSERT_TRUE(LoadIndexFromString(data, &loaded).ok());
+  for (TokenId t = 0; t < index.vocabulary_size(); ++t) {
+    const BlockPostingList* a = index.block_list(t);
+    const BlockPostingList* b = loaded.block_list(t);
+    ASSERT_EQ(a->num_blocks(), b->num_blocks());
+    for (size_t blk = 0; blk < a->num_blocks(); ++blk) {
+      EXPECT_EQ(a->skip(blk).max_tf, b->skip(blk).max_tf) << t << ":" << blk;
+      EXPECT_GT(b->skip(blk).max_tf, 0u);  // every block has >= 1 position
+    }
+  }
+}
+
+TEST(IndexIoTest, V4MmapLoadStaysLazyAndKeepsBlockMax) {
+  InvertedIndex index = BuildTestIndex();
+  const std::string path = ::testing::TempDir() + "/fts_v4_mmap.idx";
+  ASSERT_TRUE(SaveIndexToFile(index, path, IndexFormat::kV4).ok());
+  LoadOptions mmap;
+  mmap.mode = LoadOptions::Mode::kMmap;
+  InvertedIndex mapped;
+  ASSERT_TRUE(LoadIndexFromFile(path, &mapped, mmap).ok());
+  EXPECT_TRUE(mapped.lazy_validation());
+  for (TokenId t = 0; t < mapped.vocabulary_size(); ++t) {
+    EXPECT_TRUE(mapped.block_list(t)->has_block_max());
+  }
+  ExpectIndexEq(index, mapped);
+  std::remove(path.c_str());
 }
 
 TEST(IndexIoTest, V2StillLoadsAndRejectsCorruption) {

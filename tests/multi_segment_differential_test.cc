@@ -6,7 +6,11 @@
 // harness runs the familiar 240-combination workload (10 seeds x 24
 // random queries drawn from every language class), each combination
 // across all three scoring models, all three cursor modes, and both
-// storage modes (heap-built segments and mmap'd lazily validated twins).
+// storage modes (heap-built segments and mmap'd lazily validated twins),
+// and each of those both full and as a ranked top-10 request (which must
+// be bit-identical to TopK over the full evaluation — the block-max
+// early-termination proof, with random deletes in the mix so tombstoned
+// entries can only loosen block bounds, never break them).
 // MergeSegments is pinned the same way: the compacted segment must be
 // indistinguishable from the single-shot build at the query level. The
 // naive calculus evaluator over the surviving corpus anchors the node
@@ -15,6 +19,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <memory>
 #include <string>
@@ -32,6 +37,7 @@
 #include "index/tombstone_set.h"
 #include "lang/ast.h"
 #include "lang/translate.h"
+#include "scoring/topk.h"
 #include "testing/random_workload.h"
 #include "text/corpus.h"
 
@@ -204,6 +210,38 @@ void ExpectSnapshotMatchesReference(const Searcher& snapshot_searcher,
   EXPECT_EQ(snap->result.scores, ref->result.scores)
       << what << ": " << query->ToString();
   EXPECT_EQ(snap->engine, ref->engine) << what << ": " << query->ToString();
+
+  // Top-k axis: a ranked top-10 request on the same searcher must be
+  // bit-identical — nodes, scores, rank order — to TopK over the full
+  // evaluation, whichever path it takes (block-max early termination on
+  // seek modes, full evaluation elsewhere). Tombstoned documents may
+  // inflate block maxima (bounds stay sound) but must never surface.
+  constexpr size_t kTopK = 10;
+  ExecContext ranked_ctx;
+  ranked_ctx.set_top_k(kTopK);
+  auto ranked = snapshot_searcher.SearchParsed(query, ranked_ctx);
+  ASSERT_TRUE(ranked.ok()) << what << ": " << query->ToString() << ": "
+                           << ranked.status().ToString();
+  EXPECT_EQ(ranked->engine, snap->engine) << what << ": " << query->ToString();
+  std::vector<NodeId> expect_nodes;
+  std::vector<double> expect_scores;
+  if (snap->result.scores.empty()) {
+    // Unscored: every candidate ties at zero, so rank order is ascending
+    // node id — the first k full results, scores omitted.
+    const size_t n = std::min(kTopK, snap->result.nodes.size());
+    expect_nodes.assign(snap->result.nodes.begin(),
+                        snap->result.nodes.begin() + n);
+  } else {
+    for (const ScoredNode& s :
+         TopK(snap->result.nodes, snap->result.scores, kTopK)) {
+      expect_nodes.push_back(s.node);
+      expect_scores.push_back(s.score);
+    }
+  }
+  EXPECT_EQ(ranked->result.nodes, expect_nodes)
+      << what << ": " << query->ToString();
+  EXPECT_EQ(ranked->result.scores, expect_scores)
+      << what << ": " << query->ToString();
 }
 
 class MultiSegmentDifferential : public ::testing::TestWithParam<uint64_t> {};

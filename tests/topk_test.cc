@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <limits>
+#include <vector>
 
 #include "common/rng.h"
 
@@ -68,6 +70,94 @@ TEST(TopKTest, MatchesFullSortOnRandomInput) {
     EXPECT_EQ(top[i].node, all[i].node);
     EXPECT_DOUBLE_EQ(top[i].score, all[i].score);
   }
+}
+
+TEST(TopKTest, BoundaryTieKeepsSmallerNodeId) {
+  // The tie-break contract at the heap boundary, pinned in both
+  // directions: with the heap full at score 0.5, an equal-scored candidate
+  // with a *smaller* id replaces the weakest entry, and one with a
+  // *larger* id is rejected. Block-max early termination relies on the
+  // rejection half — a skipped candidate (always the largest id seen so
+  // far) with score == threshold would have been rejected anyway.
+  TopKAccumulator reject(2);
+  reject.Add(3, 0.5);
+  reject.Add(7, 0.5);
+  reject.Add(9, 0.5);  // equal score, larger id than both: rejected
+  auto kept = reject.Take();
+  ASSERT_EQ(kept.size(), 2u);
+  EXPECT_EQ(kept[0].node, 3u);
+  EXPECT_EQ(kept[1].node, 7u);
+
+  TopKAccumulator replace(2);
+  replace.Add(7, 0.5);
+  replace.Add(9, 0.5);
+  replace.Add(3, 0.5);  // equal score, smaller id: replaces node 9
+  kept = replace.Take();
+  ASSERT_EQ(kept.size(), 2u);
+  EXPECT_EQ(kept[0].node, 3u);
+  EXPECT_EQ(kept[1].node, 7u);
+}
+
+TEST(TopKTest, TakeIsDeterministicAcrossInsertionOrders) {
+  // Same (node, score) multiset, different insertion orders: Take() must
+  // return the identical ranked sequence — rank order is a pure function
+  // of the set, not of heap internals.
+  const std::vector<ScoredNode> items = {
+      {4, 0.25}, {11, 0.75}, {2, 0.75}, {8, 0.25},
+      {1, 0.5},  {6, 0.5},   {3, 0.25}, {9, 0.75},
+  };
+  std::vector<ScoredNode> reference;
+  {
+    TopKAccumulator acc(4);
+    for (const ScoredNode& s : items) acc.Add(s.node, s.score);
+    reference = acc.Take();
+    ASSERT_EQ(reference.size(), 4u);
+  }
+  std::vector<ScoredNode> perm = items;
+  std::sort(perm.begin(), perm.end(),
+            [](const ScoredNode& a, const ScoredNode& b) {
+              return a.node < b.node;
+            });
+  do {
+    TopKAccumulator acc(4);
+    for (const ScoredNode& s : perm) acc.Add(s.node, s.score);
+    const auto top = acc.Take();
+    ASSERT_EQ(top.size(), reference.size());
+    for (size_t i = 0; i < top.size(); ++i) {
+      EXPECT_EQ(top[i].node, reference[i].node);
+      EXPECT_EQ(top[i].score, reference[i].score);
+    }
+  } while (std::next_permutation(
+      perm.begin(), perm.end(), [](const ScoredNode& a, const ScoredNode& b) {
+        return a.node < b.node;
+      }));
+}
+
+TEST(TopKTest, ZeroKNeverFillsAndThresholdStaysOpen) {
+  // k == 0: every Add is a no-op, the accumulator never reports full, and
+  // Take() is an empty no-op even after many offers.
+  TopKAccumulator acc(0);
+  for (NodeId n = 0; n < 100; ++n) {
+    acc.Add(n, static_cast<double>(n));
+    EXPECT_FALSE(acc.full());
+    EXPECT_EQ(acc.size(), 0u);
+  }
+  EXPECT_TRUE(acc.Take().empty());
+}
+
+TEST(TopKTest, FullAndThresholdTrackTheBoundary) {
+  TopKAccumulator acc(2);
+  EXPECT_FALSE(acc.full());
+  EXPECT_EQ(acc.threshold(), -std::numeric_limits<double>::infinity());
+  acc.Add(1, 0.9);
+  EXPECT_FALSE(acc.full());
+  acc.Add(2, 0.4);
+  EXPECT_TRUE(acc.full());
+  EXPECT_EQ(acc.threshold(), 0.4);
+  acc.Add(3, 0.6);  // evicts 0.4; weakest is now 0.6
+  EXPECT_EQ(acc.threshold(), 0.6);
+  acc.Add(4, 0.1);  // under threshold: rejected, boundary unchanged
+  EXPECT_EQ(acc.threshold(), 0.6);
 }
 
 TEST(TopKTest, DescendingOrderInvariant) {
