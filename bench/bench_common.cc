@@ -6,9 +6,11 @@
 #include <string_view>
 #include <vector>
 
+#include "common/varint_simd.h"
 #include "eval/bool_engine.h"
 #include "eval/comp_engine.h"
 #include "eval/ppred_engine.h"
+#include "index/block_posting_list.h"
 #include "index/index_builder.h"
 #include "lang/parser.h"
 
@@ -100,6 +102,13 @@ int BenchMain(int argc, char** argv) {
 
   benchmark::Initialize(&cargc, cargs.data());
   if (benchmark::ReportUnrecognizedArguments(cargc, cargs.data())) return 1;
+  // Record which decode arm the dispatcher resolved to (and whether dense
+  // bitset blocks are being built) in the JSON context, so a baseline file
+  // always says which configuration produced it.
+  benchmark::AddCustomContext("fts_decode_arm", DecodeArmName(ActiveDecodeArm()));
+  benchmark::AddCustomContext(
+      "fts_bitset_blocks",
+      BlockPostingList::DenseBlocksEnabledByDefault() ? "on" : "off");
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   return 0;
@@ -127,6 +136,9 @@ void RunQuery(benchmark::State& state, const Engine& engine, const std::string& 
   state.counters["tuples"] = static_cast<double>(last.counters.tuples_materialized);
   state.counters["pred_evals"] = static_cast<double>(last.counters.predicate_evals);
   state.counters["orderings"] = static_cast<double>(last.counters.orderings_run);
+  state.counters["simd_groups"] = static_cast<double>(last.counters.simd_groups_decoded);
+  state.counters["bitset_ands"] =
+      static_cast<double>(last.counters.bitset_blocks_intersected);
 }
 
 void PrintFigureHeader(const char* figure, const char* expectation) {

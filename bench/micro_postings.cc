@@ -207,6 +207,20 @@ BENCHMARK(BM_SelectiveAnd)
     ->ArgsProduct({{0, 1, 2}, {2000, 12000}})
     ->ArgNames({"mode", "rare_token"});
 
+// AND of two dense topic tokens — the dense-clustered shape where both
+// sides' blocks are bitset-encoded. In seek mode the zig-zag
+// short-circuits to word-level bitset intersection (the bitset_ands
+// counter proves it); sequential mode and varint-only builds
+// (FTS_DISABLE_BITSET_BLOCKS=1) walk the same query entry-at-a-time, which
+// is the comparison that prices the hybrid encoding.
+void BM_DenseAnd(benchmark::State& state) {
+  const InvertedIndex& index = SharedIndex(6000, 6);
+  const char* kinds[] = {"BOOL", "BOOL_SEEK"};
+  auto engine = fts::benchutil::MakeEngine(kinds[state.range(0)], &index);
+  fts::benchutil::RunQuery(state, *engine, "topic0 and topic2");
+}
+BENCHMARK(BM_DenseAnd)->ArgsProduct({{0, 1}})->ArgNames({"mode"});
+
 }  // namespace
 
 int main(int argc, char** argv) { return fts::benchutil::BenchMain(argc, argv); }

@@ -24,6 +24,13 @@ the Debug leg is advisory. (The `library_build_type: debug` field inside
 the baseline JSONs describes the google-benchmark harness package, not
 this library's optimization level.)
 
+Baselines are decode-arm-aware: the runtime-dispatched group-varint
+decoder makes decode-heavy benchmarks genuinely faster under SIMD, so each
+run's recorded `fts_decode_arm` context selects
+bench/baselines/BENCH_<bench>.<arm>.json when that file exists, falling
+back to the plain BENCH_<bench>.json (recorded scalar-forced — the
+portable floor every arm should at least match).
+
 Note: the container's google-benchmark predates the "0.01x" min-time
 syntax, so the script passes a plain seconds value (default 0.05).
 """
@@ -52,7 +59,9 @@ TIME_UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
 def load_times(path):
     """benchmark name -> CPU time in ns, per-iteration runs only. CPU time
     is used instead of wall time: the smoke run is short, and scheduler
-    noise on shared CI runners hits wall time much harder."""
+    noise on shared CI runners hits wall time much harder. Also returns the
+    run's decode arm ("avx2"/"ssse3"/"scalar", recorded by BenchMain as
+    custom context) so the caller can pick an arm-matched baseline."""
     with open(path) as f:
         doc = json.load(f)
     times = {}
@@ -61,7 +70,7 @@ def load_times(path):
             continue  # skip mean/median/stddev aggregates
         unit = TIME_UNIT_NS.get(b.get("time_unit", "ns"), 1.0)
         times[b["name"]] = b["cpu_time"] * unit
-    return times
+    return times, doc.get("context", {}).get("fts_decode_arm")
 
 
 def run_bench(build_dir, bench, min_time, out_path):
@@ -80,21 +89,19 @@ def run_bench(build_dir, bench, min_time, out_path):
 def check_bench(build_dir, baseline_dir, bench, min_time, threshold, runs,
                 max_bench_ms):
     """Returns (regressions, report_lines)."""
-    baseline_path = os.path.join(baseline_dir, f"BENCH_{bench}.json")
-    if not os.path.exists(baseline_path):
-        return [], [f"{bench}: no baseline at {baseline_path}; skipped"]
-    baseline = load_times(baseline_path)
-
     # Best-of-N: scheduler interference only ever inflates timings, so the
     # per-benchmark minimum over a few short runs is far stabler than one
     # longer run.
     current = {}
+    arm = None
     for _ in range(runs):
         with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as tmp:
             out_path = tmp.name
         try:
             run_bench(build_dir, bench, min_time, out_path)
-            for name, t in load_times(out_path).items():
+            run_times, run_arm = load_times(out_path)
+            arm = arm or run_arm
+            for name, t in run_times.items():
                 current[name] = min(t, current.get(name, float("inf")))
         except (FileNotFoundError, subprocess.CalledProcessError) as e:
             # A missing or crashing binary must not take the whole check
@@ -104,6 +111,21 @@ def check_bench(build_dir, baseline_dir, bench, min_time, threshold, runs,
             return [], [f"{bench}: run failed ({e}); skipped"]
         finally:
             os.unlink(out_path)
+
+    # Decode-arm-aware baseline selection: SIMD group decode makes the
+    # decode-heavy benchmarks genuinely faster, so a scalar-forced run
+    # compared against an avx2-recorded baseline reports the SIMD speedup
+    # itself as a regression (and vice versa hides real ones). Prefer a
+    # baseline recorded under the same arm; the plain file is the portable
+    # floor for arms without a dedicated recording.
+    baseline_path = os.path.join(baseline_dir, f"BENCH_{bench}.json")
+    if arm is not None:
+        arm_path = os.path.join(baseline_dir, f"BENCH_{bench}.{arm}.json")
+        if os.path.exists(arm_path):
+            baseline_path = arm_path
+    if not os.path.exists(baseline_path):
+        return [], [f"{bench}: no baseline at {baseline_path}; skipped"]
+    baseline, baseline_arm = load_times(baseline_path)
 
     common = sorted(set(baseline) & set(current))
     # Benchmarks whose single iteration exceeds the smoke budget run once,
@@ -118,8 +140,13 @@ def check_bench(build_dir, baseline_dir, bench, min_time, threshold, runs,
 
     ratios = {name: current[name] / baseline[name] for name in common}
     median = statistics.median(ratios.values())
+    arm_note = ""
+    if arm is not None or baseline_arm is not None:
+        arm_note = (f", decode arm {arm or 'unknown'} vs baseline "
+                    f"{baseline_arm or 'unknown'} "
+                    f"[{os.path.basename(baseline_path)}]")
     report = [f"{bench}: {len(common)} benchmarks, median machine ratio "
-              f"{median:.2f}x (normalizing by it)"]
+              f"{median:.2f}x (normalizing by it){arm_note}"]
     if too_long:
         report.append(f"  {len(too_long)} benchmark(s) over {max_bench_ms}ms "
                       f"per iteration skipped (cold single-iteration smoke "

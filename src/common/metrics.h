@@ -70,6 +70,15 @@ struct EvalCounters {
   /// full evaluation would have decoded and this query never did. The
   /// early-termination win in one number.
   uint64_t blocks_skipped_by_score = 0;
+  /// Varint groups decoded through a SIMD arm (one per bulk group-decoder
+  /// call — entry-header streams, position-triple chunks, bitset-block
+  /// count/length streams). Zero when the scalar arm is dispatched
+  /// (FTS_FORCE_SCALAR_DECODE=1 or no SSSE3), so tests can assert the
+  /// intended arm actually ran.
+  uint64_t simd_groups_decoded = 0;
+  /// Dense (bitset-encoded) block pairs intersected at word level by the
+  /// BOOL zig-zag AND fast path instead of entry-at-a-time seeking.
+  uint64_t bitset_blocks_intersected = 0;
 
   void Reset() { *this = EvalCounters{}; }
 
@@ -97,6 +106,8 @@ struct EvalCounters {
     shared_cache_misses += o.shared_cache_misses;
     first_touch_validations += o.first_touch_validations;
     blocks_skipped_by_score += o.blocks_skipped_by_score;
+    simd_groups_decoded += o.simd_groups_decoded;
+    bitset_blocks_intersected += o.bitset_blocks_intersected;
     return *this;
   }
 
@@ -117,7 +128,9 @@ struct EvalCounters {
            " l2_hits=" + std::to_string(shared_cache_hits) +
            " l2_misses=" + std::to_string(shared_cache_misses) +
            " first_touch=" + std::to_string(first_touch_validations) +
-           " blocks_skipped_by_score=" + std::to_string(blocks_skipped_by_score);
+           " blocks_skipped_by_score=" + std::to_string(blocks_skipped_by_score) +
+           " simd_groups=" + std::to_string(simd_groups_decoded) +
+           " bitset_ands=" + std::to_string(bitset_blocks_intersected);
   }
 };
 

@@ -1,0 +1,69 @@
+// Runtime-dispatched SIMD group-varint decoding.
+//
+// GetVarint32Group (common/varint.h) is the scalar bulk decoder used by the
+// block posting-list hot paths. This header adds pshufb shuffle-table
+// variants of the same contract (masked-VByte style): a 16-byte load's
+// continuation-bit movemask indexes a precomputed table whose shuffle
+// control gathers up to eight 1..2-byte varints into 16-bit lanes at once;
+// longer (3..5 byte) varints and everything near `limit` fall back to the
+// checked scalar primitives, so the SIMD arms accept and reject *exactly*
+// the byte sequences the scalar decoder does — truncation and 5-byte
+// overflow handling included. That equivalence is pinned by
+// tests/varint_test.cc differentials.
+//
+// The arm is chosen once per process from cpuid (AVX2 > SSSE3 > scalar) and
+// can be pinned to scalar with FTS_FORCE_SCALAR_DECODE=1 in the environment
+// — the CI leg that keeps the portable arm honest on SIMD-capable runners.
+// Callers on the decode hot path go through GetVarint32GroupAuto, which
+// calls through the resolved arm; ActiveDecodeArm()/DecodeArmName() expose
+// the decision for bench context and diagnostics.
+
+#ifndef FTS_COMMON_VARINT_SIMD_H_
+#define FTS_COMMON_VARINT_SIMD_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace fts {
+
+/// Which group-decode implementation GetVarint32GroupAuto dispatches to.
+enum class DecodeArm {
+  kScalar,  ///< GetVarint32Group (portable fallback / forced via env)
+  kSsse3,   ///< 16-byte pshufb shuffle-table kernel
+  kAvx2,    ///< SSSE3 kernel + 32-byte all-one-byte fast path
+};
+
+/// The arm resolved once at first use from FTS_FORCE_SCALAR_DECODE and
+/// cpuid; stable for the process lifetime.
+DecodeArm ActiveDecodeArm();
+
+/// Human-readable arm name ("scalar", "ssse3", "avx2") for bench context.
+const char* DecodeArmName(DecodeArm arm);
+
+/// True when the dispatched arm is a SIMD kernel (counters charge
+/// EvalCounters::simd_groups_decoded only then).
+inline bool SimdDecodeActive() { return ActiveDecodeArm() != DecodeArm::kScalar; }
+
+/// CPU capability probes (false on non-x86 builds). Exposed so the
+/// differential tests can skip arms the machine cannot run.
+bool CpuSupportsSsse3();
+bool CpuSupportsAvx2();
+
+/// SIMD arms of GetVarint32Group, same contract: decode `count` varint32s
+/// from [p, limit) into out[0..count), returning the pointer past the last
+/// varint or nullptr on malformed input (truncation, >32-bit value). On
+/// builds without x86 target support they forward to the scalar decoder.
+/// Callers must check the matching CpuSupports* before invoking directly;
+/// normal code goes through GetVarint32GroupAuto.
+const uint8_t* GetVarint32GroupSsse3(const uint8_t* p, const uint8_t* limit,
+                                     uint32_t* out, size_t count);
+const uint8_t* GetVarint32GroupAvx2(const uint8_t* p, const uint8_t* limit,
+                                    uint32_t* out, size_t count);
+
+/// Group decode through the dispatched arm (function pointer resolved once).
+const uint8_t* GetVarint32GroupAuto(const uint8_t* p, const uint8_t* limit,
+                                    uint32_t* out, size_t count);
+
+}  // namespace fts
+
+#endif  // FTS_COMMON_VARINT_SIMD_H_

@@ -1,6 +1,7 @@
 #include "eval/bool_engine.h"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
 
 #include "index/block_posting_list.h"
@@ -189,12 +190,117 @@ class BoolEvaluator {
         lid, rid);
   }
 
+  /// Word-level intersection of two bitset-encoded blocks: when both
+  /// cursors rest in dense blocks, every match in the blocks' id overlap
+  /// [max(a,b), min(block maxima)] falls out of AND-ing bitset words —
+  /// entry ranks recovered by popcount index the decoded headers for the
+  /// exact pos_count JoinScore needs, and tombstones are filtered the same
+  /// way the cursor movement primitives would. Both cursors then seek past
+  /// the processed range. Returns false (cursors untouched) whenever the
+  /// shape does not apply, letting the plain zig-zag step run.
+  bool TryDenseBlockAnd(BlockListCursor& lc, BlockListCursor& rc, TokenId lid,
+                        TokenId rid, NodeId* a, NodeId* b, NodeSet* out) {
+    // Spans are bounded by kDenseSpanFactor * block_size for built blocks;
+    // the cap keeps the rank scratch stack-resident and rejects oversized
+    // (foreign) blocks rather than ever allocating here.
+    constexpr size_t kMaxDenseWords = 64;
+    BlockListCursor::DenseBlockView lv, rv;
+    if (!lc.CurrentDenseBlock(&lv) || !rc.CurrentDenseBlock(&rv)) return false;
+    if (lv.nwords > kMaxDenseWords || rv.nwords > kMaxDenseWords) return false;
+    const NodeId lo = std::max(*a, *b);
+    const NodeId hi = std::min(lv.max_node, rv.max_node);
+    if (lo > hi) return false;  // disjoint blocks: one plain seek handles it
+    const auto lentries = lc.block_entries();
+    const auto rentries = rc.block_entries();
+    const auto load_word = [](const uint8_t* p) {
+      uint64_t w = 0;
+      for (int b = 0; b < 8; ++b) w |= uint64_t{p[b]} << (8 * b);
+      return w;
+    };
+    uint64_t rwords[kMaxDenseWords];
+    uint32_t rcum[kMaxDenseWords + 1];  // set bits before word w
+    rcum[0] = 0;
+    for (size_t w = 0; w < rv.nwords; ++w) {
+      rwords[w] = load_word(rv.words + 8 * w);
+      rcum[w + 1] = rcum[w] + static_cast<uint32_t>(std::popcount(rwords[w]));
+    }
+    const TombstoneSet* ltomb = lc.tombstone_filter();
+    const TombstoneSet* rtomb = rc.tombstone_filter();
+    if (counters_ != nullptr) ++counters_->bitset_blocks_intersected;
+    uint32_t lrank_before = 0;
+    for (size_t w = 0; w < lv.nwords; ++w) {
+      const uint64_t lword = load_word(lv.words + 8 * w);
+      const NodeId wstart = lv.base + static_cast<NodeId>(64 * w);
+      if (wstart > hi) break;
+      if (wstart + 63 < lo) {
+        lrank_before += static_cast<uint32_t>(std::popcount(lword));
+        continue;
+      }
+      uint64_t m = lword;
+      if (lo > wstart) m &= ~uint64_t{0} << (lo - wstart);
+      if (hi - wstart < 63) m &= (uint64_t{1} << (hi - wstart + 1)) - 1;
+      // Gather the right-side bits covering this word's id range: the
+      // bitsets' bases differ, so shift-align across the word boundary.
+      const int64_t d = static_cast<int64_t>(wstart) - rv.base;
+      uint64_t rbits = 0;
+      if (d >= 0) {
+        const size_t rw = static_cast<size_t>(d) / 64;
+        const unsigned sh = static_cast<unsigned>(d) % 64;
+        const uint64_t lo_w = rw < rv.nwords ? rwords[rw] : 0;
+        const uint64_t hi_w = rw + 1 < rv.nwords ? rwords[rw + 1] : 0;
+        rbits = sh == 0 ? lo_w : (lo_w >> sh) | (hi_w << (64 - sh));
+      } else if (-d < 64) {
+        rbits = rwords[0] << static_cast<unsigned>(-d);
+      }
+      m &= rbits;
+      while (m != 0) {
+        const int bit = std::countr_zero(m);
+        m &= m - 1;
+        const NodeId node = wstart + static_cast<NodeId>(bit);
+        if ((ltomb != nullptr && ltomb->Contains(node)) ||
+            (rtomb != nullptr && rtomb->Contains(node))) {
+          continue;
+        }
+        const uint32_t lrank =
+            lrank_before + static_cast<uint32_t>(std::popcount(
+                               lword & ((uint64_t{1} << bit) - 1)));
+        const uint64_t rbi = node - rv.base;
+        const size_t rw = static_cast<size_t>(rbi) / 64;
+        const uint32_t rrank =
+            rcum[rw] + static_cast<uint32_t>(std::popcount(
+                           rwords[rw] & ((uint64_t{1} << (rbi % 64)) - 1)));
+        if (counters_ != nullptr) counters_->entries_scanned += 2;
+        out->nodes.push_back(node);
+        out->scores.push_back(
+            model_ ? model_->JoinScore(
+                         TokenEntryScore(lid, node,
+                                         lentries[lrank].header.pos_count),
+                         1,
+                         TokenEntryScore(rid, node,
+                                         rentries[rrank].header.pos_count),
+                         1)
+                   : 0.0);
+      }
+      lrank_before += static_cast<uint32_t>(std::popcount(lword));
+    }
+    // Both blocks are fully mined up to `hi`: seek past it. hi + 1 cannot
+    // wrap (hi is a real block max_node, strictly below kInvalidNode).
+    *a = lc.SeekEntry(hi + 1);
+    *b = rc.SeekEntry(hi + 1);
+    return true;
+  }
+
   template <typename CursorT>
   StatusOr<NodeSet> ZigZag(CursorT lc, CursorT rc, TokenId lid, TokenId rid) {
     NodeSet out;
     NodeId a = lc.NextEntry();
     NodeId b = rc.NextEntry();
     while (a != kInvalidNode && b != kInvalidNode) {
+      if constexpr (std::is_same_v<CursorT, BlockListCursor>) {
+        // Two dense blocks intersect at word level and re-enter the loop
+        // past them; any other shape falls through to entry zig-zag.
+        if (TryDenseBlockAnd(lc, rc, lid, rid, &a, &b, &out)) continue;
+      }
       if (a < b) {
         a = lc.SeekEntry(b);
       } else if (b < a) {

@@ -1,4 +1,4 @@
-// Block-compressed, skip-seekable posting storage (the v2/v3 index layout).
+// Block-compressed, skip-seekable posting storage (the v2..v5 index layouts).
 //
 // A BlockPostingList stores the same logical (cn, PosList) sequence as a
 // PostingList, but packed into fixed-size blocks (kDefaultBlockSize entries)
@@ -52,20 +52,67 @@ class BlockPostingList {
  public:
   static constexpr uint32_t kDefaultBlockSize = 128;
 
+  /// Per-block payload encodings (the v5 hybrid format). The builder
+  /// classifies each sealed block: sparse blocks keep the varint-delta
+  /// layout; blocks whose id span is within kDenseSpanFactor of their
+  /// entry count become fixed-width bitset blocks — a base id plus
+  /// little-endian 64-bit words with one bit per present id, followed by
+  /// the per-entry position-count stream, position-byte-length stream and
+  /// concatenated position bytes. Bitset blocks decode by bit expansion
+  /// (and AND at word level in the BOOL zig-zag fast path); cursors,
+  /// caches, block-max and tombstones are all encoding-transparent.
+  static constexpr uint8_t kEncodingVarint = 0;
+  static constexpr uint8_t kEncodingBitset = 1;
+
+  /// Dense classification: at least this many entries spanning at most
+  /// kDenseSpanFactor * entry_count ids (>= 1/4 of the span present).
+  static constexpr uint32_t kMinDenseEntries = 16;
+  static constexpr uint32_t kDenseSpanFactor = 4;
+
   /// Skip header of one block. `byte_offset` points at the block's first
   /// byte inside data(); `max_node` is the id of its last entry. `max_tf`
   /// is the largest per-entry position count in the block — the block-max
   /// statistic score models turn into an impact upper bound so top-k
   /// evaluation can skip blocks that cannot beat the heap threshold. It is
-  /// populated by the builder and by v4 loads; v2/v3 loads leave it 0 and
-  /// clear has_block_max(), which disables score-based skipping for the
-  /// list (full evaluation fallback).
+  /// populated by the builder and by v4/v5 loads; v2/v3 loads leave it 0
+  /// and clear has_block_max(), which disables score-based skipping for
+  /// the list (full evaluation fallback). `encoding` selects the block's
+  /// payload layout (kEncodingVarint / kEncodingBitset); it is serialized
+  /// only by the v5 format — every block of a v<=4 file is varint-coded.
   struct SkipEntry {
     NodeId max_node = 0;
     uint32_t byte_offset = 0;
     uint32_t entry_count = 0;
     uint32_t max_tf = 0;
+    uint8_t encoding = kEncodingVarint;
   };
+
+  /// Process-wide default for whether the builder may emit bitset blocks.
+  /// Initialized once from the environment (FTS_DISABLE_BITSET_BLOCKS=1
+  /// pins everything to varint — the differential axis that proves the
+  /// hybrid format changes no result). Returns the previous value so tests
+  /// can restore it.
+  static bool SetDenseBlocksEnabledByDefault(bool enabled);
+  static bool DenseBlocksEnabledByDefault();
+
+  /// Per-list override of the process default; only affects blocks sealed
+  /// after the call (set it before the first Append).
+  void set_dense_blocks(bool enabled) { dense_enabled_ = enabled; }
+
+  /// True when any block of this list is bitset-encoded. Legacy (v<=4)
+  /// saves must transcode such lists to all-varint first — an old magic
+  /// must never front a payload old readers cannot parse.
+  bool has_bitset_blocks() const {
+    for (const SkipEntry& s : skips_) {
+      if (s.encoding != kEncodingVarint) return true;
+    }
+    return false;
+  }
+
+  /// Re-encodes this list with bitset blocks disabled (identical logical
+  /// contents, every block varint-coded). Used by the v<=4 save paths and
+  /// the encoding-differential tests.
+  BlockPostingList ToVarintOnly() const;
 
   explicit BlockPostingList(uint32_t block_size = kDefaultBlockSize)
       : block_size_(block_size == 0 ? kDefaultBlockSize : block_size) {}
@@ -148,13 +195,35 @@ class BlockPostingList {
   /// validation this additionally verifies the block's payload checksum
   /// and structural invariants on its first decode and memoizes success
   /// per block, so the bulk-decode hot path and the DecodedBlockCache pay
-  /// the checksum once per block per index lifetime.
-  Status DecodeBlockEntries(size_t block, std::vector<EntryRef>* entries) const;
+  /// the checksum once per block per index lifetime. `counters`, when
+  /// non-null, is charged simd_groups_decoded for each bulk group decode
+  /// the dispatched SIMD arm performed.
+  Status DecodeBlockEntries(size_t block, std::vector<EntryRef>* entries,
+                            EvalCounters* counters = nullptr) const;
 
   /// Decodes the PosList of one entry previously returned by
   /// DecodeBlockEntries (replacing `positions`).
   Status DecodePositions(const EntryRef& entry,
-                         std::vector<PositionInfo>* positions) const;
+                         std::vector<PositionInfo>* positions,
+                         EvalCounters* counters = nullptr) const;
+
+  /// Decodes the PosLists of every entry in `refs[from..to)` — a slice of
+  /// one decoded block's entries — in a single pass: the regions must tile
+  /// back to back (true by construction for bitset blocks, whose layout
+  /// concatenates all position bytes exactly so this pass can run the
+  /// dispatched group decoder at full width instead of stopping at every
+  /// ~17-byte entry boundary). On success `positions` holds the
+  /// concatenated PosLists and `offsets[i]`/`offsets[i+1]` bound entry
+  /// `from + i`'s slice. Returns non-OK on any structural anomaly without
+  /// any partial contract: callers fall back to the per-entry
+  /// DecodePositions path, whose exact first-touch checks re-surface the
+  /// same Corruption. `delta_scratch` is caller-owned reusable scratch.
+  Status DecodeBlockPositionsBulk(std::span<const EntryRef> refs, size_t from,
+                                  size_t to,
+                                  std::vector<uint32_t>* delta_scratch,
+                                  std::vector<PositionInfo>* positions,
+                                  std::vector<uint32_t>* offsets,
+                                  EvalCounters* counters = nullptr) const;
 
   /// Reassembles a list from its serialized parts with an owned payload
   /// copy (index_io v1 re-encode helpers and tests). `has_block_max`
@@ -197,9 +266,16 @@ class BlockPostingList {
 
  private:
   void FlushPending();
+  void FlushPendingBitset(SkipEntry* skip);
+  Status DecodeBitsetBlock(size_t block, const SkipEntry& skip,
+                           std::string_view payload, size_t end,
+                           std::vector<EntryRef>* entries,
+                           EvalCounters* counters) const;
   static uint64_t NextUid();
 
   uint32_t block_size_;
+  /// Whether FlushPending may classify blocks as dense (bitset-encoded).
+  bool dense_enabled_ = DenseBlocksEnabledByDefault();
   uint64_t uid_ = NextUid();
   size_t num_entries_ = 0;
   size_t total_positions_ = 0;
@@ -265,7 +341,18 @@ class BlockListCursor {
 
   /// Advances to the next entry and returns its node id, or kInvalidNode
   /// when the list is exhausted. The first call lands on the first entry.
-  NodeId NextEntry();
+  /// The within-block advance is inlined — sequential walks pay one branch
+  /// and an array load per entry; block transitions, cursor start and
+  /// tombstone filtering take the out-of-line slow path.
+  NodeId NextEntry() {
+    if (tombstones_ == nullptr && started_ && !exhausted_ &&
+        idx_ + 1 < entries_->size()) {
+      ++idx_;
+      if (counters_ != nullptr) ++counters_->entries_scanned;
+      return node_ = (*entries_)[idx_].header.node;
+    }
+    return NextEntrySlow();
+  }
 
   /// Positions the cursor on the first entry with node id >= `target` and
   /// returns that id (kInvalidNode if no such entry). Starts the cursor if
@@ -275,8 +362,18 @@ class BlockListCursor {
 
   /// PosList of the current entry (decoded on first call per entry); the
   /// cursor must be on an entry. Returns an empty span (and sets status())
-  /// if the position bytes fail first-touch validation.
-  std::span<const PositionInfo> GetPositions();
+  /// if the position bytes fail first-touch validation. Serving from the
+  /// whole-block bulk arena is inlined (two loads); everything else —
+  /// per-entry decode, streak detection, the bulk decode itself — is
+  /// out of line.
+  std::span<const PositionInfo> GetPositions() {
+    if (bulk_block_ == block_ && idx_ >= bulk_from_ && idx_ < bulk_to_) {
+      const size_t rel = idx_ - bulk_from_;
+      return {bulk_positions_.data() + bulk_offsets_[rel],
+              bulk_offsets_[rel + 1] - bulk_offsets_[rel]};
+    }
+    return GetPositionsSlow();
+  }
 
   /// Position count of the current entry — free, no position decode.
   uint32_t pos_count() const { return (*entries_)[idx_].header.pos_count; }
@@ -290,6 +387,35 @@ class BlockListCursor {
   size_t current_block() const {
     return started_ && !exhausted_ ? block_ : SIZE_MAX;
   }
+
+  /// Raw bitset view of the cursor's current block when (and only when) it
+  /// is bitset-encoded: `words` points at `nwords` unaligned little-endian
+  /// 64-bit words whose bit i stands for node id `base + i`. Valid while
+  /// the cursor stays on this block (the block has already been decoded —
+  /// and first-touch validated — to position the cursor here). The BOOL
+  /// zig-zag AND fast path intersects two of these at word level.
+  struct DenseBlockView {
+    NodeId base = 0;
+    NodeId max_node = 0;
+    const uint8_t* words = nullptr;
+    size_t nwords = 0;
+  };
+  bool CurrentDenseBlock(DenseBlockView* view) const;
+
+  /// Decoded entry headers of the current block (all entries, tombstoned
+  /// included — tombstones filter cursor movement, not decode). The dense
+  /// AND fast path maps bitset ranks onto this span for pos_count lookups.
+  std::span<const BlockPostingList::EntryRef> block_entries() const {
+    return entries_ != nullptr
+               ? std::span<const BlockPostingList::EntryRef>(entries_->data(),
+                                                             entries_->size())
+               : std::span<const BlockPostingList::EntryRef>();
+  }
+
+  /// The tombstone filter this cursor applies (null = none). Exposed so
+  /// word-level intersection can apply the same filtering the movement
+  /// primitives would.
+  const TombstoneSet* tombstone_filter() const { return tombstones_; }
 
   /// Sticky decode status. Under first-touch validation a block decode can
   /// fail at query time (lazily detected corruption); the cursor then
@@ -309,6 +435,10 @@ class BlockListCursor {
   NodeId NextEntryUnfiltered();
   NodeId SeekEntryUnfiltered(NodeId target);
 
+  /// Out-of-line complements of the inlined fast paths above.
+  NodeId NextEntrySlow();
+  std::span<const PositionInfo> GetPositionsSlow();
+
   const BlockPostingList* list_;
   EvalCounters* counters_;
   DecodedBlockCache* cache_;
@@ -321,6 +451,30 @@ class BlockListCursor {
   std::shared_ptr<const DecodedBlock> cached_;
   std::vector<PositionInfo> positions_;  // lazily decoded, current entry only
   size_t positions_for_ = SIZE_MAX;      // idx_ the cache was decoded for
+  /// Bulk position arena: when GetPositions is called for
+  /// kBulkStreakTrigger consecutive entries of one bitset block — the
+  /// signature of a positions-heavy walk — a bounded span of the block's
+  /// following PosLists decodes in one contiguous SIMD pass into these
+  /// (offsets_[rel]..offsets_[rel+1] slice per entry). Spans start small
+  /// and double each time the walk crosses bulk_to_: a full-block walk
+  /// converges to a handful of wide decodes, while an adaptive zig-zag
+  /// that streaks briefly and then skips away wastes at most one small
+  /// span — measured on the fig6/fig8 predicate workloads, whose streaks
+  /// run ~2 entries, a 2-entry trigger with unbounded spans cost ~20%.
+  /// Selective access never triggers it, keeping per-entry laziness for
+  /// one-match-per-block patterns.
+  static constexpr uint32_t kBulkStreakTrigger = 3;
+  static constexpr uint32_t kBulkSpanInitial = 8;
+  std::vector<PositionInfo> bulk_positions_;
+  std::vector<uint32_t> bulk_offsets_;
+  std::vector<uint32_t> delta_scratch_;
+  size_t bulk_block_ = SIZE_MAX;    // block_ the bulk arena covers
+  size_t bulk_from_ = 0;            // first entry index it covers
+  size_t bulk_to_ = 0;              // one past the last entry it covers
+  uint32_t bulk_span_ = 0;          // entries the last bulk decode took
+  size_t last_pos_block_ = SIZE_MAX;  // previous GetPositions target
+  size_t last_pos_idx_ = SIZE_MAX;
+  uint32_t streak_len_ = 0;         // consecutive-entry GetPositions run
   size_t block_ = 0;      // decoded block index (valid when started_)
   size_t idx_ = 0;        // entry index within the decoded block
   bool started_ = false;

@@ -64,7 +64,7 @@ std::shared_ptr<const DecodedBlock> DecodedBlockCache::GetOrDecode(
     if (decoded == nullptr) return nullptr;
   } else {
     auto fresh = std::make_shared<DecodedBlock>();
-    Status s = list.DecodeBlockEntries(block, &fresh->entries);
+    Status s = list.DecodeBlockEntries(block, &fresh->entries, counters);
     if (!s.ok()) {
       // Lazily detected corruption (first-touch validation on an mmap'd
       // index): reported like a failed direct decode — the cursor exhausts

@@ -19,6 +19,7 @@ constexpr char kMagicV1[8] = {'F', 'T', 'S', 'I', 'D', 'X', '1', '\0'};
 constexpr char kMagicV2[8] = {'F', 'T', 'S', 'I', 'D', 'X', '2', '\0'};
 constexpr char kMagicV3[8] = {'F', 'T', 'S', 'I', 'D', 'X', '3', '\0'};
 constexpr char kMagicV4[8] = {'F', 'T', 'S', 'I', 'D', 'X', '4', '\0'};
+constexpr char kMagicV5[8] = {'F', 'T', 'S', 'I', 'D', 'X', '5', '\0'};
 constexpr size_t kMagicSize = sizeof(kMagicV1);
 constexpr size_t kTrailerSize = 8;  // fixed64 checksum
 /// The smallest byte count any version can occupy: magic + trailer. Inputs
@@ -113,12 +114,13 @@ Status GetPostingList(std::string_view data, size_t* offset, PostingList* list) 
 }
 
 // ---------------------------------------------------------------------------
-// v2/v3/v4 posting lists: block-compressed payload + skip table, dumped
+// v2..v5 posting lists: block-compressed payload + skip table, dumped
 // verbatim from / adopted verbatim into BlockPostingList. v3 extends each
 // skip entry with the block's FNV-1a32 payload checksum and records where
 // payload bytes sit (the trailer checksum hops over them); v4 additionally
 // appends the block's max_tf (largest per-entry position count), the
-// block-max statistic top-k evaluation turns into impact upper bounds.
+// block-max statistic top-k evaluation turns into impact upper bounds; v5
+// appends the block's encoding tag (varint-delta vs fixed-width bitset).
 // ---------------------------------------------------------------------------
 
 /// Byte range of one list's payload within the serialized output.
@@ -129,6 +131,7 @@ struct PayloadRange {
 
 void PutBlockPostingList(std::string* out, const BlockPostingList& list,
                          bool with_checksums, bool with_block_max,
+                         bool with_encoding,
                          std::vector<PayloadRange>* payload_ranges) {
   PutVarint64(out, list.num_entries());
   PutVarint64(out, list.total_positions());
@@ -148,6 +151,10 @@ void PutBlockPostingList(std::string* out, const BlockPostingList& list,
       PutVarint32(out, Fnv1a32(payload.substr(s.byte_offset, end - s.byte_offset)));
     }
     if (with_block_max) PutVarint32(out, s.max_tf);
+    // The encoding tag lives in the directory, so the v5 trailer hash
+    // covers it: a flipped tag is Corruption at load, never a block parsed
+    // under the wrong layout.
+    if (with_encoding) PutVarint32(out, s.encoding);
     prev_max = s.max_node;
     prev_off = s.byte_offset;
   }
@@ -170,15 +177,17 @@ struct BlockListDirectory {
   size_t payload_size = 0;
 };
 
-/// Parses one list's directory (v2, v3 and v4 share everything except the
-/// per-block checksum and max_tf fields) and skips its payload, leaving
+/// Parses one list's directory (v2..v5 share everything except the
+/// per-block checksum, max_tf and encoding fields) and skips its payload,
+/// leaving
 /// `*offset` past the list. Every count is bounded by the remaining input
 /// before sizing containers: the envelope checksum is recomputable by an
 /// attacker, so a crafted header must fail with Corruption, not a giant
 /// allocation.
 Status GetBlockListDirectory(std::string_view data, size_t* offset,
                              bool with_checksums, bool with_block_max,
-                             uint64_t cnodes, BlockListDirectory* dir) {
+                             bool with_encoding, uint64_t cnodes,
+                             BlockListDirectory* dir) {
   uint64_t num_blocks;
   FTS_RETURN_IF_ERROR(GetVarint64(data, offset, &dir->num_entries));
   FTS_RETURN_IF_ERROR(GetVarint64(data, offset, &dir->total_positions));
@@ -187,9 +196,10 @@ Status GetBlockListDirectory(std::string_view data, size_t* offset,
   if (dir->block_size == 0 && num_blocks > 0) {
     return Status::Corruption("zero block size in nonempty block list");
   }
-  // Each skip entry takes at least 3 (v2), 4 (v3) or 5 (v4) bytes.
-  const size_t min_entry_bytes =
-      (with_checksums ? 4u : 3u) + (with_block_max ? 1u : 0u);
+  // Each skip entry takes at least 3 (v2), 4 (v3), 5 (v4) or 6 (v5) bytes.
+  const size_t min_entry_bytes = (with_checksums ? 4u : 3u) +
+                                 (with_block_max ? 1u : 0u) +
+                                 (with_encoding ? 1u : 0u);
   if (num_blocks > (data.size() - *offset) / min_entry_bytes) {
     return Status::Corruption("skip table larger than remaining input");
   }
@@ -211,6 +221,14 @@ Status GetBlockListDirectory(std::string_view data, size_t* offset,
     BlockPostingList::SkipEntry s;
     if (with_block_max) {
       FTS_RETURN_IF_ERROR(GetVarint32(data, offset, &s.max_tf));
+    }
+    if (with_encoding) {
+      uint32_t encoding;
+      FTS_RETURN_IF_ERROR(GetVarint32(data, offset, &encoding));
+      if (encoding > BlockPostingList::kEncodingBitset) {
+        return Status::Corruption("unknown block encoding tag");
+      }
+      s.encoding = static_cast<uint8_t>(encoding);
     }
     s.max_node = prev_max + d_max;
     s.byte_offset = prev_off + d_off;
@@ -298,12 +316,15 @@ Status IndexIoAccess::Load(std::shared_ptr<IndexSource> source,
   const bool is_v2 = std::memcmp(data.data(), kMagicV2, kMagicSize) == 0;
   const bool is_v3 = std::memcmp(data.data(), kMagicV3, kMagicSize) == 0;
   const bool is_v4 = std::memcmp(data.data(), kMagicV4, kMagicSize) == 0;
-  if (!is_v1 && !is_v2 && !is_v3 && !is_v4) {
+  const bool is_v5 = std::memcmp(data.data(), kMagicV5, kMagicSize) == 0;
+  if (!is_v1 && !is_v2 && !is_v3 && !is_v4 && !is_v5) {
     return Status::Corruption("bad index magic");
   }
-  // v3 and v4 share the lazy-loadable envelope (header-only trailer hash,
-  // per-block checksums); v4 additionally carries max_tf per skip entry.
-  const bool header_hashed = is_v3 || is_v4;
+  // v3/v4/v5 share the lazy-loadable envelope (header-only trailer hash,
+  // per-block checksums); v4 adds max_tf per skip entry, v5 the per-block
+  // encoding tag.
+  const bool header_hashed = is_v3 || is_v4 || is_v5;
+  const bool with_block_max = is_v4 || is_v5;
   const size_t body_end = data.size() - kTrailerSize;
 
   // v1/v2 carry a whole-body checksum: verify it up front (this reads the
@@ -386,8 +407,8 @@ Status IndexIoAccess::Load(std::shared_ptr<IndexSource> source,
     const auto adopt = [&](BlockPostingList* list) -> Status {
       BlockListDirectory dir;
       FTS_RETURN_IF_ERROR(GetBlockListDirectory(
-          data, &offset, with_checksums, /*with_block_max=*/is_v4, s.cnodes,
-          &dir));
+          data, &offset, with_checksums, with_block_max,
+          /*with_encoding=*/is_v5, s.cnodes, &dir));
       if (header_hashed) {
         // Fold the header/directory bytes since the last payload into the
         // trailer hash, then hop over this list's payload untouched.
@@ -402,7 +423,7 @@ Status IndexIoAccess::Load(std::shared_ptr<IndexSource> source,
           data.substr(dir.payload_begin, dir.payload_size),
           std::move(dir.checksums),
           /*first_touch_validation=*/with_checksums,
-          /*has_block_max=*/is_v4);
+          /*has_block_max=*/with_block_max);
       return Status::OK();
     };
     index.block_lists_.resize(vocab);
@@ -448,16 +469,18 @@ Status IndexIoAccess::Load(std::shared_ptr<IndexSource> source,
 void SaveIndexToString(const InvertedIndex& index, std::string* out,
                        IndexFormat format) {
   out->clear();
-  const char* magic = kMagicV4;
+  const char* magic = kMagicV5;
   if (format == IndexFormat::kV1) magic = kMagicV1;
   if (format == IndexFormat::kV2) magic = kMagicV2;
   if (format == IndexFormat::kV3) magic = kMagicV3;
+  if (format == IndexFormat::kV4) magic = kMagicV4;
   out->append(magic, kMagicSize);
   PutCommonSections(index, out);
 
-  const bool with_block_max = format == IndexFormat::kV4;
-  const bool with_checksums =
-      format == IndexFormat::kV3 || format == IndexFormat::kV4;
+  const bool with_encoding = format == IndexFormat::kV5;
+  const bool with_block_max =
+      format == IndexFormat::kV4 || format == IndexFormat::kV5;
+  const bool with_checksums = format == IndexFormat::kV3 || with_block_max;
   std::vector<PayloadRange> payload_ranges;
   if (format == IndexFormat::kV1) {
     // The flat v1 stream is produced from a per-list transient decode; the
@@ -467,18 +490,28 @@ void SaveIndexToString(const InvertedIndex& index, std::string* out,
     }
     PutPostingList(out, index.block_any_list().Materialize());
   } else {
+    // Only the v5 directory can describe bitset blocks; saving a hybrid
+    // list under an older magic transcodes it to all-varint first so every
+    // v<=4 file stays parseable by v<=4 readers.
+    const auto put_list = [&](const BlockPostingList& list) {
+      if (!with_encoding && list.has_bitset_blocks()) {
+        PutBlockPostingList(out, list.ToVarintOnly(), with_checksums,
+                            with_block_max, with_encoding,
+                            with_checksums ? &payload_ranges : nullptr);
+      } else {
+        PutBlockPostingList(out, list, with_checksums, with_block_max,
+                            with_encoding,
+                            with_checksums ? &payload_ranges : nullptr);
+      }
+    };
     for (TokenId t = 0; t < index.vocabulary_size(); ++t) {
-      PutBlockPostingList(out, *index.block_list(t), with_checksums,
-                          with_block_max,
-                          with_checksums ? &payload_ranges : nullptr);
+      put_list(*index.block_list(t));
     }
-    PutBlockPostingList(out, index.block_any_list(), with_checksums,
-                        with_block_max,
-                        with_checksums ? &payload_ranges : nullptr);
+    put_list(index.block_any_list());
   }
 
   if (with_checksums) {
-    // v3/v4 trailer: header/directory bytes only — block payloads are
+    // v3/v4/v5 trailer: header/directory bytes only — block payloads are
     // covered by their per-block checksums, so a lazy loader can verify
     // everything it eagerly reads without touching payload bytes.
     uint64_t hash = kFnv1aSeed;

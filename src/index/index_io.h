@@ -1,6 +1,6 @@
 // Binary serialization of InvertedIndex.
 //
-// Four versions share a common envelope — an 8-byte magic whose 7th byte
+// Five versions share a common envelope — an 8-byte magic whose 7th byte
 // is the version digit and varint-coded sections:
 //
 //   v1 ("FTSIDX1\0"): posting lists as flat delta-coded entry streams;
@@ -17,17 +17,26 @@
 //       without touching a single payload byte, and each block's checksum
 //       and structure are verified on its first decode instead
 //       (first-touch validation, memoized per block).
-//   v4 ("FTSIDX4\0", the default): v3 plus a block-max statistic — each
-//       skip entry additionally records max_tf, the largest per-entry
-//       position count in its block. Score models turn it into a per-block
-//       impact upper bound, so top-k evaluation can skip blocks that
-//       cannot beat the heap threshold (docs/index_format.md). The lazy
-//       loading story is identical to v3; the trailer hash covers the
-//       max_tf bytes (they live in the directory). v2/v3 files still load,
-//       with has_block_max() false — block-max evaluation then falls back
-//       to full evaluation for those lists.
+//   v4 ("FTSIDX4\0"): v3 plus a block-max statistic — each skip entry
+//       additionally records max_tf, the largest per-entry position count
+//       in its block. Score models turn it into a per-block impact upper
+//       bound, so top-k evaluation can skip blocks that cannot beat the
+//       heap threshold (docs/index_format.md). The lazy loading story is
+//       identical to v3; the trailer hash covers the max_tf bytes (they
+//       live in the directory). v2/v3 files still load, with
+//       has_block_max() false — block-max evaluation then falls back to
+//       full evaluation for those lists.
+//   v5 ("FTSIDX5\0", the default): v4 plus a per-block encoding tag in
+//       each skip entry, enabling the hybrid block representation of
+//       BlockPostingList — dense blocks stored as fixed-width bitsets
+//       (word-AND intersectable), sparse blocks staying varint-delta. The
+//       tag lives in the directory, so it is covered by the trailer hash
+//       and a flipped tag surfaces as Corruption at load. v1–v4 files
+//       still load (every block varint-coded); saving to a v<=4 format
+//       transcodes any bitset blocks back to varint, so an old magic
+//       never fronts a payload old readers cannot parse.
 //
-// Loading sniffs the magic and accepts all four; any path leaves the
+// Loading sniffs the magic and accepts all five; any path leaves the
 // block lists as the index's only representation, viewing their payload
 // bytes out of one shared IndexSource (heap buffer or mmap'd file region)
 // instead of holding per-list copies.
@@ -49,7 +58,8 @@ enum class IndexFormat {
   kV1 = 1,  ///< flat posting streams (legacy)
   kV2 = 2,  ///< block-compressed postings, whole-body checksum
   kV3 = 3,  ///< block-compressed + per-block checksums, lazy-loadable
-  kV4 = 4,  ///< v3 + per-block max_tf for block-max top-k skipping (default)
+  kV4 = 4,  ///< v3 + per-block max_tf for block-max top-k skipping
+  kV5 = 5,  ///< v4 + per-block encoding tag (hybrid bitset/varint, default)
 };
 
 /// How LoadIndexFromFile materializes the file.
@@ -59,7 +69,7 @@ struct LoadOptions {
     /// front. Always available; the only mode for non-file inputs.
     kEager,
     /// mmap the file read-only and decode blocks straight from the
-    /// mapping. v3/v4 files load in O(header) time with first-touch
+    /// mapping. v3/v4/v5 files load in O(header) time with first-touch
     /// validation; v1/v2 files fall back to full eager validation over
     /// the mapping (their whole-body checksum must be read anyway), still
     /// avoiding the heap copy of payload bytes. The mapping is advised
@@ -80,7 +90,7 @@ struct LoadOptions {
 
 /// Serializes `index` into `out` (replacing its contents).
 void SaveIndexToString(const InvertedIndex& index, std::string* out,
-                       IndexFormat format = IndexFormat::kV4);
+                       IndexFormat format = IndexFormat::kV5);
 
 /// Deserializes an index previously produced by SaveIndexToString (any
 /// format version; detected from the magic). The index copies `data` into
@@ -91,7 +101,7 @@ Status LoadIndexFromString(const std::string& data, InvertedIndex* out);
 /// docs/index_format.md for the write-then-rename recommendation when the
 /// file may be mmap-loaded concurrently).
 Status SaveIndexToFile(const InvertedIndex& index, const std::string& path,
-                       IndexFormat format = IndexFormat::kV4);
+                       IndexFormat format = IndexFormat::kV5);
 
 /// Reads and deserializes an index from `path`. Returns IOError when the
 /// file cannot be opened or read at all, and Corruption when it opens but

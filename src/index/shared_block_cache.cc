@@ -49,7 +49,7 @@ std::shared_ptr<const DecodedBlock> SharedBlockCache::GetOrDecode(
   misses_.fetch_add(1, std::memory_order_relaxed);
   if (counters != nullptr) ++counters->shared_cache_misses;
   auto decoded = std::make_shared<DecodedBlock>();
-  Status s = list.DecodeBlockEntries(block, &decoded->entries);
+  Status s = list.DecodeBlockEntries(block, &decoded->entries, counters);
   if (!s.ok()) {
     if (status != nullptr && status->ok()) *status = std::move(s);
     return nullptr;

@@ -4,6 +4,7 @@
 
 #include "common/fnv.h"
 #include "common/rng.h"
+#include "common/varint_simd.h"
 #include "index/decoded_block_cache.h"
 #include "index/index_builder.h"
 #include "testing/raw_posting_oracle.h"
@@ -520,6 +521,155 @@ TEST(FirstTouchValidationTest, CrossBlockMonotonicityCheckedLazily) {
   const Status s = lazy.DecodeBlockEntries(1, &entries);
   ASSERT_FALSE(s.ok());
   EXPECT_EQ(s.code(), StatusCode::kCorruption);
+}
+
+// ---------------------------------------------------------------------------
+// Hybrid dense-bitset blocks.
+// ---------------------------------------------------------------------------
+
+TEST(DenseBlockTest, ClassificationBySpanAndSize) {
+  // Consecutive ids (span == entries) classify dense; a stride of 8 blows
+  // the span budget (8 * entries > kDenseSpanFactor * entries) and stays
+  // varint; lists below kMinDenseEntries never flip representation.
+  const BlockPostingList dense =
+      BlockPostingList::FromPostingList(MakeRawList(256, 1, 2), 128);
+  EXPECT_TRUE(dense.has_bitset_blocks());
+  for (size_t b = 0; b < dense.num_blocks(); ++b) {
+    EXPECT_EQ(dense.skip(b).encoding, BlockPostingList::kEncodingBitset) << b;
+  }
+  const BlockPostingList sparse =
+      BlockPostingList::FromPostingList(MakeRawList(256, 8, 2), 128);
+  EXPECT_FALSE(sparse.has_bitset_blocks());
+  const BlockPostingList tiny =
+      BlockPostingList::FromPostingList(MakeRawList(8, 1, 1), 128);
+  EXPECT_FALSE(tiny.has_bitset_blocks());
+}
+
+TEST(DenseBlockTest, BitsetBlocksRoundTripEntriesAndPositions) {
+  const PostingList raw = MakeRawList(300, 1, 5);
+  const BlockPostingList block = BlockPostingList::FromPostingList(raw, 128);
+  ASSERT_TRUE(block.has_bitset_blocks());
+  ExpectListsEqual(raw, block.Materialize());
+  // Streaming cursor agrees with the raw reference, positions included.
+  BlockListCursor cursor(&block);
+  ListCursor reference(&raw);
+  while (true) {
+    const NodeId expected = reference.NextEntry();
+    ASSERT_EQ(cursor.NextEntry(), expected);
+    if (expected == kInvalidNode) break;
+    const auto got = cursor.GetPositions();
+    const auto want = reference.GetPositions();
+    ASSERT_EQ(got.size(), want.size());
+    for (size_t j = 0; j < got.size(); ++j) {
+      EXPECT_EQ(got[j].offset, want[j].offset);
+      EXPECT_EQ(got[j].sentence, want[j].sentence);
+      EXPECT_EQ(got[j].paragraph, want[j].paragraph);
+    }
+  }
+  EXPECT_TRUE(cursor.status().ok());
+}
+
+TEST(DenseBlockTest, SeeksAcrossHybridDenseAndSparseBlocks) {
+  // A list whose head blocks are dense and whose tail block is sparse:
+  // seeks must land correctly on both sides of the representation switch.
+  PostingList raw;
+  for (uint32_t n = 1; n <= 280; ++n) {
+    const PositionInfo pos{n % 50, 0, 0};
+    raw.Append(n, std::span<const PositionInfo>(&pos, 1));
+  }
+  for (uint32_t i = 0; i < 80; ++i) {
+    const PositionInfo pos{i, 0, 0};
+    raw.Append(1000 + 100 * i, std::span<const PositionInfo>(&pos, 1));
+  }
+  const BlockPostingList block = BlockPostingList::FromPostingList(raw, 128);
+  ASSERT_TRUE(block.has_bitset_blocks());
+  bool has_varint_block = false;
+  for (size_t b = 0; b < block.num_blocks(); ++b) {
+    has_varint_block |=
+        block.skip(b).encoding == BlockPostingList::kEncodingVarint;
+  }
+  ASSERT_TRUE(has_varint_block);
+  BlockListCursor cursor(&block);
+  EXPECT_EQ(cursor.SeekEntry(150), 150u);   // inside a dense block
+  EXPECT_EQ(cursor.SeekEntry(281), 1000u);  // gap: successor in sparse region
+  EXPECT_EQ(cursor.SeekEntry(1050), 1100u);
+  EXPECT_EQ(cursor.SeekEntry(8901), kInvalidNode);
+  EXPECT_TRUE(cursor.status().ok());
+}
+
+TEST(DenseBlockTest, CurrentDenseBlockExposesTheBitsetView) {
+  const BlockPostingList dense =
+      BlockPostingList::FromPostingList(MakeRawList(256, 1, 2), 128);
+  BlockListCursor cursor(&dense);
+  BlockListCursor::DenseBlockView view;
+  EXPECT_FALSE(cursor.CurrentDenseBlock(&view));  // not started yet
+  ASSERT_EQ(cursor.NextEntry(), 1u);
+  ASSERT_TRUE(cursor.CurrentDenseBlock(&view));
+  EXPECT_EQ(view.base, 1u);
+  EXPECT_EQ(view.max_node, dense.skip(0).max_node);
+  // Consecutive ids: span == 128 -> exactly two fully-set words.
+  ASSERT_EQ(view.nwords, 2u);
+  for (size_t i = 0; i < 16; ++i) EXPECT_EQ(view.words[i], 0xFF) << i;
+
+  const BlockPostingList sparse =
+      BlockPostingList::FromPostingList(MakeRawList(256, 8, 2), 128);
+  BlockListCursor scursor(&sparse);
+  ASSERT_NE(scursor.NextEntry(), kInvalidNode);
+  EXPECT_FALSE(scursor.CurrentDenseBlock(&view));
+}
+
+TEST(DenseBlockTest, ToVarintOnlyPreservesContent) {
+  const PostingList raw = MakeRawList(300, 1, 3);
+  const BlockPostingList dense = BlockPostingList::FromPostingList(raw, 128);
+  ASSERT_TRUE(dense.has_bitset_blocks());
+  const BlockPostingList varint = dense.ToVarintOnly();
+  EXPECT_FALSE(varint.has_bitset_blocks());
+  ExpectListsEqual(raw, varint.Materialize());
+  EXPECT_EQ(varint.num_entries(), dense.num_entries());
+  EXPECT_EQ(varint.num_blocks(), dense.num_blocks());
+  for (size_t b = 0; b < dense.num_blocks(); ++b) {
+    EXPECT_EQ(varint.skip(b).max_node, dense.skip(b).max_node) << b;
+    EXPECT_EQ(varint.skip(b).max_tf, dense.skip(b).max_tf) << b;
+  }
+}
+
+TEST(DenseBlockTest, BitsetWordFlipRejectsEvenWithResealedChecksum) {
+  // Flip one bitset word byte and reseal the block checksum, so only the
+  // structural validation can object: a single flipped bit changes the
+  // popcount away from the entry count (or clears the base/max bit), and
+  // the decode must reject rather than fabricate or drop entries.
+  LazyListParts parts = MakeLazyParts(300, 128);  // stride 3: dense blocks
+  ASSERT_EQ(parts.skips[0].encoding, BlockPostingList::kEncodingBitset);
+  // Block 0 layout: base varint (1 byte, node 1) | nwords varint (1 byte) |
+  // words. Flip a bit in the middle of the first word.
+  parts.payload[2 + 3] = static_cast<char>(parts.payload[2 + 3] ^ 0x08);
+  const size_t end = parts.skips[1].byte_offset;
+  parts.checksums[0] = Fnv1a32(std::string_view(parts.payload).substr(0, end));
+  const BlockPostingList lazy = AssembleLazy(parts);
+  std::vector<BlockPostingList::EntryRef> entries;
+  const Status s = lazy.DecodeBlockEntries(0, &entries);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kCorruption);
+}
+
+TEST(DenseBlockTest, SimdDecodeCountersChargeWhenActive) {
+  // The dispatched decoder reports which arm it resolved to; when a SIMD
+  // arm is active, bulk-decoding a dense list must charge
+  // simd_groups_decoded (bitset count/len streams + position triples).
+  const BlockPostingList dense =
+      BlockPostingList::FromPostingList(MakeRawList(256, 1, 6), 128);
+  ASSERT_TRUE(dense.has_bitset_blocks());
+  EvalCounters counters;
+  BlockListCursor cursor(&dense, &counters);
+  while (cursor.NextEntry() != kInvalidNode) {
+    (void)cursor.GetPositions();
+  }
+  ASSERT_TRUE(cursor.status().ok());
+  if (SimdDecodeActive()) {
+    EXPECT_GT(counters.simd_groups_decoded, 0u);
+  } else {
+    EXPECT_EQ(counters.simd_groups_decoded, 0u);
+  }
 }
 
 }  // namespace

@@ -2,9 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include "index/block_posting_list.h"
 #include "index/index_builder.h"
 #include "lang/parser.h"
 #include "text/corpus.h"
+#include "workload/corpus_gen.h"
 
 namespace fts {
 namespace {
@@ -132,6 +134,81 @@ TEST_F(BoolEngineFixture, NoScoresWhenScoringDisabled) {
   auto result = engine.Evaluate(*parsed);
   ASSERT_TRUE(result.ok());
   EXPECT_TRUE(result->scores.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Dense-block word-level AND: the bitset fast path must be exercised (its
+// counter proves it ran) and bit-identical to the entry-at-a-time zig-zag.
+// ---------------------------------------------------------------------------
+
+Corpus DenseCorpus() {
+  CorpusGenOptions opts;
+  opts.num_nodes = 400;
+  opts.min_doc_len = 10;
+  opts.max_doc_len = 30;
+  opts.vocabulary = 100;
+  opts.num_topic_tokens = 2;
+  opts.topic_doc_fraction = 1.0;  // every doc: topic lists are maximally dense
+  opts.topic_occurrences = 3;
+  return GenerateCorpus(opts);
+}
+
+QueryResult EvalOrDie(const BoolEngine& engine, const std::string& query) {
+  auto parsed = ParseQuery(query, SurfaceLanguage::kBool);
+  EXPECT_TRUE(parsed.ok()) << parsed.status().ToString();
+  auto result = engine.Evaluate(*parsed);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  return result.ok() ? std::move(*result) : QueryResult{};
+}
+
+TEST(BoolEngineDenseBlocks, WordLevelAndIsBitIdenticalToZigZag) {
+  const Corpus corpus = DenseCorpus();
+  InvertedIndex hybrid = IndexBuilder::Build(corpus);
+  ASSERT_TRUE(hybrid.block_list_for_text("topic0")->has_bitset_blocks());
+  ASSERT_TRUE(hybrid.block_list_for_text("topic1")->has_bitset_blocks());
+
+  // Same corpus built with bitset blocks disabled: the all-varint control.
+  const bool prev = BlockPostingList::SetDenseBlocksEnabledByDefault(false);
+  InvertedIndex varint = IndexBuilder::Build(corpus);
+  BlockPostingList::SetDenseBlocksEnabledByDefault(prev);
+  ASSERT_FALSE(varint.block_list_for_text("topic0")->has_bitset_blocks());
+
+  const std::string query = "'topic0' AND 'topic1'";
+  BoolEngine seek_hybrid(&hybrid, ScoringKind::kTfIdf, CursorMode::kSeek);
+  BoolEngine seq_hybrid(&hybrid, ScoringKind::kTfIdf, CursorMode::kSequential);
+  BoolEngine seek_varint(&varint, ScoringKind::kTfIdf, CursorMode::kSeek);
+
+  const QueryResult fast = EvalOrDie(seek_hybrid, query);
+  const QueryResult seq = EvalOrDie(seq_hybrid, query);
+  const QueryResult control = EvalOrDie(seek_varint, query);
+
+  // The word-AND path actually ran (and only where both blocks are dense).
+  EXPECT_GT(fast.counters.bitset_blocks_intersected, 0u);
+  EXPECT_EQ(seq.counters.bitset_blocks_intersected, 0u);
+  EXPECT_EQ(control.counters.bitset_blocks_intersected, 0u);
+
+  ASSERT_FALSE(fast.nodes.empty());
+  EXPECT_EQ(fast.nodes, seq.nodes);
+  EXPECT_EQ(fast.nodes, control.nodes);
+  ASSERT_EQ(fast.scores.size(), seq.scores.size());
+  ASSERT_EQ(fast.scores.size(), control.scores.size());
+  for (size_t i = 0; i < fast.scores.size(); ++i) {
+    // Bit-identical, not approximately equal: the fast path must feed the
+    // exact same pos_count into the exact same JoinScore expression.
+    EXPECT_EQ(fast.scores[i], seq.scores[i]) << i;
+    EXPECT_EQ(fast.scores[i], control.scores[i]) << i;
+  }
+}
+
+TEST(BoolEngineDenseBlocks, PerListOptOutDisablesFastPath) {
+  const Corpus corpus = DenseCorpus();
+  const bool prev = BlockPostingList::SetDenseBlocksEnabledByDefault(false);
+  InvertedIndex varint = IndexBuilder::Build(corpus);
+  BlockPostingList::SetDenseBlocksEnabledByDefault(prev);
+  BoolEngine engine(&varint, ScoringKind::kNone, CursorMode::kSeek);
+  const QueryResult r = EvalOrDie(engine, "'topic0' AND 'topic1'");
+  EXPECT_EQ(r.counters.bitset_blocks_intersected, 0u);
+  EXPECT_FALSE(r.nodes.empty());
 }
 
 }  // namespace

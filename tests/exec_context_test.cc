@@ -57,6 +57,22 @@ TEST(DeadlineTest, FutureDeadlineHolds) {
   EXPECT_TRUE(d.Check().ok());
 }
 
+TEST(ExecContextTest, DecodeCountersMergeAndPrint) {
+  // The SIMD/bitset decode counters ride the same MergeFrom every service
+  // total and segment merge uses, and appear in the printed summary.
+  EvalCounters a, b;
+  a.simd_groups_decoded = 3;
+  a.bitset_blocks_intersected = 1;
+  b.simd_groups_decoded = 4;
+  b.bitset_blocks_intersected = 2;
+  a.MergeFrom(b);
+  EXPECT_EQ(a.simd_groups_decoded, 7u);
+  EXPECT_EQ(a.bitset_blocks_intersected, 3u);
+  const std::string s = a.ToString();
+  EXPECT_NE(s.find("simd_groups=7"), std::string::npos) << s;
+  EXPECT_NE(s.find("bitset_ands=3"), std::string::npos) << s;
+}
+
 TEST(ExecContextTest, CountersAccumulateAcrossQueries) {
   InvertedIndex index = TestIndex();
   BoolEngine engine(&index, ScoringKind::kNone, CursorMode::kSequential);

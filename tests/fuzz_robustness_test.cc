@@ -290,13 +290,16 @@ Status TouchEveryBlock(const InvertedIndex& index) {
 }
 
 TEST(MmapFirstTouchSweep, EveryByteFlipSurfacesCorruption) {
-  // Both mmap-capable formats: v3 and v4 (whose skip entries additionally
+  // All mmap-capable formats: v3, v4 (whose skip entries additionally
   // carry the block-max tf used for ranked early termination — a flipped
   // max_tf must be caught by the directory trailer checksum, never become
-  // a silently unsound score bound).
-  for (IndexFormat format : {IndexFormat::kV3, IndexFormat::kV4}) {
+  // a silently unsound score bound), and v5 (whose skip entries carry the
+  // per-block encoding tag — a flipped tag must likewise be caught by the
+  // trailer checksum, never reinterpret a block under the wrong decoder).
+  for (IndexFormat format :
+       {IndexFormat::kV3, IndexFormat::kV4, IndexFormat::kV5}) {
     const std::string blob = SaveSmallIndexAs(format);
-    ASSERT_EQ(blob[6], format == IndexFormat::kV3 ? '3' : '4');
+    ASSERT_EQ(blob[6], static_cast<char>('0' + static_cast<int>(format)));
     const std::string path = ::testing::TempDir() + "/fts_mmap_flip_sweep.idx";
     LoadOptions mmap;
     mmap.mode = LoadOptions::Mode::kMmap;
@@ -325,7 +328,8 @@ TEST(MmapFirstTouchSweep, EveryTruncationFailsAtLoad) {
   // Truncation cuts bytes off the end, which the lazy loader must notice
   // without reading payloads: the directory bounds every payload range and
   // the trailer checksum pins the directory itself.
-  for (IndexFormat format : {IndexFormat::kV3, IndexFormat::kV4}) {
+  for (IndexFormat format :
+       {IndexFormat::kV3, IndexFormat::kV4, IndexFormat::kV5}) {
     const std::string blob = SaveSmallIndexAs(format);
     const std::string path = ::testing::TempDir() + "/fts_mmap_trunc_sweep.idx";
     LoadOptions mmap;
@@ -357,7 +361,8 @@ TEST_P(V3MmapPayloadFuzz, RandomMultiByteDamageNeverFaultsLazyQueries) {
   LoadOptions mmap;
   mmap.mode = LoadOptions::Mode::kMmap;
   Rng rng(GetParam());
-  for (IndexFormat format : {IndexFormat::kV3, IndexFormat::kV4}) {
+  for (IndexFormat format :
+       {IndexFormat::kV3, IndexFormat::kV4, IndexFormat::kV5}) {
     const std::string blob = SaveSmallIndexAs(format);
     for (int trial = 0; trial < 120; ++trial) {
       std::string mutated = blob;
@@ -404,6 +409,111 @@ TEST_P(V3MmapPayloadFuzz, RandomMultiByteDamageNeverFaultsLazyQueries) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, V3MmapPayloadFuzz, ::testing::Values(4, 5));
+
+// ---------------------------------------------------------------------------
+// v5 dense-corpus sweep. The small corpora above carry mostly sparse
+// varint blocks; this corpus is built so common tokens produce full
+// 128-entry bitset blocks, putting the new decoder — base/nwords parse,
+// word expansion, popcount/entry-count cross-checks, count/len stream
+// tiling — directly in the blast path of every flip. Damage in the bitset
+// words must surface at first touch; damage in the directory (including
+// the per-block encoding tags) must surface at load.
+// ---------------------------------------------------------------------------
+
+std::string SaveDenseV5Index() {
+  CorpusGenOptions opts;
+  opts.seed = 23;
+  opts.num_nodes = 200;
+  opts.min_doc_len = 6;
+  opts.max_doc_len = 16;
+  opts.vocabulary = 16;  // tiny vocabulary: every token lands in most docs
+  opts.num_topic_tokens = 2;
+  opts.topic_doc_fraction = 1.0;
+  opts.topic_occurrences = 2;
+  Corpus corpus = GenerateCorpus(opts);
+  InvertedIndex index = IndexBuilder::Build(corpus);
+  bool any_bitset = false;
+  for (TokenId t = 0; t < index.vocabulary_size(); ++t) {
+    any_bitset |= index.block_list(t)->has_bitset_blocks();
+  }
+  EXPECT_TRUE(any_bitset) << "dense fuzz corpus produced no bitset blocks";
+  std::string blob;
+  SaveIndexToString(index, &blob, IndexFormat::kV5);
+  return blob;
+}
+
+TEST(V5DenseCorruptionSweep, EveryByteFlipSurfacesCorruption) {
+  const std::string blob = SaveDenseV5Index();
+  ASSERT_EQ(blob[6], '5');
+  const std::string path = ::testing::TempDir() + "/fts_v5_dense_sweep.idx";
+  LoadOptions mmap;
+  mmap.mode = LoadOptions::Mode::kMmap;
+  for (size_t pos = 0; pos < blob.size(); pos += SweepStride()) {
+    std::string mutated = blob;
+    mutated[pos] = static_cast<char>(mutated[pos] ^ (1 << (pos % 8)));
+    WriteFile(path, mutated);
+    InvertedIndex loaded;
+    Status s = LoadIndexFromFile(path, &loaded, mmap);
+    if (s.ok()) {
+      s = TouchEveryBlock(loaded);
+      QueryRouter router(&loaded);
+      (void)router.Evaluate("'topic0' AND 'topic1'");
+    }
+    ASSERT_FALSE(s.ok()) << "byte " << pos << " flip never surfaced";
+    EXPECT_EQ(s.code(), StatusCode::kCorruption) << "byte " << pos;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(V5DenseCorruptionSweep, RandomBitsetDamageIsRejectedOrSane) {
+  // Random multi-byte damage across the body. Payload damage bypasses the
+  // load-time trailer hash entirely (it covers only header + directory),
+  // so the per-block checksum and the bitset structural validators do the
+  // rejecting at first touch — and whatever loads must answer the dense
+  // word-AND query without faulting, which is exactly the path that would
+  // walk a poisoned bitset. (Structural rejection behind a deliberately
+  // resealed per-block checksum is pinned by block_posting_list_test's
+  // BitsetWordFlipRejectsEvenWithResealedChecksum.)
+  const std::string blob = SaveDenseV5Index();
+  const std::string path = ::testing::TempDir() + "/fts_v5_dense_reseal.idx";
+  LoadOptions mmap;
+  mmap.mode = LoadOptions::Mode::kMmap;
+  Rng rng(29);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string mutated = blob;
+    const size_t body = mutated.size() - 16;
+    const int mutations = 1 + static_cast<int>(rng.Uniform(4));
+    for (int m = 0; m < mutations; ++m) {
+      const size_t pos = 8 + rng.Uniform(body);
+      switch (rng.Uniform(3)) {
+        case 0:
+          mutated[pos] = static_cast<char>(mutated[pos] ^ (1 << rng.Uniform(8)));
+          break;
+        case 1:
+          mutated[pos] = static_cast<char>(0xFF);
+          break;
+        default:
+          mutated[pos] = 0;
+          break;
+      }
+    }
+    WriteFile(path, mutated);
+    InvertedIndex loaded;
+    const Status s = LoadIndexFromFile(path, &loaded, mmap);
+    if (s.ok()) {
+      const Status touch = TouchEveryBlock(loaded);
+      if (!touch.ok()) {
+        EXPECT_EQ(touch.code(), StatusCode::kCorruption) << touch.ToString();
+      }
+      QueryRouter router(&loaded);
+      (void)router.Evaluate("'topic0' AND 'topic1'");
+      (void)router.EvaluateTopK("'topic0' OR 'topic1'", 5);
+    } else {
+      EXPECT_EQ(s.code(), StatusCode::kCorruption) << s.ToString();
+    }
+  }
+  std::remove(path.c_str());
+}
 
 TEST(V2CorruptionSweep, OutOfRangeNodeIdsAreRejected) {
   // Surgical mutation: shrink the node universe underneath the posting

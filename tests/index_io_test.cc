@@ -159,28 +159,31 @@ TEST(IndexIoTest, V1FilesStillLoad) {
   ExpectIndexEq(index, loaded);
 }
 
-TEST(IndexIoTest, V4IsTheDefaultFormat) {
+TEST(IndexIoTest, V5IsTheDefaultFormat) {
   InvertedIndex index = BuildTestIndex();
   std::string data;
   SaveIndexToString(index, &data);
-  EXPECT_EQ(data[6], '4');  // v4 magic
+  EXPECT_EQ(data[6], '5');  // v5 magic
 }
 
 TEST(IndexIoTest, AllFormatLoadsAreEquivalent) {
   InvertedIndex index = BuildTestIndex();
-  std::string v1, v2, v3, v4;
+  std::string v1, v2, v3, v4, v5;
   SaveIndexToString(index, &v1, IndexFormat::kV1);
   SaveIndexToString(index, &v2, IndexFormat::kV2);
   SaveIndexToString(index, &v3, IndexFormat::kV3);
   SaveIndexToString(index, &v4, IndexFormat::kV4);
-  InvertedIndex from_v1, from_v2, from_v3, from_v4;
+  SaveIndexToString(index, &v5, IndexFormat::kV5);
+  InvertedIndex from_v1, from_v2, from_v3, from_v4, from_v5;
   ASSERT_TRUE(LoadIndexFromString(v1, &from_v1).ok());
   ASSERT_TRUE(LoadIndexFromString(v2, &from_v2).ok());
   ASSERT_TRUE(LoadIndexFromString(v3, &from_v3).ok());
   ASSERT_TRUE(LoadIndexFromString(v4, &from_v4).ok());
+  ASSERT_TRUE(LoadIndexFromString(v5, &from_v5).ok());
   ExpectIndexEq(from_v1, from_v2);
   ExpectIndexEq(from_v1, from_v3);
   ExpectIndexEq(from_v1, from_v4);
+  ExpectIndexEq(from_v1, from_v5);
 }
 
 TEST(IndexIoTest, DefaultFormatSurvivesResaveRoundTrip) {
@@ -214,7 +217,8 @@ TEST(IndexIoTest, BlockMaxAvailabilityByFormat) {
   for (const Case c : {Case{IndexFormat::kV1, true},
                        Case{IndexFormat::kV2, false},
                        Case{IndexFormat::kV3, false},
-                       Case{IndexFormat::kV4, true}}) {
+                       Case{IndexFormat::kV4, true},
+                       Case{IndexFormat::kV5, true}}) {
     std::string data;
     SaveIndexToString(index, &data, c.format);
     InvertedIndex loaded;
@@ -261,6 +265,95 @@ TEST(IndexIoTest, V4MmapLoadStaysLazyAndKeepsBlockMax) {
   }
   ExpectIndexEq(index, mapped);
   std::remove(path.c_str());
+}
+
+// A corpus dense enough that every topic token's posting blocks satisfy
+// the bitset classification (128-entry blocks over consecutive node ids:
+// span == entries, well under kDenseSpanFactor).
+InvertedIndex BuildDenseTestIndex() {
+  CorpusGenOptions opts;
+  opts.num_nodes = 400;
+  opts.min_doc_len = 10;
+  opts.max_doc_len = 30;
+  opts.vocabulary = 100;
+  opts.num_topic_tokens = 2;
+  opts.topic_doc_fraction = 1.0;
+  opts.topic_occurrences = 3;
+  return IndexBuilder::Build(GenerateCorpus(opts));
+}
+
+bool AnyBitsetList(const InvertedIndex& index) {
+  for (TokenId t = 0; t < index.vocabulary_size(); ++t) {
+    if (index.block_list(t)->has_bitset_blocks()) return true;
+  }
+  return false;
+}
+
+TEST(IndexIoTest, V5RoundTripsBitsetBlocks) {
+  // A hybrid list (dense bitset + sparse varint blocks) survives a v5
+  // save/load byte- and content-exactly, in both storage modes, and the
+  // loaded lists keep their bitset encoding (the tag round-trips through
+  // the skip directory rather than being re-derived).
+  InvertedIndex index = BuildDenseTestIndex();
+  ASSERT_TRUE(AnyBitsetList(index)) << "corpus not dense enough to exercise "
+                                       "bitset blocks";
+  std::string data;
+  SaveIndexToString(index, &data, IndexFormat::kV5);
+  ASSERT_EQ(data[6], '5');
+  InvertedIndex loaded;
+  ASSERT_TRUE(LoadIndexFromString(data, &loaded).ok());
+  EXPECT_TRUE(AnyBitsetList(loaded));
+  ExpectIndexEq(index, loaded);
+
+  const std::string path = ::testing::TempDir() + "/fts_v5_dense.idx";
+  ASSERT_TRUE(SaveIndexToFile(index, path, IndexFormat::kV5).ok());
+  LoadOptions mmap;
+  mmap.mode = LoadOptions::Mode::kMmap;
+  InvertedIndex mapped;
+  ASSERT_TRUE(LoadIndexFromFile(path, &mapped, mmap).ok());
+  EXPECT_TRUE(mapped.lazy_validation());
+  EXPECT_TRUE(AnyBitsetList(mapped));
+  ExpectIndexEq(index, mapped);
+  std::remove(path.c_str());
+}
+
+TEST(IndexIoTest, LegacyFormatsTranscodeBitsetBlocksOnSave) {
+  // Saving a hybrid index to a v2..v4 format must transcode bitset blocks
+  // back to varint so an old magic never fronts bytes old readers cannot
+  // parse — content stays identical, only the representation downgrades.
+  // (v1 is exempt: it stores flat postings, no block layout at all, and
+  // its loader rebuilds block lists with the current hybrid builder.)
+  InvertedIndex index = BuildDenseTestIndex();
+  ASSERT_TRUE(AnyBitsetList(index));
+  for (const IndexFormat format :
+       {IndexFormat::kV2, IndexFormat::kV3, IndexFormat::kV4}) {
+    std::string data;
+    SaveIndexToString(index, &data, format);
+    InvertedIndex loaded;
+    ASSERT_TRUE(LoadIndexFromString(data, &loaded).ok())
+        << static_cast<int>(format);
+    EXPECT_FALSE(AnyBitsetList(loaded)) << static_cast<int>(format);
+    ExpectIndexEq(index, loaded);
+  }
+}
+
+TEST(IndexIoTest, V5RejectsEveryDirectoryBitFlip) {
+  // The trailer hash covers the whole directory, including the new per-
+  // block encoding tags — so flipping any byte before the first payload
+  // (conservatively: anywhere in the file; eager loads validate all
+  // payloads too) must surface as Corruption, never as a silently
+  // reinterpreted block.
+  InvertedIndex index = BuildDenseTestIndex();
+  std::string data;
+  SaveIndexToString(index, &data, IndexFormat::kV5);
+  for (size_t i = 8; i < data.size(); i += 97) {  // strided full-file sweep
+    std::string mutated = data;
+    mutated[i] = static_cast<char>(mutated[i] ^ 0x01);
+    InvertedIndex loaded;
+    EXPECT_EQ(LoadIndexFromString(mutated, &loaded).code(),
+              StatusCode::kCorruption)
+        << "byte " << i;
+  }
 }
 
 TEST(IndexIoTest, V2StillLoadsAndRejectsCorruption) {

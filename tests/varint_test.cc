@@ -2,9 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <utility>
 #include <vector>
 
 #include "common/rng.h"
+#include "common/varint_simd.h"
 
 namespace fts {
 namespace {
@@ -181,6 +183,163 @@ TEST(VarintGroupTest, OverflowInsideFastLoopIsNull) {
   std::vector<uint32_t> got(21, 0);
   EXPECT_EQ(GetVarint32Group(Bytes(buf), Bytes(buf) + buf.size(), got.data(), 21),
             nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// SIMD arms: every kernel must accept and reject exactly what the scalar
+// GetVarint32Group does, byte for byte. The differentials run each arm the
+// machine supports; on a non-SIMD machine they reduce to scalar-vs-scalar.
+// ---------------------------------------------------------------------------
+
+using GroupFn = const uint8_t* (*)(const uint8_t*, const uint8_t*, uint32_t*,
+                                   size_t);
+
+std::vector<std::pair<const char*, GroupFn>> SupportedArms() {
+  std::vector<std::pair<const char*, GroupFn>> arms;
+  if (CpuSupportsSsse3()) arms.emplace_back("ssse3", &GetVarint32GroupSsse3);
+  if (CpuSupportsAvx2()) arms.emplace_back("avx2", &GetVarint32GroupAvx2);
+  return arms;
+}
+
+// Runs scalar and `fn` over the same input and requires identical outcomes:
+// same success/failure, same end pointer, same decoded values.
+void ExpectSameAsScalar(const char* arm, GroupFn fn, const std::string& buf,
+                        size_t count) {
+  const uint8_t* base = Bytes(buf);
+  std::vector<uint32_t> scalar_out(count + 1, 0xDEADBEEF);
+  std::vector<uint32_t> simd_out(count + 1, 0xDEADBEEF);
+  const uint8_t* scalar_end =
+      GetVarint32Group(base, base + buf.size(), scalar_out.data(), count);
+  const uint8_t* simd_end = fn(base, base + buf.size(), simd_out.data(), count);
+  ASSERT_EQ(scalar_end == nullptr, simd_end == nullptr)
+      << arm << " count=" << count << " size=" << buf.size();
+  if (scalar_end == nullptr) return;
+  EXPECT_EQ(simd_end, scalar_end) << arm;
+  EXPECT_EQ(simd_out, scalar_out) << arm;
+}
+
+TEST(VarintSimdTest, RandomGroupsMatchScalarOnEveryArm) {
+  Rng rng(97);
+  for (const auto& [name, fn] : SupportedArms()) {
+    for (int trial = 0; trial < 200; ++trial) {
+      const size_t n = 1 + rng.Uniform(200);
+      std::string buf;
+      for (size_t i = 0; i < n; ++i) {
+        // Shift mixes all 1..5-byte widths, with runs of short varints so
+        // the 16-byte lane path and the scalar fallbacks both fire.
+        PutVarint32(&buf,
+                    static_cast<uint32_t>(rng.Next() >> (rng.Uniform(32))));
+      }
+      ExpectSameAsScalar(name, fn, buf, n);
+    }
+  }
+}
+
+TEST(VarintSimdTest, AllOneByteRunsMatchScalar) {
+  // Exercises the AVX2 32-lane all-one-byte fast path and the SSSE3 full
+  // 8-lane shuffle with zero continuation bits.
+  for (const auto& [name, fn] : SupportedArms()) {
+    for (size_t n : {1u, 7u, 8u, 9u, 31u, 32u, 33u, 100u}) {
+      std::string buf;
+      for (size_t i = 0; i < n; ++i) {
+        PutVarint32(&buf, static_cast<uint32_t>(i % 128));
+      }
+      ExpectSameAsScalar(name, fn, buf, n);
+    }
+  }
+}
+
+TEST(VarintSimdTest, TruncationAtEveryPrefixRejectsOnEveryArm) {
+  // Same 16x2-byte group as the scalar truncation test: every proper
+  // prefix must be rejected by every arm, not just the scalar decoder.
+  std::string buf;
+  for (int i = 0; i < 16; ++i) PutVarint32(&buf, 1000 + i);
+  for (const auto& [name, fn] : SupportedArms()) {
+    for (size_t len = 0; len < buf.size(); ++len) {
+      std::vector<uint32_t> got(16, 0);
+      EXPECT_EQ(fn(Bytes(buf), Bytes(buf) + len, got.data(), 16), nullptr)
+          << name << " len=" << len;
+    }
+  }
+}
+
+TEST(VarintSimdTest, FiveByteOverflowCasesRejectOnEveryArm) {
+  // The two distinct 5-byte rejection conditions of the scalar decoder:
+  // a continuation bit on the fifth byte, and a final byte above 0x0F
+  // (value past 2^32). Embedded mid-group so the SIMD lanes carry real
+  // work up to the bad varint.
+  const std::string bad_cont("\x80\x80\x80\x80\x80\x01", 6);
+  const std::string bad_high("\x80\x80\x80\x80\x10", 5);
+  for (const auto& [name, fn] : SupportedArms()) {
+    for (const std::string& bad : {bad_cont, bad_high}) {
+      std::string buf;
+      for (int i = 0; i < 10; ++i) PutVarint32(&buf, 3);
+      buf += bad;
+      for (int i = 0; i < 10; ++i) PutVarint32(&buf, 3);
+      std::vector<uint32_t> got(21, 0);
+      EXPECT_EQ(fn(Bytes(buf), Bytes(buf) + buf.size(), got.data(), 21),
+                nullptr)
+          << name;
+      ExpectSameAsScalar(name, fn, buf, 21);
+    }
+  }
+}
+
+TEST(VarintSimdTest, FourthByteHighBitFiveByteFormsRejected) {
+  // Explicitly: a 5-byte varint whose 5th byte has the high (continuation)
+  // bit set is malformed even when the low bits would decode to a small
+  // value — the SIMD fallback must not strip the check the scalar decoder
+  // performs.
+  const std::string malformed("\x80\x80\x80\x80\x81", 5);  // cont bit on byte 5
+  std::vector<uint32_t> got(1, 0);
+  EXPECT_EQ(GetVarint32Group(Bytes(malformed), Bytes(malformed) + 5,
+                             got.data(), 1),
+            nullptr);
+  for (const auto& [name, fn] : SupportedArms()) {
+    EXPECT_EQ(fn(Bytes(malformed), Bytes(malformed) + 5, got.data(), 1),
+              nullptr)
+        << name;
+  }
+}
+
+TEST(VarintSimdTest, MaxValuesRoundTripOnEveryArm) {
+  for (const auto& [name, fn] : SupportedArms()) {
+    std::string buf;
+    const std::vector<uint32_t> values = {0xFFFFFFFFu, 0, 0x7F, 0x80,
+                                          0x3FFF,      0x4000, 0x1FFFFF,
+                                          0x200000,    0xFFFFFFF, 0x10000000};
+    for (uint32_t v : values) PutVarint32(&buf, v);
+    std::vector<uint32_t> got(values.size(), 0);
+    const uint8_t* end =
+        fn(Bytes(buf), Bytes(buf) + buf.size(), got.data(), values.size());
+    ASSERT_NE(end, nullptr) << name;
+    EXPECT_EQ(end, Bytes(buf) + buf.size()) << name;
+    EXPECT_EQ(got, values) << name;
+  }
+}
+
+TEST(VarintSimdTest, AutoDispatchMatchesScalar) {
+  // Whatever arm the process resolved, GetVarint32GroupAuto must agree
+  // with the scalar decoder on a mixed-width workload.
+  Rng rng(1234);
+  std::string buf;
+  const size_t n = 500;
+  std::vector<uint32_t> values;
+  for (size_t i = 0; i < n; ++i) {
+    values.push_back(static_cast<uint32_t>(rng.Next() >> (rng.Uniform(32))));
+    PutVarint32(&buf, values.back());
+  }
+  std::vector<uint32_t> got(n, 0);
+  const uint8_t* end =
+      GetVarint32GroupAuto(Bytes(buf), Bytes(buf) + buf.size(), got.data(), n);
+  ASSERT_NE(end, nullptr);
+  EXPECT_EQ(end, Bytes(buf) + buf.size());
+  EXPECT_EQ(got, values);
+  // And the resolved arm is consistent with what the CPU offers.
+  const DecodeArm arm = ActiveDecodeArm();
+  if (arm == DecodeArm::kAvx2) EXPECT_TRUE(CpuSupportsAvx2());
+  if (arm == DecodeArm::kSsse3) EXPECT_TRUE(CpuSupportsSsse3());
+  EXPECT_NE(DecodeArmName(arm), nullptr);
 }
 
 }  // namespace
