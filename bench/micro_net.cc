@@ -1,0 +1,167 @@
+// Network serving benchmarks over a loopback socket: wire serialization
+// cost in isolation, round-trip latency of a synchronous client call
+// (protocol + socket + service dispatch overhead vs the in-process
+// service), and pipelined throughput with many requests in flight on one
+// connection. On the 1-core CI runners the pipelined series measures
+// protocol overhead, not parallel evaluation — read the qps counter
+// relative to BM_LoopbackRoundTrip, not as a machine-scaling figure.
+
+#include <future>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "net/wire.h"
+
+#include <benchmark/benchmark.h>
+
+namespace {
+
+using fts::InvertedIndex;
+using fts::QueryGenOptions;
+using fts::QueryPolarity;
+using fts::ScoringKind;
+using fts::StatusOr;
+using fts::benchutil::SharedIndex;
+using fts::net::FtsClient;
+using fts::net::FtsServer;
+using fts::net::SearchRequest;
+using fts::net::SearchResponse;
+
+/// One started loopback server + client per benchmark binary run, shared
+/// across series (the paper corpus behind it is the 6000-node default).
+struct Loopback {
+  Loopback() : server(MakeIndex(), MakeOptions()) {
+    if (!server.Start().ok()) std::abort();
+    FtsClient::Options copts;
+    copts.port = server.port();
+    client = std::make_unique<FtsClient>(copts);
+  }
+
+  static std::shared_ptr<const InvertedIndex> MakeIndex() {
+    // SharedIndex owns the instance for the binary's lifetime; alias it
+    // into the shared_ptr the server API wants.
+    return {std::shared_ptr<const InvertedIndex>(),
+            &SharedIndex(6000, 6)};
+  }
+
+  static FtsServer::Options MakeOptions() {
+    FtsServer::Options options;
+    options.service.num_workers = 1;
+    return options;
+  }
+
+  FtsServer server;
+  std::unique_ptr<FtsClient> client;
+};
+
+Loopback& SharedLoopback() {
+  static Loopback* lb = new Loopback();
+  return *lb;
+}
+
+std::string BoolQuery() {
+  QueryGenOptions q;
+  q.num_tokens = 3;
+  q.num_predicates = 0;
+  q.polarity = QueryPolarity::kNone;
+  return GenerateQuery(q);
+}
+
+/// Pure serialization: encode + decode a mid-sized response, no sockets.
+void BM_WireSearchResponseRoundtrip(benchmark::State& state) {
+  SearchResponse resp;
+  resp.engine = "BOOL";
+  const size_t n = static_cast<size_t>(state.range(0));
+  for (size_t i = 0; i < n; ++i) {
+    resp.nodes.push_back(i * 3);
+    resp.scores.push_back(1.0 / static_cast<double>(i + 1));
+  }
+  for (auto _ : state) {
+    const std::string frame = EncodeSearchResponse(resp);
+    SearchResponse decoded;
+    const fts::Status s = fts::net::DecodeSearchResponse(
+        std::string_view(frame).substr(fts::net::kFrameHeaderBytes), &decoded);
+    if (!s.ok()) {
+      state.SkipWithError(s.ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(decoded.nodes.data());
+  }
+  state.SetBytesProcessed(
+      static_cast<int64_t>(state.iterations()) *
+      static_cast<int64_t>(EncodeSearchResponse(resp).size()));
+}
+BENCHMARK(BM_WireSearchResponseRoundtrip)->Arg(16)->Arg(1024)->ArgName("results");
+
+/// Protocol floor: a ping round trip touches sockets and framing but no
+/// query evaluation.
+void BM_LoopbackPing(benchmark::State& state) {
+  Loopback& lb = SharedLoopback();
+  for (auto _ : state) {
+    auto r = lb.client->Ping();
+    if (!r.ok()) {
+      state.SkipWithError(r.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(r->num_nodes);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_LoopbackPing)->UseRealTime();
+
+/// Synchronous query round trip: the number to compare against the
+/// in-process micro_service figures — the delta is the serving tax
+/// (framing, syscalls, response copy).
+void BM_LoopbackRoundTrip(benchmark::State& state) {
+  Loopback& lb = SharedLoopback();
+  const std::string query = BoolQuery();
+  for (auto _ : state) {
+    auto r = lb.client->Search(query);
+    if (!r.ok() || !r->status.ok()) {
+      state.SkipWithError("search failed");
+      return;
+    }
+    benchmark::DoNotOptimize(r->nodes.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_LoopbackRoundTrip)->UseRealTime();
+
+/// Pipelined throughput: state.range(0) requests in flight on one
+/// connection per batch; qps counts completed searches per wall second.
+void BM_LoopbackPipelinedQps(benchmark::State& state) {
+  Loopback& lb = SharedLoopback();
+  const std::string query = BoolQuery();
+  const size_t depth = static_cast<size_t>(state.range(0));
+  uint64_t completed = 0;
+  for (auto _ : state) {
+    std::vector<std::future<StatusOr<SearchResponse>>> inflight;
+    inflight.reserve(depth);
+    for (size_t i = 0; i < depth; ++i) {
+      SearchRequest req;
+      req.query = query;
+      inflight.push_back(lb.client->SearchAsync(std::move(req)));
+    }
+    for (auto& f : inflight) {
+      auto r = f.get();
+      if (!r.ok() || !r->status.ok()) {
+        state.SkipWithError("pipelined search failed");
+        return;
+      }
+      ++completed;
+    }
+  }
+  state.counters["qps"] = benchmark::Counter(
+      static_cast<double>(completed), benchmark::Counter::kIsRate);
+  state.SetItemsProcessed(static_cast<int64_t>(completed));
+}
+BENCHMARK(BM_LoopbackPipelinedQps)->Arg(1)->Arg(8)->Arg(32)->ArgName("depth")
+    ->UseRealTime();
+
+}  // namespace
+
+int main(int argc, char** argv) { return fts::benchutil::BenchMain(argc, argv); }

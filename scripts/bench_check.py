@@ -50,7 +50,7 @@ import tempfile
 # is a counter, not a time, so it never trips the regression check on
 # differently-cored runners.
 DEFAULT_BENCHES = ["micro_index", "micro_postings", "micro_service",
-                   "micro_ingest", "micro_topk"]
+                   "micro_ingest", "micro_topk", "micro_net"]
 
 # Multipliers to nanoseconds per google-benchmark time_unit.
 TIME_UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
@@ -119,10 +119,20 @@ def check_bench(build_dir, baseline_dir, bench, min_time, threshold, runs,
     # baseline recorded under the same arm; the plain file is the portable
     # floor for arms without a dedicated recording.
     baseline_path = os.path.join(baseline_dir, f"BENCH_{bench}.json")
+    arm_warning = None
     if arm is not None:
         arm_path = os.path.join(baseline_dir, f"BENCH_{bench}.{arm}.json")
         if os.path.exists(arm_path):
             baseline_path = arm_path
+        else:
+            # Falling back to the portable floor is legitimate but must be
+            # visible: a SIMD run compared against a scalar-recorded floor
+            # always looks faster, so real SIMD-arm regressions can hide
+            # until someone records BENCH_<bench>.<arm>.json.
+            arm_warning = (f"  WARNING: no {arm} baseline "
+                           f"({os.path.basename(arm_path)} missing); "
+                           f"comparing against the portable floor — "
+                           f"{arm}-specific regressions may go undetected")
     if not os.path.exists(baseline_path):
         return [], [f"{bench}: no baseline at {baseline_path}; skipped"]
     baseline, baseline_arm = load_times(baseline_path)
@@ -147,6 +157,8 @@ def check_bench(build_dir, baseline_dir, bench, min_time, threshold, runs,
                     f"[{os.path.basename(baseline_path)}]")
     report = [f"{bench}: {len(common)} benchmarks, median machine ratio "
               f"{median:.2f}x (normalizing by it){arm_note}"]
+    if arm_warning:
+        report.append(arm_warning)
     if too_long:
         report.append(f"  {len(too_long)} benchmark(s) over {max_bench_ms}ms "
                       f"per iteration skipped (cold single-iteration smoke "

@@ -76,9 +76,16 @@ bool SearchService::Enqueue(Task task, bool block) {
 
 std::future<StatusOr<RoutedResult>> SearchService::Submit(std::string query,
                                                           size_t top_k) {
+  RequestOptions options;
+  options.top_k = top_k;
+  return Submit(std::move(query), options);
+}
+
+std::future<StatusOr<RoutedResult>> SearchService::Submit(
+    std::string query, RequestOptions options) {
   Task task;
   task.query = std::move(query);
-  task.top_k = top_k;
+  task.options = options;
   std::future<StatusOr<RoutedResult>> future = task.promise.get_future();
   Enqueue(std::move(task), /*block=*/true);
   return future;
@@ -86,9 +93,16 @@ std::future<StatusOr<RoutedResult>> SearchService::Submit(std::string query,
 
 std::optional<std::future<StatusOr<RoutedResult>>> SearchService::TrySubmit(
     std::string query, size_t top_k) {
+  RequestOptions options;
+  options.top_k = top_k;
+  return TrySubmit(std::move(query), options);
+}
+
+std::optional<std::future<StatusOr<RoutedResult>>> SearchService::TrySubmit(
+    std::string query, RequestOptions options) {
   Task task;
   task.query = std::move(query);
-  task.top_k = top_k;
+  task.options = options;
   std::future<StatusOr<RoutedResult>> future = task.promise.get_future();
   if (!Enqueue(std::move(task), /*block=*/false)) return std::nullopt;
   return future;
@@ -113,6 +127,11 @@ std::vector<StatusOr<RoutedResult>> SearchService::SearchBatch(
 ServiceMetricsSnapshot SearchService::metrics() const {
   std::lock_guard<std::mutex> lock(metrics_mu_);
   return metrics_;
+}
+
+size_t SearchService::queue_depth() const {
+  std::lock_guard<std::mutex> lock(queue_mu_);
+  return queue_.size();
 }
 
 void SearchService::Shutdown() {
@@ -154,18 +173,22 @@ void SearchService::WorkerLoop() {
     }
     queue_not_full_.notify_one();
 
-    if (options_.default_timeout.count() > 0) {
-      ctx.set_deadline(Deadline::After(options_.default_timeout));
-    }
-    // Set unconditionally: the context is reused across queries, so a
-    // stale top_k from a previous ranked query must never leak into an
-    // unranked one (and vice versa).
-    ctx.set_top_k(task.top_k);
+    // Per-request knobs override the service defaults; set unconditionally
+    // because the context is reused across queries — a stale deadline or
+    // top_k from a previous query must never leak into the next one.
+    const std::chrono::nanoseconds timeout = task.options.timeout.count() > 0
+                                                 ? task.options.timeout
+                                                 : options_.default_timeout;
+    ctx.set_deadline(timeout.count() > 0 ? Deadline::After(timeout)
+                                         : Deadline());
+    ctx.set_top_k(task.options.top_k);
     // Acquire the current generation for exactly this query: the snapshot
     // (and every segment it references) stays alive until the Searcher is
     // destroyed, even if a writer publishes a newer generation mid-query.
-    Searcher searcher(source_->snapshot(),
-                      SearcherOptions{options_.scoring, options_.mode});
+    Searcher searcher(
+        source_->snapshot(),
+        SearcherOptions{options_.scoring,
+                        task.options.mode.value_or(options_.mode)});
     StatusOr<RoutedResult> result = searcher.Search(task.query, ctx);
 
     {

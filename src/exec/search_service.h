@@ -103,6 +103,20 @@ class SearchService {
   SearchService(const SearchService&) = delete;
   SearchService& operator=(const SearchService&) = delete;
 
+  /// Per-request evaluation knobs, carried with the task to the worker.
+  /// Everything defaults to "use the service's configuration" — the
+  /// network layer is the caller that needs these (a remote client picks
+  /// its own cursor mode, deadline, and top_k per request).
+  struct RequestOptions {
+    /// Ranked retrieval: the result holds only the top_k best nodes in
+    /// rank order; 0 = full results.
+    size_t top_k = 0;
+    /// Cursor access mode for this query; nullopt = Options::mode.
+    std::optional<CursorMode> mode;
+    /// Deadline for this query; zero = Options::default_timeout.
+    std::chrono::nanoseconds timeout{0};
+  };
+
   /// Enqueues `query` for evaluation, blocking while the queue is full.
   /// The future resolves to the routed result, or to Unavailable if the
   /// service was shut down before (or while) the query could be accepted.
@@ -113,10 +127,18 @@ class SearchService {
   std::future<StatusOr<RoutedResult>> Submit(std::string query,
                                              size_t top_k = 0);
 
+  /// As above with the full per-request knob set.
+  std::future<StatusOr<RoutedResult>> Submit(std::string query,
+                                             RequestOptions options);
+
   /// Non-blocking enqueue: nullopt when the queue is full or the service
   /// is shut down (the refusal is tallied in metrics().rejected).
   std::optional<std::future<StatusOr<RoutedResult>>> TrySubmit(
       std::string query, size_t top_k = 0);
+
+  /// As above with the full per-request knob set.
+  std::optional<std::future<StatusOr<RoutedResult>>> TrySubmit(
+      std::string query, RequestOptions options);
 
   /// Synchronous convenience: Submit + wait.
   StatusOr<RoutedResult> Search(std::string_view query, size_t top_k = 0);
@@ -132,6 +154,13 @@ class SearchService {
   /// lock.
   ServiceMetricsSnapshot metrics() const;
 
+  /// Instantaneous submission-queue depth — the congestion signal the
+  /// admission controller (src/exec/admission.h) reads before deciding
+  /// whether an expensive query may enqueue.
+  size_t queue_depth() const;
+
+  size_t queue_capacity() const { return options_.queue_capacity; }
+
   /// Stops intake, drains every accepted query, joins the workers.
   /// Idempotent; also run by the destructor.
   void Shutdown();
@@ -145,9 +174,10 @@ class SearchService {
  private:
   struct Task {
     std::string query;
-    /// Ranked-retrieval request carried to the worker's context; 0 = full
-    /// results.
-    size_t top_k = 0;
+    /// Per-request knobs resolved against the service configuration by
+    /// the worker (top_k rides in the context; mode/timeout override the
+    /// service defaults when set).
+    RequestOptions options;
     std::promise<StatusOr<RoutedResult>> promise;
   };
 
@@ -168,7 +198,7 @@ class SearchService {
   std::unique_ptr<StaticSnapshotSource> owned_source_;
   const SnapshotSource* source_;
 
-  std::mutex queue_mu_;
+  mutable std::mutex queue_mu_;
   std::condition_variable queue_not_empty_;
   std::condition_variable queue_not_full_;
   std::deque<Task> queue_;

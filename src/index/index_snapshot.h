@@ -90,6 +90,19 @@ class IndexSnapshot {
       std::vector<std::shared_ptr<const TombstoneSet>> tombstones = {},
       uint64_t generation = 0);
 
+  /// One shard of a document-partitioned corpus, scored with corpus-global
+  /// statistics supplied by a scatter-gather router (docs/serving.md): the
+  /// snapshot holds `segment` alone, but its norms and idf are recomputed
+  /// under `global_live_nodes` and the cross-shard `df_by_text` table —
+  /// the same pass-2 arithmetic Create() runs — so this shard's scores are
+  /// bit-identical to the corresponding rows of a single-index build of
+  /// the full corpus. total_nodes()/live_nodes() stay local (the shard's
+  /// own id space); only the scoring inputs are global.
+  static StatusOr<std::shared_ptr<const IndexSnapshot>> CreateSharded(
+      std::shared_ptr<const InvertedIndex> segment, uint64_t global_live_nodes,
+      std::unordered_map<std::string, uint32_t> df_by_text,
+      uint64_t generation = 0);
+
   /// Borrowed single-segment snapshot over an externally owned index —
   /// the bridge for every pre-snapshot caller (QueryRouter over one
   /// InvertedIndex). `index` must outlive the snapshot. No stats, no

@@ -1,0 +1,252 @@
+#include "net/client.h"
+
+#include <memory>
+
+namespace fts {
+namespace net {
+
+namespace {
+
+/// Completes a typed promise from a raw response payload.
+template <typename Resp>
+void CompleteTyped(std::promise<StatusOr<Resp>>* promise,
+                   Status (*decode)(std::string_view, Resp*),
+                   StatusOr<std::string> payload) {
+  if (!payload.ok()) {
+    promise->set_value(payload.status());
+    return;
+  }
+  Resp resp;
+  const Status s = decode(*payload, &resp);
+  if (!s.ok()) {
+    promise->set_value(s);
+  } else {
+    promise->set_value(std::move(resp));
+  }
+}
+
+}  // namespace
+
+FtsClient::~FtsClient() { Disconnect(); }
+
+Status FtsClient::EnsureConnected() {
+  std::lock_guard<std::mutex> lock(state_mu_);
+  if (connected_.load()) return Status::OK();
+  // A previous connection's reader has set connected_ to false and is
+  // exiting (or has exited); it never touches the socket after that, so
+  // joining here makes the replacement below race-free.
+  if (reader_.joinable()) reader_.join();
+  FTS_ASSIGN_OR_RETURN(
+      Socket sock,
+      ConnectTcp(options_.host, options_.port, options_.connect_timeout));
+  {
+    std::lock_guard<std::mutex> wlock(write_mu_);
+    sock_ = std::move(sock);
+  }
+  connected_.store(true);
+  reader_ = std::thread([this] { ReaderLoop(); });
+  return Status::OK();
+}
+
+void FtsClient::Disconnect() {
+  {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    connected_.store(false);
+    sock_.Shutdown();  // wakes the reader, which fails all pending
+    if (reader_.joinable()) reader_.join();
+    std::lock_guard<std::mutex> wlock(write_mu_);
+    sock_.Close();
+  }
+  // The reader normally fails in-flight calls; cover the path where it
+  // was never started (or already gone) so nothing is left hanging.
+  FailAllPending(Status::Unavailable("net: client disconnected"));
+}
+
+void FtsClient::ReaderLoop() {
+  while (true) {
+    std::string payload;
+    Status s = ReadFrame(sock_, &payload, options_.max_frame_bytes);
+    Status failure;
+    if (!s.ok()) {
+      failure = s.code() == StatusCode::kUnavailable
+                    ? Status::Unavailable("net: connection closed")
+                    : Status::Unavailable("net: connection lost: " + s.message());
+    } else {
+      uint8_t type = 0;
+      uint64_t id = 0;
+      const Status peek = PeekPrologue(payload, &type, &id);
+      if (peek.ok()) {
+        Handler handler;
+        {
+          std::lock_guard<std::mutex> lock(pending_mu_);
+          const auto it = pending_.find(id);
+          if (it != pending_.end()) {
+            handler = std::move(it->second);
+            pending_.erase(it);
+          }
+        }
+        // No handler = a call that already timed out client-side; the
+        // late response is dropped.
+        if (handler) handler(std::move(payload));
+        continue;
+      }
+      // An unreadable prologue cannot be attributed to any request — the
+      // stream is poisoned, so everything in flight fails.
+      failure = peek;
+    }
+    connected_.store(false);
+    sock_.Shutdown();
+    FailAllPending(failure);
+    return;
+  }
+}
+
+void FtsClient::FailAllPending(const Status& error) {
+  std::unordered_map<uint64_t, Handler> doomed;
+  {
+    std::lock_guard<std::mutex> lock(pending_mu_);
+    doomed.swap(pending_);
+  }
+  for (auto& [id, handler] : doomed) handler(error);
+}
+
+void FtsClient::Dispatch(uint64_t id, Handler handler,
+                         const std::string& frame) {
+  const Status conn = EnsureConnected();
+  if (!conn.ok()) {
+    handler(conn);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(pending_mu_);
+    pending_.emplace(id, std::move(handler));
+  }
+  Status sent;
+  {
+    std::lock_guard<std::mutex> lock(write_mu_);
+    sent = connected_.load()
+               ? WriteAll(sock_, frame)
+               : Status::Unavailable("net: connection lost before send");
+  }
+  if (!sent.ok()) {
+    // Reclaim the slot (the reader may have failed it already).
+    Handler reclaimed;
+    {
+      std::lock_guard<std::mutex> lock(pending_mu_);
+      const auto it = pending_.find(id);
+      if (it != pending_.end()) {
+        reclaimed = std::move(it->second);
+        pending_.erase(it);
+      }
+    }
+    if (reclaimed) reclaimed(sent);
+  }
+}
+
+StatusOr<std::string> FtsClient::RoundTrip(uint64_t id,
+                                           const std::string& frame,
+                                           std::chrono::milliseconds timeout) {
+  auto promise = std::make_shared<std::promise<StatusOr<std::string>>>();
+  std::future<StatusOr<std::string>> future = promise->get_future();
+  Dispatch(id, [promise](StatusOr<std::string> payload) {
+    promise->set_value(std::move(payload));
+  }, frame);
+  if (timeout.count() > 0 &&
+      future.wait_for(timeout) != std::future_status::ready) {
+    // Abandon the slot; a late response is dropped by the reader.
+    std::lock_guard<std::mutex> lock(pending_mu_);
+    pending_.erase(id);
+    return Status::DeadlineExceeded("net: call timed out after " +
+                                    std::to_string(timeout.count()) + "ms");
+  }
+  return future.get();
+}
+
+std::future<StatusOr<SearchResponse>> FtsClient::SearchAsync(
+    SearchRequest req) {
+  req.request_id = NextId();
+  auto promise = std::make_shared<std::promise<StatusOr<SearchResponse>>>();
+  std::future<StatusOr<SearchResponse>> future = promise->get_future();
+  Dispatch(req.request_id,
+           [promise](StatusOr<std::string> payload) {
+             CompleteTyped<SearchResponse>(promise.get(), DecodeSearchResponse,
+                                           std::move(payload));
+           },
+           EncodeSearchRequest(req));
+  return future;
+}
+
+StatusOr<SearchResponse> FtsClient::Search(std::string_view query,
+                                           uint32_t top_k, WireCursorMode mode,
+                                           uint64_t deadline_us) {
+  SearchRequest req;
+  req.request_id = NextId();
+  req.query = std::string(query);
+  req.top_k = top_k;
+  req.mode = mode;
+  req.deadline_us = deadline_us;
+  // A server-side deadline extends the client-side wait so the server's
+  // own kDeadlineExceeded answer can make it back.
+  std::chrono::milliseconds wait = options_.call_timeout;
+  if (wait.count() > 0 && deadline_us > 0) {
+    wait += std::chrono::milliseconds(deadline_us / 1000 + 1);
+  }
+  FTS_ASSIGN_OR_RETURN(
+      std::string payload,
+      RoundTrip(req.request_id, EncodeSearchRequest(req), wait));
+  SearchResponse resp;
+  FTS_RETURN_IF_ERROR(DecodeSearchResponse(payload, &resp));
+  return resp;
+}
+
+StatusOr<PingResponse> FtsClient::Ping() {
+  PingRequest req;
+  req.request_id = NextId();
+  FTS_ASSIGN_OR_RETURN(std::string payload,
+                       RoundTrip(req.request_id, EncodePingRequest(req),
+                                 options_.call_timeout));
+  PingResponse resp;
+  FTS_RETURN_IF_ERROR(DecodePingResponse(payload, &resp));
+  return resp;
+}
+
+StatusOr<StatsResponse> FtsClient::Stats() {
+  StatsRequest req;
+  req.request_id = NextId();
+  FTS_ASSIGN_OR_RETURN(std::string payload,
+                       RoundTrip(req.request_id, EncodeStatsRequest(req),
+                                 options_.call_timeout));
+  StatsResponse resp;
+  FTS_RETURN_IF_ERROR(DecodeStatsResponse(payload, &resp));
+  return resp;
+}
+
+StatusOr<SetGlobalStatsResponse> FtsClient::SetGlobalStats(
+    uint64_t global_live_nodes,
+    std::vector<std::pair<std::string, uint32_t>> df_by_text) {
+  SetGlobalStatsRequest req;
+  req.request_id = NextId();
+  req.global_live_nodes = global_live_nodes;
+  req.df_by_text = std::move(df_by_text);
+  FTS_ASSIGN_OR_RETURN(
+      std::string payload,
+      RoundTrip(req.request_id, EncodeSetGlobalStatsRequest(req),
+                options_.call_timeout));
+  SetGlobalStatsResponse resp;
+  FTS_RETURN_IF_ERROR(DecodeSetGlobalStatsResponse(payload, &resp));
+  return resp;
+}
+
+StatusOr<MetricsResponse> FtsClient::Metrics() {
+  MetricsRequest req;
+  req.request_id = NextId();
+  FTS_ASSIGN_OR_RETURN(std::string payload,
+                       RoundTrip(req.request_id, EncodeMetricsRequest(req),
+                                 options_.call_timeout));
+  MetricsResponse resp;
+  FTS_RETURN_IF_ERROR(DecodeMetricsResponse(payload, &resp));
+  return resp;
+}
+
+}  // namespace net
+}  // namespace fts

@@ -1,0 +1,121 @@
+// FtsClient: C++ client for the fts wire protocol (docs/serving.md).
+//
+// One client owns one TCP connection (opened lazily on the first call and
+// reopened transparently after a disconnect) plus a background reader
+// thread that matches response frames to in-flight requests by request id.
+// Because matching is id-based, calls pipeline: SearchAsync returns a
+// future immediately and many requests can be in flight on the one
+// connection — the server evaluates them concurrently across its worker
+// pool and streams responses back in request order. The synchronous
+// wrappers are Submit-then-wait with a client-side timeout
+// (DeadlineExceeded on expiry; the server may still complete the query —
+// pass a server-side deadline too when that matters).
+//
+// Failure model: when the connection dies, every in-flight call fails
+// with Unavailable and the next call reconnects. A response frame that
+// cannot be decoded fails only its own call (InvalidArgument); an
+// undecodable frame *prologue* poisons the stream and fails everything.
+// Thread-safe: any thread may issue calls concurrently.
+
+#ifndef FTS_NET_CLIENT_H_
+#define FTS_NET_CLIENT_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "net/socket.h"
+#include "net/wire.h"
+
+namespace fts {
+namespace net {
+
+class FtsClient {
+ public:
+  struct Options {
+    std::string host = "127.0.0.1";
+    uint16_t port = 0;
+    std::chrono::milliseconds connect_timeout{5000};
+    /// Client-side wait bound of the synchronous wrappers; zero = wait
+    /// forever (the reader still fails the call if the connection dies).
+    std::chrono::milliseconds call_timeout{30000};
+    uint32_t max_frame_bytes = kMaxFrameBytes;
+  };
+
+  explicit FtsClient(Options options) : options_(std::move(options)) {}
+  ~FtsClient();
+
+  FtsClient(const FtsClient&) = delete;
+  FtsClient& operator=(const FtsClient&) = delete;
+
+  /// Pipelined search: returns immediately; the future resolves when the
+  /// response frame arrives (or the connection dies). `req.request_id` is
+  /// assigned by the client.
+  std::future<StatusOr<SearchResponse>> SearchAsync(SearchRequest req);
+
+  /// Synchronous search. `deadline_us` > 0 additionally asks the server
+  /// to abandon evaluation after that many microseconds (the reply is
+  /// then a kDeadlineExceeded status).
+  StatusOr<SearchResponse> Search(std::string_view query, uint32_t top_k = 0,
+                                  WireCursorMode mode = WireCursorMode::kDefault,
+                                  uint64_t deadline_us = 0);
+
+  StatusOr<PingResponse> Ping();
+  StatusOr<StatsResponse> Stats();
+  StatusOr<SetGlobalStatsResponse> SetGlobalStats(
+      uint64_t global_live_nodes,
+      std::vector<std::pair<std::string, uint32_t>> df_by_text);
+  StatusOr<MetricsResponse> Metrics();
+
+  /// Closes the connection and fails everything in flight; the next call
+  /// reconnects. Idempotent.
+  void Disconnect();
+
+  bool connected() const { return connected_.load(); }
+
+ private:
+  using Handler = std::function<void(StatusOr<std::string>)>;
+
+  /// Connects (if needed) and starts the reader. Serialized; concurrent
+  /// callers wait and then observe the established connection.
+  Status EnsureConnected();
+  /// Registers `handler` for `id` and writes `frame`; on any failure the
+  /// handler is completed with the error instead (never lost).
+  void Dispatch(uint64_t id, Handler handler, const std::string& frame);
+  /// Registers a raw pending slot, sends, and waits up to `timeout`
+  /// (zero = forever) for the response payload.
+  StatusOr<std::string> RoundTrip(uint64_t id, const std::string& frame,
+                                  std::chrono::milliseconds timeout);
+  void ReaderLoop();
+  void FailAllPending(const Status& error);
+  uint64_t NextId() { return next_id_.fetch_add(1) + 1; }
+
+  Options options_;
+
+  /// Serializes connect/disconnect transitions.
+  std::mutex state_mu_;
+  /// Guards sock_ replacement and all writes (frames must not interleave).
+  std::mutex write_mu_;
+  Socket sock_;
+  std::thread reader_;
+  std::atomic<bool> connected_{false};
+
+  std::mutex pending_mu_;
+  std::unordered_map<uint64_t, Handler> pending_;
+  std::atomic<uint64_t> next_id_{0};
+};
+
+}  // namespace net
+}  // namespace fts
+
+#endif  // FTS_NET_CLIENT_H_

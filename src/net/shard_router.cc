@@ -1,0 +1,429 @@
+#include "net/shard_router.h"
+
+#include <algorithm>
+#include <cstring>
+#include <unordered_map>
+
+namespace fts {
+namespace net {
+
+ShardRouter::ShardRouter(Options options) : options_(std::move(options)) {}
+
+Status ShardRouter::Connect() {
+  clients_.clear();
+  total_nodes_ = 0;
+  std::vector<ShardHealth> health(options_.shards.size());
+  for (size_t i = 0; i < options_.shards.size(); ++i) {
+    const ShardAddress& addr = options_.shards[i];
+    FtsClient::Options copts;
+    copts.host = addr.host;
+    copts.port = addr.port;
+    copts.connect_timeout = options_.connect_timeout;
+    copts.call_timeout = options_.call_timeout;
+    auto client = std::make_unique<FtsClient>(copts);
+    StatusOr<PingResponse> ping = client->Ping();
+    if (!ping.ok()) {
+      return Status(ping.status().code(),
+                    "shard " + std::to_string(i) + " (" + addr.host + ":" +
+                        std::to_string(addr.port) +
+                        "): " + ping.status().message());
+    }
+    ShardHealth& h = health[i];
+    h.address = addr;
+    h.name = ping->server_name;
+    h.alive = true;
+    h.num_nodes = ping->num_nodes;
+    h.generation = ping->generation;
+    // Prefix-sum bases: shard i's local node n is global node base + n —
+    // the segment id-base scheme, across processes.
+    h.base = total_nodes_;
+    total_nodes_ += ping->num_nodes;
+    clients_.push_back(std::move(client));
+  }
+  std::lock_guard<std::mutex> lock(health_mu_);
+  health_ = std::move(health);
+  return Status::OK();
+}
+
+Status ShardRouter::ExchangeGlobalStats() {
+  if (clients_.empty()) return Status::Unavailable("router not connected");
+  // Gather: every shard's local df table and node count.
+  std::unordered_map<std::string, uint32_t> df;
+  uint64_t global_live_nodes = 0;
+  for (size_t i = 0; i < clients_.size(); ++i) {
+    StatusOr<StatsResponse> stats = clients_[i]->Stats();
+    if (!stats.ok()) {
+      return Status(stats.status().code(), "shard " + std::to_string(i) +
+                                               " stats: " +
+                                               stats.status().message());
+    }
+    global_live_nodes += stats->num_nodes;
+    for (const auto& [text, d] : stats->df_by_text) df[text] += d;
+  }
+  // Scatter: the summed table back to every shard, which rebuilds its
+  // snapshot under corpus-global idf (IndexSnapshot::CreateSharded).
+  std::vector<std::pair<std::string, uint32_t>> table(df.begin(), df.end());
+  for (size_t i = 0; i < clients_.size(); ++i) {
+    StatusOr<SetGlobalStatsResponse> resp =
+        clients_[i]->SetGlobalStats(global_live_nodes, table);
+    const Status s = resp.ok() ? resp->status : resp.status();
+    if (!s.ok()) {
+      return Status(s.code(), "shard " + std::to_string(i) +
+                                  " set-global-stats: " + s.message());
+    }
+  }
+  return Status::OK();
+}
+
+StatusOr<SearchResponse> ShardRouter::Search(std::string_view query,
+                                             uint32_t top_k,
+                                             WireCursorMode mode,
+                                             uint64_t deadline_us) {
+  if (clients_.empty()) return Status::Unavailable("router not connected");
+  // Scatter: the same request to every shard, pipelined — responses are
+  // matched by id, so the fan-out runs concurrently over N connections.
+  std::vector<std::future<StatusOr<SearchResponse>>> futures;
+  futures.reserve(clients_.size());
+  for (std::unique_ptr<FtsClient>& client : clients_) {
+    SearchRequest req;
+    req.query = std::string(query);
+    req.top_k = top_k;
+    req.mode = mode;
+    req.deadline_us = deadline_us;
+    futures.push_back(client->SearchAsync(std::move(req)));
+  }
+  // Gather, draining every future even after a failure (abandoning one
+  // would leak an in-flight slot for the connection's lifetime).
+  std::vector<SearchResponse> parts(clients_.size());
+  Status failure;
+  for (size_t i = 0; i < futures.size(); ++i) {
+    StatusOr<SearchResponse> part = futures[i].get();
+    const Status s = part.ok() ? part->status : part.status();
+    if (!s.ok()) {
+      if (failure.ok()) {
+        failure = Status(s.code(),
+                         "shard " + std::to_string(i) + ": " + s.message());
+      }
+      if (!part.ok()) {
+        std::lock_guard<std::mutex> lock(health_mu_);
+        if (i < health_.size()) health_[i].alive = false;
+      }
+      continue;
+    }
+    parts[i] = std::move(part).value();
+  }
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++queries_routed_;
+    if (!failure.ok()) ++queries_failed_;
+  }
+  // All shards must answer: a partial merge would silently drop a doc-id
+  // range, violating the bit-identical contract.
+  FTS_RETURN_IF_ERROR(failure);
+
+  SearchResponse out;
+  out.language_class = parts[0].language_class;
+  out.engine = parts[0].engine;
+  bool scored = false;
+  for (const SearchResponse& p : parts) {
+    out.counters.MergeFrom(p.counters);
+    if (!p.scores.empty()) scored = true;
+  }
+  for (const SearchResponse& p : parts) {
+    if (!p.nodes.empty() && p.scores.empty() && scored) {
+      return Status::Internal(
+          "inconsistent shard configuration: mixed scored and unscored "
+          "responses");
+    }
+  }
+
+  std::vector<ShardHealth> bases = health();
+  if (scored && top_k > 0) {
+    // Global top-k from the union of per-shard top-k's, under the same
+    // total order (score desc, id asc) TopKAccumulator ranks by.
+    struct Hit {
+      double score;
+      WireNodeId id;
+    };
+    std::vector<Hit> hits;
+    for (size_t i = 0; i < parts.size(); ++i) {
+      for (size_t j = 0; j < parts[i].nodes.size(); ++j) {
+        hits.push_back(Hit{parts[i].scores[j], bases[i].base + parts[i].nodes[j]});
+      }
+    }
+    std::sort(hits.begin(), hits.end(), [](const Hit& a, const Hit& b) {
+      if (a.score != b.score) return a.score > b.score;
+      return a.id < b.id;
+    });
+    if (hits.size() > top_k) hits.resize(top_k);
+    out.nodes.reserve(hits.size());
+    out.scores.reserve(hits.size());
+    for (const Hit& h : hits) {
+      out.nodes.push_back(h.id);
+      out.scores.push_back(h.score);
+    }
+  } else {
+    // Concatenate in shard order: per-shard ascending plus increasing
+    // disjoint bases = globally ascending.
+    for (size_t i = 0; i < parts.size(); ++i) {
+      for (const WireNodeId n : parts[i].nodes) {
+        out.nodes.push_back(bases[i].base + n);
+      }
+      out.scores.insert(out.scores.end(), parts[i].scores.begin(),
+                        parts[i].scores.end());
+    }
+    if (top_k > 0 && out.nodes.size() > top_k) {
+      // Unscored top-k ranks by the id tie-break alone, so the global
+      // first k is the first k of the concatenation.
+      out.nodes.resize(top_k);
+      if (!out.scores.empty()) out.scores.resize(top_k);
+    }
+  }
+  return out;
+}
+
+std::vector<ShardHealth> ShardRouter::Probe() {
+  std::vector<ShardHealth> health = this->health();
+  for (size_t i = 0; i < clients_.size() && i < health.size(); ++i) {
+    StatusOr<PingResponse> ping = clients_[i]->Ping();
+    health[i].alive = ping.ok();
+    if (ping.ok()) {
+      health[i].name = ping->server_name;
+      health[i].num_nodes = ping->num_nodes;
+      health[i].generation = ping->generation;
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(health_mu_);
+    health_ = health;
+  }
+  return health;
+}
+
+std::vector<ShardHealth> ShardRouter::health() const {
+  std::lock_guard<std::mutex> lock(health_mu_);
+  return health_;
+}
+
+std::string ShardRouter::MetricsText() const {
+  std::string out = "# fts router over " + std::to_string(clients_.size()) +
+                    " shard(s)\n";
+  const auto line = [&out](std::string_view key, uint64_t value) {
+    out += key;
+    out += ' ';
+    out += std::to_string(value);
+    out += '\n';
+  };
+  line("fts_up", 1);
+  line("fts_router_shards", clients_.size());
+  line("fts_router_total_nodes", total_nodes_);
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    line("fts_router_queries_routed", queries_routed_);
+    line("fts_router_queries_failed", queries_failed_);
+  }
+  for (const ShardHealth& h : health()) {
+    const std::string label = "{shard=\"" + h.name + "\",addr=\"" +
+                              h.address.host + ":" +
+                              std::to_string(h.address.port) + "\"}";
+    line("fts_shard_alive" + label, h.alive ? 1 : 0);
+    line("fts_shard_nodes" + label, h.num_nodes);
+    line("fts_shard_base" + label, h.base);
+    line("fts_shard_generation" + label, h.generation);
+  }
+  return out;
+}
+
+// --- RouterServer --------------------------------------------------------
+
+RouterServer::RouterServer(ShardRouter* router, Options options)
+    : options_(std::move(options)), router_(router) {}
+
+RouterServer::~RouterServer() { Stop(); }
+
+Status RouterServer::Start() {
+  FTS_ASSIGN_OR_RETURN(
+      Socket listener,
+      ListenTcp(options_.port, &port_, options_.loopback_only));
+  listener_ = std::move(listener);
+  stop_.store(false);
+  acceptor_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void RouterServer::Stop() {
+  stop_.store(true);
+  if (acceptor_.joinable()) {
+    listener_.Shutdown();
+    acceptor_.join();
+  }
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    for (std::unique_ptr<Connection>& c : conns_) c->sock.Shutdown();
+  }
+  ReapConnections(/*all=*/true);
+  listener_.Close();
+}
+
+void RouterServer::AcceptLoop() {
+  while (!stop_.load()) {
+    StatusOr<Socket> accepted = AcceptWithTimeout(listener_, kNoTimeout);
+    ReapConnections(/*all=*/false);
+    if (!accepted.ok()) continue;  // poll tick or transient failure
+    auto conn = std::make_unique<Connection>();
+    conn->sock = std::move(accepted).value();
+    Connection* c = conn.get();
+    {
+      std::lock_guard<std::mutex> lock(conns_mu_);
+      conns_.push_back(std::move(conn));
+    }
+    c->thread = std::thread([this, c] { ServeConnection(c); });
+  }
+}
+
+void RouterServer::ReapConnections(bool all) {
+  std::list<std::unique_ptr<Connection>> dead;
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    for (auto it = conns_.begin(); it != conns_.end();) {
+      if (all || (*it)->finished.load()) {
+        dead.push_back(std::move(*it));
+        it = conns_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  for (std::unique_ptr<Connection>& c : dead) {
+    if (c->thread.joinable()) c->thread.join();
+  }
+}
+
+void RouterServer::ServeConnection(Connection* conn) {
+  char head[4];
+  if (ReadFull(conn->sock, head, sizeof(head)).ok()) {
+    if (std::memcmp(head, "GET ", 4) == 0 ||
+        std::memcmp(head, "HEAD", 4) == 0) {
+      ServeHttp(conn, head);
+    } else {
+      uint32_t first_len = 0;
+      for (int i = 0; i < 4; ++i) {
+        first_len |= static_cast<uint32_t>(static_cast<uint8_t>(head[i]))
+                     << (8 * i);
+      }
+      bool first = true;
+      std::string payload;
+      while (true) {
+        if (first) {
+          first = false;
+          if (first_len > options_.max_frame_bytes) break;
+          payload.assign(first_len, '\0');
+          if (first_len > 0 &&
+              !ReadFull(conn->sock, payload.data(), first_len).ok()) {
+            break;
+          }
+        } else if (!ReadFrame(conn->sock, &payload, options_.max_frame_bytes)
+                        .ok()) {
+          break;
+        }
+        uint8_t type = 0;
+        uint64_t request_id = 0;
+        if (!PeekPrologue(payload, &type, &request_id).ok()) break;
+        std::string frame;
+        switch (static_cast<MessageType>(type)) {
+          case MessageType::kSearchRequest: {
+            SearchRequest req;
+            if (!DecodeSearchRequest(payload, &req).ok()) break;
+            StatusOr<SearchResponse> routed = router_->Search(
+                req.query, req.top_k, req.mode, req.deadline_us);
+            SearchResponse resp;
+            if (routed.ok()) {
+              resp = std::move(routed).value();
+            } else {
+              resp.status = routed.status();
+            }
+            resp.request_id = req.request_id;
+            frame = EncodeSearchResponse(resp);
+            break;
+          }
+          case MessageType::kPingRequest: {
+            PingRequest req;
+            if (!DecodePingRequest(payload, &req).ok()) break;
+            PingResponse resp;
+            resp.request_id = req.request_id;
+            resp.server_name = options_.name;
+            resp.num_nodes = router_->total_nodes();
+            frame = EncodePingResponse(resp);
+            break;
+          }
+          case MessageType::kMetricsRequest: {
+            MetricsRequest req;
+            if (!DecodeMetricsRequest(payload, &req).ok()) break;
+            MetricsResponse resp;
+            resp.request_id = req.request_id;
+            resp.text = router_->MetricsText();
+            frame = EncodeMetricsResponse(resp);
+            break;
+          }
+          default:
+            // Shard-administration messages (stats exchange) and unknown
+            // types are not served here.
+            break;
+        }
+        if (frame.empty()) break;  // protocol error or unservable type
+        if (!WriteAll(conn->sock, frame).ok()) break;
+      }
+    }
+  }
+  conn->sock.Shutdown();
+  conn->finished.store(true);
+}
+
+void RouterServer::ServeHttp(Connection* conn, const char prefix[4]) {
+  std::string line(prefix, 4);
+  while (line.size() < 4096 && line.back() != '\n') {
+    char ch;
+    if (!ReadFull(conn->sock, &ch, 1, std::chrono::milliseconds(2000)).ok()) {
+      return;
+    }
+    line.push_back(ch);
+  }
+  const size_t path_begin = line.find(' ');
+  const size_t path_end =
+      path_begin == std::string::npos ? std::string::npos
+                                      : line.find(' ', path_begin + 1);
+  std::string path = path_end == std::string::npos
+                         ? std::string()
+                         : line.substr(path_begin + 1,
+                                       path_end - path_begin - 1);
+  std::string body;
+  const char* status = "200 OK";
+  if (path == "/metrics") {
+    body = router_->MetricsText();
+  } else if (path == "/healthz" || path == "/") {
+    // Live probe: the health endpoint tells the truth about the shards
+    // right now, not at the last query.
+    body = "ok\n";
+    for (const ShardHealth& h : router_->Probe()) {
+      if (!h.alive) {
+        status = "503 Service Unavailable";
+        body = "shard down: " + h.address.host + ":" +
+               std::to_string(h.address.port) + "\n";
+        break;
+      }
+    }
+  } else {
+    status = "404 Not Found";
+    body = "not found\n";
+  }
+  std::string resp = std::string("HTTP/1.0 ") + status +
+                     "\r\nContent-Type: text/plain; charset=utf-8"
+                     "\r\nContent-Length: " +
+                     std::to_string(body.size()) +
+                     "\r\nConnection: close\r\n\r\n";
+  if (std::memcmp(prefix, "HEAD", 4) != 0) resp += body;
+  (void)WriteAll(conn->sock, resp);
+}
+
+}  // namespace net
+}  // namespace fts

@@ -1,0 +1,181 @@
+// ShardRouter: scatter-gather search over document-partitioned shards
+// (docs/serving.md).
+//
+// The corpus is split into contiguous doc-id ranges, one per shard server
+// (Corpus::Slice + fts_build_index --shards). The router connects to every
+// shard, reads each shard's node count via ping, and assigns bases by
+// prefix sum — shard i's local node n is global node base_i + n — exactly
+// the id scheme IndexSnapshot uses for segments, with shards playing the
+// role of segments across processes.
+//
+// Exactness: a routed query answers bit-identically to a single-index run
+// over the unsplit corpus.
+//   - Unscored (and full scored) results: each shard returns locally
+//     ascending ids; bases are disjoint and increasing in shard order, so
+//     concatenation in shard order IS the globally ascending result —
+//     the same argument Searcher::SearchParsed makes for segments.
+//   - Scored top-k: the global top-k under the total order (score desc,
+//     id asc) is a subset of the union of per-shard top-k's — a result
+//     outside some shard's local top-k is beaten by k results in that
+//     shard alone. Sorting the union by the same total order and truncating
+//     to k therefore reproduces the single-index TopKAccumulator output
+//     exactly; rebasing by a per-shard constant preserves the id
+//     tie-break order.
+//   - Scores themselves: after ExchangeGlobalStats() pushes the summed
+//     df table and live-node count to every shard, each shard recomputes
+//     its norms under corpus-global idf (IndexSnapshot::CreateSharded)
+//     with the same arithmetic a single-index build runs — so every
+//     individual score matches bit for bit.
+//   - Counters: field-wise EvalCounters::MergeFrom of the shard counters,
+//     matching the per-segment merge of a single multi-segment run.
+//
+// RouterServer wraps a ShardRouter behind the same wire protocol and
+// HTTP /metrics + /healthz endpoints an FtsServer exposes, so a client
+// cannot tell a router from a single big server (shard-administration
+// messages excepted); /healthz degrades to 503 when any shard is down.
+
+#ifndef FTS_NET_SHARD_ROUTER_H_
+#define FTS_NET_SHARD_ROUTER_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "net/client.h"
+#include "net/socket.h"
+#include "net/wire.h"
+
+namespace fts {
+namespace net {
+
+struct ShardAddress {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+};
+
+/// Point-in-time view of one shard, from the most recent probe.
+struct ShardHealth {
+  ShardAddress address;
+  std::string name;
+  bool alive = false;
+  uint64_t num_nodes = 0;
+  uint64_t generation = 0;
+  /// Global id of this shard's local node 0.
+  uint64_t base = 0;
+};
+
+class ShardRouter {
+ public:
+  struct Options {
+    std::vector<ShardAddress> shards;
+    std::chrono::milliseconds connect_timeout{5000};
+    std::chrono::milliseconds call_timeout{30000};
+  };
+
+  explicit ShardRouter(Options options);
+
+  /// Pings every shard and assigns doc-id bases by prefix sum of shard
+  /// node counts, in configured shard order. Must succeed before Search.
+  Status Connect();
+
+  /// Collects every shard's local df table, sums them into the corpus
+  /// global, and pushes the aggregate back to every shard — after which
+  /// shard scores are bit-identical to a single-index run. Required once
+  /// (per generation) when shards serve a scored configuration; a no-op
+  /// corpus-wise for unscored serving.
+  Status ExchangeGlobalStats();
+
+  /// Scatter-gather evaluation; see the file comment for the exactness
+  /// argument. All shards must answer — any shard failure fails the query
+  /// (a partial answer would silently violate exactness).
+  StatusOr<SearchResponse> Search(std::string_view query, uint32_t top_k = 0,
+                                  WireCursorMode mode = WireCursorMode::kDefault,
+                                  uint64_t deadline_us = 0);
+
+  /// Re-pings every shard, refreshing the liveness view.
+  std::vector<ShardHealth> Probe();
+
+  /// The liveness view from the last Connect/Probe (no network traffic).
+  std::vector<ShardHealth> health() const;
+
+  /// Sum of shard node counts (the global id space), valid after Connect.
+  uint64_t total_nodes() const { return total_nodes_; }
+
+  size_t num_shards() const { return clients_.size(); }
+
+  /// Plain-text metrics for the router's /metrics endpoint.
+  std::string MetricsText() const;
+
+ private:
+  Options options_;
+  std::vector<std::unique_ptr<FtsClient>> clients_;
+  uint64_t total_nodes_ = 0;
+
+  mutable std::mutex health_mu_;
+  std::vector<ShardHealth> health_;
+
+  mutable std::mutex stats_mu_;
+  uint64_t queries_routed_ = 0;
+  uint64_t queries_failed_ = 0;
+};
+
+/// Serves a ShardRouter behind the wire protocol. Each connection is
+/// handled by one thread evaluating requests in order (the fan-out inside
+/// ShardRouter::Search already parallelizes across shards; clients wanting
+/// concurrent routed queries open multiple connections). Speaks the same
+/// HTTP /metrics and /healthz dialect as FtsServer; shard-administration
+/// messages (stats exchange) are not served and drop the connection.
+class RouterServer {
+ public:
+  struct Options {
+    uint16_t port = 0;
+    bool loopback_only = true;
+    std::string name = "fts-router";
+    uint32_t max_frame_bytes = kMaxFrameBytes;
+  };
+
+  /// `router` must be Connect()ed and must outlive the server.
+  RouterServer(ShardRouter* router, Options options);
+  ~RouterServer();
+
+  RouterServer(const RouterServer&) = delete;
+  RouterServer& operator=(const RouterServer&) = delete;
+
+  Status Start();
+  void Stop();
+  uint16_t port() const { return port_; }
+
+ private:
+  struct Connection {
+    Socket sock;
+    std::thread thread;
+    std::atomic<bool> finished{false};
+  };
+
+  void AcceptLoop();
+  void ServeConnection(Connection* conn);
+  void ServeHttp(Connection* conn, const char prefix[4]);
+  void ReapConnections(bool all);
+
+  Options options_;
+  ShardRouter* router_;
+  Socket listener_;
+  uint16_t port_ = 0;
+  std::atomic<bool> stop_{true};
+  std::thread acceptor_;
+  std::mutex conns_mu_;
+  std::list<std::unique_ptr<Connection>> conns_;
+};
+
+}  // namespace net
+}  // namespace fts
+
+#endif  // FTS_NET_SHARD_ROUTER_H_

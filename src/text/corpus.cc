@@ -55,6 +55,29 @@ StatusOr<NodeId> Corpus::AddTokensWithPositions(const std::vector<std::string>& 
   return static_cast<NodeId>(docs_.size() - 1);
 }
 
+StatusOr<Corpus> Corpus::Slice(NodeId begin, NodeId end) const {
+  if (begin > end || end > docs_.size()) {
+    return Status::InvalidArgument(
+        "corpus slice [" + std::to_string(begin) + ", " + std::to_string(end) +
+        ") out of range for " + std::to_string(docs_.size()) + " nodes");
+  }
+  Corpus out;
+  out.docs_.reserve(end - begin);
+  for (NodeId n = begin; n < end; ++n) {
+    const TokenizedDocument& src = docs_[n];
+    TokenizedDocument doc;
+    doc.tokens.reserve(src.tokens.size());
+    // Intern by spelling, not by copying ids: the slice's dictionary is
+    // dense over only the tokens its documents actually contain.
+    for (const TokenId t : src.tokens) {
+      doc.tokens.push_back(out.InternToken(id_to_token_[t]));
+    }
+    doc.positions = src.positions;
+    out.docs_.push_back(std::move(doc));
+  }
+  return out;
+}
+
 TokenId Corpus::InternToken(std::string_view token) {
   auto it = token_to_id_.find(std::string(token));
   if (it != token_to_id_.end()) return it->second;

@@ -51,6 +51,15 @@ class Corpus {
   /// The tokenized content of node `id`; id must be < num_nodes().
   const TokenizedDocument& doc(NodeId id) const { return docs_[id]; }
 
+  /// A new corpus holding nodes [begin, end) with a fresh dictionary
+  /// (token ids are re-interned in first-sight order; spellings and
+  /// positions are copied verbatim, with no re-normalization). This is the
+  /// document-partitioning primitive for sharding: node `begin + i` of
+  /// this corpus becomes node `i` of the slice, so a router that assigns
+  /// the slice a doc-id base of `begin` reconstructs the original ids
+  /// exactly (docs/serving.md).
+  StatusOr<Corpus> Slice(NodeId begin, NodeId end) const;
+
   /// Interns `token`, assigning a fresh id on first sight.
   TokenId InternToken(std::string_view token);
 

@@ -1,0 +1,224 @@
+// Scatter-gather differential test: a ShardRouter over three in-process
+// FtsServers, each serving one contiguous slice of a generated corpus,
+// must answer bit-identically to a single-index run over the unsplit
+// corpus — node ids, every score (exact double equality, after the global
+// stats exchange), engine, and language class — across scoring models,
+// query classes, and top-k. This is the merge-exactness contract of
+// docs/serving.md, pinned end to end through real sockets.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "exec/search_service.h"
+#include "index/index_builder.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "net/shard_router.h"
+#include "text/corpus.h"
+#include "workload/corpus_gen.h"
+
+namespace fts {
+namespace net {
+namespace {
+
+::testing::AssertionResult IsOk(const char* expr_text, const Status& s) {
+  if (s.ok()) return ::testing::AssertionSuccess();
+  return ::testing::AssertionFailure() << expr_text << ": " << s.ToString();
+}
+
+#define ASSERT_OK(expr) ASSERT_PRED_FORMAT1(::fts::net::IsOk, (expr))
+
+uint64_t Bits(double d) {
+  uint64_t bits = 0;
+  std::memcpy(&bits, &d, sizeof(bits));
+  return bits;
+}
+
+Corpus TestCorpus() {
+  CorpusGenOptions options;
+  options.num_nodes = 96;
+  options.vocabulary = 300;
+  options.min_doc_len = 15;
+  options.max_doc_len = 45;
+  options.num_topic_tokens = 4;
+  options.topic_doc_fraction = 0.4;
+  options.topic_occurrences = 3;
+  return GenerateCorpus(options);
+}
+
+/// Three shard servers over contiguous slices of `corpus` (deliberately
+/// uneven split), plus a connected router, all with `scoring`.
+struct Cluster {
+  Cluster(const Corpus& corpus, ScoringKind scoring, bool exchange_stats) {
+    Init(corpus, scoring, exchange_stats);
+  }
+
+  /// Separate from the constructor because gtest fatal assertions only
+  /// work in void-returning functions.
+  void Init(const Corpus& corpus, ScoringKind scoring, bool exchange_stats) {
+    const NodeId n = static_cast<NodeId>(corpus.num_nodes());
+    const NodeId cuts[4] = {0, static_cast<NodeId>(n / 4),
+                            static_cast<NodeId>(n / 2 + 7), n};
+    ShardRouter::Options ropts;
+    for (int i = 0; i < 3; ++i) {
+      auto slice = corpus.Slice(cuts[i], cuts[i + 1]);
+      ASSERT_OK(slice.status());
+      auto index =
+          std::make_shared<InvertedIndex>(IndexBuilder::Build(*slice));
+      FtsServer::Options sopts;
+      sopts.name = "shard" + std::to_string(i);
+      sopts.service.scoring = scoring;
+      sopts.service.num_workers = 1;
+      servers.push_back(std::make_unique<FtsServer>(std::move(index), sopts));
+      ASSERT_OK(servers.back()->Start());
+      ropts.shards.push_back({"127.0.0.1", servers.back()->port()});
+    }
+    router = std::make_unique<ShardRouter>(ropts);
+    ASSERT_OK(router->Connect());
+    if (exchange_stats) ASSERT_OK(router->ExchangeGlobalStats());
+  }
+
+  std::vector<std::unique_ptr<FtsServer>> servers;
+  std::unique_ptr<ShardRouter> router;
+};
+
+const std::vector<std::string>& TestQueries() {
+  // One query per engine class, all over planted topic tokens so results
+  // span every shard.
+  static const std::vector<std::string>* queries = new std::vector<std::string>{
+      "'topic0'",                                     // BOOL
+      "'topic0' AND 'topic1'",                        // BOOL
+      "'topic0' OR ('topic1' AND NOT 'topic2')",      // BOOL + complement
+      "SOME p1 SOME p2 (p1 HAS 'topic0' AND p2 HAS 'topic1' AND "
+      "distance(p1, p2, 8))",                        // PPRED
+      "SOME p1 SOME p2 (p1 HAS 'topic0' AND p2 HAS 'topic1' AND "
+      "NOT samesentence(p1, p2))",                    // NPRED
+      "EVERY p (p HAS 'topic0' OR p HAS ANY)",        // COMP
+  };
+  return *queries;
+}
+
+void ExpectBitIdentical(const SearchResponse& routed, const RoutedResult& ref,
+                        const std::string& q) {
+  ASSERT_TRUE(routed.status.ok()) << q << ": " << routed.status.ToString();
+  ASSERT_EQ(routed.nodes.size(), ref.result.nodes.size()) << q;
+  for (size_t i = 0; i < routed.nodes.size(); ++i) {
+    EXPECT_EQ(routed.nodes[i], ref.result.nodes[i]) << q << " node " << i;
+  }
+  ASSERT_EQ(routed.scores.size(), ref.result.scores.size()) << q;
+  for (size_t i = 0; i < routed.scores.size(); ++i) {
+    EXPECT_EQ(Bits(routed.scores[i]), Bits(ref.result.scores[i]))
+        << q << " score " << i;
+  }
+  EXPECT_EQ(routed.engine, ref.engine) << q;
+  EXPECT_EQ(routed.language_class, ref.language_class) << q;
+}
+
+class NetScatterGatherTest : public ::testing::TestWithParam<ScoringKind> {};
+
+TEST_P(NetScatterGatherTest, RoutedResultsBitIdenticalToSingleIndex) {
+  const ScoringKind scoring = GetParam();
+  const Corpus corpus = TestCorpus();
+  const InvertedIndex full = IndexBuilder::Build(corpus);
+  SearchService::Options ref_opts;
+  ref_opts.scoring = scoring;
+  ref_opts.num_workers = 1;
+  SearchService reference(&full, ref_opts);
+
+  Cluster cluster(corpus, scoring, /*exchange_stats=*/true);
+  ASSERT_EQ(cluster.router->total_nodes(), corpus.num_nodes());
+
+  for (const std::string& q : TestQueries()) {
+    for (uint32_t top_k : {0u, 5u}) {
+      auto ref = reference.Search(q, top_k);
+      ASSERT_OK(ref.status()) << q;
+      auto routed = cluster.router->Search(q, top_k);
+      ASSERT_OK(routed.status()) << q;
+      ExpectBitIdentical(*routed, *ref, q + " (top_k=" +
+                                            std::to_string(top_k) + ")");
+      if (top_k == 0) {
+        // Counters sanity: the field-wise merge saw real work.
+        EXPECT_GT(routed->counters.entries_scanned, 0u) << q;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllScoringModels, NetScatterGatherTest,
+                         ::testing::Values(ScoringKind::kNone,
+                                           ScoringKind::kTfIdf,
+                                           ScoringKind::kProbabilistic));
+
+TEST(NetScatterGatherServerTest, RouterServerServesIdenticalResults) {
+  // The full client → RouterServer → shards path answers the same as
+  // calling the router in-process.
+  const Corpus corpus = TestCorpus();
+  Cluster cluster(corpus, ScoringKind::kTfIdf, /*exchange_stats=*/true);
+
+  RouterServer::Options opts;
+  RouterServer server(cluster.router.get(), opts);
+  ASSERT_OK(server.Start());
+  FtsClient::Options copts;
+  copts.port = server.port();
+  FtsClient client(copts);
+
+  auto ping = client.Ping();
+  ASSERT_OK(ping.status());
+  EXPECT_EQ(ping->num_nodes, corpus.num_nodes());
+
+  for (const std::string& q : TestQueries()) {
+    auto direct = cluster.router->Search(q, 5);
+    ASSERT_OK(direct.status()) << q;
+    auto remote = client.Search(q, 5);
+    ASSERT_OK(remote.status()) << q;
+    ASSERT_TRUE(remote->status.ok()) << q;
+    EXPECT_EQ(remote->nodes, direct->nodes) << q;
+    ASSERT_EQ(remote->scores.size(), direct->scores.size()) << q;
+    for (size_t i = 0; i < remote->scores.size(); ++i) {
+      EXPECT_EQ(Bits(remote->scores[i]), Bits(direct->scores[i])) << q;
+    }
+    EXPECT_EQ(remote->engine, direct->engine) << q;
+  }
+  server.Stop();
+}
+
+TEST(NetScatterGatherServerTest, QueryFailsWhenAShardDies) {
+  // Exactness over availability: a partial scatter-gather answer would
+  // silently drop a shard's documents, so the query must fail instead.
+  const Corpus corpus = TestCorpus();
+  Cluster cluster(corpus, ScoringKind::kNone, /*exchange_stats=*/false);
+  ASSERT_OK(cluster.router->Search("'topic0'").status());
+
+  cluster.servers[1]->Stop();
+  auto routed = cluster.router->Search("'topic0'");
+  EXPECT_FALSE(routed.ok());
+
+  // Probe reflects the dead shard.
+  bool any_dead = false;
+  for (const ShardHealth& h : cluster.router->Probe()) any_dead |= !h.alive;
+  EXPECT_TRUE(any_dead);
+}
+
+TEST(NetScatterGatherServerTest, UnscoredTopKIsFirstKOfConcatenation) {
+  const Corpus corpus = TestCorpus();
+  const InvertedIndex full = IndexBuilder::Build(corpus);
+  SearchService reference(&full);
+  Cluster cluster(corpus, ScoringKind::kNone, /*exchange_stats=*/false);
+
+  auto ref = reference.Search("'topic0'", 7);
+  ASSERT_OK(ref.status());
+  auto routed = cluster.router->Search("'topic0'", 7);
+  ASSERT_OK(routed.status());
+  ASSERT_EQ(routed->nodes.size(), ref->result.nodes.size());
+  for (size_t i = 0; i < routed->nodes.size(); ++i) {
+    EXPECT_EQ(routed->nodes[i], ref->result.nodes[i]);
+  }
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace fts

@@ -1,0 +1,143 @@
+// fts_router: scatter-gather front for document-partitioned fts_server
+// shards (docs/serving.md). Connects to every shard, assigns doc-id bases
+// by prefix sum, optionally exchanges global scoring statistics so shard
+// scores are bit-identical to a single-index run, then serves the same
+// wire protocol (and HTTP /metrics, /healthz) a single fts_server speaks.
+
+#include <csignal>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "net/shard_router.h"
+
+namespace {
+
+void Usage() {
+  std::fprintf(stderr,
+               "usage: fts_router --shard HOST:PORT [--shard HOST:PORT ...]\n"
+               "                  [--port N] [--name STR] [--listen-all]\n"
+               "                  [--no-stats-exchange]\n"
+               "  --shard HOST:PORT     a shard server, in doc-id-range order\n"
+               "  --port N              TCP port (default 7080; 0 = ephemeral)\n"
+               "  --listen-all          bind 0.0.0.0 instead of loopback\n"
+               "  --no-stats-exchange   skip the global df/idf exchange (fine\n"
+               "                        for unscored serving; scored results\n"
+               "                        would use shard-local statistics)\n");
+  std::exit(2);
+}
+
+fts::net::ShardAddress ParseShard(const char* value) {
+  const char* colon = std::strrchr(value, ':');
+  if (colon == nullptr || colon == value || colon[1] == '\0') {
+    std::fprintf(stderr, "fts_router: bad --shard (want HOST:PORT): %s\n", value);
+    std::exit(2);
+  }
+  fts::net::ShardAddress addr;
+  addr.host.assign(value, colon - value);
+  char* end = nullptr;
+  const unsigned long port = std::strtoul(colon + 1, &end, 10);
+  if (*end != '\0' || port == 0 || port > 65535) {
+    std::fprintf(stderr, "fts_router: bad --shard port: %s\n", value);
+    std::exit(2);
+  }
+  addr.port = static_cast<uint16_t>(port);
+  return addr;
+}
+
+sigset_t ShutdownSignals() {
+  sigset_t set;
+  sigemptyset(&set);
+  sigaddset(&set, SIGINT);
+  sigaddset(&set, SIGTERM);
+  return set;
+}
+
+/// Masks SIGINT/SIGTERM; must run before any router/server thread spawns
+/// so sigwait below is the only consumer (see fts_server.cc).
+void MaskShutdownSignals() {
+  const sigset_t set = ShutdownSignals();
+  pthread_sigmask(SIG_BLOCK, &set, nullptr);
+}
+
+void WaitForShutdownSignal() {
+  const sigset_t set = ShutdownSignals();
+  int sig = 0;
+  sigwait(&set, &sig);
+  std::printf("fts_router: caught %s, shutting down\n", strsignal(sig));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fts::net::ShardRouter::Options router_options;
+  fts::net::RouterServer::Options server_options;
+  server_options.port = 7080;
+  bool exchange_stats = true;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) Usage();
+      return argv[++i];
+    };
+    if (arg == "--shard") {
+      router_options.shards.push_back(ParseShard(next()));
+    } else if (arg == "--port") {
+      server_options.port = static_cast<uint16_t>(std::strtoul(next(), nullptr, 10));
+    } else if (arg == "--name") {
+      server_options.name = next();
+    } else if (arg == "--listen-all") {
+      server_options.loopback_only = false;
+    } else if (arg == "--no-stats-exchange") {
+      exchange_stats = false;
+    } else {
+      Usage();
+    }
+  }
+  if (router_options.shards.empty()) Usage();
+
+  MaskShutdownSignals();
+  fts::net::ShardRouter router(router_options);
+  fts::Status s = router.Connect();
+  if (!s.ok()) {
+    std::fprintf(stderr, "fts_router: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  for (const fts::net::ShardHealth& shard : router.health()) {
+    std::printf("fts_router: shard \"%s\" %s:%u — %llu nodes, base %llu\n",
+                shard.name.c_str(), shard.address.host.c_str(),
+                shard.address.port,
+                static_cast<unsigned long long>(shard.num_nodes),
+                static_cast<unsigned long long>(shard.base));
+  }
+  if (exchange_stats) {
+    s = router.ExchangeGlobalStats();
+    if (!s.ok()) {
+      std::fprintf(stderr, "fts_router: stats exchange: %s\n",
+                   s.ToString().c_str());
+      return 1;
+    }
+    std::printf("fts_router: global statistics pushed to %zu shards\n",
+                router.num_shards());
+  }
+
+  fts::net::RouterServer server(&router, server_options);
+  s = server.Start();
+  if (!s.ok()) {
+    std::fprintf(stderr, "fts_router: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("fts_router: \"%s\" routing %zu shards (%llu nodes) on port %u\n",
+              server_options.name.c_str(), router.num_shards(),
+              static_cast<unsigned long long>(router.total_nodes()),
+              server.port());
+  std::fflush(stdout);
+
+  WaitForShutdownSignal();
+  server.Stop();
+  return 0;
+}

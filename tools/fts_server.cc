@@ -1,0 +1,152 @@
+// fts_server: serves one index file over the fts wire protocol plus the
+// HTTP /metrics and /healthz endpoints (docs/serving.md). One process per
+// shard; put a fts_router in front for a document-partitioned deployment.
+
+#include <csignal>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "index/index_io.h"
+#include "net/server.h"
+
+namespace {
+
+void Usage() {
+  std::fprintf(
+      stderr,
+      "usage: fts_server --index PATH [--port N] [--name STR]\n"
+      "                  [--scoring none|tfidf|prob] [--mode adaptive|seq|seek]\n"
+      "                  [--workers N] [--listen-all] [--mmap]\n"
+      "                  [--admission-max-cost N] [--admission-pressure F]\n"
+      "  --port N                TCP port (default 7070; 0 = ephemeral)\n"
+      "  --scoring KIND          ranked scoring model (default none)\n"
+      "  --mode MODE             cursor mode (default adaptive)\n"
+      "  --workers N             worker threads (default: hardware)\n"
+      "  --listen-all            bind 0.0.0.0 instead of loopback\n"
+      "  --mmap                  mmap the index instead of eager load\n"
+      "  --admission-max-cost N  shed queries costlier than N under pressure\n"
+      "  --admission-pressure F  queue fraction that arms shedding (default 0.5)\n");
+  std::exit(2);
+}
+
+uint64_t ParseU64(const char* flag, const char* value) {
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(value, &end, 10);
+  if (end == value || *end != '\0') {
+    std::fprintf(stderr, "fts_server: bad value for %s: %s\n", flag, value);
+    std::exit(2);
+  }
+  return v;
+}
+
+sigset_t ShutdownSignals() {
+  sigset_t set;
+  sigemptyset(&set);
+  sigaddset(&set, SIGINT);
+  sigaddset(&set, SIGTERM);
+  return set;
+}
+
+/// Masks SIGINT/SIGTERM in the calling (main) thread. Must run before any
+/// server thread is spawned so every thread inherits the mask and sigwait
+/// below is the only consumer — otherwise a process-directed signal can
+/// land on a worker thread and kill the process without a clean Stop().
+void MaskShutdownSignals() {
+  const sigset_t set = ShutdownSignals();
+  pthread_sigmask(SIG_BLOCK, &set, nullptr);
+}
+
+/// Blocks until SIGINT or SIGTERM arrives (consumed synchronously).
+void WaitForShutdownSignal() {
+  const sigset_t set = ShutdownSignals();
+  int sig = 0;
+  sigwait(&set, &sig);
+  std::printf("fts_server: caught %s, shutting down\n", strsignal(sig));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string index_path;
+  fts::LoadOptions load;
+  fts::net::FtsServer::Options options;
+  options.port = 7070;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) Usage();
+      return argv[++i];
+    };
+    if (arg == "--index") {
+      index_path = next();
+    } else if (arg == "--port") {
+      options.port = static_cast<uint16_t>(ParseU64("--port", next()));
+    } else if (arg == "--name") {
+      options.name = next();
+    } else if (arg == "--scoring") {
+      const std::string kind = next();
+      if (kind == "none") {
+        options.service.scoring = fts::ScoringKind::kNone;
+      } else if (kind == "tfidf") {
+        options.service.scoring = fts::ScoringKind::kTfIdf;
+      } else if (kind == "prob") {
+        options.service.scoring = fts::ScoringKind::kProbabilistic;
+      } else {
+        Usage();
+      }
+    } else if (arg == "--mode") {
+      const std::string mode = next();
+      if (mode == "adaptive") {
+        options.service.mode = fts::CursorMode::kAdaptive;
+      } else if (mode == "seq") {
+        options.service.mode = fts::CursorMode::kSequential;
+      } else if (mode == "seek") {
+        options.service.mode = fts::CursorMode::kSeek;
+      } else {
+        Usage();
+      }
+    } else if (arg == "--workers") {
+      options.service.num_workers = ParseU64("--workers", next());
+    } else if (arg == "--listen-all") {
+      options.loopback_only = false;
+    } else if (arg == "--mmap") {
+      load.mode = fts::LoadOptions::Mode::kMmap;
+    } else if (arg == "--admission-max-cost") {
+      options.admission.enabled = true;
+      options.admission.max_cost = ParseU64("--admission-max-cost", next());
+    } else if (arg == "--admission-pressure") {
+      options.admission.pressure_fraction = std::atof(next());
+    } else {
+      Usage();
+    }
+  }
+  if (index_path.empty()) Usage();
+
+  auto index = std::make_shared<fts::InvertedIndex>();
+  fts::Status s = fts::LoadIndexFromFile(index_path, index.get(), load);
+  if (!s.ok()) {
+    std::fprintf(stderr, "fts_server: %s\n", s.ToString().c_str());
+    return 1;
+  }
+
+  MaskShutdownSignals();
+  fts::net::FtsServer server(index, options);
+  s = server.Start();
+  if (!s.ok()) {
+    std::fprintf(stderr, "fts_server: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("fts_server: \"%s\" serving %s on port %u (%zu workers)\n",
+              options.name.c_str(), index_path.c_str(), server.port(),
+              server.service().num_workers());
+  std::fflush(stdout);
+
+  WaitForShutdownSignal();
+  server.Stop();
+  return 0;
+}
