@@ -50,7 +50,7 @@ import tempfile
 # is a counter, not a time, so it never trips the regression check on
 # differently-cored runners.
 DEFAULT_BENCHES = ["micro_index", "micro_postings", "micro_service",
-                   "micro_ingest", "micro_topk", "micro_net"]
+                   "micro_ingest", "micro_topk", "micro_net", "micro_pairs"]
 
 # Multipliers to nanoseconds per google-benchmark time_unit.
 TIME_UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}

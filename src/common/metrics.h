@@ -79,6 +79,15 @@ struct EvalCounters {
   /// Dense (bitset-encoded) block pairs intersected at word level by the
   /// BOOL zig-zag AND fast path instead of entry-at-a-time seeking.
   uint64_t bitset_blocks_intersected = 0;
+  /// Phrase/NEAR operators the multi-index planner routed to an auxiliary
+  /// (frequent-term, other-term) pair list instead of the position
+  /// pipeline (docs/pair_index.md). One per routed operator, including
+  /// routes that prove the result empty without touching a list.
+  uint64_t pair_seeks = 0;
+  /// Pair-list entries (one per matching node) walked by routed operators.
+  /// The pair-path analogue of entries_scanned; the ratio against the
+  /// pipeline's entries_scanned on the same query is the win.
+  uint64_t pair_entries_decoded = 0;
 
   void Reset() { *this = EvalCounters{}; }
 
@@ -108,6 +117,8 @@ struct EvalCounters {
     blocks_skipped_by_score += o.blocks_skipped_by_score;
     simd_groups_decoded += o.simd_groups_decoded;
     bitset_blocks_intersected += o.bitset_blocks_intersected;
+    pair_seeks += o.pair_seeks;
+    pair_entries_decoded += o.pair_entries_decoded;
     return *this;
   }
 
@@ -130,7 +141,9 @@ struct EvalCounters {
            " first_touch=" + std::to_string(first_touch_validations) +
            " blocks_skipped_by_score=" + std::to_string(blocks_skipped_by_score) +
            " simd_groups=" + std::to_string(simd_groups_decoded) +
-           " bitset_ands=" + std::to_string(bitset_blocks_intersected);
+           " bitset_ands=" + std::to_string(bitset_blocks_intersected) +
+           " pair_seeks=" + std::to_string(pair_seeks) +
+           " pair_entries=" + std::to_string(pair_entries_decoded);
   }
 };
 

@@ -20,6 +20,15 @@ const char* CursorModeToString(CursorMode mode) {
   return "?";
 }
 
+const char* PairRoutingToString(PairRouting routing) {
+  switch (routing) {
+    case PairRouting::kAuto: return "auto";
+    case PairRouting::kForce: return "force";
+    case PairRouting::kOff: return "off";
+  }
+  return "?";
+}
+
 CursorMode PlanFromDfs(std::span<const uint64_t> dfs,
                        const AdaptivePlannerOptions& opts) {
   if (dfs.size() < 2) return CursorMode::kSequential;

@@ -61,6 +61,25 @@ enum class CursorMode {
 
 const char* CursorModeToString(CursorMode mode);
 
+/// Whether phrase/NEAR-shaped operators may be routed to the auxiliary
+/// (frequent-term, other-term) pair lists when the index carries them
+/// (src/eval/pair_plan.h, docs/pair_index.md). Routing never changes
+/// results — the pair lists are an exact substitute — only which index the
+/// operator reads.
+enum class PairRouting {
+  /// Route when the multi-index cost model prefers the pair list. Only
+  /// active under CursorMode::kAdaptive — the forced cursor modes pin the
+  /// position pipeline so their access counts stay paper-faithful.
+  kAuto,
+  /// Route every eligible operator unconditionally (differential tests
+  /// pin the pair path against the pipeline with this).
+  kForce,
+  /// Never route; the position pipeline runs as if no pair index existed.
+  kOff,
+};
+
+const char* PairRoutingToString(PairRouting routing);
+
 /// Tunables of the adaptive access-mode planner.
 struct AdaptivePlannerOptions {
   /// A driver (smallest-df) list must be at least this many times smaller

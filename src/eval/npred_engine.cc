@@ -7,6 +7,7 @@
 
 #include "calculus/analysis.h"
 #include "compile/ftc_to_fta.h"
+#include "eval/pair_plan.h"
 #include "eval/pos_cursor.h"
 #include "index/decoded_block_cache.h"
 #include "lang/translate.h"
@@ -235,6 +236,20 @@ StatusOr<QueryResult> NpredEngine::Evaluate(const LangExprPtr& query,
     // context's L1 only pays here if the plan itself scans a list twice
     // (or an L2 is attached).
     FTS_ASSIGN_OR_RETURN(FtaExprPtr plan, CompileQuery(calc));
+    // Same multi-index hook as PpredEngine: the degenerate single pass may
+    // answer a phrase/NEAR shape from one pair list.
+    if (raw_oracle_ == nullptr) {
+      QueryResult routed;
+      FTS_ASSIGN_OR_RETURN(bool handled,
+                           TryEvaluatePairPlan(plan, *index_, model.get(),
+                                               cursor_mode_, pair_routing_,
+                                               segment_, ectx, &routed));
+      if (handled) {
+        routed.counters.orderings_run = 1;
+        ectx.counters().MergeFrom(routed.counters);
+        return routed;
+      }
+    }
     DecodedBlockCache* cache =
         ectx.WantCache(ShouldUseDecodedBlockCache(plan, *index_))
             ? &ectx.l1_cache()

@@ -51,8 +51,17 @@ class NpredEngine : public Engine {
 
   CursorMode cursor_mode() const { return cursor_mode_; }
 
+  /// Whether phrase/NEAR-shaped plans may route to the pair index on the
+  /// no-negative-predicates single-pass path (src/eval/pair_plan.h). Set
+  /// once at construction time; the Searcher threads it from
+  /// SearcherOptions. The ordering-enumeration path never routes — its
+  /// plans carry `le` selections outside the pairable shape.
+  void set_pair_routing(PairRouting routing) { pair_routing_ = routing; }
+  PairRouting pair_routing() const { return pair_routing_; }
+
   /// Differential-test seam: run the identical per-ordering pipelines over
-  /// `oracle`'s raw lists instead of the block-resident ones.
+  /// `oracle`'s raw lists instead of the block-resident ones. While
+  /// attached, pair routing never fires.
   void set_raw_oracle_for_test(const RawPostingOracle* oracle) {
     raw_oracle_ = oracle;
   }
@@ -63,6 +72,7 @@ class NpredEngine : public Engine {
   NpredOrderingMode mode_;
   CursorMode cursor_mode_;
   const SegmentRuntime* segment_;
+  PairRouting pair_routing_ = PairRouting::kAuto;
   const RawPostingOracle* raw_oracle_ = nullptr;
 };
 

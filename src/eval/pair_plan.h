@@ -1,0 +1,113 @@
+// Multi-index planning and evaluation for phrase/NEAR-shaped plans over
+// the auxiliary pair lists (index/pair_index.h, docs/pair_index.md).
+//
+// PPRED/NPRED compilation turns `dist(a, b, k)` (and its ordered variant)
+// into Project* ( Select[distance/odistance] ( Project* ( Join(Token a,
+// Token b) ) ) ). For that shape the pair index can answer the whole
+// operator from one list whose length is the *result* cardinality: the
+// classic frequent-term worst case — both driver lists huge, nearly every
+// decoded position discarded — collapses to a single skip-seekable read.
+// This is the planner's first choice between indexes, extending the
+// PlanFromDfs seek-vs-sequential decision one level up.
+//
+// Exactness: the routed evaluation reproduces the position pipeline bit
+// for bit (nodes and scores).
+//   - Node set: a pair list stores every co-occurrence with |offset
+//     delta| <= max_distance + 1, which the distance/odistance Eval
+//     conventions (|d| <= k+1, resp. 0 < d <= k+1) are contained in for
+//     any query k <= max_distance; an eligible key that is absent proves
+//     the result empty.
+//   - Scores: the pipeline's score for this shape is SelectScore(
+//     JoinScore(EntryScore(a), 1, EntryScore(b), 1), pred, witness,
+//     consts), where the witness is the satisfying position pair the
+//     select cursor rests on. The select walk's advance rule lands on the
+//     coordinatewise-minimal satisfying pair (each advance only skips
+//     positions that cannot satisfy with any current-or-future partner),
+//     so the witness is recomputable from the records alone as the
+//     lexicographic minimum of (off_a, off_b) over satisfying records —
+//     which is what EvaluatePairPlan selects, and the stored per-node term
+//     frequencies feed the identical EntryScore calls.
+
+#ifndef FTS_EVAL_PAIR_PLAN_H_
+#define FTS_EVAL_PAIR_PLAN_H_
+
+#include <string>
+#include <vector>
+
+#include "algebra/fta.h"
+#include "eval/engine.h"
+#include "index/pair_index.h"
+
+namespace fts {
+
+/// A pair-routable plan shape. `token_a` supplies the predicate's first
+/// position argument and `token_b` the second (after composing the
+/// Project column maps down to the join's leaf columns).
+struct PairPlanMatch {
+  std::string token_a;
+  std::string token_b;
+  const PositionPredicate* pred = nullptr;
+  std::vector<int64_t> consts;
+};
+
+/// Structural matcher: true when `plan` is exactly the phrase/NEAR shape
+/// described above, with a binary distance/odistance predicate over two
+/// *distinct* token leaves. Projects above the select are ignored (they
+/// change neither the node set nor node-level scores); Projects below it
+/// are composed to map the select's columns onto the join columns.
+bool MatchPairablePlan(const FtaExprPtr& plan, PairPlanMatch* out);
+
+/// A resolved route to the pair index.
+struct PairRoute {
+  PairIndex::Lookup lookup;
+  TokenId id_a = kInvalidToken;
+  TokenId id_b = kInvalidToken;
+  /// The canonical key exists in no list: the operator provably matches
+  /// nothing, and evaluation emits an empty result without any reads.
+  bool empty = false;
+};
+
+/// Routing decision for a matched shape. Returns false when the operator
+/// should run on the position pipeline: no pair index, query distance
+/// beyond the built window, neither token frequent, an OOV token (the
+/// pipeline terminates instantly on an empty driver), routing kOff, or
+/// kAuto outside CursorMode::kAdaptive / losing the cost comparison.
+/// Costing uses block-header dfs — global (snapshot/shard-summed) dfs
+/// from `stats` when present, each pair df travelling under its
+/// PairIndex::StatsKey — against the pair list's own header shape.
+bool PlanPairRoute(const PairPlanMatch& match, const InvertedIndex& index,
+                   const SegmentScoringStats* stats, CursorMode mode,
+                   PairRouting routing, const AdaptivePlannerOptions& opts,
+                   PairRoute* out);
+
+/// Evaluates a routed operator: walks the pair list through a
+/// BlockListCursor (inheriting block caches, tombstone filtering, and
+/// first-touch validation), appends matching nodes (ascending) and — when
+/// `model` is non-null — pipeline-identical scores. Charges pair_seeks
+/// once, pair_entries_decoded per entry, and predicate_evals per record
+/// tried. Fails closed with Corruption on malformed records and checks
+/// `deadline` periodically.
+Status EvaluatePairPlan(const PairPlanMatch& match, const PairRoute& route,
+                        const InvertedIndex& index,
+                        const AlgebraScoreModel* model, EvalCounters* counters,
+                        DecodedBlockCache* cache, const Deadline* deadline,
+                        const TombstoneSet* tombstones,
+                        std::vector<NodeId>* nodes,
+                        std::vector<double>* scores);
+
+/// The one-stop hook the PPRED/NPRED engines call after compiling a plan:
+/// match + route + evaluate. Returns true when the query was answered via
+/// the pair index (`result` filled, counters charged), false to fall
+/// through to the position pipeline, or an error status from evaluation.
+/// Never fires for differential raw-oracle runs (callers must not invoke
+/// it then) — the oracle exercises the pipeline by definition.
+StatusOr<bool> TryEvaluatePairPlan(const FtaExprPtr& plan,
+                                   const InvertedIndex& index,
+                                   const AlgebraScoreModel* model,
+                                   CursorMode mode, PairRouting routing,
+                                   const SegmentRuntime* segment,
+                                   ExecContext& ectx, QueryResult* result);
+
+}  // namespace fts
+
+#endif  // FTS_EVAL_PAIR_PLAN_H_

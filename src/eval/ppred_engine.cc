@@ -5,6 +5,7 @@
 
 #include "calculus/analysis.h"
 #include "compile/ftc_to_fta.h"
+#include "eval/pair_plan.h"
 #include "eval/pos_cursor.h"
 #include "index/decoded_block_cache.h"
 #include "lang/translate.h"
@@ -44,6 +45,21 @@ StatusOr<QueryResult> PpredEngine::Evaluate(const LangExprPtr& query,
         nullptr, stats);
   } else if (scoring_ == ScoringKind::kProbabilistic) {
     model = std::make_unique<ProbabilisticScoreModel>(index_, stats);
+  }
+
+  // Multi-index planning: a phrase/NEAR-shaped plan may be answerable from
+  // one auxiliary pair list instead of the position pipeline. Never under
+  // the raw oracle, whose whole point is exercising the pipeline.
+  if (raw_oracle_ == nullptr) {
+    QueryResult routed;
+    FTS_ASSIGN_OR_RETURN(
+        bool handled,
+        TryEvaluatePairPlan(plan, *index_, model.get(), mode_, pair_routing_,
+                            segment_, ectx, &routed));
+    if (handled) {
+      ectx.counters().MergeFrom(routed.counters);
+      return routed;
+    }
   }
 
   QueryResult result;

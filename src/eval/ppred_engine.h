@@ -33,8 +33,16 @@ class PpredEngine : public Engine {
 
   CursorMode mode() const { return mode_; }
 
+  /// Whether phrase/NEAR-shaped plans may route to the pair index
+  /// (src/eval/pair_plan.h). Set once at construction time, like the
+  /// constructor arguments; the Searcher threads it from SearcherOptions.
+  void set_pair_routing(PairRouting routing) { pair_routing_ = routing; }
+  PairRouting pair_routing() const { return pair_routing_; }
+
   /// Differential-test seam: run the identical pipeline over `oracle`'s raw
   /// lists instead of the block-resident ones. Pass nullptr to detach.
+  /// While attached, pair routing never fires — the oracle exercises the
+  /// position pipeline by definition.
   void set_raw_oracle_for_test(const RawPostingOracle* oracle) {
     raw_oracle_ = oracle;
   }
@@ -44,6 +52,7 @@ class PpredEngine : public Engine {
   ScoringKind scoring_;
   CursorMode mode_;
   const SegmentRuntime* segment_;
+  PairRouting pair_routing_ = PairRouting::kAuto;
   const RawPostingOracle* raw_oracle_ = nullptr;
 };
 

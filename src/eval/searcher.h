@@ -39,6 +39,9 @@ struct RoutedResult {
 struct SearcherOptions {
   ScoringKind scoring = ScoringKind::kNone;
   CursorMode mode = CursorMode::kAdaptive;
+  /// Phrase/NEAR routing to the pair index when segments carry one
+  /// (src/eval/pair_plan.h). kAuto only fires under CursorMode::kAdaptive.
+  PairRouting pair_routing = PairRouting::kAuto;
 };
 
 /// Evaluates queries over one IndexSnapshot generation.
@@ -99,7 +102,10 @@ class Searcher {
           npred_engine(seg.index, opts.scoring,
                        NpredOrderingMode::kNecessaryPartialOrders, opts.mode,
                        &runtime),
-          comp_engine(seg.index, opts.scoring, &runtime) {}
+          comp_engine(seg.index, opts.scoring, &runtime) {
+      ppred_engine.set_pair_routing(opts.pair_routing);
+      npred_engine.set_pair_routing(opts.pair_routing);
+    }
 
     SegmentRuntime runtime;
     BoolEngine bool_engine;

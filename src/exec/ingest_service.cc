@@ -87,7 +87,7 @@ Status IngestService::merger_status() const {
 
 Status IngestService::SealLocked() {
   if (buffer_.empty()) return Status::OK();
-  std::shared_ptr<const InvertedIndex> segment = buffer_.Seal();
+  std::shared_ptr<const InvertedIndex> segment = buffer_.Seal(options_.build);
   segments_.push_back(segment);
   tombstones_.push_back(nullptr);
   const uint64_t seal_number = seals_++;
@@ -118,7 +118,8 @@ Status IngestService::CompactLocked() {
     views.push_back(v);
     base += static_cast<NodeId>(segments_[i]->num_nodes());
   }
-  FTS_ASSIGN_OR_RETURN(InvertedIndex merged, MergeSegments(views));
+  FTS_ASSIGN_OR_RETURN(InvertedIndex merged,
+                       MergeSegments(views, options_.build));
   segments_.assign(1, std::make_shared<const InvertedIndex>(std::move(merged)));
   tombstones_.assign(1, nullptr);
   return PublishLocked();

@@ -48,6 +48,10 @@ class IngestService : public SnapshotSource {
     /// `<spill_dir>/segment-<seal#>.fts` as an ordinary v3 index file,
     /// crash-consistently (write-then-rename; see SaveSegmentAtomic).
     std::string spill_dir;
+    /// IndexBuilder knobs applied to every seal and compaction. With
+    /// build.pairs.frequent_terms > 0 each sealed segment carries its own
+    /// pair lists and Compact() rebuilds them over the merged corpus.
+    IndexBuildOptions build;
   };
 
   IngestService();

@@ -25,6 +25,11 @@ NodeOccurrences CollectOccurrences(const TokenizedDocument& doc) {
 }  // namespace
 
 InvertedIndex IndexBuilder::Build(const Corpus& corpus) {
+  return Build(corpus, IndexBuildOptions{});
+}
+
+InvertedIndex IndexBuilder::Build(const Corpus& corpus,
+                                  const IndexBuildOptions& options) {
   InvertedIndex index;
   const size_t num_nodes = corpus.num_nodes();
   const size_t vocab = corpus.vocabulary_size();
@@ -115,6 +120,14 @@ InvertedIndex IndexBuilder::Build(const Corpus& corpus) {
       nonempty_lists == 0 ? 0 : static_cast<double>(total_entries) / nonempty_lists;
   s.avg_pos_per_entry =
       total_entries == 0 ? 0 : static_cast<double>(s.total_positions) / total_entries;
+
+  // Auxiliary pair lists last: their frequent-term ranking reads the
+  // finished token-list dfs, and nothing above depends on them.
+  if (options.pairs.frequent_terms > 0) {
+    index.pair_index_ = std::make_unique<PairIndex>(
+        PairIndex::Build(corpus, index, options.pairs));
+    if (index.pair_index_->num_keys() == 0) index.pair_index_.reset();
+  }
 
   return index;
 }

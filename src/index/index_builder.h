@@ -12,9 +12,18 @@
 #define FTS_INDEX_INDEX_BUILDER_H_
 
 #include "index/inverted_index.h"
+#include "index/pair_index.h"
 #include "text/corpus.h"
 
 namespace fts {
+
+/// Build-time configuration. Defaults reproduce the classic index exactly
+/// (no auxiliary structures).
+struct IndexBuildOptions {
+  /// Frequent-term pair-list construction (index/pair_index.h);
+  /// pairs.frequent_terms == 0 (the default) builds no pair index.
+  PairIndexOptions pairs;
+};
 
 /// One-shot index construction.
 class IndexBuilder {
@@ -22,6 +31,12 @@ class IndexBuilder {
   /// Builds the complete index for `corpus`. Token ids in the index match
   /// the corpus dictionary ids.
   static InvertedIndex Build(const Corpus& corpus);
+
+  /// As above, additionally building whatever IndexBuildOptions asks for
+  /// (pair lists never perturb the classic sections: token lists, IL_ANY,
+  /// norms, and IndexStats are bit-identical with or without them).
+  static InvertedIndex Build(const Corpus& corpus,
+                             const IndexBuildOptions& options);
 };
 
 }  // namespace fts

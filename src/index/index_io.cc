@@ -10,6 +10,7 @@
 #include "common/varint.h"
 #include "index/block_posting_list.h"
 #include "index/index_source.h"
+#include "index/pair_index.h"
 
 namespace fts {
 
@@ -20,6 +21,7 @@ constexpr char kMagicV2[8] = {'F', 'T', 'S', 'I', 'D', 'X', '2', '\0'};
 constexpr char kMagicV3[8] = {'F', 'T', 'S', 'I', 'D', 'X', '3', '\0'};
 constexpr char kMagicV4[8] = {'F', 'T', 'S', 'I', 'D', 'X', '4', '\0'};
 constexpr char kMagicV5[8] = {'F', 'T', 'S', 'I', 'D', 'X', '5', '\0'};
+constexpr char kMagicV6[8] = {'F', 'T', 'S', 'I', 'D', 'X', '6', '\0'};
 constexpr size_t kMagicSize = sizeof(kMagicV1);
 constexpr size_t kTrailerSize = 8;  // fixed64 checksum
 /// The smallest byte count any version can occupy: magic + trailer. Inputs
@@ -317,14 +319,15 @@ Status IndexIoAccess::Load(std::shared_ptr<IndexSource> source,
   const bool is_v3 = std::memcmp(data.data(), kMagicV3, kMagicSize) == 0;
   const bool is_v4 = std::memcmp(data.data(), kMagicV4, kMagicSize) == 0;
   const bool is_v5 = std::memcmp(data.data(), kMagicV5, kMagicSize) == 0;
-  if (!is_v1 && !is_v2 && !is_v3 && !is_v4 && !is_v5) {
+  const bool is_v6 = std::memcmp(data.data(), kMagicV6, kMagicSize) == 0;
+  if (!is_v1 && !is_v2 && !is_v3 && !is_v4 && !is_v5 && !is_v6) {
     return Status::Corruption("bad index magic");
   }
-  // v3/v4/v5 share the lazy-loadable envelope (header-only trailer hash,
+  // v3+ share the lazy-loadable envelope (header-only trailer hash,
   // per-block checksums); v4 adds max_tf per skip entry, v5 the per-block
-  // encoding tag.
-  const bool header_hashed = is_v3 || is_v4 || is_v5;
-  const bool with_block_max = is_v4 || is_v5;
+  // encoding tag, v6 the optional pair-index section.
+  const bool header_hashed = is_v3 || is_v4 || is_v5 || is_v6;
+  const bool with_block_max = is_v4 || is_v5 || is_v6;
   const size_t body_end = data.size() - kTrailerSize;
 
   // v1/v2 carry a whole-body checksum: verify it up front (this reads the
@@ -408,7 +411,7 @@ Status IndexIoAccess::Load(std::shared_ptr<IndexSource> source,
       BlockListDirectory dir;
       FTS_RETURN_IF_ERROR(GetBlockListDirectory(
           data, &offset, with_checksums, with_block_max,
-          /*with_encoding=*/is_v5, s.cnodes, &dir));
+          /*with_encoding=*/is_v5 || is_v6, s.cnodes, &dir));
       if (header_hashed) {
         // Fold the header/directory bytes since the last payload into the
         // trailer hash, then hop over this list's payload untouched.
@@ -431,6 +434,72 @@ Status IndexIoAccess::Load(std::shared_ptr<IndexSource> source,
       FTS_RETURN_IF_ERROR(adopt(&index.block_lists_[t]));
     }
     FTS_RETURN_IF_ERROR(adopt(index.block_any_list_.get()));
+    if (is_v6) {
+      // Optional pair-index section: frequent-term table (rank order),
+      // then the sorted canonical key table with each key's list inline.
+      // Every structural invariant Find()/the planner rely on is enforced
+      // here; the lists themselves get the same directory checks and
+      // (lazy or eager) payload validation as any other list.
+      uint32_t max_distance;
+      uint64_t num_frequent;
+      FTS_RETURN_IF_ERROR(GetVarint32(data, &offset, &max_distance));
+      FTS_RETURN_IF_ERROR(GetVarint64(data, &offset, &num_frequent));
+      if (num_frequent > body_end - offset) {  // >= 1 byte per id
+        return Status::Corruption("pair frequent table larger than input");
+      }
+      auto pair = std::make_unique<PairIndex>();
+      pair->max_distance_ = max_distance;
+      pair->frequent_.reserve(num_frequent);
+      for (uint64_t i = 0; i < num_frequent; ++i) {
+        uint32_t tok;
+        FTS_RETURN_IF_ERROR(GetVarint32(data, &offset, &tok));
+        if (tok >= vocab) {
+          return Status::Corruption("pair frequent token out of vocabulary");
+        }
+        pair->frequent_.push_back(tok);
+      }
+      pair->RebuildLookups();
+      if (pair->rank_.size() != pair->frequent_.size()) {
+        return Status::Corruption("duplicate pair frequent token");
+      }
+      uint64_t num_keys;
+      FTS_RETURN_IF_ERROR(GetVarint64(data, &offset, &num_keys));
+      if (num_keys > (body_end - offset) / 2) {  // >= 2 bytes per key
+        return Status::Corruption("pair key table larger than input");
+      }
+      if (num_keys > 0 && num_frequent == 0) {
+        return Status::Corruption("pair keys without frequent table");
+      }
+      pair->keys_.reserve(num_keys);
+      pair->lists_.resize(num_keys);
+      TokenId prev_first = 0;
+      TokenId prev_second = 0;
+      for (uint64_t i = 0; i < num_keys; ++i) {
+        uint32_t d_first, second;
+        FTS_RETURN_IF_ERROR(GetVarint32(data, &offset, &d_first));
+        FTS_RETURN_IF_ERROR(GetVarint32(data, &offset, &second));
+        const TokenId first = prev_first + d_first;
+        if (first >= vocab || second >= vocab || first == second) {
+          return Status::Corruption("bad pair key");
+        }
+        if (i > 0 && d_first == 0 && second <= prev_second) {
+          return Status::Corruption("non-increasing pair key table");
+        }
+        // Canonical orientation: `first` must be frequent, and when both
+        // sides are frequent the better-ranked one leads — the exact rule
+        // Find() canonicalizes queries with.
+        const size_t rf = pair->rank(first);
+        if (rf == PairIndex::kNotFrequent || pair->rank(second) < rf) {
+          return Status::Corruption("non-canonical pair key orientation");
+        }
+        prev_first = first;
+        prev_second = second;
+        pair->keys_.push_back({first, second});
+        FTS_RETURN_IF_ERROR(adopt(&pair->lists_[i]));
+      }
+      pair->RebuildLookups();
+      if (!pair->keys_.empty()) index.pair_index_ = std::move(pair);
+    }
     if (header_hashed) {
       if (offset != body_end) {
         return Status::Corruption("trailing bytes in index payload");
@@ -469,17 +538,18 @@ Status IndexIoAccess::Load(std::shared_ptr<IndexSource> source,
 void SaveIndexToString(const InvertedIndex& index, std::string* out,
                        IndexFormat format) {
   out->clear();
-  const char* magic = kMagicV5;
+  const char* magic = kMagicV6;
   if (format == IndexFormat::kV1) magic = kMagicV1;
   if (format == IndexFormat::kV2) magic = kMagicV2;
   if (format == IndexFormat::kV3) magic = kMagicV3;
   if (format == IndexFormat::kV4) magic = kMagicV4;
+  if (format == IndexFormat::kV5) magic = kMagicV5;
   out->append(magic, kMagicSize);
   PutCommonSections(index, out);
 
-  const bool with_encoding = format == IndexFormat::kV5;
-  const bool with_block_max =
-      format == IndexFormat::kV4 || format == IndexFormat::kV5;
+  const bool with_encoding =
+      format == IndexFormat::kV5 || format == IndexFormat::kV6;
+  const bool with_block_max = format == IndexFormat::kV4 || with_encoding;
   const bool with_checksums = format == IndexFormat::kV3 || with_block_max;
   std::vector<PayloadRange> payload_ranges;
   if (format == IndexFormat::kV1) {
@@ -508,6 +578,28 @@ void SaveIndexToString(const InvertedIndex& index, std::string* out,
       put_list(*index.block_list(t));
     }
     put_list(index.block_any_list());
+    if (format == IndexFormat::kV6) {
+      // Pair-index section: an index without one writes the empty shape
+      // (max_distance 0, no frequent terms, no keys) so the loader needs
+      // no presence flag. Saving to v<=5 drops the section entirely.
+      const PairIndex* pair = index.pair_index();
+      PutVarint32(out, pair != nullptr ? pair->max_distance() : 0);
+      PutVarint64(out, pair != nullptr ? pair->num_frequent() : 0);
+      if (pair != nullptr) {
+        for (const TokenId t : pair->frequent_terms()) PutVarint32(out, t);
+      }
+      PutVarint64(out, pair != nullptr ? pair->num_keys() : 0);
+      if (pair != nullptr) {
+        TokenId prev_first = 0;
+        for (size_t i = 0; i < pair->num_keys(); ++i) {
+          const PairTermKey& k = pair->key(i);
+          PutVarint32(out, k.first - prev_first);
+          PutVarint32(out, k.second);
+          prev_first = k.first;
+          put_list(pair->list(i));
+        }
+      }
+    }
   }
 
   if (with_checksums) {

@@ -1,6 +1,6 @@
 // Binary serialization of InvertedIndex.
 //
-// Five versions share a common envelope — an 8-byte magic whose 7th byte
+// Six versions share a common envelope — an 8-byte magic whose 7th byte
 // is the version digit and varint-coded sections:
 //
 //   v1 ("FTSIDX1\0"): posting lists as flat delta-coded entry streams;
@@ -26,7 +26,7 @@
 //       live in the directory). v2/v3 files still load, with
 //       has_block_max() false — block-max evaluation then falls back to
 //       full evaluation for those lists.
-//   v5 ("FTSIDX5\0", the default): v4 plus a per-block encoding tag in
+//   v5 ("FTSIDX5\0"): v4 plus a per-block encoding tag in
 //       each skip entry, enabling the hybrid block representation of
 //       BlockPostingList — dense blocks stored as fixed-width bitsets
 //       (word-AND intersectable), sparse blocks staying varint-delta. The
@@ -35,8 +35,16 @@
 //       still load (every block varint-coded); saving to a v<=4 format
 //       transcodes any bitset blocks back to varint, so an old magic
 //       never fronts a payload old readers cannot parse.
+//   v6 ("FTSIDX6\0", the default): v5 plus an *optional* pair-index
+//       section after IL_ANY — the auxiliary (frequent-term, other-term)
+//       lists of index/pair_index.h, serialized with the same per-list
+//       block directory (per-block checksums, max_tf, encoding tags) as
+//       every other list, so they lazy-load and first-touch validate
+//       identically. An index without a pair index writes an empty
+//       section; saving to v<=5 drops the section entirely (old readers
+//       parse the file unchanged, the feature is simply off).
 //
-// Loading sniffs the magic and accepts all five; any path leaves the
+// Loading sniffs the magic and accepts all six; any path leaves the
 // block lists as the index's only representation, viewing their payload
 // bytes out of one shared IndexSource (heap buffer or mmap'd file region)
 // instead of holding per-list copies.
@@ -59,7 +67,8 @@ enum class IndexFormat {
   kV2 = 2,  ///< block-compressed postings, whole-body checksum
   kV3 = 3,  ///< block-compressed + per-block checksums, lazy-loadable
   kV4 = 4,  ///< v3 + per-block max_tf for block-max top-k skipping
-  kV5 = 5,  ///< v4 + per-block encoding tag (hybrid bitset/varint, default)
+  kV5 = 5,  ///< v4 + per-block encoding tag (hybrid bitset/varint)
+  kV6 = 6,  ///< v5 + optional pair-index section (default)
 };
 
 /// How LoadIndexFromFile materializes the file.
@@ -90,7 +99,7 @@ struct LoadOptions {
 
 /// Serializes `index` into `out` (replacing its contents).
 void SaveIndexToString(const InvertedIndex& index, std::string* out,
-                       IndexFormat format = IndexFormat::kV5);
+                       IndexFormat format = IndexFormat::kV6);
 
 /// Deserializes an index previously produced by SaveIndexToString (any
 /// format version; detected from the magic). The index copies `data` into
@@ -101,7 +110,7 @@ Status LoadIndexFromString(const std::string& data, InvertedIndex* out);
 /// docs/index_format.md for the write-then-rename recommendation when the
 /// file may be mmap-loaded concurrently).
 Status SaveIndexToFile(const InvertedIndex& index, const std::string& path,
-                       IndexFormat format = IndexFormat::kV5);
+                       IndexFormat format = IndexFormat::kV6);
 
 /// Reads and deserializes an index from `path`. Returns IOError when the
 /// file cannot be opened or read at all, and Corruption when it opens but

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "index/block_posting_list.h"
+#include "index/pair_index.h"
 
 namespace fts {
 
@@ -120,6 +121,32 @@ Status ComputeStats(const std::vector<SegmentView>& segments,
     }
     for (TokenId t = 0; t < vocab; ++t) {
       if (live_df[s][t] != 0) (*df_by_text)[idx.token_text(t)] += live_df[s][t];
+    }
+
+    // Pair-list dfs ride the same by-text exchange under their
+    // collision-proof StatsKey ('\x1f' separator — unreachable by
+    // tokenizer output). Scoring never resolves these keys (pass 2 and
+    // the models look up real token texts only); the multi-index planner
+    // reads them as snapshot-global pair dfs.
+    if (const PairIndex* pair = idx.pair_index()) {
+      for (size_t k = 0; k < pair->num_keys(); ++k) {
+        const BlockPostingList& list = pair->list(k);
+        uint32_t df = 0;
+        if (dead == nullptr) {
+          df = static_cast<uint32_t>(list.num_entries());
+        } else {
+          for (size_t b = 0; b < list.num_blocks(); ++b) {
+            FTS_RETURN_IF_ERROR(list.DecodeBlockEntries(b, &entries));
+            for (const BlockPostingList::EntryRef& e : entries) {
+              if (!dead->Contains(e.header.node)) ++df;
+            }
+          }
+        }
+        if (df == 0) continue;
+        const PairTermKey& key = pair->key(k);
+        (*df_by_text)[PairIndex::StatsKey(idx.token_text(key.first),
+                                          idx.token_text(key.second))] += df;
+      }
     }
   }
 

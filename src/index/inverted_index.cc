@@ -5,6 +5,7 @@
 
 #include "index/block_posting_list.h"
 #include "index/index_source.h"
+#include "index/pair_index.h"
 #include "index/tombstone_set.h"
 
 namespace fts {
@@ -160,6 +161,7 @@ size_t InvertedIndex::MemoryUsage() const {
   }
   bytes += unique_tokens_.capacity() * sizeof(uint32_t);
   bytes += node_norms_.capacity() * sizeof(double);
+  if (pair_index_ != nullptr) bytes += pair_index_->MemoryUsage();
   return bytes;
 }
 
@@ -201,7 +203,11 @@ Status InvertedIndex::ValidateBlocks() const {
   for (const BlockPostingList& l : block_lists_) {
     FTS_RETURN_IF_ERROR(validate(l));
   }
-  return validate(*block_any_list_);
+  FTS_RETURN_IF_ERROR(validate(*block_any_list_));
+  if (pair_index_ != nullptr) {
+    FTS_RETURN_IF_ERROR(pair_index_->Validate(cnodes));
+  }
+  return Status::OK();
 }
 
 void InvertedIndex::RecomputeMinUniqNorm() {

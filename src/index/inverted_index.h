@@ -158,6 +158,7 @@ struct IndexStats {
 
 class BlockPostingList;  // index/block_posting_list.h
 class IndexSource;       // index/index_source.h
+class PairIndex;         // index/pair_index.h
 
 /// Where a loaded index's posting payload bytes live (see
 /// index/index_source.h and docs/index_format.md for the full matrix).
@@ -245,6 +246,12 @@ class InvertedIndex {
   /// loads of the v3 format) rather than performed at load time.
   bool lazy_validation() const { return lazy_validation_; }
 
+  /// Auxiliary (frequent-term, other-term) pair lists for fast phrase and
+  /// NEAR/k evaluation (index/pair_index.h), or nullptr when the index was
+  /// built (or loaded) without them — the planner then always uses the
+  /// position pipeline.
+  const PairIndex* pair_index() const { return pair_index_.get(); }
+
  private:
   friend class IndexBuilder;
   friend struct IndexIoAccess;  // index_io.cc loaders
@@ -263,6 +270,7 @@ class InvertedIndex {
 
   std::vector<BlockPostingList> block_lists_;          // indexed by TokenId
   std::unique_ptr<BlockPostingList> block_any_list_;   // compressed IL_ANY
+  std::unique_ptr<PairIndex> pair_index_;              // nullable
   std::vector<std::string> token_texts_;    // TokenId -> spelling
   std::unordered_map<std::string, TokenId> token_ids_;
   std::vector<uint32_t> unique_tokens_;     // NodeId -> distinct token count

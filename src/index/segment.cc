@@ -10,9 +10,10 @@
 
 namespace fts {
 
-std::shared_ptr<const InvertedIndex> SegmentBuffer::Seal() {
-  auto segment =
-      std::make_shared<const InvertedIndex>(IndexBuilder::Build(corpus_));
+std::shared_ptr<const InvertedIndex> SegmentBuffer::Seal(
+    const IndexBuildOptions& options) {
+  auto segment = std::make_shared<const InvertedIndex>(
+      IndexBuilder::Build(corpus_, options));
   corpus_ = Corpus();
   return segment;
 }

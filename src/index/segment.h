@@ -16,6 +16,7 @@
 #include <string_view>
 
 #include "common/status.h"
+#include "index/index_builder.h"
 #include "index/inverted_index.h"
 #include "text/corpus.h"
 
@@ -34,8 +35,11 @@ class SegmentBuffer {
   const Corpus& corpus() const { return corpus_; }
 
   /// Builds the immutable segment for everything added so far and resets
-  /// the buffer for the next segment.
-  std::shared_ptr<const InvertedIndex> Seal();
+  /// the buffer for the next segment. `options` rides through to
+  /// IndexBuilder — a sealed segment carries pair lists exactly when its
+  /// owner asks for them.
+  std::shared_ptr<const InvertedIndex> Seal(
+      const IndexBuildOptions& options = {});
 
  private:
   Corpus corpus_;

@@ -20,7 +20,8 @@ struct Occurrence {
 
 }  // namespace
 
-StatusOr<InvertedIndex> MergeSegments(const std::vector<SegmentView>& segments) {
+StatusOr<InvertedIndex> MergeSegments(const std::vector<SegmentView>& segments,
+                                      const IndexBuildOptions& options) {
   Corpus merged;
   std::vector<PostingEntry> entries;
   std::vector<PositionInfo> positions;
@@ -68,7 +69,7 @@ StatusOr<InvertedIndex> MergeSegments(const std::vector<SegmentView>& segments) 
           merged.AddTokensWithPositions(tokens, node_positions).status());
     }
   }
-  return IndexBuilder::Build(merged);
+  return IndexBuilder::Build(merged, options);
 }
 
 }  // namespace fts

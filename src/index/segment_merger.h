@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "index/index_builder.h"
 #include "index/index_snapshot.h"
 #include "index/inverted_index.h"
 
@@ -24,7 +25,11 @@ namespace fts {
 /// Merges `segments` (with their tombstones) into one segment holding only
 /// the live documents, renumbered densely in segment order. Fails with
 /// Corruption if a lazily validated input's payload is malformed.
-StatusOr<InvertedIndex> MergeSegments(const std::vector<SegmentView>& segments);
+/// `options` rides through to IndexBuilder, so a compaction rebuilds the
+/// pair lists over the merged corpus (per-segment pair lists cannot be
+/// concatenated — frequent-term ranks shift as dfs merge).
+StatusOr<InvertedIndex> MergeSegments(const std::vector<SegmentView>& segments,
+                                      const IndexBuildOptions& options = {});
 
 }  // namespace fts
 

@@ -71,12 +71,19 @@ std::shared_ptr<const DecodedBlock> SharedBlockCache::GetOrDecode(
   }
   if (shard.map.size() >= per_shard_capacity_ && !shard.lru.empty()) {
     evictions_.fetch_add(1, std::memory_order_relaxed);
+    shard.bytes -= BlockBytes(*shard.lru.back().block);
     shard.map.erase(shard.lru.back().key);
     shard.lru.pop_back();
   }
+  shard.bytes += BlockBytes(*decoded);
   shard.lru.push_front(Slot{key, decoded});
   shard.map.emplace(key, shard.lru.begin());
   return decoded;
+}
+
+size_t SharedBlockCache::BlockBytes(const DecodedBlock& block) {
+  return sizeof(DecodedBlock) +
+         block.entries.capacity() * sizeof(BlockPostingList::EntryRef);
 }
 
 SharedBlockCache::Stats SharedBlockCache::stats() const {
@@ -84,7 +91,14 @@ SharedBlockCache::Stats SharedBlockCache::stats() const {
   out.hits = hits_.load(std::memory_order_relaxed);
   out.misses = misses_.load(std::memory_order_relaxed);
   out.evictions = evictions_.load(std::memory_order_relaxed);
-  out.resident_blocks = size();
+  out.shards.resize(shards_.size());
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    std::lock_guard<std::mutex> lock(shards_[i]->mu);
+    out.shards[i].keys = shards_[i]->map.size();
+    out.shards[i].bytes = shards_[i]->bytes;
+    out.resident_blocks += out.shards[i].keys;
+    out.resident_bytes += out.shards[i].bytes;
+  }
   return out;
 }
 

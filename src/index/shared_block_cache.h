@@ -68,6 +68,22 @@ class SharedBlockCache {
     uint64_t misses = 0;
     uint64_t evictions = 0;
     size_t resident_blocks = 0;
+    /// Decoded bytes resident across all shards — EntryRef storage counted
+    /// by vector capacity, the same accounting rule as
+    /// InvertedIndex::MemoryUsage. Eviction-driven, so it tracks what the
+    /// cache holds *now*, not a high-water mark. Readers holding evicted
+    /// blocks via shared_ptr are not counted (their memory is charged to
+    /// the query keeping them alive).
+    size_t resident_bytes = 0;
+    /// Per-shard occupancy, index = shard number. Shard imbalance here
+    /// (one shard pinned at capacity while others sit empty) is the
+    /// monitoring signal that the key mix is skewed or the shard count is
+    /// wrong for the workload.
+    struct ShardStats {
+      size_t keys = 0;
+      size_t bytes = 0;
+    };
+    std::vector<ShardStats> shards;
   };
 
   SharedBlockCache() : SharedBlockCache(Options()) {}
@@ -99,6 +115,11 @@ class SharedBlockCache {
   size_t capacity_blocks() const { return capacity_blocks_; }
   size_t num_shards() const { return shards_.size(); }
 
+  /// Accounting size of one cached block (EntryRef storage by capacity
+  /// plus the block struct itself) — the unit the resident-bytes gauges
+  /// count in, exposed so monitoring tests can pin the arithmetic.
+  static size_t BlockBytes(const DecodedBlock& block);
+
  private:
   using Key = std::pair<uint64_t, size_t>;  // (list uid, block index)
 
@@ -129,6 +150,9 @@ class SharedBlockCache {
     std::mutex mu;
     std::list<Slot> lru;  // front = most recently used
     std::unordered_map<Key, std::list<Slot>::iterator, KeyHash> map;
+    /// Decoded bytes of the blocks in `lru`, maintained under `mu` on
+    /// insert and evict.
+    size_t bytes = 0;
   };
 
   Shard& ShardFor(const Key& key) {

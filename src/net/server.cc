@@ -2,6 +2,9 @@
 
 #include <cstring>
 
+#include "index/pair_index.h"
+#include "index/shared_block_cache.h"
+
 namespace fts {
 namespace net {
 
@@ -252,6 +255,17 @@ bool FtsServer::HandleFrame(Connection* conn, const std::string& payload) {
           const uint32_t d = idx.df(t);
           if (d != 0) df[idx.token_text(t)] += d;
         }
+        // Pair-list dfs travel in the same exchange under their
+        // collision-proof StatsKey; the router sums them like token dfs
+        // and each shard's multi-index planner reads the global values.
+        if (const PairIndex* pair = idx.pair_index()) {
+          for (size_t k = 0; k < pair->num_keys(); ++k) {
+            const PairTermKey& key = pair->key(k);
+            df[PairIndex::StatsKey(idx.token_text(key.first),
+                                   idx.token_text(key.second))] +=
+                static_cast<uint32_t>(pair->list(k).num_entries());
+          }
+        }
       }
       resp.df_by_text.assign(df.begin(), df.end());
       Outgoing out;
@@ -432,6 +446,21 @@ std::string FtsServer::MetricsText() const {
   line("fts_eval_blocks_skipped_by_score", c.blocks_skipped_by_score);
   line("fts_eval_simd_groups_decoded", c.simd_groups_decoded);
   line("fts_eval_bitset_blocks_intersected", c.bitset_blocks_intersected);
+  line("fts_eval_pair_seeks", c.pair_seeks);
+  line("fts_eval_pair_entries_decoded", c.pair_entries_decoded);
+  if (const SharedBlockCache* l2 = service_->shared_cache()) {
+    const SharedBlockCache::Stats s = l2->stats();
+    line("fts_l2_cache_hits", s.hits);
+    line("fts_l2_cache_misses", s.misses);
+    line("fts_l2_cache_evictions", s.evictions);
+    line("fts_l2_cache_resident_blocks", s.resident_blocks);
+    line("fts_l2_cache_resident_bytes", s.resident_bytes);
+    for (size_t i = 0; i < s.shards.size(); ++i) {
+      const std::string suffix = "{shard=\"" + std::to_string(i) + "\"}";
+      line("fts_l2_cache_shard_keys" + suffix, s.shards[i].keys);
+      line("fts_l2_cache_shard_bytes" + suffix, s.shards[i].bytes);
+    }
+  }
   return out;
 }
 

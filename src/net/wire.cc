@@ -10,7 +10,7 @@ namespace {
 /// Number of EvalCounters fields this build knows how to (de)serialize,
 /// in struct declaration order. Kept next to the field list below so a
 /// new counter is a two-line change here.
-constexpr uint32_t kNumCounterFields = 19;
+constexpr uint32_t kNumCounterFields = 21;
 
 /// The counters in declaration order; the single source of truth for the
 /// wire layout of EvalCounters (PutCounters writes this order, GetCounters
@@ -26,7 +26,8 @@ void CounterFields(EvalCounters& c, uint64_t** fields) {
       &c.cache_misses,           &c.shared_cache_hits,
       &c.shared_cache_misses,    &c.first_touch_validations,
       &c.blocks_skipped_by_score, &c.simd_groups_decoded,
-      &c.bitset_blocks_intersected,
+      &c.bitset_blocks_intersected, &c.pair_seeks,
+      &c.pair_entries_decoded,
   };
   static_assert(sizeof(f) / sizeof(f[0]) == kNumCounterFields);
   std::memcpy(fields, f, sizeof(f));

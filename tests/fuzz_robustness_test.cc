@@ -272,21 +272,31 @@ void WriteFile(const std::string& path, const std::string& data) {
   ASSERT_TRUE(f.good());
 }
 
-/// Decodes every block and PosList of every list through cursors (the
-/// production read path) and returns the first sticky decode error.
-Status TouchEveryBlock(const InvertedIndex& index) {
-  const auto drain = [](const BlockPostingList* list) -> Status {
-    BlockListCursor cursor(list);
-    while (cursor.NextEntry() != kInvalidNode) {
-      (void)cursor.GetPositions();
-      if (!cursor.status().ok()) break;
-    }
-    return cursor.status();
-  };
-  for (TokenId t = 0; t < index.vocabulary_size(); ++t) {
-    FTS_RETURN_IF_ERROR(drain(index.block_list(t)));
+/// Streams one list through a cursor (the production read path) and
+/// returns its first sticky decode error.
+Status DrainList(const BlockPostingList* list) {
+  BlockListCursor cursor(list);
+  while (cursor.NextEntry() != kInvalidNode) {
+    (void)cursor.GetPositions();
+    if (!cursor.status().ok()) break;
   }
-  return drain(&index.block_any_list());
+  return cursor.status();
+}
+
+/// Decodes every block and PosList of every list through cursors — token
+/// lists, IL_ANY, and any pair lists — and returns the first sticky
+/// decode error.
+Status TouchEveryBlock(const InvertedIndex& index) {
+  for (TokenId t = 0; t < index.vocabulary_size(); ++t) {
+    FTS_RETURN_IF_ERROR(DrainList(index.block_list(t)));
+  }
+  FTS_RETURN_IF_ERROR(DrainList(&index.block_any_list()));
+  if (const PairIndex* pairs = index.pair_index()) {
+    for (size_t i = 0; i < pairs->num_keys(); ++i) {
+      FTS_RETURN_IF_ERROR(DrainList(&pairs->list(i)));
+    }
+  }
+  return Status::OK();
 }
 
 TEST(MmapFirstTouchSweep, EveryByteFlipSurfacesCorruption) {
@@ -297,7 +307,8 @@ TEST(MmapFirstTouchSweep, EveryByteFlipSurfacesCorruption) {
   // per-block encoding tag — a flipped tag must likewise be caught by the
   // trailer checksum, never reinterpret a block under the wrong decoder).
   for (IndexFormat format :
-       {IndexFormat::kV3, IndexFormat::kV4, IndexFormat::kV5}) {
+       {IndexFormat::kV3, IndexFormat::kV4, IndexFormat::kV5,
+        IndexFormat::kV6}) {
     const std::string blob = SaveSmallIndexAs(format);
     ASSERT_EQ(blob[6], static_cast<char>('0' + static_cast<int>(format)));
     const std::string path = ::testing::TempDir() + "/fts_mmap_flip_sweep.idx";
@@ -329,7 +340,8 @@ TEST(MmapFirstTouchSweep, EveryTruncationFailsAtLoad) {
   // without reading payloads: the directory bounds every payload range and
   // the trailer checksum pins the directory itself.
   for (IndexFormat format :
-       {IndexFormat::kV3, IndexFormat::kV4, IndexFormat::kV5}) {
+       {IndexFormat::kV3, IndexFormat::kV4, IndexFormat::kV5,
+        IndexFormat::kV6}) {
     const std::string blob = SaveSmallIndexAs(format);
     const std::string path = ::testing::TempDir() + "/fts_mmap_trunc_sweep.idx";
     LoadOptions mmap;
@@ -362,7 +374,8 @@ TEST_P(V3MmapPayloadFuzz, RandomMultiByteDamageNeverFaultsLazyQueries) {
   mmap.mode = LoadOptions::Mode::kMmap;
   Rng rng(GetParam());
   for (IndexFormat format :
-       {IndexFormat::kV3, IndexFormat::kV4, IndexFormat::kV5}) {
+       {IndexFormat::kV3, IndexFormat::kV4, IndexFormat::kV5,
+        IndexFormat::kV6}) {
     const std::string blob = SaveSmallIndexAs(format);
     for (int trial = 0; trial < 120; ++trial) {
       std::string mutated = blob;
@@ -513,6 +526,90 @@ TEST(V5DenseCorruptionSweep, RandomBitsetDamageIsRejectedOrSane) {
     }
   }
   std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// v6 pair-section sweep. The pair lists reuse the block codec, so their
+// payloads are per-block checksummed (first-touch under mmap) and the
+// section's own header — max_distance, the frequent-term table, the
+// delta-coded key table — is folded into the directory trailer hash. A
+// flip anywhere in the file must therefore surface as Corruption: at load
+// when it lands in header/directory/trailer bytes (including every pair
+// structural invariant: key canonicalization, orientation, ordering), or
+// at first decode when it lands in a pair payload. The index is built so
+// the section is substantial (dense co-occurrences over a tiny
+// vocabulary); the ASan+UBSan CI job runs this sweep exhaustively.
+// ---------------------------------------------------------------------------
+
+std::string SaveV6PairIndex() {
+  CorpusGenOptions opts;
+  opts.seed = 31;
+  opts.num_nodes = 80;
+  opts.min_doc_len = 6;
+  opts.max_doc_len = 20;
+  opts.vocabulary = 12;  // tiny vocabulary: pairs co-occur constantly
+  Corpus corpus = GenerateCorpus(opts);
+  IndexBuildOptions build;
+  build.pairs.frequent_terms = 4;
+  build.pairs.max_distance = 3;
+  InvertedIndex index = IndexBuilder::Build(corpus, build);
+  EXPECT_NE(index.pair_index(), nullptr);
+  EXPECT_GT(index.pair_index()->num_keys(), 0u);
+  std::string blob;
+  SaveIndexToString(index, &blob);  // default format: v6
+  return blob;
+}
+
+TEST(V6PairCorruptionSweep, EveryByteFlipSurfacesCorruption) {
+  const std::string blob = SaveV6PairIndex();
+  ASSERT_EQ(blob[6], '6');
+  const std::string path = ::testing::TempDir() + "/fts_v6_pair_sweep.idx";
+  LoadOptions mmap;
+  mmap.mode = LoadOptions::Mode::kMmap;
+  for (size_t pos = 0; pos < blob.size(); pos += SweepStride()) {
+    std::string mutated = blob;
+    mutated[pos] = static_cast<char>(mutated[pos] ^ (1 << (pos % 8)));
+    WriteFile(path, mutated);
+    InvertedIndex loaded;
+    Status s = LoadIndexFromFile(path, &loaded, mmap);
+    if (s.ok()) {
+      s = TouchEveryBlock(loaded);
+      QueryRouter router(&loaded);
+      (void)router.Evaluate("'w0' AND 'w1'");
+    }
+    ASSERT_FALSE(s.ok()) << "byte " << pos << " flip never surfaced";
+    EXPECT_EQ(s.code(), StatusCode::kCorruption) << "byte " << pos;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(V6PairCorruptionSweep, EveryTruncationFailsAtLoad) {
+  const std::string blob = SaveV6PairIndex();
+  const std::string path = ::testing::TempDir() + "/fts_v6_pair_trunc.idx";
+  LoadOptions mmap;
+  mmap.mode = LoadOptions::Mode::kMmap;
+  for (size_t len = 0; len < blob.size(); len += SweepStride()) {
+    WriteFile(path, blob.substr(0, len));
+    InvertedIndex loaded;
+    const Status s = LoadIndexFromFile(path, &loaded, mmap);
+    ASSERT_FALSE(s.ok()) << "truncation to " << len << " accepted";
+    EXPECT_EQ(s.code(), StatusCode::kCorruption) << "length " << len;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(V6PairCorruptionSweep, EagerLoadRejectsEveryFlipUpFront) {
+  // The eager (heap) load path validates every payload before returning,
+  // pair lists included — no flip may survive to query time at all.
+  const std::string blob = SaveV6PairIndex();
+  for (size_t pos = 0; pos < blob.size(); pos += SweepStride()) {
+    std::string mutated = blob;
+    mutated[pos] = static_cast<char>(mutated[pos] ^ (1 << (pos % 8)));
+    InvertedIndex loaded;
+    const Status s = LoadIndexFromString(mutated, &loaded);
+    ASSERT_FALSE(s.ok()) << "byte " << pos << " flip accepted";
+    EXPECT_EQ(s.code(), StatusCode::kCorruption) << "byte " << pos;
+  }
 }
 
 TEST(V2CorruptionSweep, OutOfRangeNodeIdsAreRejected) {

@@ -159,11 +159,11 @@ TEST(IndexIoTest, V1FilesStillLoad) {
   ExpectIndexEq(index, loaded);
 }
 
-TEST(IndexIoTest, V5IsTheDefaultFormat) {
+TEST(IndexIoTest, V6IsTheDefaultFormat) {
   InvertedIndex index = BuildTestIndex();
   std::string data;
   SaveIndexToString(index, &data);
-  EXPECT_EQ(data[6], '5');  // v5 magic
+  EXPECT_EQ(data[6], '6');  // v6 magic
 }
 
 TEST(IndexIoTest, AllFormatLoadsAreEquivalent) {

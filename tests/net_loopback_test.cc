@@ -266,6 +266,60 @@ TEST(NetLoopbackTest, BinaryMetricsAndPing) {
   EXPECT_NE(metrics->text.find("fts_queries_completed 1"), std::string::npos);
 }
 
+/// Value of the exactly named metric in a /metrics text block, or -1.
+int64_t MetricValue(const std::string& text, const std::string& name) {
+  const std::string needle = name + " ";
+  size_t pos = 0;
+  while ((pos = text.find(needle, pos)) != std::string::npos) {
+    if (pos == 0 || text[pos - 1] == '\n') {
+      return std::stoll(text.substr(pos + needle.size()));
+    }
+    pos += needle.size();
+  }
+  return -1;
+}
+
+TEST(NetLoopbackTest, MetricsExposeL2CacheMemoryAccounting) {
+  // Every query's L1 cache falls through to the service-scope L2, so a
+  // served search leaves decoded blocks resident there — and /metrics must
+  // report how much memory they hold, per shard and in total.
+  Loopback lb;
+  ASSERT_TRUE(lb.client->Search("'apple' AND 'banana'").ok());
+  ASSERT_TRUE(lb.client->Search("'apple' AND 'banana'").ok());
+
+  auto metrics = lb.client->Metrics();
+  ASSERT_TRUE(metrics.ok());
+  const std::string& text = metrics->text;
+  EXPECT_NE(text.find("fts_eval_pair_seeks"), std::string::npos);
+  EXPECT_NE(text.find("fts_eval_pair_entries_decoded"), std::string::npos);
+
+  const int64_t blocks = MetricValue(text, "fts_l2_cache_resident_blocks");
+  const int64_t bytes = MetricValue(text, "fts_l2_cache_resident_bytes");
+  ASSERT_GT(blocks, 0);
+  // Every resident block costs at least its fixed struct size, so the
+  // byte gauge must dominate blocks * sizeof-a-small-struct; exact
+  // accounting is pinned in shared_block_cache_test.
+  EXPECT_GE(bytes, blocks * 64);
+
+  // The per-shard breakdown must be present and sum to the totals.
+  int64_t shard_keys = 0;
+  int64_t shard_bytes = 0;
+  size_t shards = 0;
+  for (size_t i = 0;; ++i) {
+    const std::string suffix = "{shard=\"" + std::to_string(i) + "\"}";
+    const int64_t keys = MetricValue(text, "fts_l2_cache_shard_keys" + suffix);
+    if (keys < 0) break;
+    const int64_t sb = MetricValue(text, "fts_l2_cache_shard_bytes" + suffix);
+    ASSERT_GE(sb, 0) << i;
+    shard_keys += keys;
+    shard_bytes += sb;
+    ++shards;
+  }
+  EXPECT_GT(shards, 0u);
+  EXPECT_EQ(shard_keys, blocks);
+  EXPECT_EQ(shard_bytes, bytes);
+}
+
 /// Sends one HTTP request on a raw socket and returns the full response.
 std::string HttpGet(uint16_t port, const std::string& target) {
   auto sock = ConnectTcp("127.0.0.1", port, std::chrono::milliseconds(2000));

@@ -244,6 +244,56 @@ TEST(NetWireTest, ExtraCounterFieldsFromNewerPeerAreSkipped) {
   EXPECT_EQ(out.engine, "BOOL");
 }
 
+TEST(NetWireTest, PairCounterFieldsRoundtripAsTrailingFields) {
+  // The pair-index counters were appended to the counter block (the only
+  // wire-compatible position); pin that they ride the existing roundtrip
+  // and occupy the declared tail so both compat directions below hold.
+  SearchResponse resp;
+  resp.request_id = 12;
+  resp.engine = "PPRED";
+  resp.counters.entries_scanned = 7;
+  resp.counters.pair_seeks = 31;
+  resp.counters.pair_entries_decoded = 1009;  // last declared field
+
+  SearchResponse got;
+  ASSERT_TRUE(
+      DecodeSearchResponse(Payload(EncodeSearchResponse(resp)), &got).ok());
+  EXPECT_EQ(got.counters.entries_scanned, 7u);
+  EXPECT_EQ(got.counters.pair_seeks, 31u);
+  EXPECT_EQ(got.counters.pair_entries_decoded, 1009u);
+}
+
+TEST(NetWireTest, MissingPairCounterFieldsFromOlderPeerZeroFill) {
+  // A peer built before the pair counters declares two fewer fields; the
+  // decoder must accept the short block, fill what it got, and leave the
+  // pair counters zero (the versioning rule's backward direction — the
+  // forward direction, extra unknown fields, is pinned above).
+  SearchResponse resp;
+  resp.request_id = 13;
+  resp.engine = "PPRED";
+  resp.counters.entries_scanned = 99;
+  resp.counters.pair_seeks = 5;            // will be cut off the wire image
+  resp.counters.pair_entries_decoded = 6;  // likewise
+  std::string payload = Payload(EncodeSearchResponse(resp));
+
+  // The counter block is the payload's tail: [u32 count][count u64s].
+  // Rewrite it as an older peer would have sent it — two fewer fields.
+  const size_t count_off = payload.size() - 4 - 8 * 21;
+  uint32_t declared = 0;
+  std::memcpy(&declared, payload.data() + count_off, 4);
+  ASSERT_EQ(declared, 21u);  // field count at the expected offset
+  const uint32_t shrunk = declared - 2;
+  std::memcpy(payload.data() + count_off, &shrunk, 4);
+  payload.resize(payload.size() - 16);
+
+  SearchResponse got;
+  const Status s = DecodeSearchResponse(payload, &got);
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  EXPECT_EQ(got.counters.entries_scanned, 99u);
+  EXPECT_EQ(got.counters.pair_seeks, 0u);
+  EXPECT_EQ(got.counters.pair_entries_decoded, 0u);
+}
+
 TEST(NetWireTest, CursorModeMapping) {
   EXPECT_FALSE(ToCursorMode(WireCursorMode::kDefault).has_value());
   EXPECT_EQ(ToCursorMode(WireCursorMode::kSequential), CursorMode::kSequential);

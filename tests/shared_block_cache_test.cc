@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <thread>
 #include <vector>
 
@@ -72,6 +73,57 @@ TEST(SharedBlockCacheTest, EvictionNeverInvalidatesReaders) {
   // The held block was evicted long ago; the shared_ptr keeps it valid.
   EXPECT_EQ(held->entries.size(), 4u);
   EXPECT_EQ(held->entries[3].header.node, 6u);
+}
+
+TEST(SharedBlockCacheTest, ResidentBytesTrackInsertAndEviction) {
+  BlockPostingList list = MakeList(4, 64);  // 16 blocks
+  SharedBlockCache::Options options;
+  options.capacity_blocks = 4;
+  options.shards = 1;  // single shard: strict LRU, deterministic eviction
+  SharedBlockCache cache(options);
+
+  // Empty cache: every gauge at zero, one shard reported.
+  SharedBlockCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.resident_blocks, 0u);
+  EXPECT_EQ(stats.resident_bytes, 0u);
+  ASSERT_EQ(stats.shards.size(), 1u);
+  EXPECT_EQ(stats.shards[0].keys, 0u);
+  EXPECT_EQ(stats.shards[0].bytes, 0u);
+
+  // Insertions: the byte gauge is the exact sum of BlockBytes over the
+  // resident blocks, and the per-shard rows sum to the totals.
+  std::vector<std::shared_ptr<const DecodedBlock>> held;
+  size_t expected_bytes = 0;
+  for (size_t b = 0; b < 3; ++b) {
+    auto block = cache.GetOrDecode(list, b, nullptr);
+    ASSERT_NE(block, nullptr);
+    expected_bytes += SharedBlockCache::BlockBytes(*block);
+    held.push_back(std::move(block));
+  }
+  stats = cache.stats();
+  EXPECT_EQ(stats.resident_blocks, 3u);
+  EXPECT_EQ(stats.resident_bytes, expected_bytes);
+  ASSERT_EQ(stats.shards.size(), 1u);
+  EXPECT_EQ(stats.shards[0].keys, 3u);
+  EXPECT_EQ(stats.shards[0].bytes, expected_bytes);
+
+  // Overflow the capacity: evictions must release the evicted blocks'
+  // bytes — the gauge tracks residency, not lifetime (readers holding
+  // evicted blocks keep the memory alive but it is no longer the cache's).
+  for (size_t b = 3; b < list.num_blocks(); ++b) {
+    ASSERT_NE(cache.GetOrDecode(list, b, nullptr), nullptr);
+  }
+  stats = cache.stats();
+  EXPECT_GT(stats.evictions, 0u);
+  ASSERT_EQ(stats.resident_blocks, 4u);
+  size_t resident_sum = 0;
+  for (size_t b = list.num_blocks() - 4; b < list.num_blocks(); ++b) {
+    auto block = cache.GetOrDecode(list, b, nullptr);  // LRU tail: all hits
+    ASSERT_NE(block, nullptr);
+    resident_sum += SharedBlockCache::BlockBytes(*block);
+  }
+  EXPECT_EQ(cache.stats().resident_bytes, resident_sum);
+  EXPECT_EQ(cache.stats().shards[0].bytes, resident_sum);
 }
 
 TEST(SharedBlockCacheTest, L1MissFallsThroughToL2) {

@@ -1,4 +1,4 @@
-// fts_build_index: builds v5 index files for fts_server, optionally
+// fts_build_index: builds index files for fts_server, optionally
 // splitting the corpus into contiguous document-partitioned shards
 // (docs/serving.md "Quickstart").
 //
@@ -28,12 +28,17 @@ void Usage() {
   std::fprintf(stderr,
                "usage: fts_build_index --out PATH [--input FILE | --gen]\n"
                "                       [--shards N] [--nodes N] [--seed N]\n"
+               "                       [--pair-terms N] [--pair-distance K]\n"
                "  --out PATH    output index file; shard i goes to PATH.shard<i>\n"
                "  --input FILE  corpus text, one context node per line\n"
                "  --gen         synthetic corpus (workload/corpus_gen.h) instead\n"
                "  --shards N    also write N contiguous doc-range shard indexes\n"
                "  --nodes N     synthetic corpus size (default 6000)\n"
-               "  --seed N      synthetic corpus seed (default 42)\n");
+               "  --seed N      synthetic corpus seed (default 42)\n"
+               "  --pair-terms N     build pair lists for the top-N frequent\n"
+               "                     terms (docs/pair_index.md; default 0 = off)\n"
+               "  --pair-distance K  largest NEAR/k the pair lists answer\n"
+               "                     (default 5)\n");
   std::exit(2);
 }
 
@@ -55,6 +60,7 @@ int main(int argc, char** argv) {
   bool gen = false;
   uint32_t shards = 0;
   fts::CorpusGenOptions gen_options;
+  fts::IndexBuildOptions build_options;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -74,6 +80,12 @@ int main(int argc, char** argv) {
       gen_options.num_nodes = static_cast<uint32_t>(ParseU64("--nodes", next()));
     } else if (arg == "--seed") {
       gen_options.seed = ParseU64("--seed", next());
+    } else if (arg == "--pair-terms") {
+      build_options.pairs.frequent_terms =
+          static_cast<size_t>(ParseU64("--pair-terms", next()));
+    } else if (arg == "--pair-distance") {
+      build_options.pairs.max_distance =
+          static_cast<uint32_t>(ParseU64("--pair-distance", next()));
     } else {
       Usage();
     }
@@ -101,7 +113,7 @@ int main(int argc, char** argv) {
   std::printf("corpus: %zu nodes, %zu distinct tokens\n", corpus.num_nodes(),
               corpus.vocabulary_size());
 
-  const fts::InvertedIndex full = fts::IndexBuilder::Build(corpus);
+  const fts::InvertedIndex full = fts::IndexBuilder::Build(corpus, build_options);
   fts::Status s = fts::SaveIndexToFile(full, out);
   if (!s.ok()) {
     std::fprintf(stderr, "fts_build_index: %s\n", s.ToString().c_str());
@@ -124,7 +136,8 @@ int main(int argc, char** argv) {
                      slice.status().ToString().c_str());
         return 1;
       }
-      const fts::InvertedIndex shard = fts::IndexBuilder::Build(*slice);
+      const fts::InvertedIndex shard =
+          fts::IndexBuilder::Build(*slice, build_options);
       const std::string path = out + ".shard" + std::to_string(i);
       s = fts::SaveIndexToFile(shard, path);
       if (!s.ok()) {
